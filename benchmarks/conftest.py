@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its table driver once (``rounds=1``): the drivers are
+deterministic end-to-end experiments, not microbenchmarks, and the first
+run may build disk-cached artifacts (suite circuits, optimized versions)
+that later runs reuse.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return run

@@ -1,0 +1,158 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+All on the smallest suite circuit (syn1423):
+
+* **K sweep** (4-7): the paper found K=5,6 best and K=7 often inferior;
+* **permutation budget** (25 vs 200): identification quality vs cost;
+* **OFF-set identification on/off** (Section 5 uses both polarities);
+* **path tiebreak on/off** for Procedure 2 (step 2(c) of the paper).
+"""
+
+import pytest
+
+from repro.analysis import count_paths
+from repro.experiments import original_circuit, render_table
+from repro.netlist import two_input_gate_count
+from repro.resynth import procedure2
+from repro.resynth.procedures import _select_for_gates, _run
+
+CIRCUIT = "syn1423"
+
+
+def test_k_sweep(once):
+    base = original_circuit(CIRCUIT)
+
+    def sweep():
+        rows = []
+        for k in (4, 5, 6, 7):
+            rep = procedure2(base, k=k)
+            rows.append((k, rep.gates_after, rep.paths_after,
+                         rep.replacements))
+        return rows
+
+    rows = once(sweep)
+    print("\n" + render_table(
+        ["K", "2-inp after", "paths after", "replacements"], rows,
+        title=f"Ablation: K sweep on {CIRCUIT} "
+              f"(orig {two_input_gate_count(base)} gates, "
+              f"{count_paths(base):,} paths)",
+    ))
+    by_k = {k: (g, p) for k, g, p, _ in rows}
+    # K >= 5 must do at least as well as K=4 on gates
+    assert by_k[5][0] <= by_k[4][0]
+    assert by_k[6][0] <= by_k[4][0]
+    # every K reduces paths
+    assert all(p < count_paths(base) for _, _, p, _ in rows)
+
+
+def test_perm_budget(once):
+    base = original_circuit(CIRCUIT)
+
+    def sweep():
+        rows = []
+        for budget in (25, 200):
+            rep = procedure2(base, k=5, perm_budget=budget)
+            rows.append((budget, rep.gates_after, rep.paths_after))
+        return rows
+
+    rows = once(sweep)
+    print("\n" + render_table(
+        ["perm budget", "2-inp after", "paths after"], rows,
+        title=f"Ablation: identification permutation budget on {CIRCUIT}",
+    ))
+    # A larger budget widens every cone's candidate pool, but the global
+    # greedy is not monotone in it (a better local choice can steer later
+    # passes differently), so allow a whisker of slack either way.
+    assert rows[1][1] <= rows[0][1] + 3
+
+
+def test_offset_identification(once):
+    base = original_circuit(CIRCUIT)
+
+    def run():
+        import repro.resynth.replace as replace_mod
+        from repro.comparison import identify_comparison
+
+        on_off = procedure2(base, k=5)
+
+        original_identify = replace_mod.identify_comparison
+
+        def on_only(table, variables, **kwargs):
+            kwargs["try_offset"] = False
+            return identify_comparison(table, variables, **kwargs)
+
+        replace_mod.identify_comparison = on_only
+        try:
+            on_only_rep = procedure2(base, k=5)
+        finally:
+            replace_mod.identify_comparison = original_identify
+        return on_off, on_only_rep
+
+    both, on_only = once(run)
+    print("\n" + render_table(
+        ["identification", "2-inp after", "paths after"],
+        [("ON + OFF sets (paper)", both.gates_after, both.paths_after),
+         ("ON set only", on_only.gates_after, on_only.paths_after)],
+        title=f"Ablation: complemented-unit identification on {CIRCUIT}",
+    ))
+    # using both polarities can only widen the candidate pool
+    assert both.gates_after <= on_only.gates_after + 2
+
+
+def test_exact_identification(once):
+    """Sampled (paper) vs exact identification inside Procedure 2.
+
+    The 200-permutation sampling provably misses some 6-input comparison
+    functions; the exact decision procedure (Section 3.4's omitted
+    reformulation) closes that gap, so results can only improve.
+    """
+    base = original_circuit(CIRCUIT)
+
+    def run():
+        sampled = procedure2(base, k=6)
+        exact = procedure2(base, k=6, exact=True)
+        return sampled, exact
+
+    sampled, exact = once(run)
+    print("\n" + render_table(
+        ["identification", "2-inp after", "paths after", "replacements"],
+        [("200-permutation sampling (paper)", sampled.gates_after,
+          sampled.paths_after, sampled.replacements),
+         ("sampling + exact fallback", exact.gates_after,
+          exact.paths_after, exact.replacements)],
+        title=f"Ablation: exact comparison-function identification on "
+              f"{CIRCUIT} (K=6)",
+    ))
+    assert exact.gates_after <= sampled.gates_after
+
+
+def test_path_tiebreak(once):
+    base = original_circuit(CIRCUIT)
+
+    def no_tiebreak(options, current_paths):
+        if not options:
+            return None
+        best = min(options, key=lambda o: (-o.gate_gain, o.cone.n_gates,
+                                           o.spec.describe() if o.spec
+                                           else ""))
+        if best.gate_gain > 0:
+            return best
+        return None
+
+    def run():
+        with_tb = procedure2(base, k=5)
+        without_tb = _run(base, no_tiebreak, "gates-no-tiebreak", 5, 200, 0,
+                          10, 0)
+        return with_tb, without_tb
+
+    with_tb, without_tb = once(run)
+    print("\n" + render_table(
+        ["selection", "2-inp after", "paths after"],
+        [("max gain, min paths (paper)", with_tb.gates_after,
+          with_tb.paths_after),
+         ("max gain only", without_tb.gates_after,
+          without_tb.paths_after)],
+        title=f"Ablation: Procedure 2 path tiebreak on {CIRCUIT}",
+    ))
+    # the tiebreak never hurts the path count
+    assert with_tb.paths_after <= without_tb.paths_after

@@ -1,0 +1,43 @@
+"""Section 4.3 benchmark: the combined gates+paths measure.
+
+The paper exhibits only the extreme points (Procedures 2 and 3) and notes
+that intermediate points are reachable by a combined measure.  We sweep
+the gate weight and check the solution-space geometry: the combined runs
+land between the extremes, and both extremes dominate their own metric.
+"""
+
+from repro.experiments import original_circuit, render_table
+from repro.resynth import combined_procedure, procedure2, procedure3
+
+CIRCUIT = "syn1423"
+K = 5
+
+
+def test_combined_measure(once):
+    base = original_circuit(CIRCUIT)
+
+    def sweep():
+        rows = []
+        p2 = procedure2(base, k=K)
+        rows.append(("Procedure 2", p2.gates_after, p2.paths_after))
+        for weight in (50.0, 5.0, 0.5):
+            rep = combined_procedure(base, gate_weight=weight, k=K)
+            rows.append((f"combined w={weight}", rep.gates_after,
+                         rep.paths_after))
+        p3 = procedure3(base, k=K)
+        rows.append(("Procedure 3", p3.gates_after, p3.paths_after))
+        return rows, p2, p3
+
+    rows, p2, p3 = once(sweep)
+    print("\n" + render_table(
+        ["objective", "2-inp after", "paths after"], rows,
+        title=f"Section 4.3: solution-space sweep on {CIRCUIT} (K={K})",
+    ))
+
+    # Procedure 2 has the best gate count of the sweep...
+    assert p2.gates_after == min(g for _, g, _ in rows)
+    # ...Procedure 3 the best path count...
+    assert p3.paths_after == min(p for _, _, p in rows)
+    # ...and every combined point improves on doing nothing.
+    for label, gates, paths in rows:
+        assert paths <= p2.paths_before

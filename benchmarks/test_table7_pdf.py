@@ -1,0 +1,36 @@
+"""Table 7 benchmark: robust PDF detection by random patterns (syn13207).
+
+Reproduction targets (the paper's strongest claim):
+* the modification removes path delay faults (total fault count drops a
+  lot) while the *detected* count does not collapse — so most of the
+  removed faults were ones random patterns never detected anyway;
+* consequently the robust PDF coverage rises significantly, on both the
+  original-derived and the RAMBO_C-derived circuit pair.
+"""
+
+from repro.experiments import table7
+
+BUDGET = 16_000
+PLATEAU = 4_000
+
+
+def test_table7(once):
+    res = once(table7, max_patterns=BUDGET, plateau_window=PLATEAU)
+    print("\n" + res.render())
+    assert len(res.rows) == 2
+
+    for r in res.rows:
+        undetected_before = r.faults_orig - r.detected_orig
+        undetected_after = r.faults_modified - r.detected_modified
+        delta_faults = r.faults_orig - r.faults_modified
+        # the modification removed faults
+        assert delta_faults > 0, r.version
+        # ...and removed *more undetected* faults than total faults pro
+        # rata: coverage increases
+        cov_before = r.detected_orig / max(r.faults_orig, 1)
+        cov_after = r.detected_modified / max(r.faults_modified, 1)
+        assert cov_after > cov_before, r.version
+        # "the number of undetected faults was reduced by more than
+        # Delta" is the paper's phrasing when detections also grew; the
+        # robust form of the claim is the undetected count dropping:
+        assert undetected_after < undetected_before, r.version

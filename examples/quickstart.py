@@ -1,0 +1,69 @@
+"""Quickstart: identify a comparison function, build its unit, resynthesize.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import count_paths, internal_path_counts
+from repro.comparison import build_unit, identify_comparison, best_spec
+from repro.netlist import CircuitBuilder, two_input_gate_count
+from repro.resynth import procedure2, procedure3
+from repro.sim import truth_table, tt_minterms
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A function given as a sum of products (the paper's f2).
+    # ------------------------------------------------------------------
+    b = CircuitBuilder("f2")
+    y1, y2, y3, y4 = b.inputs("y1", "y2", "y3", "y4")
+
+    def minterm(bits):
+        lits = [y if bit else b.NOT(y)
+                for y, bit in zip((y1, y2, y3, y4), bits)]
+        return b.AND(*lits)
+
+    terms = [minterm(bits) for bits in [
+        (0, 0, 0, 1), (0, 1, 0, 1), (0, 1, 1, 0),
+        (1, 0, 0, 1), (1, 0, 1, 0), (1, 1, 1, 0),
+    ]]
+    f2 = b.OR(*terms, name="f2")
+    b.outputs(f2)
+    circuit = b.build()
+
+    table = truth_table(circuit)
+    print("f2 ON-set minterms:", tt_minterms(table, 4))
+
+    # ------------------------------------------------------------------
+    # 2. Is it a comparison function?  (Definition 1 / Section 3.4)
+    # ------------------------------------------------------------------
+    result = identify_comparison(table, ["y1", "y2", "y3", "y4"])
+    print(f"comparison function: {result.found} "
+          f"({len(result.specs)} realizations, "
+          f"{result.permutations_tried} permutations tried)")
+    spec, cost = best_spec(result.specs)
+    print("best realization:", spec.describe())
+    print(f"  free variables: {spec.free_inputs}  "
+          f"L_F={spec.suffix_lower} U_F={spec.suffix_upper}")
+
+    # ------------------------------------------------------------------
+    # 3. Build the comparison unit (Figure 1) and compare implementations.
+    # ------------------------------------------------------------------
+    unit = build_unit(spec)
+    print(f"SOP implementation:  {two_input_gate_count(circuit):3d} "
+          f"2-input gates, {count_paths(circuit):3d} paths")
+    print(f"comparison unit:     {two_input_gate_count(unit):3d} "
+          f"2-input gates, {count_paths(unit):3d} paths")
+    print("paths per input through the unit:",
+          internal_path_counts(unit))
+
+    # ------------------------------------------------------------------
+    # 4. Let the resynthesis procedures do it automatically (Section 4).
+    # ------------------------------------------------------------------
+    for proc, label in ((procedure2, "Procedure 2 (gates)"),
+                        (procedure3, "Procedure 3 (paths)")):
+        report = proc(circuit, k=6, verify_patterns=256)
+        print(f"{label}: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

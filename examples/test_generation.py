@@ -1,0 +1,70 @@
+"""Test generation showcase: compact stuck-at sets and robust PDF tests.
+
+Generates (1) a compacted complete stuck-at test set and (2) deterministic
+robust two-pattern tests for sampled path delay faults, for a suite
+circuit before and after Procedure 2 — demonstrating that the resynthesis
+keeps complete stuck-at coverage while making path faults easier to test.
+
+Usage:  python examples/test_generation.py [SUITE_NAME]
+"""
+
+import argparse
+import sys
+
+from repro.analysis import sample_paths
+from repro.atpg import generate_test_set
+from repro.benchcircuits.suite import suite_circuit, suite_names
+from repro.experiments import render_table
+from repro.pdf import PdfAtpgStatus, robust_pdf_test
+from repro.resynth import procedure2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("circuit", nargs="?", default="syn1423",
+                        choices=suite_names())
+    parser.add_argument("--k", type=int, default=5)
+    parser.add_argument("--pdf-samples", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    original = suite_circuit(args.circuit)
+    print(f"running Procedure 2 (K={args.k}) on {args.circuit}...")
+    modified = procedure2(original, k=args.k).circuit
+
+    print("\nstuck-at test generation (random + PODEM + compaction):")
+    rows = []
+    for label, c in (("original", original), ("modified", modified)):
+        ts = generate_test_set(c, seed=3)
+        rows.append((
+            label, ts.total_faults, len(ts.patterns),
+            f"{100 * ts.fault_coverage:.2f}%", ts.untestable, ts.aborted,
+        ))
+    print(render_table(
+        ["version", "faults", "tests", "coverage", "untestable", "aborted"],
+        rows,
+    ))
+
+    print("\ndeterministic robust PDF test generation (sampled faults):")
+    rows = []
+    for label, c in (("original", original), ("modified", modified)):
+        found = proved = unresolved = 0
+        for i, path in enumerate(sample_paths(c, args.pdf_samples, seed=11)):
+            res = robust_pdf_test(c, path, rising=(i % 2 == 0),
+                                  max_backtracks=500)
+            if res.status is PdfAtpgStatus.TESTABLE:
+                found += 1
+            elif res.status is PdfAtpgStatus.UNTESTABLE:
+                proved += 1
+            else:
+                unresolved += 1
+        rows.append((label, args.pdf_samples, found, proved, unresolved))
+    print(render_table(
+        ["version", "sampled faults", "test found", "proved untestable",
+         "unresolved"],
+        rows,
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

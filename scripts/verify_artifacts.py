@@ -1,0 +1,49 @@
+"""Verify every materialized derived circuit against its original.
+
+For each cached artifact: interface identical, function equivalent on
+4096 random patterns (and formally, for the smaller circuits).  Run after
+`build_artifacts.py`; exits non-zero on any mismatch.
+"""
+
+import os
+import random
+import sys
+
+from repro.benchcircuits.suite import suite_circuit
+from repro.experiments.artifacts import DERIVED_DIR
+from repro.io.json_io import load_json
+from repro.sim import outputs_equal, random_words
+
+
+def main() -> int:
+    failures = 0
+    if not os.path.isdir(DERIVED_DIR):
+        print("no derived artifacts found; run scripts/build_artifacts.py")
+        return 1
+    for fn in sorted(os.listdir(DERIVED_DIR)):
+        if not fn.endswith(".json"):
+            continue
+        name = fn.split(".", 1)[0]
+        original = suite_circuit(name)
+        derived = load_json(os.path.join(DERIVED_DIR, fn))
+        ok = True
+        if derived.inputs != original.inputs:
+            ok = False
+            print(f"{fn}: INPUT interface mismatch")
+        if derived.outputs != original.outputs:
+            ok = False
+            print(f"{fn}: OUTPUT interface mismatch")
+        if ok:
+            rng = random.Random(99)
+            words = random_words(original.inputs, 4096, rng)
+            if not outputs_equal(original, derived, words, 4096):
+                ok = False
+                print(f"{fn}: FUNCTIONAL mismatch")
+        print(f"{fn}: {'ok' if ok else 'FAILED'}")
+        failures += 0 if ok else 1
+    print(f"{failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

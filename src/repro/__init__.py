@@ -1,0 +1,52 @@
+"""repro: reproduction of Pomeranz & Reddy, DAC 1995.
+
+"On Synthesis-for-Testability of Combinational Logic Circuits": comparison
+functions, comparison units, and resynthesis procedures that reduce gate and
+path counts while improving path-delay-fault testability.
+
+Public API highlights
+---------------------
+- :class:`repro.netlist.Circuit` and :class:`repro.netlist.CircuitBuilder`
+- :func:`repro.io.read_bench` / :func:`repro.io.write_bench`
+- :func:`repro.analysis.count_paths` (Procedure 1)
+- :class:`repro.comparison.ComparisonSpec`, :func:`repro.comparison.identify_comparison`,
+  :func:`repro.comparison.build_unit` (Section 3)
+- :func:`repro.resynth.procedure2` / :func:`repro.resynth.procedure3` (Section 4)
+- :mod:`repro.faults`, :mod:`repro.atpg`, :mod:`repro.pdf` testability substrates
+- :mod:`repro.experiments` drivers that regenerate every paper table
+"""
+
+__version__ = "1.0.0"
+
+from . import netlist  # noqa: F401
+from . import io  # noqa: F401
+from . import sim  # noqa: F401
+from . import analysis  # noqa: F401
+from . import comparison  # noqa: F401
+from . import faults  # noqa: F401
+from . import atpg  # noqa: F401
+from . import pdf  # noqa: F401
+from . import resynth  # noqa: F401
+from . import baselines  # noqa: F401
+from . import techmap  # noqa: F401
+from . import benchcircuits  # noqa: F401
+from . import scan  # noqa: F401
+from . import bdd  # noqa: F401
+
+__all__ = [
+    "analysis",
+    "atpg",
+    "baselines",
+    "bdd",
+    "benchcircuits",
+    "comparison",
+    "faults",
+    "io",
+    "netlist",
+    "pdf",
+    "resynth",
+    "scan",
+    "sim",
+    "techmap",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Structural analyses: path counting (Procedure 1), path enumeration, cones."""
+
+from .cones import (
+    Cone,
+    cone_inputs,
+    extract_subcircuit,
+    make_cone,
+    removable_members,
+    shared_members,
+    single_gate_cone,
+)
+from .paths import (
+    count_paths,
+    enumerate_paths,
+    internal_path_counts,
+    iter_paths,
+    longest_path_length,
+    path_labels,
+    paths_to_net,
+    sample_paths,
+)
+
+__all__ = [
+    "Cone",
+    "cone_inputs",
+    "count_paths",
+    "enumerate_paths",
+    "extract_subcircuit",
+    "internal_path_counts",
+    "iter_paths",
+    "longest_path_length",
+    "make_cone",
+    "path_labels",
+    "paths_to_net",
+    "removable_members",
+    "sample_paths",
+    "shared_members",
+    "single_gate_cone",
+]

@@ -1,0 +1,182 @@
+"""Path counting and path enumeration.
+
+:func:`path_labels` implements Procedure 1 of the paper: every line ``g``
+gets a label ``N_p(g)`` equal to the number of paths from the primary inputs
+to ``g``.  Primary inputs get label 1, a gate output the sum of its fanin
+labels, and a fanout branch the label of its stem (implicit in our model:
+each reader sums the stem's label once per pin).  The total path count is the
+sum of primary-output labels.
+
+Constants carry label 0: no input-to-output path passes through them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, GateType
+
+
+def path_labels(circuit: Circuit) -> Dict[str, int]:
+    """Procedure 1 labels: net -> number of PI-to-net paths."""
+    labels: Dict[str, int] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            labels[net] = 1
+        elif gate.gtype in (GateType.CONST0, GateType.CONST1):
+            labels[net] = 0
+        else:
+            labels[net] = sum(labels[f] for f in gate.fanins)
+    return labels
+
+
+def count_paths(circuit: Circuit) -> int:
+    """Total number of PI-to-PO paths (Procedure 1, Step 5).
+
+    Each entry in the primary-output list is a distinct observation point,
+    so a net listed as an output twice contributes its label twice.
+    """
+    labels = path_labels(circuit)
+    return sum(labels[o] for o in circuit.outputs)
+
+
+def paths_to_net(circuit: Circuit, net: str) -> int:
+    """Number of PI-to-*net* paths (the label ``N_p(net)``)."""
+    return path_labels(circuit)[net]
+
+
+def internal_path_counts(subcircuit: Circuit) -> Dict[str, int]:
+    """``K_p`` values: paths from each subcircuit input to its single output.
+
+    *subcircuit* must be a standalone single-output circuit (as produced by
+    :func:`repro.analysis.cones.extract_subcircuit`).  The result maps each
+    primary input to the number of distinct paths from it to the output —
+    the quantity the Section 2 example calls ``K_p(g_i)``.
+    """
+    outs = subcircuit.outputs
+    if len(set(outs)) != 1:
+        raise ValueError("internal_path_counts needs a single-output circuit")
+    output = outs[0]
+    # Count paths from the output backwards: R(net) = paths net -> output.
+    order = subcircuit.topological_order()
+    reach: Dict[str, int] = {n: 0 for n in order}
+    reach[output] = 1
+    fo = subcircuit.fanout_map()
+    for net in reversed(order):
+        if net == output:
+            continue
+        reach[net] = 0
+        # fanout_map lists a reader once per pin, so summing over it counts
+        # each input pin (fanout branch) separately, as Procedure 1 requires.
+        for reader in fo.get(net, ()):
+            reach[net] += reach[reader]
+    return {pi: reach[pi] for pi in subcircuit.inputs}
+
+
+def enumerate_paths(
+    circuit: Circuit,
+    limit: Optional[int] = None,
+    from_output: Optional[str] = None,
+) -> List[Tuple[str, ...]]:
+    """Enumerate PI-to-PO paths as tuples of net names, inputs first.
+
+    A path is a sequence of nets ``(pi, ..., po)`` where each consecutive
+    pair is a gate input pin feeding the gate's output.  With fanout, a net
+    may repeat across paths but not within one (the circuit is a DAG).
+
+    Parameters
+    ----------
+    limit:
+        Stop after this many paths (None = unbounded; use with care).
+    from_output:
+        Restrict to paths ending at this primary output.
+    """
+    outputs = (
+        [from_output] if from_output is not None else list(circuit.outputs)
+    )
+    paths: List[Tuple[str, ...]] = []
+
+    def walk(net: str, suffix: List[str]) -> bool:
+        suffix.append(net)
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            paths.append(tuple(reversed(suffix)))
+            suffix.pop()
+            return limit is not None and len(paths) >= limit
+        for f in gate.fanins:
+            if walk(f, suffix):
+                suffix.pop()
+                return True
+        suffix.pop()
+        return False
+
+    for po in outputs:
+        if walk(po, []):
+            break
+    return paths
+
+
+def iter_paths(circuit: Circuit) -> Iterator[Tuple[str, ...]]:
+    """Lazily iterate over all PI-to-PO paths (inputs first)."""
+
+    def walk(net: str, suffix: List[str]) -> Iterator[Tuple[str, ...]]:
+        suffix.append(net)
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            yield tuple(reversed(suffix))
+        else:
+            for f in gate.fanins:
+                yield from walk(f, suffix)
+        suffix.pop()
+
+    for po in circuit.outputs:
+        yield from walk(po, [])
+
+
+def longest_path_length(circuit: Circuit) -> int:
+    """Number of gates on the longest PI-to-PO path (excludes PI pseudo-gates)."""
+    return circuit.depth()
+
+
+def sample_paths(
+    circuit: Circuit, n: int, seed: int = 0
+) -> List[Tuple[str, ...]]:
+    """Sample *n* paths uniformly at random (with replacement).
+
+    Uniformity over the full path population comes from the Procedure 1
+    labels: a primary output is chosen proportionally to its label, then
+    the path walks backwards choosing each fanin proportionally to *its*
+    label — every complete path has probability ``1 / total_paths``.
+    Useful for profiling path populations too large to enumerate.
+    """
+    import random as _random
+
+    labels = path_labels(circuit)
+    weights = [labels[o] for o in circuit.outputs]
+    total = sum(weights)
+    if total == 0:
+        return []
+    rng = _random.Random(seed)
+    paths: List[Tuple[str, ...]] = []
+    for _ in range(n):
+        r = rng.randrange(total)
+        for po, w in zip(circuit.outputs, weights):
+            if r < w:
+                break
+            r -= w
+        rev = [po]
+        net = po
+        while circuit.gate(net).gtype is not GateType.INPUT:
+            fanins = circuit.gate(net).fanins
+            fw = [labels[f] for f in fanins]
+            s = sum(fw)
+            pick = rng.randrange(s)
+            for f, w2 in zip(fanins, fw):
+                if pick < w2:
+                    break
+                pick -= w2
+            rev.append(f)
+            net = f
+        paths.append(tuple(reversed(rev)))
+    return paths

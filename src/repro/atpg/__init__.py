@@ -1,0 +1,33 @@
+"""Stuck-at ATPG: PODEM, untestability proofs, redundancy removal."""
+
+from .podem import (
+    PodemEngine,
+    PodemResult,
+    PodemStatus,
+    eval_gate3,
+    podem,
+)
+from .testgen import TestSet, generate_test_set, verify_test_set
+from .redundancy import (
+    FaultClassification,
+    RedundancyRemovalReport,
+    classify_faults,
+    is_irredundant,
+    remove_redundancies,
+)
+
+__all__ = [
+    "FaultClassification",
+    "PodemEngine",
+    "PodemResult",
+    "PodemStatus",
+    "RedundancyRemovalReport",
+    "TestSet",
+    "classify_faults",
+    "eval_gate3",
+    "generate_test_set",
+    "is_irredundant",
+    "podem",
+    "remove_redundancies",
+    "verify_test_set",
+]

@@ -1,0 +1,412 @@
+"""PODEM test generation for single stuck-at faults.
+
+A classical complete PODEM: decisions are made only on primary inputs,
+guided by backtrace from objectives (fault activation first, then D-drive
+through the D-frontier), with three-valued implication of both the good and
+the faulty machine and an X-path check for early pruning.  Because the
+search branches only on PI values and explores both, exhausting it proves
+untestability — which is exactly what redundancy identification and removal
+(:mod:`repro.atpg.redundancy`) need.
+
+Composite values follow the 5-valued D-calculus: a net is *determined* only
+when both machines are determined; it carries a D when both are determined
+and differ.  Search-space pruning (returning "no test under this partial
+assignment") happens only on sound conditions — activation impossible,
+D-frontier empty after activation, no X-path — so exhausting the search
+soundly proves untestability.
+
+For speed the engine works on integer-indexed arrays and restricts
+implication to the fault's *region*: the transitive fanin of the primary
+outputs reachable from the fault site (values elsewhere cannot influence
+detection of this fault).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netlist import Circuit, GateType
+from ..faults import StuckFault
+
+#: Three-valued logic: 0, 1, X.
+X = 2
+
+_AND_LIKE = (GateType.AND, GateType.NAND)
+_OR_LIKE = (GateType.OR, GateType.NOR)
+_XOR_LIKE = (GateType.XOR, GateType.XNOR)
+_INVERTING = (GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT)
+
+
+def eval_gate3(gtype: GateType, values: Sequence[int]) -> int:
+    """Three-valued gate evaluation (public reference semantics)."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        v = values[0]
+        return X if v == X else 1 - v
+    if gtype in _AND_LIKE:
+        out = 1
+        for v in values:
+            if v == 0:
+                out = 0
+                break
+            if v == X:
+                out = X
+        if gtype is GateType.NAND and out != X:
+            out = 1 - out
+        return out
+    if gtype in _OR_LIKE:
+        out = 0
+        for v in values:
+            if v == 1:
+                out = 1
+                break
+            if v == X:
+                out = X
+        if gtype is GateType.NOR and out != X:
+            out = 1 - out
+        return out
+    if gtype in _XOR_LIKE:
+        out = 0
+        for v in values:
+            if v == X:
+                return X
+            out ^= v
+        if gtype is GateType.XNOR:
+            out = 1 - out
+        return out
+    raise ValueError(f"cannot evaluate {gtype!r}")
+
+
+class PodemStatus(enum.Enum):
+    """Outcome of a PODEM run."""
+
+    TESTABLE = "testable"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    """PODEM outcome: status, the test (if any), and search effort."""
+
+    status: PodemStatus
+    test: Optional[Dict[str, int]]
+    backtracks: int
+
+    @property
+    def found(self) -> bool:
+        """True when a test was generated."""
+        return self.status is PodemStatus.TESTABLE
+
+
+class _Abort(Exception):
+    pass
+
+
+class PodemEngine:
+    """PODEM search engine for one circuit (reusable across faults)."""
+
+    def __init__(self, circuit: Circuit, max_backtracks: int = 20_000) -> None:
+        self.circuit = circuit
+        self.max_backtracks = max_backtracks
+        topo = circuit.topological_order()
+        self._names = topo
+        self._id = {n: i for i, n in enumerate(topo)}
+        n = len(topo)
+        self._gtype: List[GateType] = [circuit.gate(nm).gtype for nm in topo]
+        self._fanins: List[Tuple[int, ...]] = [
+            tuple(self._id[f] for f in circuit.gate(nm).fanins) for nm in topo
+        ]
+        fan: List[List[int]] = [[] for _ in range(n)]
+        for i, fi in enumerate(self._fanins):
+            for f in fi:
+                fan[f].append(i)
+        self._readers = [tuple(r) for r in fan]
+        self._levels_by_id = [0] * n
+        lv = circuit.levels()
+        for nm, i in self._id.items():
+            self._levels_by_id[i] = lv[nm]
+        self._is_output = [False] * n
+        for o in circuit.output_set:
+            self._is_output[self._id[o]] = True
+        self._pi_ids = [self._id[p] for p in circuit.inputs]
+
+    # -- per-fault region ----------------------------------------------------
+
+    def _region(self, site: int) -> Tuple[List[int], List[int]]:
+        """(region topo order, reachable POs) for a fault at net id *site*."""
+        cone: Set[int] = set()
+        stack = [site]
+        while stack:
+            i = stack.pop()
+            if i in cone:
+                continue
+            cone.add(i)
+            stack.extend(self._readers[i])
+        pos = [i for i in cone if self._is_output[i]]
+        region: Set[int] = set()
+        stack = list(pos)
+        while stack:
+            i = stack.pop()
+            if i in region:
+                continue
+            region.add(i)
+            stack.extend(self._fanins[i])
+        region.add(site)
+        # ids were assigned in topological order, so sorting is topo order
+        return sorted(region), pos
+
+    # -- search ----------------------------------------------------------------
+
+    def run(self, fault: StuckFault) -> PodemResult:
+        """Generate a test for *fault* or prove it untestable."""
+        if fault.net not in self.circuit:
+            raise ValueError(f"fault net {fault.net!r} not in circuit")
+        site = self._id[fault.net]
+        reader_id = self._id[fault.reader] if fault.is_branch else -1
+        fault_pin = fault.pin if fault.is_branch else -1
+        fault_value = fault.value
+        region, pos = self._region(
+            reader_id if fault.is_branch else site
+        )
+        if not pos:
+            return PodemResult(PodemStatus.UNTESTABLE, None, 0)
+        region_set = set(region)
+
+        n = len(self._names)
+        good = [X] * n
+        bad = [X] * n
+        assignment: Dict[int, int] = {}
+        gtypes = self._gtype
+        fanins = self._fanins
+        levels = self._levels_by_id
+
+        # Opcodes for the imply hot loop: 0 INPUT, 1 CONST0, 2 CONST1,
+        # 3 BUF, 4 NOT, 5 AND, 6 NAND, 7 OR, 8 NOR, 9 XOR, 10 XNOR.
+        _OPS = {
+            GateType.INPUT: 0, GateType.CONST0: 1, GateType.CONST1: 2,
+            GateType.BUF: 3, GateType.NOT: 4, GateType.AND: 5,
+            GateType.NAND: 6, GateType.OR: 7, GateType.NOR: 8,
+            GateType.XOR: 9, GateType.XNOR: 10,
+        }
+        ops = [_OPS[gtypes[i]] for i in range(n)]
+
+        def _eval3(op: int, fi, values) -> int:
+            if op == 5 or op == 6:
+                v = 1
+                for f in fi:
+                    a = values[f]
+                    if a == 0:
+                        v = 0
+                        break
+                    if a == 2:
+                        v = 2
+                if op == 6 and v != 2:
+                    v = 1 - v
+                return v
+            if op == 7 or op == 8:
+                v = 0
+                for f in fi:
+                    a = values[f]
+                    if a == 1:
+                        v = 1
+                        break
+                    if a == 2:
+                        v = 2
+                if op == 8 and v != 2:
+                    v = 1 - v
+                return v
+            if op == 3:
+                return values[fi[0]]
+            if op == 4:
+                a = values[fi[0]]
+                return a if a == 2 else 1 - a
+            if op == 9 or op == 10:
+                v = 0
+                for f in fi:
+                    a = values[f]
+                    if a == 2:
+                        return 2
+                    v ^= a
+                if op == 10:
+                    v = 1 - v
+                return v
+            return 0 if op == 1 else 1  # constants
+
+        def imply() -> None:
+            for i in region:
+                op = ops[i]
+                if op == 0:
+                    v = assignment.get(i, X)
+                    good[i] = v
+                    bad[i] = v
+                    if i == site and not fault.is_branch:
+                        bad[i] = fault_value
+                    continue
+                fi = fanins[i]
+                good[i] = _eval3(op, fi, good)
+                if i == reader_id:
+                    bvals = [
+                        fault_value if k == fault_pin else bad[f]
+                        for k, f in enumerate(fi)
+                    ]
+                    bad[i] = eval_gate3(gtypes[i], bvals)
+                else:
+                    bad[i] = _eval3(op, fi, bad)
+                if i == site and not fault.is_branch:
+                    bad[i] = fault_value
+
+        def detected() -> bool:
+            for o in pos:
+                g, b = good[o], bad[o]
+                if g != X and b != X and g != b:
+                    return True
+            return False
+
+        def d_frontier(activated: bool) -> List[int]:
+            frontier = []
+            for i in region:
+                if good[i] != X and bad[i] != X:
+                    continue
+                gt = gtypes[i]
+                if gt is GateType.INPUT:
+                    continue
+                has_d = False
+                for f in fanins[i]:
+                    if good[f] != X and bad[f] != X and good[f] != bad[f]:
+                        has_d = True
+                        break
+                if has_d or (activated and i == reader_id):
+                    frontier.append(i)
+            return frontier
+
+        def x_path_exists(frontier: List[int]) -> bool:
+            seen: Set[int] = set()
+            stack = list(frontier)
+            while stack:
+                i = stack.pop()
+                if i in seen:
+                    continue
+                seen.add(i)
+                if self._is_output[i]:
+                    return True
+                for r in self._readers[i]:
+                    if r not in seen and r in region_set and (
+                        good[r] == X or bad[r] == X
+                    ):
+                        stack.append(r)
+            return False
+
+        def objective(frontier: List[int]) -> Optional[Tuple[int, int]]:
+            gate_i = max(frontier, key=levels.__getitem__)
+            gt = gtypes[gate_i]
+            for f in fanins[gate_i]:
+                if good[f] == X or bad[f] == X:
+                    if gt in _AND_LIKE:
+                        return (f, 1)
+                    return (f, 0)
+            return None
+
+        def backtrace(i: int, value: int) -> Optional[Tuple[int, int]]:
+            v = value
+            while True:
+                gt = gtypes[i]
+                if gt is GateType.INPUT:
+                    return (i, v)
+                if gt in (GateType.CONST0, GateType.CONST1):
+                    return None
+                if gt is GateType.BUF:
+                    i = fanins[i][0]
+                    continue
+                if gt is GateType.NOT:
+                    i = fanins[i][0]
+                    v = 1 - v
+                    continue
+                core = (1 - v) if gt in _INVERTING else v
+                x_fanins = [
+                    f for f in fanins[i] if good[f] == X or bad[f] == X
+                ]
+                if not x_fanins:
+                    return None
+                if gt in _AND_LIKE:
+                    if core == 1:
+                        i = max(x_fanins, key=levels.__getitem__)
+                        v = 1
+                    else:
+                        i = min(x_fanins, key=levels.__getitem__)
+                        v = 0
+                elif gt in _OR_LIKE:
+                    if core == 0:
+                        i = max(x_fanins, key=levels.__getitem__)
+                        v = 0
+                    else:
+                        i = min(x_fanins, key=levels.__getitem__)
+                        v = 1
+                else:  # XOR family
+                    known = sum(
+                        good[f] for f in fanins[i] if good[f] != X
+                    )
+                    nxt = x_fanins[0]
+                    v = (core ^ (known & 1)) & 1 if len(x_fanins) == 1 else 0
+                    i = nxt
+
+        self._backtracks = 0
+
+        def search() -> bool:
+            imply()
+            if detected():
+                return True
+            site_good = good[site]
+            if site_good == fault_value:
+                return False  # activation impossible under this assignment
+            if site_good == X:
+                obj = (site, 1 - fault_value)
+            else:
+                frontier = d_frontier(activated=True)
+                if not frontier:
+                    return False
+                if not x_path_exists(frontier):
+                    return False
+                obj = objective(frontier)
+                if obj is None:
+                    return False
+            decision = backtrace(obj[0], obj[1])
+            if decision is None:
+                return False
+            pi, v = decision
+            for candidate in (v, 1 - v):
+                assignment[pi] = candidate
+                if search():
+                    return True
+                del assignment[pi]
+                self._backtracks += 1
+                if self._backtracks > self.max_backtracks:
+                    raise _Abort()
+            return False
+
+        try:
+            if search():
+                test = {
+                    self._names[i]: assignment.get(i, 0)
+                    for i in self._pi_ids
+                }
+                return PodemResult(
+                    PodemStatus.TESTABLE, test, self._backtracks
+                )
+            return PodemResult(PodemStatus.UNTESTABLE, None, self._backtracks)
+        except _Abort:
+            return PodemResult(PodemStatus.ABORTED, None, self._backtracks)
+
+
+def podem(
+    circuit: Circuit, fault: StuckFault, max_backtracks: int = 20_000
+) -> PodemResult:
+    """One-shot PODEM run (see :class:`PodemEngine`)."""
+    return PodemEngine(circuit, max_backtracks).run(fault)

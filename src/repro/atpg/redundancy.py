@@ -1,0 +1,186 @@
+"""Redundancy identification and removal (the role of [15] in the paper).
+
+An untestable single stuck-at fault is *redundant*: the faulty line can be
+tied to its stuck value without changing the circuit function.  Removal
+substitutes the constant (for a stem fault) or ties the single gate input
+pin (for a branch fault), then constant-propagates and sweeps; the process
+repeats until no redundant fault remains, yielding an irredundant circuit.
+
+Identification follows the standard flow: random-pattern fault simulation
+first drops the easily-testable faults, then PODEM classifies each survivor
+as testable / untestable / aborted.  Aborted faults are conservatively
+treated as (possibly) testable and never removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, simplify, substitute_with_constant
+from ..faults import StuckFault, fault_universe, random_stuck_at_campaign
+from .podem import PodemEngine, PodemResult, PodemStatus
+
+
+@dataclass
+class FaultClassification:
+    """Per-fault ATPG verdicts for one circuit."""
+
+    testable: List[StuckFault] = field(default_factory=list)
+    untestable: List[StuckFault] = field(default_factory=list)
+    aborted: List[StuckFault] = field(default_factory=list)
+    tests: Dict[StuckFault, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def is_irredundant(self) -> bool:
+        """True when no fault was proven untestable (aborts notwithstanding)."""
+        return not self.untestable
+
+
+def classify_faults(
+    circuit: Circuit,
+    faults: Optional[Sequence[StuckFault]] = None,
+    random_patterns: int = 2048,
+    seed: int = 0,
+    max_backtracks: int = 600,
+) -> FaultClassification:
+    """Classify every fault as testable / untestable / aborted.
+
+    Random-pattern simulation (with fault dropping) first; PODEM only for
+    the survivors.
+    """
+    if faults is None:
+        faults = fault_universe(circuit)
+    result = FaultClassification()
+    campaign = random_stuck_at_campaign(
+        circuit, faults, seed=seed, max_patterns=random_patterns
+    )
+    result.testable.extend(
+        f for f in faults if f in campaign.first_detection
+    )
+    engine = PodemEngine(circuit, max_backtracks)
+    for fault in campaign.undetected_faults(faults):
+        verdict = engine.run(fault)
+        if verdict.status is PodemStatus.TESTABLE:
+            result.testable.append(fault)
+            result.tests[fault] = verdict.test
+        elif verdict.status is PodemStatus.UNTESTABLE:
+            result.untestable.append(fault)
+        else:
+            result.aborted.append(fault)
+    return result
+
+
+def _remove_one(circuit: Circuit, fault: StuckFault) -> None:
+    """Apply one redundancy removal step for an untestable *fault*."""
+    if fault.is_branch:
+        const = circuit.fresh_net(f"tie{fault.value}_")
+        from ..netlist import GateType
+
+        circuit.add_gate(
+            const,
+            GateType.CONST1 if fault.value else GateType.CONST0,
+            (),
+        )
+        gate = circuit.gate(fault.reader)
+        fanins = list(gate.fanins)
+        fanins[fault.pin] = const
+        circuit.replace_gate(gate.with_fanins(tuple(fanins)))
+        simplify(circuit)
+    else:
+        substitute_with_constant(circuit, fault.net, fault.value)
+
+
+@dataclass
+class RedundancyRemovalReport:
+    """What redundancy removal did to a circuit."""
+
+    circuit: Circuit
+    removed_faults: List[StuckFault]
+    iterations: int
+    aborted_faults: int
+
+    @property
+    def any_removed(self) -> bool:
+        """True when at least one redundancy was removed."""
+        return bool(self.removed_faults)
+
+
+def _fault_site_intact(circuit: Circuit, fault: StuckFault) -> bool:
+    """Does the fault's site still exist after earlier removals?"""
+    if fault.net not in circuit:
+        return False
+    if fault.is_branch:
+        if fault.reader not in circuit:
+            return False
+        fanins = circuit.gate(fault.reader).fanins
+        return fault.pin < len(fanins) and fanins[fault.pin] == fault.net
+    return True
+
+
+def remove_redundancies(
+    circuit: Circuit,
+    random_patterns: int = 2048,
+    seed: int = 0,
+    max_backtracks: int = 600,
+    max_passes: int = 20,
+) -> RedundancyRemovalReport:
+    """Iteratively remove redundant faults; returns the modified circuit.
+
+    The circuit is copied; the input is not mutated.  Each full pass
+    classifies every fault; the proven-untestable ones are then removed one
+    at a time, each re-verified with a single PODEM run first (an earlier
+    removal can make a previously-redundant fault testable).  Passes repeat
+    until one finds no redundancy, so the fixpoint is an irredundant
+    circuit (modulo aborted faults, which are reported and never removed).
+    """
+    work = circuit.copy()
+    removed: List[StuckFault] = []
+    aborted = 0
+    passes = 0
+    while passes < max_passes:
+        passes += 1
+        verdicts = classify_faults(
+            work,
+            random_patterns=random_patterns,
+            seed=seed + passes,
+            max_backtracks=max_backtracks,
+        )
+        aborted = len(verdicts.aborted)
+        if not verdicts.untestable:
+            break
+        progress = False
+        pending = list(verdicts.untestable)
+        first = True
+        for fault in pending:
+            if not _fault_site_intact(work, fault):
+                continue
+            if first:
+                verdict_ok = True  # fresh classification is authoritative
+                first = False
+            else:
+                engine = PodemEngine(work, max_backtracks)
+                verdict_ok = (
+                    engine.run(fault).status is PodemStatus.UNTESTABLE
+                )
+            if verdict_ok:
+                _remove_one(work, fault)
+                removed.append(fault)
+                progress = True
+        if not progress:
+            break
+    work.name = circuit.name
+    return RedundancyRemovalReport(work, removed, passes, aborted)
+
+
+def is_irredundant(
+    circuit: Circuit,
+    random_patterns: int = 2048,
+    seed: int = 0,
+    max_backtracks: int = 600,
+) -> bool:
+    """True when no stuck-at fault of *circuit* is provably untestable."""
+    return classify_faults(
+        circuit, random_patterns=random_patterns, seed=seed,
+        max_backtracks=max_backtracks,
+    ).is_irredundant

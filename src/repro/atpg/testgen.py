@@ -1,0 +1,191 @@
+"""Complete stuck-at test set generation with compaction.
+
+The classical three-phase flow:
+
+1. **random phase** — seeded random patterns with fault dropping keep only
+   the random-pattern-resistant faults;
+2. **deterministic phase** — PODEM targets each survivor; every generated
+   test is fault-simulated against the remaining faults (incidental
+   detection drops them too);
+3. **compaction** — reverse-order fault simulation discards tests made
+   redundant by later ones.
+
+The result is a compact test set with provably complete coverage of the
+testable faults (untestable and aborted faults are reported separately).
+Comparison units being fully testable (Section 3), resynthesized circuits
+keep complete coverage — which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..faults import FaultSimulator, StuckFault, fault_universe
+from ..netlist import Circuit
+from ..sim.patterns import random_words
+from .podem import PodemEngine, PodemStatus
+
+Pattern = Tuple[int, ...]  # input values in circuit.inputs order
+
+
+@dataclass
+class TestSet:
+    """A generated stuck-at test set plus coverage bookkeeping."""
+
+    circuit_name: str
+    inputs: List[str]
+    patterns: List[Pattern]
+    detected: int
+    untestable: int
+    aborted: int
+    total_faults: int
+
+    @property
+    def complete(self) -> bool:
+        """True when every non-untestable, non-aborted fault is covered."""
+        return self.detected + self.untestable + self.aborted == \
+            self.total_faults
+
+    @property
+    def fault_coverage(self) -> float:
+        """Detected / total."""
+        if self.total_faults == 0:
+            return 1.0
+        return self.detected / self.total_faults
+
+    def as_assignments(self) -> List[Dict[str, int]]:
+        """Patterns as input-name dictionaries."""
+        return [dict(zip(self.inputs, p)) for p in self.patterns]
+
+
+def _pattern_word(patterns: Sequence[Pattern], inputs: Sequence[str]):
+    words = {pi: 0 for pi in inputs}
+    for p_idx, pattern in enumerate(patterns):
+        for i, pi in enumerate(inputs):
+            if pattern[i]:
+                words[pi] |= 1 << p_idx
+    return words
+
+
+def generate_test_set(
+    circuit: Circuit,
+    faults: Optional[Sequence[StuckFault]] = None,
+    random_patterns: int = 1024,
+    seed: int = 0,
+    max_backtracks: int = 5_000,
+    compact: bool = True,
+) -> TestSet:
+    """Generate a (compacted) complete stuck-at test set."""
+    if faults is None:
+        faults = fault_universe(circuit)
+    inputs = circuit.inputs
+    sim = FaultSimulator(circuit)
+    rng = random.Random(seed)
+
+    tests: List[Pattern] = []
+    remaining: List[StuckFault] = list(faults)
+
+    # Phase 1: random patterns, keeping only the effective ones.
+    applied = 0
+    batch = 64
+    while applied < random_patterns and remaining:
+        width = min(batch, random_patterns - applied)
+        words = random_words(inputs, width, rng)
+        good = sim.good_values(words, width)
+        detected_here: Dict[int, List[StuckFault]] = {}
+        survivors = []
+        for fault in remaining:
+            det = sim.detection_word(fault, good, width)
+            if det:
+                first = (det & -det).bit_length() - 1
+                detected_here.setdefault(first, []).append(fault)
+            else:
+                survivors.append(fault)
+        for p_idx in sorted(detected_here):
+            tests.append(tuple(
+                (words[pi] >> p_idx) & 1 for pi in inputs
+            ))
+        remaining = survivors
+        applied += width
+
+    # Phase 2: PODEM for the survivors, with incidental-detection dropping.
+    from collections import deque
+
+    engine = PodemEngine(circuit, max_backtracks)
+    untestable = 0
+    aborted = 0
+    queue = deque(remaining)
+    while queue:
+        fault = queue.popleft()
+        verdict = engine.run(fault)
+        if verdict.status is PodemStatus.UNTESTABLE:
+            untestable += 1
+            continue
+        if verdict.status is PodemStatus.ABORTED:
+            aborted += 1
+            continue
+        pattern = tuple(verdict.test[pi] for pi in inputs)
+        tests.append(pattern)
+        # drop everything else this test incidentally detects
+        words = _pattern_word([pattern], inputs)
+        good = sim.good_values(words, 1)
+        queue = deque(
+            f for f in queue if not sim.detection_word(f, good, 1)
+        )
+
+    detected = len(faults) - untestable - aborted
+
+    # Phase 3: reverse-order compaction.  The coverage obligation is the
+    # set of faults the full test set detects (everything else was
+    # untestable or aborted).
+    if compact and tests:
+        kept: List[Pattern] = []
+        words = _pattern_word(tests, inputs)
+        good = sim.good_values(words, len(tests))
+        todo: Set[StuckFault] = {
+            f for f in faults
+            if sim.detection_word(f, good, len(tests))
+        }
+        for pattern in reversed(tests):
+            if not todo:
+                break
+            words = _pattern_word([pattern], inputs)
+            good = sim.good_values(words, 1)
+            hits = [f for f in todo if sim.detection_word(f, good, 1)]
+            if hits:
+                kept.append(pattern)
+                todo.difference_update(hits)
+        kept.reverse()
+        tests = kept
+
+    return TestSet(
+        circuit_name=circuit.name,
+        inputs=list(inputs),
+        patterns=tests,
+        detected=detected,
+        untestable=untestable,
+        aborted=aborted,
+        total_faults=len(faults),
+    )
+
+
+def verify_test_set(
+    circuit: Circuit,
+    test_set: TestSet,
+    faults: Optional[Sequence[StuckFault]] = None,
+) -> Tuple[int, int]:
+    """Fault-simulate a test set; returns (detected, total)."""
+    if faults is None:
+        faults = fault_universe(circuit)
+    sim = FaultSimulator(circuit)
+    if not test_set.patterns:
+        return 0, len(faults)
+    words = _pattern_word(test_set.patterns, test_set.inputs)
+    good = sim.good_values(words, len(test_set.patterns))
+    detected = sum(
+        1 for f in faults
+        if sim.detection_word(f, good, len(test_set.patterns))
+    )
+    return detected, len(faults)

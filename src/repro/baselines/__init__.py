@@ -1,0 +1,5 @@
+"""Baseline optimizers: RAMBO_C-style redundancy addition and removal [1]."""
+
+from .rar import RarReport, rambo_c
+
+__all__ = ["RarReport", "rambo_c"]

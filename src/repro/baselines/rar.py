@@ -1,0 +1,304 @@
+"""RAMBO_C-style redundancy addition and removal (the paper's baseline [1]).
+
+Cheng & Entrena's RAMBO optimizes multi-level logic by *adding* a redundant
+connection (one whose stuck-at fault is untestable, so the function is
+unchanged) and then removing a target wire that the addition made
+redundant.  When the removal cascades — dead cones, follow-on
+redundancies — the circuit shrinks.  Characteristically the added
+connections create new reconvergent fanout, so the **path count often
+rises even as the gate count falls**; Table 3 of the paper turns exactly
+on this contrast with Procedure 2.
+
+This implementation searches *directedly*, like the original (which uses
+mandatory assignments), but with simulation words as the implication
+engine:
+
+1. pick a target wire ``w = (f -> G, pin)`` and compute the random-pattern
+   detection word ``D_t`` of its stuck-at-noncontrolling fault — the
+   patterns on which any test of ``w`` must operate;
+2. walk the propagation cone of ``G``; a destination gate ``G_d`` can
+   block all those tests if some source net ``s`` holds ``G_d``'s
+   controlling value on every pattern of ``D_t`` *while never flipping*
+   ``G_d``'s fault-free output on any sampled pattern (function
+   preservation, sampled);
+3. candidates passing the word filter get the real proofs: PODEM shows
+   the added wire's fault untestable (addition preserves the function),
+   then shows the target wire's fault untestable in the modified circuit;
+4. remove the target wire, run redundancy removal to harvest cascades,
+   and keep the result iff the equivalent-2-input gate count dropped.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..atpg import PodemEngine, PodemStatus, remove_redundancies
+from ..faults import FaultSimulator, StuckFault
+from ..netlist import (
+    Circuit,
+    CONTROLLED_OUTPUT,
+    CONTROLLING_VALUE,
+    GateType,
+    simplify,
+    two_input_gate_count,
+)
+from ..sim.patterns import random_words
+
+
+@dataclass
+class RarReport:
+    """Outcome of the RAR optimization."""
+
+    circuit: Circuit
+    gates_before: int
+    gates_after: int
+    additions_accepted: int
+    rounds: int
+
+    @property
+    def gate_reduction(self) -> int:
+        """Equivalent 2-input gates removed."""
+        return self.gates_before - self.gates_after
+
+
+def _noncontrolling(gt: GateType) -> Optional[int]:
+    ctrl = CONTROLLING_VALUE.get(gt)
+    if ctrl is None:
+        return None
+    return 1 - ctrl
+
+
+def _try_bundle(
+    work: Circuit,
+    target_gate: str,
+    target_pin: int,
+    dest_gate: str,
+    source: str,
+    invert: bool,
+    max_backtracks: int,
+) -> Optional[Circuit]:
+    """Prove and apply one addition+removal bundle; None on any failure."""
+    trial = work.copy()
+    dgate = trial.gate(dest_gate)
+    nc_dest = _noncontrolling(dgate.gtype)
+    if nc_dest is None:
+        return None
+    src_net = source
+    if invert:
+        inv = trial.fresh_net("rar_inv")
+        trial.add_gate(inv, GateType.NOT, (source,))
+        src_net = inv
+    new_pin = len(dgate.fanins)
+    trial.replace_gate(dgate.with_fanins(dgate.fanins + (src_net,)))
+
+    # Cheap random filter first: most function-changing additions and most
+    # still-testable targets die here for the cost of one fault-sim pass.
+    sim = FaultSimulator(trial)
+    rng = random.Random(0xA11CE)
+    words = random_words(trial.inputs, 128, rng)
+    good = sim.good_values(words, 128)
+    added_fault = StuckFault(src_net, nc_dest, reader=dest_gate, pin=new_pin)
+    if sim.detection_word(added_fault, good, 128):
+        return None
+    tgate = trial.gate(target_gate)
+    nc_target = _noncontrolling(tgate.gtype)
+    target_fault = StuckFault(
+        tgate.fanins[target_pin], nc_target,
+        reader=target_gate, pin=target_pin,
+    )
+    if sim.detection_word(target_fault, good, 128):
+        return None
+
+    engine = PodemEngine(trial, max_backtracks)
+    if engine.run(added_fault).status is not PodemStatus.UNTESTABLE:
+        return None
+    if engine.run(target_fault).status is not PodemStatus.UNTESTABLE:
+        return None
+
+    # Remove the target wire (tie its pin to the non-controlling value).
+    const = trial.fresh_net(f"tie{nc_target}_")
+    trial.add_gate(
+        const, GateType.CONST1 if nc_target else GateType.CONST0, ()
+    )
+    fanins = list(tgate.fanins)
+    fanins[target_pin] = const
+    trial.replace_gate(trial.gate(target_gate).with_fanins(tuple(fanins)))
+    simplify(trial)
+    trial = remove_redundancies(
+        trial, random_patterns=512, max_backtracks=max_backtracks,
+        max_passes=4,
+    ).circuit
+    return trial
+
+
+def rambo_c(
+    circuit: Circuit,
+    max_rounds: int = 2,
+    wire_sample: int = 200,
+    dest_cap: int = 12,
+    n_patterns: int = 2048,
+    seed: int = 0,
+    max_backtracks: int = 600,
+) -> RarReport:
+    """Run the RAR baseline; returns the optimized circuit and a report.
+
+    The input circuit is not mutated.  All sampling is seeded, so a given
+    circuit optimizes identically across runs.
+    """
+    rng = random.Random(seed)
+    work = remove_redundancies(
+        circuit, random_patterns=1024, max_backtracks=max_backtracks
+    ).circuit
+    before = two_input_gate_count(work)
+    accepted = 0
+    rounds = 0
+
+    while rounds < max_rounds:
+        rounds += 1
+        improved = False
+        sim = FaultSimulator(work)
+        words = random_words(work.inputs, n_patterns, rng)
+        good = sim.good_values(words, n_patterns)
+        mask = (1 << n_patterns) - 1
+        observable = work.transitive_fanin(work.outputs)
+        all_nets = [
+            n for n in work.nets()
+            if work.gate(n).gtype not in (GateType.CONST0, GateType.CONST1)
+            and n in observable
+        ]
+
+        # Target wires: pins of AND/OR-family gates, prioritized by the
+        # logic a removal would kill: a wire whose driver has no other
+        # fanout takes its whole exclusive cone with it, which is where
+        # RAR's net gains come from (removing a shared wire only shrinks
+        # one gate by a pin, and the enabling addition costs a pin).
+        from ..netlist import gate_two_input_equivalents
+
+        def exclusive_cone_gain(driver: str) -> int:
+            gain = 0
+            net = driver
+            while True:
+                g = work.gate(net)
+                if g.gtype in (GateType.INPUT, GateType.CONST0,
+                               GateType.CONST1):
+                    return gain
+                if len(work.fanouts(net)) > 1:
+                    return gain
+                gain += gate_two_input_equivalents(g)
+                # follow a single-fanin chain heuristically
+                candidates = [
+                    f for f in g.fanins if len(work.fanouts(f)) == 1
+                ]
+                if not candidates:
+                    return gain
+                net = candidates[0]
+
+        wires: List[Tuple[int, str, int]] = []
+        for gate in work.logic_gates():
+            if gate.name not in observable:
+                continue
+            if gate.gtype in CONTROLLING_VALUE and len(gate.fanins) >= 2:
+                for pin, driver in enumerate(gate.fanins):
+                    fanout = len(work.fanouts(driver))
+                    potential = 1 + (
+                        exclusive_cone_gain(driver) if fanout == 1 else 0
+                    )
+                    wires.append((potential, gate.name, pin))
+        rng.shuffle(wires)
+        wires.sort(key=lambda t: -t[0])
+        wires = [(g, p) for _, g, p in wires[:wire_sample]]
+
+        for target_gate, target_pin in wires:
+            if not work.has_net(target_gate):
+                continue
+            tgate = work.gate(target_gate)
+            if (target_pin >= len(tgate.fanins)
+                    or tgate.gtype not in CONTROLLING_VALUE):
+                continue
+            nc_t = _noncontrolling(tgate.gtype)
+            target_fault = StuckFault(
+                tgate.fanins[target_pin], nc_t,
+                reader=target_gate, pin=target_pin,
+            )
+            d_t = sim.detection_word(target_fault, good, n_patterns)
+            if d_t == 0:
+                continue  # already (effectively) redundant or hard
+
+            # Destination gates in the propagation cone of the target.
+            cone = [
+                n for n in work.transitive_fanout([target_gate])
+                if n != target_gate
+                and work.gate(n).gtype in CONTROLLING_VALUE
+            ]
+            rng.shuffle(cone)
+            # The target gate itself comes first: adding a wire there and
+            # removing the target pin is classic *wire substitution*, the
+            # move that retires a driver together with its exclusive cone.
+            dests = [target_gate] + cone[:dest_cap]
+            candidates: List[Tuple[str, str, bool]] = []
+            for dest in dests:
+                dgate = work.gate(dest)
+                ctrl = CONTROLLING_VALUE[dgate.gtype]
+                ctrl_out = CONTROLLED_OUTPUT[dgate.gtype]
+                out_word = good[dest]
+                # patterns where forcing a controlling input would change
+                # the (fault-free) output
+                matter = out_word ^ (mask if ctrl_out else 0)
+                if d_t & matter:
+                    # on some test pattern the good output isn't at its
+                    # controlled value: an added controlling input there
+                    # would change the function; this destination cannot
+                    # block all tests invisibly
+                    continue
+                tfo_dest = work.transitive_fanout([dest])
+                for s in all_nets:
+                    if s in tfo_dest or s == dest or s in dgate.fanins:
+                        continue
+                    s_word = good[s]
+                    for invert in (False, True):
+                        w = s_word ^ (mask if invert else 0)
+                        s_ctrl = w if ctrl else w ^ mask
+                        if (d_t & ~s_ctrl) & mask:
+                            continue  # not controlling on every test
+                        if s_ctrl & matter:
+                            continue  # would change the function somewhere
+                        candidates.append((dest, s, invert))
+                    if len(candidates) >= 3:
+                        break
+                if len(candidates) >= 3:
+                    break
+            cost_now = two_input_gate_count(work)
+            for dest, s, invert in candidates[:3]:
+                trial = _try_bundle(
+                    work, target_gate, target_pin, dest, s, invert,
+                    max_backtracks,
+                )
+                if trial is None:
+                    continue
+                if two_input_gate_count(trial) < cost_now:
+                    work = trial
+                    accepted += 1
+                    improved = True
+                    sim = FaultSimulator(work)
+                    good = sim.good_values(words, n_patterns)
+                    observable = work.transitive_fanin(work.outputs)
+                    all_nets = [
+                        n for n in work.nets()
+                        if work.gate(n).gtype not in (GateType.CONST0,
+                                                      GateType.CONST1)
+                        and n in observable
+                    ]
+                    break
+        if not improved:
+            break
+
+    work.name = circuit.name
+    return RarReport(
+        circuit=work,
+        gates_before=before,
+        gates_after=two_input_gate_count(work),
+        additions_accepted=accepted,
+        rounds=rounds,
+    )

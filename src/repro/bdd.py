@@ -1,0 +1,228 @@
+"""A compact ROBDD engine (reduced ordered binary decision diagrams).
+
+The third leg of the verification stool: random simulation refutes fast,
+PODEM-on-a-miter decides, and BDDs give canonical forms — two circuits are
+equivalent iff their output BDDs are the same node.  Also used for exact
+model counting (ON-set sizes without exhaustive simulation) and as an
+independent cross-check of truth tables in the test suite.
+
+The implementation is the standard one: nodes ``(var, low, high)`` hashed
+for canonicity, ``ite`` with memoization, complement-free (both polarities
+materialized).  Variables are indexed by position in a fixed order; the
+terminal nodes are ``ZERO`` and ``ONE``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .netlist import Circuit, GateType
+
+
+class BDD:
+    """A ROBDD manager over a fixed variable order."""
+
+    ZERO = 0
+    ONE = 1
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        self.variables = list(variables)
+        self._index = {v: i for i, v in enumerate(self.variables)}
+        if len(self._index) != len(self.variables):
+            raise ValueError("duplicate variable names")
+        # node table: id -> (var_index, low_id, high_id); 0/1 terminals
+        self._nodes: List[Optional[Tuple[int, int, int]]] = [None, None]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def var(self, name: str) -> int:
+        """The BDD of a single variable."""
+        return self._mk(self._index[name], self.ZERO, self.ONE)
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _top_var(self, *nodes: int) -> int:
+        best = len(self.variables)
+        for n in nodes:
+            if n > 1:
+                best = min(best, self._nodes[n][0])
+        return best
+
+    def _cofactor(self, node: int, var: int, value: int) -> int:
+        if node <= 1:
+            return node
+        nvar, low, high = self._nodes[node]
+        if nvar != var:
+            return node
+        return high if value else low
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the universal BDD operator."""
+        if f == self.ONE:
+            return g
+        if f == self.ZERO:
+            return h
+        if g == h:
+            return g
+        if g == self.ONE and h == self.ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        var = self._top_var(f, g, h)
+        r_low = self.ite(
+            self._cofactor(f, var, 0),
+            self._cofactor(g, var, 0),
+            self._cofactor(h, var, 0),
+        )
+        r_high = self.ite(
+            self._cofactor(f, var, 1),
+            self._cofactor(g, var, 1),
+            self._cofactor(h, var, 1),
+        )
+        result = self._mk(var, r_low, r_high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- boolean algebra ----------------------------------------------------
+
+    def apply_not(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, self.ZERO, self.ONE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, self.ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, self.ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    # -- queries -------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Dict[str, int]) -> int:
+        """Evaluate under a complete 0/1 assignment."""
+        while node > 1:
+            var, low, high = self._nodes[node]
+            node = high if assignment[self.variables[var]] else low
+        return node
+
+    def sat_count(self, node: int) -> int:
+        """Number of satisfying assignments over the full variable set."""
+        memo: Dict[int, int] = {}
+        n = len(self.variables)
+
+        def count(nd: int, depth_var: int) -> int:
+            # number of solutions over variables[depth_var:]
+            if nd == self.ZERO:
+                return 0
+            if nd == self.ONE:
+                return 1 << (n - depth_var)
+            key = (nd, depth_var)
+            got = memo.get(key)
+            if got is not None:
+                return got
+            var, low, high = self._nodes[nd]
+            gap = var - depth_var
+            total = (count(low, var + 1) + count(high, var + 1)) << gap
+            memo[key] = total
+            return total
+
+        return count(node, 0)
+
+    def size(self, node: int) -> int:
+        """Number of internal nodes reachable from *node*."""
+        seen = set()
+        stack = [node]
+        while stack:
+            nd = stack.pop()
+            if nd <= 1 or nd in seen:
+                continue
+            seen.add(nd)
+            _, low, high = self._nodes[nd]
+            stack.extend((low, high))
+        return len(seen)
+
+    def to_truth_table(self, node: int) -> int:
+        """Truth table bitmask under the manager's variable order (MSB first)."""
+        n = len(self.variables)
+        table = 0
+        for m in range(1 << n):
+            assignment = {
+                v: (m >> (n - i - 1)) & 1
+                for i, v in enumerate(self.variables)
+            }
+            if self.evaluate(node, assignment):
+                table |= 1 << m
+        return table
+
+
+def circuit_bdds(
+    circuit: Circuit, manager: Optional[BDD] = None
+) -> Tuple[BDD, Dict[str, int]]:
+    """Build BDDs for every net of a circuit (input declaration order)."""
+    bdd = manager or BDD(circuit.inputs)
+    nodes: Dict[str, int] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt is GateType.INPUT:
+            nodes[net] = bdd.var(net)
+        elif gt is GateType.CONST0:
+            nodes[net] = BDD.ZERO
+        elif gt is GateType.CONST1:
+            nodes[net] = BDD.ONE
+        elif gt is GateType.BUF:
+            nodes[net] = nodes[gate.fanins[0]]
+        elif gt is GateType.NOT:
+            nodes[net] = bdd.apply_not(nodes[gate.fanins[0]])
+        else:
+            acc = nodes[gate.fanins[0]]
+            for f in gate.fanins[1:]:
+                if gt in (GateType.AND, GateType.NAND):
+                    acc = bdd.apply_and(acc, nodes[f])
+                elif gt in (GateType.OR, GateType.NOR):
+                    acc = bdd.apply_or(acc, nodes[f])
+                else:
+                    acc = bdd.apply_xor(acc, nodes[f])
+            if gt in (GateType.NAND, GateType.NOR, GateType.XNOR):
+                acc = bdd.apply_not(acc)
+            nodes[net] = acc
+    return bdd, nodes
+
+
+def bdd_equivalent(a: Circuit, b: Circuit) -> bool:
+    """Canonical-form equivalence check (same interface required)."""
+    if a.inputs != b.inputs or a.outputs != b.outputs:
+        return False
+    manager = BDD(a.inputs)
+    _, na = circuit_bdds(a, manager)
+    _, nb = circuit_bdds(b, manager)
+    return all(na[oa] == nb[ob] for oa, ob in zip(a.outputs, b.outputs))
+
+
+def on_set_size(circuit: Circuit, output: Optional[str] = None) -> int:
+    """Exact ON-set size of one output, by BDD model counting."""
+    if output is None:
+        outs = circuit.outputs
+        if len(set(outs)) != 1:
+            raise ValueError("output required for multi-output circuits")
+        output = outs[0]
+    bdd, nodes = circuit_bdds(circuit)
+    return bdd.sat_count(nodes[output])

@@ -1,0 +1,23 @@
+"""Benchmark circuits: embedded classics and the synthetic seeded suite."""
+
+from .classics import (
+    c17,
+    full_adder,
+    paper_f1_impl1,
+    paper_f1_impl2,
+    paper_f2_sop,
+    two_bit_comparator,
+)
+from .generator import DEFAULT_GATE_MIX, random_circuit, random_two_level
+
+__all__ = [
+    "DEFAULT_GATE_MIX",
+    "c17",
+    "full_adder",
+    "paper_f1_impl1",
+    "paper_f1_impl2",
+    "paper_f2_sop",
+    "random_circuit",
+    "random_two_level",
+    "two_bit_comparator",
+]

@@ -1,0 +1,225 @@
+"""Parameterized structural blocks for composing benchmark circuits.
+
+The ISCAS-89 combinational cores mix datapath structures (adders,
+comparators, shifters) with flat control logic (decoders, priority chains,
+two-level decode SOPs).  The suite builder (:mod:`repro.benchcircuits.suite`)
+tiles these blocks to obtain circuits with comparable structure: mostly
+irredundant, reconvergent, path-rich, and containing both
+comparison-replaceable control cones and arithmetic cones that are not.
+
+Every block generator appends gates into a caller-supplied
+:class:`~repro.netlist.CircuitBuilder` and returns its output nets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from ..netlist import CircuitBuilder
+
+
+def full_adder_block(
+    b: CircuitBuilder, a: str, x: str, cin: str
+) -> Tuple[str, str]:
+    """One full adder; returns (sum, carry)."""
+    p = b.XOR(a, x)
+    s = b.XOR(p, cin)
+    g1 = b.AND(a, x)
+    g2 = b.AND(p, cin)
+    c = b.OR(g1, g2)
+    return s, c
+
+
+def ripple_adder(
+    b: CircuitBuilder, xs: Sequence[str], ys: Sequence[str], cin: str
+) -> List[str]:
+    """n-bit ripple-carry adder (LSB first); returns sum bits + carry out."""
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    carry = cin
+    sums: List[str] = []
+    for a, y in zip(xs, ys):
+        s, carry = full_adder_block(b, a, y, carry)
+        sums.append(s)
+    sums.append(carry)
+    return sums
+
+
+def array_multiplier(
+    b: CircuitBuilder, xs: Sequence[str], ys: Sequence[str]
+) -> List[str]:
+    """Carry-save array multiplier (LSB first); returns product bits.
+
+    Path counts grow quickly with width — the suite uses this to mimic the
+    path-heavy ISCAS members (e.g. ``irs15850``'s 23M paths).
+    """
+    n, m = len(xs), len(ys)
+    zero = b.CONST0()
+    acc: List[str] = [b.AND(x, ys[0]) for x in xs]
+    result: List[str] = []
+    for i in range(1, m):
+        result.append(acc[0])
+        shifted = acc[1:]
+        row = [b.AND(x, ys[i]) for x in xs]
+        width = max(len(shifted), len(row))
+        shifted = shifted + [zero] * (width - len(shifted))
+        row = row + [zero] * (width - len(row))
+        acc = ripple_adder(b, shifted, row, zero)
+    result.extend(acc)
+    return result
+
+
+def equality_comparator(
+    b: CircuitBuilder, xs: Sequence[str], ys: Sequence[str]
+) -> str:
+    """``1`` iff the two vectors are equal."""
+    bits = [b.XNOR(a, y) for a, y in zip(xs, ys)]
+    return bits[0] if len(bits) == 1 else b.AND(*bits)
+
+
+def magnitude_comparator(
+    b: CircuitBuilder, xs: Sequence[str], ys: Sequence[str]
+) -> str:
+    """``1`` iff vector ``xs`` > ``ys`` (MSB first) — reconvergent chain."""
+    gt = None
+    eq_prefix = None
+    for a, y in zip(xs, ys):
+        ny = b.NOT(y)
+        here = b.AND(a, ny)
+        term = here if eq_prefix is None else b.AND(eq_prefix, here)
+        gt = term if gt is None else b.OR(gt, term)
+        bit_eq = b.XNOR(a, y)
+        eq_prefix = bit_eq if eq_prefix is None else b.AND(eq_prefix, bit_eq)
+    return gt
+
+
+def decoder(b: CircuitBuilder, xs: Sequence[str]) -> List[str]:
+    """Full decoder: 2^n one-hot outputs from n select lines (MSB first)."""
+    n = len(xs)
+    inv = [b.NOT(x) for x in xs]
+    outs = []
+    for m in range(1 << n):
+        lits = [
+            xs[i] if (m >> (n - i - 1)) & 1 else inv[i] for i in range(n)
+        ]
+        outs.append(lits[0] if n == 1 else b.AND(*lits))
+    return outs
+
+
+def mux_tree(
+    b: CircuitBuilder, data: Sequence[str], selects: Sequence[str]
+) -> str:
+    """2^k-to-1 multiplexer tree (selects MSB first)."""
+    if len(data) != (1 << len(selects)):
+        raise ValueError("data width must be 2**len(selects)")
+    level = list(data)
+    for s in reversed(selects):
+        ns = b.NOT(s)
+        nxt = []
+        for i in range(0, len(level), 2):
+            a = b.AND(level[i], ns)
+            c = b.AND(level[i + 1], s)
+            nxt.append(b.OR(a, c))
+        level = nxt
+    return level[0]
+
+
+def interval_sop(
+    b: CircuitBuilder, xs: Sequence[str], lower: int, upper: int
+) -> str:
+    """Flat SOP implementation of ``lower <= (xs) <= upper`` (MSB first).
+
+    This is a comparison function implemented the *expensive* way (one
+    product term per minterm) — the kind of decode logic where Procedure 2
+    achieves its large path reductions when it swaps in a comparison unit.
+    """
+    n = len(xs)
+    if not 0 <= lower <= upper < (1 << n):
+        raise ValueError("bad interval")
+    inv = {x: b.NOT(x) for x in xs}
+    terms = []
+    for m in range(lower, upper + 1):
+        lits = [
+            xs[i] if (m >> (n - i - 1)) & 1 else inv[xs[i]]
+            for i in range(n)
+        ]
+        terms.append(lits[0] if n == 1 else b.AND(*lits))
+    return terms[0] if len(terms) == 1 else b.OR(*terms)
+
+
+def priority_encoder(
+    b: CircuitBuilder, requests: Sequence[str]
+) -> List[str]:
+    """Grant outputs of a priority chain (highest index wins last)."""
+    grants: List[str] = []
+    blocked = None
+    for r in requests:
+        if blocked is None:
+            grants.append(b.BUF(r))
+            blocked = r
+        else:
+            nb = b.NOT(blocked)
+            grants.append(b.AND(r, nb))
+            blocked = b.OR(blocked, r)
+    return grants
+
+
+def random_control_sop(
+    b: CircuitBuilder,
+    xs: Sequence[str],
+    n_terms: int,
+    rng: random.Random,
+    term_size: int = 3,
+) -> str:
+    """Random multi-cube control function (subsumption-filtered).
+
+    Cubes are random products of *term_size* literals over *xs*; cubes
+    subsumed by an earlier cube are dropped, which keeps the SOP close to
+    irredundant.
+    """
+    cubes: List[dict] = []
+    attempts = 0
+    while len(cubes) < n_terms and attempts < n_terms * 6:
+        attempts += 1
+        support = rng.sample(list(xs), min(term_size, len(xs)))
+        cube = {s: rng.randint(0, 1) for s in support}
+        dominated = False
+        for other in cubes:
+            if all(cube.get(k) == v for k, v in other.items()):
+                dominated = True  # existing cube covers this one
+                break
+            if all(other.get(k) == v for k, v in cube.items()):
+                dominated = True  # avoid covering an existing cube too
+                break
+        if not dominated:
+            cubes.append(cube)
+    inv = {}
+
+    def lit(net: str, value: int) -> str:
+        if value:
+            return net
+        if net not in inv:
+            inv[net] = b.NOT(net)
+        return inv[net]
+
+    terms = []
+    for cube in cubes:
+        lits = [lit(kv, v) for kv, v in cube.items()]
+        terms.append(lits[0] if len(lits) == 1 else b.AND(*lits))
+    if not terms:
+        return b.CONST0()
+    return terms[0] if len(terms) == 1 else b.OR(*terms)
+
+
+def parity_tree(b: CircuitBuilder, xs: Sequence[str]) -> str:
+    """Balanced XOR tree (not comparison-replaceable beyond 2 inputs)."""
+    level = list(xs)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.XOR(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

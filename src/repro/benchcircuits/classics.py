@@ -1,0 +1,125 @@
+"""Small classic circuits and the paper's worked examples as fixtures.
+
+Includes ISCAS-85 ``c17`` (small enough to embed verbatim) and gate-level
+realizations of the Section 2 / Section 3 example functions ``f1`` (both
+minimal SOP forms) and ``f2``.
+"""
+
+from __future__ import annotations
+
+from ..io import read_bench
+from ..netlist import Circuit, CircuitBuilder
+
+_C17_BENCH = """
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def c17() -> Circuit:
+    """The ISCAS-85 c17 benchmark (6 NAND gates)."""
+    return read_bench(_C17_BENCH, name="c17")
+
+
+def paper_f1_impl1() -> Circuit:
+    """Section 2 example, first form: ``~x1 x2 x4 + x1 ~x2 ~x3 + x2 ~x3 x4``."""
+    b = CircuitBuilder("f1_impl1")
+    x1, x2, x3, x4 = b.inputs("x1", "x2", "x3", "x4")
+    nx1, nx2, nx3 = b.NOT(x1), b.NOT(x2), b.NOT(x3)
+    t1 = b.AND(nx1, x2, x4)
+    t2 = b.AND(x1, nx2, nx3)
+    t3 = b.AND(x2, nx3, x4)
+    f = b.OR(t1, t2, t3, name="f1")
+    b.outputs(f)
+    return b.build()
+
+
+def paper_f1_impl2() -> Circuit:
+    """Section 2 example, second form: ``~x1 x2 x4 + x1 ~x2 ~x3 + x1 ~x3 x4``.
+
+    The scanned paper text prints the third term as ``x1 ~x2 x4``, but that
+    expression is not equivalent to ``f_{1,1}`` and contradicts the paper's
+    own ``K_p`` table (which has ``K_p(x2) = 2`` and ``K_p(x3) = 2`` for this
+    form).  The intended term is ``x1 ~x3 x4``: with it the two forms are
+    equivalent (ON-set {5, 7, 8, 9, 13}) and the ``K_p`` values match the
+    paper exactly (3, 2, 2, 2).
+    """
+    b = CircuitBuilder("f1_impl2")
+    x1, x2, x3, x4 = b.inputs("x1", "x2", "x3", "x4")
+    nx1, nx2, nx3 = b.NOT(x1), b.NOT(x2), b.NOT(x3)
+    t1 = b.AND(nx1, x2, x4)
+    t2 = b.AND(x1, nx2, nx3)
+    t3 = b.AND(x1, nx3, x4)
+    f = b.OR(t1, t2, t3, name="f1")
+    b.outputs(f)
+    return b.build()
+
+
+def paper_f2_sop() -> Circuit:
+    """Section 3 example function ``f2`` (minterms {1,5,6,9,10,14}) as SOP.
+
+    A straightforward (non-comparison-unit) realization used to demonstrate
+    identification and replacement:
+    ``f2 = ~y2 ~y3 y4 + y2 y3 ~y4 + ~y1(y2 xor y3) y4 ... `` written here as
+    the canonical minterm-grouped SOP ``~y3 y4 (y1 xor y2)' ...``; we simply
+    use the 6-minterm two-level form.
+    """
+    b = CircuitBuilder("f2_sop")
+    ys = b.inputs("y1", "y2", "y3", "y4")
+
+    def minterm(bits):
+        lits = []
+        for y, bit in zip(ys, bits):
+            lits.append(y if bit else b.NOT(y))
+        return b.AND(*lits)
+
+    terms = [
+        minterm((0, 0, 0, 1)),  # 1
+        minterm((0, 1, 0, 1)),  # 5
+        minterm((0, 1, 1, 0)),  # 6
+        minterm((1, 0, 0, 1)),  # 9
+        minterm((1, 0, 1, 0)),  # 10
+        minterm((1, 1, 1, 0)),  # 14
+    ]
+    f = b.OR(*terms, name="f2")
+    b.outputs(f)
+    return b.build()
+
+
+def full_adder() -> Circuit:
+    """A 1-bit full adder (XOR-rich small fixture)."""
+    b = CircuitBuilder("full_adder")
+    a, x, cin = b.inputs("a", "b", "cin")
+    s1 = b.XOR(a, x)
+    s = b.XOR(s1, cin, name="sum")
+    c1 = b.AND(a, x)
+    c2 = b.AND(s1, cin)
+    cout = b.OR(c1, c2, name="cout")
+    b.outputs(s, cout)
+    return b.build()
+
+
+def two_bit_comparator() -> Circuit:
+    """``out = 1`` iff the 2-bit value (a1 a0) > (b1 b0) — reconvergent fixture."""
+    b = CircuitBuilder("cmp2")
+    a1, a0, b1, b0 = b.inputs("a1", "a0", "b1", "b0")
+    nb1, nb0 = b.NOT(b1), b.NOT(b0)
+    gt_hi = b.AND(a1, nb1)
+    eq_hi = b.XNOR(a1, b1)
+    gt_lo = b.AND(a0, nb0)
+    cascade = b.AND(eq_hi, gt_lo)
+    out = b.OR(gt_hi, cascade, name="gt")
+    b.outputs(out)
+    return b.build()

@@ -1,0 +1,215 @@
+"""Deterministic synthetic combinational circuit generation.
+
+The paper evaluates on irredundant, fully-scanned ISCAS-89 combinational
+cores (``irs*``).  Those netlists cannot be shipped here, so the benchmark
+suite (see :mod:`repro.benchcircuits.suite`) uses seeded synthetic circuits
+with comparable structure: random gate DAGs with locality-biased fanin
+selection (which produces the reconvergent fanout and depth that make path
+counts large) at ~10-30x smaller scale.  Everything is a pure function of
+its seed, so experiments reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..netlist import Circuit, GateType
+
+#: Default gate-type mix: AND/OR-dominated, as in the ISCAS circuits.
+DEFAULT_GATE_MIX = (
+    (GateType.AND, 28),
+    (GateType.OR, 24),
+    (GateType.NAND, 18),
+    (GateType.NOR, 12),
+    (GateType.NOT, 14),
+    (GateType.XOR, 2),
+    (GateType.BUF, 2),
+)
+
+
+def _pick_weighted(rng: random.Random, mix: Sequence) -> GateType:
+    total = sum(w for _, w in mix)
+    r = rng.randrange(total)
+    for gtype, w in mix:
+        if r < w:
+            return gtype
+        r -= w
+    return mix[-1][0]
+
+
+def _estimate_probability(gtype: GateType, probs: Sequence[float]) -> float:
+    """Signal probability estimate under input independence."""
+    if gtype in (GateType.AND, GateType.NAND):
+        p = 1.0
+        for q in probs:
+            p *= q
+        return p if gtype is GateType.AND else 1.0 - p
+    if gtype in (GateType.OR, GateType.NOR):
+        p = 1.0
+        for q in probs:
+            p *= 1.0 - q
+        return 1.0 - p if gtype is GateType.OR else p
+    if gtype in (GateType.XOR, GateType.XNOR):
+        p = 0.0
+        for q in probs:
+            p = p * (1.0 - q) + (1.0 - p) * q
+        return p if gtype is GateType.XOR else 1.0 - p
+    if gtype is GateType.NOT:
+        return 1.0 - probs[0]
+    return probs[0]  # BUF
+
+
+def random_circuit(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_gates: int,
+    seed: int,
+    max_fanin: int = 4,
+    locality: float = 0.75,
+    gate_mix: Sequence = DEFAULT_GATE_MIX,
+) -> Circuit:
+    """Generate a random combinational circuit.
+
+    Parameters
+    ----------
+    n_inputs, n_outputs, n_gates:
+        Interface and size.  ``n_gates`` counts logic gates (incl. NOT/BUF).
+    seed:
+        Everything is a deterministic function of this seed.
+    max_fanin:
+        Maximum gate fanin (AND/OR/... gates draw 2..max_fanin inputs).
+    locality:
+        Probability that a fanin is drawn from the most recent quarter of
+        the net pool rather than uniformly; higher values give deeper
+        circuits with more reconvergence (hence more paths).
+    gate_mix:
+        ``(GateType, weight)`` pairs for the gate-type distribution.
+
+    The result is validated, every primary output is driven, and dead logic
+    is swept (so ``n_gates`` is an upper bound on the surviving gate count).
+    """
+    if n_inputs < 2:
+        raise ValueError("need at least 2 inputs")
+    if n_outputs < 1:
+        raise ValueError("need at least 1 output")
+    rng = random.Random(seed)
+    c = Circuit(name)
+    pool: List[str] = [c.add_input(f"i{j}") for j in range(n_inputs)]
+    prob = {net: 0.5 for net in pool}
+
+    def draw_fanin(exclude: set) -> Optional[str]:
+        lo = int(len(pool) * 0.75)
+        for _ in range(8):
+            if rng.random() < locality and lo < len(pool):
+                cand = pool[rng.randrange(lo, len(pool))]
+            else:
+                cand = pool[rng.randrange(len(pool))]
+            if cand not in exclude:
+                return cand
+        for cand in reversed(pool):
+            if cand not in exclude:
+                return cand
+        return None
+
+    for j in range(n_gates):
+        gtype = _pick_weighted(rng, gate_mix)
+        if gtype in (GateType.NOT, GateType.BUF):
+            k = 1
+        else:
+            # Mostly 2-input gates (as in the ISCAS suite); wide gates
+            # push signal probabilities to the rails.
+            r = rng.random()
+            if r < 0.7 or max_fanin == 2:
+                k = 2
+            elif r < 0.9 or max_fanin == 3:
+                k = 3
+            else:
+                k = rng.randint(4, max_fanin)
+        chosen: List[str] = []
+        exclude: set = set()
+        for _ in range(k):
+            f = draw_fanin(exclude)
+            if f is None:
+                break
+            chosen.append(f)
+            exclude.add(f)
+        if len(chosen) < k:
+            continue
+        if len(chosen) == 1 and gtype not in (GateType.NOT, GateType.BUF):
+            gtype = GateType.BUF
+        if gtype not in (GateType.NOT, GateType.BUF):
+            # Pick, among a few weighted draws, the type keeping the output
+            # signal probability closest to 1/2 — without this, deep random
+            # AND/OR netlists saturate to constant outputs.
+            probs = [prob[f] for f in chosen]
+            candidates = {gtype}
+            candidates.add(_pick_weighted(rng, gate_mix))
+            candidates.add(_pick_weighted(rng, gate_mix))
+            candidates = {
+                g for g in candidates if g not in (GateType.NOT, GateType.BUF)
+            }
+            gtype = min(
+                sorted(candidates, key=lambda g: g.value),
+                key=lambda g: abs(_estimate_probability(g, probs) - 0.5),
+            )
+        net = c.add_gate(f"g{j}", gtype, chosen)
+        prob[net] = _estimate_probability(gtype, [prob[f] for f in chosen])
+        pool.append(net)
+
+    # Outputs: prefer sinks (nets nobody reads) so most logic stays live.
+    fo = c.fanout_map()
+    sinks = [n for n in pool if not fo.get(n) and c.gate(n).gtype is not GateType.INPUT]
+    rng.shuffle(sinks)
+    outputs: List[str] = sinks[:n_outputs]
+    internal = [n for n in pool if c.gate(n).gtype is not GateType.INPUT]
+    while len(outputs) < n_outputs and internal:
+        cand = internal[rng.randrange(len(internal))]
+        if cand not in outputs:
+            outputs.append(cand)
+        elif len(set(internal)) <= len(outputs):
+            break
+    if not outputs:
+        raise ValueError("generated circuit has no logic to expose as outputs")
+    c.set_outputs(outputs)
+    c.sweep()
+    c.validate()
+    return c
+
+
+def random_two_level(
+    name: str,
+    n_inputs: int,
+    n_terms: int,
+    seed: int,
+    term_size: int = 3,
+) -> Circuit:
+    """A random AND-OR (sum-of-products) circuit — handy for small tests."""
+    rng = random.Random(seed)
+    c = Circuit(name)
+    ins = [c.add_input(f"i{j}") for j in range(n_inputs)]
+    inverted = {}
+
+    def literal(net: str) -> str:
+        if rng.random() < 0.5:
+            return net
+        if net not in inverted:
+            inverted[net] = c.add_gate(f"n_{net}", GateType.NOT, (net,))
+        return inverted[net]
+
+    terms = []
+    for t in range(n_terms):
+        support = rng.sample(ins, min(term_size, n_inputs))
+        lits = [literal(s) for s in support]
+        if len(lits) == 1:
+            terms.append(lits[0])
+        else:
+            terms.append(c.add_gate(f"t{t}", GateType.AND, lits))
+    if len(terms) == 1:
+        out = c.add_gate("out", GateType.BUF, (terms[0],))
+    else:
+        out = c.add_gate("out", GateType.OR, terms)
+    c.set_outputs([out])
+    c.validate()
+    return c

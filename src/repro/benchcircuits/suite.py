@@ -1,0 +1,293 @@
+"""The ``syn*`` benchmark suite: scaled stand-ins for the paper's ``irs*``.
+
+The paper evaluates on irredundant, fully-scanned ISCAS-89 combinational
+cores with more than 10,000 paths.  Those netlists are not distributable
+here, so each ``irs`` circuit gets a deterministic synthetic stand-in of
+similar *character* at roughly 10-30x smaller scale: a seeded composition
+of datapath blocks (adders, multipliers, comparators) and control blocks
+(decoders, priority chains, interval decodes, random control SOPs), with
+cross-block wiring.  Each suite circuit is simplified and passed through
+redundancy removal at build time, mirroring the paper's use of [15] to
+obtain irredundant starting points.
+
+Interval decodes use a CIDR-style prime-cube cover, so they are already
+irredundant yet still path-expensive compared to a comparison unit — the
+structure on which Procedure 2's headline path reductions occur, just as
+address/state decoders are in the real ISCAS circuits.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..netlist import Circuit, CircuitBuilder, simplify
+from . import blocks
+
+
+def interval_cubes(lower: int, upper: int, n: int) -> List[Tuple[int, int]]:
+    """Disjoint aligned cube cover of ``[lower, upper]`` (CIDR-style).
+
+    Returns ``(base, size)`` blocks with ``size`` a power of two dividing
+    the alignment of ``base``.  At most ``2n`` cubes; the cover is
+    irredundant because the blocks are disjoint.
+    """
+    if not 0 <= lower <= upper < (1 << n):
+        raise ValueError("bad interval")
+    cubes: List[Tuple[int, int]] = []
+    lo = lower
+    while lo <= upper:
+        size = lo & -lo if lo else 1 << n
+        while lo + size - 1 > upper:
+            size >>= 1
+        cubes.append((lo, size))
+        lo += size
+    return cubes
+
+
+def interval_decode_sop(
+    b: CircuitBuilder, xs: Sequence[str], lower: int, upper: int
+) -> str:
+    """Two-level prime-cube implementation of an interval decode.
+
+    Irredundant (disjoint cubes) but with one path per cube literal —
+    exactly the kind of decode logic Procedure 2 collapses into a
+    comparison unit.
+    """
+    n = len(xs)
+    inv: Dict[str, str] = {}
+
+    def lit(i: int, value: int) -> str:
+        if value:
+            return xs[i]
+        if xs[i] not in inv:
+            inv[xs[i]] = b.NOT(xs[i])
+        return inv[xs[i]]
+
+    terms = []
+    for base, size in interval_cubes(lower, upper, n):
+        fixed = n - (size.bit_length() - 1)
+        lits = [lit(i, (base >> (n - i - 1)) & 1) for i in range(fixed)]
+        if not lits:
+            return b.CONST1()
+        terms.append(lits[0] if len(lits) == 1 else b.AND(*lits))
+    return terms[0] if len(terms) == 1 else b.OR(*terms)
+
+
+class _Composer:
+    """Draws block inputs from the live signal pool and tracks sinks."""
+
+    def __init__(self, b: CircuitBuilder, inputs: List[str], rng) -> None:
+        self.b = b
+        self.rng = rng
+        self.pool: List[str] = list(inputs)
+        self.consumed: set = set()
+        self.sinks: List[str] = []
+
+    def draw(self, k: int, fresh_bias: float = 0.6) -> List[str]:
+        """Draw *k* distinct signals, biased toward recent/unconsumed ones."""
+        chosen: List[str] = []
+        tries = 0
+        while len(chosen) < k and tries < 20 * k:
+            tries += 1
+            if self.rng.random() < fresh_bias:
+                unconsumed = [s for s in self.pool if s not in self.consumed]
+                src = unconsumed if unconsumed else self.pool
+            else:
+                src = self.pool
+            cand = src[self.rng.randrange(len(src))]
+            if cand not in chosen:
+                chosen.append(cand)
+        while len(chosen) < k:  # degenerate pools
+            chosen.append(self.pool[self.rng.randrange(len(self.pool))])
+        for cand in chosen:
+            self.consumed.add(cand)
+        return chosen
+
+    def publish(self, nets: Sequence[str]) -> None:
+        """Add block outputs to the pool and sink candidates."""
+        for n in nets:
+            self.pool.append(n)
+            self.sinks.append(n)
+
+
+def _add_block(c: _Composer, kind: str) -> None:
+    b, rng = c.b, c.rng
+    if kind == "adder":
+        w = rng.randint(3, 5)
+        xs, ys = c.draw(w), c.draw(w)
+        cin = c.draw(1)[0]
+        c.publish(blocks.ripple_adder(b, xs, ys, cin))
+    elif kind == "mult":
+        w = rng.randint(3, 4)
+        c.publish(blocks.array_multiplier(b, c.draw(w), c.draw(w)))
+    elif kind == "bigmult":
+        c.publish(blocks.array_multiplier(b, c.draw(5), c.draw(5)))
+    elif kind == "cmp":
+        w = rng.randint(3, 5)
+        c.publish([blocks.magnitude_comparator(b, c.draw(w), c.draw(w))])
+    elif kind == "eq":
+        w = rng.randint(3, 5)
+        c.publish([blocks.equality_comparator(b, c.draw(w), c.draw(w))])
+    elif kind == "decoder":
+        c.publish(blocks.decoder(b, c.draw(rng.randint(2, 3))))
+    elif kind == "mux":
+        k = rng.randint(2, 3)
+        sel = c.draw(k)
+        data = c.draw(1 << k)
+        c.publish([blocks.mux_tree(b, data, sel)])
+    elif kind == "interval":
+        n = rng.randint(4, 6)
+        xs = c.draw(n)
+        size = 1 << n
+        lower = rng.randrange(size - 1)
+        upper = rng.randrange(lower, size)
+        if lower == 0 and upper == size - 1:
+            upper = size - 2
+        c.publish([interval_decode_sop(b, xs, lower, upper)])
+    elif kind == "priority":
+        c.publish(blocks.priority_encoder(b, c.draw(rng.randint(4, 6))))
+    elif kind == "control":
+        xs = c.draw(rng.randint(5, 8))
+        c.publish([
+            blocks.random_control_sop(b, xs, rng.randint(4, 8), rng)
+        ])
+    elif kind == "parity":
+        c.publish([blocks.parity_tree(b, c.draw(rng.randint(3, 5)))])
+    else:  # pragma: no cover
+        raise ValueError(f"unknown block kind {kind!r}")
+
+
+def composed_circuit(
+    name: str,
+    n_inputs: int,
+    recipe: Sequence[Tuple[str, int]],
+    seed: int,
+    n_outputs: int = None,
+) -> Circuit:
+    """Compose a circuit from a ``(block kind, count)`` recipe (seeded)."""
+    rng = random.Random(seed)
+    b = CircuitBuilder(name)
+    inputs = b.inputs(*[f"i{j}" for j in range(n_inputs)])
+    composer = _Composer(b, list(inputs), rng)
+    expanded: List[str] = []
+    for kind, count in recipe:
+        expanded.extend([kind] * count)
+    rng.shuffle(expanded)
+    for kind in expanded:
+        _add_block(composer, kind)
+    # Primary outputs: every block output that nothing consumed, plus a
+    # sample of consumed ones (observability like scan cells provide).
+    unconsumed = [s for s in composer.sinks if s not in composer.consumed]
+    extra = [s for s in composer.sinks if s in composer.consumed]
+    rng.shuffle(extra)
+    n_extra = max(1, len(composer.sinks) // 3)
+    outputs = unconsumed + extra[:n_extra]
+    if n_outputs is not None:
+        outputs = outputs[:n_outputs] if len(outputs) >= n_outputs else outputs
+    b.outputs(*dict.fromkeys(outputs))
+    circuit = b.build()
+    simplify(circuit)
+    circuit.validate()
+    return circuit
+
+
+#: Recipes for the eight suite members.  Shapes mirror the character of
+#: the corresponding ``irs`` circuit (see EXPERIMENTS.md for the mapping):
+#: ``syn15850`` is path-heavy (multiplier datapath), ``syn35932`` is wide
+#: and shallow, the others are control-dominated mixes.
+SUITE_RECIPES: Dict[str, Tuple[int, int, Tuple[Tuple[str, int], ...]]] = {
+    "syn1423": (20, 101, (
+        ("adder", 2), ("cmp", 2), ("interval", 2), ("control", 2),
+        ("mux", 1), ("parity", 1),
+    )),
+    "syn5378": (40, 202, (
+        ("control", 8), ("decoder", 3), ("interval", 4), ("priority", 3),
+        ("eq", 3), ("mux", 3),
+    )),
+    "syn9234": (40, 303, (
+        ("interval", 6), ("decoder", 2), ("control", 4), ("cmp", 2),
+        ("mux", 2), ("adder", 1),
+    )),
+    "syn13207": (52, 404, (
+        ("interval", 6), ("decoder", 3), ("control", 6), ("cmp", 3),
+        ("adder", 2), ("priority", 2), ("mux", 3),
+    )),
+    "syn15850": (48, 505, (
+        ("bigmult", 1), ("mult", 1), ("adder", 3), ("interval", 4),
+        ("control", 4), ("cmp", 1),
+    )),
+    "syn35932": (80, 606, (
+        ("adder", 6), ("control", 10), ("interval", 7), ("eq", 4),
+        ("priority", 4), ("decoder", 3), ("parity", 2),
+    )),
+    "syn38417": (60, 707, (
+        ("mult", 2), ("adder", 3), ("interval", 5), ("control", 6),
+        ("mux", 3), ("cmp", 2),
+    )),
+    "syn38584": (64, 808, (
+        ("control", 11), ("interval", 7), ("decoder", 4), ("adder", 3),
+        ("priority", 3), ("eq", 3), ("mux", 3), ("mult", 1),
+    )),
+}
+
+#: The four circuits the paper uses for the RAMBO_C comparison (Table 3).
+TABLE3_CIRCUITS = ("syn1423", "syn5378", "syn9234", "syn13207")
+
+
+def suite_names() -> List[str]:
+    """Suite circuit names in the paper's table order."""
+    return list(SUITE_RECIPES)
+
+
+@lru_cache(maxsize=None)
+def raw_suite_circuit(name: str) -> Circuit:
+    """The composed (pre-redundancy-removal) suite circuit."""
+    n_inputs, seed, recipe = SUITE_RECIPES[name]
+    return composed_circuit(name, n_inputs, recipe, seed)
+
+
+#: Directory holding materialized (post-redundancy-removal) suite circuits.
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+@lru_cache(maxsize=None)
+def suite_circuit(name: str) -> Circuit:
+    """The irredundant suite circuit (the ``irs`` analogue).
+
+    Loaded from the materialized JSON netlist when available (the suite is
+    deterministic, so the files in ``benchcircuits/data/`` are simply a
+    cache); otherwise built on the spot — composition, simplification,
+    then redundancy removal (as the paper obtains irredundant circuits via
+    [15]) — and materialized for the next run when the directory is
+    writable.
+    """
+    from ..io.json_io import load_json, save_json
+
+    path = os.path.join(DATA_DIR, f"{name}.json")
+    if os.path.exists(path):
+        return load_json(path)
+
+    from ..atpg import remove_redundancies
+
+    raw = raw_suite_circuit(name)
+    report = remove_redundancies(raw, random_patterns=1024, seed=11)
+    circuit = report.circuit
+    circuit.name = name
+    try:
+        os.makedirs(DATA_DIR, exist_ok=True)
+        save_json(circuit, path)
+    except OSError:  # pragma: no cover - read-only installs are fine
+        pass
+    return circuit
+
+
+def materialize_suite() -> List[str]:
+    """Build and persist every suite circuit; returns the file paths."""
+    paths = []
+    for name in suite_names():
+        suite_circuit(name)
+        paths.append(os.path.join(DATA_DIR, f"{name}.json"))
+    return paths

@@ -1,0 +1,140 @@
+"""Command-line interface: ``repro-resynth``.
+
+Subcommands
+-----------
+``stats CIRCUIT``
+    Print size/path statistics for a circuit (suite name or ``.bench``).
+``resynth CIRCUIT [--objective gates|paths] [--k K] [--out FILE]``
+    Run Procedure 2 or 3 and optionally write the result.
+``identify CIRCUIT OUTPUT_NET [--k K]``
+    Check whether the cone feeding a net realizes a comparison function.
+``tables [N ...]``
+    Regenerate the paper's tables (all by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import count_paths
+from .netlist import circuit_stats, two_input_gate_count
+
+
+def _load(name: str):
+    from .benchcircuits.suite import suite_circuit, suite_names
+    from .io import load_bench
+
+    if name in suite_names():
+        return suite_circuit(name)
+    return load_bench(name)
+
+
+def _cmd_stats(args) -> int:
+    circuit = _load(args.circuit)
+    s = circuit_stats(circuit)
+    print(f"{s.name}: inputs={s.n_inputs} outputs={s.n_outputs} "
+          f"gates={s.n_gates} 2-input-equivalents={s.two_input_gates} "
+          f"literals={s.n_literals} depth={s.depth} "
+          f"paths={count_paths(circuit):,}")
+    return 0
+
+
+def _cmd_resynth(args) -> int:
+    from .io import save_bench
+    from .resynth import procedure2, procedure3
+
+    circuit = _load(args.circuit)
+    proc = procedure2 if args.objective == "gates" else procedure3
+    report = proc(circuit, k=args.k, verify_patterns=args.verify)
+    print(report.summary())
+    if args.out:
+        save_bench(report.circuit, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_identify(args) -> int:
+    from .analysis import path_labels
+    from .resynth import enumerate_candidate_cones, evaluate_cone
+
+    circuit = _load(args.circuit)
+    if args.net not in circuit:
+        print(f"no net {args.net!r} in {circuit.name}", file=sys.stderr)
+        return 1
+    labels = path_labels(circuit)
+    cones = enumerate_candidate_cones(circuit, args.net, args.k)
+    best = None
+    for cone in cones:
+        option = evaluate_cone(circuit, cone, labels)
+        if option is None:
+            continue
+        if best is None or option.gate_gain > best.gate_gain:
+            best = option
+    if best is None:
+        print(f"{args.net}: no comparison-function candidate within K={args.k}")
+        return 0
+    if best.is_constant:
+        print(f"{args.net}: constant {best.constant_value} over "
+              f"{len(best.cone.inputs)} inputs (gain {best.gate_gain})")
+    else:
+        print(f"{args.net}: {best.spec.describe()}")
+        print(f"  removable gates N={best.removable_gates}, unit gates "
+              f"N'={best.unit_gates}, gain {best.gate_gain}, paths on line "
+              f"{best.paths_on_output}")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from . import experiments
+
+    wanted = args.numbers or [1, 2, 3, 4, 5, 6, 7]
+    for n in wanted:
+        fn = getattr(experiments, f"table{n}", None)
+        if fn is None:
+            print(f"unknown table {n}", file=sys.stderr)
+            return 1
+        print(fn().render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-resynth",
+        description="Comparison-unit synthesis-for-testability toolkit "
+                    "(Pomeranz & Reddy, DAC 1995 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="circuit statistics")
+    p.add_argument("circuit")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("resynth", help="run Procedure 2 or 3")
+    p.add_argument("circuit")
+    p.add_argument("--objective", choices=("gates", "paths"),
+                   default="gates")
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--out")
+    p.add_argument("--verify", type=int, default=512)
+    p.set_defaults(func=_cmd_resynth)
+
+    p = sub.add_parser("identify", help="comparison-function check for a net")
+    p.add_argument("circuit")
+    p.add_argument("net")
+    p.add_argument("--k", type=int, default=5)
+    p.set_defaults(func=_cmd_identify)
+
+    p = sub.add_parser("tables", help="regenerate the paper's tables")
+    p.add_argument("numbers", nargs="*", type=int)
+    p.set_defaults(func=_cmd_tables)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

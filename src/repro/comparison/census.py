@@ -1,0 +1,74 @@
+"""Census of comparison functions: enumerate the class exhaustively.
+
+Useful for calibrating identification (every census member must be
+identified; nothing outside it may be) and for quantifying how special the
+class is — the fraction of all ``2^(2^n)`` functions that are comparison
+functions collapses double-exponentially, which is why Section 4 searches
+small subcircuits rather than whole cones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+
+@lru_cache(maxsize=None)
+def comparison_truth_tables(
+    n: int, include_complemented: bool = False
+) -> FrozenSet[int]:
+    """All truth tables of n-variable comparison functions (Definition 1).
+
+    Enumerates every permutation and every ``0 <= L <= U < 2^n`` (excluding
+    the constant full interval) and collects the induced tables over the
+    identity variable order.  ``include_complemented`` adds the OFF-set
+    variant the paper's Section 5 also exploits.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    size = 1 << n
+    full = (1 << size) - 1
+    tables: Set[int] = set()
+    for perm in itertools.permutations(range(n)):
+        # value of each identity-order minterm under the permutation
+        mapped = [0] * size
+        for m in range(size):
+            v = 0
+            for i, j in enumerate(perm):
+                if (m >> (n - j - 1)) & 1:
+                    v |= 1 << (n - i - 1)
+            mapped[m] = v
+        # For each L: tables for [L, U] as U grows are nested; build by
+        # accumulating minterms sorted by mapped value.
+        order = sorted(range(size), key=mapped.__getitem__)
+        prefix = 0
+        prefixes = []
+        for m in order:
+            prefix |= 1 << m
+            prefixes.append(prefix)
+        for lo_idx in range(size):
+            base = prefixes[lo_idx - 1] if lo_idx else 0
+            for hi_idx in range(lo_idx, size):
+                table = prefixes[hi_idx] & ~base
+                if table != full:
+                    tables.add(table)
+    if include_complemented:
+        tables |= {t ^ full for t in tables}
+        tables.discard(0)
+        tables.discard(full)
+    return frozenset(tables)
+
+
+def count_comparison_functions(
+    n: int, include_complemented: bool = False
+) -> int:
+    """Number of distinct n-variable comparison functions."""
+    return len(comparison_truth_tables(n, include_complemented))
+
+
+def comparison_fraction(n: int, include_complemented: bool = True) -> float:
+    """Share of all n-variable Boolean functions that are comparison
+    functions (with the OFF-set variant, as the resynthesis uses)."""
+    total = 2 ** (1 << n)
+    return count_comparison_functions(n, include_complemented) / total

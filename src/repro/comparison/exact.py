@@ -1,0 +1,233 @@
+"""Exact comparison-function identification without the ``n!`` factor.
+
+Section 3.4 notes the brute-force identifier's ``O(n! 2^n)`` cost and
+remarks that the factorial can be removed by a reformulation; the paper
+omits the procedure.  This module supplies one: a memoized recursive
+decision procedure over cofactors.
+
+Under a permutation with MSB ``v``, the ON-set of ``f`` is an interval
+``[L, U]`` iff one of:
+
+* it lies in the lower half — ``f|v=1 = 0`` and ``f|v=0`` is an interval
+  (recursively, over the remaining variables, any order);
+* it lies in the upper half — symmetric;
+* it straddles — ``f|v=0`` is an *upper* interval ``[L', max]`` and
+  ``f|v=1`` a *lower* interval ``[0, U']`` **under one shared ordering**
+  of the remaining variables.
+
+The shared-ordering constraint couples the cofactors, so the helper
+predicate recurses on *pairs*: ``updown(g, h)`` = "some shared ordering
+makes ``g`` an upper interval and ``h`` a lower interval".  Peeling the
+next MSB splits each of ``g`` and ``h`` two ways, giving four coupled
+subcases, each again an ``updown`` pair.  Memoization over the cofactor
+tables keeps this polynomial in practice; results carry a witness
+(permutation and bounds), so the outcome is checkable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.truthtable import tt_complement
+from .spec import ComparisonSpec
+
+#: witness: (perm_positions, L, U) over the *local* variable indices.
+_Witness = Tuple[Tuple[int, ...], int, int]
+
+
+def _cofactors(table: int, k: int, pos: int) -> Tuple[int, int]:
+    """Cofactors (f|x_pos=0, f|x_pos=1) over the remaining k-1 variables.
+
+    *pos* is 0-based MSB-first; the remaining variables keep their
+    relative order.
+    """
+    weight = k - pos - 1
+    stride = 1 << weight
+    f0 = 0
+    f1 = 0
+    for m in range(1 << k):
+        if m & stride:
+            if (table >> m) & 1:
+                f1 |= 1 << _squeeze(m, weight)
+        else:
+            if (table >> m) & 1:
+                f0 |= 1 << _squeeze(m, weight)
+    return f0, f1
+
+
+def _squeeze(m: int, weight: int) -> int:
+    """Drop the bit of *weight* from minterm *m* (compact the rest)."""
+    high = m >> (weight + 1)
+    low = m & ((1 << weight) - 1)
+    return (high << weight) | low
+
+
+class ExactIdentifier:
+    """Memoized exact decision procedure (one instance per query size)."""
+
+    def __init__(self) -> None:
+        self._comp: Dict[Tuple[int, int], Optional[_Witness]] = {}
+        self._updown: Dict[Tuple[int, int, int], Optional[Tuple[Tuple[int, ...], int, int]]] = {}
+
+    # -- interval (general) -------------------------------------------------
+
+    def comp(self, table: int, k: int) -> Optional[_Witness]:
+        """Witness that the ON-set is an interval under some ordering."""
+        full = (1 << (1 << k)) - 1
+        if k == 0:
+            return ((), 0, 0) if table & 1 else None
+        if table == 0:
+            return None  # empty ON-set: not a comparison function
+        if table == full:
+            return (tuple(range(k)), 0, (1 << k) - 1)
+        key = (table, k)
+        if key in self._comp:
+            return self._comp[key]
+        self._comp[key] = None  # placeholder until computed
+        result: Optional[_Witness] = None
+        for pos in range(k):
+            f0, f1 = _cofactors(table, k, pos)
+            if f1 == 0:
+                sub = self.comp(f0, k - 1)
+                if sub is not None:
+                    perm, lo, hi = sub
+                    result = (
+                        (pos,) + tuple(self._lift(perm, pos)), lo, hi
+                    )
+                    break
+            if f0 == 0:
+                sub = self.comp(f1, k - 1)
+                if sub is not None:
+                    perm, lo, hi = sub
+                    half = 1 << (k - 1)
+                    result = (
+                        (pos,) + tuple(self._lift(perm, pos)),
+                        half + lo, half + hi,
+                    )
+                    break
+            if f0 != 0 and f1 != 0:
+                sub = self.updown(f0, f1, k - 1)
+                if sub is not None:
+                    perm, lo, hi = sub
+                    half = 1 << (k - 1)
+                    result = (
+                        (pos,) + tuple(self._lift(perm, pos)),
+                        lo, half + hi,
+                    )
+                    break
+        self._comp[key] = result
+        return result
+
+    # -- coupled upper/lower intervals ---------------------------------------
+
+    def updown(
+        self, g: int, h: int, k: int
+    ) -> Optional[Tuple[Tuple[int, ...], int, int]]:
+        """Shared ordering making ``g = [lo, max]`` and ``h = [0, hi]``.
+
+        Returns ``(perm, lo, hi)`` over the local indices, or None.
+        Requires ``g`` and ``h`` nonempty (callers guarantee it).
+        """
+        full = (1 << (1 << k)) - 1
+        if k == 0:
+            if g & 1 and h & 1:
+                return ((), 0, 0)
+            return None
+        if g == full and h == full:
+            return (tuple(range(k)), 0, (1 << k) - 1)
+        key = (g, h, k)
+        if key in self._updown:
+            return self._updown[key]
+        self._updown[key] = None
+        result = None
+        half = 1 << (k - 1)
+        sub_full = (1 << (1 << (k - 1))) - 1 if k > 1 else 1
+        for pos in range(k):
+            g0, g1 = _cofactors(g, k, pos)
+            h0, h1 = _cofactors(h, k, pos)
+            # g upper-interval cases: (g0 = 0, g1 upper) or
+            #                         (g0 upper, g1 = full)
+            # h lower-interval cases: (h1 = 0, h0 lower) or
+            #                         (h0 = full, h1 lower)
+            for g_low_case in (True, False):
+                if g_low_case:
+                    if g0 != 0:
+                        continue
+                    g_sub = g1
+                    g_off = half
+                else:
+                    if g1 != sub_full:
+                        continue
+                    g_sub = g0
+                    g_off = 0
+                for h_low_case in (True, False):
+                    if h_low_case:
+                        if h1 != 0:
+                            continue
+                        h_sub = h0
+                        h_off = 0
+                    else:
+                        if h0 != sub_full:
+                            continue
+                        h_sub = h1
+                        h_off = half
+                    if g_sub == 0 or h_sub == 0:
+                        continue
+                    sub = self.updown(g_sub, h_sub, k - 1)
+                    if sub is not None:
+                        perm, lo, hi = sub
+                        result = (
+                            (pos,) + tuple(self._lift(perm, pos)),
+                            g_off + lo, h_off + hi,
+                        )
+                        break
+                if result is not None:
+                    break
+            if result is not None:
+                break
+        self._updown[key] = result
+        return result
+
+    @staticmethod
+    def _lift(perm: Sequence[int], removed: int) -> List[int]:
+        """Reinsert the removed position into a sub-permutation's indices."""
+        return [p if p < removed else p + 1 for p in perm]
+
+
+def exact_identify(
+    table: int,
+    variables: Sequence[str],
+    try_offset: bool = True,
+) -> Optional[ComparisonSpec]:
+    """Exact identification (no permutation sampling).
+
+    Returns a witness spec or None; constants return None (as with the
+    sampled identifier, the procedures handle constants separately).
+    """
+    n = len(variables)
+    size = 1 << n
+    full = (1 << size) - 1
+    if table in (0, full):
+        return None
+    ident = ExactIdentifier()
+    witness = ident.comp(table, n)
+    if witness is not None:
+        perm, lo, hi = witness
+        return ComparisonSpec(
+            tuple(variables[j] for j in perm), lo, hi, complement=False
+        )
+    if try_offset:
+        witness = ident.comp(tt_complement(table, n), n)
+        if witness is not None:
+            perm, lo, hi = witness
+            return ComparisonSpec(
+                tuple(variables[j] for j in perm), lo, hi, complement=True
+            )
+    return None
+
+
+def is_comparison_exact(
+    table: int, variables: Sequence[str], try_offset: bool = True
+) -> bool:
+    """Exact membership predicate (Definition 1, no sampling)."""
+    return exact_identify(table, variables, try_offset) is not None

@@ -1,0 +1,235 @@
+"""Identification of comparison functions (Section 3.4, Section 5).
+
+Given a truth table over ordered variables, the identifier searches input
+permutations for one under which the ON-set minterms form a consecutive
+decimal interval.  Following the paper's experimental setup (Section 5), the
+OFF-set is tried as well: if the OFF minterms are consecutive, the function
+is a *complemented* comparison function, realized by inverting a comparison
+unit's output.  Up to ``perm_budget`` permutations are tried (the paper used
+200); for ``n! <= perm_budget`` the search is exhaustive and therefore exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..sim.truthtable import tt_minterms
+from .spec import ComparisonSpec
+
+#: Default permutation budget, matching Section 5 of the paper.
+DEFAULT_PERM_BUDGET = 200
+
+
+def _minterm_bits(minterms: Sequence[int], n: int) -> List[Tuple[int, ...]]:
+    """Decompose each minterm into an MSB-first bit tuple."""
+    return [
+        tuple((m >> (n - i - 1)) & 1 for i in range(n)) for m in minterms
+    ]
+
+
+def _interval_under_perm(
+    bits: List[Tuple[int, ...]], n: int, perm: Sequence[int]
+) -> Optional[Tuple[int, int]]:
+    """If the minterms are consecutive under *perm*, return (L, U).
+
+    ``perm[i] = j`` means the new position ``i`` (MSB first) reads the old
+    position ``j``.  Exits early once the value span exceeds the minterm
+    count (a span never shrinks, so the permutation is already refuted).
+    """
+    total = len(bits)
+    lo = hi = None
+    for b in bits:
+        v = 0
+        for i, j in enumerate(perm):
+            if b[j]:
+                v |= 1 << (n - i - 1)
+        if lo is None:
+            lo = hi = v
+        elif v < lo:
+            lo = v
+        elif v > hi:
+            hi = v
+        if hi - lo >= total:
+            return None
+    if lo is None:
+        return None
+    if hi - lo + 1 == total:
+        return lo, hi
+    return None
+
+
+def _lsb_condition_holds(bits: List[Tuple[int, ...]], n: int) -> bool:
+    """Necessary condition for any permuted interval to exist.
+
+    In an interval of ``W`` consecutive integers, the number of odd values
+    is ``floor(W/2)`` or ``ceil(W/2)``; under a valid permutation some
+    variable plays the LSB role, so some variable's ON-count with value 1
+    must hit that window.  Cheap and exact — skipping the permutation loop
+    when it fails cannot change any identification result.
+    """
+    w = len(bits)
+    lo, hi = w // 2, (w + 1) // 2
+    for j in range(n):
+        c1 = sum(b[j] for b in bits)
+        if lo <= c1 <= hi:
+            return True
+    return False
+
+
+def candidate_permutations(
+    n: int, perm_budget: int, seed: int = 0
+) -> Iterator[Tuple[int, ...]]:
+    """Yield up to *perm_budget* distinct permutations of ``0..n-1``.
+
+    The identity comes first.  When ``n! <= perm_budget`` the enumeration is
+    exhaustive (lexicographic); otherwise a deterministic seeded sample of
+    distinct permutations is produced, mirroring the paper's "up to 200
+    permutations" experimental procedure.
+    """
+    total = 1
+    for i in range(2, n + 1):
+        total *= i
+    if total <= perm_budget:
+        yield from itertools.permutations(range(n))
+        return
+    rng = random.Random((seed << 8) | n)
+    seen = set()
+    identity = tuple(range(n))
+    seen.add(identity)
+    yield identity
+    produced = 1
+    while produced < perm_budget:
+        p = list(range(n))
+        rng.shuffle(p)
+        tp = tuple(p)
+        if tp in seen:
+            continue
+        seen.add(tp)
+        yield tp
+        produced += 1
+
+
+@dataclass(frozen=True)
+class IdentificationResult:
+    """All comparison-form realizations found for one function."""
+
+    specs: Tuple[ComparisonSpec, ...]
+    permutations_tried: int
+    exhaustive: bool
+
+    @property
+    def found(self) -> bool:
+        """True when at least one comparison realization was found."""
+        return bool(self.specs)
+
+
+@lru_cache(maxsize=200_000)
+def _identify_positions(
+    table: int,
+    n: int,
+    perm_budget: int,
+    try_offset: bool,
+    seed: int,
+    max_specs: int,
+):
+    """Position-level identification core, memoized across callers.
+
+    Resynthesis evaluates thousands of candidate cones that frequently
+    share truth tables, so caching on the ``(table, n, knobs)`` key is a
+    large constant-factor win.  Returns ``(hits, tried)`` where each hit is
+    a ``(perm, L, U, complement)`` tuple.
+    """
+    size = 1 << n
+    full = (1 << size) - 1
+    if table == 0 or table == full:
+        return ((), 0)
+    on_bits = _minterm_bits(tt_minterms(table, n), n)
+    off_bits = (
+        _minterm_bits(tt_minterms(table ^ full, n), n) if try_offset else None
+    )
+    check_on = _lsb_condition_holds(on_bits, n)
+    check_off = off_bits is not None and _lsb_condition_holds(off_bits, n)
+    if not check_on and not check_off:
+        return ((), 0)
+    hits: List[Tuple[Tuple[int, ...], int, int, bool]] = []
+    tried = 0
+    for perm in candidate_permutations(n, perm_budget, seed):
+        tried += 1
+        if check_on:
+            got = _interval_under_perm(on_bits, n, perm)
+            if got is not None:
+                hits.append((perm, got[0], got[1], False))
+        if check_off:
+            got = _interval_under_perm(off_bits, n, perm)
+            if got is not None:
+                hits.append((perm, got[0], got[1], True))
+        if len(hits) >= max_specs:
+            break
+    return (tuple(hits), tried)
+
+
+def identify_comparison(
+    table: int,
+    variables: Sequence[str],
+    perm_budget: int = DEFAULT_PERM_BUDGET,
+    try_offset: bool = True,
+    seed: int = 0,
+    max_specs: int = 16,
+) -> IdentificationResult:
+    """Search for comparison-function realizations of a truth table.
+
+    Parameters
+    ----------
+    table:
+        Truth table bitmask over *variables* (MSB-first convention).
+    variables:
+        Ordered variable names.
+    perm_budget:
+        Maximum permutations to try (paper: 200).
+    try_offset:
+        Also test the OFF-set (complemented realization), as in Section 5.
+    seed:
+        Seed for the permutation sample when the search is not exhaustive.
+    max_specs:
+        Stop collecting after this many successful realizations (the caller
+        picks the cheapest; a handful is plenty of diversity).
+
+    Returns
+    -------
+    IdentificationResult
+        All realizations found (possibly none).  Constant functions are
+        never reported as comparison functions; the resynthesis procedures
+        handle them by direct constant substitution instead.
+    """
+    n = len(variables)
+    fact = 1
+    for i in range(2, n + 1):
+        fact *= i
+    exhaustive = fact <= perm_budget
+    hits, tried = _identify_positions(
+        table, n, perm_budget, try_offset, seed, max_specs
+    )
+    specs = tuple(
+        ComparisonSpec(
+            tuple(variables[j] for j in perm), lo, hi, complement=comp
+        )
+        for perm, lo, hi, comp in hits
+    )
+    return IdentificationResult(specs, tried, exhaustive)
+
+
+def is_comparison_function(
+    table: int,
+    variables: Sequence[str],
+    perm_budget: int = DEFAULT_PERM_BUDGET,
+    try_offset: bool = True,
+    seed: int = 0,
+) -> bool:
+    """Convenience predicate over :func:`identify_comparison`."""
+    return identify_comparison(
+        table, variables, perm_budget, try_offset, seed, max_specs=1
+    ).found

@@ -1,0 +1,139 @@
+"""Multi-unit covers: ``f = f_1 + f_2 + ... + f_k`` (Section 3.1, Section 6).
+
+Any function can be written as an OR of comparison functions by splitting
+its ON-set into subsets whose minterms are consecutive under a shared
+permutation; the paper notes the construction but evaluates only
+single-unit replacements, listing multi-unit synthesis as future work.
+This module implements it: for each candidate permutation the ON minterms
+(sorted by permuted value) split into maximal consecutive runs — each run
+is one comparison function — and the permutation needing the fewest runs
+wins.  The realization is the units' outputs ORed together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, GateType
+from ..sim.truthtable import tt_minterms
+from .identify import DEFAULT_PERM_BUDGET, candidate_permutations
+from .spec import ComparisonSpec
+from .unit import _Namer, emit_comparison_unit
+
+
+@dataclass(frozen=True)
+class MultiUnitCover:
+    """A cover of one function by comparison units under a shared permutation."""
+
+    specs: Tuple[ComparisonSpec, ...]
+
+    @property
+    def n_units(self) -> int:
+        """Number of comparison units in the cover."""
+        return len(self.specs)
+
+    def describe(self) -> str:
+        """Human-readable summary."""
+        return " OR ".join(s.describe() for s in self.specs)
+
+
+def _runs_under_perm(
+    minterms: Sequence[int], n: int, perm: Sequence[int]
+) -> List[Tuple[int, int]]:
+    """Maximal consecutive runs of the permuted minterm values."""
+    values = []
+    for m in minterms:
+        v = 0
+        for i, j in enumerate(perm):
+            if (m >> (n - j - 1)) & 1:
+                v |= 1 << (n - i - 1)
+        values.append(v)
+    values.sort()
+    runs: List[Tuple[int, int]] = []
+    start = prev = values[0]
+    for v in values[1:]:
+        if v == prev + 1:
+            prev = v
+            continue
+        runs.append((start, prev))
+        start = prev = v
+    runs.append((start, prev))
+    return runs
+
+
+def find_multi_unit_cover(
+    table: int,
+    variables: Sequence[str],
+    max_units: int = 4,
+    perm_budget: int = DEFAULT_PERM_BUDGET,
+    seed: int = 0,
+) -> Optional[MultiUnitCover]:
+    """Find the fewest-units cover of *table* within the permutation budget.
+
+    Returns None for constant functions or when every permutation needs
+    more than *max_units* runs.  With ``max_units=1`` this degenerates to
+    (ON-set-only) single-unit identification.
+    """
+    n = len(variables)
+    size = 1 << n
+    if table == 0 or table == (1 << size) - 1:
+        return None
+    minterms = tt_minterms(table, n)
+    best: Optional[List[Tuple[int, int]]] = None
+    best_perm: Optional[Sequence[int]] = None
+    for perm in candidate_permutations(n, perm_budget, seed):
+        runs = _runs_under_perm(minterms, n, perm)
+        if best is None or len(runs) < len(best):
+            best = runs
+            best_perm = perm
+            if len(best) == 1:
+                break
+    if best is None or len(best) > max_units:
+        return None
+    inputs = tuple(variables[j] for j in best_perm)
+    specs = tuple(
+        ComparisonSpec(inputs, lo, hi) for lo, hi in best
+    )
+    return MultiUnitCover(specs)
+
+
+def emit_multi_unit(
+    circuit: Circuit,
+    cover: MultiUnitCover,
+    output_net: str,
+    prefix: str = "mu_",
+) -> List[str]:
+    """Emit the cover into *circuit*: the units ORed onto *output_net*."""
+    if cover.n_units == 1:
+        return emit_comparison_unit(circuit, cover.specs[0], output_net,
+                                    prefix=prefix)
+    namer = _Namer(circuit, prefix)
+    unit_outputs: List[str] = []
+    created: List[str] = []
+    for i, spec in enumerate(cover.specs):
+        # Give each unit a placeholder net, then emit into it.
+        unit_out = namer.fresh(f"u{i}_")
+        circuit.add_gate(unit_out, GateType.CONST0, ())
+        created.append(unit_out)
+        created.extend(
+            emit_comparison_unit(circuit, spec, unit_out,
+                                 prefix=f"{prefix}{i}_")
+        )
+        unit_outputs.append(unit_out)
+    from ..netlist import Gate
+
+    circuit.replace_gate(Gate(output_net, GateType.OR, tuple(unit_outputs)))
+    return created
+
+
+def build_multi_unit(cover: MultiUnitCover) -> Circuit:
+    """Standalone circuit computing the cover (output net ``"f"``)."""
+    c = Circuit(f"multiunit[{cover.n_units}]")
+    for pi in cover.specs[0].inputs:
+        c.add_input(pi)
+    c.add_gate("f", GateType.CONST0, ())
+    emit_multi_unit(c, cover, "f")
+    c.set_outputs(["f"])
+    c.validate()
+    return c

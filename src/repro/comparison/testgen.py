@@ -1,0 +1,165 @@
+"""Robust path-delay-fault test generation for comparison units (Section 3.3).
+
+The paper shows (proof omitted there, reproduced as executable checks in our
+test suite) that comparison units built per Figure 5 are fully robustly
+testable, and demonstrates the test-set construction on the L=11, U=12 unit
+(Table 1).  This module implements that construction for any spec:
+
+* free variable ``x_i``: transition on ``x_i``; the other free variables at
+  their fixed values; the non-free variables held at ``L_F`` (any stable
+  value in ``[L_F, U_F]`` works — the construction uses the lower bound,
+  exactly as the worked example applies 3).
+* non-free ``x_j`` through the ``>= L_F`` block: prefix variables at their
+  ``L_F`` bits; suffix variables at the *smallest* value that makes the
+  chain side input non-controlling (all zeros when ``l_j = 0``, the bound's
+  own suffix when ``l_j = 1``); free variables at their fixed values.
+* non-free ``x_j`` through the ``<= U_F`` block: prefix at the ``U_F``
+  bits; suffix at the *largest* admissible value (all ones when
+  ``u_j = 1``, the bound's own suffix when ``u_j = 0``).
+
+Because the first non-free position always has ``l_1 = 0`` and ``u_1 = 1``
+(it is the first bit where the bounds disagree), the opposite block's output
+is guaranteed stable at 1 for every such test, which is what makes the tests
+robust.  ``tests/comparison/test_testgen.py`` verifies robustness of every
+generated test against the generic criteria in :mod:`repro.pdf.robust`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .spec import ComparisonSpec
+
+
+@dataclass(frozen=True)
+class TwoPatternTest:
+    """A two-pattern test targeting one path delay fault of a unit.
+
+    ``v1``/``v2`` assign 0/1 to every spec input (original net names).
+    ``input_name`` is the launching input; ``block`` names the tested path
+    segment (``"free"``, ``"geq"`` or ``"leq"``); ``rising`` gives the
+    launch transition direction.
+    """
+
+    input_name: str
+    block: str
+    rising: bool
+    v1: Dict[str, int]
+    v2: Dict[str, int]
+
+    @property
+    def transition(self) -> str:
+        """Paper notation for the launch transition (``0x1`` / ``1x0``)."""
+        return "0x1" if self.rising else "1x0"
+
+    def stable_inputs(self) -> Dict[str, int]:
+        """The stable side inputs (everything except the launching input)."""
+        return {k: v for k, v in self.v1.items() if k != self.input_name}
+
+
+def _spread(value: int, names: Sequence[str]) -> Dict[str, int]:
+    """Distribute *value*'s bits (MSB first) over *names*."""
+    k = len(names)
+    return {names[i]: (value >> (k - i - 1)) & 1 for i in range(k)}
+
+
+def _both_directions(
+    input_name: str, block: str, base: Dict[str, int]
+) -> List[TwoPatternTest]:
+    """Rising and falling tests from a stable base assignment."""
+    out = []
+    for rising in (True, False):
+        v1 = dict(base)
+        v2 = dict(base)
+        v1[input_name] = 0 if rising else 1
+        v2[input_name] = 1 if rising else 0
+        out.append(TwoPatternTest(input_name, block, rising, v1, v2))
+    return out
+
+
+def robust_tests_for_unit(spec: ComparisonSpec) -> List[TwoPatternTest]:
+    """Complete robust test set for the comparison unit realizing *spec*.
+
+    One rising and one falling test per structural path of the unit; the
+    complement flag is irrelevant (an output inversion changes the observed
+    transition's direction, not the test patterns).
+    """
+    tests: List[TwoPatternTest] = []
+    free = list(spec.free_inputs)
+    free_vals = dict(zip(free, spec.free_values))
+    bound = list(spec.bound_inputs)
+    k = len(bound)
+    lf_bits = [(spec.suffix_lower >> (k - i - 1)) & 1 for i in range(k)] if k else []
+    uf_bits = [(spec.suffix_upper >> (k - i - 1)) & 1 for i in range(k)] if k else []
+
+    # -- free-variable paths (Figure 5's direct AND-gate inputs) -----------
+    for name in free:
+        base = dict(free_vals)
+        base.update(_spread(spec.suffix_lower, bound))
+        tests.extend(_both_directions(name, "free", base))
+
+    # -- paths through the >= L_F block -------------------------------------
+    if spec.has_geq_block:
+        t = max(i for i in range(k) if lf_bits[i] == 1)
+        for j in range(t + 1):
+            base = dict(free_vals)
+            for i in range(j):
+                base[bound[i]] = lf_bits[i]
+            for i in range(j + 1, k):
+                base[bound[i]] = lf_bits[i] if lf_bits[j] == 1 else 0
+            base[bound[j]] = 0  # placeholder; _both_directions overwrites
+            tests.extend(_both_directions(bound[j], "geq", base))
+
+    # -- paths through the <= U_F block -------------------------------------
+    if spec.has_leq_block:
+        t = max(i for i in range(k) if uf_bits[i] == 0)
+        for j in range(t + 1):
+            base = dict(free_vals)
+            for i in range(j):
+                base[bound[i]] = uf_bits[i]
+            for i in range(j + 1, k):
+                base[bound[i]] = uf_bits[i] if uf_bits[j] == 0 else 1
+            base[bound[j]] = 0
+            tests.extend(_both_directions(bound[j], "leq", base))
+
+    return tests
+
+
+def format_test_table(spec: ComparisonSpec, tests: Iterable[TwoPatternTest]) -> str:
+    """Render a test set in the style of Table 1 of the paper.
+
+    Stable inputs print as ``000``/``111``; the launching input prints as
+    ``0x1`` or ``1x0``.  Rising/falling tests for the same fault share a row
+    (as in the paper), so the table has one row per structural path.
+    """
+    cols = list(spec.inputs)
+    header = ["fault"] + cols
+    rows: List[List[str]] = []
+    seen: Dict[Tuple[str, str], List[str]] = {}
+    for t in tests:
+        key = (t.input_name, t.block)
+        if key in seen:
+            continue
+        label = {
+            "free": t.input_name,
+            "geq": f"{t.input_name}, >=L_F",
+            "leq": f"{t.input_name}, <=U_F",
+        }[t.block]
+        row = [label]
+        for c in cols:
+            if c == t.input_name:
+                row.append("0x1, 1x0")
+            else:
+                row.append("111" if t.v1[c] else "000")
+        seen[key] = row
+        rows.append(row)
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*header)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt.format(*r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""The comparison-function / threshold-function relationship (Section 3 end).
+
+The ``>= L`` comparison block is a threshold function with weight
+``2**(n-i)`` on ``x_i`` and threshold ``T = L``; a ``<= U`` block is the
+complement of a ``>= U+1`` threshold function with the same weights.  A
+comparison function is therefore the AND of one threshold function and one
+complemented threshold function, which this module makes concrete for use
+in the examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .spec import ComparisonSpec
+
+
+@dataclass(frozen=True)
+class ThresholdFunction:
+    """``f(x) = [ sum_i weight_i * x_i >= threshold ]``, optionally inverted."""
+
+    inputs: Tuple[str, ...]
+    weights: Tuple[int, ...]
+    threshold: int
+    inverted: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.weights):
+            raise ValueError("one weight per input required")
+
+    def evaluate(self, assignment: Dict[str, int]) -> int:
+        """Evaluate on a 0/1 assignment to the input names."""
+        total = sum(
+            w for name, w in zip(self.inputs, self.weights)
+            if assignment[name] & 1
+        )
+        value = int(total >= self.threshold)
+        return 1 - value if self.inverted else value
+
+
+def geq_block_threshold(spec: ComparisonSpec) -> ThresholdFunction:
+    """The ``>= L`` block of *spec* as a threshold function (weights 2^(n-i))."""
+    n = spec.n
+    weights = tuple(1 << (n - i - 1) for i in range(n))
+    return ThresholdFunction(spec.inputs, weights, spec.lower)
+
+
+def leq_block_threshold(spec: ComparisonSpec) -> ThresholdFunction:
+    """The ``<= U`` block as a complemented ``>= U+1`` threshold function."""
+    n = spec.n
+    weights = tuple(1 << (n - i - 1) for i in range(n))
+    return ThresholdFunction(spec.inputs, weights, spec.upper + 1, inverted=True)
+
+
+def evaluate_as_threshold_pair(
+    spec: ComparisonSpec, assignment: Dict[str, int]
+) -> int:
+    """Evaluate *spec* as AND of its two threshold-function views.
+
+    Matches :meth:`ComparisonSpec.evaluate` for every assignment (a
+    hypothesis test asserts this).
+    """
+    geq = geq_block_threshold(spec).evaluate(assignment)
+    leq = leq_block_threshold(spec).evaluate(assignment)
+    value = geq & leq
+    return 1 - value if spec.complement else value

@@ -1,0 +1,158 @@
+"""Shared experiment artifacts: optimized circuit versions, disk-cached.
+
+Tables 2-7 all consume the same handful of derived circuits (Procedure 2
+output, its redundancy-removed form, the RAMBO_C baseline output, RAMBO_C
+followed by Procedure 2, Procedure 3 output).  Deriving them is the
+expensive part of the evaluation, so each is materialized as a JSON netlist
+under ``benchcircuits/data/derived/`` keyed by circuit and stage; repeat
+runs load instantly.  Everything is deterministic, so the cache is pure
+memoization.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Optional, Tuple
+
+from ..atpg import remove_redundancies
+from ..baselines import rambo_c
+from ..benchcircuits.suite import DATA_DIR, suite_circuit
+from ..io.json_io import load_json, save_json
+from ..netlist import Circuit, two_input_gate_count
+from ..resynth import procedure2, procedure3
+
+DERIVED_DIR = os.path.join(DATA_DIR, "derived")
+
+#: K values evaluated per circuit, as in the paper's Section 5.
+DEFAULT_KS: Tuple[int, ...] = (5, 6)
+
+
+def _cache_path(name: str, stage: str) -> str:
+    return os.path.join(DERIVED_DIR, f"{name}.{stage}.json")
+
+
+def _load_cached(name: str, stage: str) -> Optional[Circuit]:
+    path = _cache_path(name, stage)
+    if os.path.exists(path):
+        return load_json(path)
+    return None
+
+
+def _store(circuit: Circuit, name: str, stage: str) -> Circuit:
+    try:
+        os.makedirs(DERIVED_DIR, exist_ok=True)
+        save_json(circuit, _cache_path(name, stage))
+    except OSError:  # pragma: no cover - read-only installs
+        pass
+    return circuit
+
+
+def _derive(name: str, stage: str, builder) -> Circuit:
+    cached = _load_cached(name, stage)
+    if cached is not None:
+        return cached
+    circuit = builder()
+    circuit.name = name
+    return _store(circuit, name, stage)
+
+
+@lru_cache(maxsize=None)
+def original_circuit(name: str) -> Circuit:
+    """The irredundant suite circuit (Tables' "orig" column)."""
+    return suite_circuit(name)
+
+
+@lru_cache(maxsize=None)
+def proc2_circuit(name: str, k: int) -> Circuit:
+    """Procedure 2 output for one K."""
+    return _derive(
+        name, f"p2k{k}",
+        lambda: procedure2(original_circuit(name), k=k).circuit,
+    )
+
+
+@lru_cache(maxsize=None)
+def proc2_best(name: str) -> Tuple[Circuit, int]:
+    """Procedure 2 output at the better K (fewest 2-input gates, then paths).
+
+    The paper reports "the value of K for which the best modified circuit
+    was obtained"; this mirrors that selection over :data:`DEFAULT_KS`.
+    """
+    from ..analysis import count_paths
+
+    scored = []
+    for k in DEFAULT_KS:
+        c = proc2_circuit(name, k)
+        scored.append(((two_input_gate_count(c), count_paths(c)), k, c))
+    scored.sort(key=lambda t: t[0])
+    _, k, circuit = scored[0]
+    return circuit, k
+
+
+@lru_cache(maxsize=None)
+def proc2_redrem(name: str) -> Circuit:
+    """Procedure 2 output after redundancy removal (Table 2's "red.rem")."""
+    def build() -> Circuit:
+        circuit, _ = proc2_best(name)
+        return remove_redundancies(circuit, random_patterns=1024).circuit
+
+    return _derive(name, "p2rr", build)
+
+
+@lru_cache(maxsize=None)
+def proc3_circuit(name: str, k: int) -> Circuit:
+    """Procedure 3 output for one K."""
+    return _derive(
+        name, f"p3k{k}",
+        lambda: procedure3(original_circuit(name), k=k).circuit,
+    )
+
+
+@lru_cache(maxsize=None)
+def proc3_best(name: str) -> Tuple[Circuit, int]:
+    """Procedure 3 output at the better K (fewest paths)."""
+    from ..analysis import count_paths
+
+    scored = []
+    for k in DEFAULT_KS:
+        c = proc3_circuit(name, k)
+        scored.append((count_paths(c), k, c))
+    scored.sort(key=lambda t: t[0])
+    _, k, circuit = scored[0]
+    return circuit, k
+
+
+@lru_cache(maxsize=None)
+def rambo_circuit(name: str) -> Circuit:
+    """RAMBO_C baseline output (Table 3's "RAMBO_C" columns)."""
+    return _derive(
+        name, "rambo", lambda: rambo_c(original_circuit(name)).circuit
+    )
+
+
+@lru_cache(maxsize=None)
+def rambo_proc2_circuit(name: str, k: int = 6) -> Circuit:
+    """Procedure 2 applied after RAMBO_C (Table 3's last columns)."""
+    return _derive(
+        name, f"rambop2k{k}",
+        lambda: procedure2(rambo_circuit(name), k=k).circuit,
+    )
+
+
+def clear_disk_cache() -> int:
+    """Delete all derived artifacts; returns the number removed."""
+    removed = 0
+    if os.path.isdir(DERIVED_DIR):
+        for fn in os.listdir(DERIVED_DIR):
+            if fn.endswith(".json"):
+                os.unlink(os.path.join(DERIVED_DIR, fn))
+                removed += 1
+    proc2_circuit.cache_clear()
+    proc2_best.cache_clear()
+    proc2_redrem.cache_clear()
+    proc3_circuit.cache_clear()
+    proc3_best.cache_clear()
+    rambo_circuit.cache_clear()
+    rambo_proc2_circuit.cache_clear()
+    return removed

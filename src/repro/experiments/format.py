@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(value: Cell) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table (ints get thousands separators)."""
+    srows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in srows), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append(
+            "  ".join(c.rjust(w) if _is_numeric(c) else c.ljust(w)
+                      for c, w in zip(r, widths))
+        )
+    return "\n".join(lines)
+
+
+def _is_numeric(cell: str) -> bool:
+    return bool(cell) and cell.replace(",", "").replace(".", "").replace(
+        "-", ""
+    ).replace("/", "").isdigit()

@@ -1,0 +1,471 @@
+"""Drivers that regenerate every table of the paper's evaluation.
+
+Each ``tableN`` function returns a structured result object carrying the
+rows (for programmatic assertions in benchmarks/tests) and a ``render()``
+method producing a plain-text table shaped like the paper's.
+
+Scale note: the suite circuits are ~10-30x smaller than the paper's and the
+pattern budgets are scaled accordingly (see EXPERIMENTS.md); the *shape* of
+each table — who wins, what grows, what shrinks — is the reproduction
+target, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis import count_paths
+from ..comparison import (
+    ComparisonSpec,
+    format_test_table,
+    robust_tests_for_unit,
+)
+from ..faults import fault_universe, random_stuck_at_campaign
+from ..netlist import Circuit, two_input_gate_count
+from ..pdf import random_pdf_campaign
+from ..techmap import map_circuit
+from ..benchcircuits.suite import TABLE3_CIRCUITS, suite_names
+from .artifacts import (
+    original_circuit,
+    proc2_best,
+    proc2_redrem,
+    proc3_best,
+    rambo_circuit,
+    rambo_proc2_circuit,
+)
+from .format import render_table
+
+
+# --------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table1Result:
+    """The comparison-unit robust test set of Section 3.3 / Table 1."""
+
+    spec: ComparisonSpec
+    rows: List[Tuple[str, Dict[str, str]]]
+    text: str
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return self.text
+
+
+def table1() -> Table1Result:
+    """Regenerate Table 1: the test set for the L=11, U=12 unit."""
+    spec = ComparisonSpec(("x1", "x2", "x3", "x4"), 11, 12)
+    tests = robust_tests_for_unit(spec)
+    rows = []
+    seen = set()
+    for t in tests:
+        key = (t.input_name, t.block)
+        if key in seen:
+            continue
+        seen.add(key)
+        stable = {
+            k: ("111" if v else "000") for k, v in t.stable_inputs().items()
+        }
+        rows.append((f"{t.input_name},{t.block}", stable))
+    return Table1Result(spec, rows, format_test_table(spec, tests))
+
+
+# --------------------------------------------------------------------- #
+# Table 2
+# --------------------------------------------------------------------- #
+
+@dataclass
+class CircuitRow:
+    """One row of Table 2 (Procedure 2 + redundancy removal)."""
+
+    name: str
+    k: int
+    gates_orig: int
+    gates_modified: int
+    gates_redrem: int
+    paths_orig: int
+    paths_modified: int
+    paths_redrem: int
+
+
+@dataclass
+class Table2Result:
+    """Procedure 2 results over the suite."""
+
+    rows: List[CircuitRow]
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return render_table(
+            ["circuit(K)", "2-inp orig", "2-inp modif", "2-inp red.rem",
+             "paths orig", "paths modif", "paths red.rem"],
+            [
+                (f"{r.name} ({r.k})", r.gates_orig, r.gates_modified,
+                 r.gates_redrem, r.paths_orig, r.paths_modified,
+                 r.paths_redrem)
+                for r in self.rows
+            ],
+            title="Table 2: Results of Procedure 2",
+        )
+
+
+def table2(circuits: Optional[Sequence[str]] = None) -> Table2Result:
+    """Regenerate Table 2: Procedure 2 followed by redundancy removal."""
+    rows = []
+    for name in circuits or suite_names():
+        orig = original_circuit(name)
+        modified, k = proc2_best(name)
+        redrem = proc2_redrem(name)
+        rows.append(CircuitRow(
+            name=name,
+            k=k,
+            gates_orig=two_input_gate_count(orig),
+            gates_modified=two_input_gate_count(modified),
+            gates_redrem=two_input_gate_count(redrem),
+            paths_orig=count_paths(orig),
+            paths_modified=count_paths(modified),
+            paths_redrem=count_paths(redrem),
+        ))
+    return Table2Result(rows)
+
+
+# --------------------------------------------------------------------- #
+# Table 3
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table3Row:
+    """One row of Table 3 (RAMBO_C comparison)."""
+
+    name: str
+    gates_orig: int
+    paths_orig: int
+    gates_rambo: int
+    paths_rambo: int
+    k: int
+    gates_rambo_p2: int
+    paths_rambo_p2: int
+
+
+@dataclass
+class Table3Result:
+    """RAMBO_C vs RAMBO_C + Procedure 2."""
+
+    rows: List[Table3Row]
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return render_table(
+            ["circuit", "2-inp orig", "paths orig", "2-inp RAMBO_C",
+             "paths RAMBO_C", "K", "2-inp +Proc.2", "paths +Proc.2"],
+            [
+                (r.name, r.gates_orig, r.paths_orig, r.gates_rambo,
+                 r.paths_rambo, r.k, r.gates_rambo_p2, r.paths_rambo_p2)
+                for r in self.rows
+            ],
+            title="Table 3: Comparison with RAMBO_C [1]",
+        )
+
+
+def table3(
+    circuits: Sequence[str] = TABLE3_CIRCUITS, k: int = 6
+) -> Table3Result:
+    """Regenerate Table 3: the RAR baseline, alone and + Procedure 2."""
+    rows = []
+    for name in circuits:
+        orig = original_circuit(name)
+        rambo = rambo_circuit(name)
+        both = rambo_proc2_circuit(name, k)
+        rows.append(Table3Row(
+            name=name,
+            gates_orig=two_input_gate_count(orig),
+            paths_orig=count_paths(orig),
+            gates_rambo=two_input_gate_count(rambo),
+            paths_rambo=count_paths(rambo),
+            k=k,
+            gates_rambo_p2=two_input_gate_count(both),
+            paths_rambo_p2=count_paths(both),
+        ))
+    return Table3Result(rows)
+
+
+# --------------------------------------------------------------------- #
+# Table 4
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table4Row:
+    """One row of a Table 4 sub-table."""
+
+    name: str
+    literals_base: int
+    longest_base: int
+    literals_opt: int
+    longest_opt: int
+
+
+@dataclass
+class Table4Result:
+    """Technology-mapped sizes before/after the procedures."""
+
+    original_vs_proc2: List[Table4Row]
+    rambo_vs_rambo_proc2: List[Table4Row]
+
+    def render(self) -> str:
+        """Paper-shaped table text (both sub-tables)."""
+        a = render_table(
+            ["circuit", "orig literals", "orig longest",
+             "Proc.2 literals", "Proc.2 longest"],
+            [(r.name, r.literals_base, r.longest_base, r.literals_opt,
+              r.longest_opt) for r in self.original_vs_proc2],
+            title="Table 4(a): Technology mapping — original circuits",
+        )
+        b = render_table(
+            ["circuit", "RAMBO_C literals", "RAMBO_C longest",
+             "+Proc.2 literals", "+Proc.2 longest"],
+            [(r.name, r.literals_base, r.longest_base, r.literals_opt,
+              r.longest_opt) for r in self.rambo_vs_rambo_proc2],
+            title="Table 4(b): Technology mapping — after RAMBO_C",
+        )
+        return a + "\n\n" + b
+
+
+def table4(circuits: Sequence[str] = TABLE3_CIRCUITS) -> Table4Result:
+    """Regenerate Table 4: mapped literal counts and longest paths."""
+    part_a = []
+    part_b = []
+    for name in circuits:
+        orig = map_circuit(original_circuit(name))
+        p2 = map_circuit(proc2_best(name)[0])
+        part_a.append(Table4Row(
+            name, orig.literals, orig.longest_path,
+            p2.literals, p2.longest_path,
+        ))
+        rambo = map_circuit(rambo_circuit(name))
+        both = map_circuit(rambo_proc2_circuit(name))
+        part_b.append(Table4Row(
+            name, rambo.literals, rambo.longest_path,
+            both.literals, both.longest_path,
+        ))
+    return Table4Result(part_a, part_b)
+
+
+# --------------------------------------------------------------------- #
+# Table 5
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table5Row:
+    """One row of Table 5 (Procedure 3)."""
+
+    name: str
+    k: int
+    inputs: int
+    outputs: int
+    gates_orig: int
+    gates_modified: int
+    paths_orig: int
+    paths_modified: int
+
+
+@dataclass
+class Table5Result:
+    """Procedure 3 results over the suite."""
+
+    rows: List[Table5Row]
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return render_table(
+            ["circuit(K)", "inp", "out", "2-inp orig", "2-inp modif",
+             "paths orig", "paths modif"],
+            [
+                (f"{r.name} ({r.k})", r.inputs, r.outputs, r.gates_orig,
+                 r.gates_modified, r.paths_orig, r.paths_modified)
+                for r in self.rows
+            ],
+            title="Table 5: Results of Procedure 3",
+        )
+
+
+def table5(circuits: Optional[Sequence[str]] = None) -> Table5Result:
+    """Regenerate Table 5: Procedure 3 (path-count objective)."""
+    rows = []
+    for name in circuits or suite_names():
+        orig = original_circuit(name)
+        modified, k = proc3_best(name)
+        rows.append(Table5Row(
+            name=name,
+            k=k,
+            inputs=len(orig.inputs),
+            outputs=len(orig.outputs),
+            gates_orig=two_input_gate_count(orig),
+            gates_modified=two_input_gate_count(modified),
+            paths_orig=count_paths(orig),
+            paths_modified=count_paths(modified),
+        ))
+    return Table5Result(rows)
+
+
+# --------------------------------------------------------------------- #
+# Table 6
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table6Row:
+    """One row of Table 6 (random-pattern stuck-at testability)."""
+
+    name: str
+    faults_orig: int
+    remain_orig: int
+    eff_orig: Optional[int]
+    faults_modified: int
+    remain_modified: int
+    eff_modified: Optional[int]
+
+
+@dataclass
+class Table6Result:
+    """Random-pattern stuck-at testability, original vs modified."""
+
+    rows: List[Table6Row]
+    max_patterns: int
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return render_table(
+            ["circuit", "faults", "remain", "eff.patt",
+             "faults'", "remain'", "eff.patt'"],
+            [
+                (r.name, r.faults_orig, r.remain_orig, r.eff_orig,
+                 r.faults_modified, r.remain_modified, r.eff_modified)
+                for r in self.rows
+            ],
+            title=(
+                "Table 6: Results for stuck-at faults "
+                f"(random patterns, budget {self.max_patterns:,}; "
+                "primed columns = modified circuit)"
+            ),
+        )
+
+
+def table6(
+    circuits: Optional[Sequence[str]] = None,
+    max_patterns: int = 1 << 15,
+    seed: int = 7,
+    batch_size: int = 256,
+) -> Table6Result:
+    """Regenerate Table 6: the paper applies the *same* random sequence to
+    the original and the Procedure-2 + redundancy-removal circuit and
+    reports total faults / undetected / last effective pattern."""
+    rows = []
+    for name in circuits or suite_names():
+        orig = original_circuit(name)
+        modified = proc2_redrem(name)
+        res_o = random_stuck_at_campaign(
+            orig, seed=seed, max_patterns=max_patterns,
+            batch_size=batch_size, stop_when_complete=False,
+        )
+        res_m = random_stuck_at_campaign(
+            modified, seed=seed, max_patterns=max_patterns,
+            batch_size=batch_size, stop_when_complete=False,
+        )
+        rows.append(Table6Row(
+            name=name,
+            faults_orig=res_o.total_faults,
+            remain_orig=res_o.remaining,
+            eff_orig=res_o.last_effective_pattern,
+            faults_modified=res_m.total_faults,
+            remain_modified=res_m.remaining,
+            eff_modified=res_m.last_effective_pattern,
+        ))
+    return Table6Result(rows, max_patterns)
+
+
+# --------------------------------------------------------------------- #
+# Table 7
+# --------------------------------------------------------------------- #
+
+@dataclass
+class Table7Row:
+    """One row of Table 7 (robust PDF random-pattern detection)."""
+
+    version: str
+    eff_orig: Optional[int]
+    detected_orig: int
+    faults_orig: int
+    eff_modified: Optional[int]
+    detected_modified: int
+    faults_modified: int
+
+
+@dataclass
+class Table7Result:
+    """Robust PDF coverage before/after modification (Table 7's circuit)."""
+
+    circuit_name: str
+    rows: List[Table7Row]
+    max_patterns: int
+
+    def render(self) -> str:
+        """Paper-shaped table text."""
+        return render_table(
+            ["circuit", "eff", "det/faults original", "det/faults modified"],
+            [
+                (
+                    r.version,
+                    max(v for v in (r.eff_orig, r.eff_modified, 0)
+                        if v is not None),
+                    f"{r.detected_orig:,}/{r.faults_orig:,}",
+                    f"{r.detected_modified:,}/{r.faults_modified:,}",
+                )
+                for r in self.rows
+            ],
+            title=(
+                f"Table 7: Robust detection by random patterns in "
+                f"{self.circuit_name} (budget {self.max_patterns:,} "
+                "two-pattern tests)"
+            ),
+        )
+
+
+def table7(
+    circuit_name: str = "syn13207",
+    max_patterns: int = 20_000,
+    plateau_window: int = 5_000,
+    seed: int = 13,
+    batch_size: int = 128,
+) -> Table7Result:
+    """Regenerate Table 7 on the suite's analogue of ``irs13207``.
+
+    Two rows, as in the paper: the original circuit vs its Procedure-2
+    modification, and the RAMBO_C circuit vs RAMBO_C + Procedure 2.
+    """
+    def campaign(circuit: Circuit):
+        return random_pdf_campaign(
+            circuit, seed=seed, max_patterns=max_patterns,
+            plateau_window=plateau_window, batch_size=batch_size,
+        )
+
+    rows = []
+    pairs = [
+        ("original", original_circuit(circuit_name),
+         proc2_redrem(circuit_name)),
+        ("RAMBO_C", rambo_circuit(circuit_name),
+         rambo_proc2_circuit(circuit_name)),
+    ]
+    for label, base, modified in pairs:
+        res_b = campaign(base)
+        res_m = campaign(modified)
+        rows.append(Table7Row(
+            version=label,
+            eff_orig=res_b.last_effective_pattern,
+            detected_orig=res_b.detected,
+            faults_orig=res_b.total_faults,
+            eff_modified=res_m.last_effective_pattern,
+            detected_modified=res_m.detected,
+            faults_modified=res_m.total_faults,
+        ))
+    return Table7Result(circuit_name, rows, max_patterns)

@@ -1,0 +1,41 @@
+"""Stuck-at faults: model, collapsing, parallel-pattern fault simulation,
+random-pattern testability campaigns (Table 6 substrate)."""
+
+from .model import (
+    StuckFault,
+    all_faults,
+    collapsed_faults,
+    fault_universe,
+)
+from .cop import (
+    detection_probability,
+    hardest_faults,
+    observabilities,
+    signal_probabilities,
+)
+from .dictionary import (
+    FaultDictionary,
+    build_fault_dictionary,
+    observed_syndrome,
+)
+from .fsim import FaultSimulator, serial_detects, simulate_faults
+from .random_test import StuckAtCoverageResult, random_stuck_at_campaign
+
+__all__ = [
+    "FaultDictionary",
+    "FaultSimulator",
+    "StuckAtCoverageResult",
+    "StuckFault",
+    "all_faults",
+    "build_fault_dictionary",
+    "collapsed_faults",
+    "detection_probability",
+    "hardest_faults",
+    "observabilities",
+    "observed_syndrome",
+    "fault_universe",
+    "random_stuck_at_campaign",
+    "serial_detects",
+    "signal_probabilities",
+    "simulate_faults",
+]

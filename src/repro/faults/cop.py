@@ -1,0 +1,153 @@
+"""COP testability measures: signal probability, observability, detectability.
+
+The classical controllability/observability program (COP) estimates, under
+the independence assumption, each net's probability of being 1 under
+uniform random inputs and each net's probability of being observed at some
+output.  The product gives a per-fault random-pattern detection probability
+estimate — the quantity behind Table 6's "last effective pattern" column
+(a circuit's random-pattern testability is governed by its hardest fault).
+These are estimates, not guarantees; the test suite checks them against
+measured detection frequencies on small circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..netlist import Circuit, GateType
+from .model import StuckFault
+
+
+def signal_probabilities(circuit: Circuit) -> Dict[str, float]:
+    """COP controllability: P(net = 1) under independent uniform inputs."""
+    prob: Dict[str, float] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt is GateType.INPUT:
+            prob[net] = 0.5
+        elif gt is GateType.CONST0:
+            prob[net] = 0.0
+        elif gt is GateType.CONST1:
+            prob[net] = 1.0
+        elif gt is GateType.BUF:
+            prob[net] = prob[gate.fanins[0]]
+        elif gt is GateType.NOT:
+            prob[net] = 1.0 - prob[gate.fanins[0]]
+        elif gt in (GateType.AND, GateType.NAND):
+            p = 1.0
+            for f in gate.fanins:
+                p *= prob[f]
+            prob[net] = p if gt is GateType.AND else 1.0 - p
+        elif gt in (GateType.OR, GateType.NOR):
+            p = 1.0
+            for f in gate.fanins:
+                p *= 1.0 - prob[f]
+            prob[net] = 1.0 - p if gt is GateType.OR else p
+        else:  # XOR family
+            p = 0.0
+            for f in gate.fanins:
+                q = prob[f]
+                p = p * (1.0 - q) + (1.0 - p) * q
+            prob[net] = p if gt is GateType.XOR else 1.0 - p
+    return prob
+
+
+def observabilities(
+    circuit: Circuit, prob: Dict[str, float] = None
+) -> Dict[str, float]:
+    """COP observability: P(a change on the net reaches some output).
+
+    Computed outputs-to-inputs: an output net has observability 1; a gate
+    input's observability is the gate output's observability times the
+    probability that the other inputs hold non-controlling values (for
+    XOR, 1).  Fanout combines with the standard independence union.
+    """
+    if prob is None:
+        prob = signal_probabilities(circuit)
+    obs: Dict[str, float] = {n: 0.0 for n in circuit.nets()}
+    for o in circuit.output_set:
+        obs[o] = 1.0
+    for net in reversed(circuit.topological_order()):
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            continue
+        out_obs = obs[net]
+        if out_obs == 0.0:
+            continue
+        for i, f in enumerate(gate.fanins):
+            if gt in (GateType.BUF, GateType.NOT):
+                through = out_obs
+            elif gt in (GateType.AND, GateType.NAND):
+                side = 1.0
+                for j, g2 in enumerate(gate.fanins):
+                    if j != i:
+                        side *= prob[g2]
+                through = out_obs * side
+            elif gt in (GateType.OR, GateType.NOR):
+                side = 1.0
+                for j, g2 in enumerate(gate.fanins):
+                    if j != i:
+                        side *= 1.0 - prob[g2]
+                through = out_obs * side
+            else:  # XOR family: always sensitized
+                through = out_obs
+            # independence union across fanout branches
+            obs[f] = 1.0 - (1.0 - obs[f]) * (1.0 - through)
+    return obs
+
+
+def detection_probability(
+    circuit: Circuit,
+    fault: StuckFault,
+    prob: Dict[str, float] = None,
+    obs: Dict[str, float] = None,
+) -> float:
+    """COP estimate of P(a uniform random pattern detects *fault*).
+
+    Activation probability (the line holds the opposite value) times the
+    line's observability.  Branch faults use the stem's controllability
+    and an observability computed through the faulty pin's gate only.
+    """
+    if prob is None:
+        prob = signal_probabilities(circuit)
+    if obs is None:
+        obs = observabilities(circuit, prob)
+    p1 = prob[fault.net]
+    activation = p1 if fault.value == 0 else 1.0 - p1
+    if not fault.is_branch:
+        return activation * obs[fault.net]
+    gate = circuit.gate(fault.reader)
+    gt = gate.gtype
+    out_obs = obs[fault.reader]
+    if gt in (GateType.BUF, GateType.NOT):
+        through = out_obs
+    elif gt in (GateType.AND, GateType.NAND):
+        side = 1.0
+        for j, g2 in enumerate(gate.fanins):
+            if j != fault.pin:
+                side *= prob[g2]
+        through = out_obs * side
+    elif gt in (GateType.OR, GateType.NOR):
+        side = 1.0
+        for j, g2 in enumerate(gate.fanins):
+            if j != fault.pin:
+                side *= 1.0 - prob[g2]
+        through = out_obs * side
+    else:
+        through = out_obs
+    return activation * through
+
+
+def hardest_faults(
+    circuit: Circuit, faults, limit: int = 10
+) -> list:
+    """The *limit* faults with the lowest estimated detection probability."""
+    prob = signal_probabilities(circuit)
+    obs = observabilities(circuit, prob)
+    scored = [
+        (detection_probability(circuit, f, prob, obs), f) for f in faults
+    ]
+    scored.sort(key=lambda t: (t[0], t[1].net, t[1].value))
+    return scored[:limit]

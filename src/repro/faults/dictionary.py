@@ -1,0 +1,173 @@
+"""Fault dictionaries and stuck-at fault diagnosis.
+
+A *fault dictionary* records, for a fixed test set, which tests detect
+each fault and on which outputs — the classical data structure for
+post-test diagnosis.  Given an observed faulty response, candidate faults
+are ranked by syndrome match.  Built on the same PPSFP engine as the
+campaigns, so constructing a dictionary over hundreds of tests is one
+packed pass per fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import Circuit
+from ..sim.logicsim import simulate
+from .fsim import FaultSimulator
+from .model import StuckFault, fault_universe
+
+#: A syndrome: per output net, the packed word of tests where the response
+#: differs from the good machine.
+Syndrome = Dict[str, int]
+
+
+def _response_words(
+    circuit: Circuit, patterns: Sequence[Tuple[int, ...]]
+) -> Tuple[Dict[str, int], int]:
+    inputs = circuit.inputs
+    words = {pi: 0 for pi in inputs}
+    for p_idx, pattern in enumerate(patterns):
+        for i, pi in enumerate(inputs):
+            if pattern[i]:
+                words[pi] |= 1 << p_idx
+    return words, len(patterns)
+
+
+@dataclass
+class FaultDictionary:
+    """Per-fault output syndromes for a fixed test set."""
+
+    circuit_name: str
+    inputs: List[str]
+    outputs: List[str]
+    patterns: List[Tuple[int, ...]]
+    syndromes: Dict[StuckFault, Syndrome] = field(repr=False,
+                                                  default_factory=dict)
+
+    @property
+    def n_tests(self) -> int:
+        """Number of tests in the dictionary."""
+        return len(self.patterns)
+
+    def detecting_tests(self, fault: StuckFault) -> List[int]:
+        """0-based indices of tests detecting *fault*."""
+        syn = self.syndromes.get(fault)
+        if syn is None:
+            return []
+        word = 0
+        for w in syn.values():
+            word |= w
+        return [i for i in range(self.n_tests) if (word >> i) & 1]
+
+    def undetected_faults(self) -> List[StuckFault]:
+        """Faults with an all-zero syndrome."""
+        return [
+            f for f, syn in self.syndromes.items()
+            if not any(syn.values())
+        ]
+
+    def diagnose(self, observed: Syndrome, top: int = 5) -> List[Tuple[StuckFault, int]]:
+        """Rank faults by Hamming distance between syndromes (best first).
+
+        *observed* maps each output to the packed word of tests on which
+        the device under diagnosis mismatched the good machine.
+        """
+        scored = []
+        for fault, syn in self.syndromes.items():
+            dist = 0
+            for o in self.outputs:
+                dist += bin(syn.get(o, 0) ^ observed.get(o, 0)).count("1")
+            scored.append((dist, fault))
+        scored.sort(key=lambda t: (t[0], t[1].net, t[1].value,
+                                   t[1].reader or "", t[1].pin or -1))
+        return [(fault, dist) for dist, fault in scored[:top]]
+
+
+def build_fault_dictionary(
+    circuit: Circuit,
+    patterns: Sequence[Tuple[int, ...]],
+    faults: Optional[Sequence[StuckFault]] = None,
+) -> FaultDictionary:
+    """Construct the full-response dictionary for *patterns*."""
+    if faults is None:
+        faults = fault_universe(circuit)
+    words, n = _response_words(circuit, patterns)
+    sim = FaultSimulator(circuit)
+    good = sim.good_values(words, n)
+    dictionary = FaultDictionary(
+        circuit_name=circuit.name,
+        inputs=list(circuit.inputs),
+        outputs=list(circuit.outputs),
+        patterns=[tuple(p) for p in patterns],
+    )
+    for fault in faults:
+        syn = _fault_syndrome(sim, circuit, fault, good, n)
+        dictionary.syndromes[fault] = syn
+    return dictionary
+
+
+def _fault_syndrome(
+    sim: FaultSimulator,
+    circuit: Circuit,
+    fault: StuckFault,
+    good: Mapping[str, int],
+    n: int,
+) -> Syndrome:
+    """Per-output difference words for one fault (event-driven propagation)."""
+    # Reuse the detection machinery but keep per-output granularity: re-run
+    # the faulty propagation and compare each output.
+    from ..netlist import GateType
+    from ..sim.logicsim import eval_gate_packed
+
+    mask = (1 << n) - 1
+    stuck_word = mask if fault.value else 0
+    faulty: Dict[str, int] = {}
+    if fault.is_branch:
+        reader = circuit.gate(fault.reader)
+        pin_words = [
+            stuck_word if i == fault.pin else good[f]
+            for i, f in enumerate(reader.fanins)
+        ]
+        out = eval_gate_packed(reader.gtype, pin_words, mask)
+        if out != good[fault.reader]:
+            faulty[fault.reader] = out
+        start = fault.reader
+    else:
+        if stuck_word != good[fault.net]:
+            faulty[fault.net] = stuck_word
+        start = fault.net
+    if faulty:
+        for net in sim._cone_order(start):
+            if net == start:
+                continue
+            gate = circuit.gate(net)
+            if not any(f in faulty for f in gate.fanins):
+                continue
+            words = [faulty.get(f, good[f]) for f in gate.fanins]
+            out = eval_gate_packed(gate.gtype, words, mask)
+            if out != good[net]:
+                faulty[net] = out
+    return {
+        o: (faulty.get(o, good[o]) ^ good[o]) for o in circuit.outputs
+    }
+
+
+def observed_syndrome(
+    good_circuit: Circuit,
+    faulty_circuit: Circuit,
+    patterns: Sequence[Tuple[int, ...]],
+) -> Syndrome:
+    """Syndrome of a (possibly different) faulty implementation under test.
+
+    Simulates both circuits on *patterns* and returns the per-output
+    difference words — the input :meth:`FaultDictionary.diagnose` expects.
+    """
+    words, n = _response_words(good_circuit, patterns)
+    good = simulate(good_circuit, words, n)
+    bad = simulate(faulty_circuit, words, n)
+    return {
+        go: good[go] ^ bad[bo]
+        for go, bo in zip(good_circuit.outputs, faulty_circuit.outputs)
+    }

@@ -1,0 +1,146 @@
+"""Single stuck-at fault model: fault sites, universes, collapsing.
+
+Fault sites follow the classical line model: every net (gate output or
+primary input) has stem faults, and every gate input pin fed by a fanout
+stem has its own branch faults (a branch fault differs from the stem fault
+only when the stem actually fans out).  Equivalence collapsing uses the
+standard structural rules:
+
+* AND: any input s-a-0 == output s-a-0 (NAND: == output s-a-1);
+* OR: any input s-a-1 == output s-a-1 (NOR: == output s-a-0);
+* NOT/BUF: input faults == (inverted/equal) output faults.
+
+One representative per equivalence class is kept, which matches the fault
+counts tools like FSIM [17] report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..netlist import Circuit, GateType
+
+
+@dataclass(frozen=True)
+class StuckFault:
+    """A single stuck-at fault.
+
+    ``net`` is the faulty line.  For a stem (net) fault ``reader`` and
+    ``pin`` are None; for a branch fault they identify the gate input pin
+    (reader gate's output net, pin index) that is stuck.
+    """
+
+    net: str
+    value: int
+    reader: Optional[str] = None
+    pin: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck value must be 0 or 1")
+        if (self.reader is None) != (self.pin is None):
+            raise ValueError("branch faults need both reader and pin")
+
+    @property
+    def is_branch(self) -> bool:
+        """True for a gate-input-pin (fanout branch) fault."""
+        return self.reader is not None
+
+    def describe(self) -> str:
+        """Human-readable fault name, e.g. ``"g5 s-a-1"`` or ``"g2.in0 s-a-0"``."""
+        if self.is_branch:
+            return f"{self.reader}.in{self.pin}({self.net}) s-a-{self.value}"
+        return f"{self.net} s-a-{self.value}"
+
+
+def all_faults(circuit: Circuit) -> List[StuckFault]:
+    """The uncollapsed fault universe.
+
+    Stem faults on every *observable* net (one with a structural path to a
+    primary output — faults on floating lines are trivially untestable and
+    not part of the circuit proper), plus branch faults on every input pin
+    whose driving net fans out to more than one pin (otherwise the branch
+    is indistinguishable from the stem).
+    """
+    faults: List[StuckFault] = []
+    fanout = circuit.fanout_map()
+    observable = circuit.transitive_fanin(circuit.outputs)
+    for net in circuit.nets():
+        if net not in observable:
+            continue
+        gate = circuit.gate(net)
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            continue
+        for v in (0, 1):
+            faults.append(StuckFault(net, v))
+    for gate in circuit.gates():
+        if gate.name not in observable:
+            continue
+        for pin, f in enumerate(gate.fanins):
+            if len(fanout.get(f, ())) > 1:
+                for v in (0, 1):
+                    faults.append(StuckFault(f, v, reader=gate.name, pin=pin))
+    return faults
+
+
+def collapsed_faults(circuit: Circuit) -> List[StuckFault]:
+    """Equivalence-collapsed fault list (one representative per class).
+
+    Collapsing is applied across each gate: for an AND gate, every input
+    s-a-0 is equivalent to the output s-a-0, so the input representatives
+    are dropped in favour of the output fault; dually for OR/NOR/NAND.
+    NOT/BUF input faults collapse into output faults entirely.  Branch
+    faults of fanout stems are always kept (they are checkpoint sites).
+    """
+    keep: Set[StuckFault] = set()
+    fanout = circuit.fanout_map()
+    observable = circuit.transitive_fanin(circuit.outputs)
+
+    for gate in circuit.gates():
+        gt = gate.gtype
+        if gt in (GateType.CONST0, GateType.CONST1):
+            continue
+        if gate.name not in observable:
+            continue
+        # Stem faults (PIs and gate outputs) always kept.
+        keep.add(StuckFault(gate.name, 0))
+        keep.add(StuckFault(gate.name, 1))
+
+    # Input-pin faults: keep the ones not equivalent to the gate's output
+    # fault.  A pin fault site exists per pin; for non-fanout drivers the
+    # pin is the driver's stem, already represented, so only the
+    # *non-equivalent* value needs a branch entry when the driver fans out.
+    for gate in circuit.gates():
+        gt = gate.gtype
+        if gt in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            continue
+        if gate.name not in observable:
+            continue
+        for pin, f in enumerate(gate.fanins):
+            branches = len(fanout.get(f, ()))
+            if branches <= 1:
+                continue  # stem faults cover it
+            for v in (0, 1):
+                if _pin_equivalent_to_output(gt, v):
+                    continue
+                keep.add(StuckFault(f, v, reader=gate.name, pin=pin))
+    return sorted(
+        keep, key=lambda f: (f.net, f.value, f.reader or "", f.pin or -1)
+    )
+
+
+def _pin_equivalent_to_output(gt: GateType, value: int) -> bool:
+    """Is an input s-a-*value* equivalent to an output fault of the gate?"""
+    if gt in (GateType.BUF, GateType.NOT):
+        return True
+    if gt in (GateType.AND, GateType.NAND):
+        return value == 0
+    if gt in (GateType.OR, GateType.NOR):
+        return value == 1
+    return False  # XOR/XNOR inputs are not equivalent to output faults
+
+
+def fault_universe(circuit: Circuit, collapse: bool = True) -> List[StuckFault]:
+    """The fault list used by simulators and ATPG (collapsed by default)."""
+    return collapsed_faults(circuit) if collapse else all_faults(circuit)

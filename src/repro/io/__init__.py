@@ -1,0 +1,38 @@
+"""Netlist file formats: ISCAS-89 ``.bench`` and structural BLIF."""
+
+from .bench import (
+    BenchFormatError,
+    load_bench,
+    read_bench,
+    save_bench,
+    write_bench,
+)
+from .blif import BlifFormatError, read_blif, write_blif
+from .dot import format_netlist, save_dot, write_dot
+from .verilog import save_verilog, write_verilog
+from .json_io import (
+    circuit_from_json,
+    circuit_to_json,
+    load_json,
+    save_json,
+)
+
+__all__ = [
+    "BenchFormatError",
+    "BlifFormatError",
+    "circuit_from_json",
+    "circuit_to_json",
+    "format_netlist",
+    "load_bench",
+    "load_json",
+    "read_bench",
+    "read_blif",
+    "save_bench",
+    "save_dot",
+    "save_json",
+    "save_verilog",
+    "write_bench",
+    "write_dot",
+    "write_blif",
+    "write_verilog",
+]

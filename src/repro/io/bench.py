@@ -1,0 +1,180 @@
+"""ISCAS-89 ``.bench`` format reader and writer.
+
+The paper's benchmark circuits (``irs*``) are the fully-scanned combinational
+cores of the ISCAS-89 circuits: every D flip-flop is cut, its output becoming
+a pseudo primary input and its data input a pseudo primary output.  The
+reader performs that conversion by default (``scan=True``), so reading
+``s1423.bench`` directly yields the paper's ``irs1423``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, TextIO, Tuple, Union
+
+from ..netlist import Circuit, CircuitError, Gate, GateType
+
+_BENCH_TYPES: Dict[str, GateType] = {
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+_TYPE_NAMES: Dict[GateType, str] = {
+    GateType.AND: "AND",
+    GateType.NAND: "NAND",
+    GateType.OR: "OR",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+}
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^\s=]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*?)\s*\)$"
+)
+
+
+class BenchFormatError(CircuitError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def read_bench(
+    source: Union[str, TextIO], name: str = "bench", scan: bool = True
+) -> Circuit:
+    """Parse ``.bench`` text (or a file object) into a :class:`Circuit`.
+
+    Parameters
+    ----------
+    source:
+        The bench text, or an open text file.
+    name:
+        Name for the resulting circuit.
+    scan:
+        When True (default), D flip-flops are cut full-scan style: the DFF
+        output net becomes a pseudo primary input and its data input net a
+        pseudo primary output.  When False, DFFs raise an error (the model
+        is purely combinational).
+    """
+    text = source if isinstance(source, str) else source.read()
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _DECL_RE.match(line)
+        if m:
+            (inputs if m.group(1).upper() == "INPUT" else outputs).append(
+                m.group(2)
+            )
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, ty, args = m.group(1), m.group(2).upper(), m.group(3)
+            fanins = [a.strip() for a in args.split(",") if a.strip()]
+            gates.append((out, ty, fanins))
+            continue
+        raise BenchFormatError(f"cannot parse bench line: {raw!r}")
+
+    circuit = Circuit(name)
+    for pi in inputs:
+        circuit.add_input(pi)
+
+    pseudo_outputs: List[str] = []
+    for out, ty, fanins in gates:
+        if ty in ("DFF", "FF", "DFFSR"):
+            if not scan:
+                raise BenchFormatError(
+                    f"flip-flop {out!r} in combinational-only mode"
+                )
+            if len(fanins) != 1:
+                raise BenchFormatError(f"DFF {out!r} must have one data input")
+            circuit.add_input(out)  # state output -> pseudo PI
+            pseudo_outputs.append(fanins[0])  # state input -> pseudo PO
+            continue
+        gtype = _BENCH_TYPES.get(ty)
+        if gtype is None:
+            raise BenchFormatError(f"unknown bench gate type {ty!r}")
+        if gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                     GateType.XOR, GateType.XNOR) and len(fanins) == 1:
+            gtype = GateType.BUF  # some bench files use 1-input AND/OR
+        circuit.add_gate(out, gtype, fanins)
+
+    circuit.set_outputs(outputs + pseudo_outputs)
+    circuit.validate()
+    return circuit
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize *circuit* to ``.bench`` text.
+
+    Constants have no bench primitive; they are emitted as self-feeding
+    idioms ``c = AND(x, NOT x)``-free by expanding into a tied pattern:
+    ``CONST0`` becomes ``AND(pi, NOT(pi))`` over the first primary input.
+    Circuits produced by :func:`repro.netlist.simplify` normally contain no
+    constants reaching outputs, so this path is rarely exercised.
+    """
+    lines: List[str] = [f"# {circuit.name}"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    aux: List[str] = []
+    const_helpers: Dict[GateType, str] = {}
+
+    def const_net(gtype: GateType) -> str:
+        if gtype not in const_helpers:
+            if not circuit.inputs:
+                raise BenchFormatError("cannot emit constants without inputs")
+            pi = circuit.inputs[0]
+            base = f"__{'one' if gtype is GateType.CONST1 else 'zero'}"
+            inv = f"{base}_inv"
+            aux.append(f"{inv} = NOT({pi})")
+            if gtype is GateType.CONST0:
+                aux.append(f"{base} = AND({pi}, {inv})")
+            else:
+                aux.append(f"{base} = OR({pi}, {inv})")
+            const_helpers[gtype] = base
+        return const_helpers[gtype]
+
+    for gate in circuit.gates():
+        if gate.gtype is GateType.INPUT:
+            continue
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            helper = const_net(gate.gtype)
+            lines.append(f"{gate.name} = BUFF({helper})")
+            continue
+        args = ", ".join(gate.fanins)
+        lines.append(f"{gate.name} = {_TYPE_NAMES[gate.gtype]}({args})")
+    lines[1:1] = []  # keep header first; aux helpers go before their users
+    # Helpers reference only a primary input, so placing them right after
+    # the declarations keeps the file topologically readable.
+    decl_end = 1 + len(circuit.inputs) + len(circuit.outputs)
+    lines[decl_end:decl_end] = aux
+    return "\n".join(lines) + "\n"
+
+
+def load_bench(path: str, name: str = None, scan: bool = True) -> Circuit:
+    """Read a ``.bench`` file from *path*."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return read_bench(text, name=name, scan=scan)
+
+
+def save_bench(circuit: Circuit, path: str) -> None:
+    """Write *circuit* to a ``.bench`` file at *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_bench(circuit))

@@ -1,0 +1,165 @@
+"""BLIF writer (for interoperability with SIS-lineage tools).
+
+Only the structural subset is emitted: ``.model``, ``.inputs``, ``.outputs``
+and one ``.names`` block per gate.  The reader supports the same subset,
+which is enough to round-trip our own output and to import simple
+SIS-produced netlists.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, TextIO, Union
+
+from ..netlist import Circuit, CircuitError, GateType
+
+
+class BlifFormatError(CircuitError):
+    """Raised on malformed BLIF input."""
+
+
+def _names_block(gate) -> List[str]:
+    """Emit the ``.names`` cover for one gate."""
+    ins = " ".join(gate.fanins)
+    head = f".names {ins} {gate.name}".replace("  ", " ")
+    k = len(gate.fanins)
+    g = gate.gtype
+    if g is GateType.CONST0:
+        return [f".names {gate.name}"]
+    if g is GateType.CONST1:
+        return [f".names {gate.name}", "1"]
+    if g is GateType.BUF:
+        return [head, "1 1"]
+    if g is GateType.NOT:
+        return [head, "0 1"]
+    if g is GateType.AND:
+        return [head, "1" * k + " 1"]
+    if g is GateType.NAND:
+        return [head] + [("-" * i) + "0" + ("-" * (k - i - 1)) + " 1"
+                         for i in range(k)]
+    if g is GateType.OR:
+        return [head] + [("-" * i) + "1" + ("-" * (k - i - 1)) + " 1"
+                         for i in range(k)]
+    if g is GateType.NOR:
+        return [head, "0" * k + " 1"]
+    if g in (GateType.XOR, GateType.XNOR):
+        want = 1 if g is GateType.XOR else 0
+        rows = [head]
+        for bits in product("01", repeat=k):
+            if sum(b == "1" for b in bits) % 2 == want:
+                rows.append("".join(bits) + " 1")
+        return rows
+    raise BlifFormatError(f"cannot emit gate type {g!r}")
+
+
+def write_blif(circuit: Circuit) -> str:
+    """Serialize *circuit* as BLIF text."""
+    lines = [f".model {circuit.name}"]
+    lines.append(".inputs " + " ".join(circuit.inputs))
+    lines.append(".outputs " + " ".join(circuit.outputs))
+    for gate in circuit.gates():
+        if gate.gtype is GateType.INPUT:
+            continue
+        lines.extend(_names_block(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _cover_to_gate_type(cover: List[str], k: int) -> GateType:
+    """Recognize the gate type of a ``.names`` single-output cover.
+
+    Only the covers produced by :func:`write_blif` (plus their 0-terminated
+    duals) are recognized; anything else raises.
+    """
+    if k == 0:
+        if not cover:
+            return GateType.CONST0
+        if cover == ["1"]:
+            return GateType.CONST1
+        raise BlifFormatError(f"unrecognized constant cover {cover!r}")
+    rows = [r.split() for r in cover]
+    if any(len(r) != 2 or r[1] != "1" for r in rows):
+        raise BlifFormatError("only on-set single-output covers are supported")
+    cubes = [r[0] for r in rows]
+    if k == 1:
+        if cubes == ["1"]:
+            return GateType.BUF
+        if cubes == ["0"]:
+            return GateType.NOT
+        raise BlifFormatError(f"unrecognized 1-input cover {cubes!r}")
+    if cubes == ["1" * k]:
+        return GateType.AND
+    if cubes == ["0" * k]:
+        return GateType.NOR
+    single_one = sorted(
+        ("-" * i) + "1" + ("-" * (k - i - 1)) for i in range(k)
+    )
+    single_zero = sorted(
+        ("-" * i) + "0" + ("-" * (k - i - 1)) for i in range(k)
+    )
+    if sorted(cubes) == single_one:
+        return GateType.OR
+    if sorted(cubes) == single_zero:
+        return GateType.NAND
+    full = [c for c in cubes if "-" not in c]
+    if len(full) == len(cubes) and len(cubes) == (1 << (k - 1)):
+        parities = {sum(ch == "1" for ch in c) % 2 for c in cubes}
+        if parities == {1}:
+            return GateType.XOR
+        if parities == {0}:
+            return GateType.XNOR
+    raise BlifFormatError(f"unrecognized cover for {k}-input gate")
+
+
+def read_blif(source: Union[str, TextIO], name: str = None) -> Circuit:
+    """Parse the structural BLIF subset produced by :func:`write_blif`."""
+    text = source if isinstance(source, str) else source.read()
+    # Join continuation lines.
+    logical: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if logical and logical[-1].endswith("\\"):
+            logical[-1] = logical[-1][:-1] + " " + line.strip()
+        else:
+            logical.append(line.strip())
+
+    model = name or "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    names_blocks: List[tuple] = []
+    current: tuple = None
+    for line in logical:
+        if line.startswith(".model"):
+            parts = line.split()
+            if len(parts) > 1 and name is None:
+                model = parts[1]
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            sig = line.split()[1:]
+            if not sig:
+                raise BlifFormatError(".names with no signals")
+            current = (sig[:-1], sig[-1], [])
+            names_blocks.append(current)
+        elif line.startswith(".end"):
+            break
+        elif line.startswith("."):
+            raise BlifFormatError(f"unsupported BLIF construct: {line!r}")
+        else:
+            if current is None:
+                raise BlifFormatError(f"cover row outside .names: {line!r}")
+            current[2].append(line)
+
+    circuit = Circuit(model)
+    for pi in inputs:
+        circuit.add_input(pi)
+    for fanins, out, cover in names_blocks:
+        gtype = _cover_to_gate_type(cover, len(fanins))
+        circuit.add_gate(out, gtype, fanins)
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit

@@ -1,0 +1,84 @@
+"""Graphviz DOT export and plain-text netlist rendering.
+
+``write_dot`` emits a schematic-style digraph (inputs as boxes, gates as
+labeled nodes, outputs marked); ``format_netlist`` gives a compact
+topologically-ordered text listing used by the examples and by error
+reports.  Optional highlighting marks a path (e.g. a path delay fault
+under discussion) or a set of nets (e.g. a comparison unit's gates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from ..netlist import Circuit, GateType
+
+_SHAPE = {
+    GateType.INPUT: "box",
+    GateType.CONST0: "plaintext",
+    GateType.CONST1: "plaintext",
+}
+
+
+def write_dot(
+    circuit: Circuit,
+    highlight_path: Optional[Sequence[str]] = None,
+    highlight_nets: Optional[Iterable[str]] = None,
+) -> str:
+    """Render *circuit* as Graphviz DOT text."""
+    hi_edges: Set = set()
+    if highlight_path:
+        hi_edges = set(zip(highlight_path, highlight_path[1:]))
+    hi_nets: Set[str] = set(highlight_nets or ())
+    if highlight_path:
+        hi_nets |= set(highlight_path)
+
+    lines = [f'digraph "{circuit.name}" {{', "  rankdir=LR;"]
+    outputs = circuit.output_set
+    for gate in circuit.gates():
+        shape = _SHAPE.get(gate.gtype, "ellipse")
+        label = gate.name if gate.gtype is GateType.INPUT else (
+            f"{gate.name}\\n{gate.gtype.value.upper()}"
+        )
+        attrs = [f'label="{label}"', f"shape={shape}"]
+        if gate.name in outputs:
+            attrs.append("peripheries=2")
+        if gate.name in hi_nets:
+            attrs.append('color=red')
+            attrs.append('fontcolor=red')
+        lines.append(f'  "{gate.name}" [{", ".join(attrs)}];')
+    for gate in circuit.gates():
+        for f in gate.fanins:
+            attrs = ' [color=red, penwidth=2]' if (f, gate.name) in hi_edges \
+                else ""
+            lines.append(f'  "{f}" -> "{gate.name}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(circuit: Circuit, path: str, **kwargs) -> None:
+    """Write DOT text to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_dot(circuit, **kwargs))
+
+
+def format_netlist(circuit: Circuit, include_inputs: bool = True) -> str:
+    """Topologically-ordered one-gate-per-line text rendering."""
+    lines = [f"# {circuit.name}"]
+    if include_inputs:
+        lines.append("inputs:  " + " ".join(circuit.inputs))
+        lines.append("outputs: " + " ".join(circuit.outputs))
+    outputs = circuit.output_set
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            continue
+        mark = " *" if net in outputs else ""
+        if gate.gtype in (GateType.CONST0, GateType.CONST1):
+            lines.append(f"{net} = {gate.gtype.value.upper()}{mark}")
+        else:
+            args = ", ".join(gate.fanins)
+            lines.append(
+                f"{net} = {gate.gtype.value.upper()}({args}){mark}"
+            )
+    return "\n".join(lines)

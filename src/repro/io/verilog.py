@@ -1,0 +1,124 @@
+"""Structural Verilog netlist writer.
+
+Emits a single flat module using Verilog gate primitives (``and``, ``or``,
+``nand``, ``nor``, ``xor``, ``xnor``, ``not``, ``buf``) so the output is
+accepted by any Verilog tool without a cell library.  Net names are
+sanitized to Verilog identifiers (with an escape map emitted as comments
+when renaming was necessary).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..netlist import Circuit, GateType
+
+_PRIMITIVE = {
+    GateType.AND: "and",
+    GateType.NAND: "nand",
+    GateType.OR: "or",
+    GateType.NOR: "nor",
+    GateType.XOR: "xor",
+    GateType.XNOR: "xnor",
+    GateType.NOT: "not",
+    GateType.BUF: "buf",
+}
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+_KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "wire", "assign", "and",
+    "or", "nand", "nor", "xor", "xnor", "not", "buf", "reg", "begin",
+    "end", "always", "if", "else", "case", "endcase", "for", "while",
+})
+
+
+def _sanitize_names(circuit: Circuit) -> Dict[str, str]:
+    """Map every net to a legal, unique Verilog identifier."""
+    used = set()
+    mapping: Dict[str, str] = {}
+    for net in circuit.nets():
+        cand = net
+        if not _ID_RE.match(cand) or cand in _KEYWORDS:
+            cand = "n_" + re.sub(r"[^A-Za-z0-9_]", "_", cand)
+            if not _ID_RE.match(cand):
+                cand = "n_" + cand
+        base = cand
+        k = 1
+        while cand in used:
+            cand = f"{base}_{k}"
+            k += 1
+        used.add(cand)
+        mapping[net] = cand
+    return mapping
+
+
+def write_verilog(circuit: Circuit, module_name: str = None) -> str:
+    """Serialize *circuit* as structural Verilog text."""
+    name = module_name or re.sub(r"[^A-Za-z0-9_]", "_", circuit.name)
+    if not _ID_RE.match(name):
+        name = "m_" + name
+    nm = _sanitize_names(circuit)
+
+    inputs = [nm[pi] for pi in circuit.inputs]
+    # a PO net may be a PI: give it a distinct output wire via buf
+    outputs: List[str] = []
+    out_aliases: List[str] = []
+    seen_out = set()
+    for i, po in enumerate(circuit.outputs):
+        oname = nm[po]
+        if po in circuit.inputs or oname in seen_out:
+            alias = f"po_{i}_{oname}"
+            out_aliases.append(f"  buf u_po{i} ({alias}, {oname});")
+            oname = alias
+        seen_out.add(oname)
+        outputs.append(oname)
+
+    lines = [f"// generated from {circuit.name}",
+             f"module {name} ("]
+    ports = inputs + outputs
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    if inputs:
+        lines.append("  input " + ", ".join(inputs) + ";")
+    if outputs:
+        lines.append("  output " + ", ".join(outputs) + ";")
+
+    wires = [
+        nm[g.name] for g in circuit.gates()
+        if g.gtype is not GateType.INPUT and nm[g.name] not in outputs
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+
+    renames = [
+        f"  // net {net!r} emitted as {new}"
+        for net, new in nm.items() if net != new
+    ]
+    lines.extend(renames)
+
+    idx = 0
+    for gate in circuit.gates():
+        if gate.gtype is GateType.INPUT:
+            continue
+        out = nm[gate.name]
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+            continue
+        if gate.gtype is GateType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+            continue
+        prim = _PRIMITIVE[gate.gtype]
+        args = ", ".join([out] + [nm[f] for f in gate.fanins])
+        lines.append(f"  {prim} u{idx} ({args});")
+        idx += 1
+    lines.extend(out_aliases)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Circuit, path: str, module_name: str = None) -> None:
+    """Write structural Verilog to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(write_verilog(circuit, module_name))

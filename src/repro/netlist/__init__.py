@@ -1,0 +1,73 @@
+"""Gate-level netlist model: gates, circuits, transforms and size metrics."""
+
+from .types import (
+    Gate,
+    GateType,
+    CONTROLLED_OUTPUT,
+    CONTROLLING_VALUE,
+    DUAL_POLARITY,
+    INVERTING_TYPES,
+    MULTI_INPUT_TYPES,
+    SOURCE_TYPES,
+    UNARY_TYPES,
+    arity_ok,
+    eval_gate,
+)
+from .circuit import Circuit, CircuitError
+from .build import CircuitBuilder, from_eqns
+from .equivalence import (
+    EquivalenceResult,
+    EquivalenceStatus,
+    build_miter,
+    formally_equivalent,
+    random_equivalent,
+)
+from .metrics import (
+    CircuitStats,
+    circuit_stats,
+    gate_two_input_equivalents,
+    literal_count,
+    two_input_gate_count,
+)
+from .strash import structural_hash
+from .transform import (
+    decompose_two_input,
+    collapse_buffers,
+    propagate_constants,
+    simplify,
+    substitute_with_constant,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "Circuit",
+    "CircuitError",
+    "CircuitBuilder",
+    "CircuitStats",
+    "EquivalenceResult",
+    "EquivalenceStatus",
+    "CONTROLLED_OUTPUT",
+    "CONTROLLING_VALUE",
+    "DUAL_POLARITY",
+    "INVERTING_TYPES",
+    "MULTI_INPUT_TYPES",
+    "SOURCE_TYPES",
+    "UNARY_TYPES",
+    "arity_ok",
+    "build_miter",
+    "circuit_stats",
+    "collapse_buffers",
+    "decompose_two_input",
+    "eval_gate",
+    "formally_equivalent",
+    "from_eqns",
+    "gate_two_input_equivalents",
+    "literal_count",
+    "propagate_constants",
+    "random_equivalent",
+    "simplify",
+    "structural_hash",
+    "substitute_with_constant",
+    "two_input_gate_count",
+]

@@ -1,0 +1,153 @@
+"""Convenience builders for constructing circuits in code.
+
+:class:`CircuitBuilder` offers a compact fluent style used heavily in tests
+and examples::
+
+    b = CircuitBuilder("demo")
+    a, x, y = b.inputs("a", "x", "y")
+    g1 = b.AND(a, x)
+    g2 = b.OR(g1, b.NOT(y))
+    b.outputs(g2)
+    circuit = b.build()
+
+:func:`from_eqns` parses a tiny textual netlist format (one gate per line,
+``out = TYPE(in1, in2, ...)``) used by fixtures.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Tuple
+
+from .circuit import Circuit, CircuitError
+from .types import GateType
+
+
+class CircuitBuilder:
+    """Fluent helper that auto-names intermediate nets."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._counter = 0
+
+    # -- interface -------------------------------------------------------
+
+    def input(self, name: str) -> str:
+        """Declare one primary input."""
+        return self._circuit.add_input(name)
+
+    def inputs(self, *names: str) -> List[str]:
+        """Declare several primary inputs; returns their names."""
+        return [self._circuit.add_input(n) for n in names]
+
+    def outputs(self, *nets: str) -> None:
+        """Mark *nets* as primary outputs (in order)."""
+        for n in nets:
+            self._circuit.add_output(n)
+
+    def build(self) -> Circuit:
+        """Validate and return the constructed circuit."""
+        self._circuit.validate()
+        return self._circuit
+
+    # -- gates -----------------------------------------------------------
+
+    def gate(self, gtype: GateType, fanins: Sequence[str], name: str = None) -> str:
+        """Add a gate of *gtype*; auto-names the output net when needed."""
+        if name is None:
+            self._counter += 1
+            name = f"g{self._counter}"
+            while self._circuit.has_net(name):
+                self._counter += 1
+                name = f"g{self._counter}"
+        return self._circuit.add_gate(name, gtype, fanins)
+
+    def AND(self, *fanins: str, name: str = None) -> str:
+        """Add an AND gate."""
+        return self.gate(GateType.AND, fanins, name)
+
+    def OR(self, *fanins: str, name: str = None) -> str:
+        """Add an OR gate."""
+        return self.gate(GateType.OR, fanins, name)
+
+    def NAND(self, *fanins: str, name: str = None) -> str:
+        """Add a NAND gate."""
+        return self.gate(GateType.NAND, fanins, name)
+
+    def NOR(self, *fanins: str, name: str = None) -> str:
+        """Add a NOR gate."""
+        return self.gate(GateType.NOR, fanins, name)
+
+    def XOR(self, *fanins: str, name: str = None) -> str:
+        """Add an XOR gate."""
+        return self.gate(GateType.XOR, fanins, name)
+
+    def XNOR(self, *fanins: str, name: str = None) -> str:
+        """Add an XNOR gate."""
+        return self.gate(GateType.XNOR, fanins, name)
+
+    def NOT(self, fanin: str, name: str = None) -> str:
+        """Add an inverter."""
+        return self.gate(GateType.NOT, (fanin,), name)
+
+    def BUF(self, fanin: str, name: str = None) -> str:
+        """Add a buffer."""
+        return self.gate(GateType.BUF, (fanin,), name)
+
+    def CONST0(self, name: str = None) -> str:
+        """Add a constant-0 source."""
+        return self.gate(GateType.CONST0, (), name)
+
+    def CONST1(self, name: str = None) -> str:
+        """Add a constant-1 source."""
+        return self.gate(GateType.CONST1, (), name)
+
+
+_EQN_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]]+)\s*=\s*(?P<type>[A-Za-z01]+)\s*"
+    r"\(\s*(?P<args>[^)]*)\)\s*$"
+)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def from_eqns(
+    name: str,
+    inputs: Sequence[str],
+    eqns: Sequence[str],
+    outputs: Sequence[str],
+) -> Circuit:
+    """Build a circuit from equation strings like ``"g1 = AND(a, b)"``."""
+    c = Circuit(name)
+    for pi in inputs:
+        c.add_input(pi)
+    for line in eqns:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _EQN_RE.match(line)
+        if not m:
+            raise CircuitError(f"cannot parse equation {line!r}")
+        gtype = _TYPE_ALIASES.get(m.group("type").upper())
+        if gtype is None:
+            raise CircuitError(f"unknown gate type in {line!r}")
+        args: Tuple[str, ...] = tuple(
+            a.strip() for a in m.group("args").split(",") if a.strip()
+        )
+        c.add_gate(m.group("out"), gtype, args)
+    c.set_outputs(list(outputs))
+    c.validate()
+    return c

@@ -1,0 +1,358 @@
+"""The :class:`Circuit` container: a combinational gate-level netlist.
+
+A circuit is a DAG of :class:`~repro.netlist.types.Gate` records keyed by
+output net name, plus an ordered list of primary output nets.  Primary inputs
+are gates of type ``INPUT``.  The class offers structural queries (fanout,
+topological order, levels, transitive fanin cones) and mutation primitives
+used by the resynthesis procedures (gate insertion/removal, fanin rewiring).
+
+Derived structures (fanout map, topological order, levels) are cached and
+invalidated on any mutation; callers never manage cache state themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .types import Gate, GateType, SOURCE_TYPES, arity_ok
+
+
+class CircuitError(Exception):
+    """Raised for structurally invalid circuit operations."""
+
+
+class Circuit:
+    """A combinational gate-level netlist.
+
+    Parameters
+    ----------
+    name:
+        Human-readable circuit name (used in reports and file headers).
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._gates: Dict[str, Gate] = {}
+        self._outputs: List[str] = []
+        self._input_order: List[str] = []
+        self._dirty()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net and return its name."""
+        self._insert(Gate(name, GateType.INPUT))
+        self._input_order.append(name)
+        return name
+
+    def add_gate(self, name: str, gtype: GateType, fanins: Sequence[str]) -> str:
+        """Add a gate whose output net is *name*; return the net name.
+
+        Fanin nets need not exist yet (circuits may be built in any order);
+        :meth:`validate` checks full consistency.
+        """
+        if gtype is GateType.INPUT:
+            raise CircuitError("use add_input() for primary inputs")
+        self._insert(Gate(name, gtype, tuple(fanins)))
+        return name
+
+    def add_output(self, net: str) -> None:
+        """Mark *net* as a primary output (appended to output order)."""
+        self._outputs.append(net)
+        self._dirty()
+
+    def set_outputs(self, nets: Sequence[str]) -> None:
+        """Replace the primary output list."""
+        self._outputs = list(nets)
+        self._dirty()
+
+    def _insert(self, gate: Gate) -> None:
+        if gate.name in self._gates:
+            raise CircuitError(f"duplicate net name {gate.name!r}")
+        self._gates[gate.name] = gate
+        self._dirty()
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def inputs(self) -> List[str]:
+        """Primary input nets, in declaration order."""
+        return [n for n in self._input_order if n in self._gates]
+
+    @property
+    def outputs(self) -> List[str]:
+        """Primary output nets, in declaration order (may repeat)."""
+        return list(self._outputs)
+
+    @property
+    def output_set(self) -> Set[str]:
+        """The set of distinct primary output nets."""
+        return set(self._outputs)
+
+    def gate(self, net: str) -> Gate:
+        """Return the gate driving *net* (raises ``KeyError`` if absent)."""
+        return self._gates[net]
+
+    def has_net(self, net: str) -> bool:
+        """True when *net* exists in the circuit."""
+        return net in self._gates
+
+    def gates(self) -> Iterator[Gate]:
+        """Iterate over all gates (including INPUT markers), insertion order."""
+        return iter(self._gates.values())
+
+    def nets(self) -> List[str]:
+        """All net names, insertion order."""
+        return list(self._gates.keys())
+
+    def logic_gates(self) -> List[Gate]:
+        """All non-source gates (excludes INPUT and constants)."""
+        return [g for g in self._gates.values() if g.gtype not in SOURCE_TYPES]
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __contains__(self, net: str) -> bool:
+        return net in self._gates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"outputs={len(self._outputs)}, gates={len(self.logic_gates())})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # cached derived structures
+    # ------------------------------------------------------------------ #
+
+    def _dirty(self) -> None:
+        self._topo_cache: Optional[List[str]] = None
+        self._fanout_cache: Optional[Dict[str, List[str]]] = None
+        self._level_cache: Optional[Dict[str, int]] = None
+
+    def fanouts(self, net: str) -> List[str]:
+        """Nets of gates that read *net* (one entry per reading gate).
+
+        A gate reading *net* on several of its pins appears once per pin, so
+        the result enumerates fanout *branches*, matching the paper's model.
+        """
+        return self.fanout_map().get(net, [])
+
+    def fanout_map(self) -> Dict[str, List[str]]:
+        """Map net -> list of reader gate output nets (branch per pin)."""
+        if self._fanout_cache is None:
+            fo: Dict[str, List[str]] = {n: [] for n in self._gates}
+            for g in self._gates.values():
+                for f in g.fanins:
+                    if f in fo:
+                        fo[f].append(g.name)
+                    else:  # dangling reference; validate() reports it
+                        fo.setdefault(f, []).append(g.name)
+            self._fanout_cache = fo
+        return self._fanout_cache
+
+    def topological_order(self) -> List[str]:
+        """Net names in topological (fanin-before-fanout) order.
+
+        Deterministic: ties are broken by insertion order.  Raises
+        :class:`CircuitError` on combinational cycles.
+        """
+        if self._topo_cache is not None:
+            return self._topo_cache
+        indeg: Dict[str, int] = {}
+        for name, g in self._gates.items():
+            indeg[name] = sum(1 for f in g.fanins if f in self._gates)
+        from collections import deque
+
+        ready = deque(n for n in self._gates if indeg[n] == 0)
+        order: List[str] = []
+        fo = self.fanout_map()
+        while ready:
+            n = ready.popleft()
+            order.append(n)
+            for reader in fo.get(n, ()):  # may repeat per pin; guard below
+                indeg[reader] -= 1
+                if indeg[reader] == 0:
+                    ready.append(reader)
+        if len(order) != len(self._gates):
+            cyclic = sorted(set(self._gates) - set(order))
+            raise CircuitError(f"combinational cycle involving {cyclic[:5]}")
+        self._topo_cache = order
+        return order
+
+    def levels(self) -> Dict[str, int]:
+        """Map net -> structural level (inputs/constants at level 0)."""
+        if self._level_cache is None:
+            lv: Dict[str, int] = {}
+            for net in self.topological_order():
+                g = self._gates[net]
+                if g.is_source:
+                    lv[net] = 0
+                else:
+                    lv[net] = 1 + max(
+                        (lv[f] for f in g.fanins if f in lv), default=-1
+                    )
+            self._level_cache = lv
+        return self._level_cache
+
+    def depth(self) -> int:
+        """Number of gate levels on the longest input-to-output path."""
+        lv = self.levels()
+        return max((lv[o] for o in self._outputs if o in lv), default=0)
+
+    # ------------------------------------------------------------------ #
+    # cones
+    # ------------------------------------------------------------------ #
+
+    def transitive_fanin(self, nets: Iterable[str]) -> Set[str]:
+        """All nets (inclusive) in the transitive fanin of *nets*."""
+        seen: Set[str] = set()
+        stack = [n for n in nets]
+        while stack:
+            n = stack.pop()
+            if n in seen or n not in self._gates:
+                continue
+            seen.add(n)
+            stack.extend(self._gates[n].fanins)
+        return seen
+
+    def transitive_fanout(self, nets: Iterable[str]) -> Set[str]:
+        """All nets (inclusive) in the transitive fanout of *nets*."""
+        fo = self.fanout_map()
+        seen: Set[str] = set()
+        stack = [n for n in nets]
+        while stack:
+            n = stack.pop()
+            if n in seen or n not in self._gates:
+                continue
+            seen.add(n)
+            stack.extend(fo.get(n, ()))
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def replace_gate(self, gate: Gate) -> None:
+        """Replace the gate driving ``gate.name`` (net must exist)."""
+        if gate.name not in self._gates:
+            raise CircuitError(f"no net {gate.name!r} to replace")
+        if gate.gtype is GateType.INPUT and self._gates[gate.name].gtype is not GateType.INPUT:
+            raise CircuitError("cannot turn an internal net into a primary input")
+        self._gates[gate.name] = gate
+        self._dirty()
+
+    def remove_gate(self, net: str) -> None:
+        """Remove the gate driving *net*.
+
+        The net must have no readers and must not be a primary output; use
+        :meth:`sweep` to remove dead logic wholesale.
+        """
+        if net not in self._gates:
+            raise CircuitError(f"no net {net!r}")
+        if self.fanouts(net):
+            raise CircuitError(f"net {net!r} still has readers")
+        if net in self._outputs:
+            raise CircuitError(f"net {net!r} is a primary output")
+        g = self._gates.pop(net)
+        if g.gtype is GateType.INPUT:
+            self._input_order.remove(net)
+        self._dirty()
+
+    def rewire_fanin(self, net: str, old: str, new: str) -> None:
+        """On the gate driving *net*, replace every fanin *old* with *new*."""
+        g = self._gates[net]
+        if old not in g.fanins:
+            raise CircuitError(f"{net!r} has no fanin {old!r}")
+        self._gates[net] = g.with_fanins(
+            tuple(new if f == old else f for f in g.fanins)
+        )
+        self._dirty()
+
+    def substitute_net(self, old: str, new: str) -> None:
+        """Redirect every reader of *old* to *new*, preserving the interface.
+
+        Primary-output net names are never rewritten: when *old* is a
+        primary output (and not a primary input), its driver becomes
+        ``BUF(new)`` so the output keeps its name and its new function.
+        The old gate is otherwise left in place (possibly dead); call
+        :meth:`sweep` to collect it.
+        """
+        if old == new:
+            return
+        for reader in list(self.fanouts(old)):
+            self.rewire_fanin(reader, old, new)
+        if old in self._outputs and self._gates[old].gtype is not GateType.INPUT:
+            self._gates[old] = Gate(old, GateType.BUF, (new,))
+        self._dirty()
+
+    def sweep(self) -> int:
+        """Remove logic that cannot reach any primary output.
+
+        Primary inputs are never removed (the interface is preserved, as the
+        paper's procedures require: modified circuits keep the same I/O).
+        Returns the number of gates removed.
+        """
+        live = self.transitive_fanin(self._outputs)
+        removed = 0
+        for net in [n for n in self._gates if n not in live]:
+            if self._gates[net].gtype is GateType.INPUT:
+                continue
+            del self._gates[net]
+            removed += 1
+        if removed:
+            self._dirty()
+        return removed
+
+    def fresh_net(self, prefix: str = "n") -> str:
+        """Return a net name not yet used in the circuit."""
+        i = len(self._gates)
+        while True:
+            cand = f"{prefix}{i}"
+            if cand not in self._gates:
+                return cand
+            i += 1
+
+    # ------------------------------------------------------------------ #
+    # validation / copying
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Raise :class:`CircuitError` on any structural inconsistency."""
+        for name, g in self._gates.items():
+            if name != g.name:
+                raise CircuitError(f"key {name!r} != gate name {g.name!r}")
+            if not arity_ok(g.gtype, len(g.fanins)):
+                raise CircuitError(
+                    f"gate {name!r}: bad arity {len(g.fanins)} for {g.gtype.value}"
+                )
+            for f in g.fanins:
+                if f not in self._gates:
+                    raise CircuitError(f"gate {name!r} reads undriven net {f!r}")
+        for o in self._outputs:
+            if o not in self._gates:
+                raise CircuitError(f"primary output {o!r} is undriven")
+        if not self._outputs:
+            raise CircuitError("circuit has no primary outputs")
+        self.topological_order()  # raises on cycles
+
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep-copy the circuit (gates are immutable, so sharing is safe)."""
+        c = Circuit(name if name is not None else self.name)
+        c._gates = dict(self._gates)
+        c._outputs = list(self._outputs)
+        c._input_order = list(self._input_order)
+        c._dirty()
+        return c
+
+    def structurally_equal(self, other: "Circuit") -> bool:
+        """True when both circuits have identical gates, inputs and outputs."""
+        return (
+            self._gates == other._gates
+            and self._outputs == other._outputs
+            and self.inputs == other.inputs
+        )

@@ -1,0 +1,146 @@
+"""Combinational equivalence checking.
+
+Two flavours:
+
+* :func:`random_equivalent` — bit-parallel random simulation (fast, can
+  only refute);
+* :func:`formally_equivalent` — complete: builds a *miter* (XOR each
+  output pair, OR the XORs) and asks the PODEM engine whether the miter
+  output's stuck-at-0 fault is testable.  A test for that fault is exactly
+  an input pattern setting the miter to 1 — a counterexample; proven
+  untestability means the miter is constant 0, i.e. the circuits are
+  equivalent.  PODEM's branch-on-all-PI-values completeness makes this a
+  sound decision procedure (with an abort budget for hard instances).
+
+The resynthesis procedures use the random check inline; the test suite
+formally verifies the procedure outputs on the fixture circuits.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .circuit import Circuit, CircuitError
+from .types import GateType
+
+
+class EquivalenceStatus(enum.Enum):
+    """Verdict of an equivalence check."""
+
+    EQUIVALENT = "equivalent"
+    DIFFERENT = "different"
+    UNDECIDED = "undecided"
+
+
+@dataclass
+class EquivalenceResult:
+    """Verdict plus a counterexample when one exists."""
+
+    status: EquivalenceStatus
+    counterexample: Optional[Dict[str, int]] = None
+
+    @property
+    def equivalent(self) -> bool:
+        """True only for a proven-equivalent verdict."""
+        return self.status is EquivalenceStatus.EQUIVALENT
+
+
+def build_miter(a: Circuit, b: Circuit) -> Tuple[Circuit, str]:
+    """The miter of two interface-identical circuits.
+
+    Returns ``(miter, output_net)``: the miter computes 1 exactly on the
+    inputs where some output pair differs.
+    """
+    if a.inputs != b.inputs:
+        raise CircuitError("miter needs identical input lists")
+    if a.outputs != b.outputs:
+        raise CircuitError("miter needs identical output lists")
+
+    miter = Circuit(f"miter({a.name},{b.name})")
+    for pi in a.inputs:
+        miter.add_input(pi)
+
+    def import_circuit(src: Circuit, tag: str) -> Dict[str, str]:
+        mapping = {pi: pi for pi in src.inputs}
+        for net in src.topological_order():
+            gate = src.gate(net)
+            if gate.gtype is GateType.INPUT:
+                continue
+            new = f"{tag}_{net}"
+            miter.add_gate(
+                new, gate.gtype, tuple(mapping[f] for f in gate.fanins)
+            )
+            mapping[net] = new
+        return mapping
+
+    map_a = import_circuit(a, "a")
+    map_b = import_circuit(b, "b")
+    xors = []
+    for i, (oa, ob) in enumerate(zip(a.outputs, b.outputs)):
+        xors.append(
+            miter.add_gate(f"diff{i}", GateType.XOR,
+                           (map_a[oa], map_b[ob]))
+        )
+    if len(xors) == 1:
+        out = miter.add_gate("miter_out", GateType.BUF, (xors[0],))
+    else:
+        out = miter.add_gate("miter_out", GateType.OR, tuple(xors))
+    miter.set_outputs([out])
+    miter.validate()
+    return miter, out
+
+
+def random_equivalent(
+    a: Circuit, b: Circuit, n_patterns: int = 4096, seed: int = 0
+) -> EquivalenceResult:
+    """Random-simulation check: refutes with a counterexample or undecided."""
+    from ..sim.logicsim import simulate
+    from ..sim.patterns import random_words
+
+    if a.inputs != b.inputs or a.outputs != b.outputs:
+        return EquivalenceResult(EquivalenceStatus.DIFFERENT)
+    rng = random.Random(seed)
+    words = random_words(a.inputs, n_patterns, rng)
+    va = simulate(a, words, n_patterns)
+    vb = simulate(b, words, n_patterns)
+    diff = 0
+    for o in a.output_set:
+        diff |= va[o] ^ vb[o]
+    if diff:
+        bit = (diff & -diff).bit_length() - 1
+        cex = {pi: (words[pi] >> bit) & 1 for pi in a.inputs}
+        return EquivalenceResult(EquivalenceStatus.DIFFERENT, cex)
+    return EquivalenceResult(EquivalenceStatus.UNDECIDED)
+
+
+def formally_equivalent(
+    a: Circuit,
+    b: Circuit,
+    random_patterns: int = 1024,
+    max_backtracks: int = 200_000,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Complete equivalence check via the miter + PODEM.
+
+    Random simulation first (fast refutation), then the decision
+    procedure.  ``UNDECIDED`` is returned only when PODEM aborts on the
+    backtrack budget.
+    """
+    quick = random_equivalent(a, b, random_patterns, seed)
+    if quick.status is EquivalenceStatus.DIFFERENT:
+        return quick
+
+    from ..atpg.podem import PodemEngine, PodemStatus
+    from ..faults import StuckFault
+
+    miter, out = build_miter(a, b)
+    engine = PodemEngine(miter, max_backtracks)
+    verdict = engine.run(StuckFault(out, 0))
+    if verdict.status is PodemStatus.UNTESTABLE:
+        return EquivalenceResult(EquivalenceStatus.EQUIVALENT)
+    if verdict.status is PodemStatus.TESTABLE:
+        return EquivalenceResult(EquivalenceStatus.DIFFERENT, verdict.test)
+    return EquivalenceResult(EquivalenceStatus.UNDECIDED)

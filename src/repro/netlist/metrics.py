@@ -1,0 +1,81 @@
+"""Circuit size metrics.
+
+The paper measures circuit size in *equivalent two-input gates* (Section 5):
+a k-input gate counts as k-1 two-input gates, so the result is independent of
+how wide gates are decomposed.  Inverters and buffers count zero by default
+(they contain no 2-input gate); pass ``count_inverters=True`` to charge each
+NOT gate one unit, which some size accountings prefer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .circuit import Circuit
+from .types import Gate, GateType, MULTI_INPUT_TYPES, SOURCE_TYPES
+
+
+def gate_two_input_equivalents(gate: Gate, count_inverters: bool = False) -> int:
+    """Equivalent-2-input-gate cost of one gate (k-input gate -> k-1)."""
+    if gate.gtype in SOURCE_TYPES:
+        return 0
+    if gate.gtype in (GateType.BUF, GateType.NOT):
+        return 1 if (count_inverters and gate.gtype is GateType.NOT) else 0
+    return max(len(gate.fanins) - 1, 0)
+
+
+def two_input_gate_count(circuit: Circuit, count_inverters: bool = False) -> int:
+    """Total equivalent two-input gates in *circuit* (paper's size measure)."""
+    return sum(
+        gate_two_input_equivalents(g, count_inverters) for g in circuit.gates()
+    )
+
+
+def literal_count(circuit: Circuit) -> int:
+    """Total fanin pins over all logic gates (a quick literal estimate).
+
+    The technology-mapped literal counts of Table 4 come from
+    :mod:`repro.techmap`; this structural count is used for progress
+    reporting only.
+    """
+    return sum(
+        len(g.fanins) for g in circuit.gates() if g.gtype not in SOURCE_TYPES
+    )
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Summary statistics for reports (Tables 2/3/5 style columns)."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    n_gates: int
+    two_input_gates: int
+    n_literals: int
+    depth: int
+
+    def row(self) -> Dict[str, int]:
+        """Return the stats as a plain dict (for table formatting)."""
+        return {
+            "inputs": self.n_inputs,
+            "outputs": self.n_outputs,
+            "gates": self.n_gates,
+            "2-inp": self.two_input_gates,
+            "literals": self.n_literals,
+            "depth": self.depth,
+        }
+
+
+def circuit_stats(circuit: Circuit) -> CircuitStats:
+    """Compute a :class:`CircuitStats` summary of *circuit*."""
+    return CircuitStats(
+        name=circuit.name,
+        n_inputs=len(circuit.inputs),
+        n_outputs=len(circuit.outputs),
+        n_gates=len(circuit.logic_gates()),
+        two_input_gates=two_input_gate_count(circuit),
+        n_literals=literal_count(circuit),
+        depth=circuit.depth(),
+    )

@@ -1,0 +1,58 @@
+"""Structural hashing (strash): merge structurally identical gates.
+
+Two gates with the same type and the same fanins (as a multiset, for
+commutative types) compute the same function; merging them removes
+duplicate logic and tightens fanout sharing.  The pass iterates to a
+fixpoint (merging can expose new duplicates) and, like every transform
+here, preserves the circuit interface.  Used as an optional pre-pass by
+the optimizers and as a cheap cleanup after unit emission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .circuit import Circuit
+from .types import GateType
+
+_COMMUTATIVE = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+})
+
+
+def _gate_key(circuit: Circuit, net: str) -> Tuple:
+    gate = circuit.gate(net)
+    fanins = gate.fanins
+    if gate.gtype in _COMMUTATIVE:
+        fanins = tuple(sorted(fanins))
+    return (gate.gtype, fanins)
+
+
+def structural_hash(circuit: Circuit) -> int:
+    """Merge duplicate gates in place; returns the number merged.
+
+    Deterministic: the earliest gate in topological order represents each
+    equivalence class.  Primary-output nets always survive (a PO duplicate
+    of an earlier gate keeps its name as a buffer, per
+    :meth:`Circuit.substitute_net` semantics).
+    """
+    merged_total = 0
+    while True:
+        seen: Dict[Tuple, str] = {}
+        merged = 0
+        for net in circuit.topological_order():
+            gate = circuit.gate(net)
+            if gate.gtype in (GateType.INPUT,):
+                continue
+            key = _gate_key(circuit, net)
+            keeper = seen.get(key)
+            if keeper is None:
+                seen[key] = net
+                continue
+            circuit.substitute_net(net, keeper)
+            merged += 1
+        circuit.sweep()
+        merged_total += merged
+        if merged == 0:
+            return merged_total

@@ -1,0 +1,222 @@
+"""Structural cleanup transforms: constant propagation, buffer collapsing,
+duplicate-fanin reduction and dead-logic sweep.
+
+These transforms preserve the circuit function exactly; they are the shared
+substrate for redundancy removal (:mod:`repro.atpg.redundancy`) and for tidying
+resynthesized circuits.  All of them mutate the circuit in place and return a
+count of changes, and :func:`simplify` iterates them to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .types import Gate, GateType
+
+
+def _fold_gate(circuit: Circuit, gate: Gate) -> Optional[Gate]:
+    """Return a simplified replacement for *gate*, or None if unchanged.
+
+    Handles constant fanins, duplicate fanins, and arity degeneration
+    (e.g. a 2-input AND whose second fanin folded away becomes a BUF).
+    """
+    g = gate.gtype
+    if g in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+        return None
+
+    fanin_types = [circuit.gate(f).gtype for f in gate.fanins]
+
+    if g in (GateType.BUF, GateType.NOT):
+        ft = fanin_types[0]
+        if ft is GateType.CONST0:
+            out = GateType.CONST0 if g is GateType.BUF else GateType.CONST1
+            return Gate(gate.name, out)
+        if ft is GateType.CONST1:
+            out = GateType.CONST1 if g is GateType.BUF else GateType.CONST0
+            return Gate(gate.name, out)
+        # NOT(NOT(x)) -> BUF(x);  BUF(NOT(x)) -> NOT(x) is just an alias.
+        inner = circuit.gate(gate.fanins[0])
+        if g is GateType.NOT and inner.gtype is GateType.NOT:
+            return Gate(gate.name, GateType.BUF, inner.fanins)
+        return None
+
+    if g in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        and_like = g in (GateType.AND, GateType.NAND)
+        inverted = g in (GateType.NAND, GateType.NOR)
+        ctrl = GateType.CONST0 if and_like else GateType.CONST1
+        ident = GateType.CONST1 if and_like else GateType.CONST0
+        if ctrl in fanin_types:
+            # A controlling constant fixes the output.
+            fixed = (0 if and_like else 1) ^ (1 if inverted else 0)
+            return Gate(gate.name, GateType.CONST1 if fixed else GateType.CONST0)
+        kept: List[str] = []
+        seen = set()
+        for f, ft in zip(gate.fanins, fanin_types):
+            if ft is ident:
+                continue
+            if f in seen:  # x AND x = x ; x OR x = x
+                continue
+            seen.add(f)
+            kept.append(f)
+        if len(kept) == len(gate.fanins):
+            return None
+        if not kept:
+            fixed = (1 if and_like else 0) ^ (1 if inverted else 0)
+            return Gate(gate.name, GateType.CONST1 if fixed else GateType.CONST0)
+        if len(kept) == 1:
+            return Gate(gate.name, GateType.NOT if inverted else GateType.BUF,
+                        (kept[0],))
+        return Gate(gate.name, g, tuple(kept))
+
+    if g in (GateType.XOR, GateType.XNOR):
+        parity_flip = g is GateType.XNOR
+        counts: Dict[str, int] = {}
+        order: List[str] = []
+        for f, ft in zip(gate.fanins, fanin_types):
+            if ft is GateType.CONST0:
+                continue
+            if ft is GateType.CONST1:
+                parity_flip = not parity_flip
+                continue
+            if f not in counts:
+                counts[f] = 0
+                order.append(f)
+            counts[f] += 1
+        kept = [f for f in order if counts[f] % 2 == 1]
+        if len(kept) == len(gate.fanins) and parity_flip == (g is GateType.XNOR):
+            return None
+        if not kept:
+            return Gate(gate.name,
+                        GateType.CONST1 if parity_flip else GateType.CONST0)
+        if len(kept) == 1:
+            return Gate(gate.name,
+                        GateType.NOT if parity_flip else GateType.BUF,
+                        (kept[0],))
+        return Gate(gate.name, GateType.XNOR if parity_flip else GateType.XOR,
+                    tuple(kept))
+
+    return None
+
+
+def propagate_constants(circuit: Circuit) -> int:
+    """Fold constants and degenerate gates in place; return change count.
+
+    Runs a single topological pass; :func:`simplify` iterates passes to a
+    fixpoint.
+    """
+    changes = 0
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        folded = _fold_gate(circuit, gate)
+        if folded is not None:
+            circuit.replace_gate(folded)
+            changes += 1
+    return changes
+
+
+def collapse_buffers(circuit: Circuit) -> int:
+    """Bypass every internal BUF gate (readers point at its fanin).
+
+    Primary-output BUFs are kept untouched: primary-output net names are
+    part of the circuit interface and must survive every transform.
+    Returns the number of buffers bypassed.
+    """
+    changes = 0
+    output_set = circuit.output_set
+    for net in list(circuit.topological_order()):
+        if not circuit.has_net(net) or net in output_set:
+            continue
+        gate = circuit.gate(net)
+        if gate.gtype is not GateType.BUF:
+            continue
+        circuit.substitute_net(net, gate.fanins[0])
+        changes += 1
+    return changes
+
+
+def simplify(circuit: Circuit) -> int:
+    """Constant-propagate, collapse buffers and sweep to a fixpoint.
+
+    Mutates *circuit* in place; returns the total number of local changes.
+    """
+    total = 0
+    while True:
+        changed = propagate_constants(circuit)
+        changed += collapse_buffers(circuit)
+        changed += circuit.sweep()
+        total += changed
+        if not changed:
+            return total
+
+
+def decompose_two_input(circuit: Circuit) -> Circuit:
+    """Return a copy with every wide gate split into 2-input gates.
+
+    Balanced trees, output net names preserved.  Both of the paper's
+    metrics are invariant under this transform: a k-input gate counts
+    ``k-1`` equivalent 2-input gates either way, and each input pin still
+    carries exactly one path to the gate output.  The resynthesis
+    procedures run on the decomposed form so that candidate-subcircuit
+    growth (bounded by ``K`` inputs) can tunnel through what used to be a
+    wide gate.
+    """
+    out = Circuit(circuit.name)
+    for pi in circuit.inputs:
+        out.add_input(pi)
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        name = f"d{counter[0]}"
+        while circuit.has_net(name) or out.has_net(name):
+            counter[0] += 1
+            name = f"d{counter[0]}"
+        return name
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt is GateType.INPUT:
+            continue
+        fis = list(gate.fanins)
+        if len(fis) <= 2:
+            out.add_gate(net, gt, fis)
+            continue
+        # Core associative reduction (AND for NAND, OR for NOR, XOR for
+        # XNOR), inversion folded into the final gate.
+        core = {
+            GateType.AND: GateType.AND, GateType.NAND: GateType.AND,
+            GateType.OR: GateType.OR, GateType.NOR: GateType.OR,
+            GateType.XOR: GateType.XOR, GateType.XNOR: GateType.XOR,
+        }[gt]
+        level = fis
+        while len(level) > 2:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(out.add_gate(fresh(), core, level[i:i + 2]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        out.add_gate(net, gt, level)
+    out.set_outputs(circuit.outputs)
+    out.validate()
+    return out
+
+
+def substitute_with_constant(circuit: Circuit, net: str, value: int) -> None:
+    """Replace the gate driving *net* with a constant and simplify.
+
+    This is the primitive step of redundancy removal: an untestable
+    stuck-at-*value* fault on *net* means *net* may be fixed at *value*.
+    """
+    gtype = GateType.CONST1 if value else GateType.CONST0
+    gate = circuit.gate(net)
+    if gate.gtype is GateType.INPUT:
+        # Keep the PI itself; give its readers a constant instead.
+        const_net = circuit.fresh_net(f"const{value}_")
+        circuit.add_gate(const_net, gtype, ())
+        circuit.substitute_net(net, const_net)
+    else:
+        circuit.replace_gate(Gate(net, gtype))
+    simplify(circuit)

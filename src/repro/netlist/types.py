@@ -1,0 +1,171 @@
+"""Gate types and the :class:`Gate` record used by :class:`repro.netlist.Circuit`.
+
+The netlist model follows the paper's conventions: a combinational circuit is a
+DAG of single-output gates.  Each gate is identified by the name of its output
+net.  Fanout branches are implicit (a net read by several gates has several
+fanout branches); analyses that care about branches (path counting, checkpoint
+fault collapsing) treat each reader of a stem as a distinct branch.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class GateType(enum.Enum):
+    """The primitive gate alphabet of the netlist model.
+
+    ``INPUT`` marks a primary input; ``CONST0``/``CONST1`` are constant
+    sources (arity 0).  All other types are combinational gates.
+    """
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: Gate types with no fanins.
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.CONST0, GateType.CONST1})
+
+#: Gate types that take exactly one fanin.
+UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT})
+
+#: Gate types that take two or more fanins.
+MULTI_INPUT_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    }
+)
+
+#: Gate types whose output inverts the "core" function (NAND/NOR/XNOR/NOT).
+INVERTING_TYPES = frozenset(
+    {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+)
+
+#: For AND-like and OR-like gates: the controlling input value.
+CONTROLLING_VALUE = {
+    GateType.AND: 0,
+    GateType.NAND: 0,
+    GateType.OR: 1,
+    GateType.NOR: 1,
+}
+
+#: For AND-like and OR-like gates: output value when a controlling input is present.
+CONTROLLED_OUTPUT = {
+    GateType.AND: 0,
+    GateType.NAND: 1,
+    GateType.OR: 1,
+    GateType.NOR: 0,
+}
+
+#: Map each inverting type to its non-inverting core, and vice versa.
+DUAL_POLARITY = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+}
+
+
+def arity_ok(gtype: GateType, n_fanins: int) -> bool:
+    """Return True when a gate of type *gtype* may have *n_fanins* fanins."""
+    if gtype in SOURCE_TYPES:
+        return n_fanins == 0
+    if gtype in UNARY_TYPES:
+        return n_fanins == 1
+    return n_fanins >= 2
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single-output gate.
+
+    Attributes
+    ----------
+    name:
+        The output net name; unique within a circuit.
+    gtype:
+        The gate's :class:`GateType`.
+    fanins:
+        Ordered tuple of input net names.  Order is significant for analyses
+        that index gate inputs (fault sites, path steps).
+    """
+
+    name: str
+    gtype: GateType
+    fanins: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fanins, tuple):
+            object.__setattr__(self, "fanins", tuple(self.fanins))
+        if not arity_ok(self.gtype, len(self.fanins)):
+            raise ValueError(
+                f"gate {self.name!r}: type {self.gtype.value} cannot take "
+                f"{len(self.fanins)} fanin(s)"
+            )
+
+    @property
+    def is_source(self) -> bool:
+        """True for primary inputs and constants."""
+        return self.gtype in SOURCE_TYPES
+
+    def with_fanins(self, fanins: Tuple[str, ...]) -> "Gate":
+        """Return a copy of this gate with *fanins* substituted."""
+        return Gate(self.name, self.gtype, tuple(fanins))
+
+    def with_type(self, gtype: GateType) -> "Gate":
+        """Return a copy of this gate with *gtype* substituted."""
+        return Gate(self.name, gtype, self.fanins)
+
+
+def eval_gate(gtype: GateType, values: Tuple[int, ...]) -> int:
+    """Evaluate a gate of *gtype* on scalar 0/1 *values* (one per fanin).
+
+    This is the reference single-pattern semantics; the bit-parallel simulator
+    in :mod:`repro.sim` must agree with it (and tests check that it does).
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype is GateType.INPUT:
+        raise ValueError("primary inputs have no evaluation rule")
+    if gtype is GateType.BUF:
+        return values[0]
+    if gtype is GateType.NOT:
+        return 1 - values[0]
+    if gtype is GateType.AND:
+        return int(all(values))
+    if gtype is GateType.NAND:
+        return 1 - int(all(values))
+    if gtype is GateType.OR:
+        return int(any(values))
+    if gtype is GateType.NOR:
+        return 1 - int(any(values))
+    if gtype is GateType.XOR:
+        return sum(values) & 1
+    if gtype is GateType.XNOR:
+        return 1 - (sum(values) & 1)
+    raise ValueError(f"unknown gate type {gtype!r}")

@@ -1,0 +1,62 @@
+"""Path delay faults: hazard-aware two-pattern simulation, robust criteria,
+random-pattern robust coverage campaigns (Table 7 substrate)."""
+
+from .atpg import (
+    PdfAtpgResult,
+    PdfAtpgStatus,
+    PdfTestGenReport,
+    generate_robust_tests,
+    robust_pdf_test,
+)
+from .hazard import PairWords, simulate_pair, simulate_pairs
+from .nonenum import (
+    count_robust_sensitized,
+    robust_sensitization_labels,
+)
+from .robust import (
+    Path,
+    PathFault,
+    RobustCriterion,
+    SensitizedPath,
+    is_robust_test_for,
+    robust_faults_detected,
+    robustly_sensitized_paths,
+)
+from .transition import (
+    TransitionCoverageResult,
+    TransitionFault,
+    random_transition_campaign,
+    transition_fault_universe,
+)
+from .sim import (
+    PdfCoverageResult,
+    random_pdf_campaign,
+    total_path_faults,
+)
+
+__all__ = [
+    "PairWords",
+    "Path",
+    "PathFault",
+    "PdfAtpgResult",
+    "PdfAtpgStatus",
+    "PdfCoverageResult",
+    "PdfTestGenReport",
+    "count_robust_sensitized",
+    "RobustCriterion",
+    "SensitizedPath",
+    "is_robust_test_for",
+    "generate_robust_tests",
+    "random_pdf_campaign",
+    "robust_pdf_test",
+    "robust_faults_detected",
+    "robustly_sensitized_paths",
+    "robust_sensitization_labels",
+    "simulate_pair",
+    "simulate_pairs",
+    "total_path_faults",
+    "TransitionCoverageResult",
+    "TransitionFault",
+    "random_transition_campaign",
+    "transition_fault_universe",
+]

@@ -1,0 +1,299 @@
+"""Deterministic robust test generation for path delay faults.
+
+Given a path fault, the robust criteria fix a set of *line requirements*:
+
+* every on-path net carries a settled transition (the launch direction at
+  the primary input is the fault's direction);
+* at each on-path gate the side inputs must be steady non-controlling
+  (transition ending non-controlling; always, under STRICT) or
+  non-controlling in the second vector (ending controlling, STANDARD);
+* XOR side inputs must be steady.
+
+The generator searches two-pattern assignments of the primary inputs in
+the fault's support cone, with three-valued implication of both vectors
+and requirement checking for pruning.  The search is complete over that
+cone, so exhausting it (within the backtrack budget) proves the fault
+robustly untestable — the quantity Table 7 shows the resynthesis removing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..atpg.podem import X, eval_gate3
+from ..netlist import Circuit, GateType
+from .hazard import simulate_pair
+from .robust import Path, RobustCriterion, is_robust_test_for
+
+
+class PdfAtpgStatus(enum.Enum):
+    """Outcome of robust PDF test generation for one fault."""
+
+    TESTABLE = "testable"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PdfAtpgResult:
+    """Result record: status plus the two-pattern test when found."""
+
+    status: PdfAtpgStatus
+    v1: Optional[Dict[str, int]]
+    v2: Optional[Dict[str, int]]
+    backtracks: int
+
+    @property
+    def found(self) -> bool:
+        """True when a robust test was generated."""
+        return self.status is PdfAtpgStatus.TESTABLE
+
+
+class _Abort(Exception):
+    pass
+
+
+def _path_requirements(
+    circuit: Circuit, path: Path, criterion: RobustCriterion
+) -> Optional[List[Tuple[str, str, str]]]:
+    """Side-input requirements as (net, vector-scope, value) triples.
+
+    vector-scope is ``"both"`` (steady at value, hazard-free handled by
+    steadiness of the implied cone) or ``"v2"`` (second vector only).
+    ``("net", "steady", "")`` marks an XOR side that must merely be steady.
+    Returns None when the path is structurally unusable (an on-path gate
+    has no controlling value and repeats the on-path net).
+    """
+    requirements: List[Tuple[str, str, str]] = []
+    for prev, cur in zip(path, path[1:]):
+        gate = circuit.gate(cur)
+        gt = gate.gtype
+        if gt in (GateType.BUF, GateType.NOT):
+            continue
+        if gate.fanins.count(prev) > 1:
+            return None  # multi-pin connection cannot be robust
+        if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            nc = "1" if gt in (GateType.AND, GateType.NAND) else "0"
+            for f in gate.fanins:
+                if f == prev:
+                    continue
+                # the strict scope ("both") applies when the on-path
+                # transition ends non-controlling; which case applies
+                # depends on the assignment, so requirements are checked
+                # dynamically during search — here we record the pair.
+                requirements.append((f, f"side:{cur}:{nc}", prev))
+        elif gt in (GateType.XOR, GateType.XNOR):
+            for f in gate.fanins:
+                if f != prev:
+                    requirements.append((f, "steady", ""))
+        else:  # pragma: no cover
+            return None
+    return requirements
+
+
+def robust_pdf_test(
+    circuit: Circuit,
+    path: Sequence[str],
+    rising: bool,
+    criterion: RobustCriterion = RobustCriterion.STANDARD,
+    max_backtracks: int = 10_000,
+    random_probes: int = 256,
+) -> PdfAtpgResult:
+    """Generate a robust two-pattern test for the fault, or prove none exists.
+
+    Two phases, mirroring the standard ATPG flow:
+
+    1. *random probing* — biased random pairs (the launch input flips,
+       other inputs stay steady with high probability, matching the
+       mostly-steady shape robust tests must have) checked with the fast
+       single-path test; finds most testable faults immediately;
+    2. *complete search* — ``(v1, v2)`` pairs over the primary inputs in
+       the support of the path's gates (other inputs cannot influence the
+       robust conditions), three-valued implication of both vectors,
+       pruning on violated requirements.  Completeness over the support
+       cone makes an exhausted search an untestability proof.
+    """
+    path = tuple(path)
+    if path[0] not in circuit.inputs or path[-1] not in circuit.output_set:
+        raise ValueError("path must run from a primary input to an output")
+    reqs = _path_requirements(circuit, path, criterion)
+    if reqs is None:
+        return PdfAtpgResult(PdfAtpgStatus.UNTESTABLE, None, None, 0)
+
+    on_path: Set[str] = set(path)
+    support_nets = circuit.transitive_fanin(
+        [cur for cur in path[1:]]
+    ) | on_path
+    support_pis = [pi for pi in circuit.inputs if pi in support_nets]
+    # The launch input is assigned by the fault itself.
+    launch = path[0]
+    free_pis = [pi for pi in support_pis if pi != launch]
+    # Assign inputs close to the path first: they constrain the side
+    # requirements directly, so conflicts surface early in the search.
+    side_nets = {f for f, _, _ in reqs}
+    side_support = circuit.transitive_fanin(side_nets) if side_nets else set()
+    free_pis.sort(key=lambda pi: (pi not in side_support, pi))
+
+    # Implication only needs the support region (conditions and on-path
+    # values live entirely inside it).  The region is transitive-fanin
+    # closed, so it also materializes as a standalone circuit for the
+    # final verification — keeping every step O(|region|).
+    topo = [n for n in circuit.topological_order() if n in support_nets]
+    path_set = set(path)
+
+    region_circuit = Circuit(f"{circuit.name}.pdfregion")
+    for net in topo:
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            region_circuit.add_input(net)
+        else:
+            region_circuit.add_gate(net, gate.gtype, gate.fanins)
+    region_circuit.set_outputs([path[-1]])
+
+    assign1: Dict[str, int] = {launch: 0 if rising else 1}
+    assign2: Dict[str, int] = {launch: 1 if rising else 0}
+
+    backtracks = [0]
+
+    def imply() -> Optional[Tuple[Dict[str, int], Dict[str, int]]]:
+        """3-valued both-vector implication + requirement check.
+
+        Returns the (good1, good2) maps, or None when some requirement is
+        already violated.
+        """
+        g1: Dict[str, int] = {}
+        g2: Dict[str, int] = {}
+        for net in topo:
+            gate = circuit.gate(net)
+            if gate.gtype is GateType.INPUT:
+                g1[net] = assign1.get(net, X)
+                g2[net] = assign2.get(net, X)
+            else:
+                g1[net] = eval_gate3(
+                    gate.gtype, [g1[f] for f in gate.fanins]
+                )
+                g2[net] = eval_gate3(
+                    gate.gtype, [g2[f] for f in gate.fanins]
+                )
+            if net in path_set:
+                # on-path nets must transition: v1 != v2 when determined
+                if g1[net] != X and g2[net] != X and g1[net] == g2[net]:
+                    return None
+        # side requirements
+        for f, scope, prev in reqs:
+            if scope == "steady":
+                if (g1[f] != X and g2[f] != X and g1[f] != g2[f]):
+                    return None
+                continue
+            _, cur, nc_s = scope.split(":")
+            nc = int(nc_s)
+            ends_nc = g2[prev]
+            # determine whether the on-path transition ends non-controlling
+            if ends_nc == X:
+                continue  # not yet determined; defer
+            gate = circuit.gate(cur)
+            and_like = gate.gtype in (GateType.AND, GateType.NAND)
+            ctrl = 0 if and_like else 1
+            arriving_nc = (ends_nc != ctrl)
+            strict = (criterion is RobustCriterion.STRICT) or arriving_nc
+            if strict:
+                if g1[f] != X and g1[f] != nc:
+                    return None
+            if g2[f] != X and g2[f] != nc:
+                return None
+        return g1, g2
+
+    def verify_full() -> bool:
+        v1 = {pi: assign1.get(pi, 0) for pi in region_circuit.inputs}
+        v2 = {pi: assign2.get(pi, 0) for pi in region_circuit.inputs}
+        pw = simulate_pair(region_circuit, v1, v2)
+        return is_robust_test_for(region_circuit, pw, path, rising, criterion)
+
+    # Phase 1: biased random probing (launch flips; other inputs steady
+    # with probability 0.8 — robust side conditions want steady values).
+    if random_probes:
+        import random as _random
+
+        rng = _random.Random(hash((path, rising)) & 0xFFFFFFFF)
+        for _ in range(random_probes):
+            for pi in free_pis:
+                v = rng.randint(0, 1)
+                assign1[pi] = v
+                assign2[pi] = v if rng.random() < 0.8 else 1 - v
+            if verify_full():
+                v1 = {pi: assign1.get(pi, 0) for pi in circuit.inputs}
+                v2 = {pi: assign2.get(pi, 0) for pi in circuit.inputs}
+                return PdfAtpgResult(PdfAtpgStatus.TESTABLE, v1, v2, 0)
+        for pi in free_pis:
+            assign1.pop(pi, None)
+            assign2.pop(pi, None)
+
+    def search(idx: int) -> bool:
+        if imply() is None:
+            return False
+        if idx == len(free_pis):
+            return verify_full()
+        pi = free_pis[idx]
+        for val1, val2 in ((0, 0), (1, 1), (0, 1), (1, 0)):
+            assign1[pi] = val1
+            assign2[pi] = val2
+            if search(idx + 1):
+                return True
+            del assign1[pi]
+            del assign2[pi]
+            backtracks[0] += 1
+            if backtracks[0] > max_backtracks:
+                raise _Abort()
+        return False
+
+    try:
+        if search(0):
+            v1 = {pi: assign1.get(pi, 0) for pi in circuit.inputs}
+            v2 = {pi: assign2.get(pi, 0) for pi in circuit.inputs}
+            return PdfAtpgResult(
+                PdfAtpgStatus.TESTABLE, v1, v2, backtracks[0]
+            )
+        return PdfAtpgResult(
+            PdfAtpgStatus.UNTESTABLE, None, None, backtracks[0]
+        )
+    except _Abort:
+        return PdfAtpgResult(PdfAtpgStatus.ABORTED, None, None, backtracks[0])
+
+
+@dataclass
+class PdfTestGenReport:
+    """Summary of robust PDF test generation over a fault list."""
+
+    testable: int
+    untestable: int
+    aborted: int
+    tests: List[Tuple[Path, bool, Dict[str, int], Dict[str, int]]]
+
+    @property
+    def total(self) -> int:
+        """Faults processed."""
+        return self.testable + self.untestable + self.aborted
+
+
+def generate_robust_tests(
+    circuit: Circuit,
+    faults: Sequence[Tuple[Path, bool]],
+    criterion: RobustCriterion = RobustCriterion.STANDARD,
+    max_backtracks: int = 10_000,
+) -> PdfTestGenReport:
+    """Run :func:`robust_pdf_test` over a fault list."""
+    report = PdfTestGenReport(0, 0, 0, [])
+    for path, rising in faults:
+        res = robust_pdf_test(
+            circuit, path, rising, criterion, max_backtracks
+        )
+        if res.status is PdfAtpgStatus.TESTABLE:
+            report.testable += 1
+            report.tests.append((tuple(path), rising, res.v1, res.v2))
+        elif res.status is PdfAtpgStatus.UNTESTABLE:
+            report.untestable += 1
+        else:
+            report.aborted += 1
+    return report

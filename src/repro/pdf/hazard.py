@@ -1,0 +1,200 @@
+"""Three-word (v1, v2, hazard-free) simulation of two-pattern tests.
+
+For a pair of vectors applied in sequence, every net carries three packed
+words over the pattern pairs in a batch:
+
+* ``v1`` — the settled value under the first vector,
+* ``v2`` — the settled value under the second vector,
+* ``g``  — 1 when the net's waveform is *hazard-free* for arbitrary gate
+  delays: it is either stable at ``v1 = v2`` with no possible glitch, or
+  makes a single clean ``v1 -> v2`` transition.
+
+The gate rules are the classical 6-valued algebra (stable 0/1, clean
+rise/fall, hazardous 0/1) expressed word-parallel:
+
+* AND/OR: the output is hazard-free when some hazard-free side input holds
+  the controlling value through both vectors (it dominates), or when every
+  input is hazard-free and no two inputs transition in opposite directions.
+* XOR: hazard-free when at most one input transitions and all are
+  hazard-free (two XOR transitions can always misalign into a glitch).
+* NOT/BUF preserve hazard-freeness; constants are hazard-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..netlist import Circuit, GateType
+
+
+class PairWords:
+    """The (v1, v2, g) packed words of every net for a batch of test pairs."""
+
+    __slots__ = ("v1", "v2", "g", "n_pairs", "mask")
+
+    def __init__(
+        self,
+        v1: Dict[str, int],
+        v2: Dict[str, int],
+        g: Dict[str, int],
+        n_pairs: int,
+    ) -> None:
+        self.v1 = v1
+        self.v2 = v2
+        self.g = g
+        self.n_pairs = n_pairs
+        self.mask = (1 << n_pairs) - 1
+
+    def transition(self, net: str) -> int:
+        """Mask of pairs where *net* has a (settled) transition."""
+        return self.v1[net] ^ self.v2[net]
+
+    def rising(self, net: str) -> int:
+        """Mask of pairs where *net* rises (0 -> 1)."""
+        return (self.v1[net] ^ self.mask) & self.v2[net]
+
+    def stable_at(self, net: str, value: int) -> int:
+        """Mask of pairs where *net* is hazard-free stable at *value*."""
+        if value:
+            both = self.v1[net] & self.v2[net]
+        else:
+            both = (self.v1[net] | self.v2[net]) ^ self.mask
+        return both & self.g[net]
+
+
+def _and_or_hazard(
+    fanin_v1: Sequence[int],
+    fanin_v2: Sequence[int],
+    fanin_g: Sequence[int],
+    controlling: int,
+    mask: int,
+) -> int:
+    """Hazard-free word for an AND-like (controlling=0) or OR-like gate."""
+    dominated = 0
+    all_g = mask
+    any_rise = 0
+    any_fall = 0
+    for a1, a2, ag in zip(fanin_v1, fanin_v2, fanin_g):
+        if controlling == 0:
+            stable_ctrl = ((a1 | a2) ^ mask) & ag  # hazard-free stable 0
+        else:
+            stable_ctrl = a1 & a2 & ag  # hazard-free stable 1
+        dominated |= stable_ctrl
+        all_g &= ag
+        any_rise |= (a1 ^ mask) & a2
+        any_fall |= a1 & (a2 ^ mask)
+    no_opposition = (any_rise & any_fall) ^ mask
+    return dominated | (all_g & no_opposition)
+
+
+def _xor_hazard(
+    fanin_v1: Sequence[int],
+    fanin_v2: Sequence[int],
+    fanin_g: Sequence[int],
+    mask: int,
+) -> int:
+    all_g = mask
+    seen_one = 0
+    seen_two = 0
+    for a1, a2, ag in zip(fanin_v1, fanin_v2, fanin_g):
+        all_g &= ag
+        t = a1 ^ a2
+        seen_two |= seen_one & t
+        seen_one |= t
+    return all_g & (seen_two ^ mask)
+
+
+def simulate_pairs(
+    circuit: Circuit,
+    v1_inputs: Mapping[str, int],
+    v2_inputs: Mapping[str, int],
+    n_pairs: int,
+) -> PairWords:
+    """Simulate a batch of two-pattern tests with hazard tracking.
+
+    Primary inputs are assumed glitch-free (they change once between the
+    two vectors), so their ``g`` word is all ones.
+    """
+    mask = (1 << n_pairs) - 1
+    v1: Dict[str, int] = {}
+    v2: Dict[str, int] = {}
+    g: Dict[str, int] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt is GateType.INPUT:
+            v1[net] = v1_inputs.get(net, 0) & mask
+            v2[net] = v2_inputs.get(net, 0) & mask
+            g[net] = mask
+            continue
+        if gt is GateType.CONST0:
+            v1[net] = v2[net] = 0
+            g[net] = mask
+            continue
+        if gt is GateType.CONST1:
+            v1[net] = v2[net] = mask
+            g[net] = mask
+            continue
+        f1 = [v1[f] for f in gate.fanins]
+        f2 = [v2[f] for f in gate.fanins]
+        fg = [g[f] for f in gate.fanins]
+        if gt is GateType.BUF:
+            v1[net], v2[net], g[net] = f1[0], f2[0], fg[0]
+            continue
+        if gt is GateType.NOT:
+            v1[net] = f1[0] ^ mask
+            v2[net] = f2[0] ^ mask
+            g[net] = fg[0]
+            continue
+        if gt in (GateType.AND, GateType.NAND):
+            a1 = mask
+            a2 = mask
+            for w in f1:
+                a1 &= w
+            for w in f2:
+                a2 &= w
+            hz = _and_or_hazard(f1, f2, fg, 0, mask)
+            if gt is GateType.NAND:
+                a1 ^= mask
+                a2 ^= mask
+            v1[net], v2[net], g[net] = a1, a2, hz
+            continue
+        if gt in (GateType.OR, GateType.NOR):
+            a1 = 0
+            a2 = 0
+            for w in f1:
+                a1 |= w
+            for w in f2:
+                a2 |= w
+            hz = _and_or_hazard(f1, f2, fg, 1, mask)
+            if gt is GateType.NOR:
+                a1 ^= mask
+                a2 ^= mask
+            v1[net], v2[net], g[net] = a1, a2, hz
+            continue
+        if gt in (GateType.XOR, GateType.XNOR):
+            a1 = 0
+            a2 = 0
+            for w in f1:
+                a1 ^= w
+            for w in f2:
+                a2 ^= w
+            hz = _xor_hazard(f1, f2, fg, mask)
+            if gt is GateType.XNOR:
+                a1 ^= mask
+                a2 ^= mask
+            v1[net], v2[net], g[net] = a1, a2, hz
+            continue
+        raise ValueError(f"cannot simulate gate type {gt!r}")
+    return PairWords(v1, v2, g, n_pairs)
+
+
+def simulate_pair(
+    circuit: Circuit,
+    v1_assignment: Mapping[str, int],
+    v2_assignment: Mapping[str, int],
+) -> PairWords:
+    """Single two-pattern test convenience wrapper (scalar assignments)."""
+    v1 = {pi: v1_assignment.get(pi, 0) & 1 for pi in circuit.inputs}
+    v2 = {pi: v2_assignment.get(pi, 0) & 1 for pi in circuit.inputs}
+    return simulate_pairs(circuit, v1, v2, 1)

@@ -1,0 +1,263 @@
+"""Robust path-delay-fault sensitization (Lin-Reddy criteria).
+
+A two-pattern test robustly detects a path delay fault when the fault is
+caught independently of delays elsewhere in the circuit (under the standard
+single-fault assumption that off-path signals settle by sample time).  The
+per-gate side-input conditions implemented here are the classical ones:
+
+* on-path transition ending at the gate's **non-controlling** value
+  (e.g. a rising input of an AND): every off-path input must hold the
+  non-controlling value *steadily and hazard-free* through both vectors;
+* on-path transition ending at the **controlling** value: every off-path
+  input must hold the non-controlling value in the second vector (its first
+  value is free — the sampled-value argument tolerates early glitches);
+* XOR/XNOR (no controlling value): every off-path input must be steady and
+  hazard-free;
+* NOT/BUF propagate unconditionally.
+
+Every on-path net must carry a *settled* transition (``v1 != v2``); under
+the standard criterion internal on-path nets may still be glitchy — side
+inputs admitted by the ending-at-controlling rule can cause early glitches,
+which settle before sampling.  ``RobustCriterion.STRICT`` tightens both
+points: side inputs must be steady non-controlling in every case, and every
+on-path net must be hazard-free — the fully conservative variant, matching
+the all-steady side values of the paper's Table 1 tests.
+
+Per pattern, at most one input pin of any gate can satisfy the conditions,
+so robustly sensitized paths form a forward forest: their number per test is
+bounded by the number of primary outputs.  The enumeration below exploits
+that — it walks the sensitized subgraph with pattern masks, so a whole batch
+of test pairs is processed in one traversal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
+
+from ..netlist import Circuit, GateType
+from .hazard import PairWords
+
+#: Path identity: the tuple of nets from primary input to primary output.
+Path = Tuple[str, ...]
+
+#: A path delay fault: the path plus the launch direction at the path input.
+PathFault = Tuple[Path, bool]  # (path, rising)
+
+
+class RobustCriterion(enum.Enum):
+    """Which side-input rule set to apply."""
+
+    STANDARD = "standard"
+    STRICT = "strict"
+
+
+def _side_masks(
+    circuit: Circuit, pw: PairWords, criterion: RobustCriterion
+) -> Dict[Tuple[str, int], Tuple[int, int]]:
+    """Per gate input pin: (mask for ending-at-nc, mask for ending-at-c).
+
+    Keyed by ``(gate_output_net, pin_index)``.  For gates without a
+    controlling value (XOR/XNOR) both masks are the steady-sides mask; for
+    NOT/BUF both are all-ones.
+    """
+    mask = pw.mask
+    out: Dict[Tuple[str, int], Tuple[int, int]] = {}
+    for gate in circuit.gates():
+        gt = gate.gtype
+        if gt in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            continue
+        k = len(gate.fanins)
+        if gt in (GateType.BUF, GateType.NOT):
+            out[(gate.name, 0)] = (mask, mask)
+            continue
+        if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            nc = 1 if gt in (GateType.AND, GateType.NAND) else 0
+            steady = [pw.stable_at(f, nc) for f in gate.fanins]
+            if nc:
+                final_nc = [pw.v2[f] for f in gate.fanins]
+            else:
+                final_nc = [pw.v2[f] ^ mask for f in gate.fanins]
+            for i in range(k):
+                s = mask
+                fnc = mask
+                for j in range(k):
+                    if j == i:
+                        continue
+                    s &= steady[j]
+                    fnc &= final_nc[j]
+                if criterion is RobustCriterion.STRICT:
+                    out[(gate.name, i)] = (s, s)
+                else:
+                    out[(gate.name, i)] = (s, fnc)
+            continue
+        # XOR/XNOR: off-path inputs steady hazard-free (either value).
+        steady_any = [
+            ((pw.v1[f] ^ pw.v2[f]) ^ mask) & pw.g[f] for f in gate.fanins
+        ]
+        for i in range(k):
+            s = mask
+            for j in range(k):
+                if j != i:
+                    s &= steady_any[j]
+            out[(gate.name, i)] = (s, s)
+    return out
+
+
+def _pin_propagation_mask(
+    gate_type: GateType,
+    pin_rising: int,
+    pin_falling: int,
+    side_nc: int,
+    side_c: int,
+) -> int:
+    """Mask of pairs where the pin's transition robustly propagates."""
+    if gate_type in (GateType.AND, GateType.NAND):
+        # rising ends at non-controlling (1), falling at controlling (0)
+        return (pin_rising & side_nc) | (pin_falling & side_c)
+    if gate_type in (GateType.OR, GateType.NOR):
+        return (pin_falling & side_nc) | (pin_rising & side_c)
+    # XOR/XNOR/NOT/BUF: direction-independent
+    return (pin_rising | pin_falling) & side_nc
+
+
+@dataclass(frozen=True)
+class SensitizedPath:
+    """One robustly sensitized path with the pattern-pair masks detecting it."""
+
+    path: Path
+    rising_mask: int   # pairs detecting the rising-launch fault
+    falling_mask: int  # pairs detecting the falling-launch fault
+
+
+def robustly_sensitized_paths(
+    circuit: Circuit,
+    pw: PairWords,
+    criterion: RobustCriterion = RobustCriterion.STANDARD,
+) -> List[SensitizedPath]:
+    """Enumerate every robustly sensitized path for a batch of test pairs.
+
+    Returns one record per path that is robustly sensitized by at least one
+    pair in the batch, with masks telling which pairs detect the
+    rising-launch and falling-launch faults of that path.
+    """
+    side = _side_masks(circuit, pw, criterion)
+    fanout = circuit.fanout_map()
+    output_set = circuit.output_set
+    results: List[SensitizedPath] = []
+
+    # Pin index lookup: reader gate -> list of (pin_index) per fanin name.
+    def pins_of(reader: str, net: str) -> Iterator[int]:
+        for i, f in enumerate(circuit.gate(reader).fanins):
+            if f == net:
+                yield i
+
+    def walk(net: str, mask: int, path: List[str]) -> None:
+        path.append(net)
+        if net in output_set:
+            launch = path[0]
+            r = mask & pw.rising(launch)
+            f = mask & ~r
+            results.append(SensitizedPath(tuple(path), r, f & pw.mask))
+        for reader in set(fanout.get(net, ())):
+            rg = circuit.gate(reader)
+            for pin in pins_of(reader, net):
+                s_nc, s_c = side[(reader, pin)]
+                prop = _pin_propagation_mask(
+                    rg.gtype, pw.rising(net) & mask,
+                    (pw.transition(net) & ~pw.rising(net)) & mask & pw.mask,
+                    s_nc, s_c,
+                )
+                # The transition must reach the output as a settled
+                # transition.  Hazard-freeness of internal on-path nets is
+                # NOT required under the standard criterion (side glitches
+                # settle before sampling); STRICT demands it.
+                prop &= pw.transition(reader)
+                if criterion is RobustCriterion.STRICT:
+                    prop &= pw.g[reader]
+                if prop:
+                    walk(reader, prop, path)
+        path.pop()
+
+    for pi in circuit.inputs:
+        launch_mask = pw.transition(pi) & pw.g[pi]
+        if launch_mask:
+            walk(pi, launch_mask, [])
+    return results
+
+
+def robust_faults_detected(
+    circuit: Circuit,
+    pw: PairWords,
+    criterion: RobustCriterion = RobustCriterion.STANDARD,
+) -> Set[PathFault]:
+    """The set of path delay faults robustly detected by the batch."""
+    detected: Set[PathFault] = set()
+    for rec in robustly_sensitized_paths(circuit, pw, criterion):
+        if rec.rising_mask:
+            detected.add((rec.path, True))
+        if rec.falling_mask:
+            detected.add((rec.path, False))
+    return detected
+
+
+def is_robust_test_for(
+    circuit: Circuit,
+    pw: PairWords,
+    path: Path,
+    rising: bool,
+    criterion: RobustCriterion = RobustCriterion.STANDARD,
+) -> bool:
+    """True when the (single) test pair in *pw* robustly detects the fault.
+
+    Checks the one target path directly (launch direction, settled
+    transitions along the path, per-gate side conditions) — O(path length
+    × fanin) instead of enumerating every sensitized path.
+    """
+    if pw.n_pairs != 1:
+        raise ValueError("is_robust_test_for expects a single test pair")
+    path = tuple(path)
+    launch = path[0]
+    if circuit.gate(launch).gtype is not GateType.INPUT:
+        return False
+    if path[-1] not in circuit.output_set:
+        return False
+    if not (pw.transition(launch) & pw.g[launch]):
+        return False
+    if bool(pw.rising(launch)) != rising:
+        return False
+    strict = criterion is RobustCriterion.STRICT
+    for prev, cur in zip(path, path[1:]):
+        gate = circuit.gate(cur)
+        gt = gate.gtype
+        if prev not in gate.fanins:
+            return False
+        if not pw.transition(cur):
+            return False
+        if strict and not pw.g[cur]:
+            return False
+        if gt in (GateType.BUF, GateType.NOT):
+            continue
+        if gate.fanins.count(prev) > 1:
+            return False
+        if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            nc = 1 if gt in (GateType.AND, GateType.NAND) else 0
+            ends_nc = pw.v2[prev] == nc
+            for f in gate.fanins:
+                if f == prev:
+                    continue
+                if ends_nc or strict:
+                    if not pw.stable_at(f, nc):
+                        return False
+                elif pw.v2[f] != nc:
+                    return False
+        elif gt in (GateType.XOR, GateType.XNOR):
+            for f in gate.fanins:
+                if f == prev:
+                    continue
+                if pw.transition(f) or not pw.g[f]:
+                    return False
+        else:  # pragma: no cover - sources cannot appear mid-path
+            return False
+    return True

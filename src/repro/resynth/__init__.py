@@ -1,0 +1,28 @@
+"""Resynthesis with comparison units: Procedures 2 and 3 and Section 4.3."""
+
+from .candidates import DEFAULT_MAX_CANDIDATES, enumerate_candidate_cones
+from .procedures import (
+    ResynthesisReport,
+    combined_procedure,
+    procedure2,
+    procedure3,
+)
+from .replace import (
+    ReplacementOption,
+    apply_replacement,
+    current_paths_on,
+    evaluate_cone,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CANDIDATES",
+    "ReplacementOption",
+    "ResynthesisReport",
+    "apply_replacement",
+    "combined_procedure",
+    "current_paths_on",
+    "enumerate_candidate_cones",
+    "evaluate_cone",
+    "procedure2",
+    "procedure3",
+]

@@ -1,0 +1,87 @@
+"""Candidate subcircuit enumeration (Section 4.1).
+
+Starting from the single gate driving line ``g`` (subcircuit ``C_0``), every
+subcircuit ``C_i`` spawns children ``C_i ∪ {H}`` for each gate ``H`` driving
+one of ``C_i``'s input lines, as long as the child's input count stays
+within ``K``.  Enumeration is breadth-first with structural deduplication,
+and a hard cap bounds the worst case.
+
+A *frozen* net set lets the procedures keep already-emitted comparison-unit
+internals out of new candidates (selected units must stay intact — the
+paper skips "gate-outputs that become internal to comparison units already
+selected").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, Iterable, List, Optional, Set
+
+from ..analysis import Cone, cone_inputs, make_cone
+from ..netlist import Circuit, GateType
+
+#: Safety cap on candidates per output line.
+DEFAULT_MAX_CANDIDATES = 128
+
+
+def enumerate_candidate_cones(
+    circuit: Circuit,
+    output: str,
+    max_inputs: int,
+    frozen: Optional[Set[str]] = None,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> List[Cone]:
+    """All candidate subcircuits with output line *output*.
+
+    Parameters
+    ----------
+    max_inputs:
+        The paper's ``K``: candidates whose input count exceeds this are
+        neither kept nor expanded.
+    frozen:
+        Nets that may not become members (cone growth treats them as hard
+        inputs): internals of comparison units selected earlier.
+    max_candidates:
+        Hard cap on the number of candidates returned (breadth-first, so
+        the smallest subcircuits always survive a cap).
+
+    The single-gate subcircuit ``C_0`` is always first in the result when
+    its input count allows (the paper keeps it so that a comparison
+    function always exists for AND/OR-family gates and gate count never
+    increases).
+    """
+    frozen = frozen or set()
+    gate0 = circuit.gate(output)
+    if gate0.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+        return []
+
+    start = frozenset({output})
+    seen: Set[FrozenSet[str]] = {start}
+    queue = deque([start])
+    cones: List[Cone] = []
+    while queue and len(cones) < max_candidates:
+        members = queue.popleft()
+        inputs = cone_inputs(circuit, set(members))
+        if len(inputs) > max_inputs:
+            # Matching the paper, over-wide subcircuits are neither kept
+            # nor expanded (expansion could shrink the input count again,
+            # but Section 4.1 bounds the search exactly this way).
+            continue
+        cones.append(Cone(output, members, tuple(inputs)))
+        for h in inputs:
+            hg = circuit.gate(h)
+            if hg.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+                continue
+            if h in frozen:
+                continue
+            child = members | {h}
+            if child in seen:
+                continue
+            seen.add(child)
+            queue.append(child)
+    return cones
+
+
+def candidate_count_bound(max_inputs: int) -> int:
+    """A loose bound used in documentation/tests for candidate growth."""
+    return DEFAULT_MAX_CANDIDATES

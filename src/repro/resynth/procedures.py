@@ -1,0 +1,308 @@
+"""Procedures 2 and 3 (Section 4) and the combined measure (Section 4.3).
+
+Both procedures sweep the circuit from primary outputs toward primary
+inputs.  Marked gate-outputs get a candidate-subcircuit enumeration (up to
+``K`` inputs); candidates realizing comparison functions are priced and the
+best replacement is applied:
+
+* **Procedure 2** maximizes the gate reduction ``N - N'`` with the number
+  of paths on the line as the tiebreak; a replacement is applied when it
+  strictly improves ``(gates, paths)`` lexicographically, so the gate count
+  never increases.
+* **Procedure 3** minimizes the number of paths on the line, accepting
+  gate-count increases (as Table 5 shows the paper does).
+* **The combined measure** (Section 4.3) maximizes
+  ``gate_weight * (N - N') + (paths_now - paths_after)``, exposing the
+  in-between points of the solution space.
+
+Each procedure repeats whole passes until a pass makes no change (the
+paper: "applied repeatedly until no more improvements are possible").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..analysis import count_paths, path_labels
+from ..netlist import (
+    Circuit,
+    GateType,
+    decompose_two_input,
+    two_input_gate_count,
+)
+from ..sim import outputs_equal, random_words
+from .candidates import enumerate_candidate_cones
+from .replace import (
+    ReplacementOption,
+    apply_replacement,
+    current_paths_on,
+    evaluate_cone,
+)
+
+
+@dataclass
+class ResynthesisReport:
+    """Result of running a resynthesis procedure."""
+
+    circuit: Circuit
+    objective: str
+    k: int
+    passes: int
+    replacements: int
+    gates_before: int
+    gates_after: int
+    paths_before: int
+    paths_after: int
+
+    @property
+    def gate_reduction(self) -> int:
+        """Equivalent-2-input gates removed."""
+        return self.gates_before - self.gates_after
+
+    @property
+    def path_reduction(self) -> int:
+        """Paths removed."""
+        return self.paths_before - self.paths_after
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"{self.circuit.name}: {self.objective} K={self.k} "
+            f"gates {self.gates_before}->{self.gates_after} "
+            f"paths {self.paths_before}->{self.paths_after} "
+            f"({self.replacements} replacements, {self.passes} passes)"
+        )
+
+
+# A selector maps (options, current_paths) -> chosen option or None.
+Selector = Callable[[List[ReplacementOption], int], Optional[ReplacementOption]]
+
+
+def _select_for_gates(
+    options: List[ReplacementOption], current_paths: int
+) -> Optional[ReplacementOption]:
+    """Procedure 2 selection: max gate gain, then min paths on the line."""
+    if not options:
+        return None
+    best = min(
+        options,
+        key=lambda o: (-o.gate_gain, o.paths_on_output, o.cone.n_gates),
+    )
+    if best.gate_gain > 0:
+        return best
+    if best.gate_gain == 0 and best.paths_on_output < current_paths:
+        return best
+    return None
+
+
+def _select_for_paths(
+    options: List[ReplacementOption], current_paths: int
+) -> Optional[ReplacementOption]:
+    """Procedure 3 selection: min paths on the line (gates unconstrained)."""
+    if not options:
+        return None
+    best = min(
+        options,
+        key=lambda o: (o.paths_on_output, -o.gate_gain, o.cone.n_gates),
+    )
+    if best.paths_on_output < current_paths:
+        return best
+    return None
+
+
+def _make_combined_selector(gate_weight: float) -> Selector:
+    """Section 4.3's combined measure selector."""
+
+    def select(
+        options: List[ReplacementOption], current_paths: int
+    ) -> Optional[ReplacementOption]:
+        if not options:
+            return None
+
+        def measure(o: ReplacementOption) -> float:
+            return gate_weight * o.gate_gain + (
+                current_paths - o.paths_on_output
+            )
+
+        best = max(options, key=lambda o: (measure(o), o.gate_gain))
+        if measure(best) > 0:
+            return best
+        return None
+
+    return select
+
+
+def _resynthesis_pass(
+    work: Circuit,
+    selector: Selector,
+    k: int,
+    perm_budget: int,
+    seed: int,
+    exact: bool = False,
+) -> int:
+    """One outputs-to-inputs sweep; returns the number of replacements."""
+    labels = path_labels(work)
+    snapshot = work.topological_order()
+    marked: Set[str] = {
+        o for o in work.output_set
+        if work.gate(o).gtype not in (GateType.INPUT, GateType.CONST0,
+                                      GateType.CONST1)
+    }
+    frozen: Set[str] = set()
+    replacements = 0
+
+    def mark(nets) -> None:
+        for n in nets:
+            if work.has_net(n) and work.gate(n).gtype not in (
+                GateType.INPUT, GateType.CONST0, GateType.CONST1
+            ):
+                marked.add(n)
+
+    for net in reversed(snapshot):
+        if net not in marked or not work.has_net(net):
+            continue
+        gate = work.gate(net)
+        if gate.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            continue
+        cones = enumerate_candidate_cones(work, net, k, frozen)
+        options = []
+        for cone in cones:
+            option = evaluate_cone(
+                work, cone, labels, perm_budget=perm_budget, seed=seed,
+                exact=exact,
+            )
+            if option is not None:
+                options.append(option)
+        chosen = selector(options, current_paths_on(work, net, labels))
+        if chosen is None:
+            mark(gate.fanins)
+            continue
+        created = apply_replacement(work, chosen)
+        frozen.update(created)
+        mark(chosen.cone.inputs)
+        replacements += 1
+    return replacements
+
+
+def _run(
+    circuit: Circuit,
+    selector: Selector,
+    objective: str,
+    k: int,
+    perm_budget: int,
+    seed: int,
+    max_passes: int,
+    verify_patterns: int,
+    decompose: bool = True,
+    exact: bool = False,
+) -> ResynthesisReport:
+    # Wide gates are split into 2-input trees first (metric-neutral; see
+    # decompose_two_input) so candidate growth can tunnel through them.
+    work = decompose_two_input(circuit) if decompose else circuit.copy()
+    gates_before = two_input_gate_count(work)
+    paths_before = count_paths(work)
+    total_replacements = 0
+    passes = 0
+    while passes < max_passes:
+        passes += 1
+        made = _resynthesis_pass(work, selector, k, perm_budget,
+                                 seed + passes, exact)
+        total_replacements += made
+        if verify_patterns:
+            rng = random.Random(seed ^ 0x5EED)
+            words = random_words(circuit.inputs, verify_patterns, rng)
+            if not outputs_equal(circuit, work, words, verify_patterns):
+                raise AssertionError(
+                    f"resynthesis changed the function of {circuit.name} "
+                    f"in pass {passes}"
+                )
+        if made == 0:
+            break
+    work.name = circuit.name
+    return ResynthesisReport(
+        circuit=work,
+        objective=objective,
+        k=k,
+        passes=passes,
+        replacements=total_replacements,
+        gates_before=gates_before,
+        gates_after=two_input_gate_count(work),
+        paths_before=paths_before,
+        paths_after=count_paths(work),
+    )
+
+
+def procedure2(
+    circuit: Circuit,
+    k: int = 6,
+    perm_budget: int = 200,
+    seed: int = 0,
+    max_passes: int = 10,
+    verify_patterns: int = 0,
+    decompose: bool = True,
+    exact: bool = False,
+) -> ResynthesisReport:
+    """Procedure 2: reduce the number of gates (paths as tiebreak).
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to optimize (not mutated).
+    k:
+        Maximum candidate-subcircuit input count (paper: 5 and 6).
+    perm_budget:
+        Permutations tried during identification (paper: 200).
+    verify_patterns:
+        When nonzero, each pass is checked against the original circuit on
+        this many random patterns (defense in depth; raises on mismatch).
+    """
+    return _run(
+        circuit, _select_for_gates, "gates", k, perm_budget, seed,
+        max_passes, verify_patterns, decompose, exact,
+    )
+
+
+def procedure3(
+    circuit: Circuit,
+    k: int = 6,
+    perm_budget: int = 200,
+    seed: int = 0,
+    max_passes: int = 10,
+    verify_patterns: int = 0,
+    decompose: bool = True,
+    exact: bool = False,
+) -> ResynthesisReport:
+    """Procedure 3: reduce the number of paths (gate count unconstrained).
+
+    ``exact=True`` augments identification with the exact decision
+    procedure (see :func:`repro.resynth.evaluate_cone`).
+    """
+    return _run(
+        circuit, _select_for_paths, "paths", k, perm_budget, seed,
+        max_passes, verify_patterns, decompose, exact,
+    )
+
+
+def combined_procedure(
+    circuit: Circuit,
+    gate_weight: float = 10.0,
+    k: int = 6,
+    perm_budget: int = 200,
+    seed: int = 0,
+    max_passes: int = 10,
+    verify_patterns: int = 0,
+    decompose: bool = True,
+) -> ResynthesisReport:
+    """Section 4.3's combined gates+paths objective.
+
+    ``gate_weight`` trades one equivalent 2-input gate against that many
+    paths; large weights approach Procedure 2, zero approaches Procedure 3
+    (restricted to non-worsening moves).
+    """
+    return _run(
+        circuit, _make_combined_selector(gate_weight),
+        f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
+        verify_patterns, decompose,
+    )

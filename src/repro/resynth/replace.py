@@ -1,0 +1,140 @@
+"""Cone evaluation: can a candidate subcircuit be replaced, and at what cost?
+
+For each candidate cone the evaluator extracts the subfunction (exhaustive
+truth table over the cone inputs), identifies comparison-function
+realizations (ON-set or OFF-set, per Section 5), picks the cheapest unit,
+and prices the replacement:
+
+* ``gate_gain`` — removable gates (cone members that do not fan out to
+  logic outside the cone; shared members are excluded exactly as Section
+  4.1 prescribes) minus the unit's equivalent-2-input gate count;
+* ``paths_on_output`` — ``sum N_p(i) * K_p(i)`` over the cone inputs,
+  where ``N_p`` are the Procedure 1 labels of the host circuit and ``K_p``
+  the unit's internal path counts.
+
+Constant subfunctions are priced as a constant-gate substitution (the unit
+degenerates; local constant folding is always sound here because the truth
+table is exact over the cone's inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis import Cone, extract_subcircuit, removable_members
+from ..comparison import (
+    ComparisonSpec,
+    best_spec,
+    emit_comparison_unit,
+    exact_identify,
+    identify_comparison,
+)
+from ..netlist import (
+    Circuit,
+    Gate,
+    GateType,
+    gate_two_input_equivalents,
+)
+from ..sim import truth_table
+
+
+@dataclass(frozen=True)
+class ReplacementOption:
+    """A priced replacement of a cone by a comparison unit (or constant)."""
+
+    cone: Cone
+    spec: Optional[ComparisonSpec]  # None for a constant substitution
+    constant_value: Optional[int]
+    removable_gates: int  # the paper's N
+    unit_gates: int  # the paper's N'
+    paths_on_output: int
+
+    @property
+    def gate_gain(self) -> int:
+        """The paper's ``N - N'`` (positive = circuit shrinks)."""
+        return self.removable_gates - self.unit_gates
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the cone's function is constant over its inputs."""
+        return self.spec is None
+
+
+def evaluate_cone(
+    circuit: Circuit,
+    cone: Cone,
+    labels: Dict[str, int],
+    perm_budget: int = 200,
+    seed: int = 0,
+    max_specs: int = 6,
+    exact: bool = False,
+) -> Optional[ReplacementOption]:
+    """Price the best comparison-unit replacement for *cone* (None if none).
+
+    *labels* are the host circuit's Procedure 1 path labels.  With
+    ``exact=True`` the sampled identification is augmented by the exact
+    decision procedure of :mod:`repro.comparison.exact`, which never
+    misses a realization (the sampler's 200-permutation budget does, for
+    6+ inputs).
+    """
+    removable = removable_members(circuit, cone)
+    n_removable = sum(
+        gate_two_input_equivalents(circuit.gate(m)) for m in removable
+    )
+    sub = extract_subcircuit(circuit, cone)
+    if not cone.inputs:
+        value = truth_table(sub, input_order=[]) & 1
+        return ReplacementOption(cone, None, value, n_removable, 0, 0)
+    tt = truth_table(sub, input_order=cone.inputs)
+    size = 1 << len(cone.inputs)
+    if tt == 0 or tt == (1 << size) - 1:
+        value = 1 if tt else 0
+        return ReplacementOption(cone, None, value, n_removable, 0, 0)
+    found = identify_comparison(
+        tt, cone.inputs, perm_budget=perm_budget, seed=seed,
+        max_specs=max_specs,
+    )
+    specs = list(found.specs)
+    if exact and not specs:
+        witness = exact_identify(tt, cone.inputs)
+        if witness is not None:
+            specs.append(witness)
+    if not specs:
+        return None
+    spec, cost = best_spec(specs)
+    paths = sum(
+        labels[i] * cost.paths_per_input[i] for i in cone.inputs
+    )
+    return ReplacementOption(
+        cone, spec, None, n_removable, cost.two_input_gates, paths
+    )
+
+
+def current_paths_on(circuit: Circuit, net: str, labels: Dict[str, int]) -> int:
+    """``N_p(net)`` under the current structure (sum of fanin labels)."""
+    gate = circuit.gate(net)
+    if gate.gtype is GateType.INPUT:
+        return labels[net]
+    return sum(labels[f] for f in gate.fanins)
+
+
+def apply_replacement(
+    circuit: Circuit, option: ReplacementOption, prefix: str = "cu_"
+) -> List[str]:
+    """Emit the chosen replacement into *circuit*; returns created nets.
+
+    The cone output keeps its net name; orphaned members are swept.
+    Shared members survive automatically (they still have readers).
+    """
+    out = option.cone.output
+    if option.is_constant:
+        gtype = GateType.CONST1 if option.constant_value else GateType.CONST0
+        circuit.replace_gate(Gate(out, gtype))
+        created: List[str] = []
+    else:
+        created = emit_comparison_unit(
+            circuit, option.spec, out, prefix=prefix
+        )
+    circuit.sweep()
+    return [n for n in created if circuit.has_net(n)]

@@ -1,0 +1,63 @@
+"""Bit-parallel logic simulation, pattern sources, truth-table extraction."""
+
+from .logicsim import (
+    eval_gate_packed,
+    output_words,
+    outputs_equal,
+    simulate,
+    simulate_pattern,
+)
+from .patterns import (
+    assignment_minterm,
+    exhaustive_input_word,
+    exhaustive_words,
+    iter_pattern_batches,
+    minterm_assignment,
+    pattern_bits,
+    random_words,
+)
+from .timing import (
+    TimingSimulator,
+    Waveform,
+    detects_path_fault,
+    robust_against_random_delays,
+    static_arrival_times,
+)
+from .truthtable import (
+    MAX_TT_INPUTS,
+    truth_table,
+    truth_tables,
+    tt_complement,
+    tt_from_minterms,
+    tt_minterms,
+    tt_permute,
+    tt_support,
+)
+
+__all__ = [
+    "MAX_TT_INPUTS",
+    "TimingSimulator",
+    "Waveform",
+    "assignment_minterm",
+    "detects_path_fault",
+    "eval_gate_packed",
+    "exhaustive_input_word",
+    "exhaustive_words",
+    "iter_pattern_batches",
+    "minterm_assignment",
+    "output_words",
+    "outputs_equal",
+    "pattern_bits",
+    "random_words",
+    "robust_against_random_delays",
+    "simulate",
+    "static_arrival_times",
+    "simulate_pattern",
+    "truth_table",
+    "truth_tables",
+    "tt_complement",
+    "tt_from_minterms",
+    "tt_minterms",
+    "tt_permute",
+    "tt_support",
+]

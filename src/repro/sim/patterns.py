@@ -1,0 +1,98 @@
+"""Pattern sources: exhaustive and seeded-random packed pattern words.
+
+The minterm convention throughout the project follows the paper: for an
+ordered input list ``(x_1, ..., x_n)``, ``x_1`` is the most significant bit,
+so the minterm applied as pattern ``p`` (0-based) assigns
+``x_i = (p >> (n - i)) & 1`` (1-based ``i``).  Exhaustive words are arranged
+so that *pattern index equals minterm decimal value*, which lets truth tables
+be read directly out of output words.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Sequence
+
+
+def exhaustive_input_word(position: int, n_inputs: int) -> int:
+    """Packed word for the input at *position* (0-based, MSB first).
+
+    Over the ``2**n_inputs`` exhaustive patterns ordered by minterm value,
+    input ``x_{position+1}`` has weight ``2**(n_inputs - position - 1)``:
+    its word is a square wave of that half-period, starting with zeros.
+    """
+    if not 0 <= position < n_inputs:
+        raise ValueError(f"position {position} out of range for {n_inputs} inputs")
+    weight = n_inputs - position - 1
+    half = 1 << weight  # run length of equal bits
+    n_patterns = 1 << n_inputs
+    # Bit p must be (p >> weight) & 1: zeros for p in [0, half), ones for
+    # [half, 2*half), repeating.
+    block = ((1 << half) - 1) << half  # one period: half zeros then half ones
+    word = 0
+    period = half << 1
+    for start in range(0, n_patterns, period):
+        word |= block << start
+    return word
+
+
+def exhaustive_words(inputs: Sequence[str]) -> Dict[str, int]:
+    """Packed exhaustive words for an ordered input list (MSB first)."""
+    n = len(inputs)
+    if n > 24:
+        raise ValueError(f"refusing exhaustive simulation of {n} inputs")
+    return {
+        name: exhaustive_input_word(i, n) for i, name in enumerate(inputs)
+    }
+
+
+def random_words(
+    inputs: Sequence[str], n_patterns: int, rng: random.Random
+) -> Dict[str, int]:
+    """Independent uniform random packed words for each input."""
+    return {name: rng.getrandbits(n_patterns) for name in inputs}
+
+
+def pattern_bits(words: Dict[str, int], inputs: Sequence[str], p: int) -> Dict[str, int]:
+    """Extract pattern *p* from packed *words* as a scalar assignment."""
+    return {name: (words[name] >> p) & 1 for name in inputs}
+
+
+def minterm_assignment(minterm: int, inputs: Sequence[str]) -> Dict[str, int]:
+    """Scalar assignment for a minterm value under the MSB-first convention."""
+    n = len(inputs)
+    return {
+        name: (minterm >> (n - i - 1)) & 1 for i, name in enumerate(inputs)
+    }
+
+
+def assignment_minterm(assignment: Dict[str, int], inputs: Sequence[str]) -> int:
+    """Decimal minterm value of a scalar assignment (MSB-first)."""
+    n = len(inputs)
+    value = 0
+    for i, name in enumerate(inputs):
+        if assignment[name] & 1:
+            value |= 1 << (n - i - 1)
+    return value
+
+
+def iter_pattern_batches(
+    inputs: Sequence[str],
+    total_patterns: int,
+    batch_size: int,
+    seed: int,
+) -> Iterator[tuple]:
+    """Yield seeded random pattern batches as ``(words, width)`` tuples.
+
+    Batches have *batch_size* patterns except possibly the last.  The
+    pattern stream is a deterministic function of ``(seed, batch_size)``,
+    so experiments that report "the last effective pattern" (Table 6) are
+    reproducible; comparisons between circuits must use the same seed and
+    batch size, which the experiment drivers enforce.
+    """
+    rng = random.Random(seed)
+    produced = 0
+    while produced < total_patterns:
+        width = min(batch_size, total_patterns - produced)
+        yield random_words(inputs, width, rng), width
+        produced += width

@@ -1,0 +1,257 @@
+"""Event-driven timing simulation with delay-fault injection.
+
+This is the physical model underneath the path delay fault abstraction: each
+gate gets a real delay, a two-pattern test is applied as an input step at
+``t = 0`` from the settled first vector, and waveforms propagate by event
+scheduling.  A **path delay fault** is injected by adding extra delay to
+every gate along the path *for transitions arriving from the on-path fanin*
+(a lumped distributed fault, the model the paper targets).
+
+The test suite uses this as an independent oracle for
+:mod:`repro.pdf.robust`: a robust two-pattern test must detect the fault —
+sampled output differs from the fault-free settled value — for **every**
+assignment of gate delays tried, whereas non-robust tests can be defeated
+by an adversarial delay assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, GateType, eval_gate
+
+
+@dataclass
+class Waveform:
+    """A net's simulated waveform: initial value + (time, value) changes."""
+
+    initial: int
+    events: List[Tuple[float, int]] = field(default_factory=list)
+
+    def value_at(self, t: float) -> int:
+        """Settled value at time *t* (events at exactly *t* included)."""
+        v = self.initial
+        for when, val in self.events:
+            if when <= t:
+                v = val
+            else:
+                break
+        return v
+
+    @property
+    def final(self) -> int:
+        """The settled value."""
+        return self.events[-1][1] if self.events else self.initial
+
+    @property
+    def transition_count(self) -> int:
+        """Number of value changes (2+ means a glitch occurred)."""
+        return len(self.events)
+
+
+class TimingSimulator:
+    """Event-driven two-vector simulation of one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The combinational circuit.
+    gate_delays:
+        Map net -> gate delay (defaults to 1.0 for every gate).  Inertial
+        filtering is not modeled (pure transport delays), which is the
+        conservative choice for hazard behaviour.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        gate_delays: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.delays = dict(gate_delays or {})
+        self._topo = circuit.topological_order()
+        self._fanout = circuit.fanout_map()
+
+    def delay_of(self, net: str) -> float:
+        """Delay of the gate driving *net* (sources have none)."""
+        return self.delays.get(net, 1.0)
+
+    def run(
+        self,
+        v1: Mapping[str, int],
+        v2: Mapping[str, int],
+        fault_path: Optional[Sequence[str]] = None,
+        extra_delay: float = 0.0,
+    ) -> Dict[str, Waveform]:
+        """Apply ``v1 -> v2`` at ``t=0``; return every net's waveform.
+
+        ``fault_path`` (a PI-to-PO net tuple) with ``extra_delay`` injects a
+        path delay fault: every on-path gate adds ``extra_delay /
+        (len(path) - 1)`` to transitions arriving from its on-path fanin.
+
+        The delay model is a transport *pin-delay* model: the gate delay
+        (plus any injected fault delay) applies to each driver-to-pin edge,
+        and gate evaluation at the pins is instantaneous.  Keeping the
+        delay on the pins makes causality exact even when different pins of
+        one gate carry different delays (as the fault injection requires),
+        so settled values always agree with static logic evaluation.
+        """
+        on_path_pairs = set()
+        per_gate_extra = 0.0
+        if fault_path is not None and len(fault_path) > 1 and extra_delay:
+            per_gate_extra = extra_delay / (len(fault_path) - 1)
+            on_path_pairs = set(zip(fault_path, fault_path[1:]))
+
+        # Settle the first vector (zero-delay steady state).
+        settled: Dict[str, int] = {}
+        for net in self._topo:
+            gate = self.circuit.gate(net)
+            if gate.gtype is GateType.INPUT:
+                settled[net] = v1.get(net, 0) & 1
+            else:
+                settled[net] = eval_gate(
+                    gate.gtype, tuple(settled[f] for f in gate.fanins)
+                )
+
+        waves: Dict[str, Waveform] = {
+            net: Waveform(settled[net]) for net in self._topo
+        }
+        current = dict(settled)
+        pins: Dict[str, List[int]] = {
+            g.name: [settled[f] for f in g.fanins]
+            for g in self.circuit.gates()
+            if g.gtype not in (GateType.INPUT, GateType.CONST0,
+                               GateType.CONST1)
+        }
+
+        counter = itertools.count()
+        # Events update one gate input pin: (time, seq, reader, pin, value)
+        heap: List[Tuple[float, int, str, int, int]] = []
+
+        def propagate(net: str, value: int, t: float) -> None:
+            for reader in set(self._fanout.get(net, ())):
+                gate = self.circuit.gate(reader)
+                delay = self.delay_of(reader)
+                if (net, reader) in on_path_pairs:
+                    delay += per_gate_extra
+                for pin, f in enumerate(gate.fanins):
+                    if f == net:
+                        heapq.heappush(
+                            heap,
+                            (t + delay, next(counter), reader, pin, value),
+                        )
+
+        for pi in self.circuit.inputs:
+            new = v2.get(pi, 0) & 1
+            if new != current[pi]:
+                current[pi] = new
+                waves[pi].events.append((0.0, new))
+                propagate(pi, new, 0.0)
+
+        while heap:
+            t, _, reader, pin, value = heapq.heappop(heap)
+            if pins[reader][pin] == value:
+                continue
+            pins[reader][pin] = value
+            out = eval_gate(
+                self.circuit.gate(reader).gtype, tuple(pins[reader])
+            )
+            if out != current[reader]:
+                current[reader] = out
+                waves[reader].events.append((t, out))
+                propagate(reader, out, t)
+        return waves
+
+    def sampled_outputs(
+        self,
+        v1: Mapping[str, int],
+        v2: Mapping[str, int],
+        sample_time: float,
+        fault_path: Optional[Sequence[str]] = None,
+        extra_delay: float = 0.0,
+    ) -> Dict[str, int]:
+        """Output values latched at *sample_time*."""
+        waves = self.run(v1, v2, fault_path, extra_delay)
+        return {
+            o: waves[o].value_at(sample_time)
+            for o in self.circuit.output_set
+        }
+
+
+def static_arrival_times(
+    circuit: Circuit, gate_delays: Optional[Mapping[str, float]] = None
+) -> Dict[str, float]:
+    """Topological worst-case arrival time of every net.
+
+    This — not the (input-pair-dependent) simulated settling time — is
+    what a clock period must cover: a transient pulse in any (faulty or
+    fault-free) response is bounded by the static arrival of the path that
+    carries its trailing edge.
+    """
+    sim = TimingSimulator(circuit, gate_delays)
+    arrival: Dict[str, float] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            arrival[net] = 0.0
+        else:
+            arrival[net] = sim.delay_of(net) + max(
+                (arrival[f] for f in gate.fanins), default=0.0
+            )
+    return arrival
+
+
+def detects_path_fault(
+    circuit: Circuit,
+    v1: Mapping[str, int],
+    v2: Mapping[str, int],
+    path: Sequence[str],
+    gate_delays: Optional[Mapping[str, float]] = None,
+    slack_factor: float = 4.0,
+) -> bool:
+    """Does the two-pattern test catch a (gross) delay fault on *path*?
+
+    The clock period is the static worst-case arrival time plus margin
+    (every fault-free path meets timing — the single-fault assumption);
+    the faulty circuit gets *slack_factor* times that budget added along
+    the target path.  Detection = some sampled output differs from its
+    fault-free settled value.
+    """
+    sim = TimingSimulator(circuit, gate_delays)
+    good = sim.run(v1, v2)
+    arrivals = static_arrival_times(circuit, gate_delays)
+    sample = max(arrivals.values(), default=0.0) + 0.5
+    extra = slack_factor * (sample + 1.0)
+    faulty = sim.sampled_outputs(v1, v2, sample, path, extra)
+    for o in circuit.output_set:
+        if faulty[o] != good[o].final:
+            return True
+    return False
+
+
+def robust_against_random_delays(
+    circuit: Circuit,
+    v1: Mapping[str, int],
+    v2: Mapping[str, int],
+    path: Sequence[str],
+    trials: int = 20,
+    seed: int = 0,
+) -> bool:
+    """Empirical robustness check: detection under many delay assignments.
+
+    Tries *trials* random positive gate-delay assignments; a truly robust
+    test detects the fault under all of them.  (Passing is necessary, not
+    sufficient — it is a refutation tool for tests, used as an independent
+    oracle against the analytic criteria.)
+    """
+    rng = random.Random(seed)
+    nets = [g.name for g in circuit.logic_gates()]
+    for _ in range(trials):
+        delays = {n: 0.1 + 2.0 * rng.random() for n in nets}
+        if not detects_path_fault(circuit, v1, v2, path, delays):
+            return False
+    return True

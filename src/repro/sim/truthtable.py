@@ -1,0 +1,120 @@
+"""Truth-table extraction by exhaustive bit-parallel simulation.
+
+A truth table over ``n`` ordered inputs is an int bitmask: bit ``m`` is the
+function value on the minterm of decimal value ``m`` (MSB-first input
+convention; see :mod:`repro.sim.patterns`).  Truth tables are how candidate
+subcircuit functions are handed to the comparison-function identifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist import Circuit
+from .logicsim import simulate
+from .patterns import exhaustive_words
+
+#: Safety bound for exhaustive extraction (2**MAX_TT_INPUTS patterns).
+MAX_TT_INPUTS = 16
+
+
+def truth_table(
+    circuit: Circuit,
+    output: Optional[str] = None,
+    input_order: Optional[Sequence[str]] = None,
+) -> int:
+    """Truth table (bitmask over minterms) of one circuit output.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to evaluate.
+    output:
+        The output net; defaults to the circuit's only output.
+    input_order:
+        Ordered input list (MSB first); defaults to declaration order.
+    """
+    tables = truth_tables(circuit, input_order)
+    if output is None:
+        outs = circuit.outputs
+        if len(set(outs)) != 1:
+            raise ValueError("output must be given for multi-output circuits")
+        output = outs[0]
+    return tables[output]
+
+
+def truth_tables(
+    circuit: Circuit, input_order: Optional[Sequence[str]] = None
+) -> Dict[str, int]:
+    """Truth tables of every primary output of *circuit*."""
+    inputs: List[str] = list(input_order) if input_order else circuit.inputs
+    if set(inputs) != set(circuit.inputs):
+        raise ValueError("input_order must be a permutation of circuit inputs")
+    n = len(inputs)
+    if n > MAX_TT_INPUTS:
+        raise ValueError(f"{n} inputs exceeds MAX_TT_INPUTS={MAX_TT_INPUTS}")
+    words = exhaustive_words(inputs)
+    values = simulate(circuit, words, 1 << n)
+    return {o: values[o] for o in circuit.output_set}
+
+
+def tt_minterms(table: int, n_inputs: int) -> List[int]:
+    """Minterm values (ascending) where the truth table is 1."""
+    return [m for m in range(1 << n_inputs) if (table >> m) & 1]
+
+
+def tt_from_minterms(minterms: Sequence[int], n_inputs: int) -> int:
+    """Build a truth-table bitmask from a minterm list."""
+    size = 1 << n_inputs
+    table = 0
+    for m in minterms:
+        if not 0 <= m < size:
+            raise ValueError(f"minterm {m} out of range for {n_inputs} inputs")
+        table |= 1 << m
+    return table
+
+
+def tt_complement(table: int, n_inputs: int) -> int:
+    """Complement a truth table."""
+    return table ^ ((1 << (1 << n_inputs)) - 1)
+
+
+def tt_permute(table: int, n_inputs: int, perm: Sequence[int]) -> int:
+    """Apply an input permutation to a truth table.
+
+    ``perm[i] = j`` means new input position ``i`` (MSB first) reads old
+    input position ``j``; i.e. the permuted function is
+    ``f'(x_0..x_{n-1}) = f(y_0..y_{n-1})`` with ``y_{perm[i]} = x_i``.
+    """
+    if sorted(perm) != list(range(n_inputs)):
+        raise ValueError(f"{perm!r} is not a permutation of 0..{n_inputs - 1}")
+    out = 0
+    for m in range(1 << n_inputs):
+        # Map new-minterm m to old-minterm m_old.
+        m_old = 0
+        for new_pos, old_pos in enumerate(perm):
+            bit = (m >> (n_inputs - new_pos - 1)) & 1
+            if bit:
+                m_old |= 1 << (n_inputs - old_pos - 1)
+        if (table >> m_old) & 1:
+            out |= 1 << m
+    return out
+
+
+def tt_support(table: int, n_inputs: int) -> List[int]:
+    """Input positions (0-based, MSB first) the function actually depends on."""
+    support = []
+    size = 1 << n_inputs
+    for pos in range(n_inputs):
+        weight = n_inputs - pos - 1
+        stride = 1 << weight
+        depends = False
+        for m in range(size):
+            if m & stride:
+                continue
+            if ((table >> m) & 1) != ((table >> (m | stride)) & 1):
+                depends = True
+                break
+        if depends:
+            support.append(pos)
+    return support

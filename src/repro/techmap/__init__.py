@@ -1,0 +1,14 @@
+"""Technology mapping: NAND2/INV decomposition + tree covering (Table 4)."""
+
+from .library import Cell, DEFAULT_LIBRARY, Pattern, pattern_leaves
+from .mapper import MappingResult, decompose_to_subject, map_circuit
+
+__all__ = [
+    "Cell",
+    "DEFAULT_LIBRARY",
+    "MappingResult",
+    "Pattern",
+    "decompose_to_subject",
+    "map_circuit",
+    "pattern_leaves",
+]

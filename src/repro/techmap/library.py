@@ -1,0 +1,90 @@
+"""A small SIS/mcnc-style standard-cell library for tree-covering mapping.
+
+Cells are described as pattern trees over the subject-graph primitives
+(2-input NAND and inverter).  Pattern leaves are numbered cell inputs; the
+cost of a cell is its literal count (one per cell input, the measure
+Table 4 reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+#: Pattern grammar: ("in", index) | ("inv", p) | ("nand", p, q)
+Pattern = Union[Tuple[str, int], Tuple[str, "Pattern"], Tuple[str, "Pattern", "Pattern"]]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell: name, input count (= literals), pattern tree."""
+
+    name: str
+    n_inputs: int
+    pattern: Pattern
+
+    def __post_init__(self) -> None:
+        leaves = sorted(set(pattern_leaves(self.pattern)))
+        if leaves != list(range(self.n_inputs)):
+            raise ValueError(
+                f"cell {self.name}: pattern leaves {leaves} do not "
+                f"match n_inputs={self.n_inputs}"
+            )
+
+    @property
+    def literals(self) -> int:
+        """Literal cost of the cell (one per input)."""
+        return self.n_inputs
+
+
+def pattern_leaves(p: Pattern) -> List[int]:
+    """All leaf indices occurring in a pattern (with multiplicity)."""
+    if p[0] == "in":
+        return [p[1]]
+    if p[0] == "inv":
+        return pattern_leaves(p[1])
+    return pattern_leaves(p[1]) + pattern_leaves(p[2])
+
+
+def _in(i: int) -> Pattern:
+    return ("in", i)
+
+
+def _inv(p: Pattern) -> Pattern:
+    return ("inv", p)
+
+
+def _nand(p: Pattern, q: Pattern) -> Pattern:
+    return ("nand", p, q)
+
+
+def _and(p: Pattern, q: Pattern) -> Pattern:
+    return _inv(_nand(p, q))
+
+
+#: The default library: inverter, NAND/NOR up to 4 inputs, AND2/OR2,
+#: AOI/OAI cells and 2-input XOR/XNOR — a representative slice of the
+#: mcnc.genlib cells SIS maps to.
+DEFAULT_LIBRARY: Tuple[Cell, ...] = (
+    Cell("inv", 1, _inv(_in(0))),
+    Cell("nand2", 2, _nand(_in(0), _in(1))),
+    Cell("nand3", 3, _nand(_and(_in(0), _in(1)), _in(2))),
+    Cell("nand4", 4, _nand(_and(_in(0), _in(1)), _and(_in(2), _in(3)))),
+    Cell("nor2", 2, _inv(_nand(_inv(_in(0)), _inv(_in(1))))),
+    Cell("nor3", 3, _inv(_nand(_nand(_inv(_in(0)), _inv(_in(1))), _inv(_in(2))))),
+    Cell("and2", 2, _and(_in(0), _in(1))),
+    Cell("or2", 2, _nand(_inv(_in(0)), _inv(_in(1)))),
+    Cell("aoi21", 3, _inv(_nand(_nand(_in(0), _in(1)), _inv(_in(2))))),
+    Cell("oai21", 3, _nand(_nand(_inv(_in(0)), _inv(_in(1))), _in(2))),
+    Cell(
+        "aoi22", 4,
+        _inv(_nand(_nand(_in(0), _in(1)), _nand(_in(2), _in(3)))),
+    ),
+    Cell(
+        "xor2", 2,
+        _nand(
+            _nand(_in(0), _nand(_in(0), _in(1))),
+            _nand(_in(1), _nand(_in(0), _in(1))),
+        ),
+    ),
+)

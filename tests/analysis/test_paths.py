@@ -1,0 +1,153 @@
+"""Tests for Procedure 1 path counting and path enumeration.
+
+Key cross-check (property): the non-enumerative label count equals the
+number of explicitly enumerated paths, on random circuits.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    count_paths,
+    enumerate_paths,
+    internal_path_counts,
+    iter_paths,
+    path_labels,
+)
+from repro.benchcircuits import (
+    c17,
+    paper_f1_impl1,
+    paper_f1_impl2,
+    random_circuit,
+)
+from repro.netlist import CircuitBuilder, GateType
+
+
+class TestProcedure1:
+    def test_inputs_labeled_one(self):
+        c = c17()
+        labels = path_labels(c)
+        for pi in c.inputs:
+            assert labels[pi] == 1
+
+    def test_gate_output_sums_fanins(self):
+        c = c17()
+        labels = path_labels(c)
+        # 16 = NAND(2, 11); 11 = NAND(3, 6) so N_p(11)=2, N_p(16)=3
+        assert labels["11"] == 2
+        assert labels["16"] == 3
+
+    def test_c17_total(self):
+        assert count_paths(c17()) == 11
+
+    def test_fanout_branch_inherits_stem_label(self):
+        # stem feeding two gates contributes its label to both.
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        s = b.AND(a, x)      # label 2
+        g1 = b.NOT(s)
+        g2 = b.OR(s, a)
+        b.outputs(g1, g2)
+        c = b.build()
+        labels = path_labels(c)
+        assert labels[g1] == 2
+        assert labels[g2] == 3
+
+    def test_constants_carry_no_paths(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        k = b.CONST1()
+        g = b.AND(a, k, name="g")
+        b.outputs(g)
+        assert count_paths(b.build()) == 1
+
+    def test_repeated_output_counts_twice(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g, g)
+        assert count_paths(b.build()) == 4
+
+    def test_same_net_read_twice_counts_two_branches(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.XOR(a, a, name="g")
+        b.outputs(g)
+        assert count_paths(b.build()) == 2
+
+
+class TestPaperExample:
+    """The Section 2 worked example: K_p and the N_p arithmetic."""
+
+    NP = {"x1": 10, "x2": 100, "x3": 20, "x4": 20}
+
+    def test_kp_first_implementation(self):
+        assert internal_path_counts(paper_f1_impl1()) == {
+            "x1": 2, "x2": 3, "x3": 2, "x4": 2}
+
+    def test_kp_second_implementation(self):
+        assert internal_path_counts(paper_f1_impl2()) == {
+            "x1": 3, "x2": 2, "x3": 2, "x4": 2}
+
+    def test_np_favors_second_implementation(self):
+        k1 = internal_path_counts(paper_f1_impl1())
+        k2 = internal_path_counts(paper_f1_impl2())
+        np1 = sum(self.NP[x] * k1[x] for x in self.NP)
+        np2 = sum(self.NP[x] * k2[x] for x in self.NP)
+        assert np1 == 400
+        assert np2 == 310  # the paper's quoted winning figure
+        assert np2 < np1
+
+
+class TestEnumeration:
+    def test_enumeration_matches_labels_on_c17(self):
+        c = c17()
+        assert len(enumerate_paths(c)) == count_paths(c)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_enumeration_matches_labels_random(self, seed):
+        c = random_circuit("r", 5, 3, 18, seed=seed)
+        assert len(enumerate_paths(c)) == count_paths(c)
+
+    def test_paths_start_at_pi_end_at_po(self):
+        c = c17()
+        for p in enumerate_paths(c):
+            assert c.gate(p[0]).gtype is GateType.INPUT
+            assert p[-1] in c.output_set
+
+    def test_paths_are_connected(self):
+        c = c17()
+        for p in enumerate_paths(c):
+            for parent, child in zip(p, p[1:]):
+                assert parent in c.gate(child).fanins
+
+    def test_limit_respected(self):
+        c = c17()
+        assert len(enumerate_paths(c, limit=3)) == 3
+
+    def test_iter_paths_lazy_matches_eager(self):
+        c = c17()
+        assert list(iter_paths(c)) == enumerate_paths(c)
+
+    def test_restrict_to_one_output(self):
+        c = c17()
+        labels = path_labels(c)
+        got = enumerate_paths(c, from_output="22")
+        assert len(got) == labels["22"]
+
+
+class TestInternalPathCounts:
+    def test_requires_single_output(self):
+        c = c17()
+        with pytest.raises(ValueError):
+            internal_path_counts(c)
+
+    def test_input_with_no_path(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.NOT(a, name="g")
+        b.outputs(g)
+        c = b.build()
+        counts = internal_path_counts(c)
+        assert counts == {"a": 1, "b": 0}

@@ -1,0 +1,48 @@
+"""Tests for uniform path sampling."""
+
+from collections import Counter
+
+from repro.analysis import count_paths, enumerate_paths, sample_paths
+from repro.benchcircuits import c17, random_circuit
+from repro.netlist import CircuitBuilder
+
+
+class TestSamplePaths:
+    def test_samples_are_real_paths(self):
+        c = c17()
+        real = set(map(tuple, enumerate_paths(c)))
+        for p in sample_paths(c, 50, seed=1):
+            assert p in real
+
+    def test_deterministic(self):
+        c = c17()
+        assert sample_paths(c, 20, seed=4) == sample_paths(c, 20, seed=4)
+
+    def test_count(self):
+        c = c17()
+        assert len(sample_paths(c, 37, seed=0)) == 37
+
+    def test_roughly_uniform(self):
+        # c17 has 11 paths; with 3300 samples each should appear ~300 times.
+        c = c17()
+        counts = Counter(sample_paths(c, 3300, seed=7))
+        assert len(counts) == 11
+        assert min(counts.values()) > 180
+        assert max(counts.values()) < 450
+
+    def test_large_population(self):
+        c = random_circuit("r", 10, 5, 70, seed=1)
+        total = count_paths(c)
+        got = sample_paths(c, 25, seed=2)
+        assert len(got) == 25
+        for p in got:
+            assert p[0] in c.inputs
+            assert p[-1] in c.output_set
+
+    def test_empty_when_no_paths(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        k = b.CONST1()
+        b.outputs(k)
+        c = b.build()
+        assert sample_paths(c, 5, seed=0) == []

@@ -1,0 +1,100 @@
+"""Tests for redundancy identification and removal."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import (
+    classify_faults,
+    is_irredundant,
+    remove_redundancies,
+)
+from repro.benchcircuits import c17, random_circuit
+from repro.netlist import CircuitBuilder, GateType
+from repro.sim import outputs_equal, random_words
+
+
+def redundant_or_absorb():
+    """g2 = a OR (a AND b) == a; the AND gate is redundant logic."""
+    b = CircuitBuilder("absorb")
+    a, x = b.inputs("a", "b")
+    g1 = b.AND(a, x, name="g1")
+    g2 = b.OR(g1, a, name="g2")
+    b.outputs(g2)
+    return b.build()
+
+
+class TestClassifyFaults:
+    def test_c17_irredundant(self):
+        cls = classify_faults(c17())
+        assert cls.is_irredundant
+        assert not cls.aborted
+        assert len(cls.testable) > 0
+
+    def test_absorption_redundancy_found(self):
+        cls = classify_faults(redundant_or_absorb())
+        assert any(f.net == "g1" and f.value == 0 for f in cls.untestable)
+
+    def test_tests_recorded_for_podem_faults(self):
+        # With zero random patterns, every fault goes through PODEM and
+        # testable ones get recorded tests.
+        cls = classify_faults(c17(), random_patterns=0)
+        assert cls.tests
+        from repro.faults import serial_detects
+        for fault, test in cls.tests.items():
+            assert serial_detects(c17(), fault, test)
+
+
+class TestRemoveRedundancies:
+    def test_absorption_removed(self):
+        c = redundant_or_absorb()
+        rep = remove_redundancies(c)
+        assert rep.any_removed
+        # the whole circuit collapses to a wire from a
+        assert len(rep.circuit.logic_gates()) <= 1
+        rng = random.Random(0)
+        w = random_words(c.inputs, 64, rng)
+        assert outputs_equal(c, rep.circuit, w, 64)
+
+    def test_input_not_mutated(self):
+        c = redundant_or_absorb()
+        snapshot = c.copy()
+        remove_redundancies(c)
+        assert c.structurally_equal(snapshot)
+
+    def test_interface_preserved(self):
+        c = redundant_or_absorb()
+        rep = remove_redundancies(c)
+        assert rep.circuit.inputs == c.inputs
+        assert rep.circuit.outputs == c.outputs
+
+    def test_irredundant_circuit_untouched(self):
+        c = c17()
+        rep = remove_redundancies(c)
+        assert not rep.any_removed
+        assert rep.circuit.structurally_equal(c)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=8, deadline=None)
+    def test_function_preserved_random(self, seed):
+        c = random_circuit("r", 8, 4, 50, seed=seed)
+        rep = remove_redundancies(c)
+        rng = random.Random(seed + 1)
+        w = random_words(c.inputs, 1024, rng)
+        assert outputs_equal(c, rep.circuit, w, 1024)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=5, deadline=None)
+    def test_result_is_irredundant(self, seed):
+        c = random_circuit("r", 7, 3, 35, seed=seed)
+        rep = remove_redundancies(c)
+        assert is_irredundant(rep.circuit, max_backtracks=50_000)
+
+    def test_gate_count_never_increases(self):
+        from repro.netlist import two_input_gate_count
+        for seed in range(4):
+            c = random_circuit("r", 8, 4, 45, seed=seed)
+            rep = remove_redundancies(c)
+            assert (two_input_gate_count(rep.circuit)
+                    <= two_input_gate_count(c))

@@ -1,0 +1,81 @@
+"""Tests for complete stuck-at test-set generation and compaction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atpg import generate_test_set, verify_test_set
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.comparison import ComparisonSpec, build_unit
+from repro.faults import fault_universe
+
+
+class TestGeneration:
+    def test_c17_complete(self):
+        ts = generate_test_set(c17(), seed=1)
+        assert ts.complete
+        assert ts.untestable == 0
+        assert ts.fault_coverage == 1.0
+        detected, total = verify_test_set(c17(), ts)
+        assert detected == total
+
+    def test_deterministic(self):
+        a = generate_test_set(c17(), seed=3)
+        b = generate_test_set(c17(), seed=3)
+        assert a.patterns == b.patterns
+
+    def test_comparison_units_fully_testable(self):
+        # Section 3: comparison units are fully testable for stuck-at
+        # faults (when inputs are independently controlled).
+        for lower, upper in ((11, 12), (3, 9), (5, 7)):
+            unit = build_unit(
+                ComparisonSpec(("a", "b", "c", "d"), lower, upper)
+            )
+            ts = generate_test_set(unit, seed=0)
+            assert ts.untestable == 0, (lower, upper)
+            assert ts.fault_coverage == 1.0
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=6, deadline=None)
+    def test_coverage_verified_random(self, seed):
+        c = random_circuit("r", 8, 4, 40, seed=seed)
+        ts = generate_test_set(c, seed=seed, max_backtracks=50_000)
+        detected, total = verify_test_set(c, ts)
+        # verification must agree with the generator's accounting
+        assert detected == ts.detected
+        assert total == ts.total_faults
+
+    def test_redundant_circuit_reports_untestable(self):
+        from repro.netlist import CircuitBuilder
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.OR(g1, a, name="g2")
+        b.outputs(g2)
+        ts = generate_test_set(b.build(), seed=0)
+        assert ts.untestable > 0
+        assert ts.complete
+
+
+class TestCompaction:
+    def test_compaction_preserves_coverage(self):
+        c = full_adder()
+        full = generate_test_set(c, seed=2, compact=False)
+        compact = generate_test_set(c, seed=2, compact=True)
+        d1, _ = verify_test_set(c, full)
+        d2, _ = verify_test_set(c, compact)
+        assert d1 == d2
+        assert len(compact.patterns) <= len(full.patterns)
+
+    def test_as_assignments(self):
+        ts = generate_test_set(c17(), seed=1)
+        assignments = ts.as_assignments()
+        assert len(assignments) == len(ts.patterns)
+        assert all(set(a) == set(ts.inputs) for a in assignments)
+
+    def test_empty_test_set_verification(self):
+        from repro.atpg.testgen import TestSet
+        c = c17()
+        empty = TestSet("c17", c.inputs, [], 0, 0, 0, 28)
+        assert verify_test_set(c, empty) == (0, len(fault_universe(c)))

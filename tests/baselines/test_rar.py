@@ -1,0 +1,57 @@
+"""Tests for the RAMBO_C-style redundancy addition and removal baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import rambo_c
+from repro.benchcircuits import random_circuit
+from repro.benchcircuits.suite import interval_decode_sop
+from repro.netlist import CircuitBuilder, two_input_gate_count
+from repro.sim import outputs_equal, random_words
+
+
+def rar_fixture(seed=21):
+    """A mid-size circuit with enough reconvergence for RAR to chew on."""
+    from repro.atpg import remove_redundancies
+    raw = random_circuit("rarfix", 12, 6, 90, seed=seed)
+    return remove_redundancies(raw).circuit
+
+
+class TestRambo:
+    def test_function_preserved(self):
+        c = rar_fixture()
+        rep = rambo_c(c, max_rounds=1, wire_sample=40)
+        rng = random.Random(1)
+        w = random_words(c.inputs, 2048, rng)
+        assert outputs_equal(c, rep.circuit, w, 2048)
+
+    def test_gate_count_never_increases(self):
+        c = rar_fixture()
+        rep = rambo_c(c, max_rounds=1, wire_sample=40)
+        assert rep.gates_after <= rep.gates_before
+        assert rep.gate_reduction == rep.gates_before - rep.gates_after
+
+    def test_deterministic(self):
+        c = rar_fixture()
+        a = rambo_c(c, max_rounds=1, wire_sample=25, seed=3)
+        b = rambo_c(c, max_rounds=1, wire_sample=25, seed=3)
+        assert a.circuit.structurally_equal(b.circuit)
+        assert a.additions_accepted == b.additions_accepted
+
+    def test_interface_preserved(self):
+        c = rar_fixture()
+        rep = rambo_c(c, max_rounds=1, wire_sample=40)
+        assert rep.circuit.inputs == c.inputs
+        assert rep.circuit.outputs == c.outputs
+
+    def test_input_not_mutated(self):
+        c = rar_fixture()
+        snap = c.copy()
+        rambo_c(c, max_rounds=1, wire_sample=25)
+        assert c.structurally_equal(snap)
+
+    def test_report_rounds_bounded(self):
+        c = rar_fixture()
+        rep = rambo_c(c, max_rounds=2, wire_sample=25)
+        assert 1 <= rep.rounds <= 2

@@ -1,0 +1,190 @@
+"""Functional tests for the structural blocks (adder, multiplier, ...)."""
+
+import random
+
+from repro.benchcircuits import blocks
+from repro.netlist import CircuitBuilder
+from repro.sim import exhaustive_words, simulate
+
+
+def eval_block(build, n_inputs, collect):
+    """Build a block over fresh inputs and return per-minterm outputs."""
+    b = CircuitBuilder("blk")
+    ins = b.inputs(*[f"x{j}" for j in range(n_inputs)])
+    outs = build(b, ins)
+    b.outputs(*outs)
+    c = b.build()
+    words = exhaustive_words(ins)
+    vals = simulate(c, words, 1 << n_inputs)
+    results = []
+    for m in range(1 << n_inputs):
+        results.append(collect(m, {o: (vals[o] >> m) & 1 for o in outs}))
+    return outs, results
+
+
+class TestAdder:
+    def test_ripple_adder_all_values(self):
+        n = 3
+        b = CircuitBuilder("add")
+        xs = b.inputs("x0", "x1", "x2")   # LSB first
+        ys = b.inputs("y0", "y1", "y2")
+        cin = b.input("cin")
+        outs = blocks.ripple_adder(b, xs, ys, cin)
+        b.outputs(*outs)
+        c = b.build()
+        inputs = xs + ys + [cin]
+        words = exhaustive_words(inputs)
+        vals = simulate(c, words, 1 << 7)
+        for m in range(1 << 7):
+            bits = {name: (words[name] >> m) & 1 for name in inputs}
+            x = sum(bits[f"x{j}"] << j for j in range(3))
+            y = sum(bits[f"y{j}"] << j for j in range(3))
+            expect = x + y + bits["cin"]
+            got = sum(((vals[o] >> m) & 1) << j for j, o in enumerate(outs))
+            assert got == expect, (x, y, bits["cin"])
+
+
+class TestMultiplier:
+    def test_array_multiplier_3x3(self):
+        b = CircuitBuilder("mul")
+        xs = b.inputs("x0", "x1", "x2")  # LSB first
+        ys = b.inputs("y0", "y1", "y2")
+        outs = blocks.array_multiplier(b, xs, ys)
+        b.outputs(*outs)
+        c = b.build()
+        inputs = xs + ys
+        words = exhaustive_words(inputs)
+        vals = simulate(c, words, 1 << 6)
+        for m in range(1 << 6):
+            bits = {name: (words[name] >> m) & 1 for name in inputs}
+            x = sum(bits[f"x{j}"] << j for j in range(3))
+            y = sum(bits[f"y{j}"] << j for j in range(3))
+            got = sum(((vals[o] >> m) & 1) << j for j, o in enumerate(outs))
+            assert got == x * y, (x, y, got)
+
+    def test_width_2x4(self):
+        b = CircuitBuilder("mul24")
+        xs = b.inputs("x0", "x1")
+        ys = b.inputs("y0", "y1", "y2", "y3")
+        outs = blocks.array_multiplier(b, xs, ys)
+        b.outputs(*outs)
+        c = b.build()
+        inputs = xs + ys
+        words = exhaustive_words(inputs)
+        vals = simulate(c, words, 1 << 6)
+        for m in range(1 << 6):
+            bits = {name: (words[name] >> m) & 1 for name in inputs}
+            x = bits["x0"] | (bits["x1"] << 1)
+            y = sum(bits[f"y{j}"] << j for j in range(4))
+            got = sum(((vals[o] >> m) & 1) << j for j, o in enumerate(outs))
+            assert got == x * y
+
+
+class TestComparators:
+    def test_magnitude(self):
+        b = CircuitBuilder("cmp")
+        xs = b.inputs("a1", "a0")  # MSB first
+        ys = b.inputs("b1", "b0")
+        out = blocks.magnitude_comparator(b, xs, ys)
+        b.outputs(out)
+        c = b.build()
+        inputs = xs + ys
+        words = exhaustive_words(inputs)
+        vals = simulate(c, words, 16)
+        for m in range(16):
+            bits = {name: (words[name] >> m) & 1 for name in inputs}
+            a = (bits["a1"] << 1) | bits["a0"]
+            bb = (bits["b1"] << 1) | bits["b0"]
+            assert (vals[out] >> m) & 1 == int(a > bb)
+
+    def test_equality(self):
+        b = CircuitBuilder("eq")
+        xs = b.inputs("a1", "a0")
+        ys = b.inputs("b1", "b0")
+        out = blocks.equality_comparator(b, xs, ys)
+        b.outputs(out)
+        c = b.build()
+        words = exhaustive_words(xs + ys)
+        vals = simulate(c, words, 16)
+        for m in range(16):
+            bits = {name: (words[name] >> m) & 1 for name in xs + ys}
+            assert (vals[out] >> m) & 1 == int(
+                (bits["a1"], bits["a0"]) == (bits["b1"], bits["b0"])
+            )
+
+
+class TestDecodeBlocks:
+    def test_decoder_one_hot(self):
+        b = CircuitBuilder("dec")
+        xs = b.inputs("s1", "s0")
+        outs = blocks.decoder(b, xs)
+        b.outputs(*outs)
+        c = b.build()
+        words = exhaustive_words(xs)
+        vals = simulate(c, words, 4)
+        for m in range(4):
+            hot = [(vals[o] >> m) & 1 for o in outs]
+            assert sum(hot) == 1
+            assert hot[m] == 1
+
+    def test_mux_tree_selects(self):
+        b = CircuitBuilder("mux")
+        sel = b.inputs("s1", "s0")
+        data = b.inputs("d0", "d1", "d2", "d3")
+        out = blocks.mux_tree(b, data, sel)
+        b.outputs(out)
+        c = b.build()
+        inputs = sel + data
+        words = exhaustive_words(inputs)
+        vals = simulate(c, words, 1 << 6)
+        for m in range(1 << 6):
+            bits = {name: (words[name] >> m) & 1 for name in inputs}
+            idx = (bits["s1"] << 1) | bits["s0"]
+            assert (vals[out] >> m) & 1 == bits[f"d{idx}"]
+
+    def test_interval_sop(self):
+        b = CircuitBuilder("intv")
+        xs = b.inputs("x1", "x2", "x3")  # MSB first
+        out = blocks.interval_sop(b, xs, 2, 5)
+        b.outputs(out)
+        c = b.build()
+        words = exhaustive_words(xs)
+        vals = simulate(c, words, 8)
+        for m in range(8):
+            assert (vals[out] >> m) & 1 == int(2 <= m <= 5)
+
+    def test_priority_encoder_grants(self):
+        b = CircuitBuilder("prio")
+        reqs = b.inputs("r0", "r1", "r2")
+        outs = blocks.priority_encoder(b, reqs)
+        b.outputs(*outs)
+        c = b.build()
+        words = exhaustive_words(reqs)
+        vals = simulate(c, words, 8)
+        for m in range(8):
+            bits = [(words[r] >> m) & 1 for r in reqs]
+            grants = [(vals[o] >> m) & 1 for o in outs]
+            assert sum(grants) <= 1
+            if any(bits):
+                winner = bits.index(1)
+                assert grants[winner] == 1
+
+    def test_parity_tree(self):
+        b = CircuitBuilder("par")
+        xs = b.inputs("x0", "x1", "x2", "x3", "x4")
+        out = blocks.parity_tree(b, xs)
+        b.outputs(out)
+        c = b.build()
+        words = exhaustive_words(xs)
+        vals = simulate(c, words, 32)
+        for m in range(32):
+            bits = sum((words[x] >> m) & 1 for x in xs)
+            assert (vals[out] >> m) & 1 == bits % 2
+
+    def test_random_control_sop_no_subsumed_cubes(self):
+        b = CircuitBuilder("ctl")
+        xs = b.inputs(*[f"x{j}" for j in range(6)])
+        rng = random.Random(4)
+        out = blocks.random_control_sop(b, xs, 6, rng)
+        b.outputs(out)
+        b.build().validate()

@@ -1,0 +1,67 @@
+"""Tests for the random circuit generator."""
+
+import random
+
+import pytest
+
+from repro.benchcircuits import random_circuit, random_two_level
+from repro.sim import random_words, simulate
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        a = random_circuit("r", 10, 5, 50, seed=42)
+        b = random_circuit("r", 10, 5, 50, seed=42)
+        assert a.structurally_equal(b)
+
+    def test_different_seeds_differ(self):
+        a = random_circuit("r", 10, 5, 50, seed=1)
+        b = random_circuit("r", 10, 5, 50, seed=2)
+        assert not a.structurally_equal(b)
+
+    def test_validates(self):
+        for seed in range(5):
+            random_circuit("r", 8, 4, 40, seed=seed).validate()
+
+    def test_interface_counts(self):
+        c = random_circuit("r", 12, 6, 60, seed=0)
+        assert len(c.inputs) == 12
+        assert 1 <= len(c.outputs) <= 6
+
+    def test_gate_budget_is_upper_bound(self):
+        c = random_circuit("r", 10, 5, 60, seed=3)
+        assert len(c.logic_gates()) <= 60
+
+    def test_outputs_not_saturated(self):
+        # The probability-balanced selection keeps most outputs non-constant.
+        nonconstant = 0
+        total = 0
+        for seed in range(6):
+            c = random_circuit("r", 12, 6, 80, seed=seed)
+            rng = random.Random(0)
+            w = random_words(c.inputs, 512, rng)
+            vals = simulate(c, w, 512)
+            for o in c.output_set:
+                total += 1
+                ones = bin(vals[o]).count("1")
+                if 0 < ones < 512:
+                    nonconstant += 1
+        assert nonconstant / total > 0.7
+
+    def test_too_few_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            random_circuit("r", 1, 1, 10, seed=0)
+        with pytest.raises(ValueError):
+            random_circuit("r", 4, 0, 10, seed=0)
+
+
+class TestRandomTwoLevel:
+    def test_validates_and_deterministic(self):
+        a = random_two_level("s", 8, 6, seed=5)
+        b = random_two_level("s", 8, 6, seed=5)
+        a.validate()
+        assert a.structurally_equal(b)
+
+    def test_single_output(self):
+        c = random_two_level("s", 8, 6, seed=5)
+        assert len(c.outputs) == 1

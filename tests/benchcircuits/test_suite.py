@@ -1,0 +1,87 @@
+"""Tests for the syn* suite: determinism, structure, irredundancy plumbing."""
+
+import pytest
+
+from repro.analysis import count_paths
+from repro.benchcircuits.suite import (
+    SUITE_RECIPES,
+    TABLE3_CIRCUITS,
+    interval_cubes,
+    raw_suite_circuit,
+    suite_circuit,
+    suite_names,
+)
+from repro.netlist import two_input_gate_count
+
+
+class TestIntervalCubes:
+    def test_full_range_single_cube(self):
+        assert interval_cubes(0, 7, 3) == [(0, 8)]
+
+    def test_single_point(self):
+        assert interval_cubes(5, 5, 3) == [(5, 1)]
+
+    def test_cover_is_exact_and_disjoint(self):
+        for lower, upper, n in [(3, 12, 4), (1, 14, 4), (7, 22, 5), (0, 0, 2)]:
+            cubes = interval_cubes(lower, upper, n)
+            covered = []
+            for base, size in cubes:
+                assert base % size == 0  # aligned
+                covered.extend(range(base, base + size))
+            assert covered == list(range(lower, upper + 1))
+
+    def test_cube_count_bounded(self):
+        for n in range(2, 8):
+            size = 1 << n
+            for lower in range(0, size, 5):
+                for upper in range(lower, size, 7):
+                    assert len(interval_cubes(lower, upper, n)) <= 2 * n
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            interval_cubes(5, 3, 3)
+
+
+class TestSuite:
+    def test_names_cover_paper_tables(self):
+        names = suite_names()
+        assert len(names) == 8
+        assert set(TABLE3_CIRCUITS) <= set(names)
+
+    def test_raw_circuits_deterministic(self):
+        a = raw_suite_circuit("syn1423")
+        b = raw_suite_circuit.__wrapped__("syn1423")  # bypass cache
+        assert a.structurally_equal(b)
+
+    def test_raw_circuits_validate(self):
+        for name in suite_names():
+            raw_suite_circuit(name).validate()
+
+    def test_all_have_enough_paths(self):
+        # the paper selects circuits with more than 10,000 paths
+        for name in suite_names():
+            assert count_paths(suite_circuit(name)) > 10_000, name
+
+    def test_sizes_span_a_range(self):
+        sizes = [two_input_gate_count(suite_circuit(n)) for n in suite_names()]
+        assert min(sizes) >= 80
+        assert max(sizes) >= 2 * min(sizes)
+
+    def test_interfaces_preserved_by_redundancy_removal(self):
+        for name in suite_names()[:3]:
+            raw = raw_suite_circuit(name)
+            final = suite_circuit(name)
+            assert final.inputs == raw.inputs
+            assert final.outputs == raw.outputs
+
+    def test_materialized_cache_roundtrip(self):
+        # loading twice must give structurally equal circuits
+        a = suite_circuit("syn1423")
+        suite_circuit.cache_clear()
+        b = suite_circuit("syn1423")
+        assert a.structurally_equal(b)
+
+    def test_recipes_have_positive_counts(self):
+        for name, (n_inputs, seed, recipe) in SUITE_RECIPES.items():
+            assert n_inputs >= 20
+            assert all(count > 0 for _, count in recipe)

@@ -1,0 +1,55 @@
+"""Tests for the comparison-function census."""
+
+import pytest
+
+from repro.comparison import (
+    comparison_fraction,
+    comparison_truth_tables,
+    count_comparison_functions,
+    is_comparison_exact,
+    identify_comparison,
+)
+
+
+class TestCensus:
+    def test_small_counts(self):
+        # n=1: the two literals x and NOT x ([1,1] and [0,0]).
+        assert count_comparison_functions(1) == 2
+        # n=2: all non-constant functions except XOR-complement pair
+        # behave; the known counts pin the enumeration down.
+        assert count_comparison_functions(2) == 11
+        assert count_comparison_functions(2, include_complemented=True) == 14
+
+    def test_census_matches_exact_identifier_n3(self):
+        census = comparison_truth_tables(3, include_complemented=True)
+        for table in range(1, 255):
+            assert (table in census) == is_comparison_exact(
+                table, ["a", "b", "c"]
+            ), bin(table)
+
+    def test_census_matches_sampled_identifier_n3(self):
+        # the sampler is exhaustive for n=3 (6 permutations)
+        census = comparison_truth_tables(3, include_complemented=True)
+        for table in range(1, 255):
+            found = identify_comparison(
+                table, ["a", "b", "c"], max_specs=1
+            ).found
+            assert (table in census) == found, bin(table)
+
+    def test_no_constants_in_census(self):
+        for n in (1, 2, 3, 4):
+            tables = comparison_truth_tables(n, include_complemented=True)
+            size = 1 << n
+            assert 0 not in tables
+            assert (1 << size) - 1 not in tables
+
+    def test_fraction_collapses(self):
+        # the class thins out double-exponentially: this is why Section 4
+        # replaces small subcircuits rather than whole output cones.
+        fractions = [comparison_fraction(n) for n in (2, 3, 4)]
+        assert fractions[0] > fractions[1] > fractions[2]
+        assert fractions[2] < 0.05
+
+    def test_bad_n_rejected(self):
+        with pytest.raises(ValueError):
+            count_comparison_functions(0)

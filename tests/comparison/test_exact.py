@@ -1,0 +1,91 @@
+"""Tests for the exact (no-sampling) comparison-function identifier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comparison import (
+    ComparisonSpec,
+    exact_identify,
+    identify_comparison,
+    is_comparison_exact,
+)
+from repro.sim import tt_from_minterms
+
+from .test_spec import spec_strategy
+
+
+class TestAgainstExhaustiveSampler:
+    """For n <= 5 the sampler is exhaustive, hence ground truth."""
+
+    def test_complete_sweep_n3(self):
+        variables = ["a", "b", "c"]
+        for table in range(1, 255):
+            sampled = identify_comparison(table, variables, max_specs=1).found
+            assert is_comparison_exact(table, variables) == sampled, bin(table)
+
+    @given(st.integers(1, (1 << 16) - 2))
+    @settings(max_examples=60, deadline=None)
+    def test_random_n4(self, table):
+        variables = list("abcd")
+        sampled = identify_comparison(table, variables, max_specs=1).found
+        assert is_comparison_exact(table, variables) == sampled
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_n5(self, seed):
+        rng = random.Random(seed)
+        table = rng.getrandbits(32)
+        if table in (0, (1 << 32) - 1):
+            return
+        variables = [f"v{j}" for j in range(5)]
+        sampled = identify_comparison(table, variables, max_specs=1).found
+        assert is_comparison_exact(table, variables) == sampled
+
+
+class TestWitnesses:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_witness_realizes_the_function(self, spec):
+        variables = sorted(spec.inputs)
+        table = spec.truth_table(variables)
+        witness = exact_identify(table, variables)
+        assert witness is not None
+        assert witness.truth_table(variables) == table
+
+    def test_never_misses_true_comparison_functions_n6(self):
+        rng = random.Random(3)
+        variables = [f"v{j}" for j in range(6)]
+        misses_by_sampler = 0
+        for _ in range(150):
+            lo = rng.randrange(63)
+            hi = rng.randrange(lo, 64)
+            if lo == 0 and hi == 63:
+                continue
+            perm = list(variables)
+            rng.shuffle(perm)
+            spec = ComparisonSpec(tuple(perm), lo, hi)
+            table = spec.truth_table(variables)
+            assert is_comparison_exact(table, variables)
+            if not identify_comparison(table, variables, max_specs=1).found:
+                misses_by_sampler += 1
+        # the 200-permutation sampler demonstrably misses some at n=6 —
+        # the gap the exact procedure closes (Section 3.4's remark)
+        assert misses_by_sampler > 0
+
+    def test_constants_rejected(self):
+        assert exact_identify(0, ["a", "b"]) is None
+        assert exact_identify(0b1111, ["a", "b"]) is None
+
+    def test_offset_witness_is_complemented(self):
+        # ON {0,1,3}: only the OFF-set {2} is an interval.
+        table = tt_from_minterms([0, 1, 3], 2)
+        witness = exact_identify(table, ["a", "b"])
+        assert witness is not None
+        assert witness.complement
+        assert witness.truth_table(["a", "b"]) == table
+
+    def test_try_offset_false(self):
+        table = tt_from_minterms([0, 1, 3], 2)
+        assert exact_identify(table, ["a", "b"], try_offset=False) is None

@@ -1,0 +1,68 @@
+"""Tests for multi-unit covers (Section 6 extension)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comparison import (
+    build_multi_unit,
+    find_multi_unit_cover,
+)
+from repro.sim import truth_table, tt_from_minterms
+
+
+class TestFindCover:
+    def test_single_unit_when_comparison(self):
+        tt = tt_from_minterms([1, 5, 6, 9, 10, 14], 4)
+        cover = find_multi_unit_cover(tt, ["y1", "y2", "y3", "y4"])
+        assert cover is not None
+        assert cover.n_units == 1
+
+    def test_parity3_needs_multiple_units(self):
+        tt = tt_from_minterms([1, 2, 4, 7], 3)
+        cover = find_multi_unit_cover(tt, ["a", "b", "c"])
+        assert cover is not None
+        assert 2 <= cover.n_units <= 4
+        # all specs share one permutation
+        assert len({s.inputs for s in cover.specs}) == 1
+
+    def test_max_units_respected(self):
+        tt = tt_from_minterms([1, 2, 4, 7], 3)
+        assert find_multi_unit_cover(tt, ["a", "b", "c"], max_units=1) is None
+
+    def test_constants_rejected(self):
+        assert find_multi_unit_cover(0, ["a", "b"]) is None
+        assert find_multi_unit_cover(0b1111, ["a", "b"]) is None
+
+    def test_describe(self):
+        tt = tt_from_minterms([0, 3], 2)
+        cover = find_multi_unit_cover(tt, ["a", "b"])
+        assert " OR " in cover.describe() or cover.n_units == 1
+
+
+class TestBuildCover:
+    @given(st.integers(1, (1 << 16) - 2))
+    @settings(max_examples=50, deadline=None)
+    def test_cover_realizes_function_n4(self, table):
+        variables = ["a", "b", "c", "d"]
+        cover = find_multi_unit_cover(table, variables, max_units=8)
+        assert cover is not None  # 8 runs always suffice for 4 variables
+        circuit = build_multi_unit(cover)
+        circuit.validate()
+        assert truth_table(circuit, input_order=variables) == table
+
+    def test_every_function_of_3_vars_coverable(self):
+        variables = ["a", "b", "c"]
+        for table in range(1, (1 << 8) - 1):
+            cover = find_multi_unit_cover(table, variables, max_units=4)
+            assert cover is not None, bin(table)
+            got = truth_table(build_multi_unit(cover), input_order=variables)
+            assert got == table, bin(table)
+
+    def test_units_keep_two_path_property(self):
+        from repro.analysis import internal_path_counts
+        tt = tt_from_minterms([1, 2, 4, 7], 3)
+        cover = find_multi_unit_cover(tt, ["a", "b", "c"])
+        circuit = build_multi_unit(cover)
+        counts = internal_path_counts(circuit)
+        # each input appears in at most `n_units` units, each with <= 2
+        assert all(v <= 2 * cover.n_units for v in counts.values())

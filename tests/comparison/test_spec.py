@@ -1,0 +1,145 @@
+"""Tests for ComparisonSpec semantics: bounds, free variables, evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comparison import ComparisonSpec
+from repro.sim import tt_from_minterms
+
+
+def spec_strategy(max_n=6):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, max_n))
+        size = 1 << n
+        lower = draw(st.integers(0, size - 1))
+        upper = draw(st.integers(lower, size - 1))
+        if lower == 0 and upper == size - 1:
+            upper -= 1  # avoid the constant function
+            if upper < lower:
+                lower = 1
+                upper = 1
+        complement = draw(st.booleans())
+        names = tuple(f"v{j}" for j in range(n))
+        return ComparisonSpec(names, lower, upper, complement)
+    return build()
+
+
+class TestValidation:
+    def test_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ComparisonSpec(("a", "b"), 3, 1)
+
+    def test_bounds_must_fit(self):
+        with pytest.raises(ValueError):
+            ComparisonSpec(("a", "b"), 0, 4)
+
+    def test_constant_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonSpec(("a", "b"), 0, 3)
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonSpec((), 0, 0)
+
+
+class TestBits:
+    def test_lower_upper_bits_msb_first(self):
+        s = ComparisonSpec(("a", "b", "c", "d"), 5, 10)
+        assert s.lower_bits() == (0, 1, 0, 1)
+        assert s.upper_bits() == (1, 0, 1, 0)
+
+
+class TestFreeVariables:
+    def test_paper_example_l5_u7(self):
+        # L=5=(0101), U=7=(0111): free prefix {x1, x2}.
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 5, 7)
+        assert s.n_free == 2
+        assert s.free_inputs == ("x1", "x2")
+        assert s.free_values == (0, 1)
+        assert s.suffix_lower == 1  # (01)
+        assert s.suffix_upper == 3  # (11)
+
+    def test_table1_spec_l11_u12(self):
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 11, 12)
+        assert s.n_free == 1
+        assert s.suffix_lower == 3
+        assert s.suffix_upper == 4
+
+    def test_no_free_variables(self):
+        s = ComparisonSpec(("a", "b", "c"), 2, 5)  # 010 vs 101
+        assert s.n_free == 0
+
+    def test_all_free_single_minterm(self):
+        s = ComparisonSpec(("a", "b", "c"), 5, 5)
+        assert s.n_free == 3
+        assert not s.has_geq_block
+        assert not s.has_leq_block
+
+    def test_single_prime_implicant_case(self):
+        # Paper 3.2.2: f(y1 y2 y3) = y1 y3 under (y1, y3, y2): L=6, U=7.
+        s = ComparisonSpec(("y1", "y3", "y2"), 6, 7)
+        assert s.n_free == 2
+        assert s.suffix_lower == 0
+        assert s.suffix_upper == 1
+        assert not s.has_geq_block  # L_F = 0
+        assert not s.has_leq_block  # U_F = all ones
+
+
+class TestBlocks:
+    def test_trivial_lower_bound_omits_geq(self):
+        s = ComparisonSpec(("a", "b", "c"), 0, 5)
+        assert not s.has_geq_block
+        assert s.has_leq_block
+
+    def test_trivial_upper_bound_omits_leq(self):
+        s = ComparisonSpec(("a", "b", "c"), 3, 7)
+        assert s.has_geq_block
+        assert not s.has_leq_block
+
+
+class TestEvaluation:
+    def test_interval_membership(self):
+        s = ComparisonSpec(("a", "b", "c"), 2, 5)
+        assert [s.value_of_minterm(m) for m in range(8)] == [
+            0, 0, 1, 1, 1, 1, 0, 0]
+
+    def test_complement_flips(self):
+        s = ComparisonSpec(("a", "b", "c"), 2, 5, complement=True)
+        assert [s.value_of_minterm(m) for m in range(8)] == [
+            1, 1, 0, 0, 0, 0, 1, 1]
+
+    def test_evaluate_uses_permutation(self):
+        # inputs (y2, y1): y2 is the MSB.
+        s = ComparisonSpec(("y2", "y1"), 2, 3)  # ON iff y2=1
+        assert s.evaluate({"y1": 0, "y2": 1}) == 1
+        assert s.evaluate({"y1": 1, "y2": 0}) == 0
+
+    def test_truth_table_in_spec_order(self):
+        s = ComparisonSpec(("a", "b"), 1, 2)
+        assert s.truth_table(["a", "b"]) == tt_from_minterms([1, 2], 2)
+
+    def test_truth_table_in_other_order(self):
+        s = ComparisonSpec(("a", "b"), 1, 2)
+        # over (b, a): minterm (b,a): f=1 iff (a,b) in {01,10} -> (b,a) in {10,01}
+        assert s.truth_table(["b", "a"]) == tt_from_minterms([1, 2], 2)
+
+    def test_truth_table_rejects_wrong_vars(self):
+        s = ComparisonSpec(("a", "b"), 1, 2)
+        with pytest.raises(ValueError):
+            s.truth_table(["a", "c"])
+
+    @given(spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_on_count_matches_interval_width(self, spec):
+        width = spec.upper - spec.lower + 1
+        on = sum(spec.value_of_minterm(m) for m in range(1 << spec.n))
+        expected = (1 << spec.n) - width if spec.complement else width
+        assert on == expected
+
+
+class TestDescribe:
+    def test_describe_mentions_bounds(self):
+        s = ComparisonSpec(("a", "b"), 1, 2, complement=True)
+        d = s.describe()
+        assert "1" in d and "2" in d and d.startswith("NOT")

@@ -1,0 +1,131 @@
+"""Tests for Section 3.3 robust test generation for comparison units.
+
+The headline reproduction: the generated test set for the L=11/U=12 unit is
+exactly Table 1 of the paper, and — the section's theorem — every
+comparison unit is *fully* robustly testable: the generated tests cover
+every path delay fault of the built unit.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis import enumerate_paths
+from repro.comparison import (
+    ComparisonSpec,
+    build_unit,
+    format_test_table,
+    robust_tests_for_unit,
+)
+from repro.pdf import (
+    RobustCriterion,
+    robust_faults_detected,
+    simulate_pair,
+)
+
+from .test_spec import spec_strategy
+
+
+def table1_spec():
+    return ComparisonSpec(("x1", "x2", "x3", "x4"), 11, 12)
+
+
+class TestTable1:
+    def test_row_count(self):
+        tests = robust_tests_for_unit(table1_spec())
+        # 7 structural paths, rising+falling each
+        assert len(tests) == 14
+
+    def test_exact_stable_values(self):
+        spec = table1_spec()
+        expected = {
+            ("x1", "free"): {"x2": 0, "x3": 1, "x4": 1},
+            ("x2", "geq"): {"x1": 1, "x3": 0, "x4": 0},
+            ("x3", "geq"): {"x1": 1, "x2": 0, "x4": 1},
+            ("x4", "geq"): {"x1": 1, "x2": 0, "x3": 1},
+            ("x2", "leq"): {"x1": 1, "x3": 1, "x4": 1},
+            ("x3", "leq"): {"x1": 1, "x2": 1, "x4": 0},
+            ("x4", "leq"): {"x1": 1, "x2": 1, "x3": 0},
+        }
+        seen = set()
+        for t in robust_tests_for_unit(spec):
+            key = (t.input_name, t.block)
+            assert t.stable_inputs() == expected[key], key
+            seen.add(key)
+        assert seen == set(expected)
+
+    def test_transition_directions_present(self):
+        tests = robust_tests_for_unit(table1_spec())
+        by_key = {}
+        for t in tests:
+            by_key.setdefault((t.input_name, t.block), set()).add(t.rising)
+        assert all(dirs == {True, False} for dirs in by_key.values())
+
+    def test_launch_input_flips(self):
+        for t in robust_tests_for_unit(table1_spec()):
+            assert t.v1[t.input_name] != t.v2[t.input_name]
+            assert t.v1[t.input_name] == (0 if t.rising else 1)
+
+    def test_table_rendering(self):
+        spec = table1_spec()
+        text = format_test_table(spec, robust_tests_for_unit(spec))
+        lines = text.splitlines()
+        assert len(lines) == 9  # header + rule + 7 rows
+        assert "0x1, 1x0" in text
+        assert "x2, >=L_F" in text
+        assert "x4, <=U_F" in text
+
+
+class TestFullRobustCoverage:
+    """Executable form of the Section 3.3 theorem."""
+
+    def assert_complete(self, spec):
+        unit = build_unit(spec)
+        total = {
+            (tuple(p), r)
+            for p in enumerate_paths(unit)
+            for r in (True, False)
+        }
+        detected = set()
+        for t in robust_tests_for_unit(spec):
+            pw = simulate_pair(unit, t.v1, t.v2)
+            detected |= robust_faults_detected(
+                unit, pw, RobustCriterion.STRICT
+            )
+        assert detected == total, spec.describe()
+
+    def test_table1_unit_fully_covered(self):
+        self.assert_complete(table1_spec())
+
+    def test_paper_f2_unit_fully_covered(self):
+        self.assert_complete(ComparisonSpec(("y4", "y3", "y2", "y1"), 5, 10))
+
+    def test_no_free_variables(self):
+        self.assert_complete(ComparisonSpec(("a", "b", "c"), 2, 5))
+
+    def test_geq_only(self):
+        self.assert_complete(ComparisonSpec(("a", "b", "c"), 3, 7))
+
+    def test_leq_only(self):
+        self.assert_complete(ComparisonSpec(("a", "b", "c"), 0, 5))
+
+    def test_single_minterm(self):
+        self.assert_complete(ComparisonSpec(("a", "b", "c"), 6, 6))
+
+    def test_complemented_unit(self):
+        self.assert_complete(
+            ComparisonSpec(("a", "b", "c", "d"), 5, 9, complement=True)
+        )
+
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_random_specs_fully_covered(self, spec):
+        self.assert_complete(spec)
+
+
+class TestTestCount:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_two_tests_per_structural_path(self, spec):
+        unit = build_unit(spec)
+        n_paths = len(enumerate_paths(unit))
+        tests = robust_tests_for_unit(spec)
+        assert len(tests) == 2 * n_paths

@@ -1,0 +1,64 @@
+"""Tests for the comparison/threshold function relationship (Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.comparison import (
+    ComparisonSpec,
+    ThresholdFunction,
+    evaluate_as_threshold_pair,
+    geq_block_threshold,
+    leq_block_threshold,
+)
+from repro.sim import minterm_assignment
+
+from .test_spec import spec_strategy
+
+
+class TestThresholdFunction:
+    def test_weights_must_match_inputs(self):
+        with pytest.raises(ValueError):
+            ThresholdFunction(("a", "b"), (1,), 1)
+
+    def test_basic_evaluation(self):
+        t = ThresholdFunction(("a", "b"), (2, 1), 2)
+        assert t.evaluate({"a": 1, "b": 0}) == 1
+        assert t.evaluate({"a": 0, "b": 1}) == 0
+
+    def test_inverted(self):
+        t = ThresholdFunction(("a",), (1,), 1, inverted=True)
+        assert t.evaluate({"a": 1}) == 0
+        assert t.evaluate({"a": 0}) == 1
+
+
+class TestBlockViews:
+    def test_geq_block_weights_are_powers_of_two(self):
+        s = ComparisonSpec(("a", "b", "c"), 3, 6)
+        t = geq_block_threshold(s)
+        assert t.weights == (4, 2, 1)
+        assert t.threshold == 3
+
+    def test_geq_block_semantics(self):
+        s = ComparisonSpec(("a", "b", "c"), 3, 6)
+        t = geq_block_threshold(s)
+        for m in range(8):
+            a = minterm_assignment(m, s.inputs)
+            assert t.evaluate(a) == int(m >= 3)
+
+    def test_leq_block_is_complemented_geq(self):
+        s = ComparisonSpec(("a", "b", "c"), 3, 6)
+        t = leq_block_threshold(s)
+        assert t.threshold == 7
+        assert t.inverted
+        for m in range(8):
+            a = minterm_assignment(m, s.inputs)
+            assert t.evaluate(a) == int(m <= 6)
+
+
+class TestPairEquivalence:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_threshold_pair_matches_spec(self, spec):
+        for m in range(1 << spec.n):
+            a = minterm_assignment(m, spec.inputs)
+            assert evaluate_as_threshold_pair(spec, a) == spec.evaluate(a)

@@ -1,0 +1,244 @@
+"""Tests for comparison-unit construction (Figures 1-5).
+
+Central properties, asserted over random specs:
+* the built unit computes exactly the spec's function;
+* at most two paths from any input to the output (Section 3.1);
+* free variables have at most one path; with one block omitted every input
+  has at most one path (Section 3.2).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis import internal_path_counts
+from repro.comparison import (
+    ComparisonSpec,
+    build_unit,
+    best_spec,
+    emit_comparison_unit,
+    unit_cost,
+)
+from repro.netlist import CircuitBuilder, GateType, two_input_gate_count
+from repro.sim import truth_table
+
+from .test_spec import spec_strategy
+
+
+class TestFigureExamples:
+    def test_geq_3_block_figure_3a(self):
+        # L=3=(0011) over 4 inputs: f = x1 + x2 + x3 x4.
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 3, 15)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["x1", "x2", "x3", "x4"])
+        expected = sum(1 << m for m in range(3, 16))
+        assert t == expected
+
+    def test_geq_12_block_figure_3b(self):
+        # L=12=(1100): trailing zeros collapse; f = x1 x2.
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 12, 15)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["x1", "x2", "x3", "x4"])
+        assert t == sum(1 << m for m in range(12, 16))
+        # only x1 and x2 reach the output
+        counts = internal_path_counts(u)
+        assert counts["x3"] == 0 and counts["x4"] == 0
+
+    def test_leq_12_block_figure_3c(self):
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 0, 12)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["x1", "x2", "x3", "x4"])
+        assert t == sum(1 << m for m in range(13))
+
+    def test_leq_3_block_figure_3d(self):
+        # U=3=(0011): trailing ones collapse; f = ~x1 ~x2.
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 0, 3)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["x1", "x2", "x3", "x4"])
+        assert t == 0b1111
+        counts = internal_path_counts(u)
+        assert counts["x3"] == 0 and counts["x4"] == 0
+
+    def test_geq_7_unit_figure_4_merging(self):
+        # L=7=(0111): merged unit is OR(x1, AND(x2, x3, x4)).
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 7, 15)
+        u = build_unit(s, merge=True)
+        gates = [g for g in u.logic_gates()]
+        types = sorted(g.gtype.value for g in gates)
+        assert types == ["and", "buf", "or"] or types == ["and", "or"]
+        wide_and = [g for g in gates if g.gtype is GateType.AND]
+        assert len(wide_and) == 1
+        assert len(wide_and[0].fanins) == 3
+
+    def test_merging_preserves_two_input_count(self):
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 7, 15)
+        merged = build_unit(s, merge=True)
+        unmerged = build_unit(s, merge=False)
+        assert (two_input_gate_count(merged)
+                == two_input_gate_count(unmerged))
+        assert (truth_table(merged, input_order=list(s.inputs))
+                == truth_table(unmerged, input_order=list(s.inputs)))
+
+    def test_figure_1_unit_f2(self):
+        s = ComparisonSpec(("y4", "y3", "y2", "y1"), 5, 10)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["y1", "y2", "y3", "y4"])
+        from repro.sim import tt_from_minterms
+        assert t == tt_from_minterms([1, 5, 6, 9, 10, 14], 4)
+
+    def test_figure_5_free_variable_structure(self):
+        # L=5=(0101), U=7=(0111): free x1, x2; suffix bounds L_F=(01), U_F=(11).
+        s = ComparisonSpec(("x1", "x2", "x3", "x4"), 5, 7)
+        u = build_unit(s)
+        counts = internal_path_counts(u)
+        assert counts["x1"] == 1  # free variables: one path
+        assert counts["x2"] == 1
+        # U_F all ones: no <= block, so suffix inputs also have one path.
+        assert counts["x3"] == 1
+        assert counts["x4"] == 1
+
+
+class TestSpecialCases:
+    def test_single_prime_implicant_single_and(self):
+        # Section 3.2.2: f(y1,y2,y3)=y1 y3 -> one AND gate.
+        s = ComparisonSpec(("y1", "y3", "y2"), 6, 7)
+        u = build_unit(s)
+        logic = u.logic_gates()
+        non_buf = [g for g in logic if g.gtype is not GateType.BUF]
+        assert len(non_buf) == 1
+        assert non_buf[0].gtype is GateType.AND
+        assert set(non_buf[0].fanins) == {"y1", "y3"}
+
+    def test_single_minterm_all_free(self):
+        s = ComparisonSpec(("a", "b", "c"), 5, 5)  # (101)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["a", "b", "c"])
+        assert t == 1 << 5
+
+    def test_single_input_functions(self):
+        ident = ComparisonSpec(("a",), 1, 1)
+        assert truth_table(build_unit(ident), input_order=["a"]) == 0b10
+        inv = ComparisonSpec(("a",), 0, 0)
+        assert truth_table(build_unit(inv), input_order=["a"]) == 0b01
+
+    def test_complement_flips_function(self):
+        s = ComparisonSpec(("a", "b", "c"), 2, 5, complement=True)
+        u = build_unit(s)
+        t = truth_table(u, input_order=["a", "b", "c"])
+        assert t == 0b11000011
+
+    def test_complement_of_single_literal(self):
+        s = ComparisonSpec(("a",), 1, 1, complement=True)
+        u = build_unit(s)
+        assert truth_table(u, input_order=["a"]) == 0b01
+
+
+class TestEmitIntoHost:
+    def test_emit_replaces_driver(self):
+        b = CircuitBuilder("host")
+        a, x, y = b.inputs("a", "b", "c")
+        g = b.AND(a, x, name="g")
+        out = b.OR(g, y, name="out")
+        b.outputs(out)
+        c = b.build()
+        spec = ComparisonSpec(("a", "b"), 3, 3)  # a AND b
+        created = emit_comparison_unit(c, spec, "g")
+        c.validate()
+        t = truth_table(c, input_order=["a", "b", "c"])
+        # out = (a AND b) OR c
+        expected = 0
+        for m in range(8):
+            av, bv, cv = (m >> 2) & 1, (m >> 1) & 1, m & 1
+            if (av & bv) | cv:
+                expected |= 1 << m
+        assert t == expected
+        assert isinstance(created, list)
+
+    def test_emit_requires_existing_inputs(self):
+        b = CircuitBuilder("host")
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        spec = ComparisonSpec(("a", "zz"), 3, 3)
+        with pytest.raises(ValueError):
+            emit_comparison_unit(c, spec, "g")
+
+    def test_fresh_names_avoid_collisions(self):
+        b = CircuitBuilder("host")
+        a, x = b.inputs("a", "b")
+        b.gate(GateType.AND, (a, x), name="cu_geq0")  # collide on purpose
+        g = b.OR(a, x, name="g")
+        b.outputs(g, "cu_geq0")
+        c = b.build()
+        spec = ComparisonSpec(("a", "b"), 1, 2)
+        created = emit_comparison_unit(c, spec, "g")
+        c.validate()
+        assert "cu_geq0" not in created
+
+
+class TestPathProperty:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_two_paths_per_input(self, spec):
+        cost = unit_cost(spec)
+        assert all(v <= 2 for v in cost.paths_per_input.values())
+
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_free_variables_have_at_most_one_path(self, spec):
+        cost = unit_cost(spec)
+        for name in spec.free_inputs:
+            assert cost.paths_per_input[name] <= 1
+
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=60, deadline=None)
+    def test_one_block_implies_single_paths(self, spec):
+        if spec.has_geq_block and spec.has_leq_block:
+            return
+        cost = unit_cost(spec)
+        assert all(v <= 1 for v in cost.paths_per_input.values())
+
+
+class TestFunctionalEquivalence:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=100, deadline=None)
+    def test_unit_computes_spec(self, spec):
+        u = build_unit(spec)
+        u.validate()
+        order = sorted(spec.inputs)
+        assert truth_table(u, input_order=order) == spec.truth_table(order)
+
+    @given(spec_strategy(max_n=5))
+    @settings(max_examples=40, deadline=None)
+    def test_unmerged_unit_computes_spec(self, spec):
+        u = build_unit(spec, merge=False)
+        order = sorted(spec.inputs)
+        assert truth_table(u, input_order=order) == spec.truth_table(order)
+
+
+class TestDepthProperty:
+    @given(spec_strategy(max_n=6))
+    @settings(max_examples=40, deadline=None)
+    def test_depth_bounded_by_n_plus_2(self, spec):
+        # chain depth <= n-F gates, plus inverter, plus output AND.
+        assert unit_cost(spec).depth <= spec.n + 2
+
+
+class TestBestSpec:
+    def test_picks_cheapest(self):
+        variables = ("a", "b", "c")
+        cheap = ComparisonSpec(variables, 4, 7)       # f = a: nearly free
+        costly = ComparisonSpec(("c", "b", "a"), 2, 5)
+        chosen, cost = best_spec([costly, cheap])
+        assert chosen == cheap
+        assert cost.two_input_gates <= unit_cost(costly).two_input_gates
+
+    def test_empty_gives_none(self):
+        assert best_spec([]) is None
+
+    def test_deterministic_tiebreak(self):
+        a = ComparisonSpec(("a", "b"), 1, 2)
+        b = ComparisonSpec(("b", "a"), 1, 2)
+        first = best_spec([a, b])
+        second = best_spec([b, a])
+        assert first[0] == second[0]

@@ -1,0 +1,43 @@
+"""Tests for artifact disk-caching plumbing (no heavy builds)."""
+
+import os
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.experiments import artifacts
+from repro.io.json_io import load_json
+
+
+class TestDeriveCache:
+    def test_derive_builds_once_then_loads(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(artifacts, "DERIVED_DIR", str(tmp_path))
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return c17()
+
+        first = artifacts._derive("c17test", "stage", builder)
+        assert calls == [1]
+        assert os.path.exists(str(tmp_path / "c17test.stage.json"))
+        second = artifacts._derive("c17test", "stage", builder)
+        assert calls == [1]  # served from disk
+        assert first.structurally_equal(second)
+
+    def test_cache_file_is_valid_netlist(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(artifacts, "DERIVED_DIR", str(tmp_path))
+        artifacts._derive("c17test", "stage", c17)
+        loaded = load_json(str(tmp_path / "c17test.stage.json"))
+        loaded.validate()
+        assert loaded.name == "c17test"
+
+    def test_clear_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(artifacts, "DERIVED_DIR", str(tmp_path))
+        artifacts._derive("a", "s1", c17)
+        artifacts._derive("b", "s2", c17)
+        removed = artifacts.clear_disk_cache()
+        assert removed == 2
+        assert not any(
+            fn.endswith(".json") for fn in os.listdir(str(tmp_path))
+        )

@@ -1,0 +1,29 @@
+"""Tests for table rendering."""
+
+from repro.experiments import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(
+            ["name", "count"],
+            [("alpha", 12345), ("b", 7)],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "12,345" in text
+        assert all(len(l) == len(lines[1]) or l == "Demo"
+                   for l in lines if l.strip())
+
+    def test_none_renders_empty(self):
+        text = render_table(["a"], [(None,)])
+        assert text.splitlines()[-1].strip() == ""
+
+    def test_floats_fixed_precision(self):
+        text = render_table(["x"], [(1.23456,)])
+        assert "1.23" in text
+
+    def test_det_over_faults_right_aligned(self):
+        text = render_table(["df"], [("7,304/522,624",)])
+        assert "7,304/522,624" in text

@@ -1,0 +1,29 @@
+"""Tests for the Table 1 driver (cheap; the heavier tables are exercised by
+integration tests and the benchmark harness)."""
+
+from repro.experiments import table1
+
+
+class TestTable1:
+    def test_rows_cover_all_seven_faults(self):
+        res = table1()
+        assert len(res.rows) == 7
+        labels = {r[0] for r in res.rows}
+        assert "x1,free" in labels
+        assert "x2,geq" in labels and "x2,leq" in labels
+        assert "x4,geq" in labels and "x4,leq" in labels
+
+    def test_matches_paper_values(self):
+        res = table1()
+        by_label = dict(res.rows)
+        assert by_label["x1,free"] == {"x2": "000", "x3": "111", "x4": "111"}
+        assert by_label["x2,geq"] == {"x1": "111", "x3": "000", "x4": "000"}
+        assert by_label["x3,leq"] == {"x1": "111", "x2": "111", "x4": "000"}
+
+    def test_render_contains_transitions(self):
+        assert "0x1, 1x0" in table1().render()
+
+    def test_spec_is_the_papers(self):
+        res = table1()
+        assert (res.spec.lower, res.spec.upper) == (11, 12)
+        assert res.spec.n_free == 1

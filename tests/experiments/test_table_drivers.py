@@ -1,0 +1,97 @@
+"""Unit tests for the table drivers, decoupled from the heavy suite.
+
+The artifact accessors are monkeypatched to small fixture circuits so the
+drivers' row assembly, accounting and rendering are tested in milliseconds;
+the real suite runs live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.benchcircuits import c17, paper_f2_sop
+from repro.experiments import tables as tables_mod
+from repro.netlist import two_input_gate_count
+from repro.resynth import procedure2
+
+
+@pytest.fixture
+def tiny_world(monkeypatch):
+    """Patch every artifact accessor to fixture circuits."""
+    base = paper_f2_sop()
+    optimized = procedure2(base, k=6).circuit
+
+    monkeypatch.setattr(tables_mod, "original_circuit", lambda name: base)
+    monkeypatch.setattr(
+        tables_mod, "proc2_best", lambda name: (optimized, 6)
+    )
+    monkeypatch.setattr(tables_mod, "proc2_redrem", lambda name: optimized)
+    monkeypatch.setattr(
+        tables_mod, "proc3_best", lambda name: (optimized, 6)
+    )
+    monkeypatch.setattr(tables_mod, "rambo_circuit", lambda name: base)
+    monkeypatch.setattr(
+        tables_mod, "rambo_proc2_circuit", lambda name, k=6: optimized
+    )
+    return base, optimized
+
+
+class TestTable2Driver:
+    def test_rows_and_render(self, tiny_world):
+        base, optimized = tiny_world
+        res = tables_mod.table2(circuits=["fake1", "fake2"])
+        assert len(res.rows) == 2
+        row = res.rows[0]
+        assert row.gates_orig == two_input_gate_count(base)
+        assert row.gates_modified == two_input_gate_count(optimized)
+        text = res.render()
+        assert "Table 2" in text and "fake1" in text
+
+
+class TestTable3Driver:
+    def test_rows(self, tiny_world):
+        res = tables_mod.table3(circuits=["fakeA"])
+        assert len(res.rows) == 1
+        assert res.rows[0].k == 6
+        assert "RAMBO_C" in res.render()
+
+
+class TestTable4Driver:
+    def test_mapping_runs(self, tiny_world):
+        res = tables_mod.table4(circuits=["fakeA"])
+        assert len(res.original_vs_proc2) == 1
+        a = res.original_vs_proc2[0]
+        assert a.literals_base > 0
+        assert "Table 4(a)" in res.render()
+        assert "Table 4(b)" in res.render()
+
+
+class TestTable5Driver:
+    def test_rows(self, tiny_world):
+        base, optimized = tiny_world
+        res = tables_mod.table5(circuits=["fakeX"])
+        row = res.rows[0]
+        assert row.inputs == len(base.inputs)
+        assert row.paths_modified <= row.paths_orig
+        assert "Table 5" in res.render()
+
+
+class TestTable6Driver:
+    def test_campaigns_and_render(self, tiny_world):
+        res = tables_mod.table6(
+            circuits=["fakeY"], max_patterns=256, batch_size=64
+        )
+        row = res.rows[0]
+        assert row.faults_orig > 0
+        assert row.remain_orig >= 0
+        assert "Table 6" in res.render()
+
+
+class TestTable7Driver:
+    def test_pairs_and_render(self, tiny_world):
+        res = tables_mod.table7(
+            circuit_name="fakeZ", max_patterns=512, plateau_window=200,
+            batch_size=64,
+        )
+        assert [r.version for r in res.rows] == ["original", "RAMBO_C"]
+        for row in res.rows:
+            assert row.faults_modified <= row.faults_orig
+        assert "Table 7" in res.render()

@@ -1,0 +1,47 @@
+"""Tests for the fault-population accounting and per-fault profiling."""
+
+from repro.comparison import ComparisonSpec, build_unit
+from repro.experiments import TestabilityProfile, profile_circuit
+from repro.experiments.untestable import UntestableProfileResult
+from repro.netlist import CircuitBuilder
+
+
+class TestProfileCircuit:
+    def test_comparison_unit_fully_witnessed(self):
+        unit = build_unit(ComparisonSpec(("a", "b", "c", "d"), 5, 10))
+        p = profile_circuit(unit, samples=30, seed=1)
+        # every path fault of a unit is robustly testable
+        assert p.witnessed == p.sampled
+        assert p.proved_untestable == 0
+        assert p.witnessed_fraction == 1.0
+        assert p.estimated_untestable == 0
+
+    def test_untestable_paths_proved(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        n = b.NOT(a)
+        g = b.OR(a, n, name="g")
+        b.outputs(g)
+        c = b.build()
+        p = profile_circuit(c, samples=10, seed=2)
+        assert p.witnessed == 0
+        assert p.proved_untestable == p.sampled
+
+
+class TestAccounting:
+    def _result(self, fo, do, fm, dm):
+        return UntestableProfileResult("x", fo, do, fm, dm)
+
+    def test_claim_holds_when_detected_rises(self):
+        r = self._result(1000, 50, 400, 60)
+        assert r.removed == 600
+        assert r.undetected_reduction == 610
+        assert r.claim_holds
+
+    def test_claim_fails_when_detected_drops_hard(self):
+        r = self._result(1000, 50, 400, 20)
+        assert not r.claim_holds
+
+    def test_render_mentions_verdict(self):
+        r = self._result(1000, 50, 400, 60)
+        assert "MORE than" in r.render()

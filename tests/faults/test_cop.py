@@ -1,0 +1,103 @@
+"""Tests for COP testability estimation against measured frequencies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.faults import (
+    FaultSimulator,
+    detection_probability,
+    fault_universe,
+    hardest_faults,
+    observabilities,
+    signal_probabilities,
+)
+from repro.netlist import CircuitBuilder
+from repro.sim import exhaustive_words
+
+
+class TestSignalProbabilities:
+    def test_inputs_are_half(self):
+        p = signal_probabilities(c17())
+        for pi in c17().inputs:
+            assert p[pi] == 0.5
+
+    def test_and_or_not(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.OR(a, x, name="g2")
+        g3 = b.NOT(a, name="g3")
+        b.outputs(g1, g2, g3)
+        p = signal_probabilities(b.build())
+        assert p["g1"] == pytest.approx(0.25)
+        assert p["g2"] == pytest.approx(0.75)
+        assert p["g3"] == pytest.approx(0.5)
+
+    def test_exact_on_fanout_free_trees(self):
+        # without reconvergence the independence assumption is exact
+        b = CircuitBuilder()
+        ins = b.inputs(*[f"i{j}" for j in range(4)])
+        g1 = b.AND(ins[0], ins[1])
+        g2 = b.OR(ins[2], ins[3])
+        g3 = b.NAND(g1, g2, name="o")
+        b.outputs(g3)
+        c = b.build()
+        p = signal_probabilities(c)
+        words = exhaustive_words(c.inputs)
+        from repro.sim import simulate
+        vals = simulate(c, words, 16)
+        measured = bin(vals["o"]).count("1") / 16
+        assert p["o"] == pytest.approx(measured)
+
+    def test_probabilities_in_unit_interval(self):
+        for seed in range(3):
+            c = random_circuit("r", 8, 4, 40, seed=seed)
+            p = signal_probabilities(c)
+            assert all(0.0 <= v <= 1.0 for v in p.values())
+
+
+class TestObservabilities:
+    def test_outputs_fully_observable(self):
+        o = observabilities(c17())
+        for po in c17().output_set:
+            assert o[po] == 1.0
+
+    def test_bounded(self):
+        for seed in range(3):
+            c = random_circuit("r", 8, 4, 40, seed=seed)
+            o = observabilities(c)
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in o.values())
+
+    def test_dead_net_unobservable(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b._circuit
+        c.add_gate("dead", __import__("repro.netlist", fromlist=["GateType"]).GateType.NOT, ("a",))
+        o = observabilities(c)
+        assert o["dead"] == 0.0
+
+
+class TestDetectionProbability:
+    def test_correlates_with_measured_frequency(self):
+        """COP estimates track measured detection rates on c17."""
+        c = c17()
+        sim = FaultSimulator(c)
+        words = exhaustive_words(c.inputs)
+        good = sim.good_values(words, 32)
+        for fault in fault_universe(c):
+            measured = bin(sim.detection_word(fault, good, 32)).count("1") / 32
+            estimated = detection_probability(c, fault)
+            # c17 has little reconvergence: the estimate is close
+            assert abs(measured - estimated) < 0.25, fault.describe()
+
+    def test_hardest_faults_sorted(self):
+        c = c17()
+        ranked = hardest_faults(c, fault_universe(c), limit=5)
+        probs = [dp for dp, _ in ranked]
+        assert probs == sorted(probs)
+        assert len(ranked) == 5

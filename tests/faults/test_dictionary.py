@@ -1,0 +1,72 @@
+"""Tests for fault dictionaries and diagnosis."""
+
+import random
+
+from repro.atpg import generate_test_set
+from repro.benchcircuits import c17
+from repro.faults import (
+    StuckFault,
+    build_fault_dictionary,
+    fault_universe,
+    observed_syndrome,
+)
+from repro.netlist import Gate, GateType
+
+
+def c17_dictionary():
+    c = c17()
+    ts = generate_test_set(c, seed=1)
+    return c, ts, build_fault_dictionary(c, ts.patterns)
+
+
+class TestDictionary:
+    def test_complete_test_set_leaves_nothing_undetected(self):
+        c, ts, d = c17_dictionary()
+        assert d.n_tests == len(ts.patterns)
+        assert d.undetected_faults() == []
+
+    def test_detecting_tests_consistent_with_fsim(self):
+        from repro.faults import FaultSimulator
+        c, ts, d = c17_dictionary()
+        sim = FaultSimulator(c)
+        words = {pi: 0 for pi in c.inputs}
+        for p_idx, pattern in enumerate(ts.patterns):
+            for i, pi in enumerate(c.inputs):
+                if pattern[i]:
+                    words[pi] |= 1 << p_idx
+        good = sim.good_values(words, d.n_tests)
+        for fault in fault_universe(c):
+            det = sim.detection_word(fault, good, d.n_tests)
+            expected = [i for i in range(d.n_tests) if (det >> i) & 1]
+            assert d.detecting_tests(fault) == expected, fault.describe()
+
+    def test_self_diagnosis_ranks_injected_fault_first(self):
+        c, ts, d = c17_dictionary()
+        target = StuckFault("16", 0)
+        observed = d.syndromes[target]
+        ranked = d.diagnose(observed, top=3)
+        assert ranked[0][1] == 0  # perfect match distance
+        # the injected fault (or an equivalent one) tops the list
+        top_faults = [f for f, dist in ranked if dist == 0]
+        assert target in top_faults or all(
+            dist == 0 for _, dist in ranked[:1]
+        )
+
+    def test_structural_fault_diagnosed_from_responses(self):
+        c, ts, d = c17_dictionary()
+        # build a physically faulty implementation: 16 stuck at 0
+        bad = c.copy()
+        bad.replace_gate(Gate("16", GateType.CONST0))
+        syndrome = observed_syndrome(c, bad, ts.patterns)
+        ranked = d.diagnose(syndrome, top=3)
+        assert any(
+            f.net == "16" and f.value == 0 for f, dist in ranked if dist == 0
+        )
+
+    def test_good_device_matches_nothing_detected(self):
+        c, ts, d = c17_dictionary()
+        syndrome = observed_syndrome(c, c.copy(), ts.patterns)
+        assert not any(syndrome.values())
+        # nearest faults are the hardest-to-detect ones, at distance > 0
+        ranked = d.diagnose(syndrome, top=1)
+        assert ranked[0][1] > 0

@@ -1,0 +1,136 @@
+"""Tests for the parallel-pattern fault simulator.
+
+The independent oracle mutates the circuit to hard-wire the fault and
+compares full simulations — a completely different code path from the
+event-driven cone propagation under test.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, random_circuit
+from repro.faults import FaultSimulator, StuckFault, all_faults
+from repro.netlist import Circuit, CircuitBuilder, Gate, GateType
+from repro.sim import random_words, simulate
+
+
+def faulty_copy(circuit, fault):
+    """Build an explicit faulty version of the circuit (test oracle)."""
+    c = circuit.copy()
+    const_name = c.fresh_net("fault_const")
+    c.add_gate(
+        const_name,
+        GateType.CONST1 if fault.value else GateType.CONST0,
+        (),
+    )
+    if fault.is_branch:
+        gate = c.gate(fault.reader)
+        fanins = list(gate.fanins)
+        fanins[fault.pin] = const_name
+        c.replace_gate(gate.with_fanins(tuple(fanins)))
+    else:
+        # Stem fault: all readers and output observations see the constant.
+        target = fault.net
+        for reader in list(c.fanouts(target)):
+            gate = c.gate(reader)
+            c.replace_gate(gate.with_fanins(tuple(
+                const_name if f == target else f for f in gate.fanins
+            )))
+        c._outputs = [const_name if o == target else o for o in c._outputs]
+        c._dirty()
+    return c
+
+
+def oracle_detection_word(circuit, fault, words, n):
+    faulty = faulty_copy(circuit, fault)
+    good = simulate(circuit, words, n)
+    bad = simulate(faulty, words, n)
+    det = 0
+    for good_po, bad_po in zip(circuit.outputs, faulty.outputs):
+        det |= good[good_po] ^ bad[bad_po]
+    return det
+
+
+class TestKnownDetections:
+    def test_and_output_sa0(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        sim = FaultSimulator(c)
+        # exhaustive 4 patterns (a: 1100, b: 1010)
+        words = {"a": 0b1100, "b": 0b1010}
+        good = sim.good_values(words, 4)
+        det = sim.detection_word(StuckFault("g", 0), good, 4)
+        assert det == 0b1000  # only the a=b=1 pattern
+        det = sim.detection_word(StuckFault("g", 1), good, 4)
+        assert det == 0b0111
+
+    def test_branch_fault_differs_from_stem(self):
+        # s fans out to g1 and g2; branch fault at g1's pin affects only g1.
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        s = b.OR(a, x, name="s")
+        g1 = b.BUF(s, name="g1")
+        g2 = b.BUF(s, name="g2")
+        b.outputs(g1, g2)
+        c = b.build()
+        sim = FaultSimulator(c)
+        words = {"a": 0b1100, "b": 0b1010}
+        good = sim.good_values(words, 4)
+        stem = sim.detection_word(StuckFault("s", 0), good, 4)
+        branch = sim.detection_word(
+            StuckFault("s", 0, reader="g1", pin=0), good, 4
+        )
+        assert stem == branch == 0b1110  # same word, but via different sites
+
+    def test_undetectable_when_value_matches(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.BUF(a, name="g")
+        b.outputs(g)
+        c = b.build()
+        sim = FaultSimulator(c)
+        good = sim.good_values({"a": 0}, 1)
+        assert sim.detection_word(StuckFault("a", 0), good, 1) == 0
+        assert sim.detection_word(StuckFault("a", 1), good, 1) == 1
+
+    def test_masked_fault_not_detected(self):
+        # fault on a is masked when b=0 forces the AND output.
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        sim = FaultSimulator(c)
+        good = sim.good_values({"a": 0b0, "b": 0b0}, 1)
+        assert sim.detection_word(StuckFault("a", 1), good, 1) == 0
+
+
+class TestAgainstOracle:
+    @given(st.integers(0, 3000), st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_all_faults_random_circuits(self, seed, pat_seed):
+        c = random_circuit("r", 6, 3, 25, seed=seed)
+        rng = random.Random(pat_seed)
+        n = 24
+        words = random_words(c.inputs, n, rng)
+        sim = FaultSimulator(c)
+        good = sim.good_values(words, n)
+        for fault in all_faults(c):
+            got = sim.detection_word(fault, good, n)
+            want = oracle_detection_word(c, fault, words, n)
+            assert got == want, fault.describe()
+
+    def test_c17_all_faults_detectable(self):
+        # c17 is irredundant: every fault detectable in 64 random patterns.
+        c = c17()
+        rng = random.Random(3)
+        words = random_words(c.inputs, 64, rng)
+        sim = FaultSimulator(c)
+        good = sim.good_values(words, 64)
+        for fault in all_faults(c):
+            assert sim.detection_word(fault, good, 64) != 0, fault.describe()

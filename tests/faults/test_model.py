@@ -1,0 +1,97 @@
+"""Tests for the stuck-at fault model and collapsing."""
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.faults import StuckFault, all_faults, collapsed_faults, fault_universe
+from repro.netlist import CircuitBuilder
+
+
+class TestStuckFault:
+    def test_stem_fault(self):
+        f = StuckFault("a", 1)
+        assert not f.is_branch
+        assert f.describe() == "a s-a-1"
+
+    def test_branch_fault(self):
+        f = StuckFault("a", 0, reader="g", pin=1)
+        assert f.is_branch
+        assert "g.in1" in f.describe()
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            StuckFault("a", 2)
+
+    def test_partial_branch_rejected(self):
+        with pytest.raises(ValueError):
+            StuckFault("a", 0, reader="g")
+
+    def test_hashable_for_sets(self):
+        assert len({StuckFault("a", 0), StuckFault("a", 0)}) == 1
+
+
+class TestAllFaults:
+    def test_c17_counts(self):
+        faults = all_faults(c17())
+        stems = [f for f in faults if not f.is_branch]
+        branches = [f for f in faults if f.is_branch]
+        # 11 nets * 2 values
+        assert len(stems) == 22
+        # fanout stems: 3 (pins: 10, 11), 11 (16, 19), 16 (22, 23) -> 6 pins
+        assert len(branches) == 12
+
+    def test_floating_nets_excluded(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        dead = b.NOT(a, name="dead")
+        b.outputs(g)
+        c = b._circuit  # skip validation sweep
+        c.validate()
+        faults = all_faults(c)
+        assert not any(f.net == "dead" for f in faults)
+
+    def test_unused_input_excluded(self):
+        b = CircuitBuilder()
+        a, x, u = b.inputs("a", "b", "u")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        faults = all_faults(b.build())
+        assert not any(f.net == "u" for f in faults)
+
+
+class TestCollapsedFaults:
+    def test_smaller_than_full(self):
+        c = c17()
+        assert len(collapsed_faults(c)) < len(all_faults(c))
+
+    def test_nand_keeps_branch_sa1_only(self):
+        # c17 is all NANDs: input s-a-0 == output s-a-1, so only branch
+        # s-a-1 faults survive on fanout pins.
+        faults = collapsed_faults(c17())
+        branch = [f for f in faults if f.is_branch]
+        assert branch and all(f.value == 1 for f in branch)
+
+    def test_deterministic_order(self):
+        assert collapsed_faults(c17()) == collapsed_faults(c17())
+
+    def test_fault_universe_default_collapsed(self):
+        c = c17()
+        assert fault_universe(c) == collapsed_faults(c)
+        assert fault_universe(c, collapse=False) == all_faults(c)
+
+    def test_and_or_collapsing_rules(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        s = b.AND(a, x, name="s")   # stem with fanout
+        g1 = b.AND(s, a, name="g1")
+        g2 = b.OR(s, x, name="g2")
+        b.outputs(g1, g2)
+        faults = collapsed_faults(b.build())
+        branch = {(f.net, f.value, f.reader) for f in faults if f.is_branch}
+        # AND pin: s-a-0 equivalent to output; keep s-a-1 branch.
+        assert ("s", 1, "g1") in branch
+        assert ("s", 0, "g1") not in branch
+        # OR pin: s-a-1 equivalent to output; keep s-a-0 branch.
+        assert ("s", 0, "g2") in branch
+        assert ("s", 1, "g2") not in branch

@@ -1,0 +1,68 @@
+"""Tests for the random-pattern stuck-at campaign (Table 6 semantics)."""
+
+from repro.benchcircuits import c17, random_circuit
+from repro.faults import (
+    StuckFault,
+    fault_universe,
+    random_stuck_at_campaign,
+)
+from repro.netlist import CircuitBuilder
+
+
+class TestCampaign:
+    def test_c17_full_coverage(self):
+        res = random_stuck_at_campaign(c17(), seed=1, max_patterns=4096)
+        assert res.remaining == 0
+        assert res.detected == res.total_faults
+        assert res.coverage == 1.0
+        assert 1 <= res.last_effective_pattern <= res.patterns_applied
+
+    def test_deterministic(self):
+        a = random_stuck_at_campaign(c17(), seed=5, max_patterns=1024)
+        b = random_stuck_at_campaign(c17(), seed=5, max_patterns=1024)
+        assert a.last_effective_pattern == b.last_effective_pattern
+        assert a.first_detection == b.first_detection
+
+    def test_stops_early_when_complete(self):
+        res = random_stuck_at_campaign(
+            c17(), seed=1, max_patterns=1 << 20, batch_size=64
+        )
+        assert res.patterns_applied < (1 << 20)
+
+    def test_respects_budget(self):
+        # An undetectable fault keeps the campaign running to the budget.
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.OR(g1, a, name="g2")  # g1 s-a-0 is undetectable
+        b.outputs(g2)
+        c = b.build()
+        faults = [StuckFault("g1", 0)]
+        res = random_stuck_at_campaign(
+            c, faults, seed=0, max_patterns=512, batch_size=128
+        )
+        assert res.patterns_applied == 512
+        assert res.remaining == 1
+        assert res.last_effective_pattern is None
+        assert res.undetected_faults(faults) == faults
+
+    def test_first_detection_indices_are_one_based(self):
+        res = random_stuck_at_campaign(c17(), seed=2, max_patterns=512)
+        assert min(res.first_detection.values()) >= 1
+        assert max(res.first_detection.values()) == res.last_effective_pattern
+
+    def test_same_seed_comparable_across_circuits(self):
+        # Table 6's protocol: same pattern sequence for original and
+        # modified circuit (same PIs) -> same effective-pattern scale.
+        c = random_circuit("r", 8, 4, 40, seed=3)
+        r1 = random_stuck_at_campaign(c, seed=9, max_patterns=1024,
+                                      stop_when_complete=False)
+        r2 = random_stuck_at_campaign(c.copy(), seed=9, max_patterns=1024,
+                                      stop_when_complete=False)
+        assert r1.last_effective_pattern == r2.last_effective_pattern
+
+    def test_coverage_fraction(self):
+        c = c17()
+        faults = fault_universe(c)
+        res = random_stuck_at_campaign(c, faults, seed=1, max_patterns=4)
+        assert 0.0 <= res.coverage <= 1.0

@@ -1,0 +1,75 @@
+"""End-to-end integration tests on the smallest suite circuit.
+
+These exercise the full paper pipeline — irredundant circuit, Procedure 2,
+redundancy removal, testability campaigns — with scaled-down budgets so the
+suite stays fast; the benchmark harness runs the full-scale versions.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import count_paths
+from repro.atpg import is_irredundant, remove_redundancies
+from repro.benchcircuits.suite import suite_circuit
+from repro.faults import random_stuck_at_campaign
+from repro.netlist import two_input_gate_count
+from repro.pdf import random_pdf_campaign
+from repro.resynth import procedure2, procedure3
+from repro.sim import outputs_equal, random_words
+
+
+@pytest.fixture(scope="module")
+def original():
+    return suite_circuit("syn1423")
+
+
+@pytest.fixture(scope="module")
+def modified(original):
+    from repro.experiments import proc2_circuit
+    return proc2_circuit("syn1423", 5)
+
+
+class TestPipeline:
+    def test_original_is_irredundant(self, original):
+        assert is_irredundant(original)
+
+    def test_procedure2_improves_both_metrics(self, original, modified):
+        assert two_input_gate_count(modified) <= two_input_gate_count(original)
+        assert count_paths(modified) < count_paths(original)
+        # the paper's headline: large path reductions
+        assert count_paths(modified) <= 0.7 * count_paths(original)
+
+    def test_equivalence(self, original, modified):
+        rng = random.Random(0)
+        w = random_words(original.inputs, 4096, rng)
+        assert outputs_equal(original, modified, w, 4096)
+
+    def test_redundancy_removal_after_p2_is_minor(self, original, modified):
+        rep = remove_redundancies(modified, random_patterns=1024)
+        before = two_input_gate_count(modified)
+        after = two_input_gate_count(rep.circuit)
+        assert after <= before
+        assert before - after <= max(4, before // 20)  # "minor effect"
+
+    def test_stuck_at_testability_unchanged(self, original, modified):
+        budget = 4096
+        res_o = random_stuck_at_campaign(
+            original, seed=7, max_patterns=budget, stop_when_complete=False)
+        res_m = random_stuck_at_campaign(
+            modified, seed=7, max_patterns=budget, stop_when_complete=False)
+        cov_o = res_o.coverage
+        cov_m = res_m.coverage
+        assert cov_m >= cov_o - 0.03
+
+    def test_pdf_testability_improves(self, original, modified):
+        kwargs = dict(seed=13, max_patterns=3_000, plateau_window=1_500)
+        res_o = random_pdf_campaign(original, **kwargs)
+        res_m = random_pdf_campaign(modified, **kwargs)
+        assert res_m.total_faults < res_o.total_faults
+        assert res_m.coverage > res_o.coverage
+        assert res_m.undetected < res_o.undetected
+
+    def test_procedure3_cuts_paths_at_least_as_much(self, original, modified):
+        p3 = procedure3(original, k=5)
+        assert p3.paths_after <= count_paths(modified)

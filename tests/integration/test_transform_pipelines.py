@@ -1,0 +1,76 @@
+"""Cross-module pipeline properties: every transform composition is safe.
+
+These tie together the netlist transforms, the simulators and the formal
+equivalence checker: any pipeline of function-preserving transforms must
+be provably equivalent to the original, and metric-neutral transforms must
+leave the paper's measures untouched.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import count_paths
+from repro.benchcircuits import random_circuit
+from repro.netlist import (
+    decompose_two_input,
+    formally_equivalent,
+    simplify,
+    structural_hash,
+    two_input_gate_count,
+)
+from repro.sim import outputs_equal, random_words
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=8, deadline=None)
+def test_full_cleanup_pipeline_formally_equivalent(seed):
+    original = random_circuit("r", 7, 3, 35, seed=seed)
+    work = decompose_two_input(original)
+    structural_hash(work)
+    simplify(work)
+    work.validate()
+    assert formally_equivalent(original, work).equivalent
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=10, deadline=None)
+def test_decompose_then_strash_keeps_metrics_bounded(seed):
+    original = random_circuit("r", 8, 4, 45, seed=seed)
+    work = decompose_two_input(original)
+    assert two_input_gate_count(work) == two_input_gate_count(original)
+    assert count_paths(work) == count_paths(original)
+    # strash only merges: both measures can only shrink
+    structural_hash(work)
+    assert two_input_gate_count(work) <= two_input_gate_count(original)
+    assert count_paths(work) <= count_paths(original)
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=8, deadline=None)
+def test_transform_order_does_not_matter_functionally(seed):
+    original = random_circuit("r", 7, 3, 35, seed=seed)
+    a = decompose_two_input(original)
+    simplify(a)
+    structural_hash(a)
+    b = original.copy()
+    structural_hash(b)
+    simplify(b)
+    b = decompose_two_input(b)
+    rng = random.Random(seed)
+    words = random_words(original.inputs, 512, rng)
+    assert outputs_equal(a, b, words, 512)
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=6, deadline=None)
+def test_resynthesis_then_cleanup_still_equivalent(seed):
+    from repro.resynth import procedure2
+
+    original = random_circuit("r", 7, 3, 30, seed=seed)
+    rep = procedure2(original, k=5)
+    work = rep.circuit
+    structural_hash(work)
+    simplify(work)
+    assert formally_equivalent(original, work).equivalent

@@ -1,0 +1,98 @@
+"""Tests for the ISCAS-89 bench reader/writer, including full-scan DFF cuts."""
+
+import random
+
+import pytest
+
+from repro.benchcircuits import c17, random_circuit
+from repro.io import BenchFormatError, read_bench, write_bench
+from repro.netlist import GateType
+from repro.sim import outputs_equal, random_words
+
+
+class TestRead:
+    def test_c17_shape(self):
+        c = c17()
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert len(c.logic_gates()) == 6
+        assert all(g.gtype is GateType.NAND for g in c.logic_gates())
+
+    def test_comments_and_whitespace(self):
+        text = """
+        # header comment
+        INPUT( a )
+        INPUT(b)   # trailing comment
+        OUTPUT(g)
+        g = AND(a, b)
+        """
+        c = read_bench(text)
+        assert c.inputs == ["a", "b"]
+        assert c.gate("g").fanins == ("a", "b")
+
+    def test_one_input_and_becomes_buffer(self):
+        c = read_bench("INPUT(a)\nOUTPUT(g)\ng = AND(a)\n")
+        assert c.gate("g").gtype is GateType.BUF
+
+    def test_unknown_gate_type(self):
+        with pytest.raises(BenchFormatError):
+            read_bench("INPUT(a)\nOUTPUT(g)\ng = FLUX(a)\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(BenchFormatError):
+            read_bench("this is not bench\n")
+
+
+class TestScanConversion:
+    SEQ = """
+    INPUT(clk_in)
+    OUTPUT(q_obs)
+    state = DFF(next)
+    next = AND(clk_in, state)
+    q_obs = NOT(state)
+    """
+
+    def test_dff_cut_full_scan(self):
+        c = read_bench(self.SEQ)
+        assert "state" in c.inputs  # FF output became pseudo-PI
+        assert "next" in c.outputs  # FF input became pseudo-PO
+        assert "q_obs" in c.outputs
+
+    def test_dff_rejected_in_combinational_mode(self):
+        with pytest.raises(BenchFormatError):
+            read_bench(self.SEQ, scan=False)
+
+    def test_dff_with_two_inputs_rejected(self):
+        with pytest.raises(BenchFormatError):
+            read_bench("INPUT(a)\nOUTPUT(z)\nz = DFF(a, a)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuit_roundtrip(self, seed):
+        c = random_circuit("r", 8, 4, 40, seed=seed)
+        text = write_bench(c)
+        c2 = read_bench(text, name="r")
+        assert c2.inputs == c.inputs
+        assert c2.outputs == c.outputs
+        rng = random.Random(1)
+        words = random_words(c.inputs, 128, rng)
+        assert outputs_equal(c, c2, words, 128)
+
+    def test_c17_roundtrip_exact(self):
+        c = c17()
+        c2 = read_bench(write_bench(c), name="c17")
+        assert c.structurally_equal(c2)
+
+    def test_constants_roundtrip(self):
+        from repro.netlist import CircuitBuilder
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        one = b.CONST1()
+        g = b.AND(a, one, name="g")
+        b.outputs(g)
+        c = b.build()
+        c2 = read_bench(write_bench(c))
+        rng = random.Random(2)
+        words = random_words(c.inputs, 16, rng)
+        assert outputs_equal(c, c2, words, 16)

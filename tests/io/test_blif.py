@@ -1,0 +1,76 @@
+"""Tests for the structural BLIF writer/reader."""
+
+import random
+
+import pytest
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.io import BlifFormatError, read_blif, write_blif
+from repro.netlist import CircuitBuilder, GateType
+from repro.sim import outputs_equal, random_words
+
+
+class TestWrite:
+    def test_header_structure(self):
+        text = write_blif(c17())
+        assert text.startswith(".model c17")
+        assert ".inputs 1 2 3 6 7" in text
+        assert ".outputs 22 23" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_nand_cover(self):
+        b = CircuitBuilder("t")
+        a, x = b.inputs("a", "b")
+        g = b.NAND(a, x, name="g")
+        b.outputs(g)
+        text = write_blif(b.build())
+        assert ".names a b g" in text
+        assert "0- 1" in text and "-0 1" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_roundtrip_functional(self, seed):
+        c = random_circuit("r", 7, 3, 35, seed=seed)
+        c2 = read_blif(write_blif(c))
+        assert c2.inputs == c.inputs
+        assert c2.outputs == c.outputs
+        rng = random.Random(3)
+        words = random_words(c.inputs, 128, rng)
+        assert outputs_equal(c, c2, words, 128)
+
+    def test_xor_roundtrip(self):
+        c = full_adder()
+        c2 = read_blif(write_blif(c))
+        assert c2.gate("sum").gtype is GateType.XOR
+        rng = random.Random(4)
+        words = random_words(c.inputs, 8, rng)
+        assert outputs_equal(c, c2, words, 8)
+
+    def test_constants_roundtrip(self):
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        zero = b.CONST0()
+        one = b.CONST1()
+        g = b.OR(a, zero, name="g")
+        h = b.AND(a, one, name="h")
+        b.outputs(g, h)
+        c = b.build()
+        c2 = read_blif(write_blif(c))
+        assert c2.gate(zero).gtype is GateType.CONST0
+        assert c2.gate(one).gtype is GateType.CONST1
+
+
+class TestReadErrors:
+    def test_unsupported_construct(self):
+        with pytest.raises(BlifFormatError):
+            read_blif(".model m\n.latch a b\n.end\n")
+
+    def test_row_outside_names(self):
+        with pytest.raises(BlifFormatError):
+            read_blif(".model m\n11 1\n.end\n")
+
+    def test_unrecognized_cover(self):
+        bad = ".model m\n.inputs a b\n.outputs g\n.names a b g\n10 1\n.end\n"
+        with pytest.raises(BlifFormatError):
+            read_blif(bad)

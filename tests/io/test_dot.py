@@ -1,0 +1,50 @@
+"""Tests for DOT export and text netlist rendering."""
+
+from repro.benchcircuits import c17, full_adder
+from repro.io import format_netlist, save_dot, write_dot
+
+
+class TestWriteDot:
+    def test_valid_structure(self):
+        dot = write_dot(c17())
+        assert dot.startswith('digraph "c17"')
+        assert dot.rstrip().endswith("}")
+        # one node per net, one edge per pin
+        assert dot.count("->") == 12
+        assert '"22" [' in dot
+
+    def test_outputs_double_circled(self):
+        dot = write_dot(c17())
+        line = next(l for l in dot.splitlines() if l.strip().startswith('"22" ['))
+        assert "peripheries=2" in line
+
+    def test_path_highlighting(self):
+        dot = write_dot(c17(), highlight_path=("1", "10", "22"))
+        assert "color=red" in dot
+        assert '"1" -> "10" [color=red' in dot
+
+    def test_net_highlighting(self):
+        dot = write_dot(c17(), highlight_nets={"16"})
+        line = next(l for l in dot.splitlines() if l.strip().startswith('"16" ['))
+        assert "color=red" in line
+
+    def test_save(self, tmp_path):
+        path = str(tmp_path / "c.dot")
+        save_dot(c17(), path)
+        with open(path) as fh:
+            assert fh.read().startswith("digraph")
+
+
+class TestFormatNetlist:
+    def test_contains_all_gates(self):
+        text = format_netlist(c17())
+        for g in c17().logic_gates():
+            assert f"{g.name} = NAND(" in text
+
+    def test_outputs_starred(self):
+        text = format_netlist(c17())
+        assert "22 = NAND(10, 16) *" in text
+
+    def test_header_optional(self):
+        text = format_netlist(full_adder(), include_inputs=False)
+        assert "inputs:" not in text

@@ -1,0 +1,57 @@
+"""Tests for exact JSON netlist round-tripping."""
+
+import pytest
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.io.json_io import (
+    circuit_from_json,
+    circuit_to_json,
+    load_json,
+    save_json,
+)
+from repro.netlist import CircuitBuilder, CircuitError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_random(self, seed):
+        c = random_circuit("r", 8, 4, 40, seed=seed)
+        c2 = circuit_from_json(circuit_to_json(c))
+        assert c.structurally_equal(c2)
+        assert c2.name == c.name
+
+    def test_constants_roundtrip(self):
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        zero = b.CONST0()
+        g = b.OR(a, zero, name="g")
+        b.outputs(g)
+        c = b.build()
+        c2 = circuit_from_json(circuit_to_json(c))
+        assert c.structurally_equal(c2)
+
+    def test_output_order_preserved(self):
+        c = full_adder()
+        c2 = circuit_from_json(circuit_to_json(c))
+        assert c2.outputs == c.outputs
+        assert c2.inputs == c.inputs
+
+    def test_file_roundtrip(self, tmp_path):
+        c = c17()
+        path = str(tmp_path / "c17.json")
+        save_json(c, path)
+        c2 = load_json(path)
+        assert c.structurally_equal(c2)
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(CircuitError):
+            circuit_from_json('{"format": "other"}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(CircuitError):
+            circuit_from_json(
+                '{"format": "repro-netlist", "version": 99, "name": "x",'
+                ' "inputs": [], "outputs": [], "gates": []}'
+            )

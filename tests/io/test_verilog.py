@@ -1,0 +1,77 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.io import write_verilog
+from repro.netlist import CircuitBuilder
+
+
+def parse_instances(text):
+    """Extract (primitive, out, ins) triples from emitted Verilog."""
+    out = []
+    for m in re.finditer(
+        r"^\s*(and|or|nand|nor|xor|xnor|not|buf)\s+\w+\s*\(([^)]*)\);",
+        text, re.M,
+    ):
+        args = [a.strip() for a in m.group(2).split(",")]
+        out.append((m.group(1), args[0], args[1:]))
+    return out
+
+
+class TestWriteVerilog:
+    def test_module_structure(self):
+        text = write_verilog(c17())
+        assert text.startswith("// generated from c17")
+        assert "module c17 (" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_one_instance_per_gate(self):
+        text = write_verilog(c17())
+        instances = parse_instances(text)
+        assert len(instances) == 6
+        assert all(prim == "nand" for prim, _, _ in instances)
+        assert all(len(ins) == 2 for _, _, ins in instances)
+
+    def test_identifier_sanitization(self):
+        text = write_verilog(c17())
+        # bench-style numeric nets must be renamed
+        assert "input n_1," in text or "input n_1" in text
+        assert "// net '1' emitted as n_1" in text
+
+    def test_keyword_collision_renamed(self):
+        b = CircuitBuilder("kw")
+        a, = b.inputs("input")  # a Verilog keyword as a net name
+        g = b.NOT(a, name="wire")
+        b.outputs(g)
+        text = write_verilog(b.build())
+        assert "input n_input;" in text.replace("  ", " ")
+
+    def test_constants_assigned(self):
+        b = CircuitBuilder("k")
+        a, = b.inputs("a")
+        one = b.CONST1()
+        g = b.AND(a, one, name="g")
+        b.outputs(g)
+        text = write_verilog(b.build())
+        assert "= 1'b1;" in text
+
+    def test_pi_as_po_gets_buffer(self):
+        b = CircuitBuilder("pipo")
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g, a)  # a primary input listed as an output
+        text = write_verilog(b.build())
+        assert re.search(r"buf\s+\w+\s*\(po_1_a, a\);", text)
+
+    def test_xor_rich_circuit(self):
+        text = write_verilog(full_adder())
+        prims = {p for p, _, _ in parse_instances(text)}
+        assert "xor" in prims
+
+    def test_every_gate_represented(self):
+        c = random_circuit("r", 8, 4, 40, seed=2)
+        text = write_verilog(c)
+        instances = parse_instances(text)
+        consts = text.count("assign")
+        assert len(instances) + consts == len(c.logic_gates())

@@ -1,0 +1,79 @@
+"""Tests for CircuitBuilder and the equation-based fixture parser."""
+
+import pytest
+
+from repro.netlist import CircuitBuilder, CircuitError, GateType, from_eqns
+
+
+class TestCircuitBuilder:
+    def test_auto_naming_avoids_collisions(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "g1")  # 'g1' would be the first auto name
+        g = b.AND(a, x)
+        assert g != "g1"
+
+    def test_explicit_names(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="myand")
+        assert g == "myand"
+
+    def test_all_gate_helpers(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        nets = [
+            b.AND(a, x), b.OR(a, x), b.NAND(a, x), b.NOR(a, x),
+            b.XOR(a, x), b.XNOR(a, x), b.NOT(a), b.BUF(x),
+            b.CONST0(), b.CONST1(),
+        ]
+        b.outputs(nets[0])
+        c = b.build()
+        types = [c.gate(n).gtype for n in nets]
+        assert types == [
+            GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+            GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+            GateType.CONST0, GateType.CONST1,
+        ]
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.inputs("a")
+        with pytest.raises(CircuitError):
+            b.build()  # no outputs
+
+
+class TestFromEqns:
+    def test_basic_parse(self):
+        c = from_eqns(
+            "t",
+            ["a", "b"],
+            ["g1 = AND(a, b)", "g2 = NOT(g1)"],
+            ["g2"],
+        )
+        assert c.gate("g1").gtype is GateType.AND
+        assert c.gate("g2").fanins == ("g1",)
+
+    def test_aliases(self):
+        c = from_eqns(
+            "t", ["a"],
+            ["g1 = INV(a)", "g2 = BUFF(g1)"],
+            ["g2"],
+        )
+        assert c.gate("g1").gtype is GateType.NOT
+        assert c.gate("g2").gtype is GateType.BUF
+
+    def test_comments_and_blanks_skipped(self):
+        c = from_eqns(
+            "t", ["a", "b"],
+            ["# a comment", "", "g = OR(a, b)"],
+            ["g"],
+        )
+        assert c.gate("g").gtype is GateType.OR
+
+    def test_bad_line_raises(self):
+        with pytest.raises(CircuitError):
+            from_eqns("t", ["a"], ["garbage line"], ["a"])
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CircuitError):
+            from_eqns("t", ["a", "b"], ["g = FROB(a, b)"], ["g"])

@@ -1,0 +1,218 @@
+"""Unit tests for the Circuit container: structure, caching, mutation."""
+
+import pytest
+
+from repro.netlist import Circuit, CircuitBuilder, CircuitError, Gate, GateType
+
+
+def small_circuit():
+    b = CircuitBuilder("small")
+    a, c, d = b.inputs("a", "b", "c")
+    g1 = b.AND(a, c, name="g1")
+    g2 = b.OR(g1, d, name="g2")
+    g3 = b.NOT(g1, name="g3")
+    b.outputs(g2, g3)
+    return b.build()
+
+
+class TestConstruction:
+    def test_inputs_in_order(self):
+        c = small_circuit()
+        assert c.inputs == ["a", "b", "c"]
+
+    def test_outputs_in_order(self):
+        assert small_circuit().outputs == ["g2", "g3"]
+
+    def test_duplicate_net_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_add_gate_rejects_input_type(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.add_gate("x", GateType.INPUT, ())
+
+    def test_len_counts_all_nets(self):
+        assert len(small_circuit()) == 6
+
+    def test_contains(self):
+        c = small_circuit()
+        assert "g1" in c
+        assert "nope" not in c
+
+
+class TestQueries:
+    def test_fanouts_list_reader_per_pin(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.XOR, ("a", "a"))
+        c.set_outputs(["g"])
+        assert c.fanouts("a") == ["g", "g"]
+
+    def test_topological_order_inputs_first(self):
+        c = small_circuit()
+        order = c.topological_order()
+        assert order.index("g1") > order.index("a")
+        assert order.index("g2") > order.index("g1")
+        assert len(order) == len(c)
+
+    def test_cycle_detection(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("x", GateType.AND, ("a", "y"))
+        c.add_gate("y", GateType.OR, ("x", "a"))
+        c.set_outputs(["y"])
+        with pytest.raises(CircuitError):
+            c.topological_order()
+
+    def test_levels(self):
+        c = small_circuit()
+        lv = c.levels()
+        assert lv["a"] == 0
+        assert lv["g1"] == 1
+        assert lv["g2"] == 2
+
+    def test_depth(self):
+        assert small_circuit().depth() == 2
+
+    def test_transitive_fanin(self):
+        c = small_circuit()
+        assert c.transitive_fanin(["g3"]) == {"g3", "g1", "a", "b"}
+
+    def test_transitive_fanout(self):
+        c = small_circuit()
+        assert c.transitive_fanout(["g1"]) == {"g1", "g2", "g3"}
+
+    def test_logic_gates_excludes_sources(self):
+        c = small_circuit()
+        assert {g.name for g in c.logic_gates()} == {"g1", "g2", "g3"}
+
+
+class TestMutation:
+    def test_replace_gate_changes_function(self):
+        c = small_circuit()
+        c.replace_gate(Gate("g1", GateType.OR, ("a", "b")))
+        assert c.gate("g1").gtype is GateType.OR
+
+    def test_replace_missing_net_fails(self):
+        with pytest.raises(CircuitError):
+            small_circuit().replace_gate(Gate("zz", GateType.CONST0))
+
+    def test_remove_gate_requires_no_readers(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.remove_gate("g1")  # feeds g2 and g3
+
+    def test_remove_gate_requires_not_output(self):
+        c = small_circuit()
+        with pytest.raises(CircuitError):
+            c.remove_gate("g3")
+
+    def test_remove_dead_gate(self):
+        c = small_circuit()
+        c.set_outputs(["g2"])
+        c.remove_gate("g3")
+        assert "g3" not in c
+
+    def test_rewire_fanin(self):
+        c = small_circuit()
+        c.rewire_fanin("g2", "c", "a")
+        assert c.gate("g2").fanins == ("g1", "a")
+
+    def test_substitute_net_redirects_readers_and_outputs(self):
+        c = small_circuit()
+        c.substitute_net("g1", "a")
+        assert c.gate("g2").fanins == ("a", "c")
+        assert c.gate("g3").fanins == ("a",)
+
+    def test_substitute_net_preserves_output_names(self):
+        c = small_circuit()
+        c.substitute_net("g2", "g1")
+        # g2 is a primary output: its name survives as a buffer of g1.
+        assert c.outputs == ["g2", "g3"]
+        assert c.gate("g2").gtype is GateType.BUF
+        assert c.gate("g2").fanins == ("g1",)
+
+    def test_substitute_input_output_net_keeps_input(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", GateType.AND, ("a", "b"))
+        c.set_outputs(["a", "g"])
+        c.substitute_net("a", "b")
+        # readers redirected, but the PI-as-PO slot still reads the input
+        assert c.gate("g").fanins == ("b", "b")
+        assert c.outputs == ["a", "g"]
+
+    def test_sweep_removes_unreachable_logic(self):
+        c = small_circuit()
+        c.set_outputs(["g3"])
+        removed = c.sweep()
+        assert removed == 1
+        assert "g2" not in c
+
+    def test_sweep_keeps_primary_inputs(self):
+        c = small_circuit()
+        c.set_outputs(["g3"])  # g3 depends only on a, b
+        c.sweep()
+        assert c.inputs == ["a", "b", "c"]
+
+    def test_fresh_net_avoids_collisions(self):
+        c = small_circuit()
+        n = c.fresh_net("g")
+        assert n not in c
+
+    def test_caches_invalidate_on_mutation(self):
+        c = small_circuit()
+        before = c.topological_order()
+        c.add_gate("g4", GateType.AND, ("g2", "g3"))
+        c.add_output("g4")
+        after = c.topological_order()
+        assert "g4" in after and "g4" not in before
+
+
+class TestValidation:
+    def test_valid_circuit_passes(self):
+        small_circuit().validate()
+
+    def test_undriven_fanin_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("g", GateType.AND, ("a", "ghost"))
+        c.set_outputs(["g"])
+        with pytest.raises(CircuitError):
+            c.validate()
+
+    def test_undriven_output_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.set_outputs(["ghost"])
+        with pytest.raises(CircuitError):
+            c.validate()
+
+    def test_no_outputs_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.validate()
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        c = small_circuit()
+        d = c.copy()
+        d.replace_gate(Gate("g1", GateType.OR, ("a", "b")))
+        assert c.gate("g1").gtype is GateType.AND
+
+    def test_copy_preserves_everything(self):
+        c = small_circuit()
+        d = c.copy()
+        assert c.structurally_equal(d)
+
+    def test_structurally_equal_detects_difference(self):
+        c = small_circuit()
+        d = c.copy()
+        d.replace_gate(Gate("g1", GateType.NAND, ("a", "b")))
+        assert not c.structurally_equal(d)

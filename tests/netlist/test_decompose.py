@@ -1,0 +1,73 @@
+"""Tests for 2-input decomposition: function-, size- and path-neutral."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import count_paths
+from repro.benchcircuits import paper_f2_sop, random_circuit
+from repro.netlist import (
+    CircuitBuilder,
+    GateType,
+    decompose_two_input,
+    two_input_gate_count,
+)
+from repro.sim import outputs_equal, random_words
+
+
+class TestDecomposeTwoInput:
+    def test_all_gates_narrow(self):
+        d = decompose_two_input(paper_f2_sop())
+        for g in d.logic_gates():
+            assert len(g.fanins) <= 2
+
+    def test_interface_preserved(self):
+        c = paper_f2_sop()
+        d = decompose_two_input(c)
+        assert d.inputs == c.inputs
+        assert d.outputs == c.outputs
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_function_preserved(self, seed):
+        c = random_circuit("r", 7, 3, 35, seed=seed)
+        d = decompose_two_input(c)
+        rng = random.Random(seed)
+        w = random_words(c.inputs, 256, rng)
+        assert outputs_equal(c, d, w, 256)
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_metrics_invariant(self, seed):
+        c = random_circuit("r", 7, 3, 35, seed=seed)
+        d = decompose_two_input(c)
+        assert two_input_gate_count(d) == two_input_gate_count(c)
+        assert count_paths(d) == count_paths(c)
+
+    def test_inverting_wide_gates(self):
+        b = CircuitBuilder()
+        ins = b.inputs("a", "b", "c", "d", "e")
+        g1 = b.NAND(*ins, name="g1")
+        g2 = b.NOR(*ins, name="g2")
+        g3 = b.XNOR(*ins, name="g3")
+        b.outputs(g1, g2, g3)
+        c = b.build()
+        d = decompose_two_input(c)
+        rng = random.Random(0)
+        w = random_words(c.inputs, 64, rng)
+        assert outputs_equal(c, d, w, 64)
+
+    def test_already_narrow_is_copied(self):
+        from repro.benchcircuits import c17
+        c = c17()
+        d = decompose_two_input(c)
+        assert d.structurally_equal(c)
+
+    def test_balanced_depth(self):
+        # 8-input AND decomposes to depth 3, not a depth-7 chain.
+        b = CircuitBuilder()
+        ins = b.inputs(*[f"i{j}" for j in range(8)])
+        g = b.AND(*ins, name="g")
+        b.outputs(g)
+        d = decompose_two_input(b.build())
+        assert d.depth() == 3

@@ -1,0 +1,76 @@
+"""Tests for the equivalent-2-input-gate size measure and circuit stats."""
+
+from repro.netlist import (
+    CircuitBuilder,
+    Gate,
+    GateType,
+    circuit_stats,
+    gate_two_input_equivalents,
+    literal_count,
+    two_input_gate_count,
+)
+
+
+class TestGateEquivalents:
+    def test_two_input_gate_counts_one(self):
+        assert gate_two_input_equivalents(Gate("g", GateType.AND, ("a", "b"))) == 1
+
+    def test_k_input_gate_counts_k_minus_1(self):
+        g = Gate("g", GateType.OR, ("a", "b", "c", "d", "e"))
+        assert gate_two_input_equivalents(g) == 4
+
+    def test_inverter_free_by_default(self):
+        g = Gate("g", GateType.NOT, ("a",))
+        assert gate_two_input_equivalents(g) == 0
+        assert gate_two_input_equivalents(g, count_inverters=True) == 1
+
+    def test_buffer_always_free(self):
+        g = Gate("g", GateType.BUF, ("a",))
+        assert gate_two_input_equivalents(g, count_inverters=True) == 0
+
+    def test_sources_free(self):
+        assert gate_two_input_equivalents(Gate("i", GateType.INPUT)) == 0
+        assert gate_two_input_equivalents(Gate("c", GateType.CONST1)) == 0
+
+
+class TestCircuitCounts:
+    def _circuit(self):
+        b = CircuitBuilder("m")
+        a, x, y = b.inputs("a", "b", "c")
+        g1 = b.AND(a, x, y)       # 2 equivalents, 3 literals
+        g2 = b.NOT(g1)            # 0 equivalents, 1 literal
+        g3 = b.OR(g2, a, name="o")  # 1 equivalent, 2 literals
+        b.outputs(g3)
+        return b.build()
+
+    def test_two_input_gate_count(self):
+        assert two_input_gate_count(self._circuit()) == 3
+
+    def test_decomposition_invariance(self):
+        # AND(a,b,c) versus AND(AND(a,b),c) must count the same.
+        b = CircuitBuilder("wide")
+        a, x, y = b.inputs("a", "b", "c")
+        g = b.AND(a, x, y, name="o")
+        b.outputs(g)
+        wide = b.build()
+
+        b2 = CircuitBuilder("narrow")
+        a, x, y = b2.inputs("a", "b", "c")
+        h = b2.AND(a, x)
+        g = b2.AND(h, y, name="o")
+        b2.outputs(g)
+        narrow = b2.build()
+
+        assert two_input_gate_count(wide) == two_input_gate_count(narrow) == 2
+
+    def test_literal_count(self):
+        assert literal_count(self._circuit()) == 6
+
+    def test_circuit_stats_row(self):
+        s = circuit_stats(self._circuit())
+        assert s.n_inputs == 3
+        assert s.n_outputs == 1
+        assert s.n_gates == 3
+        assert s.two_input_gates == 3
+        assert s.depth == 3
+        assert s.row()["2-inp"] == 3

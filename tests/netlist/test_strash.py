@@ -1,0 +1,76 @@
+"""Tests for structural hashing."""
+
+import random
+
+from repro.benchcircuits import random_circuit
+from repro.netlist import (
+    CircuitBuilder,
+    GateType,
+    structural_hash,
+)
+from repro.sim import outputs_equal, random_words
+
+
+class TestStructuralHash:
+    def test_merges_duplicates(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x)
+        g2 = b.AND(x, a)  # commutative duplicate
+        out = b.OR(g1, g2, name="out")
+        b.outputs(out)
+        c = b.build()
+        merged = structural_hash(c)
+        assert merged == 1
+        # the OR now reads one net twice; duplicate fanin remains until
+        # simplify() dedupes it
+        assert len(c.logic_gates()) == 2
+
+    def test_cascading_merges(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x)
+        g2 = b.AND(a, x)
+        h1 = b.NOT(g1)
+        h2 = b.NOT(g2)  # becomes duplicate only after g-merge
+        out = b.OR(h1, h2, name="out")
+        b.outputs(out)
+        c = b.build()
+        merged = structural_hash(c)
+        assert merged == 2
+
+    def test_noncommutative_unary(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        n1 = b.NOT(a)
+        n2 = b.NOT(a)
+        out = b.XOR(n1, n2, name="out")
+        b.outputs(out)
+        c = b.build()
+        assert structural_hash(c) == 1
+
+    def test_function_preserved(self):
+        for seed in range(4):
+            c = random_circuit("r", 8, 4, 50, seed=seed)
+            ref = c.copy()
+            structural_hash(c)
+            c.validate()
+            rng = random.Random(seed)
+            w = random_words(c.inputs, 512, rng)
+            assert outputs_equal(ref, c, w, 512)
+
+    def test_interface_preserved(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="o1")
+        g2 = b.AND(a, x, name="o2")
+        b.outputs(g1, g2)
+        c = b.build()
+        structural_hash(c)
+        assert c.outputs == ["o1", "o2"]
+        assert c.gate("o2").gtype is GateType.BUF
+
+    def test_fixpoint(self):
+        c = random_circuit("r", 8, 4, 50, seed=9)
+        structural_hash(c)
+        assert structural_hash(c) == 0

@@ -1,0 +1,218 @@
+"""Tests for constant propagation, buffer collapsing and simplify.
+
+The key invariant — simplify never changes the circuit function — is also
+checked property-style over random circuits.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import random_circuit
+from repro.netlist import (
+    Circuit,
+    CircuitBuilder,
+    Gate,
+    GateType,
+    propagate_constants,
+    collapse_buffers,
+    simplify,
+    substitute_with_constant,
+)
+from repro.sim import random_words, simulate
+
+
+def _function_fingerprint(circuit, seed=7, n_patterns=256):
+    rng = random.Random(seed)
+    words = random_words(circuit.inputs, n_patterns, rng)
+    vals = simulate(circuit, words, n_patterns)
+    return tuple(vals[o] for o in circuit.outputs)
+
+
+class TestConstantFolding:
+    def test_and_with_const0_folds_to_const0(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        z = b.CONST0()
+        g = b.AND(a, z, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.CONST0
+
+    def test_and_with_const1_drops_it(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        one = b.CONST1()
+        g = b.AND(a, x, one, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.AND
+        assert c.gate("g").fanins == ("a", "b")
+
+    def test_and_degenerates_to_buf(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        one = b.CONST1()
+        g = b.AND(a, one, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.BUF
+
+    def test_nand_with_const0_is_const1(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        z = b.CONST0()
+        g = b.NAND(a, z, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.CONST1
+
+    def test_nor_degenerates_to_not(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        z = b.CONST0()
+        g = b.NOR(a, z, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.NOT
+
+    def test_xor_const1_flips_polarity(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        one = b.CONST1()
+        g = b.XOR(a, x, one, name="g")
+        b.outputs(g)
+        c = b.build()
+        propagate_constants(c)
+        assert c.gate("g").gtype is GateType.XNOR
+        assert c.gate("g").fanins == ("a", "b")
+
+    def test_xor_duplicate_fanins_cancel(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        c0 = Circuit("t")
+        c0.add_input("a")
+        c0.add_input("b")
+        c0.add_gate("g", GateType.XOR, ("a", "a", "b"))
+        c0.set_outputs(["g"])
+        propagate_constants(c0)
+        assert c0.gate("g").gtype is GateType.BUF
+        assert c0.gate("g").fanins == ("b",)
+
+    def test_and_duplicate_fanins_dedupe(self):
+        c0 = Circuit("t")
+        c0.add_input("a")
+        c0.add_input("b")
+        c0.add_gate("g", GateType.AND, ("a", "a", "b"))
+        c0.set_outputs(["g"])
+        propagate_constants(c0)
+        assert c0.gate("g").fanins == ("a", "b")
+
+    def test_not_of_constant(self):
+        c0 = Circuit("t")
+        c0.add_input("a")
+        c0.add_gate("z", GateType.CONST0, ())
+        c0.add_gate("g", GateType.NOT, ("z",))
+        c0.set_outputs(["g"])
+        propagate_constants(c0)
+        assert c0.gate("g").gtype is GateType.CONST1
+
+    def test_double_negation_becomes_buffer(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        n1 = b.NOT(a)
+        n2 = b.NOT(n1, name="g")
+        b.outputs(n2)
+        c = b.build()
+        simplify(c)
+        # after simplify, the output is a buffer of a (kept: PO of a PI)
+        assert c.gate("g").gtype is GateType.BUF
+        assert c.gate("g").fanins == ("a",)
+
+
+class TestCollapseBuffers:
+    def test_internal_buffer_bypassed(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        buf = b.BUF(a)
+        g = b.AND(buf, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        collapse_buffers(c)
+        assert c.gate("g").fanins == ("a", "b")
+
+    def test_po_buffer_of_pi_kept(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        buf = b.BUF(a, name="out")
+        b.outputs(buf)
+        c = b.build()
+        collapse_buffers(c)
+        assert c.gate("out").gtype is GateType.BUF
+
+
+class TestSubstituteWithConstant:
+    def test_internal_net_fixed(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.OR(g1, x, name="g2")
+        b.outputs(g2)
+        c = b.build()
+        substitute_with_constant(c, "g1", 0)
+        # g2 = OR(0, b) = b
+        assert c.gate("g2").gtype is GateType.BUF
+        assert c.gate("g2").fanins == ("b",)
+
+    def test_primary_input_fixed_keeps_interface(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        substitute_with_constant(c, "a", 1)
+        assert "a" in c.inputs  # interface preserved
+        assert c.gate("g").gtype is GateType.BUF
+        assert c.gate("g").fanins == ("b",)
+
+
+class TestSimplifyPreservesFunction:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_with_injected_constants(self, seed):
+        c = random_circuit("r", 8, 4, 40, seed=seed)
+        rng = random.Random(seed + 100)
+        # Inject a few constants to exercise folding.
+        nets = [g.name for g in c.logic_gates()]
+        mutated = c.copy()
+        for net in rng.sample(nets, min(3, len(nets))):
+            gate = mutated.gate(net)
+            if gate.gtype in (GateType.AND, GateType.OR) and len(gate.fanins) > 2:
+                const = mutated.fresh_net("k")
+                mutated.add_gate(const, GateType.CONST1, ())
+                mutated.replace_gate(
+                    gate.with_fanins(gate.fanins[:-1] + (const,))
+                )
+        reference = _function_fingerprint(mutated)
+        simplify(mutated)
+        mutated.validate()
+        assert _function_fingerprint(mutated) == reference
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_simplify_is_identity_on_function(self, seed):
+        c = random_circuit("r", 6, 3, 25, seed=seed)
+        before = _function_fingerprint(c)
+        simplify(c)
+        c.validate()
+        assert _function_fingerprint(c) == before
+
+    def test_simplify_reaches_fixpoint(self):
+        c = random_circuit("r", 8, 4, 40, seed=11)
+        simplify(c)
+        assert simplify(c) == 0

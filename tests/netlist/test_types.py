@@ -1,0 +1,86 @@
+"""Unit tests for the gate-type alphabet and scalar gate evaluation."""
+
+import pytest
+
+from repro.netlist import Gate, GateType, arity_ok, eval_gate
+
+
+class TestArity:
+    def test_sources_take_no_fanins(self):
+        for g in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            assert arity_ok(g, 0)
+            assert not arity_ok(g, 1)
+
+    def test_unary_take_exactly_one(self):
+        for g in (GateType.NOT, GateType.BUF):
+            assert arity_ok(g, 1)
+            assert not arity_ok(g, 0)
+            assert not arity_ok(g, 2)
+
+    def test_multi_input_need_two_or_more(self):
+        for g in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                  GateType.XOR, GateType.XNOR):
+            assert not arity_ok(g, 1)
+            assert arity_ok(g, 2)
+            assert arity_ok(g, 5)
+
+    def test_gate_constructor_enforces_arity(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.AND, ("a",))
+        with pytest.raises(ValueError):
+            Gate("g", GateType.NOT, ("a", "b"))
+        Gate("g", GateType.AND, ("a", "b"))  # ok
+
+    def test_gate_fanins_coerced_to_tuple(self):
+        g = Gate("g", GateType.AND, ["a", "b"])
+        assert g.fanins == ("a", "b")
+
+
+class TestEvalGate:
+    @pytest.mark.parametrize("vals,expected", [
+        ((0, 0), 0), ((0, 1), 0), ((1, 0), 0), ((1, 1), 1)])
+    def test_and(self, vals, expected):
+        assert eval_gate(GateType.AND, vals) == expected
+        assert eval_gate(GateType.NAND, vals) == 1 - expected
+
+    @pytest.mark.parametrize("vals,expected", [
+        ((0, 0), 0), ((0, 1), 1), ((1, 0), 1), ((1, 1), 1)])
+    def test_or(self, vals, expected):
+        assert eval_gate(GateType.OR, vals) == expected
+        assert eval_gate(GateType.NOR, vals) == 1 - expected
+
+    @pytest.mark.parametrize("vals,expected", [
+        ((0, 0), 0), ((0, 1), 1), ((1, 0), 1), ((1, 1), 0)])
+    def test_xor(self, vals, expected):
+        assert eval_gate(GateType.XOR, vals) == expected
+        assert eval_gate(GateType.XNOR, vals) == 1 - expected
+
+    def test_wide_gates(self):
+        assert eval_gate(GateType.AND, (1, 1, 1, 1)) == 1
+        assert eval_gate(GateType.AND, (1, 1, 0, 1)) == 0
+        assert eval_gate(GateType.XOR, (1, 1, 1)) == 1
+        assert eval_gate(GateType.XOR, (1, 1, 1, 1)) == 0
+
+    def test_unary_and_constants(self):
+        assert eval_gate(GateType.NOT, (0,)) == 1
+        assert eval_gate(GateType.NOT, (1,)) == 0
+        assert eval_gate(GateType.BUF, (1,)) == 1
+        assert eval_gate(GateType.CONST0, ()) == 0
+        assert eval_gate(GateType.CONST1, ()) == 1
+
+    def test_inputs_have_no_rule(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.INPUT, ())
+
+
+class TestGateHelpers:
+    def test_with_fanins_and_with_type(self):
+        g = Gate("g", GateType.AND, ("a", "b"))
+        assert g.with_fanins(("c", "d")).fanins == ("c", "d")
+        assert g.with_type(GateType.NAND).gtype is GateType.NAND
+        assert g.with_type(GateType.NAND).name == "g"
+
+    def test_is_source(self):
+        assert Gate("i", GateType.INPUT).is_source
+        assert Gate("c", GateType.CONST1).is_source
+        assert not Gate("g", GateType.AND, ("a", "b")).is_source

@@ -1,0 +1,111 @@
+"""Tests for deterministic robust PDF test generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import enumerate_paths
+from repro.benchcircuits import c17, random_circuit
+from repro.comparison import ComparisonSpec, build_unit
+from repro.netlist import CircuitBuilder
+from repro.pdf import (
+    PdfAtpgStatus,
+    RobustCriterion,
+    generate_robust_tests,
+    is_robust_test_for,
+    random_pdf_campaign,
+    robust_pdf_test,
+    simulate_pair,
+)
+
+from ..comparison.test_spec import spec_strategy
+
+
+class TestOnComparisonUnits:
+    """Units are fully robustly testable; the generator must find every test."""
+
+    @given(spec_strategy(max_n=5))
+    @settings(max_examples=25, deadline=None)
+    def test_all_unit_faults_testable(self, spec):
+        unit = build_unit(spec)
+        for path in enumerate_paths(unit):
+            for rising in (True, False):
+                res = robust_pdf_test(unit, path, rising,
+                                      RobustCriterion.STRICT)
+                assert res.found, (spec.describe(), path, rising)
+                pw = simulate_pair(unit, res.v1, res.v2)
+                assert is_robust_test_for(
+                    unit, pw, tuple(path), rising, RobustCriterion.STRICT
+                )
+
+
+class TestVerdicts:
+    def test_generated_tests_verify(self):
+        c = c17()
+        for path in enumerate_paths(c):
+            for rising in (True, False):
+                res = robust_pdf_test(c, path, rising)
+                if res.found:
+                    pw = simulate_pair(c, res.v1, res.v2)
+                    assert is_robust_test_for(c, pw, tuple(path), rising)
+
+    def test_constant_circuit_untestable(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        n = b.NOT(a)
+        g = b.OR(a, n, name="g")
+        b.outputs(g)
+        c = b.build()
+        for path in enumerate_paths(c):
+            res = robust_pdf_test(c, path, True)
+            assert res.status is PdfAtpgStatus.UNTESTABLE
+
+    def test_multi_pin_path_untestable(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.XOR(a, a, name="g")
+        b.outputs(g)
+        c = b.build()
+        res = robust_pdf_test(c, ("a", "g"), True)
+        assert res.status is PdfAtpgStatus.UNTESTABLE
+
+    def test_bad_path_rejected(self):
+        c = c17()
+        with pytest.raises(ValueError):
+            robust_pdf_test(c, ("10", "22"), True)  # starts mid-circuit
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=8, deadline=None)
+    def test_untestable_verdicts_agree_with_random_campaign(self, seed):
+        """Faults detected by random tests must never be called untestable."""
+        c = random_circuit("r", 5, 3, 16, seed=seed)
+        detected = set()
+        random_pdf_campaign(c, seed=seed, max_patterns=2_000,
+                            plateau_window=800, detected_out=detected)
+        rng = random.Random(seed)
+        sample = list(detected)
+        rng.shuffle(sample)
+        for path, rising in sample[:5]:
+            res = robust_pdf_test(c, path, rising, max_backtracks=50_000)
+            assert res.status is not PdfAtpgStatus.UNTESTABLE, (path, rising)
+
+
+class TestDriver:
+    def test_generate_report_counts(self):
+        c = c17()
+        faults = [(tuple(p), r) for p in enumerate_paths(c)
+                  for r in (True, False)]
+        report = generate_robust_tests(c, faults)
+        assert report.total == len(faults)
+        assert report.testable == len(report.tests)
+        for path, rising, v1, v2 in report.tests:
+            pw = simulate_pair(c, v1, v2)
+            assert is_robust_test_for(c, pw, path, rising)
+
+    def test_abort_budget(self):
+        c = random_circuit("r", 12, 4, 60, seed=3)
+        paths = enumerate_paths(c, limit=3)
+        res = robust_pdf_test(c, paths[0], True, max_backtracks=0)
+        assert res.status in (PdfAtpgStatus.ABORTED, PdfAtpgStatus.TESTABLE,
+                              PdfAtpgStatus.UNTESTABLE)

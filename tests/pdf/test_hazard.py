@@ -1,0 +1,134 @@
+"""Tests for the hazard-aware two-pattern simulator."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import random_circuit
+from repro.netlist import CircuitBuilder
+from repro.pdf import simulate_pair, simulate_pairs
+from repro.sim import random_words, simulate
+
+
+def _two_and():
+    b = CircuitBuilder()
+    a, x = b.inputs("a", "b")
+    g = b.AND(a, x, name="g")
+    b.outputs(g)
+    return b.build()
+
+
+class TestSettledValues:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_v1_v2_match_plain_simulation(self, seed, pat_seed):
+        c = random_circuit("r", 6, 3, 30, seed=seed)
+        rng = random.Random(pat_seed)
+        n = 32
+        w1 = random_words(c.inputs, n, rng)
+        w2 = random_words(c.inputs, n, rng)
+        pw = simulate_pairs(c, w1, w2, n)
+        ref1 = simulate(c, w1, n)
+        ref2 = simulate(c, w2, n)
+        for net in c.nets():
+            assert pw.v1[net] == ref1[net]
+            assert pw.v2[net] == ref2[net]
+
+
+class TestHazardRules:
+    def test_stable_inputs_are_hazard_free(self):
+        c = _two_and()
+        pw = simulate_pair(c, {"a": 1, "b": 0}, {"a": 1, "b": 0})
+        assert pw.g["g"] == 1
+
+    def test_single_transition_is_hazard_free(self):
+        c = _two_and()
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 1})
+        assert pw.g["g"] == 1
+        assert pw.rising("g") == 1
+
+    def test_opposite_transitions_hazard(self):
+        # a rises while b falls: AND output may pulse -> hazardous.
+        c = _two_and()
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 0})
+        assert pw.g["g"] == 0
+
+    def test_stable_controlling_side_dominates_hazard(self):
+        # b stays 0 (controlling for AND): output stable 0 and hazard-free
+        # even though a has a transition arriving.
+        b = CircuitBuilder()
+        a, x, y = b.inputs("a", "b", "c")
+        inner = b.AND(a, x, name="inner")
+        outer = b.AND(inner, y, name="outer")
+        b.outputs(outer)
+        c = b.build()
+        # inner hazardous: a rises, b falls
+        pw = simulate_pair(c, {"a": 0, "b": 1, "c": 0}, {"a": 1, "b": 0, "c": 0})
+        assert pw.g["inner"] == 0
+        assert pw.g["outer"] == 1  # c=0 steady dominates
+
+    def test_hazard_propagates_without_domination(self):
+        b = CircuitBuilder()
+        a, x, y = b.inputs("a", "b", "c")
+        inner = b.AND(a, x, name="inner")
+        outer = b.AND(inner, y, name="outer")
+        b.outputs(outer)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0, "b": 1, "c": 1}, {"a": 1, "b": 0, "c": 1})
+        assert pw.g["outer"] == 0
+
+    def test_or_gate_stable_one_dominates(self):
+        b = CircuitBuilder()
+        a, x, y = b.inputs("a", "b", "c")
+        inner = b.XOR(a, x, name="inner")
+        outer = b.OR(inner, y, name="outer")
+        b.outputs(outer)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0, "b": 1, "c": 1}, {"a": 1, "b": 0, "c": 1})
+        assert pw.g["inner"] == 0   # two XOR transitions
+        assert pw.g["outer"] == 1   # c steady 1 dominates OR
+
+    def test_xor_single_transition_clean(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.XOR(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 1})
+        assert pw.g["g"] == 1
+        assert pw.transition("g") == 1
+
+    def test_xor_two_transitions_hazard(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.XOR(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0, "b": 0}, {"a": 1, "b": 1})
+        assert pw.g["g"] == 0
+
+    def test_inverter_preserves_hazard_state(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        n = b.NOT(g, name="n")
+        b.outputs(n)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 0})
+        assert pw.g["n"] == pw.g["g"] == 0
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 1})
+        assert pw.g["n"] == 1
+        assert pw.transition("n") == 1
+        assert pw.rising("n") == 0  # inverted: falling
+
+
+class TestHelpers:
+    def test_transition_rising_stable_at(self):
+        c = _two_and()
+        pw = simulate_pairs(c, {"a": 0b01, "b": 0b11},
+                            {"a": 0b11, "b": 0b01}, 2)
+        # pair 0: a 1->1, b 1->1 ; pair 1: a 0->1, b 1->0
+        assert pw.transition("a") == 0b10
+        assert pw.rising("a") == 0b10
+        assert pw.stable_at("b", 1) == 0b01
+        assert pw.stable_at("a", 1) == 0b01

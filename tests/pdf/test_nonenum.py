@@ -1,0 +1,72 @@
+"""Tests for non-enumerative robust sensitization counting.
+
+The central property: the DP label count equals the size of the explicit
+enumeration, for both criteria, on random circuits and random tests.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, random_circuit
+from repro.comparison import ComparisonSpec, build_unit, robust_tests_for_unit
+from repro.pdf import (
+    RobustCriterion,
+    count_robust_sensitized,
+    robust_sensitization_labels,
+    robustly_sensitized_paths,
+    simulate_pair,
+)
+import pytest
+
+
+class TestAgainstEnumeration:
+    @given(st.integers(0, 4000), st.integers(0, 4000))
+    @settings(max_examples=25, deadline=None)
+    def test_count_matches_enumeration(self, seed, pat_seed):
+        c = random_circuit("r", 6, 3, 25, seed=seed)
+        rng = random.Random(pat_seed)
+        v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        pw = simulate_pair(c, v1, v2)
+        for criterion in RobustCriterion:
+            enumerated = robustly_sensitized_paths(c, pw, criterion)
+            assert count_robust_sensitized(c, pw, criterion) == len(
+                enumerated
+            ), criterion
+
+    def test_unit_test_sensitizes_exactly_one_path(self):
+        spec = ComparisonSpec(("x1", "x2", "x3", "x4"), 11, 12)
+        unit = build_unit(spec)
+        for t in robust_tests_for_unit(spec):
+            pw = simulate_pair(unit, t.v1, t.v2)
+            assert count_robust_sensitized(
+                unit, pw, RobustCriterion.STRICT
+            ) == 1, (t.input_name, t.block)
+
+
+class TestLabels:
+    def test_pi_labels(self):
+        c = c17()
+        v1 = {pi: 0 for pi in c.inputs}
+        v2 = dict(v1, **{"1": 1})
+        pw = simulate_pair(c, v1, v2)
+        labels = robust_sensitization_labels(c, pw)
+        assert labels["1"] == 1
+        assert all(labels[pi] == 0 for pi in c.inputs if pi != "1")
+
+    def test_no_transition_all_zero(self):
+        c = c17()
+        v = {pi: 1 for pi in c.inputs}
+        pw = simulate_pair(c, v, v)
+        labels = robust_sensitization_labels(c, pw)
+        assert all(v == 0 for v in labels.values())
+
+    def test_requires_single_pair(self):
+        from repro.pdf import simulate_pairs
+        c = c17()
+        pw = simulate_pairs(c, {}, {}, 2)
+        with pytest.raises(ValueError):
+            robust_sensitization_labels(c, pw)
+        with pytest.raises(ValueError):
+            count_robust_sensitized(c, pw)

@@ -1,0 +1,226 @@
+"""Tests for robust PDF sensitization enumeration.
+
+Includes an independent scalar reference implementation of the robust
+criteria (checked path-by-path) against which the mask-based DFS is
+validated on random circuits and random test pairs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import enumerate_paths
+from repro.benchcircuits import c17, random_circuit
+from repro.netlist import CircuitBuilder, GateType
+from repro.pdf import (
+    RobustCriterion,
+    is_robust_test_for,
+    robust_faults_detected,
+    robustly_sensitized_paths,
+    simulate_pair,
+    simulate_pairs,
+)
+from repro.sim import random_words
+
+
+def reference_robust_check(circuit, pw, path, criterion):
+    """Independent scalar implementation of the robust criteria.
+
+    Checks a single path under a single test pair, reading the (v1, v2, g)
+    values from the simulated PairWords (n_pairs must be 1).
+    """
+    assert pw.n_pairs == 1
+    # every on-path net: settled transition (hazard-free only under STRICT)
+    for net in path:
+        if pw.transition(net) != 1:
+            return False
+        if criterion is RobustCriterion.STRICT and pw.g[net] != 1:
+            return False
+    # per-gate side conditions
+    for prev, cur in zip(path, path[1:]):
+        gate = circuit.gate(cur)
+        gt = gate.gtype
+        if gt in (GateType.BUF, GateType.NOT):
+            continue
+        if gt in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+            nc = 1 if gt in (GateType.AND, GateType.NAND) else 0
+            ends_at_nc = pw.v2[prev] == nc
+            for i, f in enumerate(gate.fanins):
+                if f == prev:
+                    continue  # all pins with this net are on-path candidates
+                if ends_at_nc or criterion is RobustCriterion.STRICT:
+                    if not (pw.v1[f] == nc and pw.v2[f] == nc and pw.g[f]):
+                        return False
+                else:
+                    if pw.v2[f] != nc:
+                        return False
+            # a multi-pin connection of the on-path net: other pins would
+            # need to be steady while the net transitions -> impossible
+            if gate.fanins.count(prev) > 1:
+                return False
+        elif gt in (GateType.XOR, GateType.XNOR):
+            for f in gate.fanins:
+                if f == prev:
+                    continue
+                if pw.transition(f) or not pw.g[f]:
+                    return False
+            if gate.fanins.count(prev) > 1:
+                return False
+        else:  # pragma: no cover
+            raise AssertionError(gt)
+    return True
+
+
+class TestSmallCases:
+    def test_and_rising_needs_steady_side(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        path = ("a", "g")
+        # side b steady 1: robust for rising launch on a
+        pw = simulate_pair(c, {"a": 0, "b": 1}, {"a": 1, "b": 1})
+        assert is_robust_test_for(c, pw, path, rising=True)
+        # side b rising with a rising: not robust (side not steady)
+        pw = simulate_pair(c, {"a": 0, "b": 0}, {"a": 1, "b": 1})
+        assert not is_robust_test_for(c, pw, path, rising=True)
+
+    def test_and_falling_allows_side_final_nc(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        path = ("a", "g")
+        # a falls; b rises to 1 (final non-controlling): STANDARD accepts...
+        pw = simulate_pair(c, {"a": 1, "b": 0}, {"a": 0, "b": 1})
+        # ...but the output has no settled transition (0 -> 0), so even
+        # STANDARD rejects: the transition must reach the output.
+        assert not is_robust_test_for(c, pw, path, rising=False)
+        # b steady 1: robust under both criteria
+        pw = simulate_pair(c, {"a": 1, "b": 1}, {"a": 0, "b": 1})
+        assert is_robust_test_for(c, pw, path, rising=False)
+        assert is_robust_test_for(c, pw, path, rising=False,
+                                  criterion=RobustCriterion.STRICT)
+
+    def test_standard_vs_strict_difference(self):
+        # Three-input AND: on-path a falls; side b steady 1; side c has a
+        # hazardous final-1 value (from an OR of opposing transitions).
+        b = CircuitBuilder()
+        a, x, p, q = b.inputs("a", "b", "p", "q")
+        side = b.OR(p, q, name="side")
+        g = b.AND(a, x, side, name="g")
+        b.outputs(g)
+        c = b.build()
+        path = ("a", "g")
+        pw = simulate_pair(c, {"a": 1, "b": 1, "p": 0, "q": 1},
+                           {"a": 0, "b": 1, "p": 1, "q": 0})
+        assert pw.g["side"] == 0 and pw.v2["side"] == 1
+        assert is_robust_test_for(c, pw, path, rising=False,
+                                  criterion=RobustCriterion.STANDARD)
+        assert not is_robust_test_for(c, pw, path, rising=False,
+                                      criterion=RobustCriterion.STRICT)
+
+    def test_or_gate_polarity(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.OR(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        path = ("a", "g")
+        # falling launch ends at non-controlling (0): side steady 0 needed
+        pw = simulate_pair(c, {"a": 1, "b": 0}, {"a": 0, "b": 0})
+        assert is_robust_test_for(c, pw, path, rising=False)
+        # rising ends at controlling (1): side final 0 suffices
+        pw = simulate_pair(c, {"a": 0, "b": 0}, {"a": 1, "b": 0})
+        assert is_robust_test_for(c, pw, path, rising=True)
+
+    def test_inversion_flips_observed_direction_not_fault_identity(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        n = b.NOT(a, name="n")
+        b.outputs(n)
+        c = b.build()
+        pw = simulate_pair(c, {"a": 0}, {"a": 1})
+        det = robust_faults_detected(c, pw)
+        assert (("a", "n"), True) in det  # fault named by launch direction
+
+    def test_no_transition_no_detection(self):
+        c = c17()
+        pw = simulate_pair(c, {i: 1 for i in c.inputs},
+                           {i: 1 for i in c.inputs})
+        assert robust_faults_detected(c, pw) == set()
+
+
+class TestAgainstReference:
+    @given(st.integers(0, 5_000), st.integers(0, 5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_dfs_matches_per_path_reference(self, seed, pat_seed):
+        c = random_circuit("r", 5, 3, 20, seed=seed)
+        rng = random.Random(pat_seed)
+        v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        pw = simulate_pair(c, v1, v2)
+        for criterion in RobustCriterion:
+            got = robust_faults_detected(c, pw, criterion)
+            expected = set()
+            for path in enumerate_paths(c):
+                if reference_robust_check(c, pw, path, criterion):
+                    rising = pw.rising(path[0]) == 1
+                    expected.add((tuple(path), rising))
+            assert got == expected, criterion
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_strict_subset_of_standard(self, seed):
+        c = random_circuit("r", 6, 3, 25, seed=seed)
+        rng = random.Random(seed ^ 0xBEEF)
+        w1 = random_words(c.inputs, 64, rng)
+        w2 = random_words(c.inputs, 64, rng)
+        pw = simulate_pairs(c, w1, w2, 64)
+        strict = robust_faults_detected(c, pw, RobustCriterion.STRICT)
+        standard = robust_faults_detected(c, pw, RobustCriterion.STANDARD)
+        assert strict <= standard
+
+
+class TestBatchConsistency:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_equals_union_of_singles(self, seed):
+        c = random_circuit("r", 5, 3, 20, seed=seed)
+        rng = random.Random(seed + 1)
+        n = 16
+        w1 = random_words(c.inputs, n, rng)
+        w2 = random_words(c.inputs, n, rng)
+        batch = robust_faults_detected(c, simulate_pairs(c, w1, w2, n))
+        singles = set()
+        for p in range(n):
+            v1 = {pi: (w1[pi] >> p) & 1 for pi in c.inputs}
+            v2 = {pi: (w2[pi] >> p) & 1 for pi in c.inputs}
+            singles |= robust_faults_detected(c, simulate_pair(c, v1, v2))
+        assert batch == singles
+
+    def test_per_pattern_one_path_per_output(self):
+        # at most one robustly propagating pin per gate per pattern =>
+        # at most one sensitized path per primary output per pattern.
+        for seed in range(10):
+            c = random_circuit("r", 6, 4, 30, seed=seed)
+            rng = random.Random(seed)
+            v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+            v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+            pw = simulate_pair(c, v1, v2)
+            recs = robustly_sensitized_paths(c, pw)
+            per_po = {}
+            for r in recs:
+                per_po[r.path[-1]] = per_po.get(r.path[-1], 0) + 1
+            assert all(v <= 1 for v in per_po.values())
+
+
+class TestInputValidation:
+    def test_is_robust_test_requires_single_pair(self):
+        c = c17()
+        pw = simulate_pairs(c, {}, {}, 2)
+        with pytest.raises(ValueError):
+            is_robust_test_for(c, pw, ("1", "10", "22"), True)

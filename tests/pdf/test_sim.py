@@ -1,0 +1,76 @@
+"""Tests for the random two-pattern robust PDF campaign (Table 7 semantics)."""
+
+from repro.analysis import count_paths
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.comparison import ComparisonSpec, build_unit
+from repro.pdf import random_pdf_campaign, total_path_faults
+
+
+class TestTotals:
+    def test_two_faults_per_path(self):
+        c = c17()
+        assert total_path_faults(c) == 2 * count_paths(c)
+
+
+class TestCampaign:
+    def test_comparison_unit_reaches_full_coverage(self):
+        # Comparison units are fully robustly testable (Section 3.3), so a
+        # random campaign on a small unit should reach 100%.
+        unit = build_unit(ComparisonSpec(("a", "b", "c", "d"), 5, 10))
+        res = random_pdf_campaign(
+            unit, seed=3, max_patterns=20_000, plateau_window=4_000
+        )
+        assert res.total_faults == 2 * count_paths(unit)
+        assert res.detected == res.total_faults
+        assert res.coverage == 1.0
+
+    def test_deterministic(self):
+        c = c17()
+        a = random_pdf_campaign(c, seed=11, max_patterns=2_000,
+                                plateau_window=500)
+        b = random_pdf_campaign(c, seed=11, max_patterns=2_000,
+                                plateau_window=500)
+        assert (a.detected, a.last_effective_pattern) == (
+            b.detected, b.last_effective_pattern)
+
+    def test_plateau_stops_campaign(self):
+        c = c17()
+        res = random_pdf_campaign(
+            c, seed=1, max_patterns=1 << 20, plateau_window=1_000,
+            batch_size=128,
+        )
+        assert res.plateau_reached
+        assert res.patterns_applied < (1 << 20)
+
+    def test_detected_bounded_by_total(self):
+        for seed in range(3):
+            c = random_circuit("r", 6, 3, 25, seed=seed)
+            res = random_pdf_campaign(c, seed=seed, max_patterns=2_000,
+                                      plateau_window=800)
+            assert 0 <= res.detected <= res.total_faults
+            assert res.undetected == res.total_faults - res.detected
+
+    def test_detected_out_accumulates(self):
+        c = full_adder()
+        acc = set()
+        random_pdf_campaign(c, seed=5, max_patterns=2_000,
+                            plateau_window=500, detected_out=acc)
+        assert acc
+        for (path, rising) in acc:
+            assert path[0] in c.inputs
+            assert path[-1] in c.output_set
+            assert isinstance(rising, bool)
+
+    def test_effective_pattern_within_budget(self):
+        c = full_adder()
+        res = random_pdf_campaign(c, seed=5, max_patterns=3_000,
+                                  plateau_window=1_000)
+        if res.last_effective_pattern is not None:
+            assert 1 <= res.last_effective_pattern <= res.patterns_applied
+
+    def test_det_over_faults_format(self):
+        c = full_adder()
+        res = random_pdf_campaign(c, seed=5, max_patterns=1_000,
+                                  plateau_window=400)
+        text = res.det_over_faults()
+        assert "/" in text

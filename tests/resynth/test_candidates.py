@@ -1,0 +1,89 @@
+"""Tests for candidate subcircuit enumeration (Section 4.1)."""
+
+from repro.analysis import single_gate_cone
+from repro.benchcircuits import c17, paper_f2_sop, random_circuit
+from repro.netlist import CircuitBuilder
+from repro.resynth import enumerate_candidate_cones
+
+
+class TestEnumeration:
+    def test_trivial_cone_always_first(self):
+        c = c17()
+        cones = enumerate_candidate_cones(c, "22", max_inputs=4)
+        assert cones[0].members == frozenset({"22"})
+
+    def test_growth_through_fanins(self):
+        c = c17()
+        cones = enumerate_candidate_cones(c, "22", max_inputs=4)
+        member_sets = {cone.members for cone in cones}
+        assert frozenset({"22", "10"}) in member_sets
+        assert frozenset({"22", "16"}) in member_sets
+        assert frozenset({"22", "10", "16"}) in member_sets
+
+    def test_input_bound_respected(self):
+        c = paper_f2_sop()
+        for k in (3, 4, 5):
+            for cone in enumerate_candidate_cones(c, "f2", max_inputs=k):
+                assert cone.n_inputs <= k
+
+    def test_wide_gate_no_candidates(self):
+        b = CircuitBuilder()
+        ins = b.inputs(*[f"i{j}" for j in range(6)])
+        g = b.AND(*ins, name="g")
+        b.outputs(g)
+        c = b.build()
+        assert enumerate_candidate_cones(c, "g", max_inputs=4) == []
+        assert len(enumerate_candidate_cones(c, "g", max_inputs=6)) == 1
+
+    def test_frozen_nets_not_absorbed(self):
+        c = c17()
+        cones = enumerate_candidate_cones(
+            c, "22", max_inputs=4, frozen={"10"}
+        )
+        assert all("10" not in cone.members for cone in cones)
+
+    def test_primary_inputs_never_members(self):
+        c = c17()
+        for cone in enumerate_candidate_cones(c, "22", max_inputs=5):
+            assert all(not m.isdigit() or m not in c.inputs
+                       for m in cone.members)
+            for m in cone.members:
+                assert m not in c.inputs
+
+    def test_cap_respected(self):
+        c = random_circuit("r", 10, 4, 80, seed=2)
+        for net in [g.name for g in c.logic_gates()][:5]:
+            cones = enumerate_candidate_cones(
+                c, net, max_inputs=6, max_candidates=10
+            )
+            assert len(cones) <= 10
+
+    def test_no_duplicates(self):
+        c = paper_f2_sop()
+        cones = enumerate_candidate_cones(c, "f2", max_inputs=5)
+        member_sets = [cone.members for cone in cones]
+        assert len(member_sets) == len(set(member_sets))
+
+    def test_whole_sop_reachable_after_decomposition(self):
+        # On the raw SOP the 6-input top OR exceeds K immediately (the
+        # paper's rule neither keeps nor expands over-wide subcircuits),
+        # but after 2-input decomposition — which the procedures apply —
+        # growth tunnels through and reaches the whole 4-support cone
+        # once K covers the interior cut (support + 1 here).
+        from repro.netlist import decompose_two_input
+
+        raw = paper_f2_sop()
+        assert enumerate_candidate_cones(raw, "f2", max_inputs=4) == []
+        c = decompose_two_input(raw)
+        cones = enumerate_candidate_cones(
+            c, "f2", max_inputs=6, max_candidates=100_000
+        )
+        # Growth now reaches deep multi-gate cones (the full collapse to
+        # the comparison unit then happens across procedure passes, since
+        # interior cuts of the whole SOP exceed K in a single expansion).
+        assert max(cone.n_gates for cone in cones) >= 8
+        assert all(cone.n_inputs <= 6 for cone in cones)
+
+    def test_input_gate_returns_empty(self):
+        c = c17()
+        assert enumerate_candidate_cones(c, "1", max_inputs=4) == []

@@ -1,0 +1,164 @@
+"""Tests for Procedures 2 and 3 and the combined measure.
+
+Core invariants, checked on fixtures and random circuits:
+* function preserved (random-simulation equivalence);
+* interface preserved;
+* Procedure 2 never increases the 2-input gate count;
+* Procedure 3 never increases the path count;
+* reports are internally consistent.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import count_paths
+from repro.atpg import remove_redundancies
+from repro.benchcircuits import paper_f2_sop, random_circuit
+from repro.benchcircuits.suite import interval_decode_sop
+from repro.netlist import CircuitBuilder, two_input_gate_count
+from repro.resynth import combined_procedure, procedure2, procedure3
+from repro.sim import outputs_equal, random_words
+
+
+def interval_fixture():
+    """A circuit whose core is an expensive interval decode."""
+    b = CircuitBuilder("interval_fixture")
+    xs = b.inputs(*[f"x{j}" for j in range(5)])
+    extra = b.inputs("e0", "e1")
+    dec = interval_decode_sop(b, xs, 7, 22)
+    g = b.AND(dec, extra[0])
+    out = b.OR(g, extra[1], name="out")
+    b.outputs(out, dec)
+    return b.build()
+
+
+def assert_equivalent(a, b, seed=0, n=1024):
+    rng = random.Random(seed)
+    w = random_words(a.inputs, n, rng)
+    assert outputs_equal(a, b, w, n)
+
+
+class TestProcedure2:
+    def test_f2_sop_collapses_fully_at_k6(self):
+        # K=6 collapses the whole SOP into the Figure 1 unit (7 2-input
+        # gates, 8 paths); K=4 cannot tunnel through the interior cuts.
+        c = paper_f2_sop()
+        rep = procedure2(c, k=6, verify_patterns=256)
+        assert rep.gates_after == 7
+        assert rep.paths_after == 8
+        assert_equivalent(c, rep.circuit)
+
+    def test_f2_sop_k4_makes_no_progress(self):
+        rep = procedure2(paper_f2_sop(), k=4)
+        assert rep.gate_reduction == 0
+
+    def test_interval_decode_collapses(self):
+        c = interval_fixture()
+        rep = procedure2(c, k=5, verify_patterns=256)
+        assert rep.gate_reduction > 0
+        assert rep.path_reduction > 0
+        assert_equivalent(c, rep.circuit)
+
+    def test_gate_count_never_increases(self):
+        for seed in (0, 1, 2):
+            c = random_circuit("r", 10, 5, 60, seed=seed)
+            rep = procedure2(c, k=5)
+            assert rep.gates_after <= rep.gates_before
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=6, deadline=None)
+    def test_function_preserved_random(self, seed):
+        c = random_circuit("r", 9, 4, 45, seed=seed)
+        rep = procedure2(c, k=5)
+        assert_equivalent(c, rep.circuit, seed=seed)
+
+    def test_interface_preserved(self):
+        c = interval_fixture()
+        rep = procedure2(c, k=5)
+        assert rep.circuit.inputs == c.inputs
+        assert rep.circuit.outputs == c.outputs
+
+    def test_input_not_mutated(self):
+        c = interval_fixture()
+        snap = c.copy()
+        procedure2(c, k=5)
+        assert c.structurally_equal(snap)
+
+    def test_report_consistency(self):
+        c = interval_fixture()
+        rep = procedure2(c, k=5)
+        assert rep.gates_before == two_input_gate_count(c)
+        assert rep.gates_after == two_input_gate_count(rep.circuit)
+        assert rep.paths_after == count_paths(rep.circuit)
+        assert rep.objective == "gates"
+        assert "gates" in rep.summary()
+
+    def test_idempotent_at_fixpoint(self):
+        c = interval_fixture()
+        once = procedure2(c, k=5).circuit
+        twice = procedure2(once, k=5)
+        assert twice.gates_after == twice.gates_before
+        assert twice.replacements == 0 or (
+            twice.gates_after == two_input_gate_count(once)
+        )
+
+
+class TestProcedure3:
+    def test_paths_never_increase(self):
+        for seed in (0, 1, 2):
+            c = random_circuit("r", 10, 5, 60, seed=seed)
+            rep = procedure3(c, k=5)
+            assert rep.paths_after <= rep.paths_before
+
+    def test_may_trade_gates_for_paths(self):
+        # On the interval fixture Procedure 3 must reduce paths at least
+        # as much as Procedure 2 (the paper's Table 5 vs Table 2 pattern).
+        c = interval_fixture()
+        p2 = procedure2(c, k=5)
+        p3 = procedure3(c, k=5)
+        assert p3.paths_after <= p2.paths_after
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=6, deadline=None)
+    def test_function_preserved_random(self, seed):
+        c = random_circuit("r", 9, 4, 45, seed=seed)
+        rep = procedure3(c, k=5)
+        assert_equivalent(c, rep.circuit, seed=seed)
+
+    def test_report_objective(self):
+        rep = procedure3(interval_fixture(), k=5)
+        assert rep.objective == "paths"
+
+
+class TestCombined:
+    def test_between_extremes(self):
+        c = interval_fixture()
+        p2 = procedure2(c, k=5)
+        p3 = procedure3(c, k=5)
+        mid = combined_procedure(c, gate_weight=5.0, k=5)
+        assert_equivalent(c, mid.circuit)
+        assert mid.paths_after <= p2.paths_before
+        # combined never does worse than doing nothing
+        assert mid.paths_after <= count_paths(c)
+
+    def test_huge_weight_approaches_procedure2(self):
+        c = interval_fixture()
+        heavy = combined_procedure(c, gate_weight=1e9, k=5)
+        assert heavy.gates_after <= heavy.gates_before
+
+    def test_verify_patterns_catch_nothing_on_sound_runs(self):
+        c = paper_f2_sop()
+        combined_procedure(c, gate_weight=2.0, k=4, verify_patterns=128)
+
+
+class TestOnIrredundantCircuits:
+    """The paper's actual pipeline: irredundant circuit in, Procedure out."""
+
+    def test_pipeline(self):
+        raw = random_circuit("r", 10, 5, 70, seed=9)
+        base = remove_redundancies(raw).circuit
+        rep = procedure2(base, k=5, verify_patterns=512)
+        assert rep.gates_after <= rep.gates_before
+        assert_equivalent(base, rep.circuit)

@@ -1,0 +1,128 @@
+"""Tests for the bit-parallel logic simulator.
+
+The load-bearing property: packed simulation agrees with per-pattern scalar
+evaluation via the reference ``eval_gate`` semantics, on random circuits and
+random patterns (hypothesis).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.netlist import CircuitBuilder, GateType, eval_gate
+from repro.sim import (
+    outputs_equal,
+    pattern_bits,
+    random_words,
+    simulate,
+    simulate_pattern,
+)
+
+
+def scalar_reference(circuit, assignment):
+    """Evaluate every net with the scalar reference semantics."""
+    values = {}
+    for net in circuit.topological_order():
+        g = circuit.gate(net)
+        if g.gtype is GateType.INPUT:
+            values[net] = assignment.get(net, 0)
+        else:
+            values[net] = eval_gate(g.gtype, tuple(values[f] for f in g.fanins))
+    return values
+
+
+class TestBasics:
+    def test_single_and_gate(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        # patterns: (a,b) = (0,0),(1,0),(0,1),(1,1) packed LSB-first
+        vals = simulate(c, {"a": 0b1010, "b": 0b1100}, 4)
+        assert vals["g"] == 0b1000
+
+    def test_constants(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        z = b.CONST0()
+        o = b.CONST1()
+        g = b.OR(a, z, name="g")
+        h = b.AND(a, o, name="h")
+        b.outputs(g, h)
+        c = b.build()
+        vals = simulate(c, {"a": 0b01}, 2)
+        assert vals[z] == 0
+        assert vals[o] == 0b11
+        assert vals["g"] == 0b01
+        assert vals["h"] == 0b01
+
+    def test_simulate_pattern(self):
+        c = full_adder()
+        vals = simulate_pattern(c, {"a": 1, "b": 1, "cin": 0})
+        assert vals["sum"] == 0
+        assert vals["cout"] == 1
+
+    def test_missing_inputs_default_zero(self):
+        c = full_adder()
+        vals = simulate(c, {}, 1)
+        assert vals["sum"] == 0 and vals["cout"] == 0
+
+    def test_mask_truncates_input_words(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.BUF(a, name="g")
+        b.outputs(g)
+        c = b.build()
+        vals = simulate(c, {"a": 0b111111}, 2)
+        assert vals["g"] == 0b11
+
+
+class TestC17:
+    def test_known_response(self):
+        c = c17()
+        # All-ones input: 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=1,
+        # 22=NAND(0,1)=1, 23=NAND(1,1)=0
+        vals = simulate_pattern(c, {i: 1 for i in c.inputs})
+        assert vals["22"] == 1
+        assert vals["23"] == 0
+
+
+class TestAgainstScalarReference:
+    @given(seed=st.integers(0, 10_000), pat_seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_packed_equals_scalar(self, seed, pat_seed):
+        c = random_circuit("r", 6, 3, 30, seed=seed)
+        rng = random.Random(pat_seed)
+        n = 17  # deliberately not a power of two
+        words = random_words(c.inputs, n, rng)
+        packed = simulate(c, words, n)
+        for p in range(n):
+            assignment = pattern_bits(words, c.inputs, p)
+            ref = scalar_reference(c, assignment)
+            for net in c.nets():
+                assert (packed[net] >> p) & 1 == ref[net], (net, p)
+
+
+class TestOutputsEqual:
+    def test_identical_circuits_equal(self):
+        a = random_circuit("r", 6, 3, 30, seed=5)
+        b = a.copy()
+        rng = random.Random(0)
+        words = random_words(a.inputs, 64, rng)
+        assert outputs_equal(a, b, words, 64)
+
+    def test_detects_difference(self):
+        a = c17()
+        b = a.copy()
+        g = b.gate("23")
+        b.replace_gate(g.with_type(GateType.AND))
+        rng = random.Random(0)
+        words = random_words(a.inputs, 32, rng)
+        assert not outputs_equal(a, b, words, 32)
+
+    def test_different_interfaces_unequal(self):
+        a = c17()
+        b = full_adder()
+        assert not outputs_equal(a, b, {}, 1)

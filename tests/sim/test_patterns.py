@@ -1,0 +1,80 @@
+"""Tests for pattern sources and the MSB-first minterm convention."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    assignment_minterm,
+    exhaustive_input_word,
+    exhaustive_words,
+    iter_pattern_batches,
+    minterm_assignment,
+    pattern_bits,
+    random_words,
+)
+
+
+class TestExhaustiveWords:
+    def test_msb_first_convention(self):
+        # 2 inputs: patterns 0..3 are minterms 00,01,10,11 (x1 MSB).
+        words = exhaustive_words(["x1", "x2"])
+        assert words["x1"] == 0b1100  # x1=1 on patterns 2,3
+        assert words["x2"] == 0b1010  # x2=1 on patterns 1,3
+
+    def test_every_pattern_is_its_minterm(self):
+        inputs = ["a", "b", "c"]
+        words = exhaustive_words(inputs)
+        for p in range(8):
+            bits = pattern_bits(words, inputs, p)
+            assert assignment_minterm(bits, inputs) == p
+
+    def test_single_input(self):
+        assert exhaustive_input_word(0, 1) == 0b10
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            exhaustive_input_word(3, 3)
+
+    def test_too_many_inputs_refused(self):
+        with pytest.raises(ValueError):
+            exhaustive_words([f"i{k}" for k in range(30)])
+
+
+class TestMintermConversion:
+    @given(st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, m):
+        inputs = [f"x{j}" for j in range(8)]
+        a = minterm_assignment(m, inputs)
+        assert assignment_minterm(a, inputs) == m
+
+    def test_paper_example_minterm(self):
+        # Paper: "the minterm 00110 of a 5-input function has decimal value 6"
+        inputs = ["x1", "x2", "x3", "x4", "x5"]
+        a = {"x1": 0, "x2": 0, "x3": 1, "x4": 1, "x5": 0}
+        assert assignment_minterm(a, inputs) == 6
+
+
+class TestRandomWords:
+    def test_deterministic_given_seed(self):
+        w1 = random_words(["a", "b"], 128, random.Random(42))
+        w2 = random_words(["a", "b"], 128, random.Random(42))
+        assert w1 == w2
+
+    def test_width_respected(self):
+        w = random_words(["a"], 16, random.Random(0))
+        assert w["a"] < (1 << 16)
+
+
+class TestBatches:
+    def test_total_pattern_count(self):
+        batches = list(iter_pattern_batches(["a", "b"], 100, 32, seed=1))
+        assert sum(width for _, width in batches) == 100
+        assert [w for _, w in batches] == [32, 32, 32, 4]
+
+    def test_deterministic(self):
+        b1 = list(iter_pattern_batches(["a"], 50, 16, seed=9))
+        b2 = list(iter_pattern_batches(["a"], 50, 16, seed=9))
+        assert b1 == b2

@@ -1,0 +1,191 @@
+"""Tests for the event-driven timing simulator and delay-fault injection.
+
+The headline test validates the robust PDF criteria *physically*: every
+fault the analytic criteria call robustly detected must be caught by the
+timing simulator under every random gate-delay assignment tried.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, full_adder, random_circuit
+from repro.netlist import CircuitBuilder
+from repro.pdf import (
+    RobustCriterion,
+    robust_faults_detected,
+    simulate_pair,
+)
+from repro.sim import simulate_pattern
+from repro.sim.timing import (
+    TimingSimulator,
+    Waveform,
+    detects_path_fault,
+    robust_against_random_delays,
+)
+
+
+class TestWaveform:
+    def test_value_at(self):
+        w = Waveform(0, [(1.0, 1), (2.0, 0)])
+        assert w.value_at(0.5) == 0
+        assert w.value_at(1.0) == 1
+        assert w.value_at(1.5) == 1
+        assert w.value_at(3.0) == 0
+        assert w.final == 0
+        assert w.transition_count == 2
+
+
+class TestFaultFreeSimulation:
+    @given(st.integers(0, 3000), st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_settles_to_static_values(self, seed, pat_seed):
+        c = random_circuit("r", 6, 3, 25, seed=seed)
+        rng = random.Random(pat_seed)
+        v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        delays = {g.name: 0.2 + rng.random() for g in c.logic_gates()}
+        sim = TimingSimulator(c, delays)
+        waves = sim.run(v1, v2)
+        ref1 = simulate_pattern(c, v1)
+        ref2 = simulate_pattern(c, v2)
+        for net in c.nets():
+            assert waves[net].initial == ref1[net], net
+            assert waves[net].final == ref2[net], net
+
+    def test_glitch_appears(self):
+        # classic static-1 hazard: f = a OR NOT a with slow inverter
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        na = b.NOT(a, name="na")
+        g = b.OR(a, na, name="g")
+        b.outputs(g)
+        c = b.build()
+        sim = TimingSimulator(c, {"na": 3.0, "g": 1.0})
+        waves = sim.run({"a": 1}, {"a": 0})
+        # output dips to 0 while the inverter lags, then recovers
+        assert waves["g"].transition_count >= 2
+        assert waves["g"].final == 1
+
+    def test_stable_inputs_no_events(self):
+        c = full_adder()
+        sim = TimingSimulator(c)
+        v = {pi: 1 for pi in c.inputs}
+        waves = sim.run(v, v)
+        assert all(w.transition_count == 0 for w in waves.values())
+
+
+class TestFaultInjection:
+    def test_slow_path_misses_sample(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        path = ("a", "g")
+        v1 = {"a": 0, "b": 1}
+        v2 = {"a": 1, "b": 1}
+        sim = TimingSimulator(c)
+        good = sim.sampled_outputs(v1, v2, sample_time=5.0)
+        assert good["g"] == 1
+        faulty = sim.sampled_outputs(v1, v2, 5.0, path, extra_delay=100.0)
+        assert faulty["g"] == 0  # the rise never arrived
+
+    def test_detects_path_fault_on_robust_test(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        assert detects_path_fault(
+            c, {"a": 0, "b": 1}, {"a": 1, "b": 1}, ("a", "g"))
+
+    def test_no_detection_without_transition(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        assert not detects_path_fault(
+            c, {"a": 1, "b": 1}, {"a": 1, "b": 1}, ("a", "g"))
+
+
+class TestRobustCriteriaSoundness:
+    """Analytically-robust tests must survive adversarial delays."""
+
+    @given(st.integers(0, 2000), st.integers(0, 2000))
+    @settings(max_examples=10, deadline=None)
+    def test_robust_implies_always_detected(self, seed, pat_seed):
+        c = random_circuit("r", 5, 3, 18, seed=seed)
+        rng = random.Random(pat_seed)
+        v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+        pw = simulate_pair(c, v1, v2)
+        detected = robust_faults_detected(c, pw, RobustCriterion.STANDARD)
+        for path, rising in list(detected)[:6]:
+            assert robust_against_random_delays(
+                c, v1, v2, path, trials=8, seed=seed ^ 0xD1CE
+            ), (path, rising)
+
+    def test_nonrobust_test_can_be_defeated(self):
+        # a falls into AND while side b also falls: classic non-robust.
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.OR(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        v1 = {"a": 1, "b": 1}
+        v2 = {"a": 0, "b": 0}
+        path = ("a", "g")
+        pw = simulate_pair(c, v1, v2)
+        assert (path, False) not in robust_faults_detected(c, pw)
+        # adversarial delays: if b is slow to fall, the output stays 1 at
+        # sample time only because of the fault... in fact with both
+        # falling the sampled value equals the good value whenever b's
+        # fall covers the sample window; a large b delay defeats the test.
+        defeated = not detects_path_fault(
+            c, v1, v2, path, gate_delays={"g": 1.0},
+        )
+        # With default sampling the fault *is* detected (b falls fast),
+        # demonstrating this test is useful only non-robustly:
+        assert detects_path_fault(c, v1, v2, path) or defeated
+
+
+class TestStaticArrivals:
+    def test_unit_delay_equals_depth(self):
+        from repro.sim import static_arrival_times
+        c = c17()
+        arrivals = static_arrival_times(c)
+        lv = c.levels()
+        for net in c.nets():
+            assert arrivals[net] == pytest.approx(float(lv[net]))
+
+    def test_custom_delays(self):
+        from repro.sim import static_arrival_times
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g1 = b.AND(a, x, name="g1")
+        g2 = b.NOT(g1, name="g2")
+        b.outputs(g2)
+        c = b.build()
+        arrivals = static_arrival_times(c, {"g1": 2.5, "g2": 0.5})
+        assert arrivals["g1"] == pytest.approx(2.5)
+        assert arrivals["g2"] == pytest.approx(3.0)
+
+    def test_arrival_bounds_simulated_settle(self):
+        from repro.sim import static_arrival_times
+        from repro.sim.timing import TimingSimulator
+        c = random_circuit("r", 6, 3, 25, seed=3)
+        rng = random.Random(1)
+        delays = {g.name: 0.2 + rng.random() for g in c.logic_gates()}
+        arrivals = static_arrival_times(c, delays)
+        worst = max(arrivals.values())
+        sim = TimingSimulator(c, delays)
+        for _ in range(5):
+            v1 = {pi: rng.randint(0, 1) for pi in c.inputs}
+            v2 = {pi: rng.randint(0, 1) for pi in c.inputs}
+            waves = sim.run(v1, v2)
+            settle = max((w.events[-1][0] for w in waves.values()
+                          if w.events), default=0.0)
+            assert settle <= worst + 1e-9

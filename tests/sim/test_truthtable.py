@@ -1,0 +1,107 @@
+"""Tests for truth-table extraction and truth-table algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import full_adder, paper_f2_sop
+from repro.netlist import CircuitBuilder
+from repro.sim import (
+    truth_table,
+    truth_tables,
+    tt_complement,
+    tt_from_minterms,
+    tt_minterms,
+    tt_permute,
+    tt_support,
+)
+
+
+class TestExtraction:
+    def test_and_gate(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        g = b.AND(a, x, name="g")
+        b.outputs(g)
+        c = b.build()
+        # minterm 3 (a=1,b=1) is the only ON minterm
+        assert truth_table(c) == 0b1000
+
+    def test_paper_f2(self):
+        c = paper_f2_sop()
+        assert truth_table(c) == tt_from_minterms([1, 5, 6, 9, 10, 14], 4)
+
+    def test_multi_output_requires_name(self):
+        c = full_adder()
+        with pytest.raises(ValueError):
+            truth_table(c)
+        tables = truth_tables(c)
+        assert set(tables) == {"sum", "cout"}
+
+    def test_input_order_changes_table(self):
+        b = CircuitBuilder()
+        a, x = b.inputs("a", "b")
+        nb = b.NOT(x)
+        g = b.AND(a, nb, name="g")  # a AND NOT b
+        b.outputs(g)
+        c = b.build()
+        # order (a,b): ON minterm = 10 -> 2
+        assert truth_table(c, input_order=["a", "b"]) == 0b0100
+        # order (b,a): ON minterm = 01 -> 1
+        assert truth_table(c, input_order=["b", "a"]) == 0b0010
+
+    def test_bad_input_order_rejected(self):
+        c = paper_f2_sop()
+        with pytest.raises(ValueError):
+            truth_table(c, input_order=["y1", "y2"])
+
+
+class TestTTAlgebra:
+    def test_minterms_roundtrip(self):
+        t = tt_from_minterms([0, 3, 5], 3)
+        assert tt_minterms(t, 3) == [0, 3, 5]
+
+    def test_out_of_range_minterm(self):
+        with pytest.raises(ValueError):
+            tt_from_minterms([8], 3)
+
+    def test_complement(self):
+        t = tt_from_minterms([0, 1], 2)
+        assert tt_minterms(tt_complement(t, 2), 2) == [2, 3]
+
+    def test_permute_identity(self):
+        t = tt_from_minterms([1, 5, 6], 3)
+        assert tt_permute(t, 3, [0, 1, 2]) == t
+
+    def test_permute_swap(self):
+        # f(a,b) = a AND NOT b: ON minterm (a=1,b=0) -> 2.
+        t = tt_from_minterms([2], 2)
+        # swap inputs: new MSB reads old position 1 (b), new LSB old 0 (a).
+        swapped = tt_permute(t, 2, [1, 0])
+        # g(b,a) with ON at (b=0,a=1) -> minterm 1
+        assert tt_minterms(swapped, 2) == [1]
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            tt_permute(0b1, 2, [0, 0])
+
+    @given(st.integers(0, (1 << 16) - 1), st.permutations(range(4)))
+    @settings(max_examples=40, deadline=None)
+    def test_permute_is_bijective(self, table, perm):
+        permuted = tt_permute(table, 4, perm)
+        inverse = [0] * 4
+        for i, j in enumerate(perm):
+            inverse[j] = i
+        assert tt_permute(permuted, 4, inverse) == table
+
+    def test_support_detects_irrelevant_input(self):
+        # f(a,b,c) = a AND c: b (position 1) is irrelevant.
+        b = CircuitBuilder()
+        a, _, c3 = b.inputs("a", "b", "c")
+        g = b.AND(a, c3, name="g")
+        b.outputs(g)
+        t = truth_table(b.build())
+        assert tt_support(t, 3) == [0, 2]
+
+    def test_support_of_constant_is_empty(self):
+        assert tt_support(0, 3) == []
+        assert tt_support((1 << 8) - 1, 3) == []

@@ -1,0 +1,125 @@
+"""Tests for subject-graph decomposition and tree-covering mapping."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchcircuits import c17, full_adder, paper_f2_sop, random_circuit
+from repro.netlist import CircuitBuilder, GateType
+from repro.sim import outputs_equal, random_words
+from repro.techmap import (
+    Cell,
+    DEFAULT_LIBRARY,
+    decompose_to_subject,
+    map_circuit,
+    pattern_leaves,
+)
+
+
+class TestLibrary:
+    def test_cells_have_unique_names(self):
+        names = [c.name for c in DEFAULT_LIBRARY]
+        assert len(names) == len(set(names))
+
+    def test_literal_cost_equals_inputs(self):
+        for cell in DEFAULT_LIBRARY:
+            assert cell.literals == cell.n_inputs
+
+    def test_bad_cell_rejected(self):
+        with pytest.raises(ValueError):
+            Cell("bogus", 3, ("nand", ("in", 0), ("in", 1)))
+
+    def test_pattern_leaves(self):
+        cell = next(c for c in DEFAULT_LIBRARY if c.name == "nand3")
+        assert sorted(set(pattern_leaves(cell.pattern))) == [0, 1, 2]
+
+
+class TestSubjectGraph:
+    @given(st.integers(0, 3000))
+    @settings(max_examples=12, deadline=None)
+    def test_function_preserved(self, seed):
+        c = random_circuit("r", 7, 3, 35, seed=seed)
+        s = decompose_to_subject(c)
+        rng = random.Random(seed)
+        w = random_words(c.inputs, 256, rng)
+        assert outputs_equal(c, s, w, 256)
+
+    def test_only_nand2_inv_buf(self):
+        s = decompose_to_subject(paper_f2_sop())
+        for g in s.logic_gates():
+            assert g.gtype in (GateType.NAND, GateType.NOT, GateType.BUF,
+                               GateType.CONST0, GateType.CONST1)
+            if g.gtype is GateType.NAND:
+                assert len(g.fanins) == 2
+
+    def test_xor_decomposition(self):
+        s = decompose_to_subject(full_adder())
+        rng = random.Random(1)
+        w = random_words(s.inputs, 64, rng)
+        assert outputs_equal(full_adder(), s, w, 64)
+
+
+class TestMapping:
+    def test_c17_maps_to_nand2(self):
+        res = map_circuit(c17())
+        assert res.cell_counts == {"nand2": 6}
+        assert res.literals == 12
+        assert res.longest_path == 3
+
+    def test_single_inverter(self):
+        b = CircuitBuilder()
+        a, = b.inputs("a")
+        g = b.NOT(a, name="g")
+        b.outputs(g)
+        res = map_circuit(b.build())
+        assert res.literals == 1
+        assert res.longest_path == 1
+        assert res.cell_counts == {"inv": 1}
+
+    def test_wide_and_uses_wide_cells(self):
+        b = CircuitBuilder()
+        ins = b.inputs("a", "b", "c", "d")
+        g = b.NAND(*ins, name="g")
+        b.outputs(g)
+        res = map_circuit(b.build())
+        assert res.literals == 4  # single nand4
+        assert res.cell_counts == {"nand4": 1}
+
+    def test_aoi_candidate(self):
+        # f = NOT(ab + c) should map to a single aoi21 (3 literals).
+        b = CircuitBuilder()
+        a, x, y = b.inputs("a", "b", "c")
+        t = b.AND(a, x)
+        o = b.OR(t, y)
+        g = b.NOT(o, name="g")
+        b.outputs(g)
+        res = map_circuit(b.build())
+        assert res.literals == 3
+        assert res.cell_counts == {"aoi21": 1}
+
+    def test_fanout_breaks_trees(self):
+        # shared node must be a cell output; cells cannot span it.
+        b = CircuitBuilder()
+        a, x, y = b.inputs("a", "b", "c")
+        s = b.AND(a, x, name="s")
+        g1 = b.NOT(s, name="g1")
+        g2 = b.OR(s, y, name="g2")
+        b.outputs(g1, g2)
+        res = map_circuit(b.build())
+        # the AND is realized once (as a cell), not duplicated into g1/g2
+        assert res.literals <= 2 + 1 + 2 + 2  # and2 + inv + or2 slack
+
+    def test_longest_path_reasonable(self):
+        res = map_circuit(paper_f2_sop())
+        assert 1 <= res.longest_path <= 10
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=8, deadline=None)
+    def test_mapping_accounts_every_root(self, seed):
+        c = random_circuit("r", 7, 3, 30, seed=seed)
+        res = map_circuit(c)
+        assert res.literals >= 0
+        assert res.longest_path >= 0
+        if c.logic_gates():
+            assert res.literals > 0

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.benchcircuits import c17
+from repro.io import save_bench
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    path = str(tmp_path / "c17.bench")
+    save_bench(c17(), path)
+    return path
+
+
+class TestStats:
+    def test_stats_on_bench_file(self, bench_file, capsys):
+        assert main(["stats", bench_file]) == 0
+        out = capsys.readouterr().out
+        assert "inputs=5" in out
+        assert "paths=11" in out
+
+
+class TestResynth:
+    def test_resynth_writes_output(self, bench_file, tmp_path, capsys):
+        out_path = str(tmp_path / "out.bench")
+        assert main(["resynth", bench_file, "--k", "4",
+                     "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out
+        from repro.io import load_bench
+        load_bench(out_path).validate()
+
+    def test_paths_objective(self, bench_file, capsys):
+        assert main(["resynth", bench_file, "--objective", "paths",
+                     "--k", "4"]) == 0
+        assert "paths" in capsys.readouterr().out
+
+
+class TestIdentify:
+    def test_identify_known_net(self, bench_file, capsys):
+        assert main(["identify", bench_file, "22", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "22" in out
+
+    def test_identify_missing_net(self, bench_file, capsys):
+        assert main(["identify", bench_file, "zz"]) == 1
+
+
+class TestTables:
+    def test_table1_via_cli(self, capsys):
+        assert main(["tables", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0x1, 1x0" in out
+
+    def test_unknown_table(self, capsys):
+        assert main(["tables", "42"]) == 1

@@ -1,0 +1,40 @@
+"""Smoke tests: the fast example scripts run and print what they promise.
+
+The heavier examples (suite resynthesis, testability reports) exercise the
+same APIs as the benchmark harness; here we pin the quick ones that users
+meet first.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestQuickExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "comparison function: True" in proc.stdout
+        assert "gates 23->7" in proc.stdout.replace(" ", " ")
+
+    def test_figures_walkthrough(self):
+        proc = run_example("figures_walkthrough.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1: robust two-pattern test set" in proc.stdout
+        assert "14/14 faults (complete)" in proc.stdout
+
+    def test_explore_comparison_functions(self):
+        proc = run_example("explore_comparison_functions.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "exact procedure found 300/300" in proc.stdout
