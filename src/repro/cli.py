@@ -10,6 +10,12 @@ Subcommands
     Check whether the cone feeding a net realizes a comparison function.
 ``tables [N ...]``
     Regenerate the paper's tables (all by default).
+``fuzz [--seeds N | --seconds S] [--oracle ...]``
+    Differential fuzzing: cross-check the simulation, fault-simulation,
+    resynthesis and comparison-unit engines on seeded random instances;
+    violations are shrunk and dumped as JSON repro artifacts.
+``replay ARTIFACT [ARTIFACT ...]``
+    Re-run the oracle of previously written repro artifacts.
 """
 
 from __future__ import annotations
@@ -100,6 +106,90 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .netlist import GateType
+    from .verify import (
+        FuzzConfig,
+        SimulatorOracle,
+        buggy_gate_eval,
+        default_oracles,
+        run_fuzz,
+    )
+
+    wanted = args.oracle or ["all"]
+    names = None if "all" in wanted else list(dict.fromkeys(wanted))
+    try:
+        config = FuzzConfig(max_inputs=args.max_inputs,
+                            max_gates=args.max_gates)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.seeds is None and args.seconds is None:
+        args.seeds = 25  # a ~30 s CI-smoke default
+
+    if args.inject:
+        # Self-test mode: corrupt the scalar reference semantics of one
+        # gate type and demand that the sim oracle catches it and that the
+        # shrinker produces a small witness.
+        victim = GateType(args.inject)
+        impostor = (GateType.OR if victim in (GateType.AND, GateType.NAND)
+                    else GateType.AND)
+        oracles = [SimulatorOracle(
+            gate_eval=buggy_gate_eval(victim, impostor))]
+    else:
+        oracles = default_oracles(names)
+
+    progress = None if args.quiet else (lambda line: print("  " + line))
+    report = run_fuzz(
+        oracles=oracles,
+        seeds=args.seeds,
+        seconds=args.seconds,
+        seed_base=args.seed_base,
+        config=config,
+        artifact_dir=args.artifacts,
+        shrink=not args.no_shrink,
+        progress=progress,
+    )
+    print(report.summary())
+
+    if args.inject:
+        if report.ok:
+            print(f"inject self-test FAILED: mutation of {args.inject!r} "
+                  f"was not detected")
+            return 1
+        worst = max(
+            len(f.shrunk_circuit.logic_gates())
+            for f in report.findings if f.shrunk_circuit is not None
+        )
+        print(f"inject self-test OK: {len(report.findings)} violation(s) "
+              f"caught, largest shrunk witness {worst} gate(s)")
+        return 0 if worst <= 10 else 1
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from .verify import default_oracles, load_artifact, replay_artifact
+
+    oracles = default_oracles()
+    failures = 0
+    for path in args.artifacts:
+        try:
+            artifact = load_artifact(path)
+        except (OSError, ValueError, KeyError) as exc:
+            failures += 1
+            print(f"{path}: unreadable artifact ({exc})")
+            continue
+        violations = replay_artifact(artifact, oracles)
+        if violations:
+            failures += 1
+            print(f"{path}: STILL FAILING")
+            for v in violations:
+                print("  " + v.describe())
+        else:
+            print(f"{path}: ok (does not reproduce)")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -131,6 +221,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("tables", help="regenerate the paper's tables")
     p.add_argument("numbers", nargs="*", type=int)
     p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("fuzz", help="differential fuzzing of the engines")
+    p.add_argument("--seeds", type=int, default=None,
+                   help="number of seeds to run")
+    p.add_argument("--seconds", type=float, default=None,
+                   help="wall-clock budget in seconds")
+    p.add_argument("--oracle", action="append",
+                   choices=("sim", "fault", "resynth", "unit", "all"),
+                   default=None,
+                   help="oracle to run (repeatable; default all)")
+    p.add_argument("--seed-base", type=int, default=0)
+    p.add_argument("--artifacts", default=None,
+                   help="directory for JSON repro artifacts")
+    p.add_argument("--max-inputs", type=int, default=8)
+    p.add_argument("--max-gates", type=int, default=30)
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip counterexample shrinking")
+    p.add_argument("--inject", default=None,
+                   choices=("and", "nand", "or", "nor", "xor", "xnor"),
+                   help="self-test: corrupt this gate type's reference "
+                        "semantics and require detection")
+    p.add_argument("--quiet", "-q", action="store_true")
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("replay", help="re-run saved fuzz repro artifacts")
+    p.add_argument("artifacts", nargs="+")
+    p.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,208 @@
+"""The seeded differential fuzz driver.
+
+One fuzz *case* is a seed: it determines the generated random circuit (via
+:func:`repro.benchcircuits.generator.random_circuit` with seed-drawn size
+parameters) and any oracle-private instances (the comparison-unit oracle
+derives its spec from the seed directly).  Every requested oracle runs on
+every case; a violation triggers counterexample shrinking (the predicate
+being "the same oracle still fails on this circuit") and, when an artifact
+directory is configured, a deterministic JSON repro dump.
+
+Budgets are either a fixed seed count (reproducible CI smoke runs) or a
+wall-clock allowance (long local campaigns); both walk the same seed
+sequence ``seed_base, seed_base + 1, ...`` so a time-budgeted run's
+failures can be re-run by seed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..benchcircuits.generator import DEFAULT_GATE_MIX, random_circuit
+from ..netlist import Circuit, GateType
+from .artifact import ReproArtifact, write_artifact
+from .oracles import Oracle, Violation, default_oracles
+from .shrink import ShrinkResult, shrink_circuit
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Size envelope for generated fuzz circuits."""
+
+    min_inputs: int = 3
+    max_inputs: int = 8
+    min_gates: int = 6
+    max_gates: int = 30
+    max_outputs: int = 3
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.min_inputs <= self.max_inputs:
+            raise ValueError("need 2 <= min_inputs <= max_inputs")
+        if not 1 <= self.min_gates <= self.max_gates:
+            raise ValueError("need 1 <= min_gates <= max_gates")
+        if self.max_outputs < 1:
+            raise ValueError("need at least one output")
+
+
+#: The generator's ISCAS-like mix omits XNOR entirely; a fuzzer must
+#: exercise every evaluable gate type, so it gets its own mix.
+FUZZ_GATE_MIX = tuple(DEFAULT_GATE_MIX) + ((GateType.XNOR, 2),)
+
+
+def generate_case(seed: int, config: FuzzConfig = FuzzConfig()) -> Circuit:
+    """The deterministic random circuit for one fuzz seed."""
+    rng = random.Random((seed << 16) ^ 0xF022)
+    n_inputs = rng.randint(config.min_inputs, config.max_inputs)
+    n_gates = rng.randint(config.min_gates, config.max_gates)
+    n_outputs = rng.randint(1, config.max_outputs)
+    return random_circuit(
+        f"fuzz{seed}",
+        n_inputs=n_inputs,
+        n_outputs=n_outputs,
+        n_gates=n_gates,
+        seed=seed,
+        gate_mix=FUZZ_GATE_MIX,
+    )
+
+
+@dataclass
+class FuzzFinding:
+    """A violation plus its shrink outcome and artifact location."""
+
+    violation: Violation
+    shrink: Optional[ShrinkResult] = None
+    artifact_path: Optional[str] = None
+
+    @property
+    def shrunk_circuit(self) -> Optional[Circuit]:
+        """The minimized witness (None for seed-only violations)."""
+        if self.shrink is not None:
+            return self.shrink.circuit
+        return self.violation.circuit
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seeds_run: int = 0
+    checks_run: Dict[str, int] = field(default_factory=dict)
+    findings: List[FuzzFinding] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when no oracle reported a violation."""
+        return not self.findings
+
+    def summary(self) -> str:
+        """Multi-line human-readable run summary."""
+        checks = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.checks_run.items())
+        )
+        lines = [
+            f"fuzz: {self.seeds_run} seed(s), checks [{checks}] "
+            f"in {self.elapsed_seconds:.1f}s — "
+            + ("no violations" if self.ok
+               else f"{len(self.findings)} VIOLATION(S)")
+        ]
+        for f in self.findings:
+            lines.append("  " + f.violation.describe())
+            if f.shrink is not None:
+                lines.append(
+                    f"    shrunk {f.shrink.original_gates} -> "
+                    f"{f.shrink.shrunk_gates} gates "
+                    f"({f.shrink.steps_taken} steps)"
+                )
+            if f.artifact_path:
+                lines.append(f"    repro: {f.artifact_path}")
+        return "\n".join(lines)
+
+
+def _shrink_violation(
+    oracle: Oracle, seed: int, violation: Violation
+) -> Optional[ShrinkResult]:
+    if violation.circuit is None or not oracle.uses_circuit:
+        return None
+
+    def still_fails(candidate: Circuit) -> bool:
+        return bool(oracle.check_circuit(candidate, seed))
+
+    return shrink_circuit(violation.circuit, still_fails)
+
+
+def run_fuzz(
+    oracles: Optional[Sequence[Oracle]] = None,
+    seeds: Optional[int] = None,
+    seconds: Optional[float] = None,
+    seed_base: int = 0,
+    config: FuzzConfig = FuzzConfig(),
+    artifact_dir: Optional[str] = None,
+    shrink: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run the differential fuzzer.
+
+    Parameters
+    ----------
+    oracles:
+        Oracle instances to run (default: the full standard set).
+    seeds, seconds:
+        The budget — a fixed number of seeds, a wall-clock allowance, or
+        both (whichever is exhausted first).  At least one is required.
+    seed_base:
+        First seed of the walked sequence.
+    config:
+        Size envelope for generated circuits.
+    artifact_dir:
+        When given, every finding is persisted there as a JSON repro.
+    shrink:
+        Delta-debug circuit-carrying violations before reporting.
+    progress:
+        Optional sink for per-finding progress lines.
+    """
+    if seeds is None and seconds is None:
+        raise ValueError("need a budget: seeds=N and/or seconds=S")
+    if oracles is None:
+        oracles = default_oracles()
+
+    report = FuzzReport()
+    start = time.monotonic()
+    seed = seed_base
+    while True:
+        if seeds is not None and report.seeds_run >= seeds:
+            break
+        if seconds is not None and time.monotonic() - start >= seconds:
+            break
+        circuit = generate_case(seed, config)
+        for oracle in oracles:
+            report.checks_run[oracle.name] = (
+                report.checks_run.get(oracle.name, 0) + 1
+            )
+            if oracle.uses_circuit:
+                violations = oracle.check_circuit(circuit, seed)
+            else:
+                violations = oracle.check_seed(seed)
+            for violation in violations:
+                shrunk = (
+                    _shrink_violation(oracle, seed, violation)
+                    if shrink else None
+                )
+                finding = FuzzFinding(violation=violation, shrink=shrunk)
+                if artifact_dir is not None:
+                    artifact = ReproArtifact.from_violation(violation)
+                    if shrunk is not None:
+                        artifact.circuit = shrunk.circuit
+                    finding.artifact_path = write_artifact(
+                        artifact, artifact_dir
+                    )
+                report.findings.append(finding)
+                if progress is not None:
+                    progress(finding.violation.describe())
+        report.seeds_run += 1
+        seed += 1
+    report.elapsed_seconds = time.monotonic() - start
+    return report

@@ -1,0 +1,108 @@
+"""Naive scalar reference interpreter — the slow engine everyone trusts.
+
+The packed simulator in :mod:`repro.sim.logicsim` is the project's hot path,
+and hot paths are where bugs hide.  This module provides a deliberately
+boring second opinion: one pattern at a time, one gate at a time, evaluated
+through :func:`repro.netlist.types.eval_gate` (the written-down single-bit
+semantics of every gate type).  There is no packing, no masking, no
+event-driven anything — nothing to get wrong, which is exactly the point.
+
+The evaluator is injectable so the differential oracles can *prove they
+would notice* an engine bug: :func:`buggy_gate_eval` builds an evaluator
+that silently misreads one gate type as another, and the fuzz driver's
+``--inject`` mode checks that the sim oracle catches it and that the
+shrinker reduces the witness circuit to a handful of gates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, GateType
+from ..netlist.types import eval_gate
+
+#: Signature of a scalar gate evaluator: (gtype, fanin values) -> 0/1.
+GateEval = Callable[[GateType, Tuple[int, ...]], int]
+
+#: Exhaustive reference extraction is bounded well below the packed
+#: simulator's own MAX_TT_INPUTS: the scalar engine is O(2^n * gates).
+MAX_REF_INPUTS = 12
+
+
+def ref_simulate_pattern(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    gate_eval: GateEval = eval_gate,
+) -> Dict[str, int]:
+    """Evaluate every net on one scalar input assignment.
+
+    Missing inputs default to 0, matching the packed simulator's contract.
+    """
+    values: Dict[str, int] = {}
+    for net in circuit.topological_order():
+        gate = circuit.gate(net)
+        if gate.gtype is GateType.INPUT:
+            values[net] = assignment.get(net, 0) & 1
+        else:
+            values[net] = gate_eval(
+                gate.gtype, tuple(values[f] for f in gate.fanins)
+            )
+    return values
+
+
+def ref_output_vector(
+    circuit: Circuit,
+    assignment: Mapping[str, int],
+    gate_eval: GateEval = eval_gate,
+) -> List[int]:
+    """Primary-output values (declaration order) on one assignment."""
+    values = ref_simulate_pattern(circuit, assignment, gate_eval)
+    return [values[o] for o in circuit.outputs]
+
+
+def ref_truth_tables(
+    circuit: Circuit,
+    input_order: Optional[Sequence[str]] = None,
+    gate_eval: GateEval = eval_gate,
+) -> Dict[str, int]:
+    """Truth table of every primary output by exhaustive scalar evaluation.
+
+    Same bitmask convention as :func:`repro.sim.truthtable.truth_tables`
+    (bit ``m`` is the value on the minterm of decimal value ``m``, inputs
+    MSB-first), so results from the two engines compare directly.
+    """
+    inputs = list(input_order) if input_order else circuit.inputs
+    if set(inputs) != set(circuit.inputs):
+        raise ValueError("input_order must be a permutation of circuit inputs")
+    n = len(inputs)
+    if n > MAX_REF_INPUTS:
+        raise ValueError(f"{n} inputs exceeds MAX_REF_INPUTS={MAX_REF_INPUTS}")
+    tables: Dict[str, int] = {o: 0 for o in circuit.output_set}
+    for m in range(1 << n):
+        assignment = {
+            name: (m >> (n - i - 1)) & 1 for i, name in enumerate(inputs)
+        }
+        values = ref_simulate_pattern(circuit, assignment, gate_eval)
+        for o in tables:
+            if values[o]:
+                tables[o] |= 1 << m
+    return tables
+
+
+def buggy_gate_eval(victim: GateType, impostor: GateType) -> GateEval:
+    """An evaluator that misreads *victim* gates as *impostor* gates.
+
+    Used by the fuzzer's self-test (``repro fuzz --inject``): running the
+    differential sim oracle against this evaluator must produce a violation
+    whenever the generated circuit exercises the victim type, and the
+    shrunk witness is (near-)minimal — typically a single victim gate.
+    """
+    if victim is impostor:
+        raise ValueError("victim and impostor must differ")
+
+    def evaluate(gtype: GateType, values: Tuple[int, ...]) -> int:
+        if gtype is victim:
+            gtype = impostor
+        return eval_gate(gtype, values)
+
+    return evaluate

@@ -1,0 +1,188 @@
+"""Delta-debugging counterexample shrinker for failing circuits.
+
+Given a circuit on which some predicate (``fails``) holds — in practice
+"this oracle still reports a violation" — the shrinker greedily applies
+semantic simplifications that keep the predicate true, until a fixpoint:
+
+* drop primary outputs (try each single-output projection first);
+* replace a gate by a constant (``CONST0``/``CONST1``);
+* replace a gate by a buffer of one of its fanins;
+* drop one fanin of a wide (``> 2``-input) gate;
+* remove primary inputs nothing reads.
+
+Every accepted step is followed by a dead-logic sweep, so the result is a
+small, fully live witness.  The search order is deterministic (reverse
+topological, candidate order fixed), which keeps repro artifacts stable
+across runs.  Predicates that raise on a mutated circuit are treated as
+"does not reproduce" — mutations can build structurally legal circuits the
+predicate's engines reject, and those are simply not taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..netlist import Circuit, Gate, GateType
+
+#: A predicate deciding whether the failure of interest still reproduces.
+FailsPredicate = Callable[[Circuit], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The shrunk circuit plus bookkeeping about the search."""
+
+    circuit: Circuit
+    original_gates: int
+    shrunk_gates: int
+    steps_taken: int
+    candidates_tried: int
+
+    @property
+    def reduction(self) -> int:
+        """Logic gates removed by shrinking."""
+        return self.original_gates - self.shrunk_gates
+
+
+def _safe_fails(fails: FailsPredicate, circuit: Circuit) -> bool:
+    try:
+        circuit.validate()
+        return bool(fails(circuit))
+    except Exception:
+        return False
+
+
+def _gate_candidates(circuit: Circuit, net: str) -> List[Gate]:
+    """Simpler replacement gates for the driver of *net*, in fixed order."""
+    gate = circuit.gate(net)
+    candidates: List[Gate] = [
+        Gate(net, GateType.CONST0, ()),
+        Gate(net, GateType.CONST1, ()),
+    ]
+    seen = set()
+    for f in gate.fanins:
+        if f not in seen and f != net:
+            seen.add(f)
+            candidates.append(Gate(net, GateType.BUF, (f,)))
+    if len(gate.fanins) > 2:
+        for i in range(len(gate.fanins)):
+            fanins = gate.fanins[:i] + gate.fanins[i + 1:]
+            candidates.append(Gate(net, gate.gtype, fanins))
+    return candidates
+
+
+def _try_outputs(
+    work: Circuit, fails: FailsPredicate
+) -> Optional[Circuit]:
+    """Try to project the circuit onto a single failing output."""
+    if len(work.outputs) <= 1:
+        return None
+    for out in work.outputs:
+        cand = work.copy()
+        cand.set_outputs([out])
+        cand.sweep()
+        if _safe_fails(fails, cand):
+            return cand
+    return None
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    fails: FailsPredicate,
+    max_steps: int = 10_000,
+) -> ShrinkResult:
+    """Minimize *circuit* while *fails* keeps holding.
+
+    The original circuit is not mutated.  ``fails(circuit)`` must be true
+    on entry; otherwise the circuit is returned unshrunk.
+    """
+    original_gates = len(circuit.logic_gates())
+    if not _safe_fails(fails, circuit):
+        return ShrinkResult(circuit.copy(), original_gates,
+                            original_gates, 0, 0)
+
+    work = circuit.copy(f"{circuit.name}.shrunk")
+    steps = 0
+    tried = 0
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+
+        projected = _try_outputs(work, fails)
+        tried += 1
+        if projected is not None:
+            projected.name = work.name
+            work = projected
+            steps += 1
+            changed = True
+
+        for net in reversed(work.topological_order()):
+            if steps >= max_steps:
+                break
+            if not work.has_net(net):
+                continue  # swept away by an earlier accepted step
+            if work.gate(net).gtype in (GateType.INPUT, GateType.CONST0,
+                                        GateType.CONST1):
+                continue
+            for candidate in _gate_candidates(work, net):
+                if candidate == work.gate(net):
+                    continue  # no-op; accepting it would loop forever
+                tried += 1
+                cand = work.copy()
+                cand.replace_gate(candidate)
+                cand.sweep()
+                if _safe_fails(fails, cand):
+                    cand.name = work.name
+                    work = cand
+                    steps += 1
+                    changed = True
+                    break
+
+        # Bypass buffers: BUF gates are what gate-level replacement leaves
+        # behind; substituting readers (or the output list) through them is
+        # the only way to actually delete a net.
+        for net in reversed(work.topological_order()):
+            if steps >= max_steps:
+                break
+            if not work.has_net(net):
+                continue
+            gate = work.gate(net)
+            if gate.gtype is not GateType.BUF:
+                continue
+            cand = work.copy()
+            if net in cand.output_set:
+                cand.set_outputs([
+                    gate.fanins[0] if o == net else o for o in cand.outputs
+                ])
+            else:
+                cand.substitute_net(net, gate.fanins[0])
+            cand.sweep()
+            tried += 1
+            if _safe_fails(fails, cand):
+                cand.name = work.name
+                work = cand
+                steps += 1
+                changed = True
+
+        # Dead primary inputs: removing them needs no re-check of the
+        # predicate's semantics, but the predicate may *depend* on the
+        # interface, so it is re-run like any other step.
+        for pi in list(work.inputs):
+            if work.fanouts(pi) or pi in work.output_set:
+                continue
+            cand = work.copy()
+            cand.remove_gate(pi)
+            tried += 1
+            if _safe_fails(fails, cand):
+                work = cand
+                steps += 1
+                changed = True
+
+    return ShrinkResult(
+        circuit=work,
+        original_gates=original_gates,
+        shrunk_gates=len(work.logic_gates()),
+        steps_taken=steps,
+        candidates_tried=tried,
+    )

@@ -1,0 +1,98 @@
+"""Exhaustive property tests for comparison-function identification.
+
+For every interval ``[L, U]`` over ``n <= 3`` variables — i.e. every
+comparison function small enough to enumerate completely — identification
+must succeed *regardless of how the inputs are permuted or the polarity is
+flipped*, because ``n! <= perm_budget`` makes the search exhaustive and
+therefore exact.  Dually, functions that provably are not comparison
+functions (3-input XOR/XNOR: their ON-sets are invariant under every input
+permutation and never consecutive) must be rejected, which only an
+exhaustive search can promise.
+"""
+
+import random
+
+import pytest
+
+from repro.comparison import ComparisonSpec, identify_comparison, is_comparison_function
+from repro.sim.truthtable import tt_complement, tt_permute
+
+
+def all_intervals(n):
+    size = 1 << n
+    for lower in range(size):
+        for upper in range(lower, size):
+            if lower == 0 and upper == size - 1:
+                continue  # constant 1: excluded by ComparisonSpec
+            yield lower, upper
+
+
+def spec_table(n, lower, upper):
+    names = tuple(f"v{i}" for i in range(n))
+    spec = ComparisonSpec(names, lower, upper)
+    return spec.truth_table(names)
+
+
+class TestAllSmallIntervalsIdentified:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_identity_order(self, n):
+        names = [f"v{i}" for i in range(n)]
+        for lower, upper in all_intervals(n):
+            table = spec_table(n, lower, upper)
+            result = identify_comparison(table, names)
+            assert result.exhaustive
+            assert result.found, (n, lower, upper)
+            # Every returned spec must reproduce the table exactly.
+            for spec in result.specs:
+                assert spec.truth_table(names) == table
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_under_random_input_permutations(self, n):
+        rng = random.Random(42)
+        names = [f"v{i}" for i in range(n)]
+        for lower, upper in all_intervals(n):
+            table = spec_table(n, lower, upper)
+            for _ in range(4):
+                perm = list(range(n))
+                rng.shuffle(perm)
+                permuted = tt_permute(table, n, perm)
+                result = identify_comparison(permuted, names)
+                assert result.found, (lower, upper, perm)
+                for spec in result.specs:
+                    assert spec.truth_table(names) == permuted
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_complemented_intervals_identified(self, n):
+        """OFF-set intervals are found through the try_offset path."""
+        names = [f"v{i}" for i in range(n)]
+        for lower, upper in all_intervals(n):
+            table = tt_complement(spec_table(n, lower, upper), n)
+            if table == 0 or table == (1 << (1 << n)) - 1:
+                continue
+            result = identify_comparison(table, names)
+            assert result.found, (lower, upper)
+            for spec in result.specs:
+                assert spec.truth_table(names) == table
+
+
+class TestNonComparisonRejected:
+    def test_3_input_xor_rejected(self):
+        # ON-set {1, 2, 4, 7}: permutation-invariant, never consecutive.
+        xor3 = 0b10010110
+        names = ["a", "b", "c"]
+        result = identify_comparison(xor3, names)
+        assert result.exhaustive  # 3! = 6 <= 200: the verdict is a proof
+        assert not result.found
+        assert not is_comparison_function(xor3, names)
+
+    def test_3_input_xnor_rejected(self):
+        xnor3 = 0b10010110 ^ 0xFF
+        assert not is_comparison_function(xnor3, ["a", "b", "c"])
+
+    def test_2_input_xor_is_a_comparison_function(self):
+        # Contrast case: ON-set {1, 2} IS the interval [1, 2].
+        assert is_comparison_function(0b0110, ["a", "b"])
+
+    def test_constants_rejected(self):
+        assert not is_comparison_function(0, ["a", "b"])
+        assert not is_comparison_function(0xF, ["a", "b"])

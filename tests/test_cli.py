@@ -56,3 +56,35 @@ class TestTables:
 
     def test_unknown_table(self, capsys):
         assert main(["tables", "42"]) == 1
+
+
+class TestFuzz:
+    def test_small_clean_run(self, capsys):
+        assert main(["fuzz", "--seeds", "4", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "no violations" in out
+
+    def test_oracle_subset(self, capsys):
+        assert main(["fuzz", "--seeds", "3", "--oracle", "sim",
+                     "--oracle", "unit", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "sim:3" in out and "unit:3" in out
+        assert "fault" not in out
+
+    def test_inject_self_test_catches_and_shrinks(self, tmp_path, capsys):
+        assert main(["fuzz", "--seeds", "12", "--inject", "nand",
+                     "--artifacts", str(tmp_path), "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "inject self-test OK" in out
+        assert list(tmp_path.glob("sim_seed*.json"))
+
+    def test_replay_of_fixed_artifacts_is_clean(self, tmp_path, capsys):
+        main(["fuzz", "--seeds", "12", "--inject", "xor",
+              "--artifacts", str(tmp_path), "-q"])
+        capsys.readouterr()
+        artifacts = [str(p) for p in sorted(tmp_path.glob("*.json"))]
+        assert artifacts
+        assert main(["replay"] + artifacts) == 0
+        out = capsys.readouterr().out
+        assert "does not reproduce" in out
