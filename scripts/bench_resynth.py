@@ -1,0 +1,129 @@
+"""Resynthesis wall-clock benchmark (the incremental-engine scoreboard).
+
+Runs Procedures 2 and 3 over suite circuits and emits a JSON report with
+wall time, report numbers and the mutation throughput of the incremental
+analysis engine.  The committed ``BENCH_resynth.json`` at the repo root is
+the reference baseline; re-run after touching the netlist/analysis hot
+paths and compare with ``--compare``::
+
+    PYTHONPATH=src python scripts/bench_resynth.py --out BENCH_resynth.json
+    PYTHONPATH=src python scripts/bench_resynth.py --compare BENCH_resynth.json
+
+``--quick`` runs a seconds-scale subset (used as the CI smoke check, which
+only guards that the benchmark itself keeps working; timing assertions
+would be noise on shared runners).
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.benchcircuits.suite import suite_circuit
+from repro.resynth import procedure2, procedure3
+
+#: Default circuit set: smallest, a mid-size, and the largest suite member
+#: (the acceptance circuit for the incremental engine).
+DEFAULT_CIRCUITS = ["syn1423", "syn9234", "syn35932"]
+QUICK_CIRCUITS = ["syn1423"]
+
+PROCEDURES = {"procedure2": procedure2, "procedure3": procedure3}
+
+
+def bench_one(name, k, seed):
+    circuit = suite_circuit(name)
+    entry = {}
+    for proc_name, proc in PROCEDURES.items():
+        t0 = time.perf_counter()
+        rep = proc(circuit, k=k, seed=seed)
+        wall = time.perf_counter() - t0
+        entry[proc_name] = {
+            "wall_s": round(wall, 3),
+            "gates_before": rep.gates_before,
+            "gates_after": rep.gates_after,
+            "paths_before": rep.paths_before,
+            "paths_after": rep.paths_after,
+            "replacements": rep.replacements,
+            "passes": rep.passes,
+            "mutations": rep.mutations,
+            "mutations_per_s": round(rep.mutations / wall, 1) if wall else 0.0,
+        }
+        print(
+            f"{name} {proc_name}: {wall:.2f}s  "
+            f"gates {rep.gates_before}->{rep.gates_after}  "
+            f"paths {rep.paths_before}->{rep.paths_after}  "
+            f"{rep.mutations} mutations",
+            flush=True,
+        )
+    return entry
+
+
+def compare(current, baseline_path):
+    with open(baseline_path) as fh:
+        base = json.load(fh)
+    print(f"\nvs {baseline_path} (k={base['k']}, seed={base['seed']}):")
+    for name, entry in current["results"].items():
+        for proc_name, row in entry.items():
+            old = base.get("results", {}).get(name, {}).get(proc_name)
+            if old is None:
+                continue
+            same = all(
+                row[f] == old[f]
+                for f in ("gates_after", "paths_after", "replacements")
+            )
+            ratio = old["wall_s"] / row["wall_s"] if row["wall_s"] else 0.0
+            print(
+                f"  {name} {proc_name}: {old['wall_s']:.2f}s -> "
+                f"{row['wall_s']:.2f}s ({ratio:.2f}x) "
+                f"[reports {'identical' if same else 'DIFFER'}]"
+            )
+            if not same:
+                raise SystemExit(
+                    f"report numbers changed for {name} {proc_name}"
+                )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--circuits", nargs="*", default=None,
+                    help="suite circuit names (default: small/mid/large)")
+    ap.add_argument("--k", type=int, default=5)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--quick", action="store_true",
+                    help="seconds-scale smoke subset (CI)")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON report here")
+    ap.add_argument("--compare", default=None, metavar="BASELINE.json",
+                    help="print speedups vs a previous report; exits "
+                         "nonzero if report numbers changed")
+    args = ap.parse_args()
+
+    circuits = args.circuits or (
+        QUICK_CIRCUITS if args.quick else DEFAULT_CIRCUITS
+    )
+    report = {
+        "schema": 1,
+        "k": args.k,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "results": {},
+    }
+    t0 = time.perf_counter()
+    for name in circuits:
+        report["results"][name] = bench_one(name, args.k, args.seed)
+    report["total_wall_s"] = round(time.perf_counter() - t0, 3)
+    print(f"total: {report['total_wall_s']:.1f}s")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.compare:
+        compare(report, args.compare)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

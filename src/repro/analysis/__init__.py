@@ -1,5 +1,6 @@
 """Structural analyses: path counting (Procedure 1), path enumeration, cones."""
 
+from .engine import AnalysisSession
 from .cones import (
     Cone,
     cone_inputs,
@@ -21,6 +22,7 @@ from .paths import (
 )
 
 __all__ = [
+    "AnalysisSession",
     "Cone",
     "cone_inputs",
     "count_paths",

@@ -52,7 +52,6 @@ class Cone:
 
 def cone_inputs(circuit: Circuit, members: Set[str]) -> List[str]:
     """Ordered distinct nets read by *members* but not inside *members*."""
-    topo_pos = {n: i for i, n in enumerate(circuit.topological_order())}
     seen: Set[str] = set()
     inputs: List[str] = []
     for m in members:
@@ -60,7 +59,7 @@ def cone_inputs(circuit: Circuit, members: Set[str]) -> List[str]:
             if f not in members and f not in seen:
                 seen.add(f)
                 inputs.append(f)
-    inputs.sort(key=lambda n: topo_pos[n])
+    inputs.sort(key=circuit.topo_rank)
     return inputs
 
 
@@ -145,7 +144,7 @@ def extract_subcircuit(circuit: Circuit, cone: Cone) -> Circuit:
     sub = Circuit(f"{circuit.name}.{cone.output}")
     for pi in cone.inputs:
         sub.add_input(pi)
-    order = [n for n in circuit.topological_order() if n in cone.members]
+    order = sorted(cone.members, key=circuit.topo_rank)
     for net in order:
         g = circuit.gate(net)
         sub.add_gate(net, g.gtype, g.fanins)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..analysis import AnalysisSession
 from ..netlist import Circuit, simplify, substitute_with_constant
 from ..faults import StuckFault, fault_universe, random_stuck_at_campaign
 from .podem import PodemEngine, PodemResult, PodemStatus
@@ -99,11 +100,18 @@ class RedundancyRemovalReport:
     removed_faults: List[StuckFault]
     iterations: int
     aborted_faults: int
+    paths_before: int = 0
+    paths_after: int = 0
 
     @property
     def any_removed(self) -> bool:
         """True when at least one redundancy was removed."""
         return bool(self.removed_faults)
+
+    @property
+    def path_reduction(self) -> int:
+        """PI-to-PO paths eliminated by the removals."""
+        return self.paths_before - self.paths_after
 
 
 def _fault_site_intact(circuit: Circuit, fault: StuckFault) -> bool:
@@ -135,6 +143,11 @@ def remove_redundancies(
     circuit (modulo aborted faults, which are reported and never removed).
     """
     work = circuit.copy()
+    # The session rides along for the whole removal loop: every
+    # substitute-constant + simplify + sweep step patches its labels
+    # incrementally instead of forcing full recomputes.
+    session = AnalysisSession(work)
+    paths_before = session.total_paths()
     removed: List[StuckFault] = []
     aborted = 0
     passes = 0
@@ -170,7 +183,12 @@ def remove_redundancies(
         if not progress:
             break
     work.name = circuit.name
-    return RedundancyRemovalReport(work, removed, passes, aborted)
+    paths_after = session.total_paths()
+    session.close()
+    return RedundancyRemovalReport(
+        work, removed, passes, aborted,
+        paths_before=paths_before, paths_after=paths_after,
+    )
 
 
 def is_irredundant(

@@ -34,6 +34,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..analysis import AnalysisSession
 from ..atpg import PodemEngine, PodemStatus, remove_redundancies
 from ..faults import FaultSimulator, StuckFault
 from ..netlist import (
@@ -56,11 +57,18 @@ class RarReport:
     gates_after: int
     additions_accepted: int
     rounds: int
+    paths_before: int = 0
+    paths_after: int = 0
 
     @property
     def gate_reduction(self) -> int:
         """Equivalent 2-input gates removed."""
         return self.gates_before - self.gates_after
+
+    @property
+    def path_growth(self) -> int:
+        """PI-to-PO paths added — RAR's characteristic cost (Table 3)."""
+        return self.paths_after - self.paths_before
 
 
 def _noncontrolling(gt: GateType) -> Optional[int]:
@@ -152,6 +160,10 @@ def rambo_c(
         circuit, random_patterns=1024, max_backtracks=max_backtracks
     ).circuit
     before = two_input_gate_count(work)
+    # Rebound onto each accepted trial; tracks the live path count so the
+    # report can expose RAR's characteristic path growth.
+    session = AnalysisSession(work)
+    paths_before = session.total_paths()
     accepted = 0
     rounds = 0
 
@@ -278,7 +290,9 @@ def rambo_c(
                 if trial is None:
                     continue
                 if two_input_gate_count(trial) < cost_now:
+                    session.close()
                     work = trial
+                    session = AnalysisSession(work)
                     accepted += 1
                     improved = True
                     sim = FaultSimulator(work)
@@ -295,10 +309,14 @@ def rambo_c(
             break
 
     work.name = circuit.name
+    paths_after = session.total_paths()
+    session.close()
     return RarReport(
         circuit=work,
         gates_before=before,
         gates_after=two_input_gate_count(work),
         additions_accepted=accepted,
         rounds=rounds,
+        paths_before=paths_before,
+        paths_after=paths_after,
     )

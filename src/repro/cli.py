@@ -228,7 +228,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--seconds", type=float, default=None,
                    help="wall-clock budget in seconds")
     p.add_argument("--oracle", action="append",
-                   choices=("sim", "fault", "resynth", "unit", "all"),
+                   choices=("sim", "fault", "resynth", "unit",
+                            "incremental", "all"),
                    default=None,
                    help="oracle to run (repeatable; default all)")
     p.add_argument("--seed-base", type=int, default=0)

@@ -24,6 +24,7 @@ polarity (AND becomes NAND, etc.) instead of adding an inverter when it can.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist import (
@@ -212,23 +213,43 @@ class UnitCost:
     depth: int
 
 
+@lru_cache(maxsize=1 << 16)
+def _positional_unit_cost(
+    n: int, lower: int, upper: int, complement: bool, merge: bool
+) -> Tuple[int, int, Tuple[int, ...], int]:
+    """Measure a unit for the spec shape ``(n, L, U, complement)``.
+
+    A unit's structure — and therefore its cost — depends only on the
+    input count, the bounds and the polarity, never on the input *names*;
+    building and measuring one representative per shape lets repeated
+    spec evaluations (the dominant resynthesis cost) hit a memo.
+    """
+    from ..analysis import internal_path_counts  # local import: avoid cycle
+
+    spec = ComparisonSpec(
+        tuple(f"x{i + 1}" for i in range(n)), lower, upper, complement
+    )
+    unit = build_unit(spec, merge=merge)
+    per_input = internal_path_counts(unit)
+    per = tuple(per_input.get(pi, 0) for pi in spec.inputs)
+    return (two_input_gate_count(unit), sum(per), per, unit.depth())
+
+
 def unit_cost(spec: ComparisonSpec, merge: bool = True) -> UnitCost:
-    """Cost a spec by building its unit and measuring it.
+    """Cost a spec by building its unit and measuring it (memoized).
 
     ``paths_per_input`` maps each spec input to the number of paths from it
     to the unit output (0, 1 or 2 — Section 3.1's headline property, which
     tests assert).
     """
-    from ..analysis import internal_path_counts  # local import: avoid cycle
-
-    unit = build_unit(spec, merge=merge)
-    per_input = internal_path_counts(unit)
-    per_input = {pi: per_input.get(pi, 0) for pi in spec.inputs}
+    gates, total, per, depth = _positional_unit_cost(
+        spec.n, spec.lower, spec.upper, spec.complement, merge
+    )
     return UnitCost(
-        two_input_gates=two_input_gate_count(unit),
-        total_internal_paths=sum(per_input.values()),
-        paths_per_input=per_input,
-        depth=unit.depth(),
+        two_input_gates=gates,
+        total_internal_paths=total,
+        paths_per_input={pi: per[i] for i, pi in enumerate(spec.inputs)},
+        depth=depth,
     )
 
 

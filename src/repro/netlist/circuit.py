@@ -6,14 +6,40 @@ are gates of type ``INPUT``.  The class offers structural queries (fanout,
 topological order, levels, transitive fanin cones) and mutation primitives
 used by the resynthesis procedures (gate insertion/removal, fanin rewiring).
 
-Derived structures (fanout map, topological order, levels) are cached and
-invalidated on any mutation; callers never manage cache state themselves.
+Derived structures are maintained *incrementally* (see
+:mod:`repro.netlist.incremental` for the protocol):
+
+* the fanout map is patched in place on every mutation;
+* a *live* topological order is repaired only within the affected region
+  using the Pearce-Kelly dynamic topological-sort algorithm, and orders
+  the worklist that repairs structural levels;
+* the *canonical* topological order served by :meth:`topological_order`
+  and :meth:`topo_rank` (insertion-order tie-break, the order every
+  deterministic consumer iterates) is rebuilt lazily at most once per
+  mutation epoch;
+* every mutation bumps :attr:`epoch` and notifies subscribed observers
+  with a :class:`~repro.netlist.incremental.NetChange`.
+
+Callers never manage cache state themselves.  :meth:`_dirty` remains as
+the wholesale invalidation fallback for code that mutates internals
+directly.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .incremental import (
+    CHANGE_ADD,
+    CHANGE_DRIVER,
+    CHANGE_OUTPUTS,
+    CHANGE_REMOVE,
+    CHANGE_RESET,
+    CircuitObserver,
+    NetChange,
+)
 from .types import Gate, GateType, SOURCE_TYPES, arity_ok
 
 
@@ -35,6 +61,9 @@ class Circuit:
         self._gates: Dict[str, Gate] = {}
         self._outputs: List[str] = []
         self._input_order: List[str] = []
+        self._epoch: int = 0
+        self._subscribers: List[CircuitObserver] = []
+        self._fresh_counters: Dict[str, int] = {}
         self._dirty()
 
     # ------------------------------------------------------------------ #
@@ -61,18 +90,30 @@ class Circuit:
     def add_output(self, net: str) -> None:
         """Mark *net* as a primary output (appended to output order)."""
         self._outputs.append(net)
-        self._dirty()
+        self._note(CHANGE_OUTPUTS)
 
     def set_outputs(self, nets: Sequence[str]) -> None:
         """Replace the primary output list."""
         self._outputs = list(nets)
-        self._dirty()
+        self._note(CHANGE_OUTPUTS)
 
     def _insert(self, gate: Gate) -> None:
         if gate.name in self._gates:
             raise CircuitError(f"duplicate net name {gate.name!r}")
         self._gates[gate.name] = gate
-        self._dirty()
+        fo = self._fanout_cache
+        if fo is not None:
+            fo.setdefault(gate.name, [])
+            for f in gate.fanins:
+                fo.setdefault(f, []).append(gate.name)
+            if self._live_pos is not None:
+                self._live_insert(gate.name)
+                # The new net may resolve reads that previously dangled,
+                # changing its readers' levels as well as its own.
+                seeds = [gate.name]
+                seeds.extend(fo.get(gate.name, ()))
+                self._repair_levels(seeds)
+        self._note(CHANGE_ADD, gate.name)
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -126,13 +167,54 @@ class Circuit:
         )
 
     # ------------------------------------------------------------------ #
+    # mutation epoch + subscriber protocol
+    # ------------------------------------------------------------------ #
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter (one tick per mutation event)."""
+        return self._epoch
+
+    def subscribe(self, observer: CircuitObserver) -> None:
+        """Register *observer* for per-mutation :class:`NetChange` events."""
+        self._subscribers.append(observer)
+
+    def unsubscribe(self, observer: CircuitObserver) -> None:
+        """Remove *observer*; silently ignores unknown observers."""
+        try:
+            self._subscribers.remove(observer)
+        except ValueError:
+            pass
+
+    def _note(self, kind: str, net: Optional[str] = None) -> None:
+        """Bump the epoch and deliver one event to every subscriber."""
+        self._epoch += 1
+        if self._subscribers:
+            change = NetChange(kind, net)
+            for sub in list(self._subscribers):
+                sub.circuit_changed(self, change)
+
+    # ------------------------------------------------------------------ #
     # cached derived structures
     # ------------------------------------------------------------------ #
 
     def _dirty(self) -> None:
-        self._topo_cache: Optional[List[str]] = None
+        """Invalidate every derived structure wholesale.
+
+        This is the safety fallback for code that mutates ``_gates`` or
+        ``_outputs`` directly; the mutation API never needs it.
+        """
         self._fanout_cache: Optional[Dict[str, List[str]]] = None
+        # canonical order: insertion-order Kahn, rebuilt per epoch on query
+        self._canon_order: Optional[List[str]] = None
+        self._canon_pos: Optional[Dict[str, int]] = None
+        self._canon_epoch: int = -1
+        # live order: Pearce-Kelly maintained, repaired in place per mutation
+        self._live_order: Optional[List[Optional[str]]] = None
+        self._live_pos: Optional[Dict[str, int]] = None
+        self._live_holes: int = 0
         self._level_cache: Optional[Dict[str, int]] = None
+        self._note(CHANGE_RESET)
 
     def fanouts(self, net: str) -> List[str]:
         """Nets of gates that read *net* (one entry per reading gate).
@@ -143,7 +225,11 @@ class Circuit:
         return self.fanout_map().get(net, [])
 
     def fanout_map(self) -> Dict[str, List[str]]:
-        """Map net -> list of reader gate output nets (branch per pin)."""
+        """Map net -> list of reader gate output nets (branch per pin).
+
+        Built once, then patched in place by every mutation; the returned
+        dict is live and stays accurate across mutations.
+        """
         if self._fanout_cache is None:
             fo: Dict[str, List[str]] = {n: [] for n in self._gates}
             for g in self._gates.values():
@@ -155,22 +241,51 @@ class Circuit:
             self._fanout_cache = fo
         return self._fanout_cache
 
+    def _fo_del_pin(self, src: str, reader: str) -> None:
+        fo = self._fanout_cache
+        lst = fo[src]
+        lst.remove(reader)
+        if not lst and src not in self._gates:
+            del fo[src]  # emptied entry of a dangling net
+
+    def _fo_add_pin(self, src: str, reader: str) -> None:
+        self._fanout_cache.setdefault(src, []).append(reader)
+
     def topological_order(self) -> List[str]:
         """Net names in topological (fanin-before-fanout) order.
 
-        Deterministic: ties are broken by insertion order.  Raises
+        Deterministic: ties are broken by insertion order, independent of
+        the mutation history that produced the circuit.  Raises
         :class:`CircuitError` on combinational cycles.
         """
-        if self._topo_cache is not None:
-            return self._topo_cache
+        if self._canon_pos is None or self._canon_epoch != self._epoch:
+            self._build_canonical()
+        return self._canon_order
+
+    def topo_rank(self, net: str) -> int:
+        """Position of *net* in :meth:`topological_order`.
+
+        O(1) after the per-epoch canonical order is built; use as a sort
+        key instead of building a position dict from the full order.
+        """
+        if self._canon_pos is None or self._canon_epoch != self._epoch:
+            self._build_canonical()
+        return self._canon_pos[net]
+
+    def _build_canonical(self) -> None:
         indeg: Dict[str, int] = {}
         for name, g in self._gates.items():
             indeg[name] = sum(1 for f in g.fanins if f in self._gates)
-        from collections import deque
-
         ready = deque(n for n in self._gates if indeg[n] == 0)
         order: List[str] = []
-        fo = self.fanout_map()
+        # Deliberately NOT the patched fanout cache: its reader-list order
+        # is mutation-history dependent, which would leak history into the
+        # canonical order.  A local insertion-order fanout keeps the order
+        # a pure function of the current gate dict.
+        fo: Dict[str, List[str]] = {}
+        for name, g in self._gates.items():
+            for f in g.fanins:
+                fo.setdefault(f, []).append(name)
         while ready:
             n = ready.popleft()
             order.append(n)
@@ -181,12 +296,139 @@ class Circuit:
         if len(order) != len(self._gates):
             cyclic = sorted(set(self._gates) - set(order))
             raise CircuitError(f"combinational cycle involving {cyclic[:5]}")
-        self._topo_cache = order
-        return order
+        self._canon_order = order
+        self._canon_pos = {n: i for i, n in enumerate(order)}
+        self._canon_epoch = self._epoch
+
+    # -- live (Pearce-Kelly) order ------------------------------------- #
+
+    def _ensure_live(self) -> None:
+        """Build the live order (and fanout map) if absent."""
+        if self._live_pos is not None:
+            return
+        order = list(self.topological_order())  # raises on cycles
+        self._live_order = order
+        self._live_pos = {n: i for i, n in enumerate(order)}
+        self._live_holes = 0
+
+    def _drop_live(self) -> None:
+        """Forget the live order and everything keyed on it (levels)."""
+        self._live_order = None
+        self._live_pos = None
+        self._live_holes = 0
+        self._level_cache = None
+
+    def _live_insert(self, name: str) -> None:
+        """Append *name* to the live order, repairing resolved dangling reads."""
+        order, pos = self._live_order, self._live_pos
+        order.append(name)
+        pos[name] = len(order) - 1
+        # Readers that referenced the name while it dangled now sit at
+        # smaller positions: each such edge needs a Pearce-Kelly repair.
+        for reader in set(self._fanout_cache.get(name, ())):
+            pos = self._live_pos
+            if pos is None:
+                return  # an earlier repair found a cycle and bailed
+            if reader in pos and pos[reader] < pos[name]:
+                self._pk_repair(name, reader)
+
+    def _live_remove(self, net: str) -> None:
+        pos = self._live_pos
+        if pos is None:
+            return
+        p = pos.pop(net, None)
+        if p is not None:
+            self._live_order[p] = None
+            self._live_holes += 1
+            if self._live_holes > 64 and self._live_holes * 2 > len(self._live_order):
+                self._compact_live()
+
+    def _compact_live(self) -> None:
+        order = [n for n in self._live_order if n is not None]
+        self._live_order = order
+        self._live_pos = {n: i for i, n in enumerate(order)}
+        self._live_holes = 0
+
+    def _live_driver_changed(self, name: str, new_fanins: Iterable[str]) -> None:
+        """Repair the live order for fanins that now sit after *name*."""
+        if self._live_pos is None:
+            return
+        for f in set(new_fanins):
+            pos = self._live_pos
+            if pos is None:
+                return  # an earlier repair found a cycle and bailed
+            pf = pos.get(f)
+            if pf is not None and pf > pos[name]:
+                self._pk_repair(f, name)
+
+    def _pk_repair(self, u: str, v: str) -> None:
+        """Restore live-order validity for the edge ``u -> v``.
+
+        Precondition: ``pos[u] > pos[v]``.  Pearce-Kelly: find the nets in
+        the affected region — forward-reachable from *v* or
+        backward-reachable from *u*, within the position window — and
+        redistribute them over their own (sorted) position slots, backward
+        set first.  Only the affected region is touched.
+
+        If the edge closes a cycle the live order cannot be repaired; the
+        live caches are dropped and the next :meth:`topological_order`
+        rebuild raises :class:`CircuitError`, exactly as before.
+        """
+        pos = self._live_pos
+        order = self._live_order
+        fo = self._fanout_cache
+        ub = pos[u]
+        lb = pos[v]
+        fwd: List[str] = []
+        seen_f = {v}
+        stack = [v]
+        while stack:
+            n = stack.pop()
+            fwd.append(n)
+            for r in fo.get(n, ()):
+                if r in seen_f:
+                    continue
+                pr = pos.get(r)
+                if pr is None:
+                    continue
+                if pr == ub:  # reached u: the edge closes a cycle
+                    self._drop_live()
+                    return
+                if pr < ub:
+                    seen_f.add(r)
+                    stack.append(r)
+        back: List[str] = []
+        seen_b = {u}
+        stack = [u]
+        while stack:
+            n = stack.pop()
+            back.append(n)
+            for f in self._gates[n].fanins:
+                if f in seen_b:
+                    continue
+                pf = pos.get(f)
+                if pf is None or pf <= lb:
+                    continue
+                seen_b.add(f)
+                stack.append(f)
+        back.sort(key=pos.__getitem__)
+        fwd.sort(key=pos.__getitem__)
+        affected = back + fwd
+        slots = sorted(pos[n] for n in affected)
+        for slot, n in zip(slots, affected):
+            order[slot] = n
+            pos[n] = slot
+
+    # -- levels --------------------------------------------------------- #
 
     def levels(self) -> Dict[str, int]:
-        """Map net -> structural level (inputs/constants at level 0)."""
+        """Map net -> structural level (inputs/constants at level 0).
+
+        Built once (over the canonical order), then repaired only within
+        the affected transitive fanout on every mutation.
+        """
         if self._level_cache is None:
+            self._ensure_live()
             lv: Dict[str, int] = {}
             for net in self.topological_order():
                 g = self._gates[net]
@@ -198,6 +440,40 @@ class Circuit:
                     )
             self._level_cache = lv
         return self._level_cache
+
+    def _repair_levels(self, seeds: Iterable[str]) -> None:
+        """Worklist level repair seeded at *seeds*, in live-order rank.
+
+        Processing in ascending live position guarantees each net is
+        recomputed after all of its changed fanins, so every net is
+        visited at most once.
+        """
+        lv = self._level_cache
+        if lv is None:
+            return
+        pos = self._live_pos
+        if pos is None:  # live order was dropped (cycle); rebuild lazily
+            self._level_cache = None
+            return
+        fo = self._fanout_cache
+        heap = [(pos[n], n) for n in seeds if n in pos]
+        heapq.heapify(heap)
+        done: Set[str] = set()
+        while heap:
+            _, n = heapq.heappop(heap)
+            if n in done or n not in self._gates:
+                continue
+            done.add(n)
+            g = self._gates[n]
+            if g.is_source:
+                new = 0
+            else:
+                new = 1 + max((lv[f] for f in g.fanins if f in lv), default=-1)
+            if lv.get(n) != new:
+                lv[n] = new
+                for r in fo.get(n, ()):
+                    if r not in done and r in pos:
+                        heapq.heappush(heap, (pos[r], r))
 
     def depth(self) -> int:
         """Number of gate levels on the longest input-to-output path."""
@@ -241,10 +517,19 @@ class Circuit:
         """Replace the gate driving ``gate.name`` (net must exist)."""
         if gate.name not in self._gates:
             raise CircuitError(f"no net {gate.name!r} to replace")
-        if gate.gtype is GateType.INPUT and self._gates[gate.name].gtype is not GateType.INPUT:
+        old = self._gates[gate.name]
+        if gate.gtype is GateType.INPUT and old.gtype is not GateType.INPUT:
             raise CircuitError("cannot turn an internal net into a primary input")
         self._gates[gate.name] = gate
-        self._dirty()
+        if self._fanout_cache is not None:
+            if gate.fanins != old.fanins:
+                for f in old.fanins:
+                    self._fo_del_pin(f, gate.name)
+                for f in gate.fanins:
+                    self._fo_add_pin(f, gate.name)
+                self._live_driver_changed(gate.name, gate.fanins)
+            self._repair_levels((gate.name,))
+        self._note(CHANGE_DRIVER, gate.name)
 
     def remove_gate(self, net: str) -> None:
         """Remove the gate driving *net*.
@@ -261,7 +546,15 @@ class Circuit:
         g = self._gates.pop(net)
         if g.gtype is GateType.INPUT:
             self._input_order.remove(net)
-        self._dirty()
+        fo = self._fanout_cache
+        if fo is not None:
+            for f in g.fanins:
+                self._fo_del_pin(f, net)
+            fo.pop(net, None)
+            self._live_remove(net)
+            if self._level_cache is not None:
+                self._level_cache.pop(net, None)
+        self._note(CHANGE_REMOVE, net)
 
     def rewire_fanin(self, net: str, old: str, new: str) -> None:
         """On the gate driving *net*, replace every fanin *old* with *new*."""
@@ -271,7 +564,14 @@ class Circuit:
         self._gates[net] = g.with_fanins(
             tuple(new if f == old else f for f in g.fanins)
         )
-        self._dirty()
+        if self._fanout_cache is not None:
+            for f in g.fanins:
+                if f == old:
+                    self._fo_del_pin(old, net)
+                    self._fo_add_pin(new, net)
+            self._live_driver_changed(net, (new,))
+            self._repair_levels((net,))
+        self._note(CHANGE_DRIVER, net)
 
     def substitute_net(self, old: str, new: str) -> None:
         """Redirect every reader of *old* to *new*, preserving the interface.
@@ -284,11 +584,12 @@ class Circuit:
         """
         if old == new:
             return
-        for reader in list(self.fanouts(old)):
+        # dict.fromkeys dedupes readers that touch *old* on several pins
+        # (rewire_fanin replaces every pin of a reader at once).
+        for reader in list(dict.fromkeys(self.fanouts(old))):
             self.rewire_fanin(reader, old, new)
         if old in self._outputs and self._gates[old].gtype is not GateType.INPUT:
-            self._gates[old] = Gate(old, GateType.BUF, (new,))
-        self._dirty()
+            self.replace_gate(Gate(old, GateType.BUF, (new,)))
 
     def sweep(self) -> int:
         """Remove logic that cannot reach any primary output.
@@ -298,24 +599,40 @@ class Circuit:
         Returns the number of gates removed.
         """
         live = self.transitive_fanin(self._outputs)
-        removed = 0
-        for net in [n for n in self._gates if n not in live]:
-            if self._gates[net].gtype is GateType.INPUT:
-                continue
-            del self._gates[net]
-            removed += 1
-        if removed:
-            self._dirty()
-        return removed
+        dead = [
+            n for n, g in self._gates.items()
+            if n not in live and g.gtype is not GateType.INPUT
+        ]
+        deadset = set(dead)
+        for net in dead:
+            g = self._gates.pop(net)
+            fo = self._fanout_cache
+            if fo is not None:
+                for f in g.fanins:
+                    if f not in deadset:
+                        self._fo_del_pin(f, net)
+                fo.pop(net, None)
+                self._live_remove(net)
+                if self._level_cache is not None:
+                    self._level_cache.pop(net, None)
+            self._note(CHANGE_REMOVE, net)
+        return len(dead)
 
     def fresh_net(self, prefix: str = "n") -> str:
-        """Return a net name not yet used in the circuit."""
-        i = len(self._gates)
-        while True:
-            cand = f"{prefix}{i}"
-            if cand not in self._gates:
-                return cand
+        """Return a net name not yet used in the circuit.
+
+        O(1) amortized: a monotonic per-prefix counter remembers where the
+        last scan ended instead of rescanning from ``len(self._gates)``
+        after removals.  The membership check below keeps it correct even
+        when callers add colliding names by hand.
+        """
+        i = self._fresh_counters.get(prefix)
+        if i is None:
+            i = len(self._gates)
+        while f"{prefix}{i}" in self._gates:
             i += 1
+        self._fresh_counters[prefix] = i + 1
+        return f"{prefix}{i}"
 
     # ------------------------------------------------------------------ #
     # validation / copying
@@ -341,11 +658,16 @@ class Circuit:
         self.topological_order()  # raises on cycles
 
     def copy(self, name: Optional[str] = None) -> "Circuit":
-        """Deep-copy the circuit (gates are immutable, so sharing is safe)."""
+        """Deep-copy the circuit (gates are immutable, so sharing is safe).
+
+        Subscribers are not carried over; the copy starts with fresh
+        caches and inherits the fresh-net counters.
+        """
         c = Circuit(name if name is not None else self.name)
         c._gates = dict(self._gates)
         c._outputs = list(self._outputs)
         c._input_order = list(self._input_order)
+        c._fresh_counters = dict(self._fresh_counters)
         c._dirty()
         return c
 

@@ -1,0 +1,170 @@
+"""The incremental-maintenance protocol of :class:`~repro.netlist.Circuit`.
+
+A circuit mutation no longer discards the derived structures wholesale.
+Instead every mutation
+
+* patches the fanout map in place,
+* repairs the topological order only inside the affected region (the
+  Pearce-Kelly dynamic topological-sort algorithm, one repair per
+  order-violating edge),
+* repairs structural levels with a worklist over the affected transitive
+  fanout, and
+* bumps a monotonically increasing *mutation epoch* and notifies
+  subscribed observers with a :class:`NetChange` event.
+
+Dependent layers (path-label analysis, future simulators) subscribe via
+:meth:`Circuit.subscribe` and receive one event per mutation, after the
+circuit and its caches are already consistent.  The event kinds are:
+
+``"add"``
+    A gate (or primary input) was inserted; ``net`` names it.
+``"driver"``
+    The gate driving ``net`` was replaced or rewired (its type and/or
+    fanin list changed).  Readers of ``net`` are untouched.
+``"remove"``
+    The gate driving ``net`` was removed (``remove_gate`` or ``sweep``;
+    one event per removed net).
+``"outputs"``
+    The primary-output list changed.  No structural cache depends on it.
+``"reset"``
+    The circuit was invalidated wholesale (:meth:`Circuit._dirty`);
+    observers must drop all derived state.
+
+This module also provides *from-scratch reference rebuilds* of each
+derived structure.  They share no code or state with the caches they
+mirror, which makes them the ground truth for the ``incremental``
+differential oracle (:mod:`repro.verify.oracles`) and the mutation
+property tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import Circuit
+
+#: Event kinds carried by :class:`NetChange`.
+CHANGE_ADD = "add"
+CHANGE_DRIVER = "driver"
+CHANGE_REMOVE = "remove"
+CHANGE_OUTPUTS = "outputs"
+CHANGE_RESET = "reset"
+
+
+@dataclass(frozen=True)
+class NetChange:
+    """One circuit mutation, as delivered to subscribed observers.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"add"``, ``"driver"``, ``"remove"``, ``"outputs"``,
+        ``"reset"``.
+    net:
+        The affected net, or ``None`` for ``outputs``/``reset`` events.
+    """
+
+    kind: str
+    net: Optional[str] = None
+
+
+class CircuitObserver(Protocol):
+    """What a :meth:`Circuit.subscribe` listener must implement."""
+
+    def circuit_changed(self, circuit: "Circuit", change: NetChange) -> None:
+        """Called once per mutation, after caches are consistent."""
+        ...  # pragma: no cover - protocol stub
+
+
+# --------------------------------------------------------------------- #
+# from-scratch reference rebuilds (ground truth for oracles and tests)
+# --------------------------------------------------------------------- #
+
+
+def scratch_fanout_map(circuit: "Circuit") -> Dict[str, List[str]]:
+    """Rebuild the fanout map without consulting any cache.
+
+    Reader lists keep one entry per reading pin, like
+    :meth:`Circuit.fanout_map`, but their order follows gate insertion
+    order; compare against the cache order-insensitively.
+    """
+    fo: Dict[str, List[str]] = {n: [] for n in circuit.nets()}
+    for g in circuit.gates():
+        for f in g.fanins:
+            fo.setdefault(f, []).append(g.name)
+    return fo
+
+
+def scratch_topological_order(circuit: "Circuit") -> List[str]:
+    """Rebuild a topological order without consulting any cache.
+
+    Raises ``ValueError`` on combinational cycles (the oracle treats the
+    exception, not the order, as the reference behavior there).
+    """
+    nets = circuit.nets()
+    present = set(nets)
+    indeg = {
+        n: sum(1 for f in circuit.gate(n).fanins if f in present)
+        for n in nets
+    }
+    fo = scratch_fanout_map(circuit)
+    ready = deque(n for n in nets if indeg[n] == 0)
+    order: List[str] = []
+    while ready:
+        n = ready.popleft()
+        order.append(n)
+        for reader in fo.get(n, ()):
+            indeg[reader] -= 1
+            if indeg[reader] == 0:
+                ready.append(reader)
+    if len(order) != len(nets):
+        raise ValueError("combinational cycle")
+    return order
+
+
+def scratch_levels(circuit: "Circuit") -> Dict[str, int]:
+    """Rebuild structural levels without consulting any cache."""
+    lv: Dict[str, int] = {}
+    for net in scratch_topological_order(circuit):
+        g = circuit.gate(net)
+        if g.is_source:
+            lv[net] = 0
+        else:
+            lv[net] = 1 + max((lv[f] for f in g.fanins if f in lv), default=-1)
+    return lv
+
+
+def scratch_path_labels(circuit: "Circuit") -> Dict[str, int]:
+    """Rebuild Procedure 1 path labels without consulting any cache."""
+    from .types import GateType
+
+    labels: Dict[str, int] = {}
+    for net in scratch_topological_order(circuit):
+        g = circuit.gate(net)
+        if g.gtype is GateType.INPUT:
+            labels[net] = 1
+        elif g.gtype in (GateType.CONST0, GateType.CONST1):
+            labels[net] = 0
+        else:
+            labels[net] = sum(labels.get(f, 0) for f in g.fanins)
+    return labels
+
+
+def is_valid_topological_order(circuit: "Circuit", order: List[str]) -> bool:
+    """True when *order* covers every net once and respects every edge."""
+    if sorted(order) != sorted(circuit.nets()):
+        return False
+    pos = {n: i for i, n in enumerate(order)}
+    for g in circuit.gates():
+        for f in g.fanins:
+            if f in pos and pos[f] >= pos[g.name]:
+                return False
+    return True

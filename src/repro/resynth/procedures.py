@@ -25,7 +25,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..analysis import count_paths, path_labels
+from ..analysis import AnalysisSession
 from ..netlist import (
     Circuit,
     GateType,
@@ -55,6 +55,7 @@ class ResynthesisReport:
     gates_after: int
     paths_before: int
     paths_after: int
+    mutations: int = 0  # circuit mutation events observed during the run
 
     @property
     def gate_reduction(self) -> int:
@@ -141,9 +142,18 @@ def _resynthesis_pass(
     perm_budget: int,
     seed: int,
     exact: bool = False,
+    session: Optional[AnalysisSession] = None,
 ) -> int:
-    """One outputs-to-inputs sweep; returns the number of replacements."""
-    labels = path_labels(work)
+    """One outputs-to-inputs sweep; returns the number of replacements.
+
+    Every selection site is priced against the session's *current* path
+    labels (maintained incrementally across replacements), not against a
+    pass-start snapshot — earlier replacements in the same pass are
+    reflected immediately.
+    """
+    own_session = session is None
+    if own_session:
+        session = AnalysisSession(work)
     snapshot = work.topological_order()
     marked: Set[str] = {
         o for o in work.output_set
@@ -160,29 +170,35 @@ def _resynthesis_pass(
             ):
                 marked.add(n)
 
-    for net in reversed(snapshot):
-        if net not in marked or not work.has_net(net):
-            continue
-        gate = work.gate(net)
-        if gate.gtype in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
-            continue
-        cones = enumerate_candidate_cones(work, net, k, frozen)
-        options = []
-        for cone in cones:
-            option = evaluate_cone(
-                work, cone, labels, perm_budget=perm_budget, seed=seed,
-                exact=exact,
-            )
-            if option is not None:
-                options.append(option)
-        chosen = selector(options, current_paths_on(work, net, labels))
-        if chosen is None:
-            mark(gate.fanins)
-            continue
-        created = apply_replacement(work, chosen)
-        frozen.update(created)
-        mark(chosen.cone.inputs)
-        replacements += 1
+    try:
+        for net in reversed(snapshot):
+            if net not in marked or not work.has_net(net):
+                continue
+            gate = work.gate(net)
+            if gate.gtype in (GateType.INPUT, GateType.CONST0,
+                              GateType.CONST1):
+                continue
+            labels = session.labels()  # current after earlier replacements
+            cones = enumerate_candidate_cones(work, net, k, frozen)
+            options = []
+            for cone in cones:
+                option = evaluate_cone(
+                    work, cone, labels, perm_budget=perm_budget, seed=seed,
+                    exact=exact, tt_cache=session.truth_tables,
+                )
+                if option is not None:
+                    options.append(option)
+            chosen = selector(options, current_paths_on(work, net, labels))
+            if chosen is None:
+                mark(gate.fanins)
+                continue
+            created = apply_replacement(work, chosen)
+            frozen.update(created)
+            mark(chosen.cone.inputs)
+            replacements += 1
+    finally:
+        if own_session:
+            session.close()
     return replacements
 
 
@@ -202,24 +218,33 @@ def _run(
     # decompose_two_input) so candidate growth can tunnel through them.
     work = decompose_two_input(circuit) if decompose else circuit.copy()
     gates_before = two_input_gate_count(work)
-    paths_before = count_paths(work)
-    total_replacements = 0
-    passes = 0
-    while passes < max_passes:
-        passes += 1
-        made = _resynthesis_pass(work, selector, k, perm_budget,
-                                 seed + passes, exact)
-        total_replacements += made
-        if verify_patterns:
-            rng = random.Random(seed ^ 0x5EED)
-            words = random_words(circuit.inputs, verify_patterns, rng)
-            if not outputs_equal(circuit, work, words, verify_patterns):
-                raise AssertionError(
-                    f"resynthesis changed the function of {circuit.name} "
-                    f"in pass {passes}"
-                )
-        if made == 0:
-            break
+    epoch_before = work.epoch
+    session = AnalysisSession(work)
+    try:
+        paths_before = session.total_paths()
+        total_replacements = 0
+        passes = 0
+        while passes < max_passes:
+            passes += 1
+            made = _resynthesis_pass(work, selector, k, perm_budget,
+                                     seed + passes, exact, session=session)
+            total_replacements += made
+            if verify_patterns:
+                # Seeded per (seed, passes): each pass re-verifies against
+                # fresh patterns instead of re-checking the same ones.
+                rng = random.Random((seed << 20) ^ (passes * 0x9E3779B9)
+                                    ^ 0x5EED)
+                words = random_words(circuit.inputs, verify_patterns, rng)
+                if not outputs_equal(circuit, work, words, verify_patterns):
+                    raise AssertionError(
+                        f"resynthesis changed the function of {circuit.name} "
+                        f"in pass {passes}"
+                    )
+            if made == 0:
+                break
+        paths_after = session.total_paths()
+    finally:
+        session.close()
     work.name = circuit.name
     return ResynthesisReport(
         circuit=work,
@@ -230,7 +255,8 @@ def _run(
         gates_before=gates_before,
         gates_after=two_input_gate_count(work),
         paths_before=paths_before,
-        paths_after=count_paths(work),
+        paths_after=paths_after,
+        mutations=work.epoch - epoch_before,
     )
 
 

@@ -36,7 +36,7 @@ from ..netlist import (
     GateType,
     gate_two_input_equivalents,
 )
-from ..sim import truth_table
+from ..sim import TruthTableCache, cone_signature, truth_table
 
 
 @dataclass(frozen=True)
@@ -69,6 +69,7 @@ def evaluate_cone(
     seed: int = 0,
     max_specs: int = 6,
     exact: bool = False,
+    tt_cache: Optional[TruthTableCache] = None,
 ) -> Optional[ReplacementOption]:
     """Price the best comparison-unit replacement for *cone* (None if none).
 
@@ -76,17 +77,27 @@ def evaluate_cone(
     ``exact=True`` the sampled identification is augmented by the exact
     decision procedure of :mod:`repro.comparison.exact`, which never
     misses a realization (the sampler's 200-permutation budget does, for
-    6+ inputs).
+    6+ inputs).  *tt_cache* memoizes cone truth tables by structural
+    signature, so re-enumerated cones skip extraction and resimulation.
     """
     removable = removable_members(circuit, cone)
     n_removable = sum(
         gate_two_input_equivalents(circuit.gate(m)) for m in removable
     )
-    sub = extract_subcircuit(circuit, cone)
     if not cone.inputs:
+        sub = extract_subcircuit(circuit, cone)
         value = truth_table(sub, input_order=[]) & 1
         return ReplacementOption(cone, None, value, n_removable, 0, 0)
-    tt = truth_table(sub, input_order=cone.inputs)
+    tt: Optional[int] = None
+    key = None
+    if tt_cache is not None:
+        key = cone_signature(circuit, cone.output, cone.members, cone.inputs)
+        tt = tt_cache.get(key)
+    if tt is None:
+        sub = extract_subcircuit(circuit, cone)
+        tt = truth_table(sub, input_order=cone.inputs)
+        if tt_cache is not None:
+            tt_cache.put(key, tt)
     size = 1 << len(cone.inputs)
     if tt == 0 or tt == (1 << size) - 1:
         value = 1 if tt else 0

@@ -25,6 +25,8 @@ from .timing import (
 )
 from .truthtable import (
     MAX_TT_INPUTS,
+    TruthTableCache,
+    cone_signature,
     truth_table,
     truth_tables,
     tt_complement,
@@ -37,8 +39,10 @@ from .truthtable import (
 __all__ = [
     "MAX_TT_INPUTS",
     "TimingSimulator",
+    "TruthTableCache",
     "Waveform",
     "assignment_minterm",
+    "cone_signature",
     "detects_path_fault",
     "eval_gate_packed",
     "exhaustive_input_word",

@@ -8,7 +8,7 @@ subcircuit functions are handed to the comparison-function identifier.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 from ..netlist import Circuit
 from .logicsim import simulate
@@ -99,6 +99,71 @@ def tt_permute(table: int, n_inputs: int, perm: Sequence[int]) -> int:
         if (table >> m_old) & 1:
             out |= 1 << m
     return out
+
+
+def cone_signature(
+    circuit: Circuit,
+    output: str,
+    members: AbstractSet[str],
+    input_order: Sequence[str],
+) -> Tuple:
+    """Canonical structural key of a single-output cone.
+
+    The key serializes the cone's gate DAG with inputs replaced by their
+    position in *input_order*, so it is independent of net names: two
+    cones with equal signatures compute the same function of their
+    (positional) inputs, and a truth table computed for one is valid for
+    the other.  Used as the :class:`TruthTableCache` key.
+    """
+    idx = {net: i for i, net in enumerate(input_order)}
+    memo: Dict[str, Tuple] = {}
+
+    def sig(net: str) -> Tuple:
+        if net not in members:
+            return ("i", idx[net])
+        s = memo.get(net)
+        if s is None:
+            g = circuit.gate(net)
+            memo[net] = s = (g.gtype.value,) + tuple(sig(f) for f in g.fanins)
+        return s
+
+    return sig(output)
+
+
+class TruthTableCache:
+    """Memo of cone truth tables keyed by :func:`cone_signature`.
+
+    Re-enumerated candidate cones — across selection sites and across
+    resynthesis passes — hit the memo and skip exhaustive resimulation.
+    """
+
+    def __init__(self, max_entries: int = 1 << 17) -> None:
+        self._table: Dict[Tuple, int] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: Tuple) -> Optional[int]:
+        """The memoized table for *key*, or None on a miss."""
+        tt = self._table.get(key)
+        if tt is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return tt
+
+    def put(self, key: Tuple, table: int) -> None:
+        """Memoize *table* under *key* (drops all entries when full)."""
+        if len(self._table) >= self._max_entries:
+            self._table.clear()
+        self._table[key] = table
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._table.clear()
 
 
 def tt_support(table: int, n_inputs: int) -> List[int]:

@@ -28,12 +28,14 @@ from .fuzz import (
 from .oracles import (
     ComparisonUnitOracle,
     FaultSimOracle,
+    IncrementalOracle,
     ORACLE_NAMES,
     Oracle,
     ResynthOracle,
     SimulatorOracle,
     Violation,
     default_oracles,
+    incremental_state_mismatch,
     inject_stuck_fault,
     spec_from_seed,
 )
@@ -51,6 +53,7 @@ __all__ = [
     "FuzzConfig",
     "FuzzFinding",
     "FuzzReport",
+    "IncrementalOracle",
     "ORACLE_NAMES",
     "Oracle",
     "ReproArtifact",
@@ -61,6 +64,7 @@ __all__ = [
     "buggy_gate_eval",
     "default_oracles",
     "generate_case",
+    "incremental_state_mismatch",
     "inject_stuck_fault",
     "load_artifact",
     "ref_output_vector",

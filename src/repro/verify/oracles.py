@@ -23,6 +23,13 @@ executable check over a (usually randomly generated) instance:
     any input to the output (Section 3.1), and its generated robust
     path-delay tests must cover every path delay fault of the unit under
     hazard-aware robust detection (Section 3.3).
+``incremental``
+    The incrementally maintained circuit caches (fanout map, topological
+    orders, levels) and the :class:`~repro.analysis.AnalysisSession` path
+    labels must equal independent from-scratch rebuilds after *every*
+    mutation of a seeded random mutation sequence applied to the fuzz
+    circuit (:mod:`repro.netlist.incremental` provides the ground-truth
+    rebuilds).
 
 Violations carry enough context to reproduce: the seed, a message, the
 offending circuit (when one exists) and structured details.  The fuzz
@@ -43,10 +50,22 @@ from ..comparison import (
     unit_cost,
 )
 from ..faults import FaultSimulator, StuckFault, fault_universe
-from ..netlist import Circuit, Gate, GateType
+from ..netlist import (
+    Circuit,
+    CircuitError,
+    Gate,
+    GateType,
+    MULTI_INPUT_TYPES,
+    UNARY_TYPES,
+    is_valid_topological_order,
+    scratch_fanout_map,
+    scratch_levels,
+    scratch_path_labels,
+    scratch_topological_order,
+)
 from ..netlist.equivalence import EquivalenceStatus, formally_equivalent
 from ..pdf import RobustCriterion, robust_faults_detected, simulate_pair
-from ..analysis import enumerate_paths
+from ..analysis import AnalysisSession, enumerate_paths
 from ..sim.logicsim import simulate
 from ..sim.patterns import pattern_bits, random_words
 from ..sim.truthtable import truth_tables
@@ -454,8 +473,229 @@ class ComparisonUnitOracle(Oracle):
         return []
 
 
+# --------------------------------------------------------------------- #
+# incremental: patched caches and session labels vs from-scratch rebuilds
+# --------------------------------------------------------------------- #
+
+
+def incremental_state_mismatch(
+    circuit: Circuit, session: Optional[AnalysisSession] = None
+) -> Optional[str]:
+    """First divergence between incremental state and scratch rebuilds.
+
+    Compares the circuit's live fanout map, canonical topological order,
+    internal Pearce-Kelly order and levels — plus, when a *session* is
+    given, its path labels — against the independent reference rebuilds of
+    :mod:`repro.netlist.incremental`.  Returns a description of the first
+    mismatch, or None when everything agrees.
+    """
+    fo = circuit.fanout_map()
+
+    def norm(m: Dict[str, List[str]]) -> Dict[str, List[str]]:
+        # Reader-list order is mutation-history dependent; empty entries
+        # for vanished dangling nets are cosmetically allowed.
+        return {
+            n: sorted(rs) for n, rs in m.items() if rs or circuit.has_net(n)
+        }
+
+    if norm(fo) != norm(scratch_fanout_map(circuit)):
+        return "fanout map diverged from scratch rebuild"
+    try:
+        want_topo = scratch_topological_order(circuit)
+    except ValueError:
+        try:
+            circuit.topological_order()
+        except CircuitError:
+            return None  # both sides agree the circuit is cyclic
+        return "cache missed a combinational cycle the rebuild found"
+    order = circuit.topological_order()
+    if order != want_topo:
+        return "canonical topological order diverged from scratch Kahn"
+    live_order = circuit._live_order  # whitebox: the PK-maintained order
+    if live_order is not None:
+        live = [n for n in live_order if n is not None]
+        if not is_valid_topological_order(circuit, live):
+            return "live (Pearce-Kelly) order is not a valid topo order"
+    if circuit.levels() != scratch_levels(circuit):
+        return "levels diverged from scratch rebuild"
+    if session is not None:
+        if session.labels() != scratch_path_labels(circuit):
+            return "session path labels diverged from scratch Procedure 1"
+    return None
+
+
+class IncrementalOracle(Oracle):
+    """Incremental maintenance ≡ from-scratch recompute, after every step.
+
+    Copies the fuzz circuit, forces every cache and attaches an
+    :class:`~repro.analysis.AnalysisSession`, then applies a seeded random
+    mutation sequence drawn from the real mutation API —
+    ``replace_gate``, ``rewire_fanin``, ``substitute_net``, ``add_gate``,
+    ``remove_gate``, ``sweep``, ``add_output`` — re-checking
+    :func:`incremental_state_mismatch` after **every** mutation.  All
+    mutations are acyclicity-guarded via transitive-fanout checks, so a
+    divergence is always a maintenance bug, never an invalid instance.
+    """
+
+    name = "incremental"
+
+    def __init__(self, steps: int = 24) -> None:
+        self._steps = steps
+
+    def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
+        work = circuit.copy()
+        rng = random.Random((seed << 16) ^ 0x1C4E)
+        session = AnalysisSession(work)
+        try:
+            # Force every cache so each mutation exercises the patch paths.
+            work.fanout_map()
+            work.topological_order()
+            work.levels()
+            session.labels()
+            epoch = work.epoch
+            for step in range(self._steps):
+                desc = self._mutate(work, rng)
+                if desc is None:
+                    continue
+                if work.epoch <= epoch:
+                    return [self._violation(
+                        circuit, seed, step, desc,
+                        "mutation did not advance the epoch counter",
+                    )]
+                epoch = work.epoch
+                msg = incremental_state_mismatch(work, session)
+                if msg is not None:
+                    return [self._violation(circuit, seed, step, desc, msg)]
+        finally:
+            session.close()
+        return []
+
+    def _violation(
+        self, circuit: Circuit, seed: int, step: int, desc: str, msg: str
+    ) -> Violation:
+        return Violation(
+            self.name, seed,
+            f"after step {step} ({desc}): {msg}",
+            circuit=circuit,
+            details={"step": step, "mutation": desc},
+        )
+
+    # -- seeded mutation generator ------------------------------------- #
+
+    def _mutate(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        """Apply one random mutation; returns its description (None: skip)."""
+        ops = [
+            self._op_replace, self._op_rewire, self._op_substitute,
+            self._op_add_gate, self._op_remove, self._op_sweep,
+            self._op_add_output,
+        ]
+        weights = [4, 4, 3, 3, 2, 2, 1]
+        op = rng.choices(ops, weights=weights, k=1)[0]
+        return op(work, rng)
+
+    @staticmethod
+    def _logic_nets(work: Circuit) -> List[str]:
+        return [g.name for g in work.logic_gates()]
+
+    @staticmethod
+    def _random_gate(
+        work: Circuit, rng: random.Random, name: str, pool: List[str]
+    ) -> Optional[Gate]:
+        """A random legal gate named *name* over fanins drawn from *pool*."""
+        if not pool:
+            return None
+        gtype = rng.choice(sorted(
+            UNARY_TYPES | MULTI_INPUT_TYPES, key=lambda t: t.value
+        ))
+        arity = 1 if gtype in UNARY_TYPES else rng.randint(
+            2, min(3, max(2, len(pool)))
+        )
+        if len(pool) < arity:
+            return None
+        fanins = tuple(rng.choice(pool) for _ in range(arity))
+        return Gate(name, gtype, fanins)
+
+    def _op_replace(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        nets = self._logic_nets(work)
+        if not nets:
+            return None
+        name = rng.choice(nets)
+        downstream = work.transitive_fanout([name])
+        pool = [n for n in work.nets() if n not in downstream]
+        gate = self._random_gate(work, rng, name, pool)
+        if gate is None:
+            return None
+        work.replace_gate(gate)
+        return f"replace_gate({name})"
+
+    def _op_rewire(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        withins = [g.name for g in work.logic_gates() if g.fanins]
+        if not withins:
+            return None
+        name = rng.choice(withins)
+        old = rng.choice(work.gate(name).fanins)
+        downstream = work.transitive_fanout([name])
+        pool = [n for n in work.nets() if n not in downstream]
+        if not pool:
+            return None
+        new = rng.choice(pool)
+        work.rewire_fanin(name, old, new)
+        return f"rewire_fanin({name}, {old}->{new})"
+
+    def _op_substitute(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        nets = self._logic_nets(work)
+        if not nets:
+            return None
+        old = rng.choice(nets)
+        if not work.fanouts(old) and old not in work.output_set:
+            return None  # substitute_net would be a pure (epoch-less) no-op
+        downstream = work.transitive_fanout([old])
+        pool = [n for n in work.nets() if n not in downstream]
+        if not pool:
+            return None
+        new = rng.choice(pool)
+        work.substitute_net(old, new)
+        return f"substitute_net({old}->{new})"
+
+    def _op_add_gate(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        name = work.fresh_net("fz")
+        gate = self._random_gate(work, rng, name, work.nets())
+        if gate is None:
+            return None
+        work.add_gate(name, gate.gtype, gate.fanins)
+        if rng.random() < 0.5:
+            work.add_output(name)
+        return f"add_gate({name})"
+
+    def _op_remove(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        outs = work.output_set
+        dead = [
+            g.name for g in work.logic_gates()
+            if not work.fanouts(g.name) and g.name not in outs
+        ]
+        if not dead:
+            return None
+        net = rng.choice(dead)
+        work.remove_gate(net)
+        return f"remove_gate({net})"
+
+    def _op_sweep(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        removed = work.sweep()
+        if not removed:
+            return None
+        return f"sweep(removed={removed})"
+
+    def _op_add_output(self, work: Circuit, rng: random.Random) -> Optional[str]:
+        nets = work.nets()
+        if not nets:
+            return None
+        net = rng.choice(nets)
+        work.add_output(net)
+        return f"add_output({net})"
+
+
 #: Construction order for ``--oracle all``.
-ORACLE_NAMES = ("sim", "fault", "resynth", "unit")
+ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental")
 
 
 def default_oracles(
@@ -468,6 +708,7 @@ def default_oracles(
         "fault": FaultSimOracle,
         "resynth": ResynthOracle,
         "unit": ComparisonUnitOracle,
+        "incremental": IncrementalOracle,
     }
     wanted = list(names) if names else list(ORACLE_NAMES)
     oracles: List[Oracle] = []

@@ -1,0 +1,114 @@
+"""AnalysisSession: incrementally maintained Procedure 1 labels."""
+
+import random
+
+import pytest
+
+from repro.analysis import AnalysisSession, count_paths, path_labels
+from repro.netlist import (
+    CircuitBuilder,
+    Gate,
+    GateType,
+    scratch_path_labels,
+)
+
+
+def chain():
+    b = CircuitBuilder("chain")
+    a, c = b.inputs("a", "b")
+    g1 = b.AND(a, c, name="g1")
+    g2 = b.OR(g1, a, name="g2")
+    g3 = b.AND(g2, g1, name="g3")
+    b.outputs(g3)
+    return b.build()
+
+
+class TestLabels:
+    def test_matches_batch_path_labels(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            assert s.labels() == path_labels(c)
+            assert s.total_paths() == count_paths(c)
+
+    def test_incremental_after_replace(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            s.labels()  # prime
+            c.replace_gate(Gate("g2", GateType.NAND, ("a", "b")))
+            assert s.labels() == path_labels(c)
+            assert s.total_paths() == count_paths(c)
+
+    def test_incremental_after_remove_and_add(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            s.labels()
+            c.set_outputs(["g2"])
+            c.remove_gate("g3")
+            c.add_gate("g4", GateType.NOT, ("g2",))
+            c.add_output("g4")
+            assert s.labels() == path_labels(c)
+            assert s.total_paths() == count_paths(c)
+
+    def test_label_and_current_paths_on(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            want = path_labels(c)
+            assert s.label("g2") == want["g2"]
+            # N_p of a gate output = sum of its fanin labels
+            assert s.current_paths_on("g3") == want["g2"] + want["g1"]
+
+    def test_duplicate_outputs_counted_like_count_paths(self):
+        c = chain()
+        c.add_output("g3")  # g3 now listed twice
+        with AnalysisSession(c) as s:
+            assert s.total_paths() == count_paths(c)
+
+    def test_dirty_reset_recovers(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            s.labels()
+            c._dirty()  # wholesale invalidation -> reset event
+            assert s.labels() == path_labels(c)
+
+    def test_close_detaches(self):
+        c = chain()
+        s = AnalysisSession(c)
+        before = dict(s.labels())
+        s.close()
+        c.replace_gate(Gate("g2", GateType.NAND, ("a", "b")))
+        # No longer subscribed: the session must not see the mutation
+        # (stale by design after close).
+        assert s.labels() == before
+
+    def test_truth_table_cache_attached(self):
+        c = chain()
+        with AnalysisSession(c) as s:
+            s.truth_tables.put(("k",), 3)
+            assert s.truth_tables.get(("k",)) == 3
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_labels_track_random_mutations(self, seed):
+        rng = random.Random(0xE7 + seed)
+        b = CircuitBuilder(f"rw{seed}")
+        ins = b.inputs(*[f"i{k}" for k in range(4)])
+        nets = list(ins)
+        for k in range(10):
+            nets.append(b.NAND(rng.choice(nets), rng.choice(nets),
+                               name=f"g{k}"))
+        b.outputs(nets[-1], nets[-2])
+        c = b.build()
+        with AnalysisSession(c) as s:
+            s.labels()
+            for _ in range(25):
+                logic = [g.name for g in c.logic_gates()]
+                name = rng.choice(logic)
+                pool = [n for n in c.nets()
+                        if n not in c.transitive_fanout([name])]
+                if len(pool) < 2:
+                    continue
+                c.replace_gate(Gate(name, GateType.NAND,
+                                    (rng.choice(pool), rng.choice(pool))))
+                assert s.labels() == scratch_path_labels(c)
+                assert s.total_paths() == count_paths(c)

@@ -1,0 +1,60 @@
+"""The positional unit-cost memo must be transparent to callers."""
+
+import random
+
+from repro.analysis import internal_path_counts
+from repro.comparison import ComparisonSpec, build_unit, unit_cost
+from repro.comparison.unit import _positional_unit_cost
+
+
+def reference_cost(spec, merge=True):
+    """Measure the unit the slow way, without the memo."""
+    unit = build_unit(spec, merge=merge)
+    per = internal_path_counts(unit)
+    return {
+        "gates": len([g for g in unit.logic_gates()]),
+        "paths_per_input": {pi: per.get(pi, 0) for pi in spec.inputs},
+        "depth": unit.depth(),
+    }
+
+
+class TestMemoEquivalence:
+    def test_matches_direct_measurement(self):
+        rng = random.Random(0xC0)
+        for _ in range(30):
+            n = rng.randint(2, 6)
+            lo = rng.randrange(1 << n)
+            hi = rng.randrange(lo, 1 << n)
+            spec = ComparisonSpec(
+                tuple(f"net{chr(97 + i)}" for i in range(n)),
+                lo, hi, rng.random() < 0.5,
+            )
+            cost = unit_cost(spec)
+            ref = reference_cost(spec)
+            assert cost.paths_per_input == ref["paths_per_input"]
+            assert cost.depth == ref["depth"]
+            assert cost.total_internal_paths == sum(
+                ref["paths_per_input"].values()
+            )
+
+    def test_renamed_inputs_share_shape(self):
+        # Same (n, L, U, complement): one underlying memo entry, costs
+        # keyed back to each caller's own input names.
+        _positional_unit_cost.cache_clear()
+        s1 = ComparisonSpec(("p", "q", "r"), 2, 5, False)
+        s2 = ComparisonSpec(("x", "y", "z"), 2, 5, False)
+        c1 = unit_cost(s1)
+        c2 = unit_cost(s2)
+        info = _positional_unit_cost.cache_info()
+        assert info.misses == 1 and info.hits == 1
+        assert set(c1.paths_per_input) == {"p", "q", "r"}
+        assert set(c2.paths_per_input) == {"x", "y", "z"}
+        assert (list(c1.paths_per_input.values())
+                == list(c2.paths_per_input.values()))
+        assert c1.two_input_gates == c2.two_input_gates
+
+    def test_merge_flag_keyed_separately(self):
+        spec = ComparisonSpec(("a", "b", "c", "d"), 3, 11, True)
+        merged = unit_cost(spec, merge=True)
+        unmerged = unit_cost(spec, merge=False)
+        assert merged.two_input_gates <= unmerged.two_input_gates

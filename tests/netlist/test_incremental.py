@@ -1,0 +1,287 @@
+"""Incremental cache maintenance: patched state vs from-scratch rebuilds.
+
+The contract under test (see ``docs/INCREMENTAL.md``): after *any* mutation
+the fanout map, canonical topological order, live (Pearce-Kelly) order and
+structural levels must equal what an independent rebuild computes, the
+mutation epoch must have advanced, and subscribers must have seen exactly
+one event of the right kind.
+"""
+
+import random
+
+import pytest
+
+from repro.netlist import (
+    CHANGE_ADD,
+    CHANGE_DRIVER,
+    CHANGE_OUTPUTS,
+    CHANGE_REMOVE,
+    CHANGE_RESET,
+    Circuit,
+    CircuitBuilder,
+    CircuitError,
+    Gate,
+    GateType,
+    NetChange,
+    is_valid_topological_order,
+    scratch_fanout_map,
+    scratch_levels,
+    scratch_topological_order,
+)
+
+
+def diamond():
+    b = CircuitBuilder("diamond")
+    a, c = b.inputs("a", "b")
+    g1 = b.AND(a, c, name="g1")
+    g2 = b.OR(g1, a, name="g2")
+    g3 = b.NOT(g1, name="g3")
+    g4 = b.AND(g2, g3, name="g4")
+    b.outputs(g4)
+    return b.build()
+
+
+def force_caches(c: Circuit) -> None:
+    c.fanout_map()
+    c.topological_order()
+    c.levels()
+
+
+def assert_consistent(c: Circuit) -> None:
+    """All incremental caches equal their from-scratch rebuilds."""
+    fo = {n: sorted(rs) for n, rs in c.fanout_map().items()
+          if rs or c.has_net(n)}
+    want = {n: sorted(rs) for n, rs in scratch_fanout_map(c).items()}
+    assert fo == want
+    assert c.topological_order() == scratch_topological_order(c)
+    if c._live_order is not None:
+        live = [n for n in c._live_order if n is not None]
+        assert is_valid_topological_order(c, live)
+    assert c.levels() == scratch_levels(c)
+
+
+class Recorder:
+    """A subscriber that records every NetChange it is delivered."""
+
+    def __init__(self):
+        self.events = []
+
+    def circuit_changed(self, circuit, change):
+        self.events.append(change)
+
+
+class TestEpochAndEvents:
+    def test_each_mutation_bumps_epoch_once(self):
+        c = diamond()
+        rec = Recorder()
+        c.subscribe(rec)
+        e0 = c.epoch
+        c.add_gate("g5", GateType.NOT, ("g4",))
+        assert c.epoch == e0 + 1
+        c.replace_gate(Gate("g5", GateType.BUF, ("g4",)))
+        assert c.epoch == e0 + 2
+        c.add_output("g5")
+        assert c.epoch == e0 + 3
+        assert [ev.kind for ev in rec.events] == [
+            CHANGE_ADD, CHANGE_DRIVER, CHANGE_OUTPUTS,
+        ]
+        assert rec.events[0] == NetChange(CHANGE_ADD, "g5")
+
+    def test_remove_and_sweep_emit_remove_events(self):
+        c = diamond()
+        c.add_gate("dead1", GateType.NOT, ("g1",))
+        c.add_gate("dead2", GateType.NOT, ("dead1",))
+        rec = Recorder()
+        c.subscribe(rec)
+        removed = c.sweep()
+        assert removed == 2
+        assert sorted((ev.kind, ev.net) for ev in rec.events) == [
+            (CHANGE_REMOVE, "dead1"), (CHANGE_REMOVE, "dead2"),
+        ]
+
+    def test_dirty_notifies_reset(self):
+        c = diamond()
+        rec = Recorder()
+        c.subscribe(rec)
+        c._dirty()
+        assert rec.events == [NetChange(CHANGE_RESET)]
+
+    def test_unsubscribe_stops_delivery(self):
+        c = diamond()
+        rec = Recorder()
+        c.subscribe(rec)
+        c.unsubscribe(rec)
+        c.add_output("g1")
+        assert rec.events == []
+        c.unsubscribe(rec)  # unknown observer: silently ignored
+
+    def test_copy_does_not_carry_subscribers(self):
+        c = diamond()
+        rec = Recorder()
+        c.subscribe(rec)
+        c2 = c.copy()
+        c2.add_output("g1")
+        assert rec.events == []
+
+
+class TestFreshNet:
+    def test_no_collision_and_monotonic(self):
+        c = diamond()
+        n1 = c.fresh_net("t")
+        c.add_gate(n1, GateType.NOT, ("g1",))
+        n2 = c.fresh_net("t")
+        assert n2 != n1 and n2 not in c
+
+    def test_survives_manual_collisions(self):
+        c = diamond()
+        c.add_gate("t7", GateType.NOT, ("g1",))
+        c._fresh_counters["t"] = 7
+        n = c.fresh_net("t")
+        assert n not in ("t7",) and n not in c
+
+    def test_amortized_constant_after_removals(self):
+        # The counter must not rescan from len(gates) after removals:
+        # names it already handed out stay retired.
+        c = diamond()
+        seen = set()
+        for _ in range(50):
+            n = c.fresh_net("z")
+            assert n not in seen
+            seen.add(n)
+            c.add_gate(n, GateType.NOT, ("g1",))
+            c.remove_gate(n)
+
+    def test_counters_copied(self):
+        c = diamond()
+        n1 = c.fresh_net("q")
+        c2 = c.copy()
+        assert c2.fresh_net("q") == c.fresh_net("q") != n1
+
+
+class TestPatchedCaches:
+    def test_replace_gate(self):
+        c = diamond()
+        force_caches(c)
+        c.replace_gate(Gate("g2", GateType.NAND, ("a", "b")))
+        assert_consistent(c)
+
+    def test_rewire_fanin(self):
+        c = diamond()
+        force_caches(c)
+        c.rewire_fanin("g4", "g3", "b")
+        assert_consistent(c)
+
+    def test_remove_gate(self):
+        c = diamond()
+        force_caches(c)
+        c.set_outputs(["g2"])
+        c.remove_gate("g4")
+        assert_consistent(c)
+
+    def test_substitute_net_multi_pin_reader(self):
+        # A reader touching the substituted net on two pins must be rewired
+        # exactly once (rewire_fanin replaces every pin at a time).
+        c = diamond()
+        c.add_gate("g5", GateType.AND, ("g1", "g1"))
+        c.add_output("g5")
+        force_caches(c)
+        c.substitute_net("g1", "a")
+        assert c.gate("g5").fanins == ("a", "a")
+        assert_consistent(c)
+
+    def test_sweep(self):
+        c = diamond()
+        c.add_gate("d1", GateType.NOT, ("g1",))
+        c.add_gate("d2", GateType.AND, ("d1", "g2"))
+        force_caches(c)
+        c.sweep()
+        assert not c.has_net("d1") and not c.has_net("d2")
+        assert_consistent(c)
+
+    def test_hole_compaction_keeps_live_order_valid(self):
+        c = diamond()
+        force_caches(c)
+        for i in range(200):  # far past the 64-hole compaction threshold
+            n = c.fresh_net("h")
+            c.add_gate(n, GateType.NOT, ("g1",))
+            c.remove_gate(n)
+            if i % 37 == 0:
+                assert_consistent(c)
+        assert_consistent(c)
+
+
+class TestCycleSemantics:
+    def test_cycle_created_after_caches_raises_at_query(self):
+        c = diamond()
+        force_caches(c)
+        # g1 -> g2 -> g1 is a combinational cycle; the mutation itself
+        # succeeds (PK just drops the live caches) and the canonical
+        # rebuild reports it at the next query.
+        c.rewire_fanin("g1", "a", "g2")
+        with pytest.raises(CircuitError):
+            c.topological_order()
+        with pytest.raises(ValueError):
+            scratch_topological_order(c)
+        # repairing the cycle restores service
+        c.rewire_fanin("g1", "g2", "a")
+        assert_consistent(c)
+
+
+def mutate_once(c: Circuit, rng: random.Random) -> None:
+    """One random structure mutation, guarded acyclic."""
+    kind = rng.randrange(5)
+    logic = [g.name for g in c.logic_gates()]
+    if kind == 0 and logic:
+        name = rng.choice(logic)
+        pool = [n for n in c.nets()
+                if n not in c.transitive_fanout([name])]
+        if len(pool) >= 2:
+            gtype = rng.choice([GateType.AND, GateType.OR, GateType.NAND,
+                                GateType.XOR, GateType.NOT])
+            arity = 1 if gtype is GateType.NOT else 2
+            c.replace_gate(Gate(name, gtype,
+                                tuple(rng.choice(pool)
+                                      for _ in range(arity))))
+    elif kind == 1 and logic:
+        name = rng.choice([n for n in logic if c.gate(n).fanins] or logic)
+        g = c.gate(name)
+        if g.fanins:
+            pool = [n for n in c.nets()
+                    if n not in c.transitive_fanout([name])]
+            if pool:
+                c.rewire_fanin(name, rng.choice(g.fanins), rng.choice(pool))
+    elif kind == 2:
+        n = c.fresh_net("m")
+        pool = c.nets()
+        c.add_gate(n, GateType.NAND,
+                   (rng.choice(pool), rng.choice(pool)))
+        if rng.random() < 0.5:
+            c.add_output(n)
+    elif kind == 3 and logic:
+        old = rng.choice(logic)
+        pool = [n for n in c.nets()
+                if n not in c.transitive_fanout([old])]
+        if pool:
+            c.substitute_net(old, rng.choice(pool))
+    else:
+        c.sweep()
+
+
+class TestMutationProperty:
+    """Satellite: mutation semantics vs from-scratch rebuild, randomized."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_walk_stays_consistent(self, seed):
+        rng = random.Random(seed * 7919 + 13)
+        b = CircuitBuilder(f"walk{seed}")
+        ins = b.inputs(*[f"i{k}" for k in range(rng.randint(3, 6))])
+        nets = list(ins)
+        for k in range(rng.randint(5, 15)):
+            g = b.NAND(rng.choice(nets), rng.choice(nets), name=f"g{k}")
+            nets.append(g)
+        b.outputs(*rng.sample(nets[len(ins):] or nets, 1))
+        c = b.build()
+        force_caches(c)
+        for _ in range(30):
+            mutate_once(c, rng)
+            assert_consistent(c)

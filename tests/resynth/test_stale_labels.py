@@ -1,0 +1,85 @@
+"""Regression: path labels must be *current* at every selection site.
+
+Historically ``_resynthesis_pass`` computed the Procedure 1 labels once at
+pass start and priced every candidate against that snapshot.  A replacement
+changes the labels of its cone output and introduces ``cu_*`` nets the
+snapshot has never heard of, so later selection sites in the same pass were
+priced against stale (and incomplete) data.  The outputs-to-inputs sweep
+order happens to make the stale values unobservable by later *selections*
+(upstream labels only depend on upstream structure), but the invariant is
+subtle and one refactor away from breaking — the session now keeps the
+labels exactly current, and this test pins that down.
+"""
+
+from repro.analysis import AnalysisSession, path_labels
+from repro.benchcircuits.suite import interval_decode_sop
+from repro.netlist import CircuitBuilder, decompose_two_input
+from repro.resynth.procedures import _resynthesis_pass, _select_for_gates
+
+
+def two_decode_fixture():
+    """Two expensive interval decodes: at least two replacement sites."""
+    b = CircuitBuilder("two_decode")
+    xs = b.inputs(*[f"x{j}" for j in range(5)])
+    ys = b.inputs(*[f"y{j}" for j in range(5)])
+    d1 = b.AND(interval_decode_sop(b, xs, 7, 22), b.inputs("e0")[0])
+    d2 = b.OR(interval_decode_sop(b, ys, 4, 19), b.inputs("e1")[0])
+    b.outputs(d1, d2)
+    return b.build()
+
+
+class TestLabelsCurrentAtSelection:
+    def test_spy_selector_sees_fresh_labels(self):
+        work = decompose_two_input(two_decode_fixture())
+        session = AnalysisSession(work)
+        snapshot = dict(session.labels())  # what the old code priced against
+        state = {
+            "replacements": 0,
+            "post_checks": 0,
+            "snapshot_diverged": False,
+            "cu_covered": False,
+        }
+
+        def spy(options, current_paths):
+            fresh = path_labels(work)
+            # The heart of the regression: the session's labels equal a
+            # from-scratch recompute at *every* selection site, not just at
+            # pass start.
+            assert session.labels() == fresh
+            if state["replacements"]:
+                state["post_checks"] += 1
+                if fresh != snapshot:
+                    state["snapshot_diverged"] = True
+                cu_nets = [n for n in work.nets() if n.startswith("cu_")]
+                if cu_nets and all(n in session.labels() for n in cu_nets):
+                    state["cu_covered"] = True
+            chosen = _select_for_gates(options, current_paths)
+            if chosen is not None:
+                state["replacements"] += 1
+            return chosen
+
+        made = _resynthesis_pass(work, spy, 5, 200, 0, session=session)
+        session.close()
+        assert made >= 2, "fixture must trigger at least two replacements"
+        assert state["post_checks"] > 0
+        # The pass-start snapshot really is stale after the first
+        # replacement (replaced output relabelled, cu_* nets missing) —
+        # i.e. this test would fail against the historical implementation.
+        assert state["snapshot_diverged"]
+        assert state["cu_covered"]
+
+    def test_snapshot_misses_created_nets(self):
+        # Direct demonstration of the historical hazard: the pass-start
+        # labels have no entry for nets a replacement creates.
+        work = decompose_two_input(two_decode_fixture())
+        session = AnalysisSession(work)
+        snapshot = dict(session.labels())
+        made = _resynthesis_pass(
+            work, _select_for_gates, 5, 200, 0, session=session
+        )
+        assert made >= 2
+        created = [n for n in work.nets() if n.startswith("cu_")]
+        assert created, "replacements must have emitted comparison units"
+        assert all(n not in snapshot for n in created)
+        assert session.labels() == path_labels(work)
+        session.close()

@@ -1,0 +1,79 @@
+"""Cone signatures and the truth-table memo (`repro.sim.truthtable`)."""
+
+from repro.analysis import Cone, extract_subcircuit
+from repro.netlist import CircuitBuilder
+from repro.sim import TruthTableCache, cone_signature, truth_table
+
+
+def host():
+    b = CircuitBuilder("host")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    g1 = b.AND(a, bb, name="g1")
+    g2 = b.OR(g1, c, name="g2")
+    # same shape again over different nets
+    h1 = b.AND(bb, d, name="h1")
+    h2 = b.OR(h1, a, name="h2")
+    b.outputs(g2, h2)
+    return b.build()
+
+
+def cone(circ, output, members, inputs):
+    return Cone(output=output, members=frozenset(members),
+                inputs=tuple(inputs))
+
+
+class TestConeSignature:
+    def test_name_independent(self):
+        c = host()
+        s1 = cone_signature(c, "g2", {"g1", "g2"}, ["a", "b", "c"])
+        s2 = cone_signature(c, "h2", {"h1", "h2"}, ["b", "d", "a"])
+        assert s1 == s2  # same DAG shape, same positional inputs
+
+    def test_input_order_matters(self):
+        c = host()
+        s1 = cone_signature(c, "g2", {"g1", "g2"}, ["a", "b", "c"])
+        s2 = cone_signature(c, "g2", {"g1", "g2"}, ["b", "a", "c"])
+        assert s1 != s2
+
+    def test_membership_matters(self):
+        c = host()
+        full = cone_signature(c, "g2", {"g1", "g2"}, ["a", "b", "c"])
+        cut = cone_signature(c, "g2", {"g2"}, ["g1", "c"])
+        assert full != cut
+
+    def test_signature_transfers_truth_table(self):
+        # Equal signatures really do mean equal positional truth tables.
+        c = host()
+        cg = cone(c, "g2", {"g1", "g2"}, ["a", "b", "c"])
+        ch = cone(c, "h2", {"h1", "h2"}, ["b", "d", "a"])
+        tg = truth_table(extract_subcircuit(c, cg), input_order=cg.inputs)
+        th = truth_table(extract_subcircuit(c, ch), input_order=ch.inputs)
+        assert tg == th
+
+
+class TestTruthTableCache:
+    def test_hit_miss_counters(self):
+        cache = TruthTableCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 6)
+        assert cache.get(("k",)) == 6
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_capacity_clears_wholesale(self):
+        cache = TruthTableCache(max_entries=4)
+        for i in range(4):
+            cache.put(("k", i), i)
+        assert len(cache) == 4
+        cache.put(("k", 99), 99)  # over capacity: table dropped first
+        assert len(cache) == 1
+        assert cache.get(("k", 0)) is None
+        assert cache.get(("k", 99)) == 99
+
+    def test_clear_keeps_counters(self):
+        cache = TruthTableCache()
+        cache.put(("k",), 1)
+        cache.get(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1

@@ -46,7 +46,9 @@ class TestSmokeRun:
         report = run_fuzz(seeds=6, seed_base=100)
         assert report.ok, report.summary()
         assert report.seeds_run == 6
-        assert set(report.checks_run) == {"sim", "fault", "resynth", "unit"}
+        assert set(report.checks_run) == {
+            "sim", "fault", "resynth", "unit", "incremental",
+        }
         assert all(n == 6 for n in report.checks_run.values())
 
     def test_budget_required(self):
