@@ -12,6 +12,11 @@ paths and compare with ``--compare``::
 ``--quick`` runs a seconds-scale subset (used as the CI smoke check, which
 only guards that the benchmark itself keeps working; timing assertions
 would be noise on shared runners).
+
+``--jobs N`` fans candidate evaluation over N worker processes
+(:mod:`repro.parallel`).  Report numbers are bit-identical at any value —
+``--compare`` enforces exactly that — so a ``--jobs`` run can be compared
+against a serial baseline; the ``jobs`` column records what was used.
 """
 
 import argparse
@@ -31,15 +36,16 @@ QUICK_CIRCUITS = ["syn1423"]
 PROCEDURES = {"procedure2": procedure2, "procedure3": procedure3}
 
 
-def bench_one(name, k, seed):
+def bench_one(name, k, seed, jobs):
     circuit = suite_circuit(name)
     entry = {}
     for proc_name, proc in PROCEDURES.items():
         t0 = time.perf_counter()
-        rep = proc(circuit, k=k, seed=seed)
+        rep = proc(circuit, k=k, seed=seed, jobs=jobs)
         wall = time.perf_counter() - t0
         entry[proc_name] = {
             "wall_s": round(wall, 3),
+            "jobs": rep.jobs,
             "gates_before": rep.gates_before,
             "gates_after": rep.gates_after,
             "paths_before": rep.paths_before,
@@ -90,6 +96,9 @@ def main():
                     help="suite circuit names (default: small/mid/large)")
     ap.add_argument("--k", type=int, default=5)
     ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for candidate evaluation "
+                         "(default 1 = serial; reports are identical)")
     ap.add_argument("--quick", action="store_true",
                     help="seconds-scale smoke subset (CI)")
     ap.add_argument("--out", default=None,
@@ -106,12 +115,14 @@ def main():
         "schema": 1,
         "k": args.k,
         "seed": args.seed,
+        "jobs": args.jobs,
         "python": platform.python_version(),
         "results": {},
     }
     t0 = time.perf_counter()
     for name in circuits:
-        report["results"][name] = bench_one(name, args.k, args.seed)
+        report["results"][name] = bench_one(name, args.k, args.seed,
+                                            args.jobs)
     report["total_wall_s"] = round(time.perf_counter() - t0, 3)
     print(f"total: {report['total_wall_s']:.1f}s")
 

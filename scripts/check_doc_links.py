@@ -1,0 +1,96 @@
+"""Dead-link checker for the repository's Markdown documentation.
+
+Scans ``docs/*.md`` plus the root ``README.md`` and ``DESIGN.md`` (and
+any extra files given on the command line) for relative Markdown links
+and inline-code path references, and fails (exit 1) when a target does
+not exist on disk.  External links (``http://``, ``https://``,
+``mailto:``) and pure anchors (``#section``) are ignored; an anchor on a
+relative link is stripped before the existence check.
+
+Run it from the repository root::
+
+    python scripts/check_doc_links.py
+
+CI runs exactly that, so a renamed doc or a stale cross-reference fails
+the build instead of rotting quietly.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Inline-code references that look like repo paths we also want to pin:
+#: `docs/FOO.md`, `scripts/foo.py`, `tests/...`, `src/repro/...`.
+CODE_PATH_RE = re.compile(
+    r"`((?:docs|scripts|tests|src|benchmarks|examples)/[A-Za-z0-9_./-]+)`"
+)
+
+DEFAULT_FILES = ["README.md", "DESIGN.md"]
+DEFAULT_GLOBS = ["docs/*.md"]
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Return ``(line_no, target)`` pairs whose targets do not exist."""
+    dead = []
+    text = path.read_text(encoding="utf-8")
+    for line_no, line in enumerate(text.splitlines(), 1):
+        targets = LINK_RE.findall(line) + CODE_PATH_RE.findall(line)
+        for target in targets:
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            # Relative to the referencing file first, then the repo root
+            # (prose habitually writes root-relative paths like
+            # `scripts/bench_resynth.py` from inside docs/).
+            if (path.parent / rel).exists() or (root / rel).exists():
+                continue
+            # Globs in prose (`tests/verify/corpus/*.json`) count as live
+            # when they match anything.
+            if any(root.glob(rel)) or any(path.parent.glob(rel)):
+                continue
+            dead.append((line_no, target))
+    return dead
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*",
+                    help="extra Markdown files to check (default: "
+                         "README.md, DESIGN.md, docs/*.md)")
+    args = ap.parse_args(argv)
+
+    root = Path(__file__).resolve().parent.parent
+    files = [root / f for f in DEFAULT_FILES]
+    for pattern in DEFAULT_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    files.extend(Path(f) for f in args.files)
+
+    failures = 0
+    checked = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: missing file")
+            failures += 1
+            continue
+        checked += 1
+        try:
+            shown = path.relative_to(root)
+        except ValueError:
+            shown = path
+        for line_no, target in check_file(path, root):
+            print(f"{shown}:{line_no}: dead link -> {target}")
+            failures += 1
+    status = "FAILED" if failures else "ok"
+    print(f"doc-link check {status}: {checked} file(s), "
+          f"{failures} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

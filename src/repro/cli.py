@@ -4,8 +4,10 @@ Subcommands
 -----------
 ``stats CIRCUIT``
     Print size/path statistics for a circuit (suite name or ``.bench``).
-``resynth CIRCUIT [--objective gates|paths] [--k K] [--out FILE]``
-    Run Procedure 2 or 3 and optionally write the result.
+``resynth CIRCUIT [--objective gates|paths] [--k K] [--jobs N] [--out FILE]``
+    Run Procedure 2 or 3 and optionally write the result; ``--jobs``
+    fans candidate evaluation over worker processes (bit-identical
+    reports at any value, see docs/PARALLEL.md).
 ``identify CIRCUIT OUTPUT_NET [--k K]``
     Check whether the cone feeding a net realizes a comparison function.
 ``tables [N ...]``
@@ -53,7 +55,8 @@ def _cmd_resynth(args) -> int:
 
     circuit = _load(args.circuit)
     proc = procedure2 if args.objective == "gates" else procedure3
-    report = proc(circuit, k=args.k, verify_patterns=args.verify)
+    report = proc(circuit, k=args.k, verify_patterns=args.verify,
+                  jobs=args.jobs)
     print(report.summary())
     if args.out:
         save_bench(report.circuit, args.out)
@@ -208,6 +211,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--objective", choices=("gates", "paths"),
                    default="gates")
     p.add_argument("--k", type=int, default=5)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for candidate evaluation "
+                        "(default 1 = serial; results are identical)")
     p.add_argument("--out")
     p.add_argument("--verify", type=int, default=512)
     p.set_defaults(func=_cmd_resynth)
@@ -229,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="wall-clock budget in seconds")
     p.add_argument("--oracle", action="append",
                    choices=("sim", "fault", "resynth", "unit",
-                            "incremental", "all"),
+                            "incremental", "parallel", "all"),
                    default=None,
                    help="oracle to run (repeatable; default all)")
     p.add_argument("--seed-base", type=int, default=0)

@@ -3,10 +3,15 @@
 from .spec import ComparisonSpec
 from .identify import (
     DEFAULT_PERM_BUDGET,
+    IdentificationCache,
     IdentificationResult,
     candidate_permutations,
+    identification_cache,
+    identification_key,
     identify_comparison,
+    identify_positions,
     is_comparison_function,
+    warm_identification_cache,
 )
 from .unit import (
     UnitCost,
@@ -47,6 +52,7 @@ __all__ = [
     "ComparisonSpec",
     "DEFAULT_PERM_BUDGET",
     "ExactIdentifier",
+    "IdentificationCache",
     "IdentificationResult",
     "MultiUnitCover",
     "ThresholdFunction",
@@ -66,10 +72,14 @@ __all__ = [
     "find_multi_unit_cover",
     "format_test_table",
     "geq_block_threshold",
+    "identification_cache",
+    "identification_key",
     "identify_comparison",
+    "identify_positions",
     "is_comparison_exact",
     "is_comparison_function",
     "leq_block_threshold",
     "robust_tests_for_unit",
     "unit_cost",
+    "warm_identification_cache",
 ]

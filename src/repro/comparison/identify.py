@@ -7,6 +7,18 @@ OFF-set is tried as well: if the OFF minterms are consecutive, the function
 is a *complemented* comparison function, realized by inverting a comparison
 unit's output.  Up to ``perm_budget`` permutations are tried (the paper used
 200); for ``n! <= perm_budget`` the search is exhaustive and therefore exact.
+
+The position-level search (:func:`identify_positions`) is a pure function of
+``(table, n, perm_budget, try_offset, seed, max_specs)``.  That purity is
+what the parallel resynthesis layer (:mod:`repro.parallel`) relies on:
+worker processes run the search on candidate-cone truth tables and the
+coordinator installs the results into the shared
+:class:`IdentificationCache` via :func:`warm_identification_cache` — a
+cache hit returns bit-for-bit what a local search would have computed, so
+results cannot depend on *where* the search ran.  When NumPy is importable
+the permutation scan is vectorized (one small matrix product instead of a
+Python loop per permutation); the pure-Python fallback produces identical
+results, permutation for permutation.
 """
 
 from __future__ import annotations
@@ -14,11 +26,15 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..sim.truthtable import tt_minterms
 from .spec import ComparisonSpec
+
+try:  # NumPy accelerates the permutation scan but is never required.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
 
 #: Default permutation budget, matching Section 5 of the paper.
 DEFAULT_PERM_BUDGET = 200
@@ -127,37 +143,263 @@ class IdentificationResult:
         return bool(self.specs)
 
 
-@lru_cache(maxsize=200_000)
-def _identify_positions(
+#: A position-level hit: (permutation, lower, upper, complemented).
+PositionHit = Tuple[Tuple[int, ...], int, int, bool]
+
+#: The memoized value of one position-level search: (hits, permutations tried).
+PositionResult = Tuple[Tuple[PositionHit, ...], int]
+
+#: The cache key of one position-level search.  All six components change
+#: the search outcome, so all six are part of the key.
+PositionKey = Tuple[int, int, int, bool, int, int]
+
+
+def identification_key(
     table: int,
     n: int,
     perm_budget: int,
     try_offset: bool,
     seed: int,
     max_specs: int,
-):
-    """Position-level identification core, memoized across callers.
+) -> PositionKey:
+    """Build the :class:`IdentificationCache` key for one search.
 
-    Resynthesis evaluates thousands of candidate cones that frequently
-    share truth tables, so caching on the ``(table, n, knobs)`` key is a
-    large constant-factor win.  Returns ``(hits, tried)`` where each hit is
-    a ``(perm, L, U, complement)`` tuple.
+    The key is exactly the argument tuple of :func:`identify_positions`;
+    it exists as a named helper so the coordinator, the worker processes
+    and the cache agree on one canonical spelling.
+    """
+    return (table, n, perm_budget, try_offset, seed, max_specs)
+
+
+class IdentificationCache:
+    """Memo of position-level identification results.
+
+    Keys are :func:`identification_key` tuples; values are the pure
+    function value of :func:`identify_positions` for that key.  Unlike an
+    ``functools.lru_cache``, entries can be installed from outside via
+    :meth:`warm` — that is how the parallel evaluation layer publishes
+    results computed in worker processes.  Resynthesis evaluates thousands
+    of candidate cones that frequently share truth tables, so the memo is
+    a large constant-factor win even in serial runs.
+    """
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        self._table: Dict[PositionKey, PositionResult] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.warmed = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key: PositionKey) -> Optional[PositionResult]:
+        """Return the memoized result for *key*, or None on a miss."""
+        got = self._table.get(key)
+        if got is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return got
+
+    def peek(self, key: PositionKey) -> Optional[PositionResult]:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        return self._table.get(key)
+
+    def put(self, key: PositionKey, value: PositionResult) -> None:
+        """Memoize *value* under *key* (drops all entries when full)."""
+        if len(self._table) >= self._max_entries:
+            self._table.clear()
+        self._table[key] = value
+
+    def warm(
+        self, entries: Iterable[Tuple[PositionKey, PositionResult]]
+    ) -> int:
+        """Install externally computed results; return the entry count.
+
+        Because :func:`identify_positions` is pure, installing a correct
+        entry is indistinguishable from having computed it locally — the
+        parallel layer's determinism contract rests on this.
+        """
+        count = 0
+        for key, value in entries:
+            self.put(key, value)
+            count += 1
+        self.warmed += count
+        return count
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._table.clear()
+
+
+#: Process-global identification memo shared by every caller.
+_CACHE = IdentificationCache()
+
+
+def identification_cache() -> IdentificationCache:
+    """Return the process-global :class:`IdentificationCache`."""
+    return _CACHE
+
+
+def warm_identification_cache(
+    entries: Iterable[Tuple[PositionKey, PositionResult]]
+) -> int:
+    """Install entries into the process-global cache; return the count."""
+    return _CACHE.warm(entries)
+
+
+#: Memo of materialized permutation samples keyed by (n, perm_budget,
+#: seed).  One resynthesis pass consumes the same sample tens of thousands
+#: of times; regenerating it per identification call would dominate the
+#: scan itself.
+_PERM_CACHE: Dict[Tuple[int, int, int], Tuple[Tuple[int, ...], ...]] = {}
+
+#: Memo of the NumPy weight matrices derived from the samples above.
+_WEIGHTS_CACHE: Dict[Tuple[int, int, int], "object"] = {}
+
+
+def _permutation_sample(
+    n: int, perm_budget: int, seed: int
+) -> Tuple[Tuple[int, ...], ...]:
+    """Materialized (and memoized) :func:`candidate_permutations` output."""
+    key = (n, perm_budget, seed)
+    got = _PERM_CACHE.get(key)
+    if got is None:
+        if len(_PERM_CACHE) >= 1024:
+            _PERM_CACHE.clear()
+        got = tuple(candidate_permutations(n, perm_budget, seed))
+        _PERM_CACHE[key] = got
+    return got
+
+
+def _permutation_weights(n: int, perm_budget: int, seed: int):
+    """``(n, n_perms)`` int64 weight matrix for the sample's permutations.
+
+    Column ``k`` holds the per-old-position weights of permutation ``k``:
+    for permutation ``p`` the permuted decimal value of a minterm with bit
+    tuple ``b`` is ``sum_i b[p[i]] << (n-1-i)``, i.e. a dot product of
+    ``b`` with that column.  The matrix depends only on the sample, so it
+    is built once per (n, perm_budget, seed) and reused by every scan.
+    """
+    key = (n, perm_budget, seed)
+    got = _WEIGHTS_CACHE.get(key)
+    if got is None:
+        if len(_WEIGHTS_CACHE) >= 1024:
+            _WEIGHTS_CACHE.clear()
+        perms = _permutation_sample(n, perm_budget, seed)
+        pmat = _np.asarray(perms, dtype=_np.int64)  # (perms, n)
+        n_perms = pmat.shape[0]
+        shifts = _np.left_shift(
+            _np.int64(1), n - 1 - _np.arange(n, dtype=_np.int64)
+        )
+        weights = _np.zeros((n_perms, n), dtype=_np.int64)
+        weights[_np.arange(n_perms)[:, None], pmat] = shifts[None, :]
+        got = _np.ascontiguousarray(weights.T)  # (n, perms)
+        _WEIGHTS_CACHE[key] = got
+    return got
+
+
+def _minterm_matrix(minterms: Sequence[int], n: int):
+    """``(minterms, n)`` MSB-first bit matrix (NumPy twin of bit tuples)."""
+    ms = _np.asarray(minterms, dtype=_np.int64)
+    bitpos = _np.arange(n - 1, -1, -1, dtype=_np.int64)
+    return (ms[:, None] >> bitpos[None, :]) & 1
+
+
+def _lsb_condition_mat(mat) -> bool:
+    """NumPy twin of :func:`_lsb_condition_holds` over a bit matrix."""
+    w = mat.shape[0]
+    c1 = mat.sum(axis=0)
+    return bool(((c1 >= w // 2) & (c1 <= (w + 1) // 2)).any())
+
+
+def _interval_scan(mat, weights_t, n_minterms: int):
+    """Per-permutation interval test over a minterm bit matrix (NumPy).
+
+    One integer matrix product evaluates every permutation's permuted
+    values; min/max per column then gives the interval test.  Returns
+    ``(lo, hi, ok)`` arrays indexed by permutation, identical to running
+    :func:`_interval_under_perm` per permutation.
+    """
+    values = mat @ weights_t  # (minterms, perms)
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    return lo, hi, (hi - lo + 1) == n_minterms
+
+
+def identify_positions(
+    table: int,
+    n: int,
+    perm_budget: int,
+    try_offset: bool = True,
+    seed: int = 0,
+    max_specs: int = 16,
+) -> PositionResult:
+    """Position-level identification core (pure; no caching).
+
+    Search the permutations of ``0..n-1`` for ones under which the ON set
+    (and, with *try_offset*, the OFF set) of *table* is a consecutive
+    decimal interval.  Return ``(hits, tried)`` where each hit is a
+    ``(perm, L, U, complement)`` tuple, in the deterministic order the
+    serial scan visits them (permutation order, ON before OFF), and
+    *tried* is the number of permutations consumed.
+
+    This function is deliberately free of process state so the parallel
+    layer can run it anywhere: equal arguments give equal results, whether
+    evaluated inline, from the cache, or in a worker process.  The NumPy
+    path and the pure-Python path implement the same scan and are kept
+    output-identical (see ``tests/comparison/test_identify_kernels.py``).
     """
     size = 1 << n
     full = (1 << size) - 1
     if table == 0 or table == full:
         return ((), 0)
-    on_bits = _minterm_bits(tt_minterms(table, n), n)
-    off_bits = (
-        _minterm_bits(tt_minterms(table ^ full, n), n) if try_offset else None
-    )
+    on_m = tt_minterms(table, n)
+    off_m = tt_minterms(table ^ full, n) if try_offset else None
+    hits: List[PositionHit] = []
+    tried = 0
+    if _np is not None:
+        # Vectorized scan: precompute every permutation's interval, then
+        # replay the serial collection loop (including its early stop) so
+        # hit order, hit multiplicity and the tried-count stay identical.
+        on_mat = _minterm_matrix(on_m, n)
+        off_mat = _minterm_matrix(off_m, n) if off_m is not None else None
+        check_on = _lsb_condition_mat(on_mat)
+        check_off = off_mat is not None and _lsb_condition_mat(off_mat)
+        if not check_on and not check_off:
+            return ((), 0)
+        perms = _permutation_sample(n, perm_budget, seed)
+        weights_t = _permutation_weights(n, perm_budget, seed)
+        on_ok = off_ok = None
+        any_hit = False
+        if check_on:
+            on_lo, on_hi, on_ok = _interval_scan(on_mat, weights_t,
+                                                 len(on_m))
+            any_hit = bool(on_ok.any())
+        if check_off:
+            off_lo, off_hi, off_ok = _interval_scan(off_mat, weights_t,
+                                                    len(off_m))
+            any_hit = any_hit or bool(off_ok.any())
+        if not any_hit:
+            # The serial loop would try every permutation and break never.
+            return ((), len(perms))
+        for idx, perm in enumerate(perms):
+            tried += 1
+            if on_ok is not None and on_ok[idx]:
+                hits.append((perm, int(on_lo[idx]), int(on_hi[idx]), False))
+            if off_ok is not None and off_ok[idx]:
+                hits.append((perm, int(off_lo[idx]), int(off_hi[idx]), True))
+            if len(hits) >= max_specs:
+                break
+        return (tuple(hits), tried)
+    on_bits = _minterm_bits(on_m, n)
+    off_bits = _minterm_bits(off_m, n) if off_m is not None else None
     check_on = _lsb_condition_holds(on_bits, n)
     check_off = off_bits is not None and _lsb_condition_holds(off_bits, n)
     if not check_on and not check_off:
         return ((), 0)
-    hits: List[Tuple[Tuple[int, ...], int, int, bool]] = []
-    tried = 0
-    for perm in candidate_permutations(n, perm_budget, seed):
+    for perm in _permutation_sample(n, perm_budget, seed):
         tried += 1
         if check_on:
             got = _interval_under_perm(on_bits, n, perm)
@@ -170,6 +412,27 @@ def _identify_positions(
         if len(hits) >= max_specs:
             break
     return (tuple(hits), tried)
+
+
+def _identify_positions(
+    table: int,
+    n: int,
+    perm_budget: int,
+    try_offset: bool,
+    seed: int,
+    max_specs: int,
+) -> PositionResult:
+    """Cached wrapper around :func:`identify_positions`."""
+    key = identification_key(
+        table, n, perm_budget, try_offset, seed, max_specs
+    )
+    got = _CACHE.get(key)
+    if got is None:
+        got = identify_positions(
+            table, n, perm_budget, try_offset, seed, max_specs
+        )
+        _CACHE.put(key, got)
+    return got
 
 
 def identify_comparison(

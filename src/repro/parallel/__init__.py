@@ -1,0 +1,296 @@
+"""Parallel candidate evaluation for the resynthesis sweep (``repro.parallel``).
+
+Procedures 2 and 3 spend almost all of their time evaluating candidate
+cones: extracting the cone's truth table and searching input permutations
+for comparison-function realizations.  Both computations are pure
+functions — of the cone's structural signature and of the identification
+knobs respectively — while everything that *orders* the sweep (marking,
+frozen units, replacement commits, path-label updates) is serial state
+owned by the :class:`~repro.analysis.AnalysisSession`.
+
+This module exploits that split.  Before each pass the coordinator
+enumerates every candidate cone of the pass-start circuit, dedupes them by
+:func:`~repro.sim.cone_signature`, and fans the work out over a process
+pool in two rounds (:mod:`repro.parallel.worker`): an *extraction* round
+shipping the cone slices whose truth tables are not yet cached, and an
+*identification* round shipping one search per unique table-level cache
+key (distinct cone structures frequently compute the same function, so
+this round is much smaller than the signature count).  The coordinator
+merges the returned rows into the pass's caches: the session's
+:class:`~repro.sim.TruthTableCache` and the global
+:class:`~repro.comparison.IdentificationCache`.  The serial sweep then
+runs unchanged and finds its expensive questions pre-answered.
+
+**Determinism contract.**  Reports are bit-identical at any ``--jobs``
+value because workers only ever compute pure functions the sweep would
+otherwise compute inline: a cache hit is indistinguishable from a local
+evaluation, merge order cannot matter (equal keys hold equal values), and
+every selection tie-break still happens in the serial sweep, in serial
+order, against the session's current labels.  Cones that only exist
+mid-pass (after an in-pass replacement, or bounded by freshly frozen
+units) simply miss the warmed caches and are evaluated inline, exactly as
+a serial run evaluates them.  See ``docs/PARALLEL.md`` for the full
+contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis import AnalysisSession
+from ..comparison.identify import identification_cache, identification_key
+from ..netlist import Circuit, GateType
+from ..resynth.candidates import enumerate_candidate_cones
+from ..sim import cone_signature
+from .worker import CandidateReport, extract_chunk, identify_chunk
+
+__all__ = [
+    "CandidateReport",
+    "ParallelEvaluator",
+    "ParallelExecutionError",
+    "PassPrimeStats",
+    "preferred_start_method",
+]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A worker failed (or the pool broke) during candidate evaluation.
+
+    Raised by :meth:`ParallelEvaluator.prime_pass` with the original
+    exception chained, after cancelling the remaining chunks — a crashed
+    worker surfaces as one clean error instead of a hang or a corrupted
+    sweep.
+    """
+
+
+def preferred_start_method() -> str:
+    """The multiprocessing start method the evaluator picks by default.
+
+    ``fork`` when the platform offers it (cheap, inherits the warm code
+    and caches), ``spawn`` otherwise.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class PassPrimeStats:
+    """What one :meth:`ParallelEvaluator.prime_pass` call did."""
+
+    sites: int  # candidate output lines scanned
+    cones: int  # candidate cones enumerated (with duplicates)
+    unique_cones: int  # distinct signatures among them
+    shipped: int  # cone slices sent to the extraction round
+    chunks: int  # worker tasks submitted (both rounds)
+    merged_tables: int  # truth tables installed into the session cache
+    merged_identifications: int  # unique searches installed globally
+
+
+class ParallelEvaluator:
+    """Process-pool coordinator for per-pass candidate fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (must be >= 1; 1 is allowed and simply runs
+        one worker, which is useful for tests).
+    chunk_factor:
+        Tasks submitted per worker per pass.  More chunks smooth load
+        imbalance between cheap and expensive cones; each chunk carries
+        its own (small) pickling overhead.
+    start_method:
+        Multiprocessing start method; defaults to
+        :func:`preferred_start_method`.
+    inject_crash:
+        Test-only: makes every worker raise immediately, to exercise the
+        :class:`ParallelExecutionError` path deterministically.
+
+    The pool is created lazily on the first :meth:`prime_pass` and torn
+    down by :meth:`close` (the evaluator is also a context manager).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        chunk_factor: int = 4,
+        start_method: Optional[str] = None,
+        inject_crash: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_factor < 1:
+            raise ValueError(f"chunk_factor must be >= 1, got {chunk_factor}")
+        self.jobs = jobs
+        self.chunk_factor = chunk_factor
+        self.start_method = start_method or preferred_start_method()
+        self.inject_crash = inject_crash
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context(self.start_method),
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # the per-pass fan-out
+    # ------------------------------------------------------------------ #
+
+    def _map_chunks(self, fn, items: List, extra_args: Tuple, seed: int):
+        """Fan *items* out over the pool; yield result rows in chunk order.
+
+        Rows are merged in deterministic (submission) order, although the
+        merge order cannot matter: every row is a pure-function value
+        keyed by its own arguments, so equal keys always carry equal
+        values.  A failed worker cancels the remaining chunks, tears the
+        pool down, and surfaces as one :class:`ParallelExecutionError`.
+        """
+        n_chunks = min(len(items), self.jobs * self.chunk_factor)
+        chunks = [items[i::n_chunks] for i in range(n_chunks)]
+        futures: List[Future] = [
+            self._pool().submit(fn, chunk, *extra_args, self.inject_crash)
+            for chunk in chunks
+        ]
+        rows: List = []
+        try:
+            for future in futures:
+                rows.extend(future.result())
+        except Exception as exc:
+            for future in futures:
+                future.cancel()
+            self.close()
+            raise ParallelExecutionError(
+                f"parallel candidate evaluation failed while priming the "
+                f"pass with seed {seed} ({self.jobs} job(s), "
+                f"{n_chunks} chunk(s) of {fn.__name__}): {exc}"
+            ) from exc
+        return rows, n_chunks
+
+    def prime_pass(
+        self,
+        circuit: Circuit,
+        session: AnalysisSession,
+        k: int,
+        perm_budget: int,
+        seed: int,
+        max_specs: int,
+        try_offset: bool = True,
+    ) -> PassPrimeStats:
+        """Fan one pass's candidate evaluation out and merge the results.
+
+        Enumerates the candidate cones of every gate-output line of
+        *circuit* (the pass-start structure, with an empty frozen set —
+        exactly the serial sweep's view at its first selection site), then
+        runs the two worker rounds:
+
+        1. *extraction* — signatures without a cached truth table are
+           shipped as cone slices; the returned tables are installed into
+           ``session.truth_tables``;
+        2. *identification* — the non-constant tables are reduced to
+           unique uncached :func:`~repro.comparison.identification_key`
+           work units, searched in workers, and installed into the global
+           :class:`~repro.comparison.IdentificationCache`.
+
+        The knobs must equal the ones the sweep will use; the procedures
+        pass their per-pass seed (``seed + pass_index``) so worker results
+        are keyed precisely for the pass being primed.
+        """
+        id_cache = identification_cache()
+        tt_cache = session.truth_tables
+        sites = 0
+        cones = 0
+        seen: Set[Tuple] = set()
+        to_extract: List[Tuple[Tuple, int]] = []
+        cached: List[Tuple[int, int]] = []  # (n, table) already known
+        for net in reversed(circuit.topological_order()):
+            gate = circuit.gate(net)
+            if gate.gtype in (GateType.INPUT, GateType.CONST0,
+                              GateType.CONST1):
+                continue
+            sites += 1
+            for cone in enumerate_candidate_cones(circuit, net, k):
+                cones += 1
+                if not cone.inputs:
+                    continue
+                sig = cone_signature(
+                    circuit, cone.output, cone.members, cone.inputs
+                )
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                n = len(cone.inputs)
+                table = tt_cache.peek(sig)
+                if table is None:
+                    to_extract.append((sig, n))
+                else:
+                    cached.append((n, table))
+
+        merged_tables = 0
+        n_chunks = 0
+        tables: List[Tuple[int, int]] = cached
+        if to_extract:
+            rows, used = self._map_chunks(
+                extract_chunk, to_extract, (), seed
+            )
+            n_chunks += used
+            for sig, n, table in rows:
+                tt_cache.put(sig, table)
+                merged_tables += 1
+                tables.append((n, table))
+
+        to_identify: Dict[Tuple, Tuple[int, int]] = {}
+        for n, table in tables:
+            full = (1 << (1 << n)) - 1
+            if table == 0 or table == full:
+                continue
+            key = identification_key(
+                table, n, perm_budget, try_offset, seed, max_specs
+            )
+            if key not in to_identify and id_cache.peek(key) is None:
+                to_identify[key] = (table, n)
+
+        merged_idents = 0
+        if to_identify:
+            rows, used = self._map_chunks(
+                identify_chunk,
+                list(to_identify.values()),
+                (perm_budget, try_offset, seed, max_specs),
+                seed,
+            )
+            n_chunks += used
+            for table, n, hits, tried in rows:
+                key = identification_key(
+                    table, n, perm_budget, try_offset, seed, max_specs
+                )
+                id_cache.put(key, (hits, tried))
+                merged_idents += 1
+        return PassPrimeStats(
+            sites=sites,
+            cones=cones,
+            unique_cones=len(seen),
+            shipped=len(to_extract),
+            chunks=n_chunks,
+            merged_tables=merged_tables,
+            merged_identifications=merged_idents,
+        )

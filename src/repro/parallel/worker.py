@@ -1,0 +1,159 @@
+"""Worker-side entry points of the parallel candidate-evaluation layer.
+
+A worker task is a *cone slice*: a list of ``(signature, n_inputs)`` pairs,
+where each signature is the canonical picklable DAG serialization produced
+by :func:`repro.sim.cone_signature`.  Everything a worker computes is a
+pure function of the shipped data plus scalar knobs, so a worker needs no
+circuit, no session and no shared state — this module is the complete
+pickling boundary of the subsystem.
+
+:func:`evaluate_candidate_chunk` is the semantic reference: one cone slice
+in, one scored :class:`CandidateReport` per cone out (truth table plus
+comparison-function search).  The production coordinator
+(:class:`repro.parallel.ParallelEvaluator`) splits that work into two
+rounds so it can deduplicate the expensive half across workers:
+
+* :func:`extract_chunk` — cone slice in, ``(signature, n, table)`` rows
+  out.  Shipped only for signatures whose truth table is not already in
+  the session cache.
+* :func:`identify_chunk` — unique ``(table, n)`` pairs in,
+  ``(table, n, hits, tried)`` rows out.  Distinct cone structures
+  frequently compute the same function; keying this round by the table
+  (exactly the :class:`~repro.comparison.IdentificationCache` key) runs
+  each search once instead of once per signature.
+
+Both decompositions produce byte-identical cache contents — the searches
+are pure, so *where* and *how often* they run is unobservable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..comparison.identify import (
+    PositionHit,
+    identification_cache,
+    identification_key,
+    identify_positions,
+)
+from ..sim.truthtable import signature_truth_table
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """The scored evaluation of one unique candidate cone.
+
+    Attributes
+    ----------
+    signature:
+        The cone's :func:`~repro.sim.cone_signature` (the truth-table
+        cache key in the coordinator).
+    n_inputs:
+        Number of cone inputs (the truth table spans ``2**n_inputs``
+        minterms).
+    table:
+        The cone's truth table, evaluated from the signature.
+    hits:
+        Position-level comparison-function realizations, exactly as
+        :func:`repro.comparison.identify_positions` orders them; ``None``
+        when the table is constant (the sweep substitutes a constant gate
+        without consulting the identifier).
+    tried:
+        Permutations consumed by the search (0 for constants).
+    """
+
+    signature: Tuple
+    n_inputs: int
+    table: int
+    hits: Optional[Tuple[PositionHit, ...]]
+    tried: int
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Deliberate failure raised by the fault-injection knob."""
+
+
+def _maybe_crash(inject_crash: bool) -> None:
+    if inject_crash:
+        raise InjectedWorkerCrash(
+            "injected worker crash (parallel fault-injection knob)"
+        )
+
+
+def extract_chunk(
+    items: Sequence[Tuple[Tuple, int]],
+    inject_crash: bool = False,
+) -> List[Tuple[Tuple, int, int]]:
+    """Evaluate one cone slice to truth tables: ``(sig, n, table)`` rows."""
+    _maybe_crash(inject_crash)
+    return [
+        (signature, n_inputs, signature_truth_table(signature, n_inputs))
+        for signature, n_inputs in items
+    ]
+
+
+def identify_chunk(
+    items: Sequence[Tuple[int, int]],
+    perm_budget: int,
+    try_offset: bool,
+    seed: int,
+    max_specs: int,
+    inject_crash: bool = False,
+) -> List[Tuple[int, int, Tuple[PositionHit, ...], int]]:
+    """Run the comparison-function search on unique ``(table, n)`` pairs.
+
+    The knobs are the identification knobs of the pass being primed;
+    shipping them with the slice keeps the worker's search
+    argument-for-argument equal to the one the serial sweep would run.
+    """
+    _maybe_crash(inject_crash)
+    return [
+        (table, n)
+        + identify_positions(
+            table, n, perm_budget, try_offset, seed, max_specs
+        )
+        for table, n in items
+    ]
+
+
+def evaluate_candidate_chunk(
+    items: Sequence[Tuple[Tuple, int]],
+    perm_budget: int,
+    try_offset: bool,
+    seed: int,
+    max_specs: int,
+    inject_crash: bool = False,
+) -> List[CandidateReport]:
+    """One-shot reference path: a cone slice to scored reports.
+
+    Equivalent to :func:`extract_chunk` followed by :func:`identify_chunk`
+    on the results, without the coordinator-side deduplication (a
+    worker-local :class:`~repro.comparison.IdentificationCache` still
+    catches repeated tables within the slice).
+    """
+    _maybe_crash(inject_crash)
+    cache = identification_cache()
+    reports: List[CandidateReport] = []
+    for signature, n_inputs in items:
+        table = signature_truth_table(signature, n_inputs)
+        full = (1 << (1 << n_inputs)) - 1
+        if table == 0 or table == full:
+            reports.append(
+                CandidateReport(signature, n_inputs, table, None, 0)
+            )
+            continue
+        key = identification_key(
+            table, n_inputs, perm_budget, try_offset, seed, max_specs
+        )
+        got = cache.get(key)
+        if got is None:
+            got = identify_positions(
+                table, n_inputs, perm_budget, try_offset, seed, max_specs
+            )
+            cache.put(key, got)
+        hits, tried = got
+        reports.append(
+            CandidateReport(signature, n_inputs, table, hits, tried)
+        )
+    return reports

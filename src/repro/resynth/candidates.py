@@ -10,6 +10,13 @@ A *frozen* net set lets the procedures keep already-emitted comparison-unit
 internals out of new candidates (selected units must stay intact — the
 paper skips "gate-outputs that become internal to comparison units already
 selected").
+
+Enumeration is a pure, deterministic function of the circuit structure
+and its arguments — no randomness, no mutation, and a stable result
+order (breadth-first, fanin order within a level).  That purity is what
+lets the parallel layer (:mod:`repro.parallel`) enumerate the same
+cones as the serial sweep and ship their
+:func:`~repro.sim.cone_signature` keys to worker processes.
 """
 
 from __future__ import annotations
@@ -83,5 +90,10 @@ def enumerate_candidate_cones(
 
 
 def candidate_count_bound(max_inputs: int) -> int:
-    """A loose bound used in documentation/tests for candidate growth."""
+    """Upper bound on candidates any single output line can yield.
+
+    Currently the flat safety cap :data:`DEFAULT_MAX_CANDIDATES`
+    (breadth-first enumeration keeps the smallest subcircuits under any
+    cap); documented and tested as the growth bound per site.
+    """
     return DEFAULT_MAX_CANDIDATES

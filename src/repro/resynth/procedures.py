@@ -17,6 +17,13 @@ best replacement is applied:
 
 Each procedure repeats whole passes until a pass makes no change (the
 paper: "applied repeatedly until no more improvements are possible").
+
+With ``jobs > 1`` the expensive per-candidate work of each pass — truth
+tables and comparison-function identification — is fanned out over a
+process pool before the sweep runs (:mod:`repro.parallel`), while every
+replacement decision and commit stays in this module, in serial order,
+against the :class:`~repro.analysis.AnalysisSession`'s current labels.
+Reports are bit-identical at any ``jobs`` value; see ``docs/PARALLEL.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from ..netlist import (
 from ..sim import outputs_equal, random_words
 from .candidates import enumerate_candidate_cones
 from .replace import (
+    DEFAULT_MAX_SPECS,
     ReplacementOption,
     apply_replacement,
     current_paths_on,
@@ -56,6 +64,7 @@ class ResynthesisReport:
     paths_before: int
     paths_after: int
     mutations: int = 0  # circuit mutation events observed during the run
+    jobs: int = 1  # worker processes used for candidate evaluation
 
     @property
     def gate_reduction(self) -> int:
@@ -143,6 +152,7 @@ def _resynthesis_pass(
     seed: int,
     exact: bool = False,
     session: Optional[AnalysisSession] = None,
+    evaluator: Optional["ParallelEvaluator"] = None,
 ) -> int:
     """One outputs-to-inputs sweep; returns the number of replacements.
 
@@ -150,10 +160,21 @@ def _resynthesis_pass(
     labels (maintained incrementally across replacements), not against a
     pass-start snapshot — earlier replacements in the same pass are
     reflected immediately.
+
+    When an *evaluator* is given, the pass-start candidate cones are
+    evaluated by its worker pool first (:mod:`repro.parallel`); the sweep
+    below then mostly hits the warmed caches.  Cones that only come into
+    existence mid-pass miss the caches and are evaluated inline, exactly
+    as in a serial run, so the selected replacements are identical.
     """
     own_session = session is None
     if own_session:
         session = AnalysisSession(work)
+    if evaluator is not None:
+        evaluator.prime_pass(
+            work, session, k=k, perm_budget=perm_budget, seed=seed,
+            max_specs=DEFAULT_MAX_SPECS,
+        )
     snapshot = work.topological_order()
     marked: Set[str] = {
         o for o in work.output_set
@@ -213,7 +234,17 @@ def _run(
     verify_patterns: int,
     decompose: bool = True,
     exact: bool = False,
+    jobs: int = 1,
 ) -> ResynthesisReport:
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    evaluator = None
+    if jobs > 1:
+        # Imported lazily: repro.parallel imports from repro.resynth, so a
+        # top-level import here would be circular.
+        from ..parallel import ParallelEvaluator
+
+        evaluator = ParallelEvaluator(jobs)
     # Wide gates are split into 2-input trees first (metric-neutral; see
     # decompose_two_input) so candidate growth can tunnel through them.
     work = decompose_two_input(circuit) if decompose else circuit.copy()
@@ -227,7 +258,8 @@ def _run(
         while passes < max_passes:
             passes += 1
             made = _resynthesis_pass(work, selector, k, perm_budget,
-                                     seed + passes, exact, session=session)
+                                     seed + passes, exact, session=session,
+                                     evaluator=evaluator)
             total_replacements += made
             if verify_patterns:
                 # Seeded per (seed, passes): each pass re-verifies against
@@ -245,6 +277,8 @@ def _run(
         paths_after = session.total_paths()
     finally:
         session.close()
+        if evaluator is not None:
+            evaluator.close()
     work.name = circuit.name
     return ResynthesisReport(
         circuit=work,
@@ -257,6 +291,7 @@ def _run(
         paths_before=paths_before,
         paths_after=paths_after,
         mutations=work.epoch - epoch_before,
+        jobs=jobs,
     )
 
 
@@ -269,6 +304,7 @@ def procedure2(
     verify_patterns: int = 0,
     decompose: bool = True,
     exact: bool = False,
+    jobs: int = 1,
 ) -> ResynthesisReport:
     """Procedure 2: reduce the number of gates (paths as tiebreak).
 
@@ -283,10 +319,13 @@ def procedure2(
     verify_patterns:
         When nonzero, each pass is checked against the original circuit on
         this many random patterns (defense in depth; raises on mismatch).
+    jobs:
+        Worker processes for candidate evaluation (1 = fully serial; the
+        report is bit-identical either way, see :mod:`repro.parallel`).
     """
     return _run(
         circuit, _select_for_gates, "gates", k, perm_budget, seed,
-        max_passes, verify_patterns, decompose, exact,
+        max_passes, verify_patterns, decompose, exact, jobs,
     )
 
 
@@ -299,15 +338,17 @@ def procedure3(
     verify_patterns: int = 0,
     decompose: bool = True,
     exact: bool = False,
+    jobs: int = 1,
 ) -> ResynthesisReport:
     """Procedure 3: reduce the number of paths (gate count unconstrained).
 
     ``exact=True`` augments identification with the exact decision
-    procedure (see :func:`repro.resynth.evaluate_cone`).
+    procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs`` fans
+    candidate evaluation out as in :func:`procedure2`.
     """
     return _run(
         circuit, _select_for_paths, "paths", k, perm_budget, seed,
-        max_passes, verify_patterns, decompose, exact,
+        max_passes, verify_patterns, decompose, exact, jobs,
     )
 
 
@@ -320,6 +361,7 @@ def combined_procedure(
     max_passes: int = 10,
     verify_patterns: int = 0,
     decompose: bool = True,
+    jobs: int = 1,
 ) -> ResynthesisReport:
     """Section 4.3's combined gates+paths objective.
 
@@ -330,5 +372,5 @@ def combined_procedure(
     return _run(
         circuit, _make_combined_selector(gate_weight),
         f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
-        verify_patterns, decompose,
+        verify_patterns, decompose, jobs=jobs,
     )

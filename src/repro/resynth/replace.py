@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..analysis import Cone, extract_subcircuit, removable_members
+from ..analysis import Cone, removable_members
 from ..comparison import (
     ComparisonSpec,
     best_spec,
@@ -36,7 +36,12 @@ from ..netlist import (
     GateType,
     gate_two_input_equivalents,
 )
-from ..sim import TruthTableCache, cone_signature, truth_table
+from ..sim import TruthTableCache, cone_signature, signature_truth_table
+
+#: Realizations collected per cone before picking the cheapest.  Shared
+#: with the parallel evaluation layer so worker-computed identifications
+#: carry the exact knobs the serial sweep would have used.
+DEFAULT_MAX_SPECS = 6
 
 
 @dataclass(frozen=True)
@@ -67,7 +72,7 @@ def evaluate_cone(
     labels: Dict[str, int],
     perm_budget: int = 200,
     seed: int = 0,
-    max_specs: int = 6,
+    max_specs: int = DEFAULT_MAX_SPECS,
     exact: bool = False,
     tt_cache: Optional[TruthTableCache] = None,
 ) -> Optional[ReplacementOption]:
@@ -78,24 +83,25 @@ def evaluate_cone(
     decision procedure of :mod:`repro.comparison.exact`, which never
     misses a realization (the sampler's 200-permutation budget does, for
     6+ inputs).  *tt_cache* memoizes cone truth tables by structural
-    signature, so re-enumerated cones skip extraction and resimulation.
+    signature, so re-enumerated cones skip resimulation.  Both the truth
+    table and the identification are obtained through pure-function caches
+    (:class:`~repro.sim.TruthTableCache` and the global
+    :class:`~repro.comparison.IdentificationCache`), which is what lets
+    :mod:`repro.parallel` precompute them in worker processes without any
+    observable difference in the result.
     """
     removable = removable_members(circuit, cone)
     n_removable = sum(
         gate_two_input_equivalents(circuit.gate(m)) for m in removable
     )
     if not cone.inputs:
-        sub = extract_subcircuit(circuit, cone)
-        value = truth_table(sub, input_order=[]) & 1
+        key = cone_signature(circuit, cone.output, cone.members, ())
+        value = signature_truth_table(key, 0) & 1
         return ReplacementOption(cone, None, value, n_removable, 0, 0)
-    tt: Optional[int] = None
-    key = None
-    if tt_cache is not None:
-        key = cone_signature(circuit, cone.output, cone.members, cone.inputs)
-        tt = tt_cache.get(key)
+    key = cone_signature(circuit, cone.output, cone.members, cone.inputs)
+    tt = tt_cache.get(key) if tt_cache is not None else None
     if tt is None:
-        sub = extract_subcircuit(circuit, cone)
-        tt = truth_table(sub, input_order=cone.inputs)
+        tt = signature_truth_table(key, len(cone.inputs))
         if tt_cache is not None:
             tt_cache.put(key, tt)
     size = 1 << len(cone.inputs)

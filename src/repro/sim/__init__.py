@@ -27,6 +27,7 @@ from .truthtable import (
     MAX_TT_INPUTS,
     TruthTableCache,
     cone_signature,
+    signature_truth_table,
     truth_table,
     truth_tables,
     tt_complement,
@@ -54,6 +55,7 @@ __all__ = [
     "pattern_bits",
     "random_words",
     "robust_against_random_delays",
+    "signature_truth_table",
     "simulate",
     "static_arrival_times",
     "simulate_pattern",

@@ -4,15 +4,24 @@ A truth table over ``n`` ordered inputs is an int bitmask: bit ``m`` is the
 function value on the minterm of decimal value ``m`` (MSB-first input
 convention; see :mod:`repro.sim.patterns`).  Truth tables are how candidate
 subcircuit functions are handed to the comparison-function identifier.
+
+Candidate cones are keyed by :func:`cone_signature`, a canonical, picklable
+serialization of the cone's gate DAG with inputs reduced to positions.  A
+signature is self-contained: :func:`signature_truth_table` evaluates it
+directly — without materializing a :class:`~repro.netlist.Circuit` — and
+produces exactly the table that extracting the subcircuit and simulating it
+exhaustively would.  The signature is therefore both the
+:class:`TruthTableCache` key and the unit of work shipped to worker
+processes by :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
 
 from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
-from ..netlist import Circuit
-from .logicsim import simulate
-from .patterns import exhaustive_words
+from ..netlist import Circuit, GateType
+from .logicsim import eval_gate_packed, simulate
+from .patterns import exhaustive_input_word, exhaustive_words
 
 #: Safety bound for exhaustive extraction (2**MAX_TT_INPUTS patterns).
 MAX_TT_INPUTS = 16
@@ -130,6 +139,42 @@ def cone_signature(
     return sig(output)
 
 
+def signature_truth_table(signature: Tuple, n_inputs: int) -> int:
+    """Evaluate a :func:`cone_signature` to its truth table.
+
+    The signature's shared-subtree structure (member nodes are created
+    once, so reconvergent fanout shares tuple objects — a property pickle
+    preserves) makes evaluation linear in the member count: each distinct
+    node is evaluated once over the packed exhaustive words.  The result
+    is bit-identical to extracting the cone as a standalone circuit and
+    running :func:`truth_table` over it, without the cost of building and
+    validating a :class:`~repro.netlist.Circuit`.
+    """
+    if n_inputs > MAX_TT_INPUTS:
+        raise ValueError(
+            f"{n_inputs} inputs exceeds MAX_TT_INPUTS={MAX_TT_INPUTS}"
+        )
+    words = [
+        exhaustive_input_word(i, n_inputs) for i in range(n_inputs)
+    ]
+    mask = (1 << (1 << n_inputs)) - 1
+    memo: Dict[int, int] = {}
+
+    def ev(node: Tuple) -> int:
+        got = memo.get(id(node))
+        if got is None:
+            if node[0] == "i":
+                got = words[node[1]]
+            else:
+                got = eval_gate_packed(
+                    GateType(node[0]), [ev(c) for c in node[1:]], mask
+                )
+            memo[id(node)] = got
+        return got
+
+    return ev(signature)
+
+
 class TruthTableCache:
     """Memo of cone truth tables keyed by :func:`cone_signature`.
 
@@ -154,6 +199,14 @@ class TruthTableCache:
         else:
             self.hits += 1
         return tt
+
+    def peek(self, key: Tuple) -> Optional[int]:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        Used by bookkeeping passes (e.g. the parallel layer's shipping
+        decision) so the counters keep describing the sweep itself.
+        """
+        return self._table.get(key)
 
     def put(self, key: Tuple, table: int) -> None:
         """Memoize *table* under *key* (drops all entries when full)."""

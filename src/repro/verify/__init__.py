@@ -3,7 +3,8 @@
 The correctness tooling for the rest of the package: a naive scalar
 reference interpreter, pluggable differential oracles that cross-check the
 independent engines (packed simulation, event-driven fault simulation, the
-PODEM miter, comparison-unit construction), a delta-debugging
+PODEM miter, comparison-unit construction, the serial-vs-parallel
+resynthesis sweep), a delta-debugging
 counterexample shrinker, deterministic JSON repro artifacts, and a seeded
 fuzz driver with seed- and time-budgeted modes.
 
@@ -31,6 +32,7 @@ from .oracles import (
     IncrementalOracle,
     ORACLE_NAMES,
     Oracle,
+    ParallelOracle,
     ResynthOracle,
     SimulatorOracle,
     Violation,
@@ -56,6 +58,7 @@ __all__ = [
     "IncrementalOracle",
     "ORACLE_NAMES",
     "Oracle",
+    "ParallelOracle",
     "ReproArtifact",
     "ResynthOracle",
     "ShrinkResult",

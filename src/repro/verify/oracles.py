@@ -30,6 +30,12 @@ executable check over a (usually randomly generated) instance:
     mutation of a seeded random mutation sequence applied to the fuzz
     circuit (:mod:`repro.netlist.incremental` provides the ground-truth
     rebuilds).
+``parallel``
+    Procedures 2 and 3 run with ``jobs=1`` and with a worker pool
+    (``jobs=2``) must produce bit-identical reports *and* bit-identical
+    result netlists — the :mod:`repro.parallel` determinism contract,
+    checked with the shared identification cache cleared between runs so
+    the parallel run genuinely consumes worker-computed results.
 
 Violations carry enough context to reproduce: the seed, a message, the
 offending circuit (when one exists) and structured details.  The fuzz
@@ -371,6 +377,105 @@ class ResynthOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
+# parallel: serial sweep vs worker-pool sweep
+# --------------------------------------------------------------------- #
+
+
+class ParallelOracle(Oracle):
+    """Serial/parallel equivalence of the resynthesis procedures.
+
+    Runs Procedures 2 and 3 twice each — ``jobs=1`` and ``jobs=2`` — and
+    requires the reports and the resulting netlists to agree bit for bit
+    (the :mod:`repro.parallel` determinism contract).  The process-global
+    identification cache is cleared before each run: without that, the
+    serial run would pre-answer every question the workers are supposed to
+    answer, and a wrong worker-side result could never be observed.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        k: int = 4,
+        perm_budget: int = 24,
+        max_passes: int = 2,
+        max_inputs: int = 8,
+        jobs: int = 2,
+    ) -> None:
+        self._k = k
+        self._perm_budget = perm_budget
+        self._max_passes = max_passes
+        self._max_inputs = max_inputs
+        self._jobs = jobs
+
+    @staticmethod
+    def _netlist_dump(circuit: Circuit):
+        return (
+            [
+                (net, circuit.gate(net).gtype.value,
+                 tuple(circuit.gate(net).fanins))
+                for net in circuit.topological_order()
+            ],
+            list(circuit.outputs),
+        )
+
+    def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
+        from ..comparison import identification_cache
+        from ..resynth import procedure2, procedure3
+
+        if len(circuit.inputs) > self._max_inputs:
+            return []
+        violations: List[Violation] = []
+        for proc in (procedure2, procedure3):
+            reports = []
+            for jobs in (1, self._jobs):
+                identification_cache().clear()
+                reports.append(proc(
+                    circuit,
+                    k=self._k,
+                    perm_budget=self._perm_budget,
+                    seed=seed,
+                    max_passes=self._max_passes,
+                    verify_patterns=0,
+                    jobs=jobs,
+                ))
+            identification_cache().clear()
+            serial, parallel = reports
+            numbers = (
+                "passes", "replacements", "gates_before", "gates_after",
+                "paths_before", "paths_after",
+            )
+            diverged = [
+                f for f in numbers
+                if getattr(serial, f) != getattr(parallel, f)
+            ]
+            if not diverged and (
+                self._netlist_dump(serial.circuit)
+                != self._netlist_dump(parallel.circuit)
+            ):
+                diverged = ["netlist"]
+            if diverged:
+                violations.append(Violation(
+                    self.name, seed,
+                    f"{proc.__name__} diverged between jobs=1 and "
+                    f"jobs={self._jobs} on: {', '.join(diverged)} "
+                    f"(serial: {serial.summary()}; "
+                    f"parallel: {parallel.summary()})",
+                    circuit=circuit,
+                    details={
+                        "procedure": proc.__name__,
+                        "diverged": diverged,
+                        "jobs": self._jobs,
+                        "serial": {f: getattr(serial, f) for f in numbers},
+                        "parallel": {
+                            f: getattr(parallel, f) for f in numbers
+                        },
+                    },
+                ))
+        return violations
+
+
+# --------------------------------------------------------------------- #
 # unit: comparison-unit construction invariants
 # --------------------------------------------------------------------- #
 
@@ -695,7 +800,7 @@ class IncrementalOracle(Oracle):
 
 
 #: Construction order for ``--oracle all``.
-ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental")
+ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental", "parallel")
 
 
 def default_oracles(
@@ -709,6 +814,7 @@ def default_oracles(
         "resynth": ResynthOracle,
         "unit": ComparisonUnitOracle,
         "incremental": IncrementalOracle,
+        "parallel": ParallelOracle,
     }
     wanted = list(names) if names else list(ORACLE_NAMES)
     oracles: List[Oracle] = []

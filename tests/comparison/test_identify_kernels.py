@@ -1,0 +1,90 @@
+"""NumPy and pure-Python identification kernels must be bit-identical.
+
+`repro.comparison.identify_positions` has two implementations of the same
+permutation scan: a vectorized one used when NumPy imports, and the
+portable Python loop.  The parallel layer's determinism contract (and CI,
+which runs without NumPy) requires them to agree hit-for-hit — same hit
+order, same hit multiplicity, same tried-count.
+"""
+
+import random
+
+import pytest
+
+import repro.comparison.identify as idf
+from repro.comparison import candidate_permutations, identify_positions
+
+needs_numpy = pytest.mark.skipif(
+    idf._np is None, reason="NumPy not installed; only one kernel exists"
+)
+
+
+def python_kernel(*args):
+    """Run identify_positions with the NumPy path disabled."""
+    saved = idf._np
+    idf._np = None
+    try:
+        return identify_positions(*args)
+    finally:
+        idf._np = saved
+
+
+@needs_numpy
+class TestKernelIdentity:
+    def test_randomized_cases(self):
+        rng = random.Random(20250806)
+        for _ in range(300):
+            n = rng.randint(1, 6)
+            table = rng.randrange(1 << (1 << n))
+            args = (
+                table, n, rng.choice([24, 120, 200]),
+                rng.random() < 0.8, rng.randint(0, 5),
+                rng.choice([1, 6, 16]),
+            )
+            assert identify_positions(*args) == python_kernel(*args), args
+
+    def test_interval_function_hits(self):
+        # [2, 5] over 3 inputs: a genuine comparison function.
+        table = sum(1 << m for m in range(2, 6))
+        np_hits, np_tried = identify_positions(table, 3, 24, True, 0, 16)
+        assert np_hits, "interval function must be identified"
+        assert (np_hits, np_tried) == python_kernel(table, 3, 24, True, 0, 16)
+
+    def test_parity_scans_full_sample(self):
+        # Odd parity is permutation-invariant and never an interval, so
+        # the scan exhausts the sample with zero hits on both kernels.
+        n = 3
+        table = sum(1 << m for m in range(1 << n) if bin(m).count("1") % 2)
+        hits, tried = identify_positions(table, n, 24, True, 0, 16)
+        assert hits == ()
+        assert tried == len(list(candidate_permutations(n, 24, 0)))
+        assert (hits, tried) == python_kernel(table, n, 24, True, 0, 16)
+
+
+class TestPermutationSample:
+    def test_matches_generator(self):
+        for n, budget, seed in [(3, 24, 0), (5, 200, 1), (7, 50, 3)]:
+            assert list(idf._permutation_sample(n, budget, seed)) == \
+                list(candidate_permutations(n, budget, seed))
+
+    def test_memoized(self):
+        a = idf._permutation_sample(4, 200, 9)
+        b = idf._permutation_sample(4, 200, 9)
+        assert a is b  # same materialized object, not a regeneration
+
+
+@needs_numpy
+class TestNumpyHelpers:
+    def test_minterm_matrix_msb_first(self):
+        mat = idf._minterm_matrix([5, 2], 3)  # 0b101, 0b010
+        assert mat.tolist() == [[1, 0, 1], [0, 1, 0]]
+
+    def test_lsb_condition_matches_python(self):
+        rng = random.Random(11)
+        for _ in range(200):
+            n = rng.randint(1, 6)
+            minterms = sorted(rng.sample(range(1 << n),
+                                         rng.randint(1, 1 << n)))
+            bits = idf._minterm_bits(minterms, n)
+            assert idf._lsb_condition_mat(idf._minterm_matrix(minterms, n)) \
+                == idf._lsb_condition_holds(bits, n)

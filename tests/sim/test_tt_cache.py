@@ -1,8 +1,15 @@
 """Cone signatures and the truth-table memo (`repro.sim.truthtable`)."""
 
 from repro.analysis import Cone, extract_subcircuit
+from repro.benchcircuits import random_circuit
 from repro.netlist import CircuitBuilder
-from repro.sim import TruthTableCache, cone_signature, truth_table
+from repro.resynth import enumerate_candidate_cones
+from repro.sim import (
+    TruthTableCache,
+    cone_signature,
+    signature_truth_table,
+    truth_table,
+)
 
 
 def host():
@@ -49,6 +56,55 @@ class TestConeSignature:
         tg = truth_table(extract_subcircuit(c, cg), input_order=cg.inputs)
         th = truth_table(extract_subcircuit(c, ch), input_order=ch.inputs)
         assert tg == th
+
+
+class TestSignatureTruthTable:
+    """signature_truth_table must equal extract-and-simulate, bit for bit.
+
+    This equivalence is what lets the sweep (and the parallel layer's
+    worker processes) evaluate cones from their signatures alone, without
+    materializing subcircuits.
+    """
+
+    def test_host_cones(self):
+        c = host()
+        for co in (cone(c, "g2", {"g1", "g2"}, ["a", "b", "c"]),
+                   cone(c, "h2", {"h1", "h2"}, ["b", "d", "a"]),
+                   cone(c, "g2", {"g2"}, ["g1", "c"])):
+            sig = cone_signature(c, co.output, co.members, co.inputs)
+            want = truth_table(extract_subcircuit(c, co),
+                               input_order=co.inputs)
+            assert signature_truth_table(sig, len(co.inputs)) == want
+
+    def test_random_circuit_candidate_cones(self):
+        checked = 0
+        for seed in range(3):
+            c = random_circuit("r", 6, 2, 20, seed=seed)
+            for net in c.topological_order():
+                if not c.gate(net).fanins:
+                    continue
+                for co in enumerate_candidate_cones(c, net, 4):
+                    if not co.inputs:
+                        continue
+                    sig = cone_signature(c, co.output, co.members, co.inputs)
+                    want = truth_table(extract_subcircuit(c, co),
+                                       input_order=co.inputs)
+                    assert signature_truth_table(sig, len(co.inputs)) == want
+                    checked += 1
+        assert checked > 50  # the sweep above found real work
+
+    def test_shared_subtrees_survive_pickling(self):
+        # Reconvergent fanout shares tuple nodes; pickle keeps the sharing
+        # and the evaluation result (what the parallel layer ships).
+        import pickle
+
+        c = host()
+        co = cone(c, "g2", {"g1", "g2"}, ["a", "b", "c"])
+        sig = cone_signature(c, co.output, co.members, co.inputs)
+        clone = pickle.loads(pickle.dumps(sig))
+        assert clone == sig
+        assert signature_truth_table(clone, 3) == \
+            signature_truth_table(sig, 3)
 
 
 class TestTruthTableCache:

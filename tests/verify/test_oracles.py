@@ -156,7 +156,9 @@ class TestComparisonUnitOracle:
 class TestDefaultOracles:
     def test_full_set(self):
         names = [o.name for o in default_oracles()]
-        assert names == ["sim", "fault", "resynth", "unit", "incremental"]
+        assert names == [
+            "sim", "fault", "resynth", "unit", "incremental", "parallel",
+        ]
 
     def test_subset_and_unknown(self):
         assert [o.name for o in default_oracles(["fault"])] == ["fault"]
