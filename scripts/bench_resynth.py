@@ -45,6 +45,7 @@ def bench_one(name, k, seed, jobs):
         wall = time.perf_counter() - t0
         entry[proc_name] = {
             "wall_s": round(wall, 3),
+            "pass_seconds": [round(s, 3) for s in rep.pass_seconds],
             "jobs": rep.jobs,
             "gates_before": rep.gates_before,
             "gates_after": rep.gates_after,
@@ -55,11 +56,12 @@ def bench_one(name, k, seed, jobs):
             "mutations": rep.mutations,
             "mutations_per_s": round(rep.mutations / wall, 1) if wall else 0.0,
         }
+        per_pass = ", ".join(f"{s:.2f}" for s in rep.pass_seconds)
         print(
             f"{name} {proc_name}: {wall:.2f}s  "
             f"gates {rep.gates_before}->{rep.gates_after}  "
             f"paths {rep.paths_before}->{rep.paths_after}  "
-            f"{rep.mutations} mutations",
+            f"{rep.mutations} mutations  passes [{per_pass}]s",
             flush=True,
         )
     return entry

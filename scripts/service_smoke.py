@@ -1,0 +1,95 @@
+"""Job-service smoke check (the CI gate for ``repro.service``).
+
+Starts a real :class:`ServiceServer` on an ephemeral port, submits a
+small ``syn1423`` Procedure 2 job over HTTP, waits for the supervised
+worker subprocess to finish, and asserts the served report and result
+netlist are bit-identical to an uninterrupted in-process run — the
+end-to-end version of the determinism contract in docs/SERVICE.md,
+exercised through every service layer at once (HTTP API, store, worker
+subprocess, supervision, checkpoint serialization)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Prints PASS and exits 0 on success; any mismatch or service failure is
+a nonzero exit.  Budget: well under a minute.
+"""
+
+import json
+import sys
+import tempfile
+import time
+
+from repro.benchcircuits.suite import suite_circuit
+from repro.io import circuit_to_json
+from repro.resynth import REPORT_NUMBER_FIELDS, procedure2
+from repro.service import (
+    ArtifactStore,
+    JobSpec,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+CIRCUIT = "syn1423"
+K = 5
+SEED = 1
+
+
+def main():
+    t0 = time.perf_counter()
+    spec = JobSpec(procedure="procedure2", circuit=CIRCUIT, k=K, seed=SEED)
+
+    print(f"reference: in-process procedure2({CIRCUIT}, k={K}, "
+          f"seed={SEED})", flush=True)
+    direct = procedure2(suite_circuit(CIRCUIT), k=K, seed=SEED)
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as root:
+        store = ArtifactStore(root)
+        config = SupervisorConfig(heartbeat_interval=0.5, poll_interval=0.05)
+        with ServiceServer(store, port=0, config=config) as server:
+            client = ServiceClient(server.url, timeout=60.0)
+            print(f"service: {server.url}", flush=True)
+
+            answer = client.submit(spec)
+            print(f"submitted {answer['id']} "
+                  f"(state: {answer['state']})", flush=True)
+            view = client.wait(answer["id"], timeout=120.0)
+            if view["state"] != "succeeded":
+                print(f"FAIL: job ended {view['state']}: "
+                      f"{view.get('error')}", file=sys.stderr)
+                print(view.get("traceback", ""), file=sys.stderr)
+                return 1
+
+            report = client.report(answer["id"])
+            diverged = [
+                f for f in REPORT_NUMBER_FIELDS
+                if report[f] != getattr(direct, f)
+            ]
+            served = json.dumps(client.result(answer["id"]), sort_keys=True)
+            expected = json.dumps(
+                json.loads(circuit_to_json(direct.circuit)), sort_keys=True)
+            if served != expected:
+                diverged.append("netlist")
+            if diverged:
+                print(f"FAIL: served results diverge from the in-process "
+                      f"run on: {', '.join(diverged)}", file=sys.stderr)
+                return 1
+
+            counters = client.metrics()["counters"]
+            for name in ("service_jobs_submitted_total",
+                         "service_jobs_succeeded_total"):
+                if counters.get(name, 0) < 1:
+                    print(f"FAIL: metric {name} missing", file=sys.stderr)
+                    return 1
+
+    per_pass = ", ".join(f"{s:.2f}" for s in direct.pass_seconds)
+    print(f"PASS: {CIRCUIT} served == in-process "
+          f"(gates {direct.gates_before}->{direct.gates_after}, "
+          f"paths {direct.paths_before}->{direct.paths_after}, "
+          f"passes [{per_pass}]s) "
+          f"in {time.perf_counter() - t0:.1f}s total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

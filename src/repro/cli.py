@@ -7,7 +7,9 @@ Subcommands
 ``resynth CIRCUIT [--objective gates|paths] [--k K] [--jobs N] [--out FILE]``
     Run Procedure 2 or 3 and optionally write the result; ``--jobs``
     fans candidate evaluation over worker processes (bit-identical
-    reports at any value, see docs/PARALLEL.md).
+    reports at any value, see docs/PARALLEL.md).  ``--out x.json``
+    writes the full report + result netlist in the service's report
+    serialization; any other suffix writes a ``.bench`` netlist.
 ``identify CIRCUIT OUTPUT_NET [--k K]``
     Check whether the cone feeding a net realizes a comparison function.
 ``tables [N ...]``
@@ -18,6 +20,15 @@ Subcommands
     violations are shrunk and dumped as JSON repro artifacts.
 ``replay ARTIFACT [ARTIFACT ...]``
     Re-run the oracle of previously written repro artifacts.
+``serve [--root DIR] [--port P] [--workers N]``
+    Run the checkpointable resynthesis job service (docs/SERVICE.md).
+``submit CIRCUIT [--url URL] [--wait]``
+    Submit a resynthesis job to a running service.
+``jobs [--url URL]``
+    List the jobs of a running service.
+``result JOB_ID [--url URL] [--out FILE]``
+    Fetch a finished job's report (optionally writing report JSON or a
+    ``.bench`` netlist).
 """
 
 from __future__ import annotations
@@ -51,15 +62,23 @@ def _cmd_stats(args) -> int:
 
 def _cmd_resynth(args) -> int:
     from .io import save_bench
-    from .resynth import procedure2, procedure3
+    from .resynth import procedure2, procedure3, report_to_json
 
     circuit = _load(args.circuit)
     proc = procedure2 if args.objective == "gates" else procedure3
     report = proc(circuit, k=args.k, verify_patterns=args.verify,
                   jobs=args.jobs)
     print(report.summary())
+    print(report.timing_summary())
     if args.out:
-        save_bench(report.circuit, args.out)
+        if args.out.endswith(".json"):
+            # One serialization shared with the job service: the full
+            # report with the result netlist embedded (repro.resynth
+            # .serialize; load back with report_from_json).
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report_to_json(report))
+        else:
+            save_bench(report.circuit, args.out)
         print(f"wrote {args.out}")
     return 0
 
@@ -96,6 +115,8 @@ def _cmd_identify(args) -> int:
 
 
 def _cmd_tables(args) -> int:
+    import time
+
     from . import experiments
 
     wanted = args.numbers or [1, 2, 3, 4, 5, 6, 7]
@@ -104,7 +125,10 @@ def _cmd_tables(args) -> int:
         if fn is None:
             print(f"unknown table {n}", file=sys.stderr)
             return 1
-        print(fn().render())
+        start = time.perf_counter()
+        rendered = fn().render()
+        print(rendered)
+        print(f"[table {n}: {time.perf_counter() - start:.2f}s]")
         print()
     return 0
 
@@ -193,6 +217,130 @@ def _cmd_replay(args) -> int:
     return 1 if failures else 0
 
 
+def _spec_from_args(args):
+    """Build a JobSpec from `submit`'s arguments (suite name or file)."""
+    import json as _json
+
+    from .benchcircuits.suite import suite_names
+    from .io.json_io import circuit_to_json
+    from .service import JobSpec
+
+    if args.circuit in suite_names():
+        source = {"circuit": args.circuit}
+    else:
+        # A netlist file travels inline so the service needs no shared
+        # filesystem with the client.
+        circuit = _load(args.circuit)
+        source = {"netlist": _json.loads(circuit_to_json(circuit))}
+    procedure = "procedure2" if args.objective == "gates" else "procedure3"
+    return JobSpec(procedure=procedure, k=args.k, seed=args.seed,
+                   perm_budget=args.perm_budget, max_passes=args.max_passes,
+                   verify_patterns=args.verify, jobs=args.jobs, **source)
+
+
+def _cmd_serve(args) -> int:
+    from .service import ArtifactStore, ServiceServer, SupervisorConfig
+
+    store = ArtifactStore(args.root)
+    config = SupervisorConfig(
+        max_retries=args.retries,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    server = ServiceServer(
+        store, host=args.host, port=args.port, config=config,
+        max_workers=args.workers, verbose=args.verbose,
+    )
+    print(f"repro.service listening on {server.url} "
+          f"(store: {store.root}, workers: {args.workers})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceAPIError, ServiceClient
+
+    client = ServiceClient(args.url)
+    spec = _spec_from_args(args)
+    try:
+        answer = client.submit(spec)
+    except ServiceAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    status = "submitted" if answer["created"] else "already known"
+    print(f"{answer['id']}: {status} (state: {answer['state']})")
+    if not args.wait:
+        return 0
+    view = client.wait(answer["id"], timeout=args.timeout)
+    print(f"{answer['id']}: {view['state']}")
+    if view["state"] == "failed":
+        print(view.get("error", "unknown failure"), file=sys.stderr)
+        return 1
+    report = view.get("report", {})
+    print(f"gates {report.get('gates_before')}->{report.get('gates_after')} "
+          f"paths {report.get('paths_before')}->{report.get('paths_after')} "
+          f"({report.get('replacements')} replacements, "
+          f"{report.get('passes')} passes, "
+          f"{report.get('total_seconds', 0):.2f}s)")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .service import ServiceAPIError, ServiceClient
+
+    try:
+        rows = ServiceClient(args.url).jobs()
+    except ServiceAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not rows:
+        print("no jobs")
+        return 0
+    for row in rows:
+        print(f"{row['id']}  {row['state']:<10} attempts={row['attempts']}")
+    return 0
+
+
+def _cmd_result(args) -> int:
+    import json as _json
+
+    from .service import ServiceAPIError, ServiceClient
+
+    client = ServiceClient(args.url)
+    try:
+        view = client.job(args.job_id)
+        if view["state"] != "succeeded":
+            print(f"{args.job_id}: state is {view['state']}",
+                  file=sys.stderr)
+            if view.get("traceback"):
+                print(view["traceback"], file=sys.stderr)
+            return 1
+        doc = client.report(args.job_id)
+    except ServiceAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.job_id}: gates {doc['gates_before']}->{doc['gates_after']} "
+          f"paths {doc['paths_before']}->{doc['paths_after']} "
+          f"({doc['replacements']} replacements, {doc['passes']} passes)")
+    if args.out:
+        if args.out.endswith(".json"):
+            with open(args.out, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=1, sort_keys=True)
+        else:
+            from .io import save_bench
+            from .resynth import report_from_json
+
+            report = report_from_json(_json.dumps(doc))
+            save_bench(report.circuit, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8734"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -235,7 +383,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="wall-clock budget in seconds")
     p.add_argument("--oracle", action="append",
                    choices=("sim", "fault", "resynth", "unit",
-                            "incremental", "parallel", "all"),
+                            "incremental", "parallel", "resume", "all"),
                    default=None,
                    help="oracle to run (repeatable; default all)")
     p.add_argument("--seed-base", type=int, default=0)
@@ -255,6 +403,52 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("replay", help="re-run saved fuzz repro artifacts")
     p.add_argument("artifacts", nargs="+")
     p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("serve",
+                       help="run the resynthesis job service "
+                            "(docs/SERVICE.md)")
+    p.add_argument("--root", default=".repro-service",
+                   help="artifact store directory (default .repro-service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8734,
+                   help="listen port (0 = ephemeral, printed at startup)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent worker subprocesses")
+    p.add_argument("--retries", type=int, default=2,
+                   help="worker retries per job (resume from checkpoint)")
+    p.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   help="seconds of worker silence before the kill")
+    p.add_argument("--verbose", action="store_true",
+                   help="log HTTP requests")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a job to a running service")
+    p.add_argument("circuit", help="suite name or netlist file")
+    p.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p.add_argument("--objective", choices=("gates", "paths"),
+                   default="gates")
+    p.add_argument("--k", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perm-budget", type=int, default=200)
+    p.add_argument("--max-passes", type=int, default=10)
+    p.add_argument("--verify", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    p.add_argument("--timeout", type=float, default=3600.0,
+                   help="--wait budget in seconds")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("jobs", help="list jobs of a running service")
+    p.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p.set_defaults(func=_cmd_jobs)
+
+    p = sub.add_parser("result", help="fetch a finished job's report")
+    p.add_argument("job_id")
+    p.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p.add_argument("--out",
+                   help="write the report (.json) or netlist (.bench)")
+    p.set_defaults(func=_cmd_result)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -2,6 +2,9 @@
 
 from .candidates import DEFAULT_MAX_CANDIDATES, enumerate_candidate_cones
 from .procedures import (
+    PassCheckpoint,
+    REPORT_NUMBER_FIELDS,
+    ResumeMismatchError,
     ResynthesisReport,
     combined_procedure,
     procedure2,
@@ -13,16 +16,29 @@ from .replace import (
     current_paths_on,
     evaluate_cone,
 )
+from .serialize import (
+    checkpoint_from_json,
+    checkpoint_to_json,
+    report_from_json,
+    report_to_json,
+)
 
 __all__ = [
     "DEFAULT_MAX_CANDIDATES",
+    "PassCheckpoint",
+    "REPORT_NUMBER_FIELDS",
     "ReplacementOption",
+    "ResumeMismatchError",
     "ResynthesisReport",
     "apply_replacement",
+    "checkpoint_from_json",
+    "checkpoint_to_json",
     "combined_procedure",
     "current_paths_on",
     "enumerate_candidate_cones",
     "evaluate_cone",
     "procedure2",
     "procedure3",
+    "report_from_json",
+    "report_to_json",
 ]

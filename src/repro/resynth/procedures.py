@@ -29,6 +29,7 @@ Reports are bit-identical at any ``jobs`` value; see ``docs/PARALLEL.md``.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -52,7 +53,14 @@ from .replace import (
 
 @dataclass
 class ResynthesisReport:
-    """Result of running a resynthesis procedure."""
+    """Result of running a resynthesis procedure.
+
+    All fields except the wall-clock ones (``pass_seconds``,
+    ``total_seconds``) are deterministic: bit-identical at any ``jobs``
+    value and across checkpoint/resume (see docs/PARALLEL.md and
+    docs/SERVICE.md).  Determinism comparisons must therefore use
+    :data:`REPORT_NUMBER_FIELDS`, never the timing fields.
+    """
 
     circuit: Circuit
     objective: str
@@ -65,6 +73,8 @@ class ResynthesisReport:
     paths_after: int
     mutations: int = 0  # circuit mutation events observed during the run
     jobs: int = 1  # worker processes used for candidate evaluation
+    pass_seconds: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0  # whole-run wall clock (resumes included)
 
     @property
     def gate_reduction(self) -> int:
@@ -84,6 +94,64 @@ class ResynthesisReport:
             f"paths {self.paths_before}->{self.paths_after} "
             f"({self.replacements} replacements, {self.passes} passes)"
         )
+
+    def timing_summary(self) -> str:
+        """One-line wall-clock breakdown by pass."""
+        per_pass = ", ".join(f"{s:.2f}s" for s in self.pass_seconds)
+        return (
+            f"timing: {self.total_seconds:.2f}s total, "
+            f"passes [{per_pass}]"
+        )
+
+
+#: Deterministic report fields: equal across ``jobs`` values and across
+#: checkpoint/resume.  Oracles and benchmarks compare exactly these.
+REPORT_NUMBER_FIELDS = (
+    "objective", "k", "passes", "replacements", "gates_before",
+    "gates_after", "paths_before", "paths_after", "mutations",
+)
+
+
+@dataclass
+class PassCheckpoint:
+    """Cross-pass sweep state at a pass boundary.
+
+    Captures everything :func:`_run` carries from one pass to the next,
+    so a run resumed from a checkpoint produces a report and a result
+    netlist bit-identical to the uninterrupted run (the ``resume``
+    differential oracle in :mod:`repro.verify.oracles` fuzzes exactly
+    that contract; docs/SERVICE.md documents it).
+
+    No RNG state needs snapshotting: every random stream of the sweep —
+    identification permutation sampling and the inline verification
+    patterns — is freshly derived from ``(seed, pass_no)`` at each pass,
+    so the seed and the pass counter *are* the RNG state.  The circuit
+    copy carries its fresh-net counters, and in-sweep net naming
+    (:class:`repro.comparison.unit._Namer`) probes current net membership
+    only, so serialized round-trips of the checkpoint stay faithful.
+    """
+
+    objective: str
+    k: int
+    seed: int
+    pass_no: int  # passes completed so far (1-based)
+    circuit: Circuit  # working circuit after pass ``pass_no`` (a copy)
+    replacements: int  # cumulative replacements over all passes so far
+    mutations: int  # cumulative circuit mutation events
+    gates_before: int  # of the decomposed start circuit
+    paths_before: int
+    gates_now: int
+    paths_now: int
+    pass_seconds: List[float]  # wall clock of every completed pass
+    done: bool  # the sweep converged (or hit max_passes) at this pass
+
+
+#: Progress hook: called at every pass boundary with a fresh checkpoint.
+PassHook = Callable[[PassCheckpoint], None]
+
+
+class ResumeMismatchError(ValueError):
+    """A checkpoint was replayed against incompatible run parameters."""
 
 
 # A selector maps (options, current_paths) -> chosen option or None.
@@ -223,6 +291,18 @@ def _resynthesis_pass(
     return replacements
 
 
+def _check_resume(resume: PassCheckpoint, objective: str, k: int,
+                  seed: int) -> None:
+    """Reject checkpoints replayed against incompatible parameters."""
+    for name, now in (("objective", objective), ("k", k), ("seed", seed)):
+        then = getattr(resume, name)
+        if then != now:
+            raise ResumeMismatchError(
+                f"checkpoint was taken with {name}={then!r}, "
+                f"cannot resume with {name}={now!r}"
+            )
+
+
 def _run(
     circuit: Circuit,
     selector: Selector,
@@ -235,6 +315,8 @@ def _run(
     decompose: bool = True,
     exact: bool = False,
     jobs: int = 1,
+    on_pass: Optional[PassHook] = None,
+    resume: Optional[PassCheckpoint] = None,
 ) -> ResynthesisReport:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -245,21 +327,48 @@ def _run(
         from ..parallel import ParallelEvaluator
 
         evaluator = ParallelEvaluator(jobs)
-    # Wide gates are split into 2-input trees first (metric-neutral; see
-    # decompose_two_input) so candidate growth can tunnel through them.
-    work = decompose_two_input(circuit) if decompose else circuit.copy()
-    gates_before = two_input_gate_count(work)
-    epoch_before = work.epoch
+    run_start = time.perf_counter()
+    if resume is not None:
+        _check_resume(resume, objective, k, seed)
+        # Continue exactly where the checkpoint left off: the working
+        # circuit (already decomposed at the original run's start) with
+        # its fresh-net counters, the pass counter, and the accumulated
+        # report numbers.  Caches (truth tables, identification) rebuild
+        # on demand — they hold pure functions, so warm or cold they
+        # cannot change any decision (the repro.parallel argument).
+        work = resume.circuit.copy()
+        gates_before = resume.gates_before
+        paths_before = resume.paths_before
+        total_replacements = resume.replacements
+        mutations_prior = resume.mutations
+        passes = resume.pass_no
+        pass_seconds = list(resume.pass_seconds)
+        seconds_prior = sum(pass_seconds)
+        done = resume.done
+    else:
+        # Wide gates are split into 2-input trees first (metric-neutral;
+        # see decompose_two_input) so candidate growth can tunnel through
+        # them.
+        work = decompose_two_input(circuit) if decompose else circuit.copy()
+        gates_before = two_input_gate_count(work)
+        total_replacements = 0
+        mutations_prior = 0
+        passes = 0
+        pass_seconds = []
+        seconds_prior = 0.0
+        done = False
+    epoch_base = work.epoch
     session = AnalysisSession(work)
     try:
-        paths_before = session.total_paths()
-        total_replacements = 0
-        passes = 0
-        while passes < max_passes:
+        paths_before = (session.total_paths() if resume is None
+                        else paths_before)
+        while not done and passes < max_passes:
             passes += 1
+            pass_start = time.perf_counter()
             made = _resynthesis_pass(work, selector, k, perm_budget,
                                      seed + passes, exact, session=session,
                                      evaluator=evaluator)
+            pass_seconds.append(time.perf_counter() - pass_start)
             total_replacements += made
             if verify_patterns:
                 # Seeded per (seed, passes): each pass re-verifies against
@@ -272,8 +381,23 @@ def _run(
                         f"resynthesis changed the function of {circuit.name} "
                         f"in pass {passes}"
                     )
-            if made == 0:
-                break
+            done = made == 0 or passes >= max_passes
+            if on_pass is not None:
+                on_pass(PassCheckpoint(
+                    objective=objective,
+                    k=k,
+                    seed=seed,
+                    pass_no=passes,
+                    circuit=work.copy(),
+                    replacements=total_replacements,
+                    mutations=mutations_prior + work.epoch - epoch_base,
+                    gates_before=gates_before,
+                    paths_before=paths_before,
+                    gates_now=two_input_gate_count(work),
+                    paths_now=session.total_paths(),
+                    pass_seconds=list(pass_seconds),
+                    done=done,
+                ))
         paths_after = session.total_paths()
     finally:
         session.close()
@@ -290,8 +414,10 @@ def _run(
         gates_after=two_input_gate_count(work),
         paths_before=paths_before,
         paths_after=paths_after,
-        mutations=work.epoch - epoch_before,
+        mutations=mutations_prior + work.epoch - epoch_base,
         jobs=jobs,
+        pass_seconds=pass_seconds,
+        total_seconds=seconds_prior + time.perf_counter() - run_start,
     )
 
 
@@ -305,6 +431,8 @@ def procedure2(
     decompose: bool = True,
     exact: bool = False,
     jobs: int = 1,
+    on_pass: Optional[PassHook] = None,
+    resume: Optional[PassCheckpoint] = None,
 ) -> ResynthesisReport:
     """Procedure 2: reduce the number of gates (paths as tiebreak).
 
@@ -322,10 +450,18 @@ def procedure2(
     jobs:
         Worker processes for candidate evaluation (1 = fully serial; the
         report is bit-identical either way, see :mod:`repro.parallel`).
+    on_pass:
+        Progress/checkpoint hook, called with a :class:`PassCheckpoint`
+        after every pass (the service layer persists these).
+    resume:
+        Continue from a previous run's checkpoint instead of starting
+        over; the report and result netlist are bit-identical to the
+        uninterrupted run (docs/SERVICE.md states the contract).
     """
     return _run(
         circuit, _select_for_gates, "gates", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
+        on_pass, resume,
     )
 
 
@@ -339,16 +475,19 @@ def procedure3(
     decompose: bool = True,
     exact: bool = False,
     jobs: int = 1,
+    on_pass: Optional[PassHook] = None,
+    resume: Optional[PassCheckpoint] = None,
 ) -> ResynthesisReport:
     """Procedure 3: reduce the number of paths (gate count unconstrained).
 
     ``exact=True`` augments identification with the exact decision
-    procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs`` fans
-    candidate evaluation out as in :func:`procedure2`.
+    procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs``,
+    ``on_pass`` and ``resume`` behave as in :func:`procedure2`.
     """
     return _run(
         circuit, _select_for_paths, "paths", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
+        on_pass, resume,
     )
 
 
@@ -362,6 +501,8 @@ def combined_procedure(
     verify_patterns: int = 0,
     decompose: bool = True,
     jobs: int = 1,
+    on_pass: Optional[PassHook] = None,
+    resume: Optional[PassCheckpoint] = None,
 ) -> ResynthesisReport:
     """Section 4.3's combined gates+paths objective.
 
@@ -372,5 +513,6 @@ def combined_procedure(
     return _run(
         circuit, _make_combined_selector(gate_weight),
         f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
-        verify_patterns, decompose, jobs=jobs,
+        verify_patterns, decompose, jobs=jobs, on_pass=on_pass,
+        resume=resume,
     )

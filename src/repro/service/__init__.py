@@ -1,0 +1,59 @@
+"""Checkpointable resynthesis job service (``repro.service``).
+
+Turns one-shot resynthesis calls into supervised, resumable jobs behind
+a stdlib-only HTTP JSON API: a content-addressed job model
+(:mod:`jobspec`), a file-backed artifact store holding specs, pass-level
+checkpoints, progress events and reports (:mod:`store`), a runner whose
+interrupted jobs resume bit-identically (:mod:`runner`), worker
+subprocess supervision with heartbeats and bounded retries
+(:mod:`supervisor`), and the HTTP service itself (:mod:`api`) with its
+metrics registry (:mod:`metrics`) and client (:mod:`client`).
+
+Entry points: ``repro-resynth serve`` / ``submit`` / ``jobs`` /
+``result`` on the CLI, :class:`ServiceServer` in-process.  The full
+lifecycle, checkpoint format and determinism contract are documented in
+``docs/SERVICE.md``.
+"""
+
+from .api import ResynthesisService, ServiceServer
+from .client import ServiceAPIError, ServiceClient
+from .jobspec import (
+    JobSpec,
+    JobSpecError,
+    PROCEDURES,
+    resolve_circuit,
+    spec_from_doc,
+    spec_from_json,
+)
+from .metrics import MetricsRegistry
+from .runner import run_job
+from .store import ArtifactStore, JOB_STATES, StoreError, TERMINAL_STATES
+from .supervisor import (
+    JobOutcome,
+    SupervisorConfig,
+    WorkerSupervisor,
+    default_worker_command,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "JOB_STATES",
+    "JobOutcome",
+    "JobSpec",
+    "JobSpecError",
+    "MetricsRegistry",
+    "PROCEDURES",
+    "ResynthesisService",
+    "ServiceAPIError",
+    "ServiceClient",
+    "ServiceServer",
+    "StoreError",
+    "SupervisorConfig",
+    "TERMINAL_STATES",
+    "WorkerSupervisor",
+    "default_worker_command",
+    "resolve_circuit",
+    "run_job",
+    "spec_from_doc",
+    "spec_from_json",
+]

@@ -1,0 +1,410 @@
+"""The resynthesis job service and its stdlib HTTP JSON API.
+
+Two layers:
+
+* :class:`ResynthesisService` — the in-process engine: an admission
+  queue over the artifact store, a scheduler thread that leases queued
+  jobs to supervisor threads (each of which drives one worker
+  subprocess), and the metrics registry.  Usable without HTTP; the CLI
+  and tests drive it directly.
+* :class:`ServiceServer` — a ``ThreadingHTTPServer`` exposing the
+  service as JSON endpoints::
+
+      POST /jobs                  submit a spec -> {"id", "state", "created"}
+      GET  /jobs                  list all jobs
+      GET  /jobs/<id>             status + spec + progress
+      GET  /jobs/<id>/events      event log; ?after=N&wait=S long-polls
+      GET  /jobs/<id>/report      final report (netlist embedded)
+      GET  /jobs/<id>/result      result netlist document only
+      GET  /metrics               counters/gauges/summaries snapshot
+
+  Errors are JSON too: 400 for malformed specs/queries, 404 for unknown
+  ids or routes.  See docs/SERVICE.md for the full reference.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .jobspec import JobSpec, JobSpecError, spec_from_doc
+from .metrics import MetricsRegistry
+from .store import ArtifactStore, StoreError, TERMINAL_STATES
+from .supervisor import SupervisorConfig, WorkerSupervisor
+
+#: Longest long-poll the server will hold a connection for.
+MAX_EVENT_WAIT = 30.0
+
+
+class ResynthesisService:
+    """Queue + scheduler + supervisors over one artifact store."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        config: Optional[SupervisorConfig] = None,
+        max_workers: int = 2,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.store = store
+        self.config = config or SupervisorConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self._max_workers = max_workers
+        self._queue: deque = deque()
+        self._queued: set = set()
+        self._active: Dict[str, WorkerSupervisor] = {}
+        self._lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._stopping = False
+        self._scheduler: Optional[threading.Thread] = None
+        self._recover()
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the scheduler thread (idempotent)."""
+        if self._scheduler is not None and self._scheduler.is_alive():
+            return
+        self._stopping = False
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="repro-service-scheduler",
+            daemon=True,
+        )
+        self._scheduler.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop scheduling and wait for active supervisors to settle."""
+        self._stopping = True
+        self._wakeup.set()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=timeout)
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            with self._lock:
+                if not self._active:
+                    return
+            time.sleep(0.05)
+
+    def _recover(self) -> None:
+        """Re-queue jobs a previous process left queued or running.
+
+        A job found ``running`` at startup is an orphan of a crashed
+        service — its worker is gone, but its checkpoints are not, so it
+        simply resumes.
+        """
+        for job_id in self.store.job_ids():
+            state = self.store.status(job_id).get("state")
+            if state in ("queued", "running"):
+                self.store.set_status(job_id, "queued")
+                self._enqueue(job_id)
+
+    # -- submission ----------------------------------------------------- #
+
+    def submit(self, spec: JobSpec) -> Tuple[str, bool]:
+        """Admit a job; returns ``(job_id, created)``.
+
+        Content-addressed dedup: an identical spec joins the existing
+        job.  A deduped job in a terminal state is *not* re-run — its
+        artifacts are already on disk.
+        """
+        job_id, created = self.store.create_job(spec)
+        self.metrics.inc("service_jobs_submitted_total")
+        if created:
+            self.store.append_event(job_id, "submitted",
+                                    spec=spec.describe())
+            self._enqueue(job_id)
+        else:
+            self.metrics.inc("service_jobs_deduplicated_total")
+            state = self.store.status(job_id).get("state")
+            if state == "queued":
+                self._enqueue(job_id)  # recovered store, service restart
+        return job_id, created
+
+    def _enqueue(self, job_id: str) -> None:
+        with self._lock:
+            if job_id in self._queued or job_id in self._active:
+                return
+            self._queue.append(job_id)
+            self._queued.add(job_id)
+            self.metrics.set_gauge("service_queue_depth", len(self._queue))
+        self._wakeup.set()
+
+    # -- scheduling ----------------------------------------------------- #
+
+    def _schedule_loop(self) -> None:
+        while not self._stopping:
+            launched = self._launch_ready()
+            if not launched:
+                self._wakeup.wait(timeout=0.1)
+                self._wakeup.clear()
+
+    def _launch_ready(self) -> bool:
+        with self._lock:
+            if not self._queue or len(self._active) >= self._max_workers:
+                return False
+            job_id = self._queue.popleft()
+            self._queued.discard(job_id)
+            supervisor = WorkerSupervisor(
+                self.store, self.config, metrics=self.metrics,
+            )
+            self._active[job_id] = supervisor
+            self.metrics.set_gauge("service_queue_depth", len(self._queue))
+            self.metrics.set_gauge("service_running_jobs",
+                                   len(self._active))
+        thread = threading.Thread(
+            target=self._supervise, args=(job_id, supervisor),
+            name=f"repro-service-{job_id}", daemon=True,
+        )
+        thread.start()
+        return True
+
+    def _supervise(self, job_id: str, supervisor: WorkerSupervisor) -> None:
+        try:
+            outcome = supervisor.supervise(job_id)
+            if outcome.state == "succeeded":
+                report = self.store.load_report(job_id)
+                if report is not None:
+                    for seconds in report.pass_seconds:
+                        self.metrics.observe("service_pass_seconds", seconds)
+        finally:
+            with self._lock:
+                self._active.pop(job_id, None)
+                self.metrics.set_gauge("service_running_jobs",
+                                       len(self._active))
+            self._wakeup.set()
+
+    # -- views ---------------------------------------------------------- #
+
+    def job_view(self, job_id: str) -> Dict[str, object]:
+        """The JSON view of one job (raises StoreError on unknown ids)."""
+        spec = self.store.load_spec(job_id)
+        status = self.store.status(job_id)
+        view: Dict[str, object] = {
+            "id": job_id,
+            "state": status.get("state"),
+            "attempts": status.get("attempts", 0),
+            "created": status.get("created"),
+            "updated": status.get("updated"),
+            "spec": spec.to_doc(),
+        }
+        for key in ("error", "traceback", "reason"):
+            if status.get(key) is not None:
+                view[key] = status[key]
+        passes = self.store.checkpoint_passes(job_id)
+        if passes:
+            view["checkpointed_passes"] = passes
+        report = self.store.load_report_doc(job_id)
+        if report is not None:
+            view["report"] = {
+                k: v for k, v in report.items() if k != "circuit"
+            }
+        return view
+
+    def list_view(self) -> List[Dict[str, object]]:
+        """Compact JSON rows for ``GET /jobs``."""
+        rows = []
+        for job_id in self.store.job_ids():
+            status = self.store.status(job_id)
+            rows.append({
+                "id": job_id,
+                "state": status.get("state"),
+                "attempts": status.get("attempts", 0),
+                "updated": status.get("updated"),
+            })
+        return rows
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the service (one instance per request)."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # Populated by ServiceServer via a subclass attribute.
+    service: ResynthesisService = None  # type: ignore[assignment]
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(fmt, *args)
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _send_json(self, code: int, doc: object) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str) -> None:
+        self.service.metrics.inc("service_http_errors_total")
+        self._send_json(code, {"error": message})
+
+    # -- routes --------------------------------------------------------- #
+
+    def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self.service.metrics.inc("service_http_requests_total")
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") != "/jobs":
+            self._error(404, f"no such route: POST {parsed.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._error(400, "bad Content-Length")
+            return
+        raw = self.rfile.read(length) if length else b""
+        try:
+            doc = json.loads(raw.decode("utf-8") or "null")
+            spec = spec_from_doc(doc)
+        except (JobSpecError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            self._error(400, f"invalid job spec: {exc}")
+            return
+        job_id, created = self.service.submit(spec)
+        state = self.service.store.status(job_id).get("state")
+        self._send_json(201 if created else 200, {
+            "id": job_id, "state": state, "created": created,
+        })
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self.service.metrics.inc("service_http_requests_total")
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        try:
+            if parts == ["metrics"]:
+                self._send_json(200, self.service.metrics.snapshot())
+            elif parts == ["jobs"]:
+                self._send_json(200, {"jobs": self.service.list_view()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, self.service.job_view(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs":
+                self._job_subresource(parts[1], parts[2], query)
+            else:
+                self._error(404, f"no such route: GET {parsed.path}")
+        except StoreError as exc:
+            self._error(404, str(exc))
+
+    def _job_subresource(self, job_id: str, leaf: str,
+                         query: Dict[str, List[str]]) -> None:
+        store = self.service.store
+        if leaf == "events":
+            self._events(job_id, query)
+        elif leaf == "report":
+            doc = store.load_report_doc(job_id)
+            if doc is None:
+                if not store.has_job(job_id):
+                    raise StoreError(f"unknown job {job_id!r}")
+                self._error(404, f"job {job_id} has no report yet "
+                                 f"(state: {store.status(job_id)['state']})")
+            else:
+                self._send_json(200, doc)
+        elif leaf == "result":
+            doc = store.load_report_doc(job_id)
+            if doc is None:
+                if not store.has_job(job_id):
+                    raise StoreError(f"unknown job {job_id!r}")
+                self._error(404, f"job {job_id} has no result yet "
+                                 f"(state: {store.status(job_id)['state']})")
+            else:
+                self._send_json(200, doc["circuit"])
+        else:
+            raise StoreError(f"unknown job resource {leaf!r}")
+
+    def _events(self, job_id: str, query: Dict[str, List[str]]) -> None:
+        try:
+            after = int(query.get("after", ["0"])[0])
+            wait = min(float(query.get("wait", ["0"])[0]), MAX_EVENT_WAIT)
+        except ValueError:
+            self._error(400, "'after' must be an int, 'wait' a float")
+            return
+        store = self.service.store
+        deadline = time.time() + wait
+        while True:
+            events = store.events(job_id, after=after)  # 404s unknown ids
+            state = store.status(job_id).get("state")
+            # Terminal jobs emit no further events; return immediately so
+            # pollers do not burn their full wait on a finished job.
+            if events or state in TERMINAL_STATES or time.time() >= deadline:
+                break
+            time.sleep(0.05)
+        next_after = events[-1]["seq"] if events else after
+        self._send_json(200, {
+            "events": events, "next_after": next_after, "state": state,
+        })
+
+
+class ServiceServer:
+    """Owns a :class:`ResynthesisService` plus its HTTP front end."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional[SupervisorConfig] = None,
+        max_workers: int = 2,
+        verbose: bool = False,
+    ) -> None:
+        self.service = ResynthesisService(
+            store, config=config, max_workers=max_workers,
+        )
+        handler = type("BoundHandler", (_Handler,),
+                       {"service": self.service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._httpd.verbose = verbose  # read by _Handler.log_message
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Start the scheduler and the HTTP listener (background thread)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-service-http",
+            kwargs={"poll_interval": 0.1}, daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the HTTP listener, then the service."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self.service.stop(timeout=timeout)
+
+    def serve_forever(self) -> None:
+        """Foreground serving (the CLI's ``serve`` path); Ctrl-C stops."""
+        self.service.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self._httpd.server_close()
+            self.service.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,114 @@
+"""Stdlib HTTP client for the job service (used by the CLI and tests).
+
+Thin ``urllib`` wrapper: methods mirror the API routes one-to-one and
+return parsed JSON documents.  HTTP error responses carrying a JSON
+``{"error": ...}`` body are raised as :class:`ServiceAPIError` with the
+server's message and status code, so callers see the server's diagnosis
+rather than a bare ``HTTPError``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+from .jobspec import JobSpec
+
+
+class ServiceAPIError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8734``)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[object] = None) -> object:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw or exc.reason
+            raise ServiceAPIError(exc.code, message) from None
+
+    # -- routes --------------------------------------------------------- #
+
+    def submit(self, spec: JobSpec) -> Dict[str, object]:
+        """``POST /jobs`` — returns ``{"id", "state", "created"}``."""
+        return self._request("POST", "/jobs", body=spec.to_doc())
+
+    def submit_doc(self, doc: Dict[str, object]) -> Dict[str, object]:
+        """``POST /jobs`` with a raw spec document."""
+        return self._request("POST", "/jobs", body=doc)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """``GET /jobs``."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, after: int = 0,
+               wait: float = 0.0) -> Dict[str, object]:
+        """``GET /jobs/<id>/events`` (long-polls when ``wait > 0``)."""
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?after={after}&wait={wait}",
+        )
+
+    def report(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>/report``."""
+        return self._request("GET", f"/jobs/{job_id}/report")
+
+    def result(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>/result`` — the result netlist document."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def metrics(self) -> Dict[str, object]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    # -- conveniences --------------------------------------------------- #
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.5) -> Dict[str, object]:
+        """Block (long-polling events) until the job is terminal.
+
+        Returns the final job view; raises :class:`TimeoutError` when
+        the budget runs out first.
+        """
+        deadline = time.time() + timeout
+        after = 0
+        while time.time() < deadline:
+            chunk = self.events(job_id, after=after,
+                                wait=min(poll * 10, 5.0))
+            after = chunk["next_after"]
+            if chunk["state"] in ("succeeded", "failed"):
+                return self.job(job_id)
+        raise TimeoutError(
+            f"job {job_id} not terminal within {timeout:g}s"
+        )

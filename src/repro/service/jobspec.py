@@ -1,0 +1,184 @@
+"""The job model: a deterministic, content-addressed resynthesis request.
+
+A :class:`JobSpec` is everything needed to run one resynthesis job —
+circuit source, procedure, and every knob the procedures take.  Specs are
+*content-addressed*: the job id is a SHA-256 prefix of the canonical JSON
+encoding, so resubmitting an identical spec lands on the same job (and
+its existing checkpoints/results) instead of redoing minutes of work.
+
+Validation here is shape validation only: types, ranges, known procedure
+and suite names.  Semantic failures that require building the circuit
+(e.g. a combinational cycle in an inline netlist) are deliberately left
+to the worker, where they surface as a ``failed`` job carrying the
+traceback — the API edge stays cheap and the failure path stays
+exercised.  See ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..netlist import Circuit
+
+SPEC_FORMAT = "repro-jobspec"
+SPEC_VERSION = 1
+
+#: Procedures a job may request (resolved in the worker).
+PROCEDURES = ("procedure2", "procedure3", "combined")
+
+
+class JobSpecError(ValueError):
+    """A submitted spec failed shape validation (HTTP 400 material)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One resynthesis job, fully determined by its field values.
+
+    Exactly one of ``circuit`` (a benchmark-suite name) and ``netlist``
+    (an inline ``repro-netlist`` JSON document) must be set.
+    """
+
+    procedure: str = "procedure2"
+    circuit: Optional[str] = None
+    netlist: Optional[Dict[str, object]] = None
+    k: int = 5
+    perm_budget: int = 200
+    seed: int = 0
+    max_passes: int = 10
+    verify_patterns: int = 0
+    jobs: int = 1
+    gate_weight: float = 10.0  # combined objective only
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-compatible dict form (the canonical wire format)."""
+        doc: Dict[str, object] = {
+            "format": SPEC_FORMAT,
+            "version": SPEC_VERSION,
+            "procedure": self.procedure,
+            "k": self.k,
+            "perm_budget": self.perm_budget,
+            "seed": self.seed,
+            "max_passes": self.max_passes,
+            "verify_patterns": self.verify_patterns,
+            "jobs": self.jobs,
+            "gate_weight": self.gate_weight,
+        }
+        if self.circuit is not None:
+            doc["circuit"] = self.circuit
+        if self.netlist is not None:
+            doc["netlist"] = self.netlist
+        return doc
+
+    def to_json(self) -> str:
+        """Pretty JSON form (what the store persists as ``spec.json``)."""
+        return json.dumps(self.to_doc(), indent=1, sort_keys=True)
+
+    @property
+    def job_id(self) -> str:
+        """Content address: stable across key order and whitespace."""
+        canonical = json.dumps(
+            self.to_doc(), sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return f"j{digest[:12]}"
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        source = self.circuit if self.circuit is not None else (
+            f"<inline:{self.netlist.get('name', '?')}>"
+        )
+        return (f"{self.job_id}: {self.procedure} {source} K={self.k} "
+                f"seed={self.seed} jobs={self.jobs}")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobSpecError(message)
+
+
+def spec_from_doc(doc: object) -> JobSpec:
+    """Validate a submitted JSON document and build the :class:`JobSpec`.
+
+    Raises :class:`JobSpecError` with a client-actionable message on any
+    shape problem; the HTTP layer maps that to a 400.
+    """
+    _require(isinstance(doc, dict), "spec must be a JSON object")
+    _require(doc.get("format", SPEC_FORMAT) == SPEC_FORMAT,
+             f"spec format must be {SPEC_FORMAT!r}")
+    _require(doc.get("version", SPEC_VERSION) == SPEC_VERSION,
+             f"unsupported spec version {doc.get('version')!r}")
+
+    known = {
+        "format", "version", "procedure", "circuit", "netlist", "k",
+        "perm_budget", "seed", "max_passes", "verify_patterns", "jobs",
+        "gate_weight",
+    }
+    unknown = sorted(set(doc) - known)
+    _require(not unknown, f"unknown spec field(s): {', '.join(unknown)}")
+
+    procedure = doc.get("procedure", "procedure2")
+    _require(procedure in PROCEDURES,
+             f"unknown procedure {procedure!r}; choose from "
+             f"{', '.join(PROCEDURES)}")
+
+    circuit = doc.get("circuit")
+    netlist = doc.get("netlist")
+    _require((circuit is None) != (netlist is None),
+             "exactly one of 'circuit' (suite name) and 'netlist' "
+             "(inline repro-netlist document) is required")
+    if circuit is not None:
+        _require(isinstance(circuit, str), "'circuit' must be a string")
+        from ..benchcircuits.suite import suite_names
+
+        _require(circuit in suite_names(),
+                 f"unknown suite circuit {circuit!r}; choose from "
+                 f"{', '.join(suite_names())}")
+    if netlist is not None:
+        _require(isinstance(netlist, dict), "'netlist' must be an object")
+        _require(netlist.get("format") == "repro-netlist",
+                 "'netlist' must be a repro-netlist document")
+
+    ints = {
+        "k": (2, 16), "perm_budget": (1, 1_000_000),
+        "seed": (-(2 ** 62), 2 ** 62), "max_passes": (1, 10_000),
+        "verify_patterns": (0, 1_000_000), "jobs": (1, 256),
+    }
+    values = {}
+    for name, (lo, hi) in ints.items():
+        v = doc.get(name, getattr(JobSpec, name))
+        _require(isinstance(v, int) and not isinstance(v, bool),
+                 f"{name!r} must be an integer")
+        _require(lo <= v <= hi, f"{name!r} must be in [{lo}, {hi}]")
+        values[name] = v
+    gate_weight = doc.get("gate_weight", JobSpec.gate_weight)
+    _require(isinstance(gate_weight, (int, float))
+             and not isinstance(gate_weight, bool),
+             "'gate_weight' must be a number")
+    _require(gate_weight >= 0, "'gate_weight' must be >= 0")
+
+    return JobSpec(procedure=procedure, circuit=circuit, netlist=netlist,
+                   gate_weight=float(gate_weight), **values)
+
+
+def spec_from_json(text: str) -> JobSpec:
+    """Parse and validate a spec from raw JSON text."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JobSpecError(f"body is not valid JSON: {exc}") from None
+    return spec_from_doc(doc)
+
+
+def resolve_circuit(spec: JobSpec) -> Circuit:
+    """Build the spec's circuit (worker-side; may raise on bad netlists)."""
+    if spec.circuit is not None:
+        from ..benchcircuits.suite import suite_circuit
+
+        return suite_circuit(spec.circuit)
+    from ..io.json_io import circuit_from_json
+
+    return circuit_from_json(json.dumps(spec.netlist))

@@ -1,0 +1,84 @@
+"""Counters, gauges and summaries for the job service (``/metrics``).
+
+A deliberately small, stdlib-only registry: counters only go up, gauges
+are set, summaries accumulate ``count/sum/min/max`` of observations
+(enough to derive averages without binning decisions).  Everything is
+thread-safe — the HTTP handler threads, the scheduler thread and the
+supervisor threads all write concurrently.
+
+The full catalogue of metric names the service emits is documented in
+``docs/SERVICE.md``; tests pin the load-bearing ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Thread-safe metrics store with a JSON-friendly snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._summaries: Dict[str, Dict[str, float]] = {}
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add *value* (>= 0) to the counter *name*."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} cannot decrease")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the summary *name*."""
+        with self._lock:
+            s = self._summaries.get(name)
+            if s is None:
+                self._summaries[name] = {
+                    "count": 1.0, "sum": value, "min": value, "max": value,
+                }
+            else:
+                s["count"] += 1
+                s["sum"] += value
+                s["min"] = min(s["min"], value)
+                s["max"] = max(s["max"], value)
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of a gauge (None when never set)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time copy of every metric, JSON-serializable."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "summaries": {k: dict(v) for k, v in self._summaries.items()},
+            }
+
+    def render_text(self) -> str:
+        """Flat ``name value`` lines (a Prometheus-exposition subset)."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"{name} {value:g}")
+        for name, value in sorted(snap["gauges"].items()):
+            lines.append(f"{name} {value:g}")
+        for name, s in sorted(snap["summaries"].items()):
+            for stat in ("count", "sum", "min", "max"):
+                lines.append(f"{name}_{stat} {s[stat]:g}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,325 @@
+"""File-backed artifact store: specs, checkpoints, events, reports.
+
+One directory per job, addressed by the spec's content hash::
+
+    <root>/jobs/<job_id>/
+        spec.json                  the JobSpec (write-once)
+        status.json                state machine record (atomic replace)
+        events.jsonl               append-only progress event log
+        heartbeat.json             worker liveness timestamp
+        checkpoints/pass_NNNN.json pass-boundary resume points
+        report.json                final report + result netlist
+
+Durability discipline: every JSON document is written to a temp file in
+the same directory and ``os.replace``d into place, so readers never see
+a torn document and a crashed worker leaves at worst a stale ``.tmp``.
+The event log is the one append-only file; the store serializes appends
+per process with a lock, and the supervisor/worker protocol guarantees
+the two processes never append concurrently (the supervisor only writes
+while the worker is not running).
+
+States: ``queued -> running -> succeeded | failed`` with
+``running -> queued`` on a retryable worker death.  See docs/SERVICE.md
+for the full lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..resynth.procedures import PassCheckpoint, ResynthesisReport
+from ..resynth.serialize import (
+    checkpoint_from_doc,
+    checkpoint_to_doc,
+    report_from_doc,
+    report_to_doc,
+)
+from .jobspec import JobSpec, spec_from_doc
+
+#: Legal job states (the store validates transitions are at least names).
+JOB_STATES = ("queued", "running", "succeeded", "failed")
+
+#: States a job cannot leave.
+TERMINAL_STATES = ("succeeded", "failed")
+
+
+class StoreError(RuntimeError):
+    """Malformed store contents or an unknown job id."""
+
+
+def _atomic_write(path: str, text: str) -> int:
+    """Write *text* to *path* via same-directory temp + rename; bytes out."""
+    data = text.encode("utf-8")
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return len(data)
+
+
+class ArtifactStore:
+    """Directory-per-job persistence for the resynthesis service."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self._jobs_dir = os.path.join(self.root, "jobs")
+        os.makedirs(self._jobs_dir, exist_ok=True)
+        self._event_lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------- #
+
+    def job_dir(self, job_id: str) -> str:
+        """The job's directory (no existence check)."""
+        if not job_id or "/" in job_id or os.sep in job_id or ".." in job_id:
+            raise StoreError(f"illegal job id {job_id!r}")
+        return os.path.join(self._jobs_dir, job_id)
+
+    def _path(self, job_id: str, *names: str) -> str:
+        return os.path.join(self.job_dir(job_id), *names)
+
+    def has_job(self, job_id: str) -> bool:
+        """True when a job with this id has been created."""
+        try:
+            return os.path.exists(self._path(job_id, "spec.json"))
+        except StoreError:
+            return False
+
+    def job_ids(self) -> List[str]:
+        """All job ids in the store, sorted for stable listings."""
+        if not os.path.isdir(self._jobs_dir):
+            return []
+        return sorted(
+            d for d in os.listdir(self._jobs_dir)
+            if os.path.exists(os.path.join(self._jobs_dir, d, "spec.json"))
+        )
+
+    # -- job creation / spec -------------------------------------------- #
+
+    def create_job(self, spec: JobSpec) -> tuple:
+        """Persist *spec*; returns ``(job_id, created)``.
+
+        Content-addressing makes this idempotent: an identical spec maps
+        to the existing job (with whatever state and checkpoints it has)
+        and ``created`` is False.
+        """
+        job_id = spec.job_id
+        if self.has_job(job_id):
+            return job_id, False
+        job_dir = self.job_dir(job_id)
+        os.makedirs(os.path.join(job_dir, "checkpoints"), exist_ok=True)
+        _atomic_write(self._path(job_id, "spec.json"), spec.to_json())
+        self.set_status(job_id, "queued", attempts=0)
+        return job_id, True
+
+    def load_spec(self, job_id: str) -> JobSpec:
+        """The job's spec (raises :class:`StoreError` on unknown ids)."""
+        path = self._path(job_id, "spec.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return spec_from_doc(json.load(fh))
+        except FileNotFoundError:
+            raise StoreError(f"unknown job {job_id!r}") from None
+
+    # -- status --------------------------------------------------------- #
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """The job's status record."""
+        path = self._path(job_id, "status.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise StoreError(f"unknown job {job_id!r}") from None
+
+    def set_status(self, job_id: str, state: str, **fields: object) -> None:
+        """Atomically replace the status record.
+
+        Unspecified bookkeeping fields (``attempts``, ``created``) carry
+        over from the previous record; ``error``/``traceback`` do not —
+        a fresh attempt starts clean.
+        """
+        if state not in JOB_STATES:
+            raise StoreError(f"unknown state {state!r}")
+        now = time.time()
+        try:
+            prev = self.status(job_id)
+        except StoreError:
+            prev = {"created": now, "attempts": 0}
+        record: Dict[str, object] = {
+            "state": state,
+            "created": prev.get("created", now),
+            "updated": now,
+            "attempts": fields.pop("attempts", prev.get("attempts", 0)),
+        }
+        record.update(fields)
+        _atomic_write(self._path(job_id, "status.json"),
+                      json.dumps(record, indent=1, sort_keys=True))
+
+    # -- events --------------------------------------------------------- #
+
+    def append_event(self, job_id: str, etype: str,
+                     **payload: object) -> int:
+        """Append one event; returns its sequence number (1-based)."""
+        path = self._path(job_id, "events.jsonl")
+        with self._event_lock:
+            seq = self._last_seq(path) + 1
+            event = {"seq": seq, "ts": time.time(), "type": etype}
+            event.update(payload)
+            line = json.dumps(event, sort_keys=True)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        return seq
+
+    @staticmethod
+    def _last_seq(path: str) -> int:
+        try:
+            with open(path, "rb") as fh:
+                last = b""
+                for line in fh:
+                    if line.strip():
+                        last = line
+            return json.loads(last)["seq"] if last.strip() else 0
+        except FileNotFoundError:
+            return 0
+
+    def events(self, job_id: str, after: int = 0) -> List[Dict[str, object]]:
+        """Events with ``seq > after`` in order (empty list when none)."""
+        if not self.has_job(job_id):
+            raise StoreError(f"unknown job {job_id!r}")
+        path = self._path(job_id, "events.jsonl")
+        out: List[Dict[str, object]] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    event = json.loads(line)
+                    if event["seq"] > after:
+                        out.append(event)
+        except FileNotFoundError:
+            pass
+        return out
+
+    # -- heartbeat ------------------------------------------------------ #
+
+    def heartbeat(self, job_id: str) -> None:
+        """Record worker liveness now."""
+        _atomic_write(self._path(job_id, "heartbeat.json"),
+                      json.dumps({"ts": time.time()}))
+
+    def last_heartbeat(self, job_id: str) -> Optional[float]:
+        """Timestamp of the last heartbeat (None when never beaten)."""
+        try:
+            with open(self._path(job_id, "heartbeat.json"),
+                      "r", encoding="utf-8") as fh:
+                return json.load(fh)["ts"]
+        except (FileNotFoundError, KeyError, ValueError):
+            return None
+
+    # -- checkpoints ---------------------------------------------------- #
+
+    def write_checkpoint(self, job_id: str, ckpt: PassCheckpoint) -> int:
+        """Persist a pass checkpoint; returns the bytes written."""
+        directory = self._path(job_id, "checkpoints")
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"pass_{ckpt.pass_no:04d}.json")
+        doc = checkpoint_to_doc(ckpt)
+        return _atomic_write(path, json.dumps(doc, indent=1, sort_keys=True))
+
+    def checkpoint_passes(self, job_id: str) -> List[int]:
+        """Pass numbers with a stored checkpoint, ascending."""
+        directory = self._path(job_id, "checkpoints")
+        if not os.path.isdir(directory):
+            return []
+        passes = []
+        for name in os.listdir(directory):
+            if name.startswith("pass_") and name.endswith(".json"):
+                try:
+                    passes.append(int(name[5:-5]))
+                except ValueError:
+                    continue
+        return sorted(passes)
+
+    def load_checkpoint(self, job_id: str,
+                        pass_no: int) -> PassCheckpoint:
+        """Load one stored checkpoint."""
+        path = self._path(job_id, "checkpoints", f"pass_{pass_no:04d}.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return checkpoint_from_doc(json.load(fh))
+        except FileNotFoundError:
+            raise StoreError(
+                f"job {job_id!r} has no checkpoint for pass {pass_no}"
+            ) from None
+
+    def latest_checkpoint(self, job_id: str) -> Optional[PassCheckpoint]:
+        """The most recent checkpoint, or None for a fresh job."""
+        passes = self.checkpoint_passes(job_id)
+        if not passes:
+            return None
+        return self.load_checkpoint(job_id, passes[-1])
+
+    # -- report --------------------------------------------------------- #
+
+    def write_report(self, job_id: str, report: ResynthesisReport) -> int:
+        """Persist the final report (result netlist embedded)."""
+        doc = report_to_doc(report)
+        return _atomic_write(self._path(job_id, "report.json"),
+                             json.dumps(doc, indent=1, sort_keys=True))
+
+    def load_report(self, job_id: str) -> Optional[ResynthesisReport]:
+        """The final report, or None while the job is still running."""
+        try:
+            with open(self._path(job_id, "report.json"),
+                      "r", encoding="utf-8") as fh:
+                return report_from_doc(json.load(fh))
+        except FileNotFoundError:
+            return None
+
+    def load_report_doc(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The raw report document (what the HTTP API serves)."""
+        try:
+            with open(self._path(job_id, "report.json"),
+                      "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    # -- worker error hand-off ------------------------------------------ #
+
+    def write_worker_error(self, job_id: str, message: str,
+                           traceback_text: str) -> None:
+        """Record the worker's crash context for the supervisor."""
+        _atomic_write(self._path(job_id, "error.json"), json.dumps(
+            {"message": message, "traceback": traceback_text},
+            indent=1,
+        ))
+
+    def read_worker_error(self, job_id: str) -> Optional[Dict[str, str]]:
+        """The worker's last crash record, if any."""
+        try:
+            with open(self._path(job_id, "error.json"),
+                      "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def clear_worker_error(self, job_id: str) -> None:
+        """Drop a stale crash record before a fresh attempt."""
+        try:
+            os.unlink(self._path(job_id, "error.json"))
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,202 @@
+"""Worker supervision: subprocess lifecycle, heartbeats, bounded retries.
+
+Each job attempt runs in a dedicated worker subprocess
+(:mod:`repro.service.workermain`) so a crash — a Python exception, a
+hard ``os._exit``, an OOM kill — can never take the service down.  The
+supervisor watches the worker's heartbeat file; a worker silent for
+longer than ``heartbeat_timeout`` is killed and treated as a failed
+attempt.  Failed attempts are retried up to ``max_retries`` times with
+exponential backoff, and because every pass boundary persisted a
+checkpoint, a retry resumes where the dead worker left off instead of
+redoing its work — deterministically, so a job's final report does not
+depend on how many times its worker died (the extension of the
+``repro.parallel`` crash-path discipline that makes retries safe).
+
+After the last attempt the job reaches the terminal ``failed`` state
+carrying the worker's traceback (when the worker could record one) or
+the exit/kill diagnosis (when it could not).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .metrics import MetricsRegistry
+from .store import ArtifactStore
+
+
+@dataclass
+class SupervisorConfig:
+    """Supervision knobs (service-wide; see docs/SERVICE.md)."""
+
+    max_retries: int = 2  # retries after the first attempt
+    heartbeat_timeout: float = 30.0  # seconds of silence before the kill
+    heartbeat_interval: float = 1.0  # worker's beat period
+    backoff_base: float = 0.5  # retry n sleeps backoff_base * 2**n
+    poll_interval: float = 0.05  # supervisor's worker-watch period
+    kill_grace: float = 5.0  # SIGTERM -> SIGKILL escalation window
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.heartbeat_timeout <= 0 or self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat periods must be positive")
+
+
+@dataclass
+class JobOutcome:
+    """Terminal result of supervising one job."""
+
+    job_id: str
+    state: str  # "succeeded" | "failed"
+    attempts: int
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+
+def default_worker_command(store: ArtifactStore, job_id: str,
+                           config: SupervisorConfig) -> List[str]:
+    """The real worker: ``python -m repro.service.workermain``."""
+    return [
+        sys.executable, "-m", "repro.service.workermain",
+        store.root, job_id,
+        "--heartbeat-interval", str(config.heartbeat_interval),
+    ]
+
+
+def _worker_env() -> dict:
+    """Child env with this interpreter's ``repro`` importable.
+
+    The service may be running from a source tree (``PYTHONPATH=src``)
+    or an installed package; pointing the child at the package parent of
+    the *running* ``repro`` works in both layouts.
+    """
+    import repro
+
+    pkg_parent = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)
+    ))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (pkg_parent if not existing
+                         else pkg_parent + os.pathsep + existing)
+    return env
+
+
+class WorkerSupervisor:
+    """Runs one job to a terminal state through supervised attempts."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        config: Optional[SupervisorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        worker_command: Optional[
+            Callable[[ArtifactStore, str, SupervisorConfig], List[str]]
+        ] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._store = store
+        self._config = config or SupervisorConfig()
+        self._metrics = metrics or MetricsRegistry()
+        self._worker_command = worker_command or default_worker_command
+        self._sleep = sleep
+        self._stop_requested = False
+
+    def stop(self) -> None:
+        """Ask a running :meth:`supervise` to wind down after this attempt."""
+        self._stop_requested = True
+
+    # -- one attempt ---------------------------------------------------- #
+
+    def _run_attempt(self, job_id: str) -> Optional[str]:
+        """Run one worker to completion; returns None on success, else a
+        failure description."""
+        cfg = self._config
+        cmd = self._worker_command(self._store, job_id, cfg)
+        started = time.time()
+        # The worker may take a moment to produce its first heartbeat;
+        # count the launch itself as liveness until then.
+        proc = subprocess.Popen(
+            cmd, env=_worker_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            while True:
+                code = proc.poll()
+                if code is not None:
+                    if code == 0:
+                        return None
+                    return f"worker exited with code {code}"
+                beat = self._store.last_heartbeat(job_id)
+                last_alive = beat if beat is not None else started
+                if time.time() - last_alive > cfg.heartbeat_timeout:
+                    self._terminate(proc)
+                    self._metrics.inc("service_heartbeat_timeouts_total")
+                    return (f"worker heartbeat silent for more than "
+                            f"{cfg.heartbeat_timeout:g}s; killed")
+                self._sleep(cfg.poll_interval)
+        finally:
+            if proc.poll() is None:
+                self._terminate(proc)
+
+    def _terminate(self, proc: subprocess.Popen) -> None:
+        proc.terminate()
+        try:
+            proc.wait(timeout=self._config.kill_grace)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # -- the attempt loop ----------------------------------------------- #
+
+    def supervise(self, job_id: str) -> JobOutcome:
+        """Drive *job_id* from ``queued`` to a terminal state."""
+        store = self._store
+        cfg = self._config
+        attempts = 0
+        failure: Optional[str] = None
+        while attempts <= cfg.max_retries:
+            attempts += 1
+            store.clear_worker_error(job_id)
+            store.set_status(job_id, "running", attempts=attempts)
+            store.append_event(job_id, "attempt", attempt=attempts)
+            job_start = time.time()
+            failure = self._run_attempt(job_id)
+            self._metrics.observe("service_attempt_seconds",
+                                  time.time() - job_start)
+            if failure is None:
+                store.set_status(job_id, "succeeded", attempts=attempts)
+                store.append_event(job_id, "state", state="succeeded")
+                self._metrics.inc("service_jobs_succeeded_total")
+                return JobOutcome(job_id, "succeeded", attempts)
+            retryable = (attempts <= cfg.max_retries
+                         and not self._stop_requested)
+            store.append_event(
+                job_id, "attempt_failed",
+                attempt=attempts, reason=failure,
+                will_retry=retryable,
+            )
+            if not retryable:
+                break
+            self._metrics.inc("service_worker_retries_total")
+            backoff = cfg.backoff_base * (2 ** (attempts - 1))
+            store.set_status(job_id, "queued", attempts=attempts,
+                             last_error=failure)
+            self._sleep(backoff)
+        error = self._store.read_worker_error(job_id)
+        message = error["message"] if error else failure
+        tb = error["traceback"] if error else None
+        store.set_status(
+            job_id, "failed", attempts=attempts,
+            error=message, traceback=tb, reason=failure,
+        )
+        store.append_event(job_id, "state", state="failed", error=message)
+        self._metrics.inc("service_jobs_failed_total")
+        return JobOutcome(job_id, "failed", attempts,
+                          error=message, traceback=tb)

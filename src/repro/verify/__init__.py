@@ -4,7 +4,7 @@ The correctness tooling for the rest of the package: a naive scalar
 reference interpreter, pluggable differential oracles that cross-check the
 independent engines (packed simulation, event-driven fault simulation, the
 PODEM miter, comparison-unit construction, the serial-vs-parallel
-resynthesis sweep), a delta-debugging
+resynthesis sweep, checkpoint/resume of the sweep), a delta-debugging
 counterexample shrinker, deterministic JSON repro artifacts, and a seeded
 fuzz driver with seed- and time-budgeted modes.
 
@@ -33,12 +33,14 @@ from .oracles import (
     ORACLE_NAMES,
     Oracle,
     ParallelOracle,
+    ResumeOracle,
     ResynthOracle,
     SimulatorOracle,
     Violation,
     default_oracles,
     incremental_state_mismatch,
     inject_stuck_fault,
+    netlist_dump,
     spec_from_seed,
 )
 from .refsim import (
@@ -60,6 +62,7 @@ __all__ = [
     "Oracle",
     "ParallelOracle",
     "ReproArtifact",
+    "ResumeOracle",
     "ResynthOracle",
     "ShrinkResult",
     "SimulatorOracle",
@@ -70,6 +73,7 @@ __all__ = [
     "incremental_state_mismatch",
     "inject_stuck_fault",
     "load_artifact",
+    "netlist_dump",
     "ref_output_vector",
     "ref_simulate_pattern",
     "ref_truth_tables",

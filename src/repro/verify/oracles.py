@@ -36,6 +36,13 @@ executable check over a (usually randomly generated) instance:
     result netlists — the :mod:`repro.parallel` determinism contract,
     checked with the shared identification cache cleared between runs so
     the parallel run genuinely consumes worker-computed results.
+``resume``
+    A sweep killed after a random pass and resumed from its serialized
+    checkpoint must produce a report and a result netlist bit-identical
+    to the uninterrupted run — the checkpoint/resume contract of
+    :mod:`repro.service` (docs/SERVICE.md), checked with the
+    identification cache cleared before the resumed leg so it is as cold
+    as a genuinely restarted worker process.
 
 Violations carry enough context to reproduce: the seed, a message, the
 offending circuit (when one exists) and structured details.  The fuzz
@@ -376,6 +383,23 @@ class ResynthOracle(Oracle):
         return violations
 
 
+def netlist_dump(circuit: Circuit):
+    """A bit-comparable structural dump (topo-ordered gates + outputs).
+
+    Two circuits with equal dumps are gate-for-gate, name-for-name,
+    order-for-order identical — the comparison the ``parallel`` and
+    ``resume`` determinism oracles run on result netlists.
+    """
+    return (
+        [
+            (net, circuit.gate(net).gtype.value,
+             tuple(circuit.gate(net).fanins))
+            for net in circuit.topological_order()
+        ],
+        list(circuit.outputs),
+    )
+
+
 # --------------------------------------------------------------------- #
 # parallel: serial sweep vs worker-pool sweep
 # --------------------------------------------------------------------- #
@@ -408,17 +432,6 @@ class ParallelOracle(Oracle):
         self._max_inputs = max_inputs
         self._jobs = jobs
 
-    @staticmethod
-    def _netlist_dump(circuit: Circuit):
-        return (
-            [
-                (net, circuit.gate(net).gtype.value,
-                 tuple(circuit.gate(net).fanins))
-                for net in circuit.topological_order()
-            ],
-            list(circuit.outputs),
-        )
-
     def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
         from ..comparison import identification_cache
         from ..resynth import procedure2, procedure3
@@ -450,8 +463,8 @@ class ParallelOracle(Oracle):
                 if getattr(serial, f) != getattr(parallel, f)
             ]
             if not diverged and (
-                self._netlist_dump(serial.circuit)
-                != self._netlist_dump(parallel.circuit)
+                netlist_dump(serial.circuit)
+                != netlist_dump(parallel.circuit)
             ):
                 diverged = ["netlist"]
             if diverged:
@@ -469,6 +482,116 @@ class ParallelOracle(Oracle):
                         "serial": {f: getattr(serial, f) for f in numbers},
                         "parallel": {
                             f: getattr(parallel, f) for f in numbers
+                        },
+                    },
+                ))
+        return violations
+
+
+# --------------------------------------------------------------------- #
+# resume: straight-through sweep vs kill-at-a-pass + checkpoint resume
+# --------------------------------------------------------------------- #
+
+
+class ResumeOracle(Oracle):
+    """Checkpoint/resume equivalence of the resynthesis procedures.
+
+    Runs Procedures 2 and 3 straight through while collecting every
+    pass-boundary checkpoint, then simulates a worker killed after a
+    seed-chosen pass: the checkpoint is round-tripped through its JSON
+    serialization (so the oracle also fuzzes
+    :mod:`repro.resynth.serialize`), the process-global identification
+    cache is cleared (a restarted worker is cold), and the run is
+    resumed.  The resumed report must match the uninterrupted one on
+    every deterministic field and the result netlists must agree bit for
+    bit — the contract that makes the job service's crash recovery
+    invisible in its results (docs/SERVICE.md).
+    """
+
+    name = "resume"
+
+    def __init__(
+        self,
+        k: int = 4,
+        perm_budget: int = 24,
+        max_passes: int = 3,
+        max_inputs: int = 8,
+    ) -> None:
+        self._k = k
+        self._perm_budget = perm_budget
+        self._max_passes = max_passes
+        self._max_inputs = max_inputs
+
+    def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
+        from ..comparison import identification_cache
+        from ..resynth import (
+            REPORT_NUMBER_FIELDS,
+            checkpoint_from_json,
+            checkpoint_to_json,
+            procedure2,
+            procedure3,
+        )
+
+        if len(circuit.inputs) > self._max_inputs:
+            return []
+        violations: List[Violation] = []
+        rng = random.Random((seed << 16) ^ 0x2E5E)
+        for proc in (procedure2, procedure3):
+            checkpoints = []
+            identification_cache().clear()
+            straight = proc(
+                circuit,
+                k=self._k,
+                perm_budget=self._perm_budget,
+                seed=seed,
+                max_passes=self._max_passes,
+                verify_patterns=0,
+                on_pass=checkpoints.append,
+            )
+            if not checkpoints:
+                continue  # cannot happen (>=1 pass always runs); defensive
+            kill_after = rng.choice(checkpoints)
+            restored = checkpoint_from_json(checkpoint_to_json(kill_after))
+            identification_cache().clear()
+            resumed = proc(
+                circuit,
+                k=self._k,
+                perm_budget=self._perm_budget,
+                seed=seed,
+                max_passes=self._max_passes,
+                verify_patterns=0,
+                resume=restored,
+            )
+            identification_cache().clear()
+            diverged = [
+                f for f in REPORT_NUMBER_FIELDS
+                if getattr(straight, f) != getattr(resumed, f)
+            ]
+            if not diverged and (
+                netlist_dump(straight.circuit)
+                != netlist_dump(resumed.circuit)
+            ):
+                diverged = ["netlist"]
+            if diverged:
+                violations.append(Violation(
+                    self.name, seed,
+                    f"{proc.__name__} diverged after resume from the "
+                    f"pass-{kill_after.pass_no} checkpoint on: "
+                    f"{', '.join(diverged)} "
+                    f"(straight: {straight.summary()}; "
+                    f"resumed: {resumed.summary()})",
+                    circuit=circuit,
+                    details={
+                        "procedure": proc.__name__,
+                        "diverged": diverged,
+                        "killed_after_pass": kill_after.pass_no,
+                        "straight": {
+                            f: getattr(straight, f)
+                            for f in REPORT_NUMBER_FIELDS
+                        },
+                        "resumed": {
+                            f: getattr(resumed, f)
+                            for f in REPORT_NUMBER_FIELDS
                         },
                     },
                 ))
@@ -800,7 +923,8 @@ class IncrementalOracle(Oracle):
 
 
 #: Construction order for ``--oracle all``.
-ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental", "parallel")
+ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental",
+                "parallel", "resume")
 
 
 def default_oracles(
@@ -815,6 +939,7 @@ def default_oracles(
         "unit": ComparisonUnitOracle,
         "incremental": IncrementalOracle,
         "parallel": ParallelOracle,
+        "resume": ResumeOracle,
     }
     wanted = list(names) if names else list(ORACLE_NAMES)
     oracles: List[Oracle] = []

@@ -1,0 +1,132 @@
+"""Pass-boundary checkpointing and bit-identical resume.
+
+The acceptance regression for the job service's determinism contract:
+killing a syn9234 Procedure 2 run after *any* pass and resuming from the
+JSON-round-tripped checkpoint (with the identification cache cleared, as
+in a restarted worker) reproduces the uninterrupted run's report and
+result netlist bit for bit.
+"""
+
+import pytest
+
+from repro.benchcircuits import paper_f2_sop, random_circuit
+from repro.benchcircuits.suite import suite_circuit
+from repro.comparison import identification_cache
+from repro.resynth import (
+    REPORT_NUMBER_FIELDS,
+    ResumeMismatchError,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    procedure2,
+    procedure3,
+    report_from_json,
+    report_to_json,
+)
+from repro.verify import netlist_dump
+
+
+def run_with_checkpoints(proc, circuit, **kw):
+    checkpoints = []
+    identification_cache().clear()
+    report = proc(circuit, on_pass=checkpoints.append, **kw)
+    return report, checkpoints
+
+
+def assert_reports_identical(straight, resumed):
+    for field in REPORT_NUMBER_FIELDS:
+        assert getattr(resumed, field) == getattr(straight, field), field
+    assert netlist_dump(resumed.circuit) == netlist_dump(straight.circuit)
+
+
+class TestCheckpointStream:
+    def test_every_pass_emits_a_checkpoint(self):
+        c = random_circuit("r", 8, 4, 40, seed=3)
+        report, ckpts = run_with_checkpoints(procedure2, c, k=4,
+                                             perm_budget=24)
+        assert [k.pass_no for k in ckpts] == list(
+            range(1, report.passes + 1))
+        assert ckpts[-1].done
+        assert all(not k.done for k in ckpts[:-1])
+        last = ckpts[-1]
+        assert last.replacements == report.replacements
+        assert last.gates_now == report.gates_after
+        assert last.paths_now == report.paths_after
+        assert netlist_dump(last.circuit) == netlist_dump(report.circuit)
+
+    def test_checkpoint_circuit_is_a_snapshot(self):
+        # Mutating a checkpoint's circuit must not affect the run.
+        c = paper_f2_sop()
+        _, ckpts = run_with_checkpoints(procedure2, c, k=6)
+        report2, _ = run_with_checkpoints(procedure2, c, k=6)
+        for k in ckpts:
+            assert k.circuit is not report2.circuit
+
+    def test_timing_fields_populated(self):
+        c = paper_f2_sop()
+        report, ckpts = run_with_checkpoints(procedure2, c, k=6)
+        assert len(report.pass_seconds) == report.passes
+        assert all(s >= 0 for s in report.pass_seconds)
+        assert report.total_seconds >= sum(report.pass_seconds) * 0.99
+        assert "passes" in report.timing_summary()
+        # Checkpoints carry the timing prefix so resumed totals include
+        # the pre-crash work.
+        assert len(ckpts[0].pass_seconds) == 1
+        assert len(ckpts[-1].pass_seconds) == report.passes
+
+
+class TestResumeSmall:
+    @pytest.mark.parametrize("proc", [procedure2, procedure3])
+    def test_resume_after_each_pass(self, proc):
+        c = random_circuit("r", 8, 4, 40, seed=7)
+        kw = dict(k=4, perm_budget=24, max_passes=3)
+        straight, ckpts = run_with_checkpoints(proc, c, **kw)
+        for ckpt in ckpts:
+            restored = checkpoint_from_json(checkpoint_to_json(ckpt))
+            identification_cache().clear()
+            resumed = proc(c, resume=restored, **kw)
+            assert_reports_identical(straight, resumed)
+
+    def test_resume_after_converged_final_pass_is_a_noop_run(self):
+        c = paper_f2_sop()
+        straight, ckpts = run_with_checkpoints(procedure2, c, k=6)
+        restored = checkpoint_from_json(checkpoint_to_json(ckpts[-1]))
+        assert restored.done
+        resumed = procedure2(c, k=6, resume=restored)
+        assert resumed.passes == straight.passes
+        assert_reports_identical(straight, resumed)
+
+    def test_mismatched_checkpoint_is_rejected(self):
+        c = paper_f2_sop()
+        _, ckpts = run_with_checkpoints(procedure2, c, k=6, seed=0)
+        ckpt = ckpts[0]
+        with pytest.raises(ResumeMismatchError):
+            procedure2(c, k=5, resume=ckpt)
+        with pytest.raises(ResumeMismatchError):
+            procedure2(c, k=6, seed=1, resume=ckpt)
+        with pytest.raises(ResumeMismatchError):
+            procedure3(c, k=6, resume=ckpt)
+
+    def test_report_json_roundtrip(self):
+        c = paper_f2_sop()
+        report, _ = run_with_checkpoints(procedure2, c, k=6)
+        loaded = report_from_json(report_to_json(report))
+        assert_reports_identical(report, loaded)
+        assert loaded.pass_seconds == pytest.approx(report.pass_seconds)
+
+
+class TestResumeAcceptance:
+    def test_syn9234_procedure2_resume_bit_identical_at_every_boundary(
+            self):
+        # The ISSUE acceptance criterion, verbatim: syn9234, Procedure 2,
+        # K=5, seed=1 — kill after any pass, resume, compare everything.
+        c = suite_circuit("syn9234")
+        kw = dict(k=5, seed=1)
+        straight, ckpts = run_with_checkpoints(procedure2, c, **kw)
+        assert len(ckpts) == straight.passes >= 2
+        for ckpt in ckpts:
+            restored = checkpoint_from_json(checkpoint_to_json(ckpt))
+            identification_cache().clear()  # restarted workers are cold
+            resumed = procedure2(c, resume=restored, **kw)
+            assert_reports_identical(straight, resumed)
+            assert resumed.pass_seconds[:ckpt.pass_no] == pytest.approx(
+                ckpt.pass_seconds)

@@ -1,0 +1,194 @@
+"""End-to-end HTTP API tests over a real socket on an ephemeral port.
+
+The server drives real worker subprocesses; the small inline c17 jobs
+keep each run in the sub-second range.  Covers the submit -> poll ->
+result round trip (bit-identical to an in-process run), malformed-spec
+400s, unknown-id 404s, dedup, long-polling, the crashed-worker failure
+path, and the metrics endpoint.
+"""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.comparison import identification_cache
+from repro.io import circuit_to_json
+from repro.resynth import procedure2
+from repro.service import (
+    ArtifactStore,
+    JobSpec,
+    ServiceAPIError,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+
+def c17_doc():
+    return json.loads(circuit_to_json(c17()))
+
+
+def c17_spec(**kw):
+    defaults = dict(netlist=c17_doc(), k=4, perm_budget=20, max_passes=2)
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ArtifactStore(str(tmp_path / "service"))
+    config = SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                              heartbeat_interval=0.2, backoff_base=0.05,
+                              poll_interval=0.02)
+    with ServiceServer(store, port=0, config=config, max_workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestRoundTrip:
+    def test_submit_poll_result_matches_in_process_run(self, client):
+        submitted = client.submit(c17_spec())
+        assert submitted["created"] is True
+        job_id = submitted["id"]
+
+        view = client.wait(job_id, timeout=60.0)
+        assert view["state"] == "succeeded"
+        assert view["attempts"] == 1
+        assert view["checkpointed_passes"] == list(
+            range(1, view["report"]["passes"] + 1))
+
+        identification_cache().clear()
+        direct = procedure2(c17(), k=4, perm_budget=20, max_passes=2)
+        report = client.report(job_id)
+        for field in ("passes", "replacements", "gates_before",
+                      "gates_after", "paths_before", "paths_after"):
+            assert report[field] == getattr(direct, field), field
+        result = client.result(job_id)
+        assert result == json.loads(circuit_to_json(direct.circuit))
+
+    def test_resubmit_dedups_onto_existing_job(self, client):
+        first = client.submit(c17_spec())
+        client.wait(first["id"], timeout=60.0)
+        second = client.submit(c17_spec())
+        assert second["id"] == first["id"]
+        assert second["created"] is False
+        assert second["state"] == "succeeded"  # not re-run
+
+    def test_jobs_listing(self, client):
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        rows = client.jobs()
+        assert [r["id"] for r in rows] == [job_id]
+        assert rows[0]["state"] == "succeeded"
+
+    def test_events_long_poll_and_pagination(self, client):
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        chunk = client.events(job_id)
+        types = [e["type"] for e in chunk["events"]]
+        assert types[0] == "submitted"
+        assert "pass" in types and "completed" in types
+        assert chunk["state"] == "succeeded"
+        # Pagination: asking after the last seq returns nothing, and the
+        # terminal state makes the long poll return immediately.
+        tail = client.events(job_id, after=chunk["next_after"], wait=10.0)
+        assert tail["events"] == []
+        assert tail["state"] == "succeeded"
+
+
+class TestFailurePath:
+    def test_crashed_worker_reaches_failed_with_traceback(self, client):
+        doc = c17_doc()
+        x = doc["inputs"][0]
+        doc["gates"] = [
+            {"name": "a", "type": "and", "fanins": ["b", x]},
+            {"name": "b", "type": "and", "fanins": ["a", x]},
+        ]
+        doc["outputs"] = ["a"]
+        job_id = client.submit(c17_spec(netlist=doc))["id"]
+        view = client.wait(job_id, timeout=60.0)
+        assert view["state"] == "failed"
+        assert "Traceback" in view["traceback"]
+        with pytest.raises(ServiceAPIError) as exc:
+            client.report(job_id)
+        assert exc.value.code == 404
+        assert "failed" in exc.value.message
+
+
+class TestBadRequests:
+    def expect(self, client, code, call):
+        with pytest.raises(ServiceAPIError) as exc:
+            call()
+        assert exc.value.code == code
+        return exc.value.message
+
+    def test_malformed_specs_get_400(self, client):
+        msg = self.expect(client, 400,
+                          lambda: client.submit_doc({"circuit": "nope"}))
+        assert "nope" in msg
+        self.expect(client, 400, lambda: client.submit_doc({}))
+        self.expect(client, 400, lambda: client.submit_doc(
+            {"circuit": "syn1423", "k": 99}))
+        self.expect(client, 400, lambda: client.submit_doc(
+            {"circuit": "syn1423", "bogus": 1}))
+
+    def test_unparseable_body_gets_400(self, client, server):
+        import urllib.error
+        import urllib.request
+        req = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert exc.value.code == 400
+
+    def test_unknown_ids_get_404(self, client):
+        for call in (
+            lambda: client.job("jdeadbeef0000"),
+            lambda: client.events("jdeadbeef0000"),
+            lambda: client.report("jdeadbeef0000"),
+            lambda: client.result("jdeadbeef0000"),
+        ):
+            msg = self.expect(client, 404, call)
+            assert "jdeadbeef0000" in msg
+
+    def test_unknown_routes_get_404(self, client):
+        self.expect(client, 404, lambda: client._request("GET", "/nope"))
+        self.expect(client, 404,
+                    lambda: client._request("POST", "/nope", body={}))
+        self.expect(client, 404, lambda: client._request(
+            "GET", "/jobs/jdeadbeef0000/bogus"))
+
+    def test_report_before_completion_is_404_not_crash(self, client,
+                                                       server):
+        # A queued job exists but has no report; the API must say so
+        # rather than 404ing it as unknown.
+        store = server.service.store
+        job_id, _ = store.create_job(c17_spec(seed=42))
+        msg = self.expect(client, 404, lambda: client.report(job_id))
+        assert "no report yet" in msg
+
+
+class TestMetrics:
+    def test_counters_reflect_activity(self, client):
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        client.submit(c17_spec())  # dedup
+        try:
+            client.job("jdeadbeef0000")
+        except ServiceAPIError:
+            pass
+        snap = client.metrics()
+        counters = snap["counters"]
+        assert counters["service_jobs_submitted_total"] == 2
+        assert counters["service_jobs_deduplicated_total"] == 1
+        assert counters["service_jobs_succeeded_total"] == 1
+        assert counters["service_http_errors_total"] >= 1
+        assert counters["service_http_requests_total"] >= 4
+        assert "service_pass_seconds" in snap["summaries"]

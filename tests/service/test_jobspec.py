@@ -1,0 +1,108 @@
+"""JobSpec shape validation and content addressing."""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import JobSpec, JobSpecError, spec_from_doc, spec_from_json
+
+
+def netlist_doc():
+    return json.loads(circuit_to_json(c17()))
+
+
+class TestContentAddressing:
+    def test_id_is_stable(self):
+        a = JobSpec(circuit="syn1423", k=5, seed=1)
+        b = JobSpec(circuit="syn1423", k=5, seed=1)
+        assert a.job_id == b.job_id
+        assert a.job_id.startswith("j") and len(a.job_id) == 13
+
+    def test_id_ignores_doc_key_order(self):
+        doc = JobSpec(circuit="syn1423", k=5, seed=1).to_doc()
+        shuffled = dict(reversed(list(doc.items())))
+        assert spec_from_doc(shuffled).job_id == spec_from_doc(doc).job_id
+
+    def test_id_distinguishes_every_knob(self):
+        base = JobSpec(circuit="syn1423")
+        variants = [
+            JobSpec(circuit="syn1423", k=6),
+            JobSpec(circuit="syn1423", seed=1),
+            JobSpec(circuit="syn1423", procedure="procedure3"),
+            JobSpec(circuit="syn1423", perm_budget=50),
+            JobSpec(circuit="syn1423", max_passes=3),
+            JobSpec(netlist=netlist_doc()),
+        ]
+        ids = {s.job_id for s in variants} | {base.job_id}
+        assert len(ids) == len(variants) + 1
+
+    def test_json_roundtrip_preserves_id(self):
+        spec = JobSpec(netlist=netlist_doc(), procedure="combined",
+                       gate_weight=2.5, k=4)
+        again = spec_from_json(spec.to_json())
+        assert again == spec
+        assert again.job_id == spec.job_id
+
+    def test_describe_mentions_id_and_source(self):
+        spec = JobSpec(circuit="syn1423", k=5, seed=1)
+        text = spec.describe()
+        assert spec.job_id in text and "syn1423" in text
+
+
+class TestValidation:
+    def err(self, doc):
+        with pytest.raises(JobSpecError) as exc:
+            spec_from_doc(doc)
+        return str(exc.value)
+
+    def test_not_an_object(self):
+        assert "JSON object" in self.err([1, 2, 3])
+        assert "JSON object" in self.err(None)
+
+    def test_unknown_procedure(self):
+        msg = self.err({"circuit": "syn1423", "procedure": "procedure9"})
+        assert "procedure9" in msg and "procedure2" in msg
+
+    def test_circuit_and_netlist_are_exclusive(self):
+        msg = self.err({"circuit": "syn1423", "netlist": netlist_doc()})
+        assert "exactly one" in msg
+        assert "exactly one" in self.err({})
+
+    def test_unknown_suite_circuit(self):
+        assert "nope" in self.err({"circuit": "nope"})
+
+    def test_netlist_must_be_repro_netlist(self):
+        msg = self.err({"netlist": {"format": "other"}})
+        assert "repro-netlist" in msg
+
+    def test_unknown_field_rejected(self):
+        msg = self.err({"circuit": "syn1423", "kk": 5})
+        assert "kk" in msg
+
+    def test_int_ranges(self):
+        assert "'k'" in self.err({"circuit": "syn1423", "k": 1})
+        assert "'k'" in self.err({"circuit": "syn1423", "k": 99})
+        assert "'jobs'" in self.err({"circuit": "syn1423", "jobs": 0})
+        assert "'max_passes'" in self.err(
+            {"circuit": "syn1423", "max_passes": 0})
+
+    def test_bool_is_not_an_int(self):
+        assert "integer" in self.err({"circuit": "syn1423", "k": True})
+
+    def test_gate_weight_must_be_nonnegative_number(self):
+        assert "gate_weight" in self.err(
+            {"circuit": "syn1423", "gate_weight": -1})
+        assert "gate_weight" in self.err(
+            {"circuit": "syn1423", "gate_weight": "big"})
+
+    def test_bad_json_text(self):
+        with pytest.raises(JobSpecError) as exc:
+            spec_from_json("{not json")
+        assert "JSON" in str(exc.value)
+
+    def test_defaults_applied(self):
+        spec = spec_from_doc({"circuit": "syn1423"})
+        assert spec.k == 5 and spec.jobs == 1
+        assert spec.procedure == "procedure2"

@@ -1,0 +1,177 @@
+"""ArtifactStore: idempotent creation, events, checkpoints, reports."""
+
+import json
+import os
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.resynth import procedure2
+from repro.service import ArtifactStore, JobSpec, StoreError
+from repro.verify import netlist_dump
+
+
+def spec():
+    return JobSpec(netlist=json.loads(circuit_to_json(c17())), k=4,
+                   perm_budget=20, max_passes=2)
+
+
+def collect_checkpoints():
+    ckpts = []
+    procedure2(c17(), k=4, perm_budget=20, max_passes=2,
+               on_pass=ckpts.append)
+    return ckpts
+
+
+class TestJobs:
+    def test_create_is_idempotent(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, created = store.create_job(spec())
+        assert created
+        again, created2 = store.create_job(spec())
+        assert again == job_id and not created2
+        assert store.job_ids() == [job_id]
+        assert store.has_job(job_id)
+
+    def test_fresh_job_is_queued(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        status = store.status(job_id)
+        assert status["state"] == "queued"
+        assert status["attempts"] == 0
+
+    def test_spec_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.load_spec(job_id) == spec()
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(StoreError):
+            store.load_spec("jdeadbeef0000")
+        with pytest.raises(StoreError):
+            store.status("jdeadbeef0000")
+        with pytest.raises(StoreError):
+            store.events("jdeadbeef0000")
+        assert not store.has_job("jdeadbeef0000")
+
+    def test_illegal_job_ids_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        for bad in ("", "../escape", "a/b", "..".join(["x", "y"])):
+            with pytest.raises(StoreError):
+                store.job_dir(bad)
+
+
+class TestStatus:
+    def test_transitions_keep_bookkeeping(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        created = store.status(job_id)["created"]
+        store.set_status(job_id, "running", attempts=1)
+        store.set_status(job_id, "failed", error="boom", traceback="tb")
+        status = store.status(job_id)
+        assert status["state"] == "failed"
+        assert status["created"] == created
+        assert status["attempts"] == 1  # carried over
+        assert status["error"] == "boom"
+
+    def test_error_does_not_leak_into_next_state(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        store.set_status(job_id, "failed", error="boom")
+        store.set_status(job_id, "queued")
+        assert "error" not in store.status(job_id)
+
+    def test_unknown_state_rejected(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        with pytest.raises(StoreError):
+            store.set_status(job_id, "exploded")
+
+
+class TestEvents:
+    def test_sequence_numbers_and_after_filter(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.append_event(job_id, "submitted") == 1
+        assert store.append_event(job_id, "pass", pass_no=1) == 2
+        assert store.append_event(job_id, "completed") == 3
+        events = store.events(job_id)
+        assert [e["seq"] for e in events] == [1, 2, 3]
+        assert [e["type"] for e in events] == ["submitted", "pass",
+                                               "completed"]
+        tail = store.events(job_id, after=2)
+        assert [e["seq"] for e in tail] == [3]
+        assert store.events(job_id, after=3) == []
+
+    def test_payload_preserved(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        store.append_event(job_id, "pass", pass_no=2, gates=17)
+        event = store.events(job_id)[0]
+        assert event["pass_no"] == 2 and event["gates"] == 17
+        assert event["ts"] > 0
+
+
+class TestCheckpoints:
+    def test_roundtrip_and_latest(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        ckpts = collect_checkpoints()
+        for ckpt in ckpts:
+            n = store.write_checkpoint(job_id, ckpt)
+            assert n > 0
+        assert store.checkpoint_passes(job_id) == [
+            c.pass_no for c in ckpts
+        ]
+        latest = store.latest_checkpoint(job_id)
+        assert latest.pass_no == ckpts[-1].pass_no
+        assert latest.done == ckpts[-1].done
+        assert netlist_dump(latest.circuit) == netlist_dump(
+            ckpts[-1].circuit)
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.latest_checkpoint(job_id) is None
+        with pytest.raises(StoreError):
+            store.load_checkpoint(job_id, 3)
+
+
+class TestReportAndErrors:
+    def test_report_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.load_report(job_id) is None
+        report = procedure2(c17(), k=4, perm_budget=20, max_passes=2)
+        store.write_report(job_id, report)
+        loaded = store.load_report(job_id)
+        assert loaded.passes == report.passes
+        assert loaded.gates_after == report.gates_after
+        assert netlist_dump(loaded.circuit) == netlist_dump(report.circuit)
+        doc = store.load_report_doc(job_id)
+        assert doc["circuit"]["format"] == "repro-netlist"
+
+    def test_worker_error_handoff(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.read_worker_error(job_id) is None
+        store.write_worker_error(job_id, "boom", "Traceback ...")
+        error = store.read_worker_error(job_id)
+        assert error["message"] == "boom"
+        assert error["traceback"].startswith("Traceback")
+        store.clear_worker_error(job_id)
+        assert store.read_worker_error(job_id) is None
+        store.clear_worker_error(job_id)  # idempotent
+
+    def test_no_torn_tmp_files_after_writes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        store.heartbeat(job_id)
+        store.write_worker_error(job_id, "x", "y")
+        leftovers = [
+            name for _, _, names in os.walk(str(tmp_path))
+            for name in names if name.endswith(".tmp")
+        ]
+        assert leftovers == []

@@ -88,3 +88,80 @@ class TestFuzz:
         assert main(["replay"] + artifacts) == 0
         out = capsys.readouterr().out
         assert "does not reproduce" in out
+
+
+class TestResynthReportOut:
+    def test_out_json_writes_full_report(self, bench_file, tmp_path,
+                                         capsys):
+        out_path = str(tmp_path / "report.json")
+        assert main(["resynth", bench_file, "--k", "4",
+                     "--out", out_path]) == 0
+        assert "passes" in capsys.readouterr().out  # timing summary
+        import json
+
+        from repro.resynth import report_from_json
+
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        assert doc["format"] == "repro-resynth-report"
+        assert doc["circuit"]["format"] == "repro-netlist"
+        assert len(doc["pass_seconds"]) == doc["passes"]
+        report = report_from_json(json.dumps(doc))
+        report.circuit.validate()
+
+
+class TestServiceCommands:
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.service import (
+            ArtifactStore,
+            ServiceServer,
+            SupervisorConfig,
+        )
+
+        store = ArtifactStore(str(tmp_path / "service"))
+        config = SupervisorConfig(max_retries=0, heartbeat_interval=0.2,
+                                  poll_interval=0.02)
+        with ServiceServer(store, port=0, config=config) as srv:
+            yield srv
+
+    def test_submit_wait_jobs_result_round_trip(self, server, bench_file,
+                                                tmp_path, capsys):
+        url = server.url
+        assert main(["submit", bench_file, "--url", url, "--k", "4",
+                     "--perm-budget", "20", "--max-passes", "2",
+                     "--wait", "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        job_id = out.split(":", 1)[0]
+        assert "submitted" in out and "succeeded" in out
+
+        assert main(["jobs", "--url", url]) == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing and "succeeded" in listing
+
+        out_path = str(tmp_path / "result.json")
+        assert main(["result", job_id, "--url", url,
+                     "--out", out_path]) == 0
+        assert "gates" in capsys.readouterr().out
+        import json
+
+        with open(out_path) as fh:
+            assert json.load(fh)["format"] == "repro-resynth-report"
+
+        bench_path = str(tmp_path / "result.bench")
+        assert main(["result", job_id, "--url", url,
+                     "--out", bench_path]) == 0
+        capsys.readouterr()
+        from repro.io import load_bench
+
+        load_bench(bench_path).validate()
+
+    def test_submit_rejects_bad_spec(self, server, bench_file, capsys):
+        assert main(["submit", bench_file, "--url", server.url,
+                     "--k", "99"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_result_of_unknown_job_fails(self, server, capsys):
+        assert main(["result", "jdeadbeef0000",
+                     "--url", server.url]) == 1
+        assert "error" in capsys.readouterr().err
