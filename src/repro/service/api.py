@@ -50,6 +50,7 @@ class ResynthesisService:
         config: Optional[SupervisorConfig] = None,
         max_workers: int = 2,
         metrics: Optional[MetricsRegistry] = None,
+        worker_command=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -57,6 +58,7 @@ class ResynthesisService:
         self.config = config or SupervisorConfig()
         self.metrics = metrics or MetricsRegistry()
         self._max_workers = max_workers
+        self._worker_command = worker_command  # None -> the real worker
         self._queue: deque = deque()
         self._queued: set = set()
         self._active: Dict[str, WorkerSupervisor] = {}
@@ -80,11 +82,21 @@ class ResynthesisService:
         self._scheduler.start()
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop scheduling and wait for active supervisors to settle."""
+        """Stop scheduling, halt active supervisors (terminating their
+        worker subprocesses), and wait for them to settle.
+
+        Interrupted jobs go back to ``queued`` with their checkpoints
+        intact, so a restarted service resumes them — and no orphaned
+        worker survives to race a future attempt for the event log.
+        """
         self._stopping = True
         self._wakeup.set()
         if self._scheduler is not None:
             self._scheduler.join(timeout=timeout)
+        with self._lock:
+            supervisors = list(self._active.values())
+        for supervisor in supervisors:
+            supervisor.stop()
         deadline = time.time() + timeout
         while time.time() < deadline:
             with self._lock:
@@ -95,9 +107,11 @@ class ResynthesisService:
     def _recover(self) -> None:
         """Re-queue jobs a previous process left queued or running.
 
-        A job found ``running`` at startup is an orphan of a crashed
-        service — its worker is gone, but its checkpoints are not, so it
-        simply resumes.
+        A job found ``running`` at startup is usually an orphan of a
+        crashed service — its worker is gone, but its checkpoints are
+        not, so it simply resumes.  If the old worker is in fact still
+        alive, the supervisor waits out its heartbeat before launching a
+        replacement, preserving the event log's single-writer rule.
         """
         for job_id in self.store.job_ids():
             state = self.store.status(job_id).get("state")
@@ -153,6 +167,7 @@ class ResynthesisService:
             self._queued.discard(job_id)
             supervisor = WorkerSupervisor(
                 self.store, self.config, metrics=self.metrics,
+                worker_command=self._worker_command,
             )
             self._active[job_id] = supervisor
             self.metrics.set_gauge("service_queue_depth", len(self._queue))

@@ -11,12 +11,14 @@ One directory per job, addressed by the spec's content hash::
         report.json                final report + result netlist
 
 Durability discipline: every JSON document is written to a temp file in
-the same directory and ``os.replace``d into place, so readers never see
-a torn document and a crashed worker leaves at worst a stale ``.tmp``.
-The event log is the one append-only file; the store serializes appends
-per process with a lock, and the supervisor/worker protocol guarantees
-the two processes never append concurrently (the supervisor only writes
-while the worker is not running).
+the same directory, fsynced, and ``os.replace``d into place (with a
+directory fsync after), so readers never see a torn document — across
+process *and* system crashes — and a crashed worker leaves at worst a
+stale ``.tmp``.  The event log is the one append-only file (fsynced per
+event); the store serializes appends per process with a lock, and the
+supervisor/worker protocol guarantees the two processes never append
+concurrently (the supervisor only writes while the worker is not
+running, and waits out a live orphan heartbeat before launching).
 
 States: ``queued -> running -> succeeded | failed`` with
 ``running -> queued`` on a retryable worker death.  See docs/SERVICE.md
@@ -52,19 +54,39 @@ class StoreError(RuntimeError):
     """Malformed store contents or an unknown job id."""
 
 
+def _fsync_dir(directory: str) -> None:
+    """Make a rename in *directory* survive a system crash (best effort:
+    some platforms cannot fsync a directory fd)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover — platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover — platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write(path: str, text: str) -> int:
-    """Write *text* to *path* via same-directory temp + rename; bytes out."""
+    """Write *text* to *path* via same-directory temp + fsync + rename;
+    returns the bytes written.  Survives process and system crashes with
+    either the old document or the new one, never a torn mix."""
     data = text.encode("utf-8")
     directory = os.path.dirname(path)
     fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)
         raise
+    _fsync_dir(directory)
     return len(data)
 
 
@@ -177,23 +199,63 @@ class ArtifactStore:
             event = {"seq": seq, "ts": time.time(), "type": etype}
             event.update(payload)
             line = json.dumps(event, sort_keys=True)
-            with open(path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+            with open(path, "a+b") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                torn = False
+                if size > 0:
+                    fh.seek(size - 1)
+                    torn = fh.read(1) != b"\n"
+                # A crash mid-append can leave a torn final line; start
+                # this event on its own line so the log stays parseable
+                # (readers skip the torn fragment).
+                prefix = "\n" if torn else ""
+                fh.write((prefix + line + "\n").encode("utf-8"))
                 fh.flush()
                 os.fsync(fh.fileno())
         return seq
 
     @staticmethod
     def _last_seq(path: str) -> int:
+        """Sequence number of the log's last event, reading only the
+        file tail — appends stay O(last line), not O(log).  A full scan
+        would also re-read the whole log with fsync already in the
+        critical section; the tail read keeps long jobs' per-event cost
+        flat and stays correct across the supervisor/worker process
+        hand-off (no in-memory counter to go stale)."""
         try:
-            with open(path, "rb") as fh:
-                last = b""
-                for line in fh:
-                    if line.strip():
-                        last = line
-            return json.loads(last)["seq"] if last.strip() else 0
+            fh = open(path, "rb")
         except FileNotFoundError:
             return 0
+        with fh:
+            fh.seek(0, os.SEEK_END)
+            pos = fh.tell()
+            buf = b""
+            while pos > 0:
+                step = min(4096, pos)
+                pos -= step
+                fh.seek(pos)
+                buf = fh.read(step) + buf
+                tail = buf.rstrip()
+                if not tail:
+                    continue  # trailing whitespace only so far
+                newline = tail.rfind(b"\n")
+                if newline == -1 and pos > 0:
+                    continue  # last line extends beyond what we read
+                try:
+                    return json.loads(tail[newline + 1:])["seq"]
+                except (ValueError, KeyError):
+                    break  # torn tail line: fall back to a full scan
+            fh.seek(0)
+            seq = 0
+            for line in fh:
+                if not line.strip():
+                    continue
+                try:
+                    seq = json.loads(line)["seq"]
+                except (ValueError, KeyError):
+                    continue
+            return seq
 
     def events(self, job_id: str, after: int = 0) -> List[Dict[str, object]]:
         """Events with ``seq > after`` in order (empty list when none)."""
@@ -206,7 +268,10 @@ class ArtifactStore:
                 for line in fh:
                     if not line.strip():
                         continue
-                    event = json.loads(line)
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue  # torn line from a crash mid-append
                     if event["seq"] > after:
                         out.append(event)
         except FileNotFoundError:
@@ -228,6 +293,14 @@ class ArtifactStore:
                 return json.load(fh)["ts"]
         except (FileNotFoundError, KeyError, ValueError):
             return None
+
+    def clear_heartbeat(self, job_id: str) -> None:
+        """Forget the previous worker's beat so a fresh attempt is not
+        judged against a stale timestamp."""
+        try:
+            os.unlink(self._path(job_id, "heartbeat.json"))
+        except FileNotFoundError:
+            pass
 
     # -- checkpoints ---------------------------------------------------- #
 

@@ -15,6 +15,11 @@ depend on how many times its worker died (the extension of the
 After the last attempt the job reaches the terminal ``failed`` state
 carrying the worker's traceback (when the worker could record one) or
 the exit/kill diagnosis (when it could not).
+
+:meth:`WorkerSupervisor.stop` (service shutdown) terminates the current
+worker and puts the job back in ``queued`` — no worker subprocess
+outlives its supervisor, and the job resumes from its checkpoints when
+a service next leases it.
 """
 
 from __future__ import annotations
@@ -22,12 +27,18 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from .metrics import MetricsRegistry
 from .store import ArtifactStore
+
+#: Sentinel returned by :meth:`WorkerSupervisor._run_attempt` when the
+#: attempt ended because :meth:`WorkerSupervisor.stop` was called rather
+#: than because the worker failed.  Compared with ``is``.
+_STOPPED = object()
 
 
 @dataclass
@@ -50,10 +61,16 @@ class SupervisorConfig:
 
 @dataclass
 class JobOutcome:
-    """Terminal result of supervising one job."""
+    """Result of supervising one job.
+
+    ``succeeded`` and ``failed`` are the job's terminal states;
+    ``stopped`` means :meth:`WorkerSupervisor.stop` interrupted the job
+    mid-flight — its status went back to ``queued`` so a later service
+    (or restart) resumes it from its checkpoints.
+    """
 
     job_id: str
-    state: str  # "succeeded" | "failed"
+    state: str  # "succeeded" | "failed" | "stopped"
     attempts: int
     error: Optional[str] = None
     traceback: Optional[str] = None
@@ -107,18 +124,46 @@ class WorkerSupervisor:
         self._worker_command = worker_command or default_worker_command
         self._sleep = sleep
         self._stop_requested = False
+        self._proc: Optional[subprocess.Popen] = None
+        self._proc_lock = threading.Lock()
+        self._launched_once = False
 
     def stop(self) -> None:
-        """Ask a running :meth:`supervise` to wind down after this attempt."""
+        """Interrupt a running :meth:`supervise`: the current worker is
+        terminated (its checkpoints survive) and the job goes back to
+        ``queued`` instead of burning retries."""
         self._stop_requested = True
+        with self._proc_lock:
+            proc = self._proc
+        if proc is not None and proc.poll() is None:
+            proc.terminate()
 
     # -- one attempt ---------------------------------------------------- #
 
-    def _run_attempt(self, job_id: str) -> Optional[str]:
-        """Run one worker to completion; returns None on success, else a
-        failure description."""
+    def _run_attempt(self, job_id: str):
+        """Run one worker to completion; returns None on success,
+        :data:`_STOPPED` on a stop request, else a failure description."""
         cfg = self._config
         cmd = self._worker_command(self._store, job_id, cfg)
+        # Single-writer guard, first launch only: a worker orphaned by a
+        # crashed service may still be alive and appending to this job's
+        # artifacts, and launching a second worker would interleave two
+        # writers in events.jsonl — wait for the orphan's heartbeat to go
+        # stale first.  Later launches are retries of a worker this
+        # supervisor already reaped, so a fresh-but-dead beat must not
+        # stall them.
+        while not self._launched_once and not self._stop_requested:
+            beat = self._store.last_heartbeat(job_id)
+            if beat is None or time.time() - beat > cfg.heartbeat_timeout:
+                break
+            self._sleep(cfg.poll_interval)
+        if self._stop_requested:
+            return _STOPPED
+        # A stale beat left by the previous attempt must not count
+        # against the new worker (it would get killed on the first poll,
+        # failing every retry after a hang), so each attempt starts with
+        # a clean slate.
+        self._store.clear_heartbeat(job_id)
         started = time.time()
         # The worker may take a moment to produce its first heartbeat;
         # count the launch itself as liveness until then.
@@ -126,15 +171,24 @@ class WorkerSupervisor:
             cmd, env=_worker_env(),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
         )
+        self._launched_once = True
+        with self._proc_lock:
+            self._proc = proc
         try:
             while True:
                 code = proc.poll()
                 if code is not None:
                     if code == 0:
                         return None
+                    if self._stop_requested:
+                        return _STOPPED
                     return f"worker exited with code {code}"
+                if self._stop_requested:
+                    self._terminate(proc)
+                    return _STOPPED
                 beat = self._store.last_heartbeat(job_id)
-                last_alive = beat if beat is not None else started
+                last_alive = max(beat, started) if beat is not None \
+                    else started
                 if time.time() - last_alive > cfg.heartbeat_timeout:
                     self._terminate(proc)
                     self._metrics.inc("service_heartbeat_timeouts_total")
@@ -142,6 +196,8 @@ class WorkerSupervisor:
                             f"{cfg.heartbeat_timeout:g}s; killed")
                 self._sleep(cfg.poll_interval)
         finally:
+            with self._proc_lock:
+                self._proc = None
             if proc.poll() is None:
                 self._terminate(proc)
 
@@ -156,12 +212,15 @@ class WorkerSupervisor:
     # -- the attempt loop ----------------------------------------------- #
 
     def supervise(self, job_id: str) -> JobOutcome:
-        """Drive *job_id* from ``queued`` to a terminal state."""
+        """Drive *job_id* from ``queued`` to a terminal state (or back to
+        ``queued`` when :meth:`stop` interrupts it)."""
         store = self._store
         cfg = self._config
         attempts = 0
         failure: Optional[str] = None
         while attempts <= cfg.max_retries:
+            if self._stop_requested:
+                return self._stopped(job_id, attempts)
             attempts += 1
             store.clear_worker_error(job_id)
             store.set_status(job_id, "running", attempts=attempts)
@@ -175,6 +234,8 @@ class WorkerSupervisor:
                 store.append_event(job_id, "state", state="succeeded")
                 self._metrics.inc("service_jobs_succeeded_total")
                 return JobOutcome(job_id, "succeeded", attempts)
+            if failure is _STOPPED:
+                return self._stopped(job_id, attempts)
             retryable = (attempts <= cfg.max_retries
                          and not self._stop_requested)
             store.append_event(
@@ -200,3 +261,12 @@ class WorkerSupervisor:
         self._metrics.inc("service_jobs_failed_total")
         return JobOutcome(job_id, "failed", attempts,
                           error=message, traceback=tb)
+
+    def _stopped(self, job_id: str, attempts: int) -> JobOutcome:
+        """Requeue the interrupted job; its checkpoints make the next
+        service run resume it deterministically."""
+        store = self._store
+        store.set_status(job_id, "queued", attempts=attempts)
+        store.append_event(job_id, "stopped", attempt=attempts)
+        self._metrics.inc("service_jobs_stopped_total")
+        return JobOutcome(job_id, "stopped", attempts)

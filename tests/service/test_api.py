@@ -120,6 +120,50 @@ class TestFailurePath:
         assert "failed" in exc.value.message
 
 
+class TestShutdown:
+    def test_stop_kills_workers_and_requeues_running_jobs(self, tmp_path):
+        import os
+        import sys
+        import time
+
+        from repro.service import ResynthesisService
+
+        store = ArtifactStore(str(tmp_path / "service"))
+        pid_file = tmp_path / "worker.pid"
+        program = (
+            "import os, time\n"
+            f"open({str(pid_file)!r}, 'w').write(str(os.getpid()))\n"
+            "time.sleep(60)\n"
+        )
+        config = SupervisorConfig(max_retries=5, heartbeat_timeout=60.0,
+                                  poll_interval=0.01)
+        service = ResynthesisService(
+            store, config=config, max_workers=1,
+            worker_command=lambda s, j, c: [sys.executable, "-c", program],
+        )
+        service.start()
+        try:
+            job_id, _ = service.submit(c17_spec())
+            deadline = time.time() + 10.0
+            while not pid_file.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            assert pid_file.exists(), "worker never started"
+        finally:
+            service.stop(timeout=10.0)
+        # Shutdown re-queued the in-flight job and left no orphan.
+        assert store.status(job_id)["state"] == "queued"
+        pid = int(pid_file.read_text())
+        try:
+            os.kill(pid, 0)
+            alive = True
+        except OSError:
+            alive = False
+        assert not alive
+        # A fresh service over the same store re-admits the job.
+        resumed = ResynthesisService(store, config=config, max_workers=1)
+        assert job_id in resumed._queued
+
+
 class TestBadRequests:
     def expect(self, client, code, call):
         with pytest.raises(ServiceAPIError) as exc:

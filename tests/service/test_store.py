@@ -113,6 +113,32 @@ class TestEvents:
         assert event["pass_no"] == 2 and event["gates"] == 17
         assert event["ts"] > 0
 
+    def test_seq_survives_large_events_and_process_handoff(self, tmp_path):
+        # _last_seq reads only the file tail; events larger than its
+        # read chunk and appends from a "different process" (a second
+        # store instance, as in the supervisor/worker hand-off) must
+        # still number contiguously.
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        assert store.append_event(job_id, "big", blob="x" * 10_000) == 1
+        assert store.append_event(job_id, "small") == 2
+        other = ArtifactStore(str(tmp_path))
+        assert other.append_event(job_id, "handoff") == 3
+        assert store.append_event(job_id, "back", blob="y" * 5_000) == 4
+        assert [e["seq"] for e in store.events(job_id)] == [1, 2, 3, 4]
+
+    def test_torn_tail_line_falls_back_to_scan(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        store.append_event(job_id, "a")
+        store.append_event(job_id, "b")
+        path = os.path.join(store.job_dir(job_id), "events.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 3, "type": "torn...')  # crash mid-append
+        assert store.append_event(job_id, "c") == 3
+        # The torn fragment is skipped; the healed log stays readable.
+        assert [e["seq"] for e in store.events(job_id)] == [1, 2, 3]
+
 
 class TestCheckpoints:
     def test_roundtrip_and_latest(self, tmp_path):

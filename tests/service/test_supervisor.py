@@ -7,6 +7,7 @@ worker module.
 """
 
 import json
+import os
 import sys
 
 from repro.benchcircuits import c17
@@ -125,6 +126,93 @@ class TestFakeWorkers:
         assert outcome.state == "failed"
         assert "heartbeat" in outcome.error
         assert metrics.counter("service_heartbeat_timeouts_total") == 1
+
+    def test_retry_after_heartbeat_timeout_succeeds(self, tmp_path):
+        # Regression: the first attempt beats once and then hangs; its
+        # stale beat must not be held against the retry (which would be
+        # killed on the supervisor's first poll, before it could beat).
+        store, job_id = make_job(tmp_path)
+        marker = tmp_path / "attempted"
+        program = (
+            "import os, sys, time\n"
+            "from repro.service.store import ArtifactStore\n"
+            f"marker = {str(marker)!r}\n"
+            "if os.path.exists(marker):\n"
+            "    sys.exit(0)\n"
+            "open(marker, 'w').close()\n"
+            f"ArtifactStore({store.root!r}).heartbeat({job_id!r})\n"
+            "time.sleep(60)\n"
+        )
+        metrics = MetricsRegistry()
+        sup = WorkerSupervisor(
+            store, fast_config(max_retries=1, heartbeat_timeout=0.5),
+            metrics, worker_command=fake_worker(program),
+        )
+        outcome = sup.supervise(job_id)
+        assert outcome.state == "succeeded"
+        assert outcome.attempts == 2
+        assert metrics.counter("service_heartbeat_timeouts_total") == 1
+        failed = [e for e in store.events(job_id)
+                  if e["type"] == "attempt_failed"]
+        assert len(failed) == 1 and "heartbeat" in failed[0]["reason"]
+
+    def test_stop_terminates_worker_and_requeues(self, tmp_path):
+        import threading
+        import time as time_mod
+
+        store, job_id = make_job(tmp_path)
+        pid_file = tmp_path / "worker.pid"
+        program = (
+            "import os, time\n"
+            f"open({str(pid_file)!r}, 'w').write(str(os.getpid()))\n"
+            "time.sleep(60)\n"
+        )
+        sup = WorkerSupervisor(
+            store, fast_config(max_retries=5, heartbeat_timeout=60.0),
+            worker_command=fake_worker(program),
+        )
+        outcomes = []
+        thread = threading.Thread(
+            target=lambda: outcomes.append(sup.supervise(job_id)))
+        thread.start()
+        deadline = time_mod.time() + 10.0
+        while not pid_file.exists() and time_mod.time() < deadline:
+            time_mod.sleep(0.01)
+        assert pid_file.exists(), "worker never started"
+        sup.stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcomes and outcomes[0].state == "stopped"
+        # The job went back to queued (checkpoints make resume safe)...
+        assert store.status(job_id)["state"] == "queued"
+        assert any(e["type"] == "stopped" for e in store.events(job_id))
+        # ...and the worker subprocess did not outlive its supervisor.
+        pid = int(pid_file.read_text())
+        try:
+            os.kill(pid, 0)
+            alive = True
+        except OSError:
+            alive = False
+        assert not alive
+
+    def test_orphan_heartbeat_delays_first_launch(self, tmp_path):
+        # A live beat from an unsupervised worker (crashed-service
+        # orphan) must hold off the replacement until it goes stale —
+        # the event log allows only one writer.
+        store, job_id = make_job(tmp_path)
+        store.heartbeat(job_id)
+        slept = []
+        sup = WorkerSupervisor(
+            store, fast_config(heartbeat_timeout=0.4),
+            worker_command=fake_worker("pass"),
+            sleep=lambda s: slept.append(s) or __import__("time").sleep(s),
+        )
+        outcome = sup.supervise(job_id)
+        assert outcome.state == "succeeded"
+        # The guard polled at least once before the beat went stale, and
+        # the orphan's beat was wiped before the new worker launched.
+        assert slept
+        assert store.last_heartbeat(job_id) is None
 
     def test_worker_error_file_beats_exit_code_diagnosis(self, tmp_path):
         store, job_id = make_job(tmp_path)
