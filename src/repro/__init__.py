@@ -18,6 +18,7 @@ Public API highlights
 
 __version__ = "1.0.0"
 
+from . import obs  # noqa: F401
 from . import netlist  # noqa: F401
 from . import io  # noqa: F401
 from . import sim  # noqa: F401
@@ -43,6 +44,7 @@ __all__ = [
     "faults",
     "io",
     "netlist",
+    "obs",
     "pdf",
     "resynth",
     "scan",

@@ -47,6 +47,14 @@ class AnalysisSession:
         The circuit to observe.  The session subscribes on construction;
         call :meth:`close` (or use the session as a context manager) to
         detach.
+    registry:
+        Optional :class:`repro.obs.Registry`.  When given, :meth:`close`
+        publishes the session's truth-table-cache traffic as obs
+        metrics: ``analysis_tt_cache_hits_total`` /
+        ``analysis_tt_cache_misses_total`` counters, an
+        ``analysis_tt_cache_entries`` gauge with the live entry count,
+        and an ``analysis_label_flushes_total`` counter for incremental
+        label repairs.
 
     Notes
     -----
@@ -56,11 +64,13 @@ class AnalysisSession:
     mutation of a fuzzed mutation sequence.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, registry=None) -> None:
         self._circuit = circuit
         self._labels: Optional[Dict[str, int]] = None
         self._dirty: Set[str] = set()
         self.truth_tables = TruthTableCache()
+        self._registry = registry
+        self._flushes = 0
         self._closed = False
         circuit.subscribe(self)
 
@@ -74,10 +84,24 @@ class AnalysisSession:
         return self._circuit
 
     def close(self) -> None:
-        """Detach from the circuit; further queries rebuild nothing."""
+        """Detach from the circuit; further queries rebuild nothing.
+
+        Publishes truth-table-cache and label-flush accounting to the
+        session's obs registry (if one was injected).
+        """
         if not self._closed:
             self._circuit.unsubscribe(self)
             self._closed = True
+            registry = self._registry
+            if registry is not None:
+                cache = self.truth_tables
+                registry.inc("analysis_tt_cache_hits_total", cache.hits)
+                registry.inc("analysis_tt_cache_misses_total",
+                             cache.misses)
+                registry.set_gauge("analysis_tt_cache_entries",
+                                   len(cache))
+                registry.inc("analysis_label_flushes_total",
+                             self._flushes)
 
     def __enter__(self) -> "AnalysisSession":
         return self
@@ -163,6 +187,7 @@ class AnalysisSession:
         is keyed by topological rank so each net is recomputed after all
         of its changed fanins — at most once.
         """
+        self._flushes += 1
         circuit = self._circuit
         labels = self._labels
         rank = circuit.topo_rank

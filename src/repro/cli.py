@@ -10,6 +10,11 @@ Subcommands
     reports at any value, see docs/PARALLEL.md).  ``--out x.json``
     writes the full report + result netlist in the service's report
     serialization; any other suffix writes a ``.bench`` netlist.
+    ``--trace FILE`` records a JSONL span trace of the run
+    (docs/OBSERVABILITY.md).
+``trace FILE [--top N]``
+    Summarize a JSONL trace: per-stage totals, per-pass breakdown with
+    cache-hit columns, and the top spans by wall time.
 ``identify CIRCUIT OUTPUT_NET [--k K]``
     Check whether the cone feeding a net realizes a comparison function.
 ``tables [N ...]``
@@ -62,14 +67,25 @@ def _cmd_stats(args) -> int:
 
 def _cmd_resynth(args) -> int:
     from .io import save_bench
+    from .obs import Tracer
     from .resynth import procedure2, procedure3, report_to_json
 
     circuit = _load(args.circuit)
     proc = procedure2 if args.objective == "gates" else procedure3
+    tracer = None
+    if args.trace:
+        tracer = Tracer(meta={
+            "circuit": circuit.name, "objective": args.objective,
+            "k": args.k, "jobs": args.jobs,
+        })
     report = proc(circuit, k=args.k, verify_patterns=args.verify,
-                  jobs=args.jobs)
+                  jobs=args.jobs, tracer=tracer)
     print(report.summary())
     print(report.timing_summary())
+    if tracer is not None:
+        n_spans = tracer.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({n_spans} spans; "
+              f"summarize with: repro-resynth trace {args.trace})")
     if args.out:
         if args.out.endswith(".json"):
             # One serialization shared with the job service: the full
@@ -80,6 +96,17 @@ def _cmd_resynth(args) -> int:
         else:
             save_bench(report.circuit, args.out)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs import render_trace_summary
+
+    try:
+        print(render_trace_summary(args.file, top=args.top), end="")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -364,7 +391,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(default 1 = serial; results are identical)")
     p.add_argument("--out")
     p.add_argument("--verify", type=int, default=512)
+    p.add_argument("--trace", metavar="FILE",
+                   help="record a JSONL span trace of the run "
+                        "(summarize with the 'trace' subcommand)")
     p.set_defaults(func=_cmd_resynth)
+
+    p = sub.add_parser("trace",
+                       help="summarize a JSONL trace written by "
+                            "'resynth --trace' (docs/OBSERVABILITY.md)")
+    p.add_argument("file", help="trace file (.jsonl)")
+    p.add_argument("--top", type=int, default=10,
+                   help="how many top spans by wall time to list "
+                        "(0 = none)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("identify", help="comparison-function check for a net")
     p.add_argument("circuit")

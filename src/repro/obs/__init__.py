@@ -1,0 +1,71 @@
+"""Unified observability layer (``repro.obs``): tracing + metrics.
+
+One public instrumentation surface for every layer of the
+reproduction::
+
+    from repro.obs import Registry, Tracer, null_tracer
+
+* **Metrics** — :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  live in a :class:`Registry`, either injected down a call chain (the
+  job service does this) or the process-wide default from
+  :func:`get_registry`.  :func:`render_prometheus` produces Prometheus
+  text exposition (served at ``GET /metrics``); :meth:`Registry.snapshot`
+  keeps the service's historical JSON shape.
+* **Tracing** — a :class:`Tracer` records nested :class:`Span`\\ s with
+  wall/CPU time, attributes and deterministic sequential ids, exported
+  as JSONL (:meth:`Tracer.write_jsonl`, parsed back by
+  :func:`read_trace`) and summarized by ``repro-resynth trace FILE``
+  (:func:`render_trace_summary`).  When no tracer is installed, the
+  shared :data:`null_tracer` makes every instrumented site a no-op.
+
+The legacy stats surfaces — ``repro.service.metrics.MetricsRegistry``,
+:class:`repro.parallel.PassPrimeStats` accounting and the
+:class:`repro.sim.TruthTableCache` hit/miss counters — now feed (or
+alias) this layer; ``docs/OBSERVABILITY.md`` documents the span
+taxonomy and metric naming conventions.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    set_registry,
+)
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import render as render_prometheus
+from .tracesummary import render_trace_summary, summarize_trace
+from .tracing import (
+    NullTracer,
+    Span,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Tracer,
+    maybe_tracer,
+    null_tracer,
+    read_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Registry",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Tracer",
+    "get_registry",
+    "maybe_tracer",
+    "null_tracer",
+    "read_trace",
+    "render_prometheus",
+    "render_trace_summary",
+    "set_registry",
+    "summarize_trace",
+]

@@ -1,0 +1,319 @@
+"""The unified metrics model: counters, gauges, histograms, one registry.
+
+Every layer of the reproduction — the resynthesis sweep, the parallel
+evaluation pool, the job service, the analysis caches — reports through
+the same three instrument types held in one :class:`Registry`:
+
+* :class:`Counter` — a monotonically increasing total (accepted
+  candidates, cache hits, HTTP requests);
+* :class:`Gauge` — a set-to-current value (queue depth, heartbeat age);
+* :class:`Histogram` — bucketed observations with ``count``/``sum`` and
+  ``min``/``max`` (pass durations, queue wait, dispatch latency).
+
+A registry is either *injected* (passed down a call chain, as the job
+service does) or the *process-wide default* returned by
+:func:`get_registry` (what the resynthesis procedures fall back to), so
+library code never needs a ``metrics=None`` special case.  Everything is
+thread-safe: the service's HTTP handler threads, scheduler thread and
+supervisor threads write concurrently.
+
+Two export surfaces, one data model: :meth:`Registry.snapshot` keeps the
+JSON shape the service's ``/metrics`` endpoint has always served
+(``counters`` / ``gauges`` / ``summaries``), and
+:func:`repro.obs.prometheus.render` produces Prometheus text exposition
+from the same instruments.  The legacy
+:class:`repro.service.metrics.MetricsRegistry` is a deprecated alias
+over this class.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, spanning
+#: sub-millisecond dispatch latencies to minute-scale passes).  ``+Inf``
+#: is implicit — every histogram has a final catch-all bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, value: float = 1.0) -> None:
+        """Add *value* (>= 0)."""
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that is set to the current level (may go up or down)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        """The current level (None when never set)."""
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Bucketed observations with running count/sum/min/max.
+
+    Buckets are cumulative upper bounds in the Prometheus style: bucket
+    ``i`` counts observations ``<= bounds[i]``, and an implicit ``+Inf``
+    bucket counts everything.  ``min``/``max`` ride along so the legacy
+    summary snapshot keeps its shape without a second instrument type.
+    """
+
+    __slots__ = ("name", "help", "bounds", "_bucket_counts", "_count",
+                 "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help = help
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else DEFAULT_BUCKETS))
+        if any(b != b or b in (float("inf"), float("-inf"))
+               for b in bounds):
+            raise ValueError("finite bucket bounds only (+Inf is implicit)")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            i = 0
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    break
+            else:
+                i = len(self.bounds)
+            self._bucket_counts[i] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style cumulative ``(upper_bound, count)`` rows.
+
+        The final row's bound is ``+Inf`` and its count equals
+        :attr:`count`.
+        """
+        with self._lock:
+            rows: List[Tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.bounds, self._bucket_counts):
+                running += n
+                rows.append((bound, running))
+            rows.append((float("inf"), self._count))
+            return rows
+
+    def summary(self) -> Dict[str, float]:
+        """The legacy ``count/sum/min/max`` summary view."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0.0, "sum": 0.0}
+            return {
+                "count": float(self._count),
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+            }
+
+
+class Registry:
+    """Thread-safe home of every metric, injected or process-wide.
+
+    The typed surface (:meth:`get_counter` / :meth:`get_gauge` /
+    :meth:`get_histogram`) hands out live instruments for hot paths that
+    want to hold a reference; the name-keyed conveniences (:meth:`inc` /
+    :meth:`set_gauge` / :meth:`observe`) serve call sites that touch a
+    metric once.  Both resolve to the same instrument, and registering
+    the same name with two different types raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- typed accessors ------------------------------------------------ #
+
+    def _check_free(self, name: str, among: tuple) -> None:
+        for table, kind in among:
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {kind}"
+                )
+
+    def get_counter(self, name: str, help: str = "") -> Counter:
+        """The counter *name*, created on first use."""
+        with self._lock:
+            got = self._counters.get(name)
+            if got is None:
+                self._check_free(name, ((self._gauges, "gauge"),
+                                        (self._histograms, "histogram")))
+                got = self._counters[name] = Counter(name, help)
+            return got
+
+    def get_gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge *name*, created on first use."""
+        with self._lock:
+            got = self._gauges.get(name)
+            if got is None:
+                self._check_free(name, ((self._counters, "counter"),
+                                        (self._histograms, "histogram")))
+                got = self._gauges[name] = Gauge(name, help)
+            return got
+
+    def get_histogram(self, name: str, help: str = "",
+                      buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """The histogram *name*, created on first use."""
+        with self._lock:
+            got = self._histograms.get(name)
+            if got is None:
+                self._check_free(name, ((self._counters, "counter"),
+                                        (self._gauges, "gauge")))
+                got = self._histograms[name] = Histogram(name, help, buckets)
+            return got
+
+    # -- name-keyed conveniences (the legacy MetricsRegistry verbs) ----- #
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add *value* (>= 0) to the counter *name*."""
+        self.get_counter(name).inc(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge *name* to *value*."""
+        self.get_gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram *name*."""
+        self.get_histogram(name).observe(value)
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            got = self._counters.get(name)
+        return got.value if got is not None else 0.0
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        """Current value of a gauge (None when never set)."""
+        with self._lock:
+            got = self._gauges.get(name)
+        return got.value if got is not None else None
+
+    # -- export --------------------------------------------------------- #
+
+    def instruments(self) -> Tuple[List[Counter], List[Gauge],
+                                   List[Histogram]]:
+        """Name-sorted live instruments (the Prometheus renderer's view)."""
+        with self._lock:
+            return (
+                [self._counters[k] for k in sorted(self._counters)],
+                [self._gauges[k] for k in sorted(self._gauges)],
+                [self._histograms[k] for k in sorted(self._histograms)],
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A point-in-time copy of every metric, JSON-serializable.
+
+        Histograms appear under ``summaries`` with their legacy
+        ``count/sum/min/max`` shape — the JSON ``/metrics`` document is
+        unchanged from the pre-``repro.obs`` service.
+        """
+        counters, gauges, histograms = self.instruments()
+        return {
+            "counters": {c.name: c.value for c in counters},
+            "gauges": {g.name: g.value for g in gauges
+                       if g.value is not None},
+            "summaries": {h.name: h.summary() for h in histograms},
+        }
+
+
+_default_registry = Registry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry (library code's fallback)."""
+    return _default_registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Replace the process-wide default; returns the previous one.
+
+    Tests use this to isolate the global surface; services should prefer
+    injecting their own registry over swapping the default.
+    """
+    global _default_registry
+    if not isinstance(registry, Registry):
+        raise TypeError("set_registry needs a repro.obs.Registry")
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

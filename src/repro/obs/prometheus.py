@@ -1,0 +1,109 @@
+"""Prometheus text exposition (format 0.0.4) for :class:`~repro.obs.Registry`.
+
+:func:`render` turns a registry's live instruments into the plain-text
+format Prometheus scrapes, served by the job service at ``GET /metrics``
+when the ``Accept`` header asks for ``text/plain`` (the JSON snapshot
+remains the default; see :mod:`repro.service.api`).
+
+Conventions applied here, pinned by ``tests/obs/test_prometheus.py``:
+
+* counter sample names carry the ``_total`` suffix (added when the
+  registry name does not already end in it), and their ``# TYPE`` line
+  names the metric *without* the suffix, per the OpenMetrics convention;
+* histograms expose cumulative ``<name>_bucket{le="..."}`` samples with
+  a final ``le="+Inf"`` bucket, plus ``<name>_sum`` and ``<name>_count``;
+* metric names are sanitized to ``[a-zA-Z_:][a-zA-Z0-9_:]*``;
+* ``# HELP`` text escapes backslashes and newlines; label values escape
+  backslashes, double quotes and newlines.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from .metrics import Registry
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+#: The content type Prometheus' text parser expects.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce *name* into a legal Prometheus metric name."""
+    if _NAME_OK.match(name):
+        return name
+    name = _NAME_BAD_CHARS.sub("_", name)
+    if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line's text."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value (used for ``le`` and any future labels)."""
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (``+Inf``/``-Inf``/``NaN`` spelled out)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _bound_label(bound: float) -> str:
+    """The ``le`` label for a bucket bound (``+Inf`` for the last)."""
+    if math.isinf(bound):
+        return "+Inf"
+    # Integral bounds render without a trailing .0 ambiguity either way;
+    # repr keeps 0.005 exact instead of accumulating format noise.
+    return repr(bound)
+
+
+def render(registry: Registry) -> str:
+    """The whole registry as Prometheus text exposition."""
+    counters, gauges, histograms = registry.instruments()
+    out: List[str] = []
+
+    for c in counters:
+        name = sanitize_name(c.name)
+        base = name[:-len("_total")] if name.endswith("_total") else name
+        if c.help:
+            out.append(f"# HELP {base} {escape_help(c.help)}")
+        out.append(f"# TYPE {base} counter")
+        out.append(f"{base}_total {format_value(c.value)}")
+
+    for g in gauges:
+        if g.value is None:
+            continue
+        name = sanitize_name(g.name)
+        if g.help:
+            out.append(f"# HELP {name} {escape_help(g.help)}")
+        out.append(f"# TYPE {name} gauge")
+        out.append(f"{name} {format_value(g.value)}")
+
+    for h in histograms:
+        name = sanitize_name(h.name)
+        if h.help:
+            out.append(f"# HELP {name} {escape_help(h.help)}")
+        out.append(f"# TYPE {name} histogram")
+        for bound, count in h.cumulative_buckets():
+            le = escape_label_value(_bound_label(bound))
+            out.append(f'{name}_bucket{{le="{le}"}} {count}')
+        out.append(f"{name}_sum {format_value(h.sum)}")
+        out.append(f"{name}_count {h.count}")
+
+    return "\n".join(out) + "\n" if out else ""

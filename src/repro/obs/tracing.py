@@ -1,0 +1,319 @@
+"""Hierarchical tracing: nested spans with wall/CPU time, JSONL export.
+
+A :class:`Tracer` produces nested :class:`Span`\\ s::
+
+    tracer = Tracer(meta={"circuit": "syn35932"})
+    with tracer.span("run", objective="gates") as run:
+        with tracer.span("pass", pass_no=1) as p:
+            ...
+            p.set("replacements", 3)
+    tracer.write_jsonl("run.trace.jsonl")
+
+The span taxonomy the reproduction emits (run → pass → candidate →
+extract/identify/replace; prime rounds under their pass) is documented
+in ``docs/OBSERVABILITY.md``; ``repro-resynth trace FILE`` summarizes a
+written trace.
+
+**Deterministic-safe ids.**  Span ids are sequential integers in
+creation order — no randomness, no timestamps — so two runs of the same
+deterministic workload produce traces that differ only in the recorded
+durations.  Tests diff everything but the times.
+
+**The null tracer.**  Library code takes ``tracer=None`` and resolves it
+through :func:`maybe_tracer` to :data:`null_tracer`, whose
+:meth:`~NullTracer.span` returns one shared no-op span — no allocation,
+no clock reads — so instrumented hot paths cost a method call when
+tracing is off.  ``BENCH_resynth.json`` is regenerated with the null
+tracer in place to pin that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "NullTracer",
+    "Span",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "Tracer",
+    "maybe_tracer",
+    "null_tracer",
+    "read_trace",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: JSON-compatible attribute values (kept flat on purpose: a span
+#: attribute is a fact about the span, not a document).
+AttrValue = Union[str, int, float, bool, None]
+
+
+class Span:
+    """One timed region of a trace.
+
+    Spans are created by :meth:`Tracer.span` and closed by leaving the
+    ``with`` block; :meth:`set` attaches attributes at any point in
+    between.  ``wall_s`` is monotonic wall clock, ``cpu_s`` is this
+    process's CPU time over the same region (worker-subprocess CPU is
+    not included — the parallel layer records dispatch latency
+    histograms for that side).
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start_s",
+                 "wall_s", "cpu_s", "attrs", "_t0", "_cpu0")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], start_s: float,
+                 attrs: Dict[str, AttrValue]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, key: str, value: AttrValue) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    def annotate(self, **attrs: AttrValue) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.tracer._finish(self)
+
+    def to_doc(self) -> Dict[str, object]:
+        """The span's JSONL document."""
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "wall_s": round(self.wall_s, 6) if self.wall_s is not None
+            else None,
+            "cpu_s": round(self.cpu_s, 6) if self.cpu_s is not None
+            else None,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects a tree of spans; one tracer per traced run.
+
+    Thread-safe: each thread nests spans on its own stack (so the
+    service's supervisor threads cannot corrupt each other's ancestry),
+    while ids and the finished-span list are shared under a lock.  Spans
+    are exported in id (creation) order, which for a single-threaded
+    workload is exactly program order.
+    """
+
+    def __init__(self, meta: Optional[Dict[str, AttrValue]] = None) -> None:
+        self.meta: Dict[str, AttrValue] = dict(meta or {})
+        self.created = time.time()
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._spans: List[Span] = []
+        self._local = threading.local()
+
+    # -- span lifecycle ------------------------------------------------- #
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: AttrValue) -> Span:
+        """Open a nested span (use as a context manager)."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        now = time.perf_counter()
+        span = Span(self, name, span_id, parent, now - self._t0, dict(attrs))
+        span._t0 = now
+        span._cpu0 = time.process_time()
+        stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.wall_s = time.perf_counter() - span._t0
+        span.cpu_s = time.process_time() - span._cpu0
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit; drop it wherever it sits
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._spans.append(span)
+
+    # -- views ---------------------------------------------------------- #
+
+    @property
+    def enabled(self) -> bool:
+        """True — this tracer records spans (the null tracer says False)."""
+        return True
+
+    def spans(self) -> List[Span]:
+        """Finished spans in id (creation) order."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: s.span_id)
+
+    def find(self, name: str) -> List[Span]:
+        """Finished spans named *name*, in creation order."""
+        return [s for s in self.spans() if s.name == name]
+
+    # -- export --------------------------------------------------------- #
+
+    def header_doc(self) -> Dict[str, object]:
+        """The trace's JSONL header line."""
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "created": self.created,
+            "meta": self.meta,
+        }
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines (header first)."""
+        lines = [json.dumps(self.header_doc(), sort_keys=True)]
+        lines.extend(json.dumps(s.to_doc(), sort_keys=True)
+                     for s in self.spans())
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the trace to *path*; returns the span count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return len(self._spans)
+
+
+class _NullSpan:
+    """The shared do-nothing span (one instance per process)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def set(self, key: str, value: AttrValue) -> None:
+        pass
+
+    def annotate(self, **attrs: AttrValue) -> None:
+        pass
+
+
+class NullTracer:
+    """The no-op tracer installed when nobody asked for a trace.
+
+    :meth:`span` returns one shared :class:`_NullSpan` — it never
+    allocates and never reads a clock, so instrumentation guarded by the
+    null tracer is a constant handful of attribute lookups.
+    ``tests/obs/test_tracing.py`` pins the identity (zero-allocation)
+    property.
+    """
+
+    __slots__ = ()
+
+    _SPAN = _NullSpan()
+
+    @property
+    def enabled(self) -> bool:
+        """False — spans are discarded."""
+        return False
+
+    def span(self, name: str, **attrs: AttrValue) -> _NullSpan:
+        """The shared no-op span, whatever the arguments."""
+        return self._SPAN
+
+    def spans(self) -> List[Span]:
+        """Always empty."""
+        return []
+
+    def find(self, name: str) -> List[Span]:
+        """Always empty."""
+        return []
+
+
+#: Process-wide null tracer: the default everywhere a tracer is optional.
+null_tracer = NullTracer()
+
+
+def maybe_tracer(tracer) -> "Tracer":
+    """*tracer* itself, or :data:`null_tracer` when None."""
+    return tracer if tracer is not None else null_tracer
+
+
+# --------------------------------------------------------------------- #
+# reading traces back
+# --------------------------------------------------------------------- #
+
+
+def read_trace(lines_or_path: Union[str, Iterable[str]]
+               ) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Parse and validate a JSONL trace; returns ``(header, spans)``.
+
+    Accepts a filesystem path or an iterable of lines.  Raises
+    ``ValueError`` on schema violations: a missing/foreign header, spans
+    without the required keys, or a span whose ``parent`` does not
+    reference an earlier span (ids are creation-ordered, so a parent
+    always precedes its children).
+    """
+    if isinstance(lines_or_path, str):
+        with open(lines_or_path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    else:
+        lines = [ln.rstrip("\n") for ln in lines_or_path]
+    lines = [ln for ln in lines if ln.strip()]
+    if not lines:
+        raise ValueError("empty trace")
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"not a {TRACE_FORMAT} document")
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"unsupported {TRACE_FORMAT} version {header.get('version')!r}"
+        )
+    spans: List[Dict[str, object]] = []
+    seen_ids = set()
+    for i, line in enumerate(lines[1:], start=2):
+        doc = json.loads(line)
+        for key in ("span", "parent", "name", "start_s", "wall_s",
+                    "cpu_s", "attrs"):
+            if key not in doc:
+                raise ValueError(f"line {i}: span missing {key!r}")
+        if not isinstance(doc["span"], int) or doc["span"] < 1:
+            raise ValueError(f"line {i}: bad span id {doc['span']!r}")
+        if doc["span"] in seen_ids:
+            raise ValueError(f"line {i}: duplicate span id {doc['span']}")
+        parent = doc["parent"]
+        if parent is not None and parent not in seen_ids:
+            raise ValueError(
+                f"line {i}: span {doc['span']} references unknown parent "
+                f"{parent!r}"
+            )
+        seen_ids.add(doc["span"])
+        spans.append(doc)
+    return header, spans

@@ -36,6 +36,7 @@ contract.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -43,6 +44,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..analysis import AnalysisSession
 from ..comparison.identify import identification_cache, identification_key
 from ..netlist import Circuit, GateType
+from ..obs import Registry, get_registry, maybe_tracer
 from ..resynth.candidates import enumerate_candidate_cones
 from ..sim import cone_signature
 from .worker import CandidateReport, extract_chunk, identify_chunk
@@ -107,9 +109,20 @@ class ParallelEvaluator:
     inject_crash:
         Test-only: makes every worker raise immediately, to exercise the
         :class:`ParallelExecutionError` path deterministically.
+    tracer:
+        A :class:`repro.obs.Tracer` recording ``prime`` spans (with
+        ``prime.enumerate`` / ``prime.extract`` / ``prime.identify``
+        children) under whatever span is current when
+        :meth:`prime_pass` runs; default: the null tracer.
+    registry:
+        A :class:`repro.obs.Registry` receiving the fan-out metrics
+        (chunk dispatch latency, cones/tables/identifications counters);
+        default: the process-wide registry.
 
     The pool is created lazily on the first :meth:`prime_pass` and torn
     down by :meth:`close` (the evaluator is also a context manager).
+    :attr:`prime_seconds` accumulates each call's wall clock (the
+    procedures publish it as the report's ``timings["prime_seconds"]``).
     """
 
     def __init__(
@@ -118,6 +131,8 @@ class ParallelEvaluator:
         chunk_factor: int = 4,
         start_method: Optional[str] = None,
         inject_crash: bool = False,
+        tracer=None,
+        registry: Optional[Registry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -127,6 +142,9 @@ class ParallelEvaluator:
         self.chunk_factor = chunk_factor
         self.start_method = start_method or preferred_start_method()
         self.inject_crash = inject_crash
+        self.tracer = maybe_tracer(tracer)
+        self.registry = registry if registry is not None else get_registry()
+        self.prime_seconds: List[float] = []
         self._executor: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------ #
@@ -168,10 +186,24 @@ class ParallelEvaluator:
         """
         n_chunks = min(len(items), self.jobs * self.chunk_factor)
         chunks = [items[i::n_chunks] for i in range(n_chunks)]
+        dispatch = self.registry.get_histogram(
+            "parallel_chunk_seconds",
+            "submit-to-done latency of one worker chunk (queue + compute)")
+        submitted = time.perf_counter()
+
+        def _observe_done(_future: Future) -> None:
+            # Runs on a pool thread as each chunk finishes; the registry
+            # is thread-safe.  Measures pool dispatch latency: time from
+            # submission until the chunk's result is ready.
+            dispatch.observe(time.perf_counter() - submitted)
+
         futures: List[Future] = [
             self._pool().submit(fn, chunk, *extra_args, self.inject_crash)
             for chunk in chunks
         ]
+        for future in futures:
+            future.add_done_callback(_observe_done)
+        self.registry.inc("parallel_chunks_total", n_chunks)
         rows: List = []
         try:
             for future in futures:
@@ -215,82 +247,112 @@ class ParallelEvaluator:
         The knobs must equal the ones the sweep will use; the procedures
         pass their per-pass seed (``seed + pass_index``) so worker results
         are keyed precisely for the pass being primed.
+
+        Each call emits a ``prime`` span with ``prime.enumerate`` /
+        ``prime.extract`` / ``prime.identify`` children, appends its wall
+        clock to :attr:`prime_seconds`, and republishes the returned
+        :class:`PassPrimeStats` as obs counters (``parallel_*_total``).
         """
-        id_cache = identification_cache()
-        tt_cache = session.truth_tables
-        sites = 0
-        cones = 0
-        seen: Set[Tuple] = set()
-        to_extract: List[Tuple[Tuple, int]] = []
-        cached: List[Tuple[int, int]] = []  # (n, table) already known
-        for net in reversed(circuit.topological_order()):
-            gate = circuit.gate(net)
-            if gate.gtype in (GateType.INPUT, GateType.CONST0,
-                              GateType.CONST1):
-                continue
-            sites += 1
-            for cone in enumerate_candidate_cones(circuit, net, k):
-                cones += 1
-                if not cone.inputs:
+        prime_start = time.perf_counter()
+        with self.tracer.span("prime", seed=seed) as prime_span:
+            id_cache = identification_cache()
+            tt_cache = session.truth_tables
+            sites = 0
+            cones = 0
+            seen: Set[Tuple] = set()
+            to_extract: List[Tuple[Tuple, int]] = []
+            cached: List[Tuple[int, int]] = []  # (n, table) already known
+            with self.tracer.span("prime.enumerate"):
+                for net in reversed(circuit.topological_order()):
+                    gate = circuit.gate(net)
+                    if gate.gtype in (GateType.INPUT, GateType.CONST0,
+                                      GateType.CONST1):
+                        continue
+                    sites += 1
+                    for cone in enumerate_candidate_cones(circuit, net, k):
+                        cones += 1
+                        if not cone.inputs:
+                            continue
+                        sig = cone_signature(
+                            circuit, cone.output, cone.members, cone.inputs
+                        )
+                        if sig in seen:
+                            continue
+                        seen.add(sig)
+                        n = len(cone.inputs)
+                        table = tt_cache.peek(sig)
+                        if table is None:
+                            to_extract.append((sig, n))
+                        else:
+                            cached.append((n, table))
+
+            merged_tables = 0
+            n_chunks = 0
+            tables: List[Tuple[int, int]] = cached
+            if to_extract:
+                with self.tracer.span("prime.extract",
+                                      shipped=len(to_extract)):
+                    rows, used = self._map_chunks(
+                        extract_chunk, to_extract, (), seed
+                    )
+                    n_chunks += used
+                    for sig, n, table in rows:
+                        tt_cache.put(sig, table)
+                        merged_tables += 1
+                        tables.append((n, table))
+
+            to_identify: Dict[Tuple, Tuple[int, int]] = {}
+            for n, table in tables:
+                full = (1 << (1 << n)) - 1
+                if table == 0 or table == full:
                     continue
-                sig = cone_signature(
-                    circuit, cone.output, cone.members, cone.inputs
-                )
-                if sig in seen:
-                    continue
-                seen.add(sig)
-                n = len(cone.inputs)
-                table = tt_cache.peek(sig)
-                if table is None:
-                    to_extract.append((sig, n))
-                else:
-                    cached.append((n, table))
-
-        merged_tables = 0
-        n_chunks = 0
-        tables: List[Tuple[int, int]] = cached
-        if to_extract:
-            rows, used = self._map_chunks(
-                extract_chunk, to_extract, (), seed
-            )
-            n_chunks += used
-            for sig, n, table in rows:
-                tt_cache.put(sig, table)
-                merged_tables += 1
-                tables.append((n, table))
-
-        to_identify: Dict[Tuple, Tuple[int, int]] = {}
-        for n, table in tables:
-            full = (1 << (1 << n)) - 1
-            if table == 0 or table == full:
-                continue
-            key = identification_key(
-                table, n, perm_budget, try_offset, seed, max_specs
-            )
-            if key not in to_identify and id_cache.peek(key) is None:
-                to_identify[key] = (table, n)
-
-        merged_idents = 0
-        if to_identify:
-            rows, used = self._map_chunks(
-                identify_chunk,
-                list(to_identify.values()),
-                (perm_budget, try_offset, seed, max_specs),
-                seed,
-            )
-            n_chunks += used
-            for table, n, hits, tried in rows:
                 key = identification_key(
                     table, n, perm_budget, try_offset, seed, max_specs
                 )
-                id_cache.put(key, (hits, tried))
-                merged_idents += 1
-        return PassPrimeStats(
-            sites=sites,
-            cones=cones,
-            unique_cones=len(seen),
-            shipped=len(to_extract),
-            chunks=n_chunks,
-            merged_tables=merged_tables,
-            merged_identifications=merged_idents,
-        )
+                if key not in to_identify and id_cache.peek(key) is None:
+                    to_identify[key] = (table, n)
+
+            merged_idents = 0
+            if to_identify:
+                with self.tracer.span("prime.identify",
+                                      searches=len(to_identify)):
+                    rows, used = self._map_chunks(
+                        identify_chunk,
+                        list(to_identify.values()),
+                        (perm_budget, try_offset, seed, max_specs),
+                        seed,
+                    )
+                    n_chunks += used
+                    for table, n, hits, tried in rows:
+                        key = identification_key(
+                            table, n, perm_budget, try_offset, seed,
+                            max_specs
+                        )
+                        id_cache.put(key, (hits, tried))
+                        merged_idents += 1
+            stats = PassPrimeStats(
+                sites=sites,
+                cones=cones,
+                unique_cones=len(seen),
+                shipped=len(to_extract),
+                chunks=n_chunks,
+                merged_tables=merged_tables,
+                merged_identifications=merged_idents,
+            )
+            prime_span.annotate(
+                sites=stats.sites, cones=stats.cones,
+                unique_cones=stats.unique_cones, shipped=stats.shipped,
+                chunks=stats.chunks, merged_tables=stats.merged_tables,
+                merged_identifications=stats.merged_identifications,
+            )
+        self.prime_seconds.append(time.perf_counter() - prime_start)
+        registry = self.registry
+        registry.inc("parallel_prime_rounds_total")
+        registry.inc("parallel_sites_total", stats.sites)
+        registry.inc("parallel_cones_total", stats.cones)
+        registry.inc("parallel_unique_cones_total", stats.unique_cones)
+        registry.inc("parallel_shipped_tables_total", stats.shipped)
+        registry.inc("parallel_merged_tables_total", stats.merged_tables)
+        registry.inc("parallel_merged_identifications_total",
+                     stats.merged_identifications)
+        return stats

@@ -40,6 +40,7 @@ from ..netlist import (
     decompose_two_input,
     two_input_gate_count,
 )
+from ..obs import Registry, get_registry, maybe_tracer, null_tracer
 from ..sim import outputs_equal, random_words
 from .candidates import enumerate_candidate_cones
 from .replace import (
@@ -55,11 +56,21 @@ from .replace import (
 class ResynthesisReport:
     """Result of running a resynthesis procedure.
 
-    All fields except the wall-clock ones (``pass_seconds``,
-    ``total_seconds``) are deterministic: bit-identical at any ``jobs``
-    value and across checkpoint/resume (see docs/PARALLEL.md and
-    docs/SERVICE.md).  Determinism comparisons must therefore use
+    All fields except the wall-clock ``timings`` mapping are
+    deterministic: bit-identical at any ``jobs`` value and across
+    checkpoint/resume (see docs/PARALLEL.md and docs/SERVICE.md).
+    Determinism comparisons must therefore use
     :data:`REPORT_NUMBER_FIELDS`, never the timing fields.
+
+    ``timings`` is the structured wall-clock account of the run.  Always
+    present: ``pass_seconds`` (list, one entry per pass, resumed passes
+    included) and ``total_seconds`` (whole-run wall clock).  Runs add
+    stage keys as they apply: ``setup_seconds`` (decompose + initial
+    path labels of this process's portion), ``verify_seconds`` (per-pass
+    inline verification, when ``verify_patterns`` is on) and
+    ``prime_seconds`` (per-pass parallel cache priming, when
+    ``jobs > 1``).  The historical ``pass_seconds``/``total_seconds``
+    attributes remain as derived read-only properties.
     """
 
     circuit: Circuit
@@ -73,8 +84,17 @@ class ResynthesisReport:
     paths_after: int
     mutations: int = 0  # circuit mutation events observed during the run
     jobs: int = 1  # worker processes used for candidate evaluation
-    pass_seconds: List[float] = field(default_factory=list)
-    total_seconds: float = 0.0  # whole-run wall clock (resumes included)
+    timings: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def pass_seconds(self) -> List[float]:
+        """Wall clock of each pass (derived from ``timings``)."""
+        return self.timings.get("pass_seconds", [])
+
+    @property
+    def total_seconds(self) -> float:
+        """Whole-run wall clock, resumes included (from ``timings``)."""
+        return float(self.timings.get("total_seconds", 0.0))
 
     @property
     def gate_reduction(self) -> int:
@@ -221,6 +241,8 @@ def _resynthesis_pass(
     exact: bool = False,
     session: Optional[AnalysisSession] = None,
     evaluator: Optional["ParallelEvaluator"] = None,
+    tracer=null_tracer,
+    registry: Optional[Registry] = None,
 ) -> int:
     """One outputs-to-inputs sweep; returns the number of replacements.
 
@@ -234,10 +256,32 @@ def _resynthesis_pass(
     below then mostly hits the warmed caches.  Cones that only come into
     existence mid-pass miss the caches and are evaluated inline, exactly
     as in a serial run, so the selected replacements are identical.
+
+    *tracer* emits one ``candidate`` span per selection site with
+    ``extract`` / ``identify`` / ``replace`` children; *registry*
+    receives the accepted/rejected counters and the gate/path-delta
+    histograms.  Neither can influence a decision — with the default
+    null tracer the instrumentation is a no-op.
     """
     own_session = session is None
     if own_session:
         session = AnalysisSession(work)
+    if registry is None:
+        registry = get_registry()
+    accepted = registry.get_counter(
+        "resynth_candidates_accepted_total",
+        "selection sites where a replacement was applied")
+    rejected = registry.get_counter(
+        "resynth_candidates_rejected_total",
+        "selection sites where no candidate improved the objective")
+    gate_delta = registry.get_histogram(
+        "resynth_gate_delta",
+        "equivalent-2-input gates removed per applied replacement",
+        buckets=(-8.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 8.0, 16.0))
+    path_delta = registry.get_histogram(
+        "resynth_path_delta",
+        "paths removed from the line per applied replacement",
+        buckets=(0.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8))
     if evaluator is not None:
         evaluator.prime_pass(
             work, session, k=k, perm_budget=perm_budget, seed=seed,
@@ -268,23 +312,35 @@ def _resynthesis_pass(
                               GateType.CONST1):
                 continue
             labels = session.labels()  # current after earlier replacements
-            cones = enumerate_candidate_cones(work, net, k, frozen)
-            options = []
-            for cone in cones:
-                option = evaluate_cone(
-                    work, cone, labels, perm_budget=perm_budget, seed=seed,
-                    exact=exact, tt_cache=session.truth_tables,
-                )
-                if option is not None:
-                    options.append(option)
-            chosen = selector(options, current_paths_on(work, net, labels))
-            if chosen is None:
-                mark(gate.fanins)
-                continue
-            created = apply_replacement(work, chosen)
-            frozen.update(created)
-            mark(chosen.cone.inputs)
-            replacements += 1
+            with tracer.span("candidate", net=net) as csp:
+                with tracer.span("extract"):
+                    cones = enumerate_candidate_cones(work, net, k, frozen)
+                options = []
+                with tracer.span("identify", cones=len(cones)):
+                    for cone in cones:
+                        option = evaluate_cone(
+                            work, cone, labels, perm_budget=perm_budget,
+                            seed=seed, exact=exact,
+                            tt_cache=session.truth_tables,
+                        )
+                        if option is not None:
+                            options.append(option)
+                paths_now = current_paths_on(work, net, labels)
+                chosen = selector(options, paths_now)
+                if chosen is None:
+                    rejected.inc()
+                    mark(gate.fanins)
+                    continue
+                with tracer.span("replace"):
+                    created = apply_replacement(work, chosen)
+                frozen.update(created)
+                mark(chosen.cone.inputs)
+                replacements += 1
+                accepted.inc()
+                gate_delta.observe(chosen.gate_gain)
+                path_delta.observe(paths_now - chosen.paths_on_output)
+                csp.annotate(gate_gain=chosen.gate_gain,
+                             path_delta=paths_now - chosen.paths_on_output)
     finally:
         if own_session:
             session.close()
@@ -317,93 +373,145 @@ def _run(
     jobs: int = 1,
     on_pass: Optional[PassHook] = None,
     resume: Optional[PassCheckpoint] = None,
+    tracer=None,
+    registry: Optional[Registry] = None,
 ) -> ResynthesisReport:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tracer = maybe_tracer(tracer)
+    if registry is None:
+        registry = get_registry()
     evaluator = None
     if jobs > 1:
         # Imported lazily: repro.parallel imports from repro.resynth, so a
         # top-level import here would be circular.
         from ..parallel import ParallelEvaluator
 
-        evaluator = ParallelEvaluator(jobs)
+        evaluator = ParallelEvaluator(jobs, tracer=tracer,
+                                      registry=registry)
+    registry.inc("resynth_runs_total")
     run_start = time.perf_counter()
-    if resume is not None:
-        _check_resume(resume, objective, k, seed)
-        # Continue exactly where the checkpoint left off: the working
-        # circuit (already decomposed at the original run's start) with
-        # its fresh-net counters, the pass counter, and the accumulated
-        # report numbers.  Caches (truth tables, identification) rebuild
-        # on demand — they hold pure functions, so warm or cold they
-        # cannot change any decision (the repro.parallel argument).
-        work = resume.circuit.copy()
-        gates_before = resume.gates_before
-        paths_before = resume.paths_before
-        total_replacements = resume.replacements
-        mutations_prior = resume.mutations
-        passes = resume.pass_no
-        pass_seconds = list(resume.pass_seconds)
-        seconds_prior = sum(pass_seconds)
-        done = resume.done
-    else:
-        # Wide gates are split into 2-input trees first (metric-neutral;
-        # see decompose_two_input) so candidate growth can tunnel through
-        # them.
-        work = decompose_two_input(circuit) if decompose else circuit.copy()
-        gates_before = two_input_gate_count(work)
-        total_replacements = 0
-        mutations_prior = 0
-        passes = 0
-        pass_seconds = []
-        seconds_prior = 0.0
-        done = False
-    epoch_base = work.epoch
-    session = AnalysisSession(work)
-    try:
-        paths_before = (session.total_paths() if resume is None
-                        else paths_before)
-        while not done and passes < max_passes:
-            passes += 1
-            pass_start = time.perf_counter()
-            made = _resynthesis_pass(work, selector, k, perm_budget,
-                                     seed + passes, exact, session=session,
-                                     evaluator=evaluator)
-            pass_seconds.append(time.perf_counter() - pass_start)
-            total_replacements += made
-            if verify_patterns:
-                # Seeded per (seed, passes): each pass re-verifies against
-                # fresh patterns instead of re-checking the same ones.
-                rng = random.Random((seed << 20) ^ (passes * 0x9E3779B9)
-                                    ^ 0x5EED)
-                words = random_words(circuit.inputs, verify_patterns, rng)
-                if not outputs_equal(circuit, work, words, verify_patterns):
-                    raise AssertionError(
-                        f"resynthesis changed the function of {circuit.name} "
-                        f"in pass {passes}"
+    run_span = tracer.span("run", circuit=circuit.name, objective=objective,
+                           k=k, jobs=jobs, resumed=resume is not None)
+    with run_span:
+        setup_start = time.perf_counter()
+        with tracer.span("setup"):
+            if resume is not None:
+                _check_resume(resume, objective, k, seed)
+                # Continue exactly where the checkpoint left off: the
+                # working circuit (already decomposed at the original
+                # run's start) with its fresh-net counters, the pass
+                # counter, and the accumulated report numbers.  Caches
+                # (truth tables, identification) rebuild on demand —
+                # they hold pure functions, so warm or cold they cannot
+                # change any decision (the repro.parallel argument).
+                work = resume.circuit.copy()
+                gates_before = resume.gates_before
+                paths_before = resume.paths_before
+                total_replacements = resume.replacements
+                mutations_prior = resume.mutations
+                passes = resume.pass_no
+                pass_seconds = list(resume.pass_seconds)
+                seconds_prior = sum(pass_seconds)
+                done = resume.done
+            else:
+                # Wide gates are split into 2-input trees first
+                # (metric-neutral; see decompose_two_input) so candidate
+                # growth can tunnel through them.
+                work = (decompose_two_input(circuit) if decompose
+                        else circuit.copy())
+                gates_before = two_input_gate_count(work)
+                total_replacements = 0
+                mutations_prior = 0
+                passes = 0
+                pass_seconds = []
+                seconds_prior = 0.0
+                done = False
+            epoch_base = work.epoch
+            session = AnalysisSession(work, registry=registry)
+        verify_seconds: List[float] = []
+        try:
+            with tracer.span("setup.labels"):
+                paths_before = (session.total_paths() if resume is None
+                                else paths_before)
+            setup_seconds = time.perf_counter() - setup_start
+            pass_hist = registry.get_histogram(
+                "resynth_pass_seconds", "wall clock of one sweep pass")
+            while not done and passes < max_passes:
+                passes += 1
+                tt = session.truth_tables
+                hits0, misses0 = tt.hits, tt.misses
+                pass_start = time.perf_counter()
+                with tracer.span("pass", pass_no=passes) as pspan:
+                    made = _resynthesis_pass(
+                        work, selector, k, perm_budget, seed + passes,
+                        exact, session=session, evaluator=evaluator,
+                        tracer=tracer, registry=registry,
                     )
-            done = made == 0 or passes >= max_passes
-            if on_pass is not None:
-                on_pass(PassCheckpoint(
-                    objective=objective,
-                    k=k,
-                    seed=seed,
-                    pass_no=passes,
-                    circuit=work.copy(),
-                    replacements=total_replacements,
-                    mutations=mutations_prior + work.epoch - epoch_base,
-                    gates_before=gates_before,
-                    paths_before=paths_before,
-                    gates_now=two_input_gate_count(work),
-                    paths_now=session.total_paths(),
-                    pass_seconds=list(pass_seconds),
-                    done=done,
-                ))
-        paths_after = session.total_paths()
-    finally:
-        session.close()
-        if evaluator is not None:
-            evaluator.close()
+                    pspan.annotate(replacements=made,
+                                   tt_hits=tt.hits - hits0,
+                                   tt_misses=tt.misses - misses0)
+                pass_wall = time.perf_counter() - pass_start
+                pass_seconds.append(pass_wall)
+                pass_hist.observe(pass_wall)
+                registry.inc("resynth_passes_total")
+                registry.inc("resynth_replacements_total", made)
+                total_replacements += made
+                if verify_patterns:
+                    # Seeded per (seed, passes): each pass re-verifies
+                    # against fresh patterns instead of re-checking the
+                    # same ones.
+                    verify_start = time.perf_counter()
+                    with tracer.span("verify", pass_no=passes,
+                                     patterns=verify_patterns):
+                        rng = random.Random((seed << 20)
+                                            ^ (passes * 0x9E3779B9)
+                                            ^ 0x5EED)
+                        words = random_words(circuit.inputs,
+                                             verify_patterns, rng)
+                        if not outputs_equal(circuit, work, words,
+                                             verify_patterns):
+                            raise AssertionError(
+                                f"resynthesis changed the function of "
+                                f"{circuit.name} in pass {passes}"
+                            )
+                    verify_seconds.append(
+                        time.perf_counter() - verify_start)
+                done = made == 0 or passes >= max_passes
+                if on_pass is not None:
+                    with tracer.span("checkpoint", pass_no=passes):
+                        on_pass(PassCheckpoint(
+                            objective=objective,
+                            k=k,
+                            seed=seed,
+                            pass_no=passes,
+                            circuit=work.copy(),
+                            replacements=total_replacements,
+                            mutations=(mutations_prior + work.epoch
+                                       - epoch_base),
+                            gates_before=gates_before,
+                            paths_before=paths_before,
+                            gates_now=two_input_gate_count(work),
+                            paths_now=session.total_paths(),
+                            pass_seconds=list(pass_seconds),
+                            done=done,
+                        ))
+            paths_after = session.total_paths()
+        finally:
+            session.close()
+            if evaluator is not None:
+                evaluator.close()
+        run_span.annotate(passes=passes, replacements=total_replacements)
     work.name = circuit.name
+    timings: Dict[str, object] = {
+        "setup_seconds": setup_seconds,
+        "pass_seconds": pass_seconds,
+        "total_seconds": seconds_prior + time.perf_counter() - run_start,
+    }
+    if verify_seconds:
+        timings["verify_seconds"] = verify_seconds
+    if evaluator is not None and evaluator.prime_seconds:
+        timings["prime_seconds"] = list(evaluator.prime_seconds)
     return ResynthesisReport(
         circuit=work,
         objective=objective,
@@ -416,8 +524,7 @@ def _run(
         paths_after=paths_after,
         mutations=mutations_prior + work.epoch - epoch_base,
         jobs=jobs,
-        pass_seconds=pass_seconds,
-        total_seconds=seconds_prior + time.perf_counter() - run_start,
+        timings=timings,
     )
 
 
@@ -433,6 +540,8 @@ def procedure2(
     jobs: int = 1,
     on_pass: Optional[PassHook] = None,
     resume: Optional[PassCheckpoint] = None,
+    tracer=None,
+    registry: Optional[Registry] = None,
 ) -> ResynthesisReport:
     """Procedure 2: reduce the number of gates (paths as tiebreak).
 
@@ -457,11 +566,20 @@ def procedure2(
         Continue from a previous run's checkpoint instead of starting
         over; the report and result netlist are bit-identical to the
         uninterrupted run (docs/SERVICE.md states the contract).
+    tracer:
+        A :class:`repro.obs.Tracer` recording the run's span tree
+        (run → pass → candidate → extract/identify/replace; see
+        docs/OBSERVABILITY.md).  Default: the null tracer — the
+        instrumented sites become no-ops and the report is unaffected
+        either way (tracing never influences a decision).
+    registry:
+        A :class:`repro.obs.Registry` receiving the run's metrics;
+        default: the process-wide registry.
     """
     return _run(
         circuit, _select_for_gates, "gates", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume,
+        on_pass, resume, tracer, registry,
     )
 
 
@@ -477,17 +595,20 @@ def procedure3(
     jobs: int = 1,
     on_pass: Optional[PassHook] = None,
     resume: Optional[PassCheckpoint] = None,
+    tracer=None,
+    registry: Optional[Registry] = None,
 ) -> ResynthesisReport:
     """Procedure 3: reduce the number of paths (gate count unconstrained).
 
     ``exact=True`` augments identification with the exact decision
     procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs``,
-    ``on_pass`` and ``resume`` behave as in :func:`procedure2`.
+    ``on_pass``, ``resume``, ``tracer`` and ``registry`` behave as in
+    :func:`procedure2`.
     """
     return _run(
         circuit, _select_for_paths, "paths", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume,
+        on_pass, resume, tracer, registry,
     )
 
 
@@ -503,6 +624,8 @@ def combined_procedure(
     jobs: int = 1,
     on_pass: Optional[PassHook] = None,
     resume: Optional[PassCheckpoint] = None,
+    tracer=None,
+    registry: Optional[Registry] = None,
 ) -> ResynthesisReport:
     """Section 4.3's combined gates+paths objective.
 
@@ -514,5 +637,5 @@ def combined_procedure(
         circuit, _make_combined_selector(gate_weight),
         f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
         verify_patterns, decompose, jobs=jobs, on_pass=on_pass,
-        resume=resume,
+        resume=resume, tracer=tracer, registry=registry,
     )

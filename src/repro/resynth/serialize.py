@@ -129,6 +129,9 @@ def report_to_doc(report: ResynthesisReport) -> Dict[str, object]:
         "paths_after": report.paths_after,
         "mutations": report.mutations,
         "jobs": report.jobs,
+        # Structured timings plus the flat legacy keys: old readers (and
+        # tests) keep finding pass_seconds/total_seconds at the top level.
+        "timings": dict(report.timings),
         "pass_seconds": list(report.pass_seconds),
         "total_seconds": report.total_seconds,
         "circuit": _circuit_doc(report.circuit),
@@ -136,8 +139,21 @@ def report_to_doc(report: ResynthesisReport) -> Dict[str, object]:
 
 
 def report_from_doc(doc: Dict[str, object]) -> ResynthesisReport:
-    """Rebuild a resynthesis report from :func:`report_to_doc` output."""
+    """Rebuild a resynthesis report from :func:`report_to_doc` output.
+
+    Documents written before the structured ``timings`` mapping existed
+    carry only the flat ``pass_seconds``/``total_seconds`` keys; those
+    still load, reconstituted into an equivalent ``timings``.
+    """
     _check_header(doc, REPORT_FORMAT)
+    timings = doc.get("timings")
+    if timings is None:
+        timings = {
+            "pass_seconds": list(doc["pass_seconds"]),
+            "total_seconds": doc["total_seconds"],
+        }
+    else:
+        timings = dict(timings)
     return ResynthesisReport(
         circuit=circuit_from_json(json.dumps(doc["circuit"])),
         objective=doc["objective"],
@@ -150,8 +166,7 @@ def report_from_doc(doc: Dict[str, object]) -> ResynthesisReport:
         paths_after=doc["paths_after"],
         mutations=doc["mutations"],
         jobs=doc["jobs"],
-        pass_seconds=list(doc["pass_seconds"]),
-        total_seconds=doc["total_seconds"],
+        timings=timings,
     )
 
 

@@ -16,7 +16,8 @@ Two layers:
       GET  /jobs/<id>/events      event log; ?after=N&wait=S long-polls
       GET  /jobs/<id>/report      final report (netlist embedded)
       GET  /jobs/<id>/result      result netlist document only
-      GET  /metrics               counters/gauges/summaries snapshot
+      GET  /metrics               JSON snapshot (default) or Prometheus
+                                  text exposition when Accept prefers it
 
   Errors are JSON too: 400 for malformed specs/queries, 404 for unknown
   ids or routes.  See docs/SERVICE.md for the full reference.
@@ -32,13 +33,49 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..obs import PROMETHEUS_CONTENT_TYPE, Registry, render_prometheus
 from .jobspec import JobSpec, JobSpecError, spec_from_doc
-from .metrics import MetricsRegistry
 from .store import ArtifactStore, StoreError, TERMINAL_STATES
 from .supervisor import SupervisorConfig, WorkerSupervisor
 
 #: Longest long-poll the server will hold a connection for.
 MAX_EVENT_WAIT = 30.0
+
+#: Media types that select Prometheus text exposition on ``/metrics``.
+_PROMETHEUS_TYPES = ("text/plain", "application/openmetrics-text", "text/*")
+#: Media types that select the historical JSON snapshot.
+_JSON_TYPES = ("application/json", "application/*")
+
+
+def _accepts_prometheus(accept: Optional[str]) -> bool:
+    """True when an ``Accept`` header *prefers* Prometheus text over JSON.
+
+    JSON stays the default for back-compat: no header, ``*/*`` and ties
+    all keep the historical snapshot.  Text wins only when a plain-text
+    media type carries a strictly higher q-value than every JSON
+    alternative (``*/*`` counts toward JSON as "anything is fine").
+    """
+    if not accept:
+        return False
+    best_text = 0.0
+    best_json = 0.0
+    for clause in accept.split(","):
+        parts = [p.strip() for p in clause.split(";")]
+        media = parts[0].lower()
+        if not media:
+            continue
+        q = 1.0
+        for param in parts[1:]:
+            if param.startswith("q="):
+                try:
+                    q = float(param[2:])
+                except ValueError:
+                    q = 0.0
+        if media in _PROMETHEUS_TYPES:
+            best_text = max(best_text, q)
+        elif media in _JSON_TYPES or media == "*/*":
+            best_json = max(best_json, q)
+    return best_text > best_json
 
 
 class ResynthesisService:
@@ -49,18 +86,19 @@ class ResynthesisService:
         store: ArtifactStore,
         config: Optional[SupervisorConfig] = None,
         max_workers: int = 2,
-        metrics: Optional[MetricsRegistry] = None,
+        metrics: Optional[Registry] = None,
         worker_command=None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.store = store
         self.config = config or SupervisorConfig()
-        self.metrics = metrics or MetricsRegistry()
+        self.metrics = metrics or Registry()
         self._max_workers = max_workers
         self._worker_command = worker_command  # None -> the real worker
         self._queue: deque = deque()
         self._queued: set = set()
+        self._enqueued_at: Dict[str, float] = {}
         self._active: Dict[str, WorkerSupervisor] = {}
         self._lock = threading.Lock()
         self._wakeup = threading.Event()
@@ -147,6 +185,7 @@ class ResynthesisService:
                 return
             self._queue.append(job_id)
             self._queued.add(job_id)
+            self._enqueued_at[job_id] = time.perf_counter()
             self.metrics.set_gauge("service_queue_depth", len(self._queue))
         self._wakeup.set()
 
@@ -165,6 +204,10 @@ class ResynthesisService:
                 return False
             job_id = self._queue.popleft()
             self._queued.discard(job_id)
+            enqueued = self._enqueued_at.pop(job_id, None)
+            if enqueued is not None:
+                self.metrics.observe("service_queue_wait_seconds",
+                                     time.perf_counter() - enqueued)
             supervisor = WorkerSupervisor(
                 self.store, self.config, metrics=self.metrics,
                 worker_command=self._worker_command,
@@ -251,13 +294,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------- #
 
-    def _send_json(self, code: int, doc: object) -> None:
-        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+    def _send_body(self, code: int, body: bytes,
+                   content_type: str) -> None:
+        """Send one response with the *per-endpoint* content type.
+
+        (Historically the handler hardcoded ``application/json`` for
+        every response; the Prometheus exposition endpoint needs
+        ``text/plain; version=0.0.4``.)
+        """
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, code: int, doc: object) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self._send_body(code, body, "application/json")
 
     def _error(self, code: int, message: str) -> None:
         self.service.metrics.inc("service_http_errors_total")
@@ -297,7 +350,7 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(parsed.query)
         try:
             if parts == ["metrics"]:
-                self._send_json(200, self.service.metrics.snapshot())
+                self._metrics()
             elif parts == ["jobs"]:
                 self._send_json(200, {"jobs": self.service.list_view()})
             elif len(parts) == 2 and parts[0] == "jobs":
@@ -308,6 +361,23 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no such route: GET {parsed.path}")
         except StoreError as exc:
             self._error(404, str(exc))
+
+    def _metrics(self) -> None:
+        """``GET /metrics``: JSON snapshot or Prometheus exposition.
+
+        The historical JSON document stays the default (no ``Accept``
+        header, ``*/*``, ``application/json`` — every existing client).
+        Prometheus text exposition is served when the client *prefers*
+        a plain-text flavour: ``Accept: text/plain`` or
+        ``application/openmetrics-text`` with a q-value strictly above
+        any JSON alternative.
+        """
+        registry = self.service.metrics
+        if _accepts_prometheus(self.headers.get("Accept")):
+            body = render_prometheus(registry).encode("utf-8")
+            self._send_body(200, body, PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send_json(200, registry.snapshot())
 
     def _job_subresource(self, job_id: str, leaf: str,
                          query: Dict[str, List[str]]) -> None:

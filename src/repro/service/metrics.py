@@ -1,77 +1,59 @@
-"""Counters, gauges and summaries for the job service (``/metrics``).
+"""Deprecated alias of :class:`repro.obs.Registry` (``/metrics``).
 
-A deliberately small, stdlib-only registry: counters only go up, gauges
-are set, summaries accumulate ``count/sum/min/max`` of observations
-(enough to derive averages without binning decisions).  Everything is
-thread-safe — the HTTP handler threads, the scheduler thread and the
-supervisor threads all write concurrently.
+The job service's metrics store moved into the unified observability
+layer — import :class:`repro.obs.Registry` instead.  This module keeps
+the historical ``MetricsRegistry`` import path working as a thin
+subclass that
 
-The full catalogue of metric names the service emits is documented in
-``docs/SERVICE.md``; tests pin the load-bearing ones.
+* warns with :class:`DeprecationWarning` on instantiation,
+* preserves the legacy read accessors ``counter(name)`` /
+  ``gauge(name)`` (the obs registry names them
+  :meth:`~repro.obs.Registry.counter_value` /
+  :meth:`~repro.obs.Registry.gauge_value`), and
+* keeps the old flat ``render_text`` dump (the service now serves real
+  Prometheus text exposition via
+  :func:`repro.obs.render_prometheus`).
+
+Write paths (``inc`` / ``set_gauge`` / ``observe``) and ``snapshot()``
+are inherited unchanged: signatures and the JSON snapshot shape are
+identical, so existing callers and dashboards keep working.  The full
+catalogue of metric names the service emits is documented in
+``docs/SERVICE.md``; naming conventions live in
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional
+import warnings
+from typing import Optional
+
+from ..obs import Registry
+
+__all__ = ["MetricsRegistry"]
 
 
-class MetricsRegistry:
-    """Thread-safe metrics store with a JSON-friendly snapshot."""
+class MetricsRegistry(Registry):
+    """Deprecated: use :class:`repro.obs.Registry`."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
-        self._summaries: Dict[str, Dict[str, float]] = {}
-
-    def inc(self, name: str, value: float = 1.0) -> None:
-        """Add *value* (>= 0) to the counter *name*."""
-        if value < 0:
-            raise ValueError(f"counter {name!r} cannot decrease")
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0.0) + value
-
-    def set_gauge(self, name: str, value: float) -> None:
-        """Set the gauge *name* to *value*."""
-        with self._lock:
-            self._gauges[name] = value
-
-    def observe(self, name: str, value: float) -> None:
-        """Record one observation into the summary *name*."""
-        with self._lock:
-            s = self._summaries.get(name)
-            if s is None:
-                self._summaries[name] = {
-                    "count": 1.0, "sum": value, "min": value, "max": value,
-                }
-            else:
-                s["count"] += 1
-                s["sum"] += value
-                s["min"] = min(s["min"], value)
-                s["max"] = max(s["max"], value)
+        warnings.warn(
+            "repro.service.metrics.MetricsRegistry is deprecated; "
+            "use repro.obs.Registry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__()
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0.0)
+        return self.counter_value(name)
 
     def gauge(self, name: str) -> Optional[float]:
         """Current value of a gauge (None when never set)."""
-        with self._lock:
-            return self._gauges.get(name)
-
-    def snapshot(self) -> Dict[str, object]:
-        """A point-in-time copy of every metric, JSON-serializable."""
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
-                "summaries": {k: dict(v) for k, v in self._summaries.items()},
-            }
+        return self.gauge_value(name)
 
     def render_text(self) -> str:
-        """Flat ``name value`` lines (a Prometheus-exposition subset)."""
+        """Flat ``name value`` lines (legacy pre-Prometheus dump)."""
         snap = self.snapshot()
         lines = []
         for name, value in sorted(snap["counters"].items()):
@@ -80,5 +62,6 @@ class MetricsRegistry:
             lines.append(f"{name} {value:g}")
         for name, s in sorted(snap["summaries"].items()):
             for stat in ("count", "sum", "min", "max"):
-                lines.append(f"{name}_{stat} {s[stat]:g}")
+                if stat in s:
+                    lines.append(f"{name}_{stat} {s[stat]:g}")
         return "\n".join(lines) + "\n"

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from .metrics import MetricsRegistry
+from ..obs import Registry
 from .store import ArtifactStore
 
 #: Sentinel returned by :meth:`WorkerSupervisor._run_attempt` when the
@@ -112,7 +112,7 @@ class WorkerSupervisor:
         self,
         store: ArtifactStore,
         config: Optional[SupervisorConfig] = None,
-        metrics: Optional[MetricsRegistry] = None,
+        metrics: Optional[Registry] = None,
         worker_command: Optional[
             Callable[[ArtifactStore, str, SupervisorConfig], List[str]]
         ] = None,
@@ -120,7 +120,7 @@ class WorkerSupervisor:
     ) -> None:
         self._store = store
         self._config = config or SupervisorConfig()
-        self._metrics = metrics or MetricsRegistry()
+        self._metrics = metrics or Registry()
         self._worker_command = worker_command or default_worker_command
         self._sleep = sleep
         self._stop_requested = False
@@ -189,6 +189,10 @@ class WorkerSupervisor:
                 beat = self._store.last_heartbeat(job_id)
                 last_alive = max(beat, started) if beat is not None \
                     else started
+                self._metrics.set_gauge(
+                    "service_worker_heartbeat_age_seconds",
+                    time.time() - last_alive,
+                )
                 if time.time() - last_alive > cfg.heartbeat_timeout:
                     self._terminate(proc)
                     self._metrics.inc("service_heartbeat_timeouts_total")

@@ -1,0 +1,70 @@
+"""The legacy stats surfaces stay importable, now aliased onto repro.obs."""
+
+import warnings
+
+import pytest
+
+from repro.obs import Registry
+from repro.service import MetricsRegistry
+from repro.service.metrics import MetricsRegistry as FromModule
+
+
+class TestMetricsRegistryAlias:
+    def test_both_import_paths_resolve_to_the_same_class(self):
+        assert MetricsRegistry is FromModule
+
+    def test_instantiation_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="repro.obs.Registry"):
+            MetricsRegistry()
+
+    def make(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return MetricsRegistry()
+
+    def test_is_an_obs_registry(self):
+        assert isinstance(self.make(), Registry)
+
+    def test_legacy_write_verbs_and_snapshot_shape(self):
+        m = self.make()
+        m.inc("c_total")
+        m.inc("c_total", 2)
+        m.set_gauge("g", 3)
+        m.observe("s", 0.5)
+        snap = m.snapshot()
+        assert snap["counters"] == {"c_total": 3.0}
+        assert snap["gauges"] == {"g": 3.0}
+        assert snap["summaries"]["s"]["count"] == 1.0
+
+    def test_legacy_read_accessors(self):
+        m = self.make()
+        m.inc("hits")
+        assert m.counter("hits") == 1.0
+        assert m.counter("nope") == 0.0
+        m.set_gauge("depth", 2)
+        assert m.gauge("depth") == 2.0
+        assert m.gauge("nope") is None
+
+    def test_counter_rejects_decrease_like_always(self):
+        with pytest.raises(ValueError):
+            self.make().inc("c", -1)
+
+    def test_render_text_flat_dump_survives(self):
+        m = self.make()
+        m.inc("a_total", 2)
+        m.set_gauge("b", 1)
+        m.observe("c", 0.5)
+        text = m.render_text()
+        assert "a_total 2\n" in text
+        assert "b 1\n" in text
+        assert "c_count 1" in text
+        assert "c_min 0.5" in text
+
+    def test_accepted_by_the_service_constructors(self, tmp_path):
+        from repro.service import ArtifactStore, ResynthesisService
+
+        m = self.make()
+        service = ResynthesisService(
+            ArtifactStore(str(tmp_path / "store")), metrics=m,
+        )
+        assert service.metrics is m

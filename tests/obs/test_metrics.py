@@ -1,0 +1,141 @@
+"""The unified metrics model: instruments, registry, snapshot shape."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        c = Counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_unset_is_none(self):
+        assert Gauge("g").value is None
+
+    def test_set_overwrites_and_may_go_down(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_end_at_inf_with_total_count(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        rows = h.cumulative_buckets()
+        assert rows == [(1.0, 2), (10.0, 3), (float("inf"), 4)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.2)
+
+    def test_summary_keeps_legacy_shape(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(4.0)
+        assert h.summary() == {
+            "count": 2.0, "sum": 4.25, "min": 0.25, "max": 4.0,
+        }
+
+    def test_empty_summary_has_no_min_max(self):
+        assert Histogram("h").summary() == {"count": 0.0, "sum": 0.0}
+
+    def test_rejects_infinite_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_typed_accessors_return_the_same_instrument(self):
+        reg = Registry()
+        assert reg.get_counter("a") is reg.get_counter("a")
+        assert reg.get_gauge("b") is reg.get_gauge("b")
+        assert reg.get_histogram("c") is reg.get_histogram("c")
+
+    def test_cross_type_name_collision_raises(self):
+        reg = Registry()
+        reg.get_counter("x")
+        with pytest.raises(ValueError):
+            reg.get_gauge("x")
+        with pytest.raises(ValueError):
+            reg.get_histogram("x")
+
+    def test_conveniences_match_legacy_metricsregistry_verbs(self):
+        reg = Registry()
+        reg.inc("hits_total")
+        reg.inc("hits_total", 2)
+        reg.set_gauge("depth", 7)
+        reg.observe("latency", 0.5)
+        assert reg.counter_value("hits_total") == 3.0
+        assert reg.counter_value("never") == 0.0
+        assert reg.gauge_value("depth") == 7.0
+        assert reg.gauge_value("never") is None
+
+    def test_snapshot_keeps_the_service_json_shape(self):
+        reg = Registry()
+        reg.inc("c_total")
+        reg.set_gauge("g", 1.5)
+        reg.observe("s", 0.25)
+        snap = reg.snapshot()
+        assert snap == {
+            "counters": {"c_total": 1.0},
+            "gauges": {"g": 1.5},
+            "summaries": {
+                "s": {"count": 1.0, "sum": 0.25, "min": 0.25, "max": 0.25},
+            },
+        }
+
+    def test_snapshot_omits_unset_gauges(self):
+        reg = Registry()
+        reg.get_gauge("never_set")
+        assert reg.snapshot()["gauges"] == {}
+
+    def test_thread_safety_of_concurrent_increments(self):
+        reg = Registry()
+        counter = reg.get_counter("n_total")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000.0
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_returns_previous(self):
+        fresh = Registry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_rejects_non_registry(self):
+        with pytest.raises(TypeError):
+            set_registry(object())

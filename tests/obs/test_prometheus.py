@@ -1,0 +1,109 @@
+"""Prometheus text exposition (0.0.4): the format the scraper parses."""
+
+from repro.obs import PROMETHEUS_CONTENT_TYPE, Registry, render_prometheus
+from repro.obs.prometheus import (
+    escape_help,
+    escape_label_value,
+    format_value,
+    sanitize_name,
+)
+
+
+class TestContentType:
+    def test_is_the_0_0_4_text_format(self):
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+
+class TestCounters:
+    def test_sample_carries_total_suffix_and_type_names_base(self):
+        reg = Registry()
+        reg.get_counter("jobs_done_total", "finished jobs").inc(3)
+        text = render_prometheus(reg)
+        assert "# HELP jobs_done finished jobs\n" in text
+        assert "# TYPE jobs_done counter\n" in text
+        assert "jobs_done_total 3.0\n" in text
+
+    def test_suffix_added_when_name_lacks_it(self):
+        reg = Registry()
+        reg.inc("requests")
+        text = render_prometheus(reg)
+        assert "# TYPE requests counter\n" in text
+        assert "requests_total 1.0\n" in text
+
+
+class TestGauges:
+    def test_rendered_plainly(self):
+        reg = Registry()
+        reg.set_gauge("queue_depth", 4)
+        text = render_prometheus(reg)
+        assert "# TYPE queue_depth gauge\n" in text
+        assert "queue_depth 4.0\n" in text
+
+    def test_never_set_gauges_are_skipped(self):
+        reg = Registry()
+        reg.get_gauge("silent")
+        assert "silent" not in render_prometheus(reg)
+
+
+class TestHistograms:
+    def test_cumulative_buckets_inf_sum_count(self):
+        reg = Registry()
+        h = reg.get_histogram("lat", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert "# TYPE lat histogram\n" in text
+        assert 'lat_bucket{le="0.1"} 1\n' in text
+        assert 'lat_bucket{le="1.0"} 2\n' in text
+        assert 'lat_bucket{le="+Inf"} 3\n' in text
+        assert "lat_sum 5.55\n" in text
+        assert "lat_count 3\n" in text
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escapes_quote_too(self):
+        assert escape_label_value('say "hi"\\\n') == 'say \\"hi\\"\\\\\\n'
+
+    def test_help_escaping_applies_in_render(self):
+        reg = Registry()
+        reg.get_counter("c_total", "line one\nline two").inc()
+        assert "# HELP c line one\\nline two\n" in render_prometheus(reg)
+
+
+class TestNames:
+    def test_sanitize_replaces_illegal_characters(self):
+        assert sanitize_name("my.metric-name") == "my_metric_name"
+
+    def test_sanitize_prefixes_leading_digit(self):
+        assert sanitize_name("2fast") == "_2fast"
+
+    def test_legal_names_pass_through(self):
+        assert sanitize_name("ok_name:sub") == "ok_name:sub"
+
+
+class TestValues:
+    def test_special_floats_spelled_out(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(float("nan")) == "NaN"
+
+    def test_floats_keep_precision(self):
+        assert format_value(0.005) == "0.005"
+
+
+class TestWholeDocument:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(Registry()) == ""
+
+    def test_every_line_is_comment_or_sample(self):
+        reg = Registry()
+        reg.inc("a_total", 2)
+        reg.set_gauge("b", 1)
+        reg.observe("c", 0.2)
+        for line in render_prometheus(reg).strip().splitlines():
+            assert line.startswith("# ") or " " in line

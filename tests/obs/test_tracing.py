@@ -1,0 +1,186 @@
+"""Tracing: span nesting, deterministic ids, JSONL round-trip, null tracer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    Tracer,
+    maybe_tracer,
+    null_tracer,
+    read_trace,
+)
+
+
+class TestSpanTree:
+    def test_nesting_sets_parent_ids(self):
+        tr = Tracer()
+        with tr.span("run") as run:
+            with tr.span("pass") as p:
+                with tr.span("candidate") as c:
+                    pass
+        assert run.parent_id is None
+        assert p.parent_id == run.span_id
+        assert c.parent_id == p.span_id
+
+    def test_ids_are_sequential_in_creation_order(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+            with tr.span("c"):
+                pass
+        assert [s.span_id for s in tr.spans()] == [1, 2, 3]
+        assert [s.name for s in tr.spans()] == ["a", "b", "c"]
+
+    def test_siblings_share_a_parent(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("x"):
+                pass
+            with tr.span("y"):
+                pass
+        spans = {s.name: s for s in tr.spans()}
+        assert spans["x"].parent_id == spans["root"].span_id
+        assert spans["y"].parent_id == spans["root"].span_id
+
+    def test_attributes_via_kwargs_set_and_annotate(self):
+        tr = Tracer()
+        with tr.span("pass", pass_no=1) as p:
+            p.set("replacements", 3)
+            p.annotate(tt_hits=10, tt_misses=2)
+        (span,) = tr.spans()
+        assert span.attrs == {
+            "pass_no": 1, "replacements": 3, "tt_hits": 10, "tt_misses": 2,
+        }
+
+    def test_times_are_recorded(self):
+        tr = Tracer()
+        with tr.span("work"):
+            sum(range(1000))
+        (span,) = tr.spans()
+        assert span.wall_s is not None and span.wall_s >= 0.0
+        assert span.cpu_s is not None
+
+    def test_find_filters_by_name(self):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("pass"):
+                pass
+            with tr.span("pass"):
+                pass
+        assert len(tr.find("pass")) == 2
+        assert tr.find("nope") == []
+
+
+class TestJsonl:
+    def make_trace(self):
+        tr = Tracer(meta={"circuit": "c17"})
+        with tr.span("run", k=4):
+            with tr.span("pass", pass_no=1):
+                pass
+        return tr
+
+    def test_header_line_carries_format_version_meta(self):
+        tr = self.make_trace()
+        header = json.loads(tr.to_jsonl().splitlines()[0])
+        assert header["format"] == TRACE_FORMAT
+        assert header["version"] == TRACE_VERSION
+        assert header["meta"] == {"circuit": "c17"}
+
+    def test_round_trip_through_read_trace(self):
+        tr = self.make_trace()
+        header, spans = read_trace(tr.to_jsonl().splitlines())
+        assert header["meta"] == {"circuit": "c17"}
+        assert [s["name"] for s in spans] == ["run", "pass"]
+        assert spans[0]["parent"] is None
+        assert spans[1]["parent"] == spans[0]["span"]
+
+    def test_write_jsonl_and_read_back_from_path(self, tmp_path):
+        tr = self.make_trace()
+        path = str(tmp_path / "t.jsonl")
+        n = tr.write_jsonl(path)
+        assert n == 2
+        header, spans = read_trace(path)
+        assert len(spans) == 2
+
+    def test_parents_precede_children_in_export(self):
+        tr = self.make_trace()
+        _, spans = read_trace(tr.to_jsonl().splitlines())
+        seen = set()
+        for doc in spans:
+            if doc["parent"] is not None:
+                assert doc["parent"] in seen
+            seen.add(doc["span"])
+
+
+class TestReadTraceValidation:
+    def header(self):
+        return json.dumps({"format": TRACE_FORMAT,
+                           "version": TRACE_VERSION,
+                           "created": 0.0, "meta": {}})
+
+    def span_line(self, span, parent=None, name="s"):
+        return json.dumps({"span": span, "parent": parent, "name": name,
+                           "start_s": 0.0, "wall_s": 0.0, "cpu_s": 0.0,
+                           "attrs": {}})
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_trace([])
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(ValueError, match=TRACE_FORMAT):
+            read_trace([json.dumps({"format": "nope", "version": 1})])
+
+    def test_rejects_unknown_version(self):
+        bad = json.dumps({"format": TRACE_FORMAT, "version": 99})
+        with pytest.raises(ValueError, match="version"):
+            read_trace([bad])
+
+    def test_rejects_missing_span_keys(self):
+        line = json.dumps({"span": 1, "name": "x"})
+        with pytest.raises(ValueError, match="missing"):
+            read_trace([self.header(), line])
+
+    def test_rejects_duplicate_ids(self):
+        lines = [self.header(), self.span_line(1), self.span_line(1)]
+        with pytest.raises(ValueError, match="duplicate"):
+            read_trace(lines)
+
+    def test_rejects_forward_parent_references(self):
+        lines = [self.header(), self.span_line(2, parent=7)]
+        with pytest.raises(ValueError, match="unknown parent"):
+            read_trace(lines)
+
+
+class TestNullTracer:
+    def test_span_returns_the_shared_instance(self):
+        s1 = null_tracer.span("a", x=1)
+        s2 = null_tracer.span("b")
+        assert s1 is s2  # no allocation per call
+
+    def test_all_operations_are_noops(self):
+        with null_tracer.span("x") as s:
+            s.set("k", 1)
+            s.annotate(a=2)
+        assert null_tracer.spans() == []
+        assert null_tracer.find("x") == []
+
+    def test_enabled_flags(self):
+        assert null_tracer.enabled is False
+        assert Tracer().enabled is True
+
+    def test_null_tracer_has_no_instance_dict(self):
+        # __slots__ everywhere: the guard is allocation-free by design.
+        assert not hasattr(NullTracer(), "__dict__")
+        assert not hasattr(null_tracer.span("x"), "__dict__")
+
+    def test_maybe_tracer_resolution(self):
+        tr = Tracer()
+        assert maybe_tracer(None) is null_tracer
+        assert maybe_tracer(tr) is tr
+        assert maybe_tracer(null_tracer) is null_tracer

@@ -113,6 +113,41 @@ class TestResumeSmall:
         assert_reports_identical(report, loaded)
         assert loaded.pass_seconds == pytest.approx(report.pass_seconds)
 
+    def test_report_timings_mapping_round_trips(self):
+        import json
+
+        from repro.resynth.serialize import report_to_doc
+
+        c = paper_f2_sop()
+        report, _ = run_with_checkpoints(procedure2, c, k=6)
+        assert "pass_seconds" in report.timings
+        assert "total_seconds" in report.timings
+        assert "setup_seconds" in report.timings
+        doc = report_to_doc(report)
+        # The flat legacy keys stay alongside the structured mapping.
+        assert doc["pass_seconds"] == report.timings["pass_seconds"]
+        assert doc["total_seconds"] == report.timings["total_seconds"]
+        loaded = report_from_json(json.dumps(doc))
+        assert loaded.timings == report.timings
+
+    def test_pre_timings_report_doc_still_loads(self):
+        import json
+
+        from repro.resynth.serialize import report_to_doc
+
+        c = paper_f2_sop()
+        report, _ = run_with_checkpoints(procedure2, c, k=6)
+        old_doc = report_to_doc(report)
+        del old_doc["timings"]  # a document written before repro.obs
+        loaded = report_from_json(json.dumps(old_doc))
+        assert_reports_identical(report, loaded)
+        assert loaded.pass_seconds == pytest.approx(report.pass_seconds)
+        assert loaded.total_seconds == pytest.approx(report.total_seconds)
+        assert loaded.timings == {
+            "pass_seconds": loaded.pass_seconds,
+            "total_seconds": loaded.total_seconds,
+        }
+
 
 class TestResumeAcceptance:
     def test_syn9234_procedure2_resume_bit_identical_at_every_boundary(

@@ -236,3 +236,79 @@ class TestMetrics:
         assert counters["service_http_errors_total"] >= 1
         assert counters["service_http_requests_total"] >= 4
         assert "service_pass_seconds" in snap["summaries"]
+
+    def test_queue_wait_summary_appears_after_a_job_runs(self, client):
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        snap = client.metrics()
+        wait = snap["summaries"]["service_queue_wait_seconds"]
+        assert wait["count"] >= 1
+        assert wait["min"] >= 0.0
+
+    def test_heartbeat_age_gauge_appears_after_a_job_runs(self, client):
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        snap = client.metrics()
+        assert snap["gauges"]["service_worker_heartbeat_age_seconds"] >= 0.0
+
+
+class TestMetricsNegotiation:
+    """GET /metrics: JSON by default, Prometheus when Accept prefers it."""
+
+    def fetch(self, server, accept=None):
+        import urllib.request
+
+        headers = {"Accept": accept} if accept else {}
+        req = urllib.request.Request(server.url + "/metrics",
+                                     headers=headers)
+        with urllib.request.urlopen(req, timeout=10.0) as resp:
+            return resp.headers.get("Content-Type"), resp.read().decode()
+
+    def test_no_accept_header_keeps_json_default(self, server):
+        ctype, body = self.fetch(server)
+        assert ctype == "application/json"
+        snap = json.loads(body)
+        assert set(snap) == {"counters", "gauges", "summaries"}
+
+    def test_wildcard_accept_keeps_json(self, server):
+        ctype, _ = self.fetch(server, accept="*/*")
+        assert ctype == "application/json"
+
+    def test_explicit_json_accept_keeps_json(self, server):
+        ctype, _ = self.fetch(server, accept="application/json")
+        assert ctype == "application/json"
+
+    def test_text_plain_gets_prometheus_exposition(self, server, client):
+        from repro.obs import PROMETHEUS_CONTENT_TYPE
+
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        ctype, body = self.fetch(server, accept="text/plain")
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        assert "# TYPE service_jobs_submitted counter" in body
+        assert "service_jobs_submitted_total" in body
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(body)
+
+    def test_openmetrics_accept_gets_prometheus(self, server):
+        ctype, _ = self.fetch(server, accept="application/openmetrics-text")
+        assert ctype.startswith("text/plain")
+
+    def test_qvalues_decide_ties_toward_json(self, server):
+        # Prometheus's real scrape header: text wins via higher q.
+        scrape = ("application/openmetrics-text;version=1.0.0;q=0.5,"
+                  "text/plain;version=0.0.4;q=0.4,*/*;q=0.1")
+        ctype, _ = self.fetch(server, accept=scrape)
+        assert ctype.startswith("text/plain")
+        # JSON q outranks text q: snapshot stays.
+        ctype, _ = self.fetch(server,
+                              accept="text/plain;q=0.4,application/json")
+        assert ctype == "application/json"
+
+    def test_other_endpoints_still_json(self, server, client):
+        import urllib.request
+
+        req = urllib.request.Request(server.url + "/jobs",
+                                     headers={"Accept": "text/plain"})
+        with urllib.request.urlopen(req, timeout=10.0) as resp:
+            assert resp.headers.get("Content-Type") == "application/json"
