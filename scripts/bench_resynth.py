@@ -17,16 +17,28 @@ would be noise on shared runners).
 (:mod:`repro.parallel`).  Report numbers are bit-identical at any value —
 ``--compare`` enforces exactly that — so a ``--jobs`` run can be compared
 against a serial baseline; the ``jobs`` column records what was used.
+
+``--memo DIR`` additionally benchmarks the persistent identification
+cache (docs/MEMO.md): after the plain run that produces ``wall_s``
+(kept memo-less so the column stays comparable across baselines), each
+procedure runs twice against a per-procedure store under DIR — cold
+(recording; ``cold_wall_s``, dominated by the store's fsync-per-put
+durability discipline) and warm from a fresh store instance
+(``warm_wall_s``/``warm_speedup``/``memo_hits``) — with the in-process
+identification cache cleared around every leg so the timings measure
+the store, and all three reports checked bit-identical on the spot.
 """
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
 
 from repro.benchcircuits.suite import suite_circuit
-from repro.resynth import procedure2, procedure3
+from repro.comparison import identification_cache
+from repro.resynth import REPORT_NUMBER_FIELDS, procedure2, procedure3
 
 #: Default circuit set: smallest, a mid-size, and the largest suite member
 #: (the acceptance circuit for the incremental engine).
@@ -36,14 +48,16 @@ QUICK_CIRCUITS = ["syn1423"]
 PROCEDURES = {"procedure2": procedure2, "procedure3": procedure3}
 
 
-def bench_one(name, k, seed, jobs):
+def bench_one(name, k, seed, jobs, memo_root=None):
     circuit = suite_circuit(name)
     entry = {}
     for proc_name, proc in PROCEDURES.items():
+        if memo_root:
+            identification_cache().clear()
         t0 = time.perf_counter()
         rep = proc(circuit, k=k, seed=seed, jobs=jobs)
         wall = time.perf_counter() - t0
-        entry[proc_name] = {
+        row = {
             "wall_s": round(wall, 3),
             "pass_seconds": [round(s, 3) for s in rep.pass_seconds],
             "jobs": rep.jobs,
@@ -64,6 +78,42 @@ def bench_one(name, k, seed, jobs):
             f"{rep.mutations} mutations  passes [{per_pass}]s",
             flush=True,
         )
+        if memo_root:
+            from repro.memo import MemoStore
+            from repro.obs import Registry
+
+            store_dir = os.path.join(memo_root, f"{name}-{proc_name}")
+            walls = {}
+            for leg in ("cold", "warm"):
+                store = MemoStore(store_dir, registry=Registry())
+                identification_cache().clear()
+                t1 = time.perf_counter()
+                leg_rep = proc(circuit, k=k, seed=seed, jobs=jobs,
+                               memo=store)
+                walls[leg] = time.perf_counter() - t1
+                identification_cache().clear()
+                drift = [f for f in REPORT_NUMBER_FIELDS
+                         if getattr(leg_rep, f) != getattr(rep, f)]
+                if drift:
+                    raise SystemExit(
+                        f"{leg}-memo report diverged for {name} "
+                        f"{proc_name} on: {', '.join(drift)}")
+            row["cold_wall_s"] = round(walls["cold"], 3)
+            row["warm_wall_s"] = round(walls["warm"], 3)
+            row["warm_speedup"] = round(walls["cold"] / walls["warm"], 2) \
+                if walls["warm"] else 0.0
+            row["memo_hits"] = store.stats.hits
+            print(
+                f"{name} {proc_name} memo: cold {walls['cold']:.2f}s "
+                f"(recording), warm {walls['warm']:.2f}s "
+                f"({row['warm_speedup']:.2f}x vs cold, "
+                f"{wall / walls['warm']:.2f}x vs memo-less, "
+                f"{store.stats.hits} hits, "
+                f"hit rate {store.stats.hit_rate:.2f}) "
+                f"[reports identical]",
+                flush=True,
+            )
+        entry[proc_name] = row
     return entry
 
 
@@ -101,6 +151,10 @@ def main():
     ap.add_argument("--jobs", type=int, default=1,
                     help="worker processes for candidate evaluation "
                          "(default 1 = serial; reports are identical)")
+    ap.add_argument("--memo", default=None, metavar="DIR",
+                    help="benchmark the persistent identification cache "
+                         "under DIR: adds warm_wall_s/warm_speedup/"
+                         "memo_hits columns (docs/MEMO.md)")
     ap.add_argument("--quick", action="store_true",
                     help="seconds-scale smoke subset (CI)")
     ap.add_argument("--out", default=None,
@@ -118,13 +172,14 @@ def main():
         "k": args.k,
         "seed": args.seed,
         "jobs": args.jobs,
+        "memo": bool(args.memo),
         "python": platform.python_version(),
         "results": {},
     }
     t0 = time.perf_counter()
     for name in circuits:
         report["results"][name] = bench_one(name, args.k, args.seed,
-                                            args.jobs)
+                                            args.jobs, memo_root=args.memo)
     report["total_wall_s"] = round(time.perf_counter() - t0, 3)
     print(f"total: {report['total_wall_s']:.1f}s")
 

@@ -55,6 +55,12 @@ class AnalysisSession:
         ``analysis_tt_cache_entries`` gauge with the live entry count,
         and an ``analysis_label_flushes_total`` counter for incremental
         label repairs.
+    memo:
+        Optional persistent identification cache
+        (:class:`repro.memo.MemoStore`).  The session only *carries* it
+        — alongside :attr:`truth_tables`, it is the per-run cache bundle
+        the sweep and the parallel primer consult; the session never
+        reads it itself.
 
     Notes
     -----
@@ -64,11 +70,12 @@ class AnalysisSession:
     mutation of a fuzzed mutation sequence.
     """
 
-    def __init__(self, circuit: Circuit, registry=None) -> None:
+    def __init__(self, circuit: Circuit, registry=None, memo=None) -> None:
         self._circuit = circuit
         self._labels: Optional[Dict[str, int]] = None
         self._dirty: Set[str] = set()
         self.truth_tables = TruthTableCache()
+        self.memo = memo
         self._registry = registry
         self._flushes = 0
         self._closed = False

@@ -11,7 +11,8 @@ Subcommands
     writes the full report + result netlist in the service's report
     serialization; any other suffix writes a ``.bench`` netlist.
     ``--trace FILE`` records a JSONL span trace of the run
-    (docs/OBSERVABILITY.md).
+    (docs/OBSERVABILITY.md); ``--memo DIR`` consults and feeds a
+    persistent identification cache (docs/MEMO.md).
 ``trace FILE [--top N]``
     Summarize a JSONL trace: per-stage totals, per-pass breakdown with
     cache-hit columns, and the top spans by wall time.
@@ -25,8 +26,9 @@ Subcommands
     violations are shrunk and dumped as JSON repro artifacts.
 ``replay ARTIFACT [ARTIFACT ...]``
     Re-run the oracle of previously written repro artifacts.
-``serve [--root DIR] [--port P] [--workers N]``
-    Run the checkpointable resynthesis job service (docs/SERVICE.md).
+``serve [--root DIR] [--port P] [--workers N] [--memo DIR]``
+    Run the checkpointable resynthesis job service (docs/SERVICE.md);
+    ``--memo`` shares one identification cache across all workers.
 ``submit CIRCUIT [--url URL] [--wait]``
     Submit a resynthesis job to a running service.
 ``jobs [--url URL]``
@@ -78,10 +80,20 @@ def _cmd_resynth(args) -> int:
             "circuit": circuit.name, "objective": args.objective,
             "k": args.k, "jobs": args.jobs,
         })
+    memo = None
+    if args.memo:
+        from .memo import MemoStore
+
+        memo = MemoStore(args.memo)
     report = proc(circuit, k=args.k, verify_patterns=args.verify,
-                  jobs=args.jobs, tracer=tracer)
+                  jobs=args.jobs, tracer=tracer, memo=memo)
     print(report.summary())
     print(report.timing_summary())
+    if memo is not None:
+        stats = memo.stats
+        print(f"memo: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.puts} put(s), {memo.disk_entries} entries "
+              f"({args.memo})")
     if tracer is not None:
         n_spans = tracer.write_jsonl(args.trace)
         print(f"wrote {args.trace} ({n_spans} spans; "
@@ -272,13 +284,15 @@ def _cmd_serve(args) -> int:
     config = SupervisorConfig(
         max_retries=args.retries,
         heartbeat_timeout=args.heartbeat_timeout,
+        memo_root=args.memo,
     )
     server = ServiceServer(
         store, host=args.host, port=args.port, config=config,
         max_workers=args.workers, verbose=args.verbose,
     )
+    memo_note = f", memo: {args.memo}" if args.memo else ""
     print(f"repro.service listening on {server.url} "
-          f"(store: {store.root}, workers: {args.workers})")
+          f"(store: {store.root}, workers: {args.workers}{memo_note})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -394,6 +408,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--trace", metavar="FILE",
                    help="record a JSONL span trace of the run "
                         "(summarize with the 'trace' subcommand)")
+    p.add_argument("--memo", metavar="DIR",
+                   help="persistent identification cache directory "
+                        "(shared across runs; results are identical, "
+                        "see docs/MEMO.md)")
     p.set_defaults(func=_cmd_resynth)
 
     p = sub.add_parser("trace",
@@ -422,7 +440,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="wall-clock budget in seconds")
     p.add_argument("--oracle", action="append",
                    choices=("sim", "fault", "resynth", "unit",
-                            "incremental", "parallel", "resume", "all"),
+                            "incremental", "parallel", "resume", "memo",
+                            "all"),
                    default=None,
                    help="oracle to run (repeatable; default all)")
     p.add_argument("--seed-base", type=int, default=0)
@@ -457,6 +476,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="worker retries per job (resume from checkpoint)")
     p.add_argument("--heartbeat-timeout", type=float, default=30.0,
                    help="seconds of worker silence before the kill")
+    p.add_argument("--memo", metavar="DIR", default=None,
+                   help="shared persistent identification cache served "
+                        "to every worker (opt-in; docs/MEMO.md)")
     p.add_argument("--verbose", action="store_true",
                    help="log HTTP requests")
     p.set_defaults(func=_cmd_serve)

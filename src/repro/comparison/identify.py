@@ -421,17 +421,35 @@ def _identify_positions(
     try_offset: bool,
     seed: int,
     max_specs: int,
+    memo=None,
 ) -> PositionResult:
-    """Cached wrapper around :func:`identify_positions`."""
+    """Cached wrapper around :func:`identify_positions`.
+
+    Cache order: the process-global :class:`IdentificationCache` first,
+    then the optional persistent *memo* (a
+    :class:`repro.memo.MemoStore`), then the search itself.  A memo hit
+    is installed into the in-process cache and returned verbatim; a
+    fresh computation is recorded back into the memo.  Because every
+    tier stores the pure function value for the *exact* key, the answer
+    is bit-identical whichever tier serves it.
+    """
     key = identification_key(
         table, n, perm_budget, try_offset, seed, max_specs
     )
     got = _CACHE.get(key)
+    if got is None and memo is not None:
+        got = memo.lookup(table, n, perm_budget, try_offset, seed, max_specs)
+        if got is not None:
+            _CACHE.put(key, got)
     if got is None:
         got = identify_positions(
             table, n, perm_budget, try_offset, seed, max_specs
         )
         _CACHE.put(key, got)
+        if memo is not None:
+            memo.record(
+                table, n, perm_budget, try_offset, seed, max_specs, got
+            )
     return got
 
 
@@ -442,6 +460,7 @@ def identify_comparison(
     try_offset: bool = True,
     seed: int = 0,
     max_specs: int = 16,
+    memo=None,
 ) -> IdentificationResult:
     """Search for comparison-function realizations of a truth table.
 
@@ -460,6 +479,9 @@ def identify_comparison(
     max_specs:
         Stop collecting after this many successful realizations (the caller
         picks the cheapest; a handful is plenty of diversity).
+    memo:
+        Optional persistent :class:`repro.memo.MemoStore` consulted (and
+        fed) behind the in-process cache; never changes the result.
 
     Returns
     -------
@@ -474,7 +496,7 @@ def identify_comparison(
         fact *= i
     exhaustive = fact <= perm_budget
     hits, tried = _identify_positions(
-        table, n, perm_budget, try_offset, seed, max_specs
+        table, n, perm_budget, try_offset, seed, max_specs, memo=memo
     )
     specs = tuple(
         ComparisonSpec(

@@ -301,6 +301,7 @@ class ParallelEvaluator:
                         merged_tables += 1
                         tables.append((n, table))
 
+            memo = session.memo
             to_identify: Dict[Tuple, Tuple[int, int]] = {}
             for n, table in tables:
                 full = (1 << (1 << n)) - 1
@@ -309,8 +310,20 @@ class ParallelEvaluator:
                 key = identification_key(
                     table, n, perm_budget, try_offset, seed, max_specs
                 )
-                if key not in to_identify and id_cache.peek(key) is None:
-                    to_identify[key] = (table, n)
+                if key in to_identify or id_cache.peek(key) is not None:
+                    continue
+                if memo is not None:
+                    # The persistent memo answers before any work ships:
+                    # a stored result is the exact pure-function value,
+                    # so installing it is indistinguishable from having
+                    # searched in a worker.
+                    stored = memo.lookup(
+                        table, n, perm_budget, try_offset, seed, max_specs
+                    )
+                    if stored is not None:
+                        id_cache.put(key, stored)
+                        continue
+                to_identify[key] = (table, n)
 
             merged_idents = 0
             if to_identify:
@@ -330,6 +343,11 @@ class ParallelEvaluator:
                         )
                         id_cache.put(key, (hits, tried))
                         merged_idents += 1
+                        if memo is not None:
+                            memo.record(
+                                table, n, perm_budget, try_offset, seed,
+                                max_specs, (hits, tried),
+                            )
             stats = PassPrimeStats(
                 sites=sites,
                 cones=cones,

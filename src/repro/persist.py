@@ -1,0 +1,56 @@
+"""Crash-safe file writing shared by every on-disk store.
+
+Two stores persist state for this project — the job service's
+:class:`~repro.service.store.ArtifactStore` and the identification memo's
+:class:`~repro.memo.store.MemoStore` — and both rely on the same
+durability discipline: a JSON document is written to a temp file in the
+*same* directory, fsynced, ``os.replace``d into place, and the directory
+fsynced after the rename.  Readers therefore never observe a torn
+document, across process *and* system crashes; a crash mid-write leaves
+at worst a stale ``*.tmp`` next to the old (still intact) file.
+
+The helpers live here, below both stores, because the service store
+imports from :mod:`repro.resynth` while the memo is consulted from
+:mod:`repro.comparison` — a shared home keeps the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def fsync_dir(directory: str) -> None:
+    """Make a rename in *directory* survive a system crash (best effort:
+    some platforms cannot fsync a directory fd)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover — platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover — platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str) -> int:
+    """Write *text* to *path* via same-directory temp + fsync + rename;
+    returns the bytes written.  Survives process and system crashes with
+    either the old document or the new one, never a torn mix."""
+    data = text.encode("utf-8")
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    fsync_dir(directory)
+    return len(data)

@@ -266,6 +266,7 @@ def _resynthesis_pass(
     own_session = session is None
     if own_session:
         session = AnalysisSession(work)
+    memo = session.memo
     if registry is None:
         registry = get_registry()
     accepted = registry.get_counter(
@@ -321,7 +322,7 @@ def _resynthesis_pass(
                         option = evaluate_cone(
                             work, cone, labels, perm_budget=perm_budget,
                             seed=seed, exact=exact,
-                            tt_cache=session.truth_tables,
+                            tt_cache=session.truth_tables, memo=memo,
                         )
                         if option is not None:
                             options.append(option)
@@ -375,12 +376,18 @@ def _run(
     resume: Optional[PassCheckpoint] = None,
     tracer=None,
     registry: Optional[Registry] = None,
+    memo=None,
 ) -> ResynthesisReport:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     tracer = maybe_tracer(tracer)
     if registry is None:
         registry = get_registry()
+    if isinstance(memo, str):
+        # Convenience: a path opens a store with the run's registry.
+        from ..memo import MemoStore
+
+        memo = MemoStore(memo, registry=registry)
     evaluator = None
     if jobs > 1:
         # Imported lazily: repro.parallel imports from repro.resynth, so a
@@ -428,7 +435,7 @@ def _run(
                 seconds_prior = 0.0
                 done = False
             epoch_base = work.epoch
-            session = AnalysisSession(work, registry=registry)
+            session = AnalysisSession(work, registry=registry, memo=memo)
         verify_seconds: List[float] = []
         try:
             with tracer.span("setup.labels"):
@@ -542,6 +549,7 @@ def procedure2(
     resume: Optional[PassCheckpoint] = None,
     tracer=None,
     registry: Optional[Registry] = None,
+    memo=None,
 ) -> ResynthesisReport:
     """Procedure 2: reduce the number of gates (paths as tiebreak).
 
@@ -575,11 +583,17 @@ def procedure2(
     registry:
         A :class:`repro.obs.Registry` receiving the run's metrics;
         default: the process-wide registry.
+    memo:
+        Optional persistent identification cache — a
+        :class:`repro.memo.MemoStore` or a store directory path.  Purely
+        an accelerator: the report is bit-identical with the memo off,
+        cold, or warm (the ``memo`` differential oracle fuzzes this; see
+        docs/MEMO.md).
     """
     return _run(
         circuit, _select_for_gates, "gates", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume, tracer, registry,
+        on_pass, resume, tracer, registry, memo,
     )
 
 
@@ -597,18 +611,19 @@ def procedure3(
     resume: Optional[PassCheckpoint] = None,
     tracer=None,
     registry: Optional[Registry] = None,
+    memo=None,
 ) -> ResynthesisReport:
     """Procedure 3: reduce the number of paths (gate count unconstrained).
 
     ``exact=True`` augments identification with the exact decision
     procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs``,
-    ``on_pass``, ``resume``, ``tracer`` and ``registry`` behave as in
-    :func:`procedure2`.
+    ``on_pass``, ``resume``, ``tracer``, ``registry`` and ``memo``
+    behave as in :func:`procedure2`.
     """
     return _run(
         circuit, _select_for_paths, "paths", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume, tracer, registry,
+        on_pass, resume, tracer, registry, memo,
     )
 
 
@@ -626,6 +641,7 @@ def combined_procedure(
     resume: Optional[PassCheckpoint] = None,
     tracer=None,
     registry: Optional[Registry] = None,
+    memo=None,
 ) -> ResynthesisReport:
     """Section 4.3's combined gates+paths objective.
 
@@ -637,5 +653,5 @@ def combined_procedure(
         circuit, _make_combined_selector(gate_weight),
         f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
         verify_patterns, decompose, jobs=jobs, on_pass=on_pass,
-        resume=resume, tracer=tracer, registry=registry,
+        resume=resume, tracer=tracer, registry=registry, memo=memo,
     )

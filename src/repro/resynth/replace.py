@@ -75,6 +75,7 @@ def evaluate_cone(
     max_specs: int = DEFAULT_MAX_SPECS,
     exact: bool = False,
     tt_cache: Optional[TruthTableCache] = None,
+    memo=None,
 ) -> Optional[ReplacementOption]:
     """Price the best comparison-unit replacement for *cone* (None if none).
 
@@ -88,7 +89,10 @@ def evaluate_cone(
     (:class:`~repro.sim.TruthTableCache` and the global
     :class:`~repro.comparison.IdentificationCache`), which is what lets
     :mod:`repro.parallel` precompute them in worker processes without any
-    observable difference in the result.
+    observable difference in the result.  *memo* is the optional
+    persistent identification store (:class:`repro.memo.MemoStore`)
+    consulted behind the in-process cache — same purity argument, same
+    bit-identical results.
     """
     removable = removable_members(circuit, cone)
     n_removable = sum(
@@ -110,7 +114,7 @@ def evaluate_cone(
         return ReplacementOption(cone, None, value, n_removable, 0, 0)
     found = identify_comparison(
         tt, cone.inputs, perm_budget=perm_budget, seed=seed,
-        max_specs=max_specs,
+        max_specs=max_specs, memo=memo,
     )
     specs = list(found.specs)
     if exact and not specs:

@@ -44,6 +44,7 @@ def run_job(
     job_id: str,
     on_pass: Optional[Callable[[PassCheckpoint], None]] = None,
     progress: Optional[Callable[[], None]] = None,
+    memo=None,
 ) -> ResynthesisReport:
     """Execute the job, resuming from its latest checkpoint if one exists.
 
@@ -53,6 +54,11 @@ def run_job(
     bookkeeping) runs after both; ``progress`` (the worker's heartbeat)
     runs last.  The final report is written before the ``completed``
     event for the same reason.
+
+    *memo* — a :class:`repro.memo.MemoStore` or a store directory path —
+    is handed to the procedure as the persistent identification cache.
+    It is deliberately not part of the spec (and so not of the job id):
+    it cannot change the report, only the wall clock.
     """
     spec = store.load_spec(job_id)
     circuit = resolve_circuit(spec)
@@ -81,7 +87,8 @@ def run_job(
             progress()
 
     proc = _procedure_call(spec)
-    report = proc(circuit, on_pass=checkpoint_hook, resume=resume)
+    report = proc(circuit, on_pass=checkpoint_hook, resume=resume,
+                  memo=memo)
     store.write_report(job_id, report)
     store.append_event(
         job_id, "completed",

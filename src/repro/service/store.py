@@ -10,9 +10,10 @@ One directory per job, addressed by the spec's content hash::
         checkpoints/pass_NNNN.json pass-boundary resume points
         report.json                final report + result netlist
 
-Durability discipline: every JSON document is written to a temp file in
-the same directory, fsynced, and ``os.replace``d into place (with a
-directory fsync after), so readers never see a torn document — across
+Durability discipline (:mod:`repro.persist`): every JSON document is
+written to a temp file in the same directory, fsynced, and
+``os.replace``d into place (with a directory fsync after), so readers
+never see a torn document — across
 process *and* system crashes — and a crashed worker leaves at worst a
 stale ``.tmp``.  The event log is the one append-only file (fsynced per
 event); the store serializes appends per process with a lock, and the
@@ -29,11 +30,12 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import threading
 import time
 from typing import Dict, List, Optional
 
+from ..persist import atomic_write_text as _atomic_write
+from ..persist import fsync_dir as _fsync_dir  # noqa: F401  (re-export)
 from ..resynth.procedures import PassCheckpoint, ResynthesisReport
 from ..resynth.serialize import (
     checkpoint_from_doc,
@@ -52,42 +54,6 @@ TERMINAL_STATES = ("succeeded", "failed")
 
 class StoreError(RuntimeError):
     """Malformed store contents or an unknown job id."""
-
-
-def _fsync_dir(directory: str) -> None:
-    """Make a rename in *directory* survive a system crash (best effort:
-    some platforms cannot fsync a directory fd)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover — platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover — platform-dependent
-        pass
-    finally:
-        os.close(fd)
-
-
-def _atomic_write(path: str, text: str) -> int:
-    """Write *text* to *path* via same-directory temp + fsync + rename;
-    returns the bytes written.  Survives process and system crashes with
-    either the old document or the new one, never a torn mix."""
-    data = text.encode("utf-8")
-    directory = os.path.dirname(path)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-        raise
-    _fsync_dir(directory)
-    return len(data)
 
 
 class ArtifactStore:

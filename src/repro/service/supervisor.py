@@ -51,6 +51,12 @@ class SupervisorConfig:
     backoff_base: float = 0.5  # retry n sleeps backoff_base * 2**n
     poll_interval: float = 0.05  # supervisor's worker-watch period
     kill_grace: float = 5.0  # SIGTERM -> SIGKILL escalation window
+    #: Opt-in shared identification cache (docs/MEMO.md): when set, every
+    #: worker is launched with ``--memo`` pointing here, so jobs feed and
+    #: consult one persistent store.  Purely an accelerator — reports are
+    #: bit-identical with or without it, which is also why it is *not*
+    #: part of the job spec's content address.
+    memo_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -79,11 +85,14 @@ class JobOutcome:
 def default_worker_command(store: ArtifactStore, job_id: str,
                            config: SupervisorConfig) -> List[str]:
     """The real worker: ``python -m repro.service.workermain``."""
-    return [
+    command = [
         sys.executable, "-m", "repro.service.workermain",
         store.root, job_id,
         "--heartbeat-interval", str(config.heartbeat_interval),
     ]
+    if config.memo_root:
+        command += ["--memo", config.memo_root]
+    return command
 
 
 def _worker_env() -> dict:

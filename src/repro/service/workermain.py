@@ -27,6 +27,8 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("root", help="artifact store root directory")
     parser.add_argument("job_id")
     parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    parser.add_argument("--memo", default=None,
+                        help="shared identification cache directory")
     try:
         args = parser.parse_args(argv)
     except SystemExit:
@@ -49,7 +51,8 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     beater.start()
     try:
         run_job(store, args.job_id,
-                progress=lambda: store.heartbeat(args.job_id))
+                progress=lambda: store.heartbeat(args.job_id),
+                memo=args.memo)
         return 0
     except BaseException as exc:  # noqa: BLE001 — the whole point is capture
         store.write_worker_error(

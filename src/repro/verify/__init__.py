@@ -30,6 +30,7 @@ from .oracles import (
     ComparisonUnitOracle,
     FaultSimOracle,
     IncrementalOracle,
+    MemoOracle,
     ORACLE_NAMES,
     Oracle,
     ParallelOracle,
@@ -58,6 +59,7 @@ __all__ = [
     "FuzzFinding",
     "FuzzReport",
     "IncrementalOracle",
+    "MemoOracle",
     "ORACLE_NAMES",
     "Oracle",
     "ParallelOracle",

@@ -43,6 +43,12 @@ executable check over a (usually randomly generated) instance:
     :mod:`repro.service` (docs/SERVICE.md), checked with the
     identification cache cleared before the resumed leg so it is as cold
     as a genuinely restarted worker process.
+``memo``
+    Procedures 2 and 3 assisted by the persistent identification cache
+    (:mod:`repro.memo`) — recording cold, replaying warm, replaying
+    after a JSON round-trip of every entry file, under ``jobs=2`` and
+    resumed from a checkpoint — must all be bit-identical to a memo-less
+    baseline (docs/MEMO.md: the store may only change the wall clock).
 
 Violations carry enough context to reproduce: the seed, a message, the
 offending circuit (when one exists) and structured details.  The fuzz
@@ -52,7 +58,10 @@ persists them as JSON artifacts (:mod:`repro.verify.artifact`).
 
 from __future__ import annotations
 
+import json
+import os
 import random
+import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -599,6 +608,161 @@ class ResumeOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
+# memo: cold sweep vs persistent-identification-cache sweep
+# --------------------------------------------------------------------- #
+
+
+class MemoOracle(Oracle):
+    """Cached ≡ cold equivalence of the persistent identification memo.
+
+    For Procedures 2 and 3, a memo-less baseline run is compared bit for
+    bit (every :data:`~repro.resynth.REPORT_NUMBER_FIELDS` entry plus the
+    result netlist) against five memo-assisted runs on one shared
+    :class:`repro.memo.MemoStore` directory:
+
+    1. ``cold`` — an empty store being *written* (recording must not
+       perturb the sweep);
+    2. ``warm`` — a fresh store instance over the now-populated
+       directory (every identification answered from disk); the oracle
+       also demands a nonzero hit count, so a silently dead cache cannot
+       pass;
+    3. ``roundtrip`` — warm again, after every entry file is re-parsed
+       and re-serialized with different JSON formatting (the store's
+       value encoding must survive the round trip exactly);
+    4. ``jobs`` — a ``jobs=2`` run over the warm store (the parallel
+       primer consults the memo before shipping searches);
+    5. ``resume`` — a warm-store run resumed from a seed-chosen
+       pass-boundary checkpoint of the baseline.
+
+    The process-global identification cache is cleared before every leg:
+    without that, the in-process tier would pre-answer every question the
+    memo is supposed to answer, and a wrong stored result could never be
+    observed.
+    """
+
+    name = "memo"
+
+    def __init__(
+        self,
+        k: int = 4,
+        perm_budget: int = 24,
+        max_passes: int = 2,
+        max_inputs: int = 8,
+        jobs: int = 2,
+    ) -> None:
+        self._k = k
+        self._perm_budget = perm_budget
+        self._max_passes = max_passes
+        self._max_inputs = max_inputs
+        self._jobs = jobs
+
+    def _run(self, proc, circuit: Circuit, seed: int, **kw):
+        from ..comparison import identification_cache
+
+        identification_cache().clear()
+        return proc(
+            circuit,
+            k=self._k,
+            perm_budget=self._perm_budget,
+            seed=seed,
+            max_passes=self._max_passes,
+            verify_patterns=0,
+            **kw,
+        )
+
+    @staticmethod
+    def _roundtrip_store(root: str) -> None:
+        """Re-serialize every entry file with different formatting."""
+        entries = os.path.join(root, "entries")
+        for dirpath, _dirs, names in os.walk(entries):
+            for fname in names:
+                if not fname.endswith(".json"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(doc, fh, separators=(",", ":"),
+                              sort_keys=False)
+
+    def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
+        from ..comparison import identification_cache
+        from ..memo import MemoStore
+        from ..resynth import REPORT_NUMBER_FIELDS, procedure2, procedure3
+
+        if len(circuit.inputs) > self._max_inputs:
+            return []
+        violations: List[Violation] = []
+        rng = random.Random((seed << 16) ^ 0x3E30)
+        for proc in (procedure2, procedure3):
+            with tempfile.TemporaryDirectory(prefix="memo-oracle-") as root:
+                checkpoints = []
+                baseline = self._run(proc, circuit, seed,
+                                     on_pass=checkpoints.append)
+                cold_store = MemoStore(root)
+                legs = [("cold", self._run(
+                    proc, circuit, seed, memo=cold_store))]
+                warm_store = MemoStore(root)
+                legs.append(("warm", self._run(
+                    proc, circuit, seed, memo=warm_store)))
+                if cold_store.stats.puts and not warm_store.stats.hits:
+                    violations.append(Violation(
+                        self.name, seed,
+                        f"{proc.__name__}: warm store served no hits "
+                        f"({cold_store.stats.puts} results were recorded)",
+                        circuit=circuit,
+                        details={"procedure": proc.__name__,
+                                 "puts": cold_store.stats.puts},
+                    ))
+                self._roundtrip_store(root)
+                legs.append(("roundtrip", self._run(
+                    proc, circuit, seed, memo=MemoStore(root))))
+                legs.append(("jobs", self._run(
+                    proc, circuit, seed, memo=MemoStore(root),
+                    jobs=self._jobs)))
+                if checkpoints:
+                    resume_from = rng.choice(checkpoints)
+                    legs.append(("resume", self._run(
+                        proc, circuit, seed, memo=MemoStore(root),
+                        resume=resume_from)))
+                identification_cache().clear()
+                base_dump = netlist_dump(baseline.circuit)
+                for leg, report in legs:
+                    diverged = [
+                        f for f in REPORT_NUMBER_FIELDS
+                        if getattr(baseline, f) != getattr(report, f)
+                    ]
+                    if not diverged and (
+                        netlist_dump(report.circuit) != base_dump
+                    ):
+                        diverged = ["netlist"]
+                    if diverged:
+                        violations.append(Violation(
+                            self.name, seed,
+                            f"{proc.__name__} diverged between the "
+                            f"memo-less baseline and the {leg!r} memo leg "
+                            f"on: {', '.join(diverged)} "
+                            f"(baseline: {baseline.summary()}; "
+                            f"{leg}: {report.summary()})",
+                            circuit=circuit,
+                            details={
+                                "procedure": proc.__name__,
+                                "leg": leg,
+                                "diverged": diverged,
+                                "baseline": {
+                                    f: getattr(baseline, f)
+                                    for f in REPORT_NUMBER_FIELDS
+                                },
+                                leg: {
+                                    f: getattr(report, f)
+                                    for f in REPORT_NUMBER_FIELDS
+                                },
+                            },
+                        ))
+        return violations
+
+
+# --------------------------------------------------------------------- #
 # unit: comparison-unit construction invariants
 # --------------------------------------------------------------------- #
 
@@ -924,7 +1088,7 @@ class IncrementalOracle(Oracle):
 
 #: Construction order for ``--oracle all``.
 ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental",
-                "parallel", "resume")
+                "parallel", "resume", "memo")
 
 
 def default_oracles(
@@ -940,6 +1104,7 @@ def default_oracles(
         "incremental": IncrementalOracle,
         "parallel": ParallelOracle,
         "resume": ResumeOracle,
+        "memo": MemoOracle,
     }
     wanted = list(names) if names else list(ORACLE_NAMES)
     oracles: List[Oracle] = []

@@ -68,3 +68,53 @@ class TestMetricsRegistryAlias:
             ArtifactStore(str(tmp_path / "store")), metrics=m,
         )
         assert service.metrics is m
+
+
+class TestSnapshotExactForwarding:
+    """``MetricsRegistry.snapshot()`` is *inherited*, not reimplemented:
+    after any identical operation sequence it must equal a plain
+    :class:`repro.obs.Registry` snapshot exactly — same keys, same
+    values, same JSON bytes — so dashboards reading the legacy
+    ``/metrics`` document cannot tell the two apart."""
+
+    @staticmethod
+    def drive(registry):
+        registry.inc("jobs_total")
+        registry.inc("jobs_total", 4)
+        registry.inc("retries_total", 0)
+        registry.set_gauge("queue_depth", 7)
+        registry.set_gauge("queue_depth", 2)
+        registry.set_gauge("heartbeat_age", 0.25)
+        for v in (0.001, 0.02, 0.3, 4.0):
+            registry.observe("attempt_seconds", v)
+        registry.observe("lookup_seconds", 5e-6)
+        registry.get_counter("declared_never_incremented")
+        return registry.snapshot()
+
+    def test_snapshot_is_method_inherited_unchanged(self):
+        from repro.service.metrics import MetricsRegistry
+
+        assert "snapshot" not in vars(MetricsRegistry)
+        assert MetricsRegistry.snapshot is Registry.snapshot
+
+    def test_snapshot_equals_plain_registry_exactly(self):
+        import json
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = self.drive(MetricsRegistry())
+        plain = self.drive(Registry())
+        assert legacy == plain
+        assert json.dumps(legacy, sort_keys=True) == \
+            json.dumps(plain, sort_keys=True)
+        # The shape itself (what dashboards key on).
+        assert set(legacy) == {"counters", "gauges", "summaries"}
+        assert legacy["counters"]["jobs_total"] == 5.0
+        assert legacy["counters"]["declared_never_incremented"] == 0.0
+        assert legacy["gauges"]["queue_depth"] == 2.0
+        summary = legacy["summaries"]["attempt_seconds"]
+        assert summary["count"] == 4.0
+        assert summary["sum"] == pytest.approx(4.321)
+        assert summary["min"] == 0.001
+        assert summary["max"] == 4.0

@@ -179,6 +179,28 @@ class TestReportAndErrors:
         doc = store.load_report_doc(job_id)
         assert doc["circuit"]["format"] == "repro-netlist"
 
+    def test_pre_timings_report_on_disk_still_loads(self, tmp_path):
+        # A report.json written before the structured "timings" mapping
+        # existed (only the flat pass_seconds/total_seconds keys): the
+        # store must keep loading it, reconstituting equivalent timings.
+        store = ArtifactStore(str(tmp_path))
+        job_id, _ = store.create_job(spec())
+        report = procedure2(c17(), k=4, perm_budget=20, max_passes=2)
+        store.write_report(job_id, report)
+        path = os.path.join(store.job_dir(job_id), "report.json")
+        doc = json.load(open(path))
+        assert "timings" in doc
+        del doc["timings"]
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        loaded = store.load_report(job_id)
+        assert loaded.passes == report.passes
+        assert loaded.gates_after == report.gates_after
+        assert netlist_dump(loaded.circuit) == netlist_dump(report.circuit)
+        assert loaded.pass_seconds == pytest.approx(report.pass_seconds)
+        assert loaded.total_seconds == pytest.approx(report.total_seconds)
+        assert set(loaded.timings) == {"pass_seconds", "total_seconds"}
+
     def test_worker_error_handoff(self, tmp_path):
         store = ArtifactStore(str(tmp_path))
         job_id, _ = store.create_job(spec())
