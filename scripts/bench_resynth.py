@@ -18,6 +18,20 @@ would be noise on shared runners).
 ``--compare`` enforces exactly that — so a ``--jobs`` run can be compared
 against a serial baseline; the ``jobs`` column records what was used.
 
+``--fabric serial|process|remote`` picks the execution backend
+explicitly (docs/FABRIC.md); the ``fabric`` column records it.  The
+determinism contract makes every backend comparable against the same
+baseline.  ``--fabric remote`` ships work to ``--workers URL`` fleet
+members, or — with no ``--workers`` — self-hosts a loopback
+``ServiceServer`` running ``--task-workers N`` local worker processes,
+which is how the committed acceptance entry was measured::
+
+    PYTHONPATH=src python scripts/bench_resynth.py --circuits syn35932 \\
+        --fabric remote --task-workers 2 --compare BENCH_resynth.json
+
+(The committed baseline carries that run under a ``remote_acceptance``
+key, manually merged in; ``--compare`` only reads ``results``.)
+
 ``--memo DIR`` additionally benchmarks the persistent identification
 cache (docs/MEMO.md): after the plain run that produces ``wall_s``
 (kept memo-less so the column stays comparable across baselines), each
@@ -48,19 +62,21 @@ QUICK_CIRCUITS = ["syn1423"]
 PROCEDURES = {"procedure2": procedure2, "procedure3": procedure3}
 
 
-def bench_one(name, k, seed, jobs, memo_root=None):
+def bench_one(name, k, seed, jobs, memo_root=None, fabric=None):
     circuit = suite_circuit(name)
     entry = {}
     for proc_name, proc in PROCEDURES.items():
         if memo_root:
             identification_cache().clear()
         t0 = time.perf_counter()
-        rep = proc(circuit, k=k, seed=seed, jobs=jobs)
+        rep = proc(circuit, k=k, seed=seed, jobs=jobs, fabric=fabric)
         wall = time.perf_counter() - t0
         row = {
             "wall_s": round(wall, 3),
             "pass_seconds": [round(s, 3) for s in rep.pass_seconds],
             "jobs": rep.jobs,
+            "fabric": rep.timings.get(
+                "fabric", "process" if jobs > 1 else "serial"),
             "gates_before": rep.gates_before,
             "gates_after": rep.gates_after,
             "paths_before": rep.paths_before,
@@ -89,7 +105,7 @@ def bench_one(name, k, seed, jobs, memo_root=None):
                 identification_cache().clear()
                 t1 = time.perf_counter()
                 leg_rep = proc(circuit, k=k, seed=seed, jobs=jobs,
-                               memo=store)
+                               memo=store, fabric=fabric)
                 walls[leg] = time.perf_counter() - t1
                 identification_cache().clear()
                 drift = [f for f in REPORT_NUMBER_FIELDS
@@ -151,6 +167,18 @@ def main():
     ap.add_argument("--jobs", type=int, default=1,
                     help="worker processes for candidate evaluation "
                          "(default 1 = serial; reports are identical)")
+    ap.add_argument("--fabric", default=None,
+                    choices=["serial", "process", "remote"],
+                    help="execution backend for candidate evaluation "
+                         "(docs/FABRIC.md); default follows --jobs")
+    ap.add_argument("--workers", action="append", default=None,
+                    metavar="URL",
+                    help="remote worker base URL (repeatable; implies "
+                         "--fabric remote)")
+    ap.add_argument("--task-workers", type=int, default=2, metavar="N",
+                    help="worker processes for the self-hosted loopback "
+                         "server used by --fabric remote without "
+                         "--workers (default 2)")
     ap.add_argument("--memo", default=None, metavar="DIR",
                     help="benchmark the persistent identification cache "
                          "under DIR: adds warm_wall_s/warm_speedup/"
@@ -167,19 +195,55 @@ def main():
     circuits = args.circuits or (
         QUICK_CIRCUITS if args.quick else DEFAULT_CIRCUITS
     )
+    fabric_name = args.fabric or ("remote" if args.workers else None)
+    fabric = None
+    server = None
+    if fabric_name == "serial":
+        from repro.fabric import SerialFabric
+
+        fabric = SerialFabric()
+    elif fabric_name == "process":
+        from repro.fabric import ProcessFabric
+
+        fabric = ProcessFabric(max(args.jobs, 2))
+    elif fabric_name == "remote":
+        import tempfile
+
+        from repro.fabric import RemoteFabric
+        from repro.service import ArtifactStore, ServiceServer
+
+        workers = args.workers
+        if not workers:
+            server = ServiceServer(
+                ArtifactStore(tempfile.mkdtemp(prefix="repro-bench-")),
+                task_workers=args.task_workers)
+            server.start()
+            workers = [server.url]
+            print(f"self-hosted worker: {server.url} "
+                  f"({args.task_workers} task worker(s))")
+        fabric = RemoteFabric(workers)
     report = {
         "schema": 1,
         "k": args.k,
         "seed": args.seed,
         "jobs": args.jobs,
+        "fabric": fabric.name if fabric is not None else (
+            "process" if args.jobs > 1 else "serial"),
         "memo": bool(args.memo),
         "python": platform.python_version(),
         "results": {},
     }
     t0 = time.perf_counter()
-    for name in circuits:
-        report["results"][name] = bench_one(name, args.k, args.seed,
-                                            args.jobs, memo_root=args.memo)
+    try:
+        for name in circuits:
+            report["results"][name] = bench_one(
+                name, args.k, args.seed, args.jobs,
+                memo_root=args.memo, fabric=fabric)
+    finally:
+        if fabric is not None:
+            fabric.close()
+        if server is not None:
+            server.stop()
     report["total_wall_s"] = round(time.perf_counter() - t0, 3)
     print(f"total: {report['total_wall_s']:.1f}s")
 

@@ -1,0 +1,110 @@
+"""Fabric smoke check (the CI gate for ``repro.fabric``).
+
+Runs a small suite circuit through Procedure 2 once per execution
+backend — serial (the reference), process (a local pool), and remote
+(a :class:`~repro.fabric.RemoteFabric` shipping JSON task documents to
+a self-hosted loopback ``ServiceServer``, at two different shard
+counts) — and asserts the docs/FABRIC.md determinism contract end to
+end: every report is bit-identical on the deterministic fields and the
+result netlists, and every fabric actually primed the caches (nonzero
+shipped identification work on the first pass)::
+
+    PYTHONPATH=src python scripts/fabric_smoke.py
+
+Prints PASS and exits 0 on success; any report drift or an idle fabric
+is a nonzero exit.  Budget: well under a minute.
+"""
+
+import sys
+import tempfile
+import time
+
+from repro.benchcircuits.suite import suite_circuit
+from repro.comparison import identification_cache
+from repro.fabric import ProcessFabric, RemoteFabric, SerialFabric
+from repro.io import circuit_to_json
+from repro.obs import Registry
+from repro.resynth import REPORT_NUMBER_FIELDS, procedure2
+from repro.service import ArtifactStore, ServiceServer
+
+CIRCUIT = "syn1423"
+K = 5
+SEED = 1
+
+
+def run(fabric=None, registry=None):
+    """One sweep with a cold in-process cache."""
+    identification_cache().clear()
+    try:
+        return procedure2(suite_circuit(CIRCUIT), k=K, seed=SEED,
+                          fabric=fabric, registry=registry)
+    finally:
+        identification_cache().clear()
+
+
+def diverged_fields(baseline, report):
+    bad = [f for f in REPORT_NUMBER_FIELDS
+           if getattr(baseline, f) != getattr(report, f)]
+    if circuit_to_json(report.circuit) != circuit_to_json(baseline.circuit):
+        bad.append("netlist")
+    return bad
+
+
+def main():
+    t0 = time.perf_counter()
+    print(f"baseline: procedure2({CIRCUIT}, k={K}, seed={SEED}), "
+          f"no fabric (inline serial sweep)", flush=True)
+    baseline = run()
+
+    with tempfile.TemporaryDirectory(prefix="repro-fabric-smoke-") as root:
+        server = ServiceServer(ArtifactStore(root), task_workers=2)
+        server.start()
+        try:
+            legs = [
+                ("serial", lambda reg: SerialFabric(registry=reg)),
+                ("process", lambda reg: ProcessFabric(2, registry=reg)),
+                ("remote shards=1",
+                 lambda reg: RemoteFabric([server.url], shards=1,
+                                          registry=reg)),
+                ("remote shards=2",
+                 lambda reg: RemoteFabric([server.url], shards=2,
+                                          registry=reg)),
+            ]
+            failures = []
+            for name, make in legs:
+                registry = Registry()
+                fabric = make(registry)
+                leg_t = time.perf_counter()
+                try:
+                    report = run(fabric=fabric, registry=registry)
+                finally:
+                    fabric.close()
+                leg_s = time.perf_counter() - leg_t
+                tasks = registry.counter_value("fabric_tasks_total")
+                print(f"{name}: {tasks} task(s), {leg_s:.1f}s", flush=True)
+                bad = diverged_fields(baseline, report)
+                if bad:
+                    failures.append(f"{name} run diverges from baseline "
+                                    f"on: {', '.join(bad)}")
+                if report.timings.get("fabric") != fabric.name:
+                    failures.append(f"{name} run did not record its "
+                                    f"backend in the report timings")
+                if tasks == 0:
+                    failures.append(f"{name} fabric ran no tasks "
+                                    f"(planner never primed)")
+        finally:
+            server.stop()
+        if failures:
+            for message in failures:
+                print(f"FAIL: {message}", file=sys.stderr)
+            return 1
+
+    print(f"PASS: {CIRCUIT} serial == process == remote(1,2 shards) "
+          f"(gates {baseline.gates_before}->{baseline.gates_after}, "
+          f"paths {baseline.paths_before}->{baseline.paths_after}) "
+          f"in {time.perf_counter() - t0:.1f}s total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

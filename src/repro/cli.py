@@ -4,7 +4,8 @@ Subcommands
 -----------
 ``stats CIRCUIT``
     Print size/path statistics for a circuit (suite name or ``.bench``).
-``resynth CIRCUIT [--objective gates|paths] [--k K] [--jobs N] [--out FILE]``
+``resynth CIRCUIT [--objective gates|paths] [--k K] [--jobs N] \
+[--fabric serial|process|remote] [--workers URL] [--out FILE]``
     Run Procedure 2 or 3 and optionally write the result; ``--jobs``
     fans candidate evaluation over worker processes (bit-identical
     reports at any value, see docs/PARALLEL.md).  ``--out x.json``
@@ -26,9 +27,12 @@ Subcommands
     violations are shrunk and dumped as JSON repro artifacts.
 ``replay ARTIFACT [ARTIFACT ...]``
     Re-run the oracle of previously written repro artifacts.
-``serve [--root DIR] [--port P] [--workers N] [--memo DIR]``
+``serve [--root DIR] [--port P] [--workers N] [--memo DIR] \
+[--task-workers N]``
     Run the checkpointable resynthesis job service (docs/SERVICE.md);
-    ``--memo`` shares one identification cache across all workers.
+    ``--memo`` shares one identification cache across all workers, and
+    ``--task-workers`` additionally makes the service a remote-fabric
+    task worker (``POST /tasks``; docs/FABRIC.md).
 ``submit CIRCUIT [--url URL] [--wait]``
     Submit a resynthesis job to a running service.
 ``jobs [--url URL]``
@@ -81,19 +85,53 @@ def _cmd_resynth(args) -> int:
             "k": args.k, "jobs": args.jobs,
         })
     memo = None
-    if args.memo:
+    if args.memo_url:
+        from .memo import RemoteMemo
+
+        memo = RemoteMemo(args.memo_url)
+    elif args.memo:
         from .memo import MemoStore
 
         memo = MemoStore(args.memo)
-    report = proc(circuit, k=args.k, verify_patterns=args.verify,
-                  jobs=args.jobs, tracer=tracer, memo=memo)
+    fabric = None
+    if args.fabric == "serial":
+        from .fabric import SerialFabric
+
+        fabric = SerialFabric()
+    elif args.fabric == "process":
+        from .fabric import ProcessFabric
+
+        fabric = ProcessFabric(max(args.jobs, 1))
+    elif args.fabric == "remote":
+        if not args.workers:
+            print("error: --fabric remote needs at least one --workers URL",
+                  file=sys.stderr)
+            return 2
+        from .fabric.remote import RemoteFabric
+
+        fabric = RemoteFabric(args.workers)
+    try:
+        report = proc(circuit, k=args.k, verify_patterns=args.verify,
+                      jobs=args.jobs, tracer=tracer, memo=memo,
+                      fabric=fabric)
+    finally:
+        if fabric is not None:
+            fabric.close()
     print(report.summary())
     print(report.timing_summary())
+    if fabric is not None:
+        print(f"fabric: {fabric.name} "
+              f"({', '.join(args.workers) if args.workers else 'local'})")
     if memo is not None:
         stats = memo.stats
+        if args.memo_url:
+            where = args.memo_url
+            entries = f"{len(memo)} hot row(s)"
+        else:
+            where = args.memo
+            entries = f"{memo.disk_entries} entries"
         print(f"memo: {stats.hits} hit(s), {stats.misses} miss(es), "
-              f"{stats.puts} put(s), {memo.disk_entries} entries "
-              f"({args.memo})")
+              f"{stats.puts} put(s), {entries} ({where})")
     if tracer is not None:
         n_spans = tracer.write_jsonl(args.trace)
         print(f"wrote {args.trace} ({n_spans} spans; "
@@ -285,14 +323,20 @@ def _cmd_serve(args) -> int:
         max_retries=args.retries,
         heartbeat_timeout=args.heartbeat_timeout,
         memo_root=args.memo,
+        memo_url=args.memo_url,
+        fabric_workers=tuple(args.fabric_workers),
     )
     server = ServiceServer(
         store, host=args.host, port=args.port, config=config,
         max_workers=args.workers, verbose=args.verbose,
+        task_workers=args.task_workers,
     )
     memo_note = f", memo: {args.memo}" if args.memo else ""
+    task_note = (f", task-workers: {args.task_workers}"
+                 if args.task_workers else "")
     print(f"repro.service listening on {server.url} "
-          f"(store: {store.root}, workers: {args.workers}{memo_note})")
+          f"(store: {store.root}, workers: {args.workers}"
+          f"{memo_note}{task_note})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -412,6 +456,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="persistent identification cache directory "
                         "(shared across runs; results are identical, "
                         "see docs/MEMO.md)")
+    p.add_argument("--memo-url", metavar="URL", default=None,
+                   help="identification memo served by a running service "
+                        "(overrides --memo; docs/MEMO.md)")
+    p.add_argument("--fabric", choices=("serial", "process", "remote"),
+                   default=None,
+                   help="task-execution backend for candidate evaluation "
+                        "(default: process pool when --jobs > 1, else "
+                        "inline; results are identical on every backend, "
+                        "see docs/FABRIC.md)")
+    p.add_argument("--workers", metavar="URL", action="append", default=[],
+                   help="remote fabric worker URL (repeatable; requires "
+                        "--fabric remote; targets must run "
+                        "'serve --task-workers N')")
     p.set_defaults(func=_cmd_resynth)
 
     p = sub.add_parser("trace",
@@ -478,7 +535,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="seconds of worker silence before the kill")
     p.add_argument("--memo", metavar="DIR", default=None,
                    help="shared persistent identification cache served "
-                        "to every worker (opt-in; docs/MEMO.md)")
+                        "to every worker (opt-in; docs/MEMO.md; also "
+                        "enables the GET/PUT /memo routes)")
+    p.add_argument("--memo-url", metavar="URL", default=None,
+                   help="point this service's job workers at another "
+                        "service's /memo routes instead of a directory")
+    p.add_argument("--task-workers", type=int, default=0, metavar="N",
+                   help="enable POST /tasks with N-way task execution "
+                        "(0 = disabled; 1 = inline; >1 = process pool), "
+                        "making this service a remote-fabric worker "
+                        "(docs/FABRIC.md)")
+    p.add_argument("--fabric-worker", metavar="URL", action="append",
+                   default=[], dest="fabric_workers",
+                   help="remote fabric worker URL handed to every job "
+                        "worker (repeatable): jobs fan their candidate "
+                        "evaluation out to these /tasks endpoints")
     p.add_argument("--verbose", action="store_true",
                    help="log HTTP requests")
     p.set_defaults(func=_cmd_serve)

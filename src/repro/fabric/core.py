@@ -1,0 +1,385 @@
+"""The fabric interface and its in-process backends.
+
+A :class:`Fabric` executes a batch of :class:`FabricTask` values —
+pure-function work units from the registry in :mod:`repro.fabric.tasks`
+— and returns their results **in task order**, regardless of where or in
+what order they actually ran.  That ordering guarantee, together with
+the task purity the registry demands, is what lets every caller treat
+backends as interchangeable: the planner in :mod:`repro.parallel` keeps
+its determinism contract (bit-identical reports at any shard count on
+any backend) without knowing whether a task ran inline, in a local
+process pool, or on a remote host.
+
+Backends
+--------
+:class:`SerialFabric`
+    Runs tasks inline, one after another.  The bit-identical reference
+    every other backend is measured against — and the cheapest backend
+    when the batch is small.
+:class:`ProcessFabric`
+    A ``ProcessPoolExecutor`` fan-out (the pool logic that used to live
+    inside ``repro.parallel.ParallelEvaluator``).  One task maps to one
+    pool future; a broken pool is torn down and lazily rebuilt.
+:class:`~repro.fabric.remote.RemoteFabric`
+    Ships tasks as JSON to ``POST /tasks`` on service workers
+    (:mod:`repro.fabric.remote`; wire format in
+    :mod:`repro.fabric.tasks`).
+
+Failure discipline
+------------------
+:meth:`Fabric.map_outcomes` retries each failed task up to
+``max_retries`` times (0 for the in-process backends: their failures
+are deterministic, so a retry would fail identically) and reports
+per-task outcomes; :meth:`Fabric.map` turns any surviving failure into
+one :class:`FabricExecutionError` with the first task's exception
+chained.  Infrastructure failures that no retry policy can answer — a
+remote fleet with no reachable worker left — raise
+:class:`FabricExecutionError` directly.
+
+Every backend emits ``fabric_*`` obs metrics and a ``fabric.map`` span
+per batch (see docs/OBSERVABILITY.md); docs/FABRIC.md is the full
+reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import Registry, get_registry, maybe_tracer
+
+__all__ = [
+    "Fabric",
+    "FabricExecutionError",
+    "FabricTask",
+    "ProcessFabric",
+    "SerialFabric",
+    "preferred_start_method",
+]
+
+
+class FabricExecutionError(RuntimeError):
+    """A task batch could not be completed.
+
+    Raised by :meth:`Fabric.map` when a task still fails after its
+    bounded retries (the offending exception is chained), and by
+    backends directly on unrecoverable infrastructure failures (e.g. a
+    remote fleet with every worker unreachable).
+    """
+
+
+def preferred_start_method() -> str:
+    """The multiprocessing start method :class:`ProcessFabric` defaults to.
+
+    ``fork`` when the platform offers it (cheap, inherits the warm code
+    and caches), ``spawn`` otherwise.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+@dataclass(frozen=True)
+class FabricTask:
+    """One unit of fabric work: a registered kind plus its payload.
+
+    ``kind`` names an entry in the :mod:`repro.fabric.tasks` registry;
+    ``payload`` is the kind's input document — plain JSON-able data
+    (dicts, lists, tuples, ints, strings, bools), so the same task can
+    cross a pickling boundary (:class:`ProcessFabric`) or the JSON wire
+    (:class:`~repro.fabric.remote.RemoteFabric`) unchanged.  The kind's
+    ``run`` function must be a pure function of the payload: that is
+    the whole basis of the backend-interchangeability contract.
+    """
+
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError(f"task kind must be a non-empty string, "
+                             f"got {self.kind!r}")
+
+
+#: One task's outcome inside a round: (task index, ok, result-or-exception).
+_RoundOutcome = Tuple[int, bool, object]
+
+
+class Fabric:
+    """Base class: the retry loop, ordering guarantee and obs plumbing.
+
+    Subclasses implement :meth:`_run_round` — execute an indexed batch
+    any way they like, reporting one outcome per task — and inherit
+    deterministic reassembly, bounded per-task retry and the metrics.
+
+    Parameters
+    ----------
+    max_retries:
+        Re-executions granted to a failing task before it is given up
+        on.  In-process backends default to 0 (their task failures are
+        deterministic); the remote backend defaults higher because a
+        failure there may be a lost shard.
+    shards:
+        Optional fixed shard-count hint for planners (see
+        :meth:`shard_count`); ``None`` lets the planner derive one from
+        :attr:`parallelism`.
+    tracer / registry:
+        Obs sinks (``fabric.map`` spans; ``fabric_*`` metrics).
+        Defaults: null tracer, process-wide registry.
+    """
+
+    #: Backend label, used in metrics/spans and error messages.
+    name = "fabric"
+    #: How many tasks the backend can genuinely run at once.
+    parallelism = 1
+
+    def __init__(
+        self,
+        max_retries: int = 0,
+        shards: Optional[int] = None,
+        tracer=None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.max_retries = max_retries
+        self.shards = shards
+        self.tracer = maybe_tracer(tracer)
+        self.registry = registry if registry is not None else get_registry()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; base: nothing to do)."""
+
+    def __enter__(self) -> "Fabric":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # planning hint
+    # ------------------------------------------------------------------ #
+
+    def shard_count(self, n_items: int, chunk_factor: int = 4) -> int:
+        """How many shards a planner should split *n_items* into.
+
+        A fixed :attr:`shards` wins when set (the fuzz oracle pins shard
+        counts with it); otherwise ``parallelism * chunk_factor``,
+        bounded by the item count — the same oversharding heuristic the
+        process pool always used to smooth load imbalance.
+        """
+        if n_items <= 0:
+            return 0
+        wanted = self.shards or max(1, self.parallelism * chunk_factor)
+        return min(n_items, wanted)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def _run_round(
+        self, batch: Sequence[Tuple[int, FabricTask]]
+    ) -> List[_RoundOutcome]:
+        """Execute one indexed batch; one outcome per task, any order."""
+        raise NotImplementedError
+
+    def map_outcomes(
+        self, tasks: Sequence[FabricTask]
+    ) -> List[Tuple[bool, object]]:
+        """Run *tasks*, retrying failures; per-task ``(ok, value)`` rows.
+
+        The returned list is in task order.  ``value`` is the task's
+        result when ``ok``, else the exception of its final attempt.
+        Unlike :meth:`map`, a failed task does not poison the batch —
+        the service's task endpoint uses this to report per-task errors
+        so the *caller's* retry policy stays in charge.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        registry = self.registry
+        registry.inc("fabric_tasks_total", len(tasks))
+        hist = self.registry.get_histogram(
+            "fabric_map_seconds",
+            "wall clock of one fabric task batch (retries included)")
+        start = time.perf_counter()
+        results: List[Tuple[bool, object]] = [(False, None)] * len(tasks)
+        pending = list(range(len(tasks)))
+        with self.tracer.span("fabric.map", backend=self.name,
+                              tasks=len(tasks)) as span:
+            attempt = 0
+            while True:
+                outcomes = self._run_round(
+                    [(i, tasks[i]) for i in pending])
+                failed: List[int] = []
+                for i, ok, value in outcomes:
+                    results[i] = (ok, value)
+                    if not ok:
+                        failed.append(i)
+                if not failed or attempt >= self.max_retries:
+                    break
+                attempt += 1
+                failed.sort()
+                registry.inc("fabric_task_retries_total", len(failed))
+                pending = failed
+            span.annotate(retries=attempt,
+                          failed=sum(1 for ok, _ in results if not ok))
+        if any(not ok for ok, _ in results):
+            registry.inc("fabric_failed_tasks_total",
+                         sum(1 for ok, _ in results if not ok))
+        hist.observe(time.perf_counter() - start)
+        return results
+
+    def map(self, tasks: Sequence[FabricTask]) -> List[object]:
+        """Run *tasks* and return their results in task order.
+
+        Any task still failing after its bounded retries raises one
+        :class:`FabricExecutionError` chaining that task's exception.
+        """
+        outcomes = self.map_outcomes(tasks)
+        failures = [(i, value) for i, (ok, value) in enumerate(outcomes)
+                    if not ok]
+        if failures:
+            index, exc = failures[0]
+            cause = exc if isinstance(exc, BaseException) else None
+            raise FabricExecutionError(
+                f"{len(failures)} of {len(outcomes)} task(s) failed on the "
+                f"{self.name} fabric after {self.max_retries} retr"
+                f"{'y' if self.max_retries == 1 else 'ies'} "
+                f"(first: task {index}: {exc})"
+            ) from cause
+        return [value for _, value in outcomes]
+
+
+class SerialFabric(Fabric):
+    """Inline execution, one task after another — the reference backend.
+
+    Bit-identical to every other backend by definition of the task
+    contract, and the fastest choice when batches are small enough that
+    fan-out overhead would dominate.
+    """
+
+    name = "serial"
+    parallelism = 1
+
+    def _run_round(
+        self, batch: Sequence[Tuple[int, FabricTask]]
+    ) -> List[_RoundOutcome]:
+        from .tasks import run_task
+
+        outcomes: List[_RoundOutcome] = []
+        for index, task in batch:
+            try:
+                outcomes.append((index, True, run_task(task)))
+            except Exception as exc:  # noqa: BLE001 — per-task reporting
+                outcomes.append((index, False, exc))
+        return outcomes
+
+
+class ProcessFabric(Fabric):
+    """A local process pool: one task per pool future.
+
+    This backend absorbs the executor logic that used to live inside
+    ``repro.parallel.ParallelEvaluator``: lazy pool creation, the
+    preferred start method, deterministic submission order, and the
+    tear-it-down-on-failure discipline (a broken pool is closed so the
+    next batch starts from a clean one).
+
+    Thread-safe: the service's task endpoint shares one instance across
+    handler threads (``ProcessPoolExecutor.submit`` is thread-safe; the
+    pool create/teardown path is lock-guarded).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        jobs: int,
+        start_method: Optional[str] = None,
+        max_retries: int = 0,
+        shards: Optional[int] = None,
+        tracer=None,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        super().__init__(max_retries=max_retries, shards=shards,
+                         tracer=tracer, registry=registry)
+        self.jobs = jobs
+        self.parallelism = jobs
+        self.start_method = start_method or preferred_start_method()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        import threading
+
+        self._pool_lock = threading.Lock()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context(
+                        self.start_method),
+                )
+            return self._executor
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def _run_round(
+        self, batch: Sequence[Tuple[int, FabricTask]]
+    ) -> List[_RoundOutcome]:
+        from .tasks import run_task
+
+        dispatch = self.registry.get_histogram(
+            "fabric_task_seconds",
+            "submit-to-done latency of one fabric task (queue + compute)")
+        submitted = time.perf_counter()
+
+        def _observe_done(_future: Future) -> None:
+            # Runs on a pool thread as each task finishes; the registry
+            # is thread-safe.
+            dispatch.observe(time.perf_counter() - submitted)
+
+        futures: List[Tuple[int, Future]] = []
+        try:
+            for index, task in batch:
+                future = self._pool().submit(run_task, task)
+                future.add_done_callback(_observe_done)
+                futures.append((index, future))
+        except Exception as exc:  # pool is broken before/while submitting
+            for _index, future in futures:
+                future.cancel()
+            self.close()
+            raise FabricExecutionError(
+                f"the {self.name} fabric could not submit tasks "
+                f"({self.jobs} job(s)): {exc}"
+            ) from exc
+        outcomes: List[_RoundOutcome] = []
+        broken = False
+        for index, future in futures:
+            try:
+                outcomes.append((index, True, future.result()))
+            except Exception as exc:  # noqa: BLE001 — per-task reporting
+                outcomes.append((index, False, exc))
+                # A hard-killed worker breaks the whole pool; tear it
+                # down so any retry (or the next batch) gets a fresh one.
+                from concurrent.futures.process import BrokenProcessPool
+
+                if isinstance(exc, BrokenProcessPool):
+                    broken = True
+        if broken:
+            self.close()
+        return outcomes

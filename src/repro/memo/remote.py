@@ -1,0 +1,239 @@
+"""RemoteMemo: the identification memo over the service HTTP API.
+
+:class:`~repro.fabric.RemoteFabric` workers have no shared filesystem,
+so a :class:`~repro.memo.MemoStore` directory cannot be the fleet-wide
+memo.  :class:`RemoteMemo` is the drop-in replacement: the same
+``lookup``/``record`` surface (so the planner and the procedures cannot
+tell the difference), backed by the service's ``GET/PUT /memo/<id>``
+routes, where the server holds one authoritative :class:`MemoStore`.
+
+Trust discipline mirrors the store's decode-or-quarantine rule: a
+``GET`` response is decoded with the *same* strict validator as an entry
+file (:func:`repro.memo.store.decode_entry_doc`) against the key this
+client computed locally — a corrupt, truncated, or mismatched document
+degrades to a miss, never to a wrong hit.  ``PUT`` ships one-row entry
+documents; the server merges monotonically, so concurrent recorders in a
+fleet lose nothing.
+
+Failure discipline is fail-open: the memo is purely an accelerator, so
+an unreachable or erroring server degrades lookups to misses and drops
+records silently (counted in ``stats``/obs) rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from threading import RLock
+from typing import Dict, Optional
+
+from ..comparison.identify import (
+    PositionKey,
+    PositionResult,
+    identification_key,
+)
+from ..obs import Registry, get_registry
+from .keys import MEMO_VERSION, memo_key_doc, memo_key_id
+from .store import (
+    ENTRY_FORMAT,
+    LOOKUP_BUCKETS,
+    MemoStats,
+    _encode_result,
+    decode_entry_doc,
+)
+
+__all__ = ["RemoteMemo"]
+
+
+class RemoteMemo:
+    """MemoStore-compatible identification memo served over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        The service base URL (``repro-resynth serve --memo DIR`` makes
+        the server side authoritative).
+    timeout:
+        Per-request socket timeout.  Memo traffic is latency-sensitive
+        (one lookup guards one permutation search), hence the small
+        default; a slow server degrades to misses, not stalls.
+    hot_entries:
+        In-process LRU bound over raw search keys, exactly as in
+        :class:`~repro.memo.MemoStore` — warm lookups never touch the
+        network.
+    registry:
+        Target for the ``memo_*`` metrics (plus
+        ``memo_remote_errors_total`` for fail-open degradations);
+        default: the process-wide registry.
+    client:
+        Injectable transport (tests); defaults to a
+        :class:`repro.service.client.ServiceClient`, whose GET retries
+        also cover transient memo-server blips.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        hot_entries: int = 1 << 17,
+        registry: Optional[Registry] = None,
+        client=None,
+    ) -> None:
+        if hot_entries < 1:
+            raise ValueError(f"hot_entries must be >= 1, got {hot_entries}")
+        if client is None:
+            from ..service.client import ServiceClient
+
+            client = ServiceClient(base_url, timeout=timeout)
+        self._client = client
+        self.base_url = base_url.rstrip("/")
+        self.hot_entries = hot_entries
+        self._lock = RLock()
+        self._hot: "OrderedDict[PositionKey, PositionResult]" = OrderedDict()
+        self.stats = MemoStats()
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._hits = registry.get_counter(
+            "memo_hits_total", "identification memo lookups served")
+        self._misses = registry.get_counter(
+            "memo_misses_total", "identification memo lookups missed")
+        self._puts = registry.get_counter(
+            "memo_puts_total", "identification results persisted")
+        self._corrupt = registry.get_counter(
+            "memo_corrupt_entries_total",
+            "entry files dropped as unparseable/invalid (served as misses)")
+        self._hot_evictions = registry.get_counter(
+            "memo_hot_evictions_total",
+            "hot-tier rows evicted by the in-process LRU bound")
+        self._remote_errors = registry.get_counter(
+            "memo_remote_errors_total",
+            "memo requests degraded fail-open (connection/API errors)")
+        self._lookup_hist = registry.get_histogram(
+            "memo_lookup_seconds", "latency of one memo lookup",
+            buckets=LOOKUP_BUCKETS)
+
+    def __len__(self) -> int:
+        """Hot-tier row count."""
+        with self._lock:
+            return len(self._hot)
+
+    # ------------------------------------------------------------------ #
+
+    def _hot_put(self, raw: PositionKey, result: PositionResult) -> None:
+        hot = self._hot
+        if raw in hot:
+            hot.move_to_end(raw)
+            hot[raw] = result
+            return
+        while len(hot) >= self.hot_entries:
+            hot.popitem(last=False)
+            self.stats.hot_evictions += 1
+            self._hot_evictions.inc()
+        hot[raw] = result
+
+    def _connection_errors(self):
+        from ..service.client import ServiceAPIError, ServiceConnectionError
+
+        return ServiceAPIError, ServiceConnectionError
+
+    # ------------------------------------------------------------------ #
+    # the cache surface (MemoStore-compatible)
+    # ------------------------------------------------------------------ #
+
+    def lookup(
+        self,
+        table: int,
+        n: int,
+        perm_budget: int,
+        try_offset: bool,
+        seed: int,
+        max_specs: int,
+    ) -> Optional[PositionResult]:
+        """The stored result for one search, or None on a miss.
+
+        Hot tier first; then one ``GET /memo/<id>`` whose response must
+        clear the store's strict entry validation against the locally
+        computed key.  404, connection failure, or any anomaly in the
+        document is a miss.
+        """
+        start = time.perf_counter()
+        api_error, conn_error = self._connection_errors()
+        raw = identification_key(
+            table, n, perm_budget, try_offset, seed, max_specs)
+        with self._lock:
+            got = self._hot.get(raw)
+            if got is not None:
+                self._hot.move_to_end(raw)
+        if got is None:
+            key_doc = memo_key_doc(
+                table, n, perm_budget, try_offset, seed, max_specs)
+            class_id = memo_key_id(key_doc)
+            doc = None
+            try:
+                doc = self._client.memo_entry(class_id)
+            except api_error as exc:
+                if exc.code != 404:
+                    self.stats.corrupt += 1
+                    self._remote_errors.inc()
+            except (conn_error, OSError):
+                self._remote_errors.inc()
+            if doc is not None:
+                try:
+                    rows = decode_entry_doc(doc, key_doc, raw[1:])
+                except (ValueError, KeyError, TypeError):
+                    # Quarantine client-side: a bad wire document is a
+                    # miss, never a wrong hit.
+                    self.stats.corrupt += 1
+                    self._corrupt.inc()
+                else:
+                    with self._lock:
+                        for row_key, result in rows.items():
+                            self._hot_put(row_key, result)
+                        got = self._hot.get(raw)
+        if got is None:
+            self.stats.misses += 1
+            self._misses.inc()
+        else:
+            self.stats.hits += 1
+            self._hits.inc()
+        self._lookup_hist.observe(time.perf_counter() - start)
+        return got
+
+    def record(
+        self,
+        table: int,
+        n: int,
+        perm_budget: int,
+        try_offset: bool,
+        seed: int,
+        max_specs: int,
+        result: PositionResult,
+    ) -> None:
+        """Install one freshly computed result locally and ship it.
+
+        The PUT carries a one-row entry document; the server merges it
+        into the authoritative store (monotone, so racing recorders keep
+        each other's rows).  An unreachable server only loses the
+        persistence, never the local hot-tier install.
+        """
+        api_error, conn_error = self._connection_errors()
+        raw = identification_key(
+            table, n, perm_budget, try_offset, seed, max_specs)
+        with self._lock:
+            self._hot_put(raw, result)
+        key_doc = memo_key_doc(
+            table, n, perm_budget, try_offset, seed, max_specs)
+        class_id = memo_key_id(key_doc)
+        doc: Dict[str, object] = {
+            "format": ENTRY_FORMAT,
+            "version": MEMO_VERSION,
+            "key": key_doc,
+            "results": {format(table, "x"): _encode_result(result)},
+        }
+        try:
+            self._client.put_memo_entry(class_id, doc)
+        except (api_error, conn_error, OSError):
+            self._remote_errors.inc()
+            return
+        self.stats.puts += 1
+        self._puts.inc()

@@ -18,7 +18,7 @@ reproduction::
   (:func:`render_trace_summary`).  When no tracer is installed, the
   shared :data:`null_tracer` makes every instrumented site a no-op.
 
-The legacy stats surfaces — ``repro.service.metrics.MetricsRegistry``,
+The legacy stats surfaces —
 :class:`repro.parallel.PassPrimeStats` accounting and the
 :class:`repro.sim.TruthTableCache` hit/miss counters — now feed (or
 alias) this layer; ``docs/OBSERVABILITY.md`` documents the span

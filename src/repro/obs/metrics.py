@@ -21,9 +21,7 @@ Two export surfaces, one data model: :meth:`Registry.snapshot` keeps the
 JSON shape the service's ``/metrics`` endpoint has always served
 (``counters`` / ``gauges`` / ``summaries``), and
 :func:`repro.obs.prometheus.render` produces Prometheus text exposition
-from the same instruments.  The legacy
-:class:`repro.service.metrics.MetricsRegistry` is a deprecated alias
-over this class.
+from the same instruments.
 """
 
 from __future__ import annotations
@@ -241,7 +239,7 @@ class Registry:
                 got = self._histograms[name] = Histogram(name, help, buckets)
             return got
 
-    # -- name-keyed conveniences (the legacy MetricsRegistry verbs) ----- #
+    # -- name-keyed conveniences for one-shot call sites ---------------- #
 
     def inc(self, name: str, value: float = 1.0) -> None:
         """Add *value* (>= 0) to the counter *name*."""

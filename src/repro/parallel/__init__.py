@@ -8,46 +8,59 @@ knobs respectively — while everything that *orders* the sweep (marking,
 frozen units, replacement commits, path-label updates) is serial state
 owned by the :class:`~repro.analysis.AnalysisSession`.
 
-This module exploits that split.  Before each pass the coordinator
-enumerates every candidate cone of the pass-start circuit, dedupes them by
-:func:`~repro.sim.cone_signature`, and fans the work out over a process
-pool in two rounds (:mod:`repro.parallel.worker`): an *extraction* round
-shipping the cone slices whose truth tables are not yet cached, and an
-*identification* round shipping one search per unique table-level cache
-key (distinct cone structures frequently compute the same function, so
-this round is much smaller than the signature count).  The coordinator
-merges the returned rows into the pass's caches: the session's
-:class:`~repro.sim.TruthTableCache` and the global
+This module is the **cache-priming planner** that exploits that split.
+Before each pass the coordinator enumerates every candidate cone of the
+pass-start circuit, dedupes them by :func:`~repro.sim.cone_signature`,
+and fans the work out over a :class:`~repro.fabric.Fabric` in two rounds
+of registered task kinds (:mod:`repro.fabric.tasks`): an *extraction*
+round shipping the cone slices whose truth tables are not yet cached,
+and an *identification* round shipping one search per unique table-level
+cache key (distinct cone structures frequently compute the same
+function, so this round is much smaller than the signature count).  The
+coordinator merges the returned rows into the pass's caches: the
+session's :class:`~repro.sim.TruthTableCache` and the global
 :class:`~repro.comparison.IdentificationCache`.  The serial sweep then
 runs unchanged and finds its expensive questions pre-answered.
 
+*Where* the tasks run is the fabric's business, not the planner's: the
+same priming loop drives :class:`~repro.fabric.SerialFabric` (inline),
+:class:`~repro.fabric.ProcessFabric` (the local pool that used to live
+inside this module) and :class:`~repro.fabric.RemoteFabric` (a worker
+fleet over HTTP).  ``docs/PARALLEL.md`` documents the planner;
+``docs/FABRIC.md`` documents the execution layer.
+
 **Determinism contract.**  Reports are bit-identical at any ``--jobs``
-value because workers only ever compute pure functions the sweep would
-otherwise compute inline: a cache hit is indistinguishable from a local
-evaluation, merge order cannot matter (equal keys hold equal values), and
-every selection tie-break still happens in the serial sweep, in serial
-order, against the session's current labels.  Cones that only exist
-mid-pass (after an in-pass replacement, or bounded by freshly frozen
-units) simply miss the warmed caches and are evaluated inline, exactly as
-a serial run evaluates them.  See ``docs/PARALLEL.md`` for the full
-contract.
+value, on any fabric backend, at any shard count, because workers only
+ever compute pure functions the sweep would otherwise compute inline: a
+cache hit is indistinguishable from a local evaluation, merge order
+cannot matter (equal keys hold equal values), and every selection
+tie-break still happens in the serial sweep, in serial order, against
+the session's current labels.  Cones that only exist mid-pass (after an
+in-pass replacement, or bounded by freshly frozen units) simply miss the
+warmed caches and are evaluated inline, exactly as a serial run
+evaluates them.  See ``docs/PARALLEL.md`` for the full contract.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis import AnalysisSession
 from ..comparison.identify import identification_cache, identification_key
+from ..fabric.core import (
+    Fabric,
+    FabricExecutionError,
+    FabricTask,
+    ProcessFabric,
+    preferred_start_method,
+)
 from ..netlist import Circuit, GateType
 from ..obs import Registry, get_registry, maybe_tracer
 from ..resynth.candidates import enumerate_candidate_cones
 from ..sim import cone_signature
-from .worker import CandidateReport, extract_chunk, identify_chunk
+from .worker import CandidateReport
 
 __all__ = [
     "CandidateReport",
@@ -58,24 +71,16 @@ __all__ = [
 ]
 
 
-class ParallelExecutionError(RuntimeError):
-    """A worker failed (or the pool broke) during candidate evaluation.
+class ParallelExecutionError(FabricExecutionError):
+    """Candidate evaluation failed on the fabric during priming.
 
-    Raised by :meth:`ParallelEvaluator.prime_pass` with the original
-    exception chained, after cancelling the remaining chunks — a crashed
-    worker surfaces as one clean error instead of a hang or a corrupted
-    sweep.
+    Raised by :meth:`ParallelEvaluator.prime_pass` with the fabric's
+    exception chained, after the evaluator's own fabric (if it owns one)
+    has been torn down — a crashed worker surfaces as one clean error
+    instead of a hang or a corrupted sweep.  Subclasses
+    :class:`~repro.fabric.FabricExecutionError` so callers may catch at
+    either layer.
     """
-
-
-def preferred_start_method() -> str:
-    """The multiprocessing start method the evaluator picks by default.
-
-    ``fork`` when the platform offers it (cheap, inherits the warm code
-    and caches), ``spawn`` otherwise.
-    """
-    methods = multiprocessing.get_all_start_methods()
-    return "fork" if "fork" in methods else "spawn"
 
 
 @dataclass(frozen=True)
@@ -86,43 +91,55 @@ class PassPrimeStats:
     cones: int  # candidate cones enumerated (with duplicates)
     unique_cones: int  # distinct signatures among them
     shipped: int  # cone slices sent to the extraction round
-    chunks: int  # worker tasks submitted (both rounds)
+    chunks: int  # fabric tasks submitted (both rounds)
     merged_tables: int  # truth tables installed into the session cache
     merged_identifications: int  # unique searches installed globally
 
 
 class ParallelEvaluator:
-    """Process-pool coordinator for per-pass candidate fan-out.
+    """Cache-priming planner: per-pass candidate fan-out over a fabric.
 
     Parameters
     ----------
     jobs:
-        Worker process count (must be >= 1; 1 is allowed and simply runs
-        one worker, which is useful for tests).
+        Worker count for the evaluator's own
+        :class:`~repro.fabric.ProcessFabric` (must be >= 1; 1 is allowed
+        and simply runs one worker, which is useful for tests).  Ignored
+        for execution when *fabric* is given, but still validated.
     chunk_factor:
-        Tasks submitted per worker per pass.  More chunks smooth load
-        imbalance between cheap and expensive cones; each chunk carries
-        its own (small) pickling overhead.
+        Shards per unit of fabric parallelism per round (the
+        ``chunk_factor`` handed to
+        :meth:`~repro.fabric.Fabric.shard_count`).  More shards smooth
+        load imbalance between cheap and expensive cones; each shard
+        carries its own (small) serialization overhead.
     start_method:
-        Multiprocessing start method; defaults to
-        :func:`preferred_start_method`.
+        Multiprocessing start method for the owned process fabric;
+        defaults to :func:`~repro.fabric.preferred_start_method`.
     inject_crash:
         Test-only: makes every worker raise immediately, to exercise the
-        :class:`ParallelExecutionError` path deterministically.
+        :class:`ParallelExecutionError` path deterministically (the knob
+        travels inside the task payload, so it works on every backend).
     tracer:
         A :class:`repro.obs.Tracer` recording ``prime`` spans (with
         ``prime.enumerate`` / ``prime.extract`` / ``prime.identify``
         children) under whatever span is current when
         :meth:`prime_pass` runs; default: the null tracer.
     registry:
-        A :class:`repro.obs.Registry` receiving the fan-out metrics
-        (chunk dispatch latency, cones/tables/identifications counters);
-        default: the process-wide registry.
+        A :class:`repro.obs.Registry` receiving the planner metrics
+        (cones/tables/identifications counters; the fabric adds its own
+        ``fabric_*`` series); default: the process-wide registry.
+    fabric:
+        An externally-owned :class:`~repro.fabric.Fabric` to execute on
+        (e.g. a :class:`~repro.fabric.RemoteFabric`).  The evaluator
+        never closes a caller-provided fabric; without one it lazily
+        creates — and owns — a process fabric from *jobs* /
+        *start_method*.
 
-    The pool is created lazily on the first :meth:`prime_pass` and torn
-    down by :meth:`close` (the evaluator is also a context manager).
-    :attr:`prime_seconds` accumulates each call's wall clock (the
-    procedures publish it as the report's ``timings["prime_seconds"]``).
+    The owned fabric's pool is created lazily on the first
+    :meth:`prime_pass` and torn down by :meth:`close` (the evaluator is
+    also a context manager).  :attr:`prime_seconds` accumulates each
+    call's wall clock (the procedures publish it as the report's
+    ``timings["prime_seconds"]``).
     """
 
     def __init__(
@@ -133,6 +150,7 @@ class ParallelEvaluator:
         inject_crash: bool = False,
         tracer=None,
         registry: Optional[Registry] = None,
+        fabric: Optional[Fabric] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -145,25 +163,38 @@ class ParallelEvaluator:
         self.tracer = maybe_tracer(tracer)
         self.registry = registry if registry is not None else get_registry()
         self.prime_seconds: List[float] = []
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._shared_fabric = fabric
+        self._owned_fabric: Optional[ProcessFabric] = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=multiprocessing.get_context(self.start_method),
+    @property
+    def fabric(self) -> Optional[Fabric]:
+        """The fabric tasks run on (``None`` until an owned one exists)."""
+        return self._shared_fabric or self._owned_fabric
+
+    def _get_fabric(self) -> Fabric:
+        if self._shared_fabric is not None:
+            return self._shared_fabric
+        if self._owned_fabric is None:
+            self._owned_fabric = ProcessFabric(
+                self.jobs,
+                start_method=self.start_method,
+                tracer=self.tracer,
+                registry=self.registry,
             )
-        return self._executor
+        return self._owned_fabric
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        """Shut the owned fabric down (idempotent).
+
+        A caller-provided fabric is the caller's to close — it may be
+        serving other evaluators or outlive this pass entirely.
+        """
+        if self._owned_fabric is not None:
+            self._owned_fabric.close()
 
     def __enter__(self) -> "ParallelEvaluator":
         return self
@@ -175,48 +206,37 @@ class ParallelEvaluator:
     # the per-pass fan-out
     # ------------------------------------------------------------------ #
 
-    def _map_chunks(self, fn, items: List, extra_args: Tuple, seed: int):
-        """Fan *items* out over the pool; yield result rows in chunk order.
+    def _map_chunks(self, kind: str, items: List, knobs: Dict, seed: int):
+        """Fan *items* out over the fabric; return merged rows + shard count.
 
-        Rows are merged in deterministic (submission) order, although the
-        merge order cannot matter: every row is a pure-function value
-        keyed by its own arguments, so equal keys always carry equal
-        values.  A failed worker cancels the remaining chunks, tears the
-        pool down, and surfaces as one :class:`ParallelExecutionError`.
+        Rows come back in deterministic (task) order, although the merge
+        order cannot matter: every row is a pure-function value keyed by
+        its own arguments, so equal keys always carry equal values.  A
+        failing round tears down the evaluator's owned fabric (so any
+        later pass starts from a clean pool) and surfaces as one
+        :class:`ParallelExecutionError`.
         """
-        n_chunks = min(len(items), self.jobs * self.chunk_factor)
-        chunks = [items[i::n_chunks] for i in range(n_chunks)]
-        dispatch = self.registry.get_histogram(
-            "parallel_chunk_seconds",
-            "submit-to-done latency of one worker chunk (queue + compute)")
-        submitted = time.perf_counter()
-
-        def _observe_done(_future: Future) -> None:
-            # Runs on a pool thread as each chunk finishes; the registry
-            # is thread-safe.  Measures pool dispatch latency: time from
-            # submission until the chunk's result is ready.
-            dispatch.observe(time.perf_counter() - submitted)
-
-        futures: List[Future] = [
-            self._pool().submit(fn, chunk, *extra_args, self.inject_crash)
-            for chunk in chunks
-        ]
-        for future in futures:
-            future.add_done_callback(_observe_done)
+        fabric = self._get_fabric()
+        n_chunks = fabric.shard_count(len(items), self.chunk_factor)
+        tasks = []
+        for i in range(n_chunks):
+            payload = {"items": items[i::n_chunks],
+                       "inject_crash": self.inject_crash}
+            payload.update(knobs)
+            tasks.append(FabricTask(kind=kind, payload=payload))
         self.registry.inc("parallel_chunks_total", n_chunks)
-        rows: List = []
         try:
-            for future in futures:
-                rows.extend(future.result())
-        except Exception as exc:
-            for future in futures:
-                future.cancel()
+            chunk_rows = fabric.map(tasks)
+        except FabricExecutionError as exc:
             self.close()
             raise ParallelExecutionError(
                 f"parallel candidate evaluation failed while priming the "
-                f"pass with seed {seed} ({self.jobs} job(s), "
-                f"{n_chunks} chunk(s) of {fn.__name__}): {exc}"
+                f"pass with seed {seed} ({n_chunks} {kind} shard(s) on the "
+                f"{fabric.name} fabric): {exc}"
             ) from exc
+        rows: List = []
+        for result in chunk_rows:
+            rows.extend(result)
         return rows, n_chunks
 
     def prime_pass(
@@ -234,7 +254,7 @@ class ParallelEvaluator:
         Enumerates the candidate cones of every gate-output line of
         *circuit* (the pass-start structure, with an empty frozen set —
         exactly the serial sweep's view at its first selection site), then
-        runs the two worker rounds:
+        runs the two task rounds:
 
         1. *extraction* — signatures without a cached truth table are
            shipped as cone slices; the returned tables are installed into
@@ -293,7 +313,7 @@ class ParallelEvaluator:
                 with self.tracer.span("prime.extract",
                                       shipped=len(to_extract)):
                     rows, used = self._map_chunks(
-                        extract_chunk, to_extract, (), seed
+                        "extract", to_extract, {}, seed
                     )
                     n_chunks += used
                     for sig, n, table in rows:
@@ -330,9 +350,12 @@ class ParallelEvaluator:
                 with self.tracer.span("prime.identify",
                                       searches=len(to_identify)):
                     rows, used = self._map_chunks(
-                        identify_chunk,
+                        "identify",
                         list(to_identify.values()),
-                        (perm_budget, try_offset, seed, max_specs),
+                        {"perm_budget": perm_budget,
+                         "try_offset": try_offset,
+                         "seed": seed,
+                         "max_specs": max_specs},
                         seed,
                     )
                     n_chunks += used

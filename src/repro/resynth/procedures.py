@@ -377,6 +377,7 @@ def _run(
     tracer=None,
     registry: Optional[Registry] = None,
     memo=None,
+    fabric=None,
 ) -> ResynthesisReport:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -389,9 +390,15 @@ def _run(
 
         memo = MemoStore(memo, registry=registry)
     evaluator = None
-    if jobs > 1:
-        # Imported lazily: repro.parallel imports from repro.resynth, so a
-        # top-level import here would be circular.
+    if fabric is not None:
+        # An explicit fabric always primes, even at jobs=1: the caller
+        # chose where candidate evaluation runs (repro.parallel imports
+        # from repro.resynth, so the import is lazy to stay acyclic).
+        from ..parallel import ParallelEvaluator
+
+        evaluator = ParallelEvaluator(max(jobs, 1), fabric=fabric,
+                                      tracer=tracer, registry=registry)
+    elif jobs > 1:
         from ..parallel import ParallelEvaluator
 
         evaluator = ParallelEvaluator(jobs, tracer=tracer,
@@ -435,7 +442,8 @@ def _run(
                 seconds_prior = 0.0
                 done = False
             epoch_base = work.epoch
-            session = AnalysisSession(work, registry=registry, memo=memo)
+            session = AnalysisSession(work, registry=registry, memo=memo,
+                                      fabric=fabric)
         verify_seconds: List[float] = []
         try:
             with tracer.span("setup.labels"):
@@ -519,6 +527,8 @@ def _run(
         timings["verify_seconds"] = verify_seconds
     if evaluator is not None and evaluator.prime_seconds:
         timings["prime_seconds"] = list(evaluator.prime_seconds)
+    if fabric is not None:
+        timings["fabric"] = fabric.name
     return ResynthesisReport(
         circuit=work,
         objective=objective,
@@ -550,6 +560,7 @@ def procedure2(
     tracer=None,
     registry: Optional[Registry] = None,
     memo=None,
+    fabric=None,
 ) -> ResynthesisReport:
     """Procedure 2: reduce the number of gates (paths as tiebreak).
 
@@ -589,11 +600,18 @@ def procedure2(
         an accelerator: the report is bit-identical with the memo off,
         cold, or warm (the ``memo`` differential oracle fuzzes this; see
         docs/MEMO.md).
+    fabric:
+        Optional :class:`repro.fabric.Fabric` to run candidate
+        evaluation on (serial, local process pool, or a remote worker
+        fleet — docs/FABRIC.md).  The report is bit-identical on every
+        backend at any shard count; the caller owns the fabric's
+        lifecycle.  Without one, ``jobs > 1`` creates a process fabric
+        internally, as before.
     """
     return _run(
         circuit, _select_for_gates, "gates", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume, tracer, registry, memo,
+        on_pass, resume, tracer, registry, memo, fabric,
     )
 
 
@@ -612,18 +630,19 @@ def procedure3(
     tracer=None,
     registry: Optional[Registry] = None,
     memo=None,
+    fabric=None,
 ) -> ResynthesisReport:
     """Procedure 3: reduce the number of paths (gate count unconstrained).
 
     ``exact=True`` augments identification with the exact decision
     procedure (see :func:`repro.resynth.evaluate_cone`); ``jobs``,
-    ``on_pass``, ``resume``, ``tracer``, ``registry`` and ``memo``
-    behave as in :func:`procedure2`.
+    ``on_pass``, ``resume``, ``tracer``, ``registry``, ``memo`` and
+    ``fabric`` behave as in :func:`procedure2`.
     """
     return _run(
         circuit, _select_for_paths, "paths", k, perm_budget, seed,
         max_passes, verify_patterns, decompose, exact, jobs,
-        on_pass, resume, tracer, registry, memo,
+        on_pass, resume, tracer, registry, memo, fabric,
     )
 
 
@@ -642,6 +661,7 @@ def combined_procedure(
     tracer=None,
     registry: Optional[Registry] = None,
     memo=None,
+    fabric=None,
 ) -> ResynthesisReport:
     """Section 4.3's combined gates+paths objective.
 
@@ -654,4 +674,5 @@ def combined_procedure(
         f"combined(w={gate_weight})", k, perm_budget, seed, max_passes,
         verify_patterns, decompose, jobs=jobs, on_pass=on_pass,
         resume=resume, tracer=tracer, registry=registry, memo=memo,
+        fabric=fabric,
     )

@@ -7,7 +7,8 @@ checkpoints, progress events and reports (:mod:`store`), a runner whose
 interrupted jobs resume bit-identically (:mod:`runner`), worker
 subprocess supervision with heartbeats and bounded retries
 (:mod:`supervisor`), and the HTTP service itself (:mod:`api`) with its
-metrics registry (:mod:`metrics`) and client (:mod:`client`).
+client (:mod:`client`).  Metrics go through :class:`repro.obs.Registry`
+directly.
 
 Entry points: ``repro-resynth serve`` / ``submit`` / ``jobs`` /
 ``result`` on the CLI, :class:`ServiceServer` in-process.  The full
@@ -16,7 +17,7 @@ lifecycle, checkpoint format and determinism contract are documented in
 """
 
 from .api import ResynthesisService, ServiceServer
-from .client import ServiceAPIError, ServiceClient
+from .client import ServiceAPIError, ServiceClient, ServiceConnectionError
 from .jobspec import (
     JobSpec,
     JobSpecError,
@@ -25,7 +26,6 @@ from .jobspec import (
     spec_from_doc,
     spec_from_json,
 )
-from .metrics import MetricsRegistry
 from .runner import run_job
 from .store import ArtifactStore, JOB_STATES, StoreError, TERMINAL_STATES
 from .supervisor import (
@@ -41,11 +41,11 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "JobSpecError",
-    "MetricsRegistry",
     "PROCEDURES",
     "ResynthesisService",
     "ServiceAPIError",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceServer",
     "StoreError",
     "SupervisorConfig",

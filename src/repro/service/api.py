@@ -18,9 +18,25 @@ Two layers:
       GET  /jobs/<id>/result      result netlist document only
       GET  /metrics               JSON snapshot (default) or Prometheus
                                   text exposition when Accept prefers it
+      POST /tasks                 execute fabric task documents
+                                  (``--task-workers N``; docs/FABRIC.md)
+      GET  /memo/<id>             one identification-memo entry document
+      PUT  /memo/<id>             merge an entry into the server's memo
+                                  (both need ``--memo DIR``; docs/MEMO.md)
 
   Errors are JSON too: 400 for malformed specs/queries, 404 for unknown
   ids or routes.  See docs/SERVICE.md for the full reference.
+
+The ``/tasks`` endpoint is what turns a fleet of ``serve`` processes
+into :class:`~repro.fabric.RemoteFabric` workers: each request carries a
+batch of wire-encoded pure-function tasks, executed on the service's own
+task fabric (serial for ``--task-workers 1``, a process pool above
+that) with per-task outcomes reported — retry policy stays with the
+*calling* fabric, which knows whether a failure was the task or the
+transport.  The ``/memo`` routes are the first slice of the
+memo-over-the-network roadmap item: remote workers share one
+authoritative :class:`~repro.memo.MemoStore` without a shared
+filesystem (client side: :class:`repro.memo.remote.RemoteMemo`).
 """
 
 from __future__ import annotations
@@ -33,6 +49,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..fabric.core import Fabric, ProcessFabric, SerialFabric
+from ..fabric.tasks import decode_task, encode_result
 from ..obs import PROMETHEUS_CONTENT_TYPE, Registry, render_prometheus
 from .jobspec import JobSpec, JobSpecError, spec_from_doc
 from .store import ArtifactStore, StoreError, TERMINAL_STATES
@@ -88,14 +106,28 @@ class ResynthesisService:
         max_workers: int = 2,
         metrics: Optional[Registry] = None,
         worker_command=None,
+        task_workers: int = 0,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if task_workers < 0:
+            raise ValueError("task_workers must be >= 0")
         self.store = store
         self.config = config or SupervisorConfig()
         self.metrics = metrics or Registry()
         self._max_workers = max_workers
         self._worker_command = worker_command  # None -> the real worker
+        # The /tasks execution fabric.  max_retries=0: the server reports
+        # per-task outcomes and the *calling* fabric owns retry policy
+        # (it alone can tell a lost shard from a poisoned task).
+        self.task_fabric: Optional[Fabric] = None
+        if task_workers == 1:
+            self.task_fabric = SerialFabric(registry=self.metrics)
+        elif task_workers > 1:
+            self.task_fabric = ProcessFabric(task_workers,
+                                             registry=self.metrics)
+        self._memo_store = None
+        self._memo_lock = threading.Lock()
         self._queue: deque = deque()
         self._queued: set = set()
         self._enqueued_at: Dict[str, float] = {}
@@ -136,11 +168,15 @@ class ResynthesisService:
         for supervisor in supervisors:
             supervisor.stop()
         deadline = time.time() + timeout
-        while time.time() < deadline:
-            with self._lock:
-                if not self._active:
-                    return
-            time.sleep(0.05)
+        try:
+            while time.time() < deadline:
+                with self._lock:
+                    if not self._active:
+                        return
+                time.sleep(0.05)
+        finally:
+            if self.task_fabric is not None:
+                self.task_fabric.close()
 
     def _recover(self) -> None:
         """Re-queue jobs a previous process left queued or running.
@@ -238,6 +274,55 @@ class ResynthesisService:
                                        len(self._active))
             self._wakeup.set()
 
+    # -- fabric tasks ---------------------------------------------------- #
+
+    def run_tasks(self, docs: List[object]) -> List[Dict[str, object]]:
+        """Decode and execute wire task documents; per-task outcome rows.
+
+        Raises :class:`ValueError` when any document fails its kind's
+        strict decode (the handler answers 400 — a malformed task is the
+        *request's* fault).  Execution failures, by contrast, land in
+        the task's own ``{"ok": false, "error": ...}`` row so one
+        poisoned task cannot hide its shard-mates' results.
+        """
+        if self.task_fabric is None:
+            raise RuntimeError("task execution is not enabled")
+        tasks = [decode_task(doc) for doc in docs]
+        self.metrics.inc("service_tasks_total", len(tasks))
+        outcomes = self.task_fabric.map_outcomes(tasks)
+        rows: List[Dict[str, object]] = []
+        errors = 0
+        for task, (ok, value) in zip(tasks, outcomes):
+            if ok:
+                rows.append({"ok": True,
+                             "result": encode_result(task.kind, value)})
+            else:
+                errors += 1
+                rows.append({"ok": False, "error": str(value)})
+        if errors:
+            self.metrics.inc("service_task_errors_total", errors)
+        return rows
+
+    # -- memo ------------------------------------------------------------ #
+
+    @property
+    def memo_store(self):
+        """The authoritative memo behind ``/memo`` (None when disabled).
+
+        Lazily opened from ``config.memo_root`` — the same store the
+        supervisor hands its job workers, so fleet PUTs and local
+        workers converge on one directory.
+        """
+        if self.config.memo_root is None:
+            return None
+        with self._memo_lock:
+            if self._memo_store is None:
+                from ..memo import MemoStore
+
+                self._memo_store = MemoStore(self.config.memo_root,
+                                             registry=self.metrics)
+            return self._memo_store
+
     # -- views ---------------------------------------------------------- #
 
     def job_view(self, job_id: str) -> Dict[str, object]:
@@ -316,25 +401,36 @@ class _Handler(BaseHTTPRequestHandler):
         self.service.metrics.inc("service_http_errors_total")
         self._send_json(code, {"error": message})
 
+    def _read_json_body(self) -> object:
+        """The request body parsed as JSON (ValueError on anomalies)."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ValueError("bad Content-Length") from None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not JSON: {exc}") from None
+
     # -- routes --------------------------------------------------------- #
 
     def do_POST(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         self.service.metrics.inc("service_http_requests_total")
         parsed = urlparse(self.path)
-        if parsed.path.rstrip("/") != "/jobs":
+        path = parsed.path.rstrip("/")
+        if path == "/jobs":
+            self._submit_job()
+        elif path == "/tasks":
+            self._run_tasks()
+        else:
             self._error(404, f"no such route: POST {parsed.path}")
-            return
+
+    def _submit_job(self) -> None:
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            self._error(400, "bad Content-Length")
-            return
-        raw = self.rfile.read(length) if length else b""
-        try:
-            doc = json.loads(raw.decode("utf-8") or "null")
+            doc = self._read_json_body()
             spec = spec_from_doc(doc)
-        except (JobSpecError, UnicodeDecodeError,
-                json.JSONDecodeError) as exc:
+        except (JobSpecError, ValueError) as exc:
             self._error(400, f"invalid job spec: {exc}")
             return
         job_id, created = self.service.submit(spec)
@@ -342,6 +438,47 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(201 if created else 200, {
             "id": job_id, "state": state, "created": created,
         })
+
+    def _run_tasks(self) -> None:
+        """``POST /tasks``: execute a fabric task batch (docs/FABRIC.md)."""
+        if self.service.task_fabric is None:
+            self._error(404, "task execution not enabled "
+                             "(start with serve --task-workers N)")
+            return
+        try:
+            doc = self._read_json_body()
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        if not isinstance(doc, dict) or not isinstance(
+                doc.get("tasks"), list):
+            self._error(400, "request body is not {'tasks': [...]}")
+            return
+        try:
+            rows = self.service.run_tasks(doc["tasks"])
+        except ValueError as exc:
+            self._error(400, f"invalid task document: {exc}")
+            return
+        self._send_json(200, {"results": rows})
+
+    def do_PUT(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self.service.metrics.inc("service_http_requests_total")
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if len(parts) != 2 or parts[0] != "memo":
+            self._error(404, f"no such route: PUT {parsed.path}")
+            return
+        store = self.service.memo_store
+        if store is None:
+            self._error(404, "memo not enabled (start with serve --memo DIR)")
+            return
+        try:
+            doc = self._read_json_body()
+            merged = store.merge_entry_doc(parts[1], doc)
+        except (ValueError, KeyError, TypeError) as exc:
+            self._error(400, f"invalid memo entry: {exc}")
+            return
+        self._send_json(200, {"merged": merged})
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
         self.service.metrics.inc("service_http_requests_total")
@@ -357,6 +494,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.job_view(parts[1]))
             elif len(parts) == 3 and parts[0] == "jobs":
                 self._job_subresource(parts[1], parts[2], query)
+            elif len(parts) == 2 and parts[0] == "memo":
+                self._memo_entry(parts[1])
             else:
                 self._error(404, f"no such route: GET {parsed.path}")
         except StoreError as exc:
@@ -378,6 +517,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_body(200, body, PROMETHEUS_CONTENT_TYPE)
         else:
             self._send_json(200, registry.snapshot())
+
+    def _memo_entry(self, class_id: str) -> None:
+        """``GET /memo/<id>``: one raw entry document, 404 when absent.
+
+        Served verbatim — the requesting :class:`~repro.memo.RemoteMemo`
+        validates against the key it computed, which is where corruption
+        must be caught to be meaningful.
+        """
+        store = self.service.memo_store
+        if store is None:
+            self._error(404, "memo not enabled (start with serve --memo DIR)")
+            return
+        doc = store.load_entry_doc(class_id)
+        if doc is None:
+            self._error(404, f"no memo entry {class_id!r}")
+            return
+        self._send_json(200, doc)
 
     def _job_subresource(self, job_id: str, leaf: str,
                          query: Dict[str, List[str]]) -> None:
@@ -439,9 +595,11 @@ class ServiceServer:
         config: Optional[SupervisorConfig] = None,
         max_workers: int = 2,
         verbose: bool = False,
+        task_workers: int = 0,
     ) -> None:
         self.service = ResynthesisService(
             store, config=config, max_workers=max_workers,
+            task_workers=task_workers,
         )
         handler = type("BoundHandler", (_Handler,),
                        {"service": self.service})

@@ -5,10 +5,24 @@ return parsed JSON documents.  HTTP error responses carrying a JSON
 ``{"error": ...}`` body are raised as :class:`ServiceAPIError` with the
 server's message and status code, so callers see the server's diagnosis
 rather than a bare ``HTTPError``.
+
+Robustness discipline
+---------------------
+Every request carries a per-request socket ``timeout`` so a hung server
+cannot hang the client.  Connection-level failures (refused, reset,
+timed out — the server never saw or never answered the request) are
+retried with bounded exponential backoff, **but only for GETs**: a GET
+here is idempotent, while retrying a ``POST /jobs`` whose response was
+lost could submit the job twice.  After the retry budget the failure
+surfaces as :class:`ServiceConnectionError` (an ``OSError``, so callers
+that already catch connection errors keep working).  Server-answered
+errors (:class:`ServiceAPIError`) are never retried — the server made a
+deterministic decision.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -27,12 +41,49 @@ class ServiceAPIError(RuntimeError):
         self.message = message
 
 
-class ServiceClient:
-    """Client for one service base URL (e.g. ``http://127.0.0.1:8734``)."""
+class ServiceConnectionError(OSError):
+    """The server could not be reached (after any retries).
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    Subclasses :class:`OSError` so generic connection-error handling —
+    e.g. :class:`repro.fabric.RemoteFabric`'s lost-shard path — catches
+    it without knowing this module.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8734``).
+
+    Parameters
+    ----------
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Extra attempts granted to *idempotent* (GET) requests that fail
+        at the connection level.  POST/PUT are never retried here.
+    backoff:
+        Sleep before the first retry; doubles per subsequent retry.
+    """
+
+    #: Exceptions that mean "the connection failed" rather than "the
+    #: server answered an error" (HTTPError subclasses OSError via
+    #: URLError, so it must be handled first — see :meth:`_request`).
+    CONNECTION_ERRORS = (OSError, http.client.HTTPException)
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 2, backoff: float = 0.2) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = time.sleep  # test seam
 
     def _request(self, method: str, path: str,
                  body: Optional[object] = None) -> object:
@@ -41,19 +92,33 @@ class ServiceClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method,
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            raw = exc.read().decode("utf-8", errors="replace")
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(self.backoff * (2 ** (attempt - 1)))
+            req = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method,
+            )
             try:
-                message = json.loads(raw).get("error", raw)
-            except json.JSONDecodeError:
-                message = raw or exc.reason
-            raise ServiceAPIError(exc.code, message) from None
+                with urllib.request.urlopen(
+                        req, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # The server answered: deterministic, never retried.
+                raw = exc.read().decode("utf-8", errors="replace")
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except json.JSONDecodeError:
+                    message = raw or exc.reason
+                raise ServiceAPIError(exc.code, message) from None
+            except self.CONNECTION_ERRORS as exc:
+                last_exc = exc
+        raise ServiceConnectionError(
+            f"{method} {self.base_url}{path} failed after {attempts} "
+            f"attempt(s): {last_exc}", attempts,
+        ) from last_exc
 
     # -- routes --------------------------------------------------------- #
 
@@ -91,6 +156,30 @@ class ServiceClient:
     def metrics(self) -> Dict[str, object]:
         """``GET /metrics``."""
         return self._request("GET", "/metrics")
+
+    def run_tasks(self, task_docs: List[Dict[str, object]]
+                  ) -> Dict[str, object]:
+        """``POST /tasks`` — execute fabric task documents on the server.
+
+        Returns ``{"results": [{"ok": true, "result": ...} |
+        {"ok": false, "error": ...}, ...]}`` in task order.  Not retried
+        here (a POST): :class:`repro.fabric.RemoteFabric` owns the
+        redispatch policy for lost shards.
+        """
+        return self._request("POST", "/tasks", body={"tasks": task_docs})
+
+    def memo_entry(self, class_id: str) -> Dict[str, object]:
+        """``GET /memo/<class-id>`` — one raw memo entry document."""
+        return self._request("GET", f"/memo/{class_id}")
+
+    def put_memo_entry(self, class_id: str,
+                       doc: Dict[str, object]) -> Dict[str, object]:
+        """``PUT /memo/<class-id>`` — merge an entry into the server memo.
+
+        The server validates and merges (a PUT can only add results), so
+        concurrent writers lose nothing; returns ``{"merged": N}``.
+        """
+        return self._request("PUT", f"/memo/{class_id}", body=doc)
 
     # -- conveniences --------------------------------------------------- #
 

@@ -45,6 +45,7 @@ def run_job(
     on_pass: Optional[Callable[[PassCheckpoint], None]] = None,
     progress: Optional[Callable[[], None]] = None,
     memo=None,
+    fabric=None,
 ) -> ResynthesisReport:
     """Execute the job, resuming from its latest checkpoint if one exists.
 
@@ -59,6 +60,12 @@ def run_job(
     is handed to the procedure as the persistent identification cache.
     It is deliberately not part of the spec (and so not of the job id):
     it cannot change the report, only the wall clock.
+
+    *fabric* — an optional :class:`repro.fabric.Fabric` — routes the
+    job's candidate evaluation (e.g. to a remote worker fleet, letting
+    one service job fan its identification round across hosts).  Like
+    the memo, it is execution placement, not job identity: reports are
+    bit-identical on any backend, so it stays out of the spec.
     """
     spec = store.load_spec(job_id)
     circuit = resolve_circuit(spec)
@@ -88,7 +95,7 @@ def run_job(
 
     proc = _procedure_call(spec)
     report = proc(circuit, on_pass=checkpoint_hook, resume=resume,
-                  memo=memo)
+                  memo=memo, fabric=fabric)
     store.write_report(job_id, report)
     store.append_event(
         job_id, "completed",

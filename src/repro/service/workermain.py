@@ -29,6 +29,14 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--heartbeat-interval", type=float, default=1.0)
     parser.add_argument("--memo", default=None,
                         help="shared identification cache directory")
+    parser.add_argument("--memo-url", default=None,
+                        help="identification memo served over HTTP "
+                             "(GET/PUT /memo; overrides --memo)")
+    parser.add_argument("--task-worker", action="append", default=[],
+                        metavar="URL", dest="task_workers",
+                        help="remote fabric worker URL (repeatable): the "
+                             "job's candidate evaluation fans out to "
+                             "these POST /tasks endpoints")
     try:
         args = parser.parse_args(argv)
     except SystemExit:
@@ -46,13 +54,24 @@ def worker_main(argv: Optional[List[str]] = None) -> int:
             store.heartbeat(args.job_id)
             stop.wait(args.heartbeat_interval)
 
+    memo = args.memo
+    if args.memo_url:
+        from ..memo.remote import RemoteMemo
+
+        memo = RemoteMemo(args.memo_url)
+    fabric = None
+    if args.task_workers:
+        from ..fabric.remote import RemoteFabric
+
+        fabric = RemoteFabric(args.task_workers)
+
     store.heartbeat(args.job_id)
     beater = threading.Thread(target=beat_forever, daemon=True)
     beater.start()
     try:
         run_job(store, args.job_id,
                 progress=lambda: store.heartbeat(args.job_id),
-                memo=args.memo)
+                memo=memo, fabric=fabric)
         return 0
     except BaseException as exc:  # noqa: BLE001 — the whole point is capture
         store.write_worker_error(

@@ -415,14 +415,22 @@ def netlist_dump(circuit: Circuit):
 
 
 class ParallelOracle(Oracle):
-    """Serial/parallel equivalence of the resynthesis procedures.
+    """Backend equivalence of the resynthesis procedures.
 
-    Runs Procedures 2 and 3 twice each — ``jobs=1`` and ``jobs=2`` — and
+    Runs Procedures 2 and 3 on every fan-out path against the ``jobs=1``
+    serial reference — a local worker pool (``jobs=2``) and, when
+    enabled, a :class:`~repro.fabric.RemoteFabric` over a real
+    in-process service server at pinned shard counts 1 and 2 — and
     requires the reports and the resulting netlists to agree bit for bit
-    (the :mod:`repro.parallel` determinism contract).  The process-global
-    identification cache is cleared before each run: without that, the
-    serial run would pre-answer every question the workers are supposed to
-    answer, and a wrong worker-side result could never be observed.
+    (the :mod:`repro.parallel` / :mod:`repro.fabric` determinism
+    contract; docs/FABRIC.md).  The process-global identification cache
+    is cleared before each run: without that, the serial run would
+    pre-answer every question the workers are supposed to answer, and a
+    wrong worker-side result could never be observed.
+
+    The remote legs cross the full JSON wire (``POST /tasks`` on a
+    ``task_workers=1`` server), so the oracle also fuzzes the codecs of
+    :mod:`repro.fabric.tasks` with generated circuits.
     """
 
     name = "parallel"
@@ -434,12 +442,45 @@ class ParallelOracle(Oracle):
         max_passes: int = 2,
         max_inputs: int = 8,
         jobs: int = 2,
+        remote: bool = True,
+        remote_shards: Tuple[int, ...] = (1, 2),
     ) -> None:
         self._k = k
         self._perm_budget = perm_budget
         self._max_passes = max_passes
         self._max_inputs = max_inputs
         self._jobs = jobs
+        self._remote = remote
+        self._remote_shards = tuple(remote_shards)
+        self._server = None
+
+    def _server_url(self) -> str:
+        """One lazily started task server shared by every remote leg."""
+        if self._server is None:
+            import tempfile
+
+            from ..service import ArtifactStore, ServiceServer
+
+            root = tempfile.mkdtemp(prefix="repro-fuzz-fabric-")
+            self._server = ServiceServer(ArtifactStore(root),
+                                         task_workers=1)
+            self._server.start()
+        return self._server.url
+
+    def _legs(self):
+        """``(label, procedure-kwargs factory)`` per non-reference leg."""
+        legs = [(f"jobs={self._jobs}", lambda: {"jobs": self._jobs})]
+        if self._remote:
+            from ..fabric.remote import RemoteFabric
+
+            for shards in self._remote_shards:
+                legs.append((
+                    f"remote shards={shards}",
+                    lambda shards=shards: {"fabric": RemoteFabric(
+                        [self._server_url()], shards=shards,
+                        heartbeat_timeout=60.0)},
+                ))
+        return legs
 
     def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
         from ..comparison import identification_cache
@@ -448,52 +489,57 @@ class ParallelOracle(Oracle):
         if len(circuit.inputs) > self._max_inputs:
             return []
         violations: List[Violation] = []
+        common = dict(
+            k=self._k,
+            perm_budget=self._perm_budget,
+            seed=seed,
+            max_passes=self._max_passes,
+            verify_patterns=0,
+        )
+        numbers = (
+            "passes", "replacements", "gates_before", "gates_after",
+            "paths_before", "paths_after",
+        )
         for proc in (procedure2, procedure3):
-            reports = []
-            for jobs in (1, self._jobs):
-                identification_cache().clear()
-                reports.append(proc(
-                    circuit,
-                    k=self._k,
-                    perm_budget=self._perm_budget,
-                    seed=seed,
-                    max_passes=self._max_passes,
-                    verify_patterns=0,
-                    jobs=jobs,
-                ))
             identification_cache().clear()
-            serial, parallel = reports
-            numbers = (
-                "passes", "replacements", "gates_before", "gates_after",
-                "paths_before", "paths_after",
-            )
-            diverged = [
-                f for f in numbers
-                if getattr(serial, f) != getattr(parallel, f)
-            ]
-            if not diverged and (
-                netlist_dump(serial.circuit)
-                != netlist_dump(parallel.circuit)
-            ):
-                diverged = ["netlist"]
-            if diverged:
-                violations.append(Violation(
-                    self.name, seed,
-                    f"{proc.__name__} diverged between jobs=1 and "
-                    f"jobs={self._jobs} on: {', '.join(diverged)} "
-                    f"(serial: {serial.summary()}; "
-                    f"parallel: {parallel.summary()})",
-                    circuit=circuit,
-                    details={
-                        "procedure": proc.__name__,
-                        "diverged": diverged,
-                        "jobs": self._jobs,
-                        "serial": {f: getattr(serial, f) for f in numbers},
-                        "parallel": {
-                            f: getattr(parallel, f) for f in numbers
+            serial = proc(circuit, **common)
+            for label, make_kwargs in self._legs():
+                identification_cache().clear()
+                kwargs = make_kwargs()
+                fabric = kwargs.get("fabric")
+                try:
+                    leg = proc(circuit, **common, **kwargs)
+                finally:
+                    if fabric is not None:
+                        fabric.close()
+                diverged = [
+                    f for f in numbers
+                    if getattr(serial, f) != getattr(leg, f)
+                ]
+                if not diverged and (
+                    netlist_dump(serial.circuit)
+                    != netlist_dump(leg.circuit)
+                ):
+                    diverged = ["netlist"]
+                if diverged:
+                    violations.append(Violation(
+                        self.name, seed,
+                        f"{proc.__name__} diverged between jobs=1 and "
+                        f"{label} on: {', '.join(diverged)} "
+                        f"(serial: {serial.summary()}; "
+                        f"{label}: {leg.summary()})",
+                        circuit=circuit,
+                        details={
+                            "procedure": proc.__name__,
+                            "diverged": diverged,
+                            "leg": label,
+                            "serial": {
+                                f: getattr(serial, f) for f in numbers
+                            },
+                            label: {f: getattr(leg, f) for f in numbers},
                         },
-                    },
-                ))
+                    ))
+            identification_cache().clear()
         return violations
 
 

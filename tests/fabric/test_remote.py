@@ -1,0 +1,339 @@
+"""RemoteFabric failure paths and the HTTP end-to-end loop.
+
+The fake-client tests pin the work-stealing discipline in isolation —
+redispatch of lost shards, bounded retry of poisoned tasks, ordering
+under out-of-order completion, fleet death.  The end-to-end tests run a
+real :class:`~repro.service.ServiceServer` (``task_workers=1``) plus,
+for the dead-worker case, a raw TCP listener that accepts and
+immediately closes connections — the harshest mid-shard death the
+transport can produce.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.fabric import FabricExecutionError, FabricTask, SerialFabric
+from repro.fabric.remote import RemoteFabric, RemoteTaskError
+from repro.fabric.tasks import (
+    TaskKind,
+    decode_task,
+    encode_result,
+    register_task_kind,
+    run_task,
+)
+from repro.obs import Registry
+
+
+def _sleep_echo_run(payload):
+    time.sleep(payload.get("delay", 0.0))
+    return payload["value"]
+
+
+register_task_kind(TaskKind(name="test-sleep-echo", run=_sleep_echo_run))
+
+
+def identify_task(table, n, inject_crash=False):
+    return FabricTask("identify", {
+        "items": [(table, n)],
+        "perm_budget": 24,
+        "try_offset": True,
+        "seed": 3,
+        "max_specs": 4,
+        "inject_crash": inject_crash,
+    })
+
+
+class LoopbackClient:
+    """Executes task documents inline — the server's POST /tasks in
+    miniature (per-task outcome rows, execution errors reported, never
+    raised)."""
+
+    def __init__(self, url, log=None):
+        self.url = url
+        self.log = log if log is not None else []
+
+    def run_tasks(self, docs):
+        rows = []
+        for doc in docs:
+            task = decode_task(doc)
+            self.log.append((self.url, task.kind))
+            try:
+                rows.append({
+                    "ok": True,
+                    "result": encode_result(task.kind, run_task(task)),
+                })
+            except Exception as exc:  # noqa: BLE001 — server-side mimicry
+                rows.append({"ok": False, "error": str(exc)})
+        return {"results": rows}
+
+
+class DeadClient:
+    """Every request fails at the connection level (worker is gone)."""
+
+    def __init__(self, url, log=None):
+        self.url = url
+        self.log = log if log is not None else []
+
+    def run_tasks(self, docs):
+        self.log.append((self.url, "dead"))
+        raise ConnectionResetError("connection reset by peer")
+
+
+def fabric_with(clients, **kw):
+    """A RemoteFabric whose pullers use the given fake clients."""
+    by_url = {client.url: client for client in clients}
+    kw.setdefault("backoff_base", 0.001)
+    return RemoteFabric(
+        [client.url for client in clients],
+        client_factory=lambda url, timeout: by_url[url],
+        **kw,
+    )
+
+
+class TestWorkStealing:
+    def test_results_come_back_in_task_order(self):
+        # Task 0 is slow, task 1 instant; with two pullers the fast task
+        # settles first, yet map() must restore task order.
+        log = []
+        clients = [LoopbackClient("http://a", log),
+                   LoopbackClient("http://b", log)]
+        tasks = [
+            FabricTask("test-sleep-echo", {"delay": 0.2, "value": "slow"}),
+            FabricTask("test-sleep-echo", {"delay": 0.0, "value": "fast"}),
+            FabricTask("test-sleep-echo", {"delay": 0.0, "value": "also"}),
+        ]
+        fabric = fabric_with(clients)
+        assert fabric.map(tasks) == ["slow", "fast", "also"]
+        # Both workers pulled (the fast one stole the extra shard).
+        assert {url for url, _kind in log} == {"http://a", "http://b"}
+
+    def test_matches_serial_bit_for_bit(self):
+        tasks = [identify_task(0b0110, 2), identify_task(0b1000, 2),
+                 identify_task(0b10010110, 3), identify_task(0b0001, 2)]
+        serial = SerialFabric().map(tasks)
+        fabric = fabric_with([LoopbackClient("http://a"),
+                              LoopbackClient("http://b")])
+        assert fabric.map(tasks) == serial
+
+    def test_repeated_url_means_two_pullers(self):
+        log = []
+        client = LoopbackClient("http://a", log)
+        fabric = RemoteFabric(
+            ["http://a", "http://a"],
+            client_factory=lambda url, timeout: client,
+        )
+        tasks = [identify_task(0b0110, 2), identify_task(0b1000, 2)]
+        assert fabric.map(tasks) == SerialFabric().map(tasks)
+        assert fabric.parallelism == 2
+
+
+class TestDeadWorker:
+    def test_lost_shards_are_redispatched_bit_identically(self):
+        # Worker a dies on every request mid-shard; its shards must be
+        # stolen by b and the result must equal the serial reference.
+        # b is gated until a has burned its failure budget, so the dead
+        # worker deterministically holds (and loses) shards.
+        registry = Registry()
+        a_done = threading.Event()
+
+        class CountingDeadClient(DeadClient):
+            def run_tasks(self, docs):
+                try:
+                    return super().run_tasks(docs)
+                finally:
+                    if len(self.log) >= 2:
+                        a_done.set()
+
+        class GatedLoopbackClient(LoopbackClient):
+            def run_tasks(self, docs):
+                a_done.wait(timeout=10.0)
+                return super().run_tasks(docs)
+
+        clients = [CountingDeadClient("http://a"),
+                   GatedLoopbackClient("http://b")]
+        tasks = [identify_task(0b0110, 2), identify_task(0b1000, 2),
+                 identify_task(0b10010110, 3)]
+        fabric = fabric_with(clients, max_worker_failures=2,
+                             registry=registry)
+        assert fabric.map(tasks) == SerialFabric().map(tasks)
+        assert fabric._dead == {0}
+        assert fabric.live_workers() == ["http://b"]
+        assert registry.counter_value("fabric_lost_shards_total") == 2
+        assert registry.counter_value("fabric_dead_workers_total") == 1
+
+    def test_dead_worker_stays_dead_across_rounds(self):
+        clients = [DeadClient("http://a"), LoopbackClient("http://b")]
+        fabric = fabric_with(clients, max_worker_failures=1)
+        fabric.map([identify_task(0b0110, 2)])
+        log_before = len(clients[0].log)
+        fabric.map([identify_task(0b1000, 2)])
+        # The dead worker was never contacted again.
+        assert len(clients[0].log) == log_before
+
+    def test_whole_fleet_dead_is_a_clean_error(self):
+        fabric = fabric_with([DeadClient("http://a"), DeadClient("http://b")],
+                             max_worker_failures=2)
+        with pytest.raises(FabricExecutionError,
+                           match="shard.*outstanding.*unreachable"):
+            fabric.map([identify_task(0b0110, 2), identify_task(0b1000, 2)])
+        with pytest.raises(FabricExecutionError,
+                           match="no live remote workers left"):
+            fabric.map([identify_task(0b0110, 2)])
+
+
+class TestPoisonedTask:
+    def test_bounded_retries_then_clean_error(self):
+        log = []
+        client = LoopbackClient("http://a", log)
+        fabric = fabric_with([client], max_retries=2)
+        with pytest.raises(FabricExecutionError) as err:
+            fabric.map([identify_task(0b0110, 2, inject_crash=True)])
+        assert "after 2 retries" in str(err.value)
+        assert "injected worker crash" in str(err.value)
+        assert isinstance(err.value.__cause__, RemoteTaskError)
+        assert len(log) == 3  # first attempt + 2 retries
+
+    def test_poisoned_task_does_not_poison_batch_mates(self):
+        fabric = fabric_with([LoopbackClient("http://a")], max_retries=0)
+        good = identify_task(0b0110, 2)
+        rows = fabric.map_outcomes(
+            [good, identify_task(0b1000, 2, inject_crash=True)])
+        assert rows[0] == (True, SerialFabric().map([good])[0])
+        ok, exc = rows[1]
+        assert not ok and isinstance(exc, RemoteTaskError)
+
+    def test_malformed_response_is_a_task_error(self):
+        class GarbageClient:
+            url = "http://a"
+
+            def run_tasks(self, docs):
+                return {"results": "not-a-list"}
+
+        fabric = RemoteFabric(
+            ["http://a"], max_retries=0,
+            client_factory=lambda url, timeout: GarbageClient(),
+        )
+        rows = fabric.map_outcomes([identify_task(0b0110, 2)])
+        ok, exc = rows[0]
+        assert not ok and isinstance(exc, RemoteTaskError)
+        assert "malformed task response" in str(exc)
+
+
+class TestValidation:
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            RemoteFabric([])
+
+    def test_trailing_slash_is_normalized(self):
+        fabric = RemoteFabric(
+            ["http://a/"], client_factory=lambda url, timeout: None)
+        assert fabric.workers == ["http://a"]
+
+    def test_knob_validation(self):
+        factory = lambda url, timeout: None  # noqa: E731
+        with pytest.raises(ValueError):
+            RemoteFabric(["http://a"], heartbeat_timeout=0,
+                         client_factory=factory)
+        with pytest.raises(ValueError):
+            RemoteFabric(["http://a"], max_worker_failures=0,
+                         client_factory=factory)
+
+
+# --------------------------------------------------------------------- #
+# end to end over real HTTP
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def task_server(tmp_path):
+    from repro.service import ArtifactStore, ServiceServer
+
+    server = ServiceServer(ArtifactStore(str(tmp_path / "store")),
+                           task_workers=1)
+    server.start()
+    yield server
+    server.stop()
+
+
+def accept_and_close_listener():
+    """A TCP listener that kills every connection on arrival; returns
+    ``(url, shutdown)``."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    sock.settimeout(0.1)
+    stop = threading.Event()
+
+    def loop():
+        while not stop.is_set():
+            try:
+                conn, _addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.close()
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{sock.getsockname()[1]}"
+
+    def shutdown():
+        stop.set()
+        thread.join(timeout=2.0)
+        sock.close()
+
+    return url, shutdown
+
+
+class TestEndToEnd:
+    def test_http_round_trip_matches_serial(self, task_server):
+        tasks = [identify_task(0b0110, 2), identify_task(0b10010110, 3),
+                 identify_task(0b1000, 2)]
+        fabric = RemoteFabric([task_server.url], heartbeat_timeout=30.0)
+        assert fabric.map(tasks) == SerialFabric().map(tasks)
+
+    def test_worker_dies_mid_shard_report_bit_identical(self, task_server):
+        # Real transports on both sides: the sink worker resets every
+        # connection (the harshest mid-shard death); the live server is
+        # gated until the sink has lost its shard, so the redispatch
+        # path deterministically runs.
+        from repro.service.client import ServiceClient
+
+        sink_url, shutdown = accept_and_close_listener()
+        sink_failed = threading.Event()
+
+        class Gated:
+            def __init__(self, inner, is_sink):
+                self._inner = inner
+                self._is_sink = is_sink
+
+            def run_tasks(self, docs):
+                if self._is_sink:
+                    try:
+                        return self._inner.run_tasks(docs)
+                    finally:
+                        sink_failed.set()
+                sink_failed.wait(timeout=10.0)
+                return self._inner.run_tasks(docs)
+
+        try:
+            tasks = [identify_task(0b0110, 2), identify_task(0b1000, 2),
+                     identify_task(0b10010110, 3),
+                     identify_task(0b0111, 2)]
+            fabric = RemoteFabric(
+                [sink_url, task_server.url],
+                heartbeat_timeout=30.0, max_worker_failures=1,
+                backoff_base=0.01,
+                client_factory=lambda url, timeout: Gated(
+                    ServiceClient(url, timeout=timeout),
+                    url == sink_url),
+            )
+            assert fabric.map(tasks) == SerialFabric().map(tasks)
+            assert fabric._dead == {0}
+            assert fabric.live_workers() == [task_server.url]
+        finally:
+            shutdown()

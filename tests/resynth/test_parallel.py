@@ -169,8 +169,9 @@ class TestEvaluator:
                 ev.prime_pass(circuit, session, k=4, perm_budget=24,
                               seed=5, max_specs=6)
             assert "injected worker crash" in str(exc_info.value)
-            # The broken pool was torn down; the evaluator is closed.
-            assert ev._executor is None
+            # The owned fabric's pool was torn down on the way out.
+            assert ev.fabric is not None
+            assert ev.fabric._executor is None
         finally:
             ev.close()
             session.close()

@@ -12,10 +12,10 @@ import sys
 
 from repro.benchcircuits import c17
 from repro.io import circuit_to_json
+from repro.obs import Registry
 from repro.service import (
     ArtifactStore,
     JobSpec,
-    MetricsRegistry,
     SupervisorConfig,
     WorkerSupervisor,
 )
@@ -48,18 +48,18 @@ def fast_config(**kw):
 class TestFakeWorkers:
     def test_clean_exit_is_success(self, tmp_path):
         store, job_id = make_job(tmp_path)
-        metrics = MetricsRegistry()
+        metrics = Registry()
         sup = WorkerSupervisor(store, fast_config(), metrics,
                                worker_command=fake_worker("pass"))
         outcome = sup.supervise(job_id)
         assert outcome.state == "succeeded"
         assert outcome.attempts == 1
         assert store.status(job_id)["state"] == "succeeded"
-        assert metrics.counter("service_jobs_succeeded_total") == 1
+        assert metrics.counter_value("service_jobs_succeeded_total") == 1
 
     def test_nonzero_exit_reaches_failed(self, tmp_path):
         store, job_id = make_job(tmp_path)
-        metrics = MetricsRegistry()
+        metrics = Registry()
         sup = WorkerSupervisor(
             store, fast_config(), metrics,
             worker_command=fake_worker("import sys; sys.exit(3)"),
@@ -70,7 +70,7 @@ class TestFakeWorkers:
         status = store.status(job_id)
         assert status["state"] == "failed"
         assert "code 3" in status["reason"]
-        assert metrics.counter("service_jobs_failed_total") == 1
+        assert metrics.counter_value("service_jobs_failed_total") == 1
 
     def test_fail_once_then_succeed_retries(self, tmp_path):
         store, job_id = make_job(tmp_path)
@@ -83,7 +83,7 @@ class TestFakeWorkers:
             "open(marker, 'w').close()\n"
             "sys.exit(1)\n"
         )
-        metrics = MetricsRegistry()
+        metrics = Registry()
         slept = []
         sup = WorkerSupervisor(
             store, fast_config(max_retries=2), metrics,
@@ -92,7 +92,7 @@ class TestFakeWorkers:
         outcome = sup.supervise(job_id)
         assert outcome.state == "succeeded"
         assert outcome.attempts == 2
-        assert metrics.counter("service_worker_retries_total") == 1
+        assert metrics.counter_value("service_worker_retries_total") == 1
         types = [e["type"] for e in store.events(job_id)]
         assert types.count("attempt") == 2
         failed = [e for e in store.events(job_id)
@@ -117,7 +117,7 @@ class TestFakeWorkers:
 
     def test_silent_worker_is_killed_on_heartbeat_timeout(self, tmp_path):
         store, job_id = make_job(tmp_path)
-        metrics = MetricsRegistry()
+        metrics = Registry()
         sup = WorkerSupervisor(
             store, fast_config(heartbeat_timeout=0.3), metrics,
             worker_command=fake_worker("import time; time.sleep(60)"),
@@ -125,7 +125,7 @@ class TestFakeWorkers:
         outcome = sup.supervise(job_id)
         assert outcome.state == "failed"
         assert "heartbeat" in outcome.error
-        assert metrics.counter("service_heartbeat_timeouts_total") == 1
+        assert metrics.counter_value("service_heartbeat_timeouts_total") == 1
 
     def test_retry_after_heartbeat_timeout_succeeds(self, tmp_path):
         # Regression: the first attempt beats once and then hangs; its
@@ -143,7 +143,7 @@ class TestFakeWorkers:
             f"ArtifactStore({store.root!r}).heartbeat({job_id!r})\n"
             "time.sleep(60)\n"
         )
-        metrics = MetricsRegistry()
+        metrics = Registry()
         sup = WorkerSupervisor(
             store, fast_config(max_retries=1, heartbeat_timeout=0.5),
             metrics, worker_command=fake_worker(program),
@@ -151,7 +151,7 @@ class TestFakeWorkers:
         outcome = sup.supervise(job_id)
         assert outcome.state == "succeeded"
         assert outcome.attempts == 2
-        assert metrics.counter("service_heartbeat_timeouts_total") == 1
+        assert metrics.counter_value("service_heartbeat_timeouts_total") == 1
         failed = [e for e in store.events(job_id)
                   if e["type"] == "attempt_failed"]
         assert len(failed) == 1 and "heartbeat" in failed[0]["reason"]
