@@ -4,15 +4,21 @@ Scans ``docs/*.md`` plus the root ``README.md`` and ``DESIGN.md`` (and
 any extra files given on the command line) for relative Markdown links
 and inline-code path references, and fails (exit 1) when a target does
 not exist on disk.  External links (``http://``, ``https://``,
-``mailto:``) and pure anchors (``#section``) are ignored; an anchor on a
-relative link is stripped before the existence check.
+``mailto:``) are ignored.
+
+Anchors are validated too: for ``other.md#section`` (and pure
+intra-document ``#section``) links the fragment must match a heading in
+the target document, using GitHub's slug rules — lowercase, punctuation
+dropped, spaces to hyphens, ``-1``/``-2`` suffixes for repeated
+headings.  Headings inside fenced code blocks do not count.
 
 Run it from the repository root::
 
     python scripts/check_doc_links.py
 
-CI runs exactly that, so a renamed doc or a stale cross-reference fails
-the build instead of rotting quietly.
+CI runs exactly that, so a renamed doc, a stale cross-reference, or a
+reworded heading with live deep links fails the build instead of
+rotting quietly.
 """
 
 import argparse
@@ -29,32 +35,94 @@ CODE_PATH_RE = re.compile(
     r"`((?:docs|scripts|tests|src|benchmarks|examples)/[A-Za-z0-9_./-]+)`"
 )
 
+#: ATX headings (``# ...`` through ``###### ...``).
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+
+#: Fenced code block delimiters (``` or ~~~, optionally indented).
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
 DEFAULT_FILES = ["README.md", "DESIGN.md"]
 DEFAULT_GLOBS = ["docs/*.md"]
 
 
-def check_file(path: Path, root: Path) -> list:
-    """Return ``(line_no, target)`` pairs whose targets do not exist."""
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug for one heading's text."""
+    # Inline markup contributes its text, not its syntax.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    text = text.replace("`", "").replace("**", "").replace("*", "")
+    text = text.lower()
+    # Keep word characters (incl. underscore), spaces and hyphens;
+    # drop everything else.  Spaces become hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path, cache: dict) -> set:
+    """All valid anchor slugs in *path* (GitHub dedup rules applied)."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if not seen else f"{slug}-{seen}")
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: Path, root: Path, anchor_cache: dict) -> list:
+    """Return ``(line_no, target, reason)`` triples for dead targets."""
     dead = []
     text = path.read_text(encoding="utf-8")
+    in_fence = False
     for line_no, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
         targets = LINK_RE.findall(line) + CODE_PATH_RE.findall(line)
         for target in targets:
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            rel = target.split("#", 1)[0]
-            if not rel:
+            rel, _, fragment = target.partition("#")
+            if not rel and not fragment:
                 continue
-            # Relative to the referencing file first, then the repo root
-            # (prose habitually writes root-relative paths like
-            # `scripts/bench_resynth.py` from inside docs/).
-            if (path.parent / rel).exists() or (root / rel).exists():
+            # Resolve the file part: relative to the referencing file
+            # first, then the repo root (prose habitually writes
+            # root-relative paths like `scripts/bench_resynth.py`
+            # from inside docs/).  Empty rel = this document.
+            resolved = path
+            if rel:
+                if (path.parent / rel).exists():
+                    resolved = path.parent / rel
+                elif (root / rel).exists():
+                    resolved = root / rel
+                # Globs in prose (`tests/verify/corpus/*.json`) count
+                # as live when they match anything.
+                elif any(root.glob(rel)) or any(path.parent.glob(rel)):
+                    continue
+                else:
+                    dead.append((line_no, target, "dead link"))
+                    continue
+            if not fragment:
                 continue
-            # Globs in prose (`tests/verify/corpus/*.json`) count as live
-            # when they match anything.
-            if any(root.glob(rel)) or any(path.parent.glob(rel)):
-                continue
-            dead.append((line_no, target))
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-Markdown are not ours to judge
+            if fragment.lower() not in heading_anchors(resolved,
+                                                       anchor_cache):
+                dead.append((line_no, target, "dead anchor"))
     return dead
 
 
@@ -73,6 +141,7 @@ def main(argv=None) -> int:
 
     failures = 0
     checked = 0
+    anchor_cache = {}
     for path in files:
         if not path.exists():
             print(f"{path}: missing file")
@@ -83,8 +152,9 @@ def main(argv=None) -> int:
             shown = path.relative_to(root)
         except ValueError:
             shown = path
-        for line_no, target in check_file(path, root):
-            print(f"{shown}:{line_no}: dead link -> {target}")
+        for line_no, target, reason in check_file(path, root,
+                                                  anchor_cache):
+            print(f"{shown}:{line_no}: {reason} -> {target}")
             failures += 1
     status = "FAILED" if failures else "ok"
     print(f"doc-link check {status}: {checked} file(s), "

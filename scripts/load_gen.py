@@ -1,0 +1,221 @@
+"""Concurrent load generator for the async service front end.
+
+Hammers a loopback :class:`ServiceServer` with many concurrent
+submitters (content-distinct specs plus a dedup-heavy tail), measures
+**admission latency** (time to a 2xx/429 answer for ``POST /jobs``),
+and verifies the backpressure and event-delivery contracts under load::
+
+    PYTHONPATH=src python scripts/load_gen.py \
+        [--submitters N] [--jobs-per-submitter M] [--queue-limit Q] \
+        [--p95-ms BOUND] [--json FILE]
+
+Checks (any failure is a nonzero exit):
+
+* every submit answers ``201``/``200`` or a ``429`` that carries
+  ``Retry-After`` — no 5xx, no dropped connections;
+* with a bounded queue, at least one ``429`` is actually provoked
+  (otherwise the run did not test backpressure at all);
+* p95 admission latency stays under ``--p95-ms`` (default 250 ms);
+* one completed job's SSE stream replays the *entire* event log:
+  contiguous seqs from 1 with zero gaps — zero dropped events;
+* ``GET /jobs`` under load answers from the SQLite index (spot-checked
+  for consistency with the store's own count).
+
+The same numbers land in ``BENCH_resynth.json`` under ``service_slo``
+(via ``--json``); the CI leg runs a small burst (50 submitters) against
+loopback.  Jobs use tiny inline c17 specs so the run measures the front
+end, not the resynthesis engine.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import (
+    ArtifactStore,
+    JobSpec,
+    ServiceAPIError,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+
+def make_spec(doc, seed):
+    return JobSpec(netlist=doc, k=4, seed=seed, perm_budget=20,
+                   max_passes=1)
+
+
+class Submitter(threading.Thread):
+    """One concurrent client: submits its specs, records each answer."""
+
+    def __init__(self, url, specs):
+        super().__init__(daemon=True)
+        self.client = ServiceClient(url, timeout=60.0, retries=0)
+        self.specs = specs
+        self.latencies = []  # seconds per answered submit
+        self.accepted = 0
+        self.deduped = 0
+        self.rejected = 0
+        self.bad_429 = 0  # 429s missing Retry-After (contract breach)
+        self.errors = []
+
+    def run(self):
+        for spec in self.specs:
+            start = time.perf_counter()
+            try:
+                answer = self.client.submit(spec)
+                self.latencies.append(time.perf_counter() - start)
+                if answer.get("created"):
+                    self.accepted += 1
+                else:
+                    self.deduped += 1
+            except ServiceAPIError as exc:
+                self.latencies.append(time.perf_counter() - start)
+                if exc.code == 429:
+                    self.rejected += 1
+                    if exc.retry_after is None:
+                        self.bad_429 += 1
+                else:
+                    self.errors.append(f"HTTP {exc.code}: {exc.message}")
+            except OSError as exc:
+                self.errors.append(f"connection: {exc}")
+
+
+def percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--submitters", type=int, default=50)
+    parser.add_argument("--jobs-per-submitter", type=int, default=4)
+    parser.add_argument("--queue-limit", type=int, default=32)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--p95-ms", type=float, default=250.0)
+    parser.add_argument("--json", default=None,
+                        help="write the measured numbers to this file")
+    args = parser.parse_args()
+
+    doc = json.loads(circuit_to_json(c17()))
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-load-gen-") as root:
+        store = ArtifactStore(root)
+        config = SupervisorConfig(max_retries=0, poll_interval=0.02)
+        with ServiceServer(store, port=0, config=config,
+                           max_workers=args.workers,
+                           queue_limit=args.queue_limit) as server:
+            print(f"service: {server.url} (queue-limit "
+                  f"{args.queue_limit}, {args.workers} workers)",
+                  flush=True)
+            # Distinct seeds per (submitter, slot) except the last slot,
+            # which every submitter shares — a dedup storm on one id.
+            threads = []
+            for s in range(args.submitters):
+                specs = [make_spec(doc, seed=s * 1000 + j)
+                         for j in range(args.jobs_per_submitter - 1)]
+                specs.append(make_spec(doc, seed=999_999))
+                threads.append(Submitter(server.url, specs))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300.0)
+
+            latencies = [x for t in threads for x in t.latencies]
+            accepted = sum(t.accepted for t in threads)
+            deduped = sum(t.deduped for t in threads)
+            rejected = sum(t.rejected for t in threads)
+            bad_429 = sum(t.bad_429 for t in threads)
+            errors = [e for t in threads for e in t.errors]
+
+            # Listing under load must come from the index and agree
+            # with the store.
+            listed = len(ServiceClient(server.url, timeout=60.0).jobs())
+            stored = len(store.job_ids())
+
+            # Zero dropped events: wait out one known-accepted job and
+            # demand its SSE stream is the gap-free log.
+            probe = ServiceClient(server.url, timeout=60.0,
+                                  backpressure_retries=10)
+            answer = probe.submit(make_spec(doc, seed=999_999))
+            probe.wait(answer["id"], timeout=120.0)
+            stream = [e for e in probe.stream_events(answer["id"])
+                      if e.get("type") != "end"]
+            seqs = [e["seq"] for e in stream]
+            gap_free = seqs == list(range(1, len(seqs) + 1))
+
+        p50 = percentile(latencies, 0.50) * 1000 if latencies else 0.0
+        p95 = percentile(latencies, 0.95) * 1000 if latencies else 0.0
+        p99 = percentile(latencies, 0.99) * 1000 if latencies else 0.0
+        wall = time.perf_counter() - t0
+        total = accepted + deduped + rejected
+        print(f"submits: {total} answered ({accepted} created, "
+              f"{deduped} deduped, {rejected} backpressured) "
+              f"across {args.submitters} submitters in {wall:.1f}s")
+        print(f"admission latency: p50 {p50:.1f} ms, p95 {p95:.1f} ms, "
+              f"p99 {p99:.1f} ms "
+              f"(mean {statistics.mean(latencies) * 1000:.1f} ms)")
+        print(f"listing: index served {listed} rows, store holds {stored}")
+        print(f"event stream: {len(seqs)} events, "
+              f"gap-free={gap_free}")
+
+        failures = []
+        if errors:
+            failures.append(f"{len(errors)} non-backpressure errors "
+                            f"(first: {errors[0]})")
+        if bad_429:
+            failures.append(f"{bad_429} 429s without Retry-After")
+        if args.queue_limit and not rejected:
+            failures.append("bounded queue provoked zero 429s "
+                            "(load too small to test backpressure)")
+        if p95 > args.p95_ms:
+            failures.append(f"p95 admission latency {p95:.1f} ms exceeds "
+                            f"the {args.p95_ms:.0f} ms SLO")
+        if not gap_free:
+            failures.append(f"event stream has gaps: {seqs}")
+        if listed != stored:
+            failures.append(f"index listed {listed} jobs, store has "
+                            f"{stored}")
+
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({
+                    "submitters": args.submitters,
+                    "jobs_per_submitter": args.jobs_per_submitter,
+                    "queue_limit": args.queue_limit,
+                    "submits_answered": total,
+                    "created": accepted,
+                    "deduplicated": deduped,
+                    "backpressured_429": rejected,
+                    "admission_latency_ms": {
+                        "p50": round(p50, 2), "p95": round(p95, 2),
+                        "p99": round(p99, 2),
+                    },
+                    "p95_slo_ms": args.p95_ms,
+                    "events_streamed": len(seqs),
+                    "event_stream_gap_free": gap_free,
+                    "wall_seconds": round(wall, 2),
+                }, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"PASS: {args.submitters} concurrent submitters, "
+              f"p95 {p95:.1f} ms <= {args.p95_ms:.0f} ms, "
+              f"{rejected} clean 429s, zero dropped events")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,15 +28,21 @@ Subcommands
 ``replay ARTIFACT [ARTIFACT ...]``
     Re-run the oracle of previously written repro artifacts.
 ``serve [--root DIR] [--port P] [--workers N] [--memo DIR] \
-[--task-workers N]``
-    Run the checkpointable resynthesis job service (docs/SERVICE.md);
-    ``--memo`` shares one identification cache across all workers, and
-    ``--task-workers`` additionally makes the service a remote-fabric
-    task worker (``POST /tasks``; docs/FABRIC.md).
-``submit CIRCUIT [--url URL] [--wait]``
-    Submit a resynthesis job to a running service.
-``jobs [--url URL]``
-    List the jobs of a running service.
+[--task-workers N] [--tenants FILE] [--queue-limit N] \
+[--frontend async|threaded]``
+    Run the checkpointable resynthesis job service (docs/SERVICE.md;
+    operations in docs/OPERATIONS.md); ``--memo`` shares one
+    identification cache across all workers, ``--task-workers``
+    additionally makes the service a remote-fabric task worker
+    (``POST /tasks``; docs/FABRIC.md), ``--tenants`` switches on
+    API-key auth with per-tenant quotas and priorities, and
+    ``--queue-limit`` bounds admission (429 + Retry-After beyond it).
+``submit CIRCUIT [--url URL] [--wait] | submit --batch FILE``
+    Submit a resynthesis job — or a whole batch atomically — to a
+    running service.
+``jobs [--url URL] [--state S] [--tenant T] [--limit N]``
+    List the jobs of a running service (filtered server-side by the
+    SQLite job index).
 ``result JOB_ID [--url URL] [--out FILE]``
     Fetch a finished job's report (optionally writing report JSON or a
     ``.bench`` netlist).
@@ -316,7 +322,13 @@ def _spec_from_args(args):
 
 
 def _cmd_serve(args) -> int:
-    from .service import ArtifactStore, ServiceServer, SupervisorConfig
+    from .service import (
+        ArtifactStore,
+        ServiceServer,
+        SupervisorConfig,
+        TenantRegistry,
+        ThreadedServiceServer,
+    )
 
     store = ArtifactStore(args.root)
     config = SupervisorConfig(
@@ -326,28 +338,100 @@ def _cmd_serve(args) -> int:
         memo_url=args.memo_url,
         fabric_workers=tuple(args.fabric_workers),
     )
-    server = ServiceServer(
-        store, host=args.host, port=args.port, config=config,
-        max_workers=args.workers, verbose=args.verbose,
-        task_workers=args.task_workers,
-    )
+    if args.frontend == "threaded":
+        if args.tenants or args.queue_limit:
+            print("error: --tenants/--queue-limit need the async front "
+                  "end (--frontend async)", file=sys.stderr)
+            return 2
+        server = ThreadedServiceServer(
+            store, host=args.host, port=args.port, config=config,
+            max_workers=args.workers, verbose=args.verbose,
+            task_workers=args.task_workers,
+        )
+    else:
+        tenants = None
+        if args.tenants:
+            try:
+                tenants = TenantRegistry.from_file(args.tenants)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        server = ServiceServer(
+            store, host=args.host, port=args.port, config=config,
+            max_workers=args.workers, verbose=args.verbose,
+            task_workers=args.task_workers, tenants=tenants,
+            queue_limit=args.queue_limit,
+        )
     memo_note = f", memo: {args.memo}" if args.memo else ""
     task_note = (f", task-workers: {args.task_workers}"
                  if args.task_workers else "")
+    tenant_note = (f", tenants: {args.tenants}" if args.tenants else "")
+    queue_note = (f", queue-limit: {args.queue_limit}"
+                  if args.queue_limit else "")
+    if args.frontend == "threaded":
+        # The threaded server binds in its constructor; the async one
+        # binds in start(), so print after it is listening.
+        print(f"repro.service listening on {server.url} "
+              f"(store: {store.root}, workers: {args.workers}"
+              f"{memo_note}{task_note})")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down")
+        return 0
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(f"repro.service listening on {server.url} "
           f"(store: {store.root}, workers: {args.workers}"
-          f"{memo_note}{task_note})")
+          f"{memo_note}{task_note}{tenant_note}{queue_note})")
     try:
-        server.serve_forever()
+        while True:
+            import time as _time
+
+            _time.sleep(0.2)
     except KeyboardInterrupt:
         print("shutting down")
+    finally:
+        server.stop()
     return 0
 
 
 def _cmd_submit(args) -> int:
+    import json as _json
+
     from .service import ServiceAPIError, ServiceClient
 
-    client = ServiceClient(args.url)
+    if args.batch is None and args.circuit is None:
+        print("error: give a circuit or --batch FILE", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url, api_key=args.api_key,
+                           backpressure_retries=args.backpressure_retries)
+    if args.batch:
+        try:
+            with open(args.batch, "r", encoding="utf-8") as fh:
+                doc = _json.load(fh)
+        except (OSError, _json.JSONDecodeError) as exc:
+            print(f"error: cannot read batch file: {exc}", file=sys.stderr)
+            return 2
+        specs = doc.get("specs") if isinstance(doc, dict) else doc
+        if not isinstance(specs, list):
+            print("error: batch file must be a JSON list of spec "
+                  "documents or {'specs': [...]}", file=sys.stderr)
+            return 2
+        try:
+            rows = client.submit_batch_docs(specs)
+        except ServiceAPIError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        created = sum(1 for r in rows if r["created"])
+        for row in rows:
+            status = "submitted" if row["created"] else "already known"
+            print(f"{row['id']}: {status} (state: {row['state']})")
+        print(f"batch: {created} new, {len(rows) - created} deduplicated")
+        return 0
     spec = _spec_from_args(args)
     try:
         answer = client.submit(spec)
@@ -375,8 +459,10 @@ def _cmd_submit(args) -> int:
 def _cmd_jobs(args) -> int:
     from .service import ServiceAPIError, ServiceClient
 
+    client = ServiceClient(args.url, api_key=args.api_key)
     try:
-        rows = ServiceClient(args.url).jobs()
+        rows = client.jobs(state=args.state, tenant=args.tenant,
+                           limit=args.limit)
     except ServiceAPIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -384,7 +470,9 @@ def _cmd_jobs(args) -> int:
         print("no jobs")
         return 0
     for row in rows:
-        print(f"{row['id']}  {row['state']:<10} attempts={row['attempts']}")
+        tenant = f" tenant={row['tenant']}" if row.get("tenant") else ""
+        print(f"{row['id']}  {row['state']:<10} "
+              f"attempts={row['attempts']}{tenant}")
     return 0
 
 
@@ -550,12 +638,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="remote fabric worker URL handed to every job "
                         "worker (repeatable): jobs fan their candidate "
                         "evaluation out to these /tasks endpoints")
+    p.add_argument("--tenants", metavar="FILE", default=None,
+                   help="tenants JSON file enabling API-key auth, "
+                        "per-tenant quotas and priorities "
+                        "(docs/OPERATIONS.md)")
+    p.add_argument("--queue-limit", type=int, default=0, metavar="N",
+                   help="bound the admission queue at N jobs; beyond it "
+                        "submits get 429 + Retry-After (0 = unbounded)")
+    p.add_argument("--frontend", choices=("async", "threaded"),
+                   default="async",
+                   help="HTTP front end: the asyncio default or the "
+                        "legacy thread-per-request server (no SSE, "
+                        "batch or tenant routes)")
     p.add_argument("--verbose", action="store_true",
                    help="log HTTP requests")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit a job to a running service")
-    p.add_argument("circuit", help="suite name or netlist file")
+    p.add_argument("circuit", nargs="?", default=None,
+                   help="suite name or netlist file (omit with --batch)")
+    p.add_argument("--batch", metavar="FILE", default=None,
+                   help="submit many jobs atomically: FILE is a JSON "
+                        "list of spec documents (or {'specs': [...]})")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (sent as a Bearer token)")
+    p.add_argument("--backpressure-retries", type=int, default=0,
+                   metavar="N",
+                   help="retry a 429-rejected submit up to N times, "
+                        "sleeping the server's Retry-After between tries")
     p.add_argument("--url", default=DEFAULT_SERVICE_URL)
     p.add_argument("--objective", choices=("gates", "paths"),
                    default="gates")
@@ -573,6 +683,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p = sub.add_parser("jobs", help="list jobs of a running service")
     p.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    p.add_argument("--state", default=None,
+                   choices=("queued", "running", "succeeded", "failed"),
+                   help="only jobs in this state")
+    p.add_argument("--tenant", default=None,
+                   help="only jobs submitted by this tenant")
+    p.add_argument("--limit", type=int, default=None,
+                   help="at most this many rows")
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (sent as a Bearer token)")
     p.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser("result", help="fetch a finished job's report")

@@ -10,14 +10,25 @@ subprocess supervision with heartbeats and bounded retries
 client (:mod:`client`).  Metrics go through :class:`repro.obs.Registry`
 directly.
 
+The HTTP front end is the asyncio one (:mod:`asgi`, served by the
+stdlib ASGI host in :mod:`aserver`): long-poll and SSE event streaming
+on connection-cheap coroutines, batch submit, per-tenant API-key auth
+with quotas and priorities (:mod:`tenants`), bounded-queue backpressure
+(429 + ``Retry-After``), and listings answered from a SQLite metadata
+index (:mod:`index`) rebuilt from the store at startup.  The original
+thread-per-request front end survives as
+:class:`ThreadedServiceServer` — the determinism reference.
+
 Entry points: ``repro-resynth serve`` / ``submit`` / ``jobs`` /
 ``result`` on the CLI, :class:`ServiceServer` in-process.  The full
 lifecycle, checkpoint format and determinism contract are documented in
-``docs/SERVICE.md``.
+``docs/SERVICE.md``; deployment and operations in ``docs/OPERATIONS.md``.
 """
 
-from .api import ResynthesisService, ServiceServer
+from .api import ResynthesisService, ThreadedServiceServer
+from .asgi import API_VERSION, ServiceApp, ServiceServer
 from .client import ServiceAPIError, ServiceClient, ServiceConnectionError
+from .index import JobIndex, default_index_path
 from .jobspec import (
     JobSpec,
     JobSpecError,
@@ -34,23 +45,40 @@ from .supervisor import (
     WorkerSupervisor,
     default_worker_command,
 )
+from .tenants import (
+    AuthError,
+    BackpressureError,
+    PUBLIC_TENANT,
+    Tenant,
+    TenantRegistry,
+)
 
 __all__ = [
+    "API_VERSION",
     "ArtifactStore",
+    "AuthError",
+    "BackpressureError",
     "JOB_STATES",
+    "JobIndex",
     "JobOutcome",
     "JobSpec",
     "JobSpecError",
     "PROCEDURES",
+    "PUBLIC_TENANT",
     "ResynthesisService",
     "ServiceAPIError",
+    "ServiceApp",
     "ServiceClient",
     "ServiceConnectionError",
     "ServiceServer",
     "StoreError",
     "SupervisorConfig",
     "TERMINAL_STATES",
+    "Tenant",
+    "TenantRegistry",
+    "ThreadedServiceServer",
     "WorkerSupervisor",
+    "default_index_path",
     "default_worker_command",
     "resolve_circuit",
     "run_job",

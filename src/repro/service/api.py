@@ -1,14 +1,20 @@
-"""The resynthesis job service and its stdlib HTTP JSON API.
+"""The resynthesis job service engine and its legacy threaded front end.
 
 Two layers:
 
-* :class:`ResynthesisService` — the in-process engine: an admission
-  queue over the artifact store, a scheduler thread that leases queued
-  jobs to supervisor threads (each of which drives one worker
-  subprocess), and the metrics registry.  Usable without HTTP; the CLI
-  and tests drive it directly.
-* :class:`ServiceServer` — a ``ThreadingHTTPServer`` exposing the
-  service as JSON endpoints::
+* :class:`ResynthesisService` — the in-process engine: a bounded,
+  tenant-aware priority admission queue over the artifact store, a
+  scheduler thread that leases queued jobs to supervisor threads (each
+  of which drives one worker subprocess), the SQLite job index
+  (:mod:`repro.service.index`) that answers listings without touching
+  per-job directories, and the metrics registry.  Usable without HTTP;
+  the CLI and tests drive it directly.
+* :class:`ThreadedServiceServer` — the original ``ThreadingHTTPServer``
+  front end, kept for comparison runs and as the determinism reference
+  (one OS thread per in-flight request; no SSE, batch or tenant
+  routes).  The default front end is now the asyncio one —
+  :class:`repro.service.asgi.ServiceServer` — which serves a superset
+  of these endpoints::
 
       POST /jobs                  submit a spec -> {"id", "state", "created"}
       GET  /jobs                  list all jobs
@@ -41,10 +47,10 @@ filesystem (client side: :class:`repro.memo.remote.RemoteMemo`).
 
 from __future__ import annotations
 
+import heapq
 import json
 import threading
 import time
-from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -52,9 +58,16 @@ from urllib.parse import parse_qs, urlparse
 from ..fabric.core import Fabric, ProcessFabric, SerialFabric
 from ..fabric.tasks import decode_task, encode_result
 from ..obs import PROMETHEUS_CONTENT_TYPE, Registry, render_prometheus
+from .index import JobIndex, default_index_path
 from .jobspec import JobSpec, JobSpecError, spec_from_doc
 from .store import ArtifactStore, StoreError, TERMINAL_STATES
 from .supervisor import SupervisorConfig, WorkerSupervisor
+from .tenants import (
+    BackpressureError,
+    PUBLIC_TENANT,
+    Tenant,
+    TenantRegistry,
+)
 
 #: Longest long-poll the server will hold a connection for.
 MAX_EVENT_WAIT = 30.0
@@ -97,7 +110,18 @@ def _accepts_prometheus(accept: Optional[str]) -> bool:
 
 
 class ResynthesisService:
-    """Queue + scheduler + supervisors over one artifact store."""
+    """Queue + scheduler + supervisors + index over one artifact store.
+
+    The admission queue is a **priority queue** (higher tenant priority
+    launches first, FIFO within a level) bounded by ``queue_limit``
+    (0 = unbounded): a submit that would exceed the bound — or its
+    tenant's ``max_active`` quota — raises
+    :class:`~repro.service.tenants.BackpressureError`, which the HTTP
+    front end maps to ``429`` + ``Retry-After``.  Listings are answered
+    by the SQLite :class:`~repro.service.index.JobIndex`, rebuilt from
+    the store at startup and kept fresh via the store's ``on_status``
+    hook — the store stays the source of truth.
+    """
 
     def __init__(
         self,
@@ -107,14 +131,20 @@ class ResynthesisService:
         metrics: Optional[Registry] = None,
         worker_command=None,
         task_workers: int = 0,
+        tenants: Optional[TenantRegistry] = None,
+        queue_limit: int = 0,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if task_workers < 0:
             raise ValueError("task_workers must be >= 0")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0 (0 = unbounded)")
         self.store = store
         self.config = config or SupervisorConfig()
         self.metrics = metrics or Registry()
+        self.tenants = tenants or TenantRegistry()
+        self.queue_limit = queue_limit
         self._max_workers = max_workers
         self._worker_command = worker_command  # None -> the real worker
         # The /tasks execution fabric.  max_retries=0: the server reports
@@ -128,14 +158,21 @@ class ResynthesisService:
                                              registry=self.metrics)
         self._memo_store = None
         self._memo_lock = threading.Lock()
-        self._queue: deque = deque()
+        # Heap entries: (-priority, admission_seq, job_id).
+        self._queue: List[Tuple[int, int, str]] = []
+        self._admit_seq = 0
         self._queued: set = set()
         self._enqueued_at: Dict[str, float] = {}
         self._active: Dict[str, WorkerSupervisor] = {}
+        self._job_tenant: Dict[str, str] = {}
+        self._tenant_active: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._wakeup = threading.Event()
         self._stopping = False
         self._scheduler: Optional[threading.Thread] = None
+        self.index = JobIndex(default_index_path(store.root))
+        store.on_status = self._on_status
+        self.index.rebuild(store)
         self._recover()
 
     # -- lifecycle ------------------------------------------------------ #
@@ -177,6 +214,9 @@ class ResynthesisService:
         finally:
             if self.task_fabric is not None:
                 self.task_fabric.close()
+            if self.store.on_status == self._on_status:
+                self.store.on_status = None
+            self.index.close()
 
     def _recover(self) -> None:
         """Re-queue jobs a previous process left queued or running.
@@ -188,41 +228,132 @@ class ResynthesisService:
         replacement, preserving the event log's single-writer rule.
         """
         for job_id in self.store.job_ids():
-            state = self.store.status(job_id).get("state")
-            if state in ("queued", "running"):
+            status = self.store.status(job_id)
+            if status.get("state") in ("queued", "running"):
+                tenant = self.tenants.get(status.get("tenant"))
                 self.store.set_status(job_id, "queued")
-                self._enqueue(job_id)
+                self._enqueue(job_id, tenant)
+
+    # -- status observer ------------------------------------------------- #
+
+    def _on_status(self, job_id: str, record: Dict[str, object]) -> None:
+        """Store hook: mirror every status replace into the job index."""
+        self.index.record(job_id, record)
 
     # -- submission ----------------------------------------------------- #
 
-    def submit(self, spec: JobSpec) -> Tuple[str, bool]:
-        """Admit a job; returns ``(job_id, created)``.
+    def submit(self, spec: JobSpec,
+               tenant: Optional[Tenant] = None,
+               _precleared: bool = False) -> Tuple[str, bool]:
+        """Admit a job for *tenant*; returns ``(job_id, created)``.
 
         Content-addressed dedup: an identical spec joins the existing
         job.  A deduped job in a terminal state is *not* re-run — its
-        artifacts are already on disk.
+        artifacts are already on disk.  Dedup is checked **before**
+        backpressure: re-submitting a known job never consumes queue
+        capacity, so idempotent retries stay cheap under load.
+
+        Raises :class:`BackpressureError` when admitting a *new* job
+        would exceed ``queue_limit`` or the tenant's ``max_active``.
         """
-        job_id, created = self.store.create_job(spec)
+        tenant = tenant or PUBLIC_TENANT
+        if not _precleared and not self.store.has_job(spec.job_id):
+            self._check_admission(tenant)
+        job_id, created = self.store.create_job(spec, tenant=tenant.name)
         self.metrics.inc("service_jobs_submitted_total")
+        self.metrics.inc("service_tenant_jobs_submitted_total_"
+                         + tenant.metric_suffix)
         if created:
+            self.index.record(job_id, self.store.status(job_id), spec=spec)
             self.store.append_event(job_id, "submitted",
                                     spec=spec.describe())
-            self._enqueue(job_id)
+            self._enqueue(job_id, tenant)
         else:
             self.metrics.inc("service_jobs_deduplicated_total")
             state = self.store.status(job_id).get("state")
             if state == "queued":
-                self._enqueue(job_id)  # recovered store, service restart
+                # Recovered store or service restart: re-admit without a
+                # quota check — the job was admitted once already.
+                self._enqueue(job_id, tenant)
         return job_id, created
 
-    def _enqueue(self, job_id: str) -> None:
+    def submit_batch(self, specs: List[JobSpec],
+                     tenant: Optional[Tenant] = None,
+                     ) -> List[Dict[str, object]]:
+        """Admit many specs atomically for *tenant*.
+
+        All-or-nothing admission: capacity for every *new* spec in the
+        batch (duplicates within the batch and against the store count
+        once and zero times respectively) is checked up front, so a
+        batch either lands whole or is rejected whole with
+        :class:`BackpressureError` — no half-admitted sweeps to clean
+        up.  Returns one ``{"id", "state", "created"}`` row per spec,
+        in request order.
+        """
+        tenant = tenant or PUBLIC_TENANT
+        new_ids = {spec.job_id for spec in specs
+                   if not self.store.has_job(spec.job_id)}
+        if new_ids:
+            self._check_admission(tenant, count=len(new_ids))
+        rows: List[Dict[str, object]] = []
+        for spec in specs:
+            # Admission was cleared for the whole batch above; skip the
+            # per-spec check so a concurrent submitter cannot strand the
+            # batch half-admitted.
+            job_id, created = self.submit(spec, tenant, _precleared=True)
+            rows.append({
+                "id": job_id,
+                "state": self.store.status(job_id).get("state"),
+                "created": created,
+            })
+        return rows
+
+    def retry_after_hint(self) -> int:
+        """Seconds a backpressured client should wait before retrying:
+        roughly one queue drain cycle, clamped to [1, 60]."""
+        with self._lock:
+            depth = len(self._queue)
+        return max(1, min(60, depth // max(1, self._max_workers)))
+
+    def _check_admission(self, tenant: Tenant, count: int = 1) -> None:
+        with self._lock:
+            if (self.queue_limit
+                    and len(self._queue) + count > self.queue_limit):
+                self.metrics.inc("service_jobs_rejected_total")
+                raise BackpressureError(
+                    f"admission queue is full "
+                    f"({len(self._queue)}/{self.queue_limit} jobs queued)",
+                    retry_after=max(1, len(self._queue)
+                                    // max(1, self._max_workers)),
+                )
+            active = self._tenant_active.get(tenant.name, 0)
+            if tenant.max_active and active + count > tenant.max_active:
+                self.metrics.inc("service_jobs_rejected_total")
+                self.metrics.inc("service_tenant_jobs_rejected_total_"
+                                 + tenant.metric_suffix)
+                raise BackpressureError(
+                    f"tenant {tenant.name!r} is at its quota "
+                    f"({active}/{tenant.max_active} jobs active)",
+                    retry_after=max(1, active
+                                    // max(1, self._max_workers)),
+                )
+
+    def _enqueue(self, job_id: str, tenant: Tenant) -> None:
         with self._lock:
             if job_id in self._queued or job_id in self._active:
                 return
-            self._queue.append(job_id)
+            self._admit_seq += 1
+            heapq.heappush(self._queue,
+                           (-tenant.priority, self._admit_seq, job_id))
             self._queued.add(job_id)
+            self._job_tenant[job_id] = tenant.name
+            self._tenant_active[tenant.name] = (
+                self._tenant_active.get(tenant.name, 0) + 1)
             self._enqueued_at[job_id] = time.perf_counter()
             self.metrics.set_gauge("service_queue_depth", len(self._queue))
+            self.metrics.set_gauge(
+                "service_tenant_active_jobs_" + tenant.metric_suffix,
+                self._tenant_active[tenant.name])
         self._wakeup.set()
 
     # -- scheduling ----------------------------------------------------- #
@@ -238,7 +369,7 @@ class ResynthesisService:
         with self._lock:
             if not self._queue or len(self._active) >= self._max_workers:
                 return False
-            job_id = self._queue.popleft()
+            _, _, job_id = heapq.heappop(self._queue)
             self._queued.discard(job_id)
             enqueued = self._enqueued_at.pop(job_id, None)
             if enqueued is not None:
@@ -270,6 +401,14 @@ class ResynthesisService:
         finally:
             with self._lock:
                 self._active.pop(job_id, None)
+                tenant_name = self._job_tenant.pop(job_id, None)
+                if tenant_name is not None and job_id not in self._queued:
+                    left = max(0, self._tenant_active.get(tenant_name, 1)
+                               - 1)
+                    self._tenant_active[tenant_name] = left
+                    self.metrics.set_gauge(
+                        "service_tenant_active_jobs_"
+                        + Tenant(name=tenant_name).metric_suffix, left)
                 self.metrics.set_gauge("service_running_jobs",
                                        len(self._active))
             self._wakeup.set()
@@ -337,6 +476,8 @@ class ResynthesisService:
             "updated": status.get("updated"),
             "spec": spec.to_doc(),
         }
+        if status.get("tenant") is not None:
+            view["tenant"] = status["tenant"]
         for key in ("error", "traceback", "reason"):
             if status.get(key) is not None:
                 view[key] = status[key]
@@ -350,18 +491,14 @@ class ResynthesisService:
             }
         return view
 
-    def list_view(self) -> List[Dict[str, object]]:
-        """Compact JSON rows for ``GET /jobs``."""
-        rows = []
-        for job_id in self.store.job_ids():
-            status = self.store.status(job_id)
-            rows.append({
-                "id": job_id,
-                "state": status.get("state"),
-                "attempts": status.get("attempts", 0),
-                "updated": status.get("updated"),
-            })
-        return rows
+    def list_view(self, state: Optional[str] = None,
+                  tenant: Optional[str] = None,
+                  limit: Optional[int] = None,
+                  offset: int = 0) -> List[Dict[str, object]]:
+        """Compact JSON rows for ``GET /jobs`` — answered entirely from
+        the SQLite index; no per-job directory is touched."""
+        return self.index.rows(state=state, tenant=tenant,
+                               limit=limit, offset=offset)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -370,7 +507,7 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
 
-    # Populated by ServiceServer via a subclass attribute.
+    # Populated by ThreadedServiceServer via a subclass attribute.
     service: ResynthesisService = None  # type: ignore[assignment]
 
     def log_message(self, fmt: str, *args: object) -> None:
@@ -584,8 +721,18 @@ class _Handler(BaseHTTPRequestHandler):
         })
 
 
-class ServiceServer:
-    """Owns a :class:`ResynthesisService` plus its HTTP front end."""
+class ThreadedServiceServer:
+    """The legacy front end: a :class:`ResynthesisService` behind a
+    ``ThreadingHTTPServer`` (one OS thread per in-flight request).
+
+    Kept as the determinism reference and for comparison runs; new
+    deployments should use the asyncio front end
+    (:class:`repro.service.asgi.ServiceServer`, the package default),
+    which serves a superset of the routes — SSE streaming, batch
+    submit, tenant auth and backpressure — on connection-cheap
+    coroutines.  Reports are bit-identical across the two front ends
+    (pinned by ``tests/service/test_frontends.py``).
+    """
 
     def __init__(
         self,
@@ -645,7 +792,7 @@ class ServiceServer:
             self._httpd.server_close()
             self.service.stop()
 
-    def __enter__(self) -> "ServiceServer":
+    def __enter__(self) -> "ThreadedServiceServer":
         self.start()
         return self
 

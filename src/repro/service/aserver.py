@@ -1,0 +1,336 @@
+"""A stdlib-asyncio HTTP/1.1 server hosting an ASGI 3 application.
+
+The async front end's transport layer: no third-party dependency, just
+``asyncio.start_server`` plus a small, strict HTTP/1.1 request parser
+and an ASGI connection driver.  One coroutine per connection — a held
+long-poll or SSE stream costs a coroutine and a socket, not an OS
+thread, which is what lets thousands of watchers coexist with a handful
+of worker subprocesses.
+
+Scope of the implementation (deliberate, documented limits):
+
+* Requests: request-line + headers (bounded at 64 KiB), bodies framed
+  by ``Content-Length`` only (no chunked *requests*), bounded by
+  ``max_body``.  Oversized or malformed requests are answered with
+  ``400``/``413``/``431`` and the connection closed.
+* Responses: fixed-length responses (the app sent one body chunk) get
+  ``Content-Length`` and keep-alive; streaming responses (the app sent
+  ``more_body=True``, e.g. SSE) are framed by connection close
+  (``Connection: close``) — valid HTTP/1.1, and exactly how
+  EventSource clients consume streams.
+* Pipelining is not supported (requests on one connection are handled
+  strictly in sequence — what stdlib and browser clients do anyway).
+
+Any ASGI 3 app runs on this server, and the app in
+:mod:`repro.service.asgi` runs on any ASGI server (uvicorn et al.) —
+the coupling is exactly the ASGI contract, nothing private.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["AsgiHttpServer", "MAX_HEADER_BYTES", "DEFAULT_MAX_BODY"]
+
+#: Upper bound on request-line + headers.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Default upper bound on request bodies (inline netlists are the
+#: biggest legitimate payload; 64 MiB leaves room for syn35932-scale
+#: documents while stopping unbounded memory growth).
+DEFAULT_MAX_BODY = 64 * 1024 * 1024
+
+_KNOWN_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "PATCH",
+                  "OPTIONS")
+
+
+class _BadRequest(Exception):
+    """Protocol violation by the client; carries the answer status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AsgiHttpServer:
+    """Serve one ASGI 3 application over stdlib asyncio."""
+
+    def __init__(
+        self,
+        app: Callable[..., Awaitable[None]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body: int = DEFAULT_MAX_BODY,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.max_body = max_body
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return (self.host, self.port)
+
+    async def close(self) -> None:
+        """Stop accepting and close listening sockets."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- per-connection driver ------------------------------------------- #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError):
+            pass  # client went away: normal under load and for SSE
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            return await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest(431, "request header section too large") \
+                from None
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        """Parse one request, run the app; returns keep-alive."""
+        try:
+            try:
+                head = await self._read_head(reader)
+            except asyncio.IncompleteReadError as exc:
+                if not exc.partial.strip():
+                    return False  # clean close between requests
+                raise
+            scope, body, req_keep_alive = self._parse(head, reader)
+            if body is not None:
+                body = await body  # awaits the Content-Length read
+        except _BadRequest as exc:
+            await self._send_simple_error(writer, exc.status, str(exc))
+            return False
+
+        conn = _AsgiConnection(writer, scope["method"],
+                               body if body is not None else b"",
+                               req_keep_alive)
+        try:
+            await self.app(scope, conn.receive, conn.send)
+        except Exception:
+            if not conn.started:
+                await self._send_simple_error(
+                    writer, 500, "internal server error")
+                return False
+            raise  # mid-stream crash: the connection is already poisoned
+        if not conn.started:
+            await self._send_simple_error(
+                writer, 500, "app returned no response")
+            return False
+        await conn.finish()
+        return conn.keep_alive
+
+    def _parse(self, head: bytes, reader: asyncio.StreamReader):
+        if len(head) > MAX_HEADER_BYTES:
+            raise _BadRequest(431, "request header section too large")
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover — latin-1 total
+            raise _BadRequest(400, "undecodable request head") from None
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _BadRequest(400, f"malformed request line: {lines[0]!r}")
+        method, target, version = parts
+        if method.upper() not in _KNOWN_METHODS:
+            raise _BadRequest(400, f"unknown method {method!r}")
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise _BadRequest(400, f"unsupported version {version!r}")
+        headers: List[Tuple[bytes, bytes]] = []
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header line: {line!r}")
+            headers.append((name.strip().lower().encode("latin-1"),
+                            value.strip().encode("latin-1")))
+        header_map = {k: v for k, v in headers}
+        if b"transfer-encoding" in header_map:
+            raise _BadRequest(400, "chunked request bodies not supported")
+        length_raw = header_map.get(b"content-length", b"0")
+        try:
+            length = int(length_raw)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise _BadRequest(400, "bad Content-Length") from None
+        if length > self.max_body:
+            raise _BadRequest(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{self.max_body}-byte limit")
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": version.split("/")[1],
+            "method": method.upper(),
+            "scheme": "http",
+            "path": path,
+            "raw_path": target.encode("latin-1"),
+            "query_string": query.encode("latin-1"),
+            "headers": headers,
+            "server": (self.host, self.port),
+            "client": None,
+        }
+        keep_alive = (version == "HTTP/1.1"
+                      and header_map.get(b"connection", b"").lower()
+                      != b"close")
+        body = reader.readexactly(length) if length else None
+        return scope, body, keep_alive
+
+    @staticmethod
+    async def _send_simple_error(writer: asyncio.StreamWriter,
+                                 status: int, message: str) -> None:
+        body = ('{"error": %s}'
+                % _json_escape(message)).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+
+def _json_escape(text: str) -> str:
+    import json
+
+    return json.dumps(text)
+
+
+_REASONS: Dict[int, str] = {
+    200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
+    401: "Unauthorized", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _AsgiConnection:
+    """receive()/send() pair driving one request/response exchange."""
+
+    def __init__(self, writer: asyncio.StreamWriter, method: str,
+                 body: bytes, req_keep_alive: bool) -> None:
+        self._writer = writer
+        self._method = method
+        self._body = body
+        self._body_sent = False
+        self._req_keep_alive = req_keep_alive
+        self.started = False  # http.response.start seen
+        self._head: Optional[Tuple[int, List[Tuple[bytes, bytes]]]] = None
+        self._streaming = False
+        self._finished = False
+        self.keep_alive = False
+
+    async def receive(self) -> Dict[str, object]:
+        if not self._body_sent:
+            self._body_sent = True
+            return {"type": "http.request", "body": self._body,
+                    "more_body": False}
+        # A second receive() only makes sense while waiting for a
+        # disconnect; report one when the transport is gone, else park
+        # briefly (ASGI allows spurious wakeups; apps re-check state).
+        if self._writer.is_closing():
+            return {"type": "http.disconnect"}
+        await asyncio.sleep(0.05)
+        if self._writer.is_closing():
+            return {"type": "http.disconnect"}
+        return {"type": "http.request", "body": b"", "more_body": False}
+
+    async def send(self, event: Dict[str, object]) -> None:
+        etype = event.get("type")
+        if etype == "http.response.start":
+            if self.started:
+                raise RuntimeError("response already started")
+            self.started = True
+            self._head = (int(event["status"]),
+                          [(bytes(k), bytes(v))
+                           for k, v in event.get("headers", [])])
+            return
+        if etype != "http.response.body":
+            raise RuntimeError(f"unsupported ASGI event {etype!r}")
+        if self._head is None and not self._streaming:
+            raise RuntimeError("http.response.body before start")
+        body = event.get("body", b"") or b""
+        more = bool(event.get("more_body", False))
+        if self._head is not None:
+            status, headers = self._head
+            self._head = None
+            self._streaming = more
+            self._write_head(status, headers,
+                             body_len=None if more else len(body))
+        if self._method == "HEAD":
+            body = b""
+        if body:
+            self._writer.write(body)
+            await self._writer.drain()
+        if not more:
+            self._finished = True
+
+    def _write_head(self, status: int,
+                    headers: List[Tuple[bytes, bytes]],
+                    body_len: Optional[int]) -> None:
+        lines = [f"HTTP/1.1 {status} "
+                 f"{_REASONS.get(status, 'OK')}".encode("latin-1")]
+        have_length = False
+        for name, value in headers:
+            if name.lower() == b"content-length":
+                have_length = True
+            lines.append(name + b": " + value)
+        if body_len is not None and not have_length:
+            lines.append(b"Content-Length: " + str(body_len).encode())
+            have_length = True
+        # Fixed-length responses can keep the connection; streamed ones
+        # are framed by close.
+        self.keep_alive = (self._req_keep_alive and have_length
+                           and body_len is not None)
+        lines.append(b"Connection: keep-alive" if self.keep_alive
+                     else b"Connection: close")
+        self._writer.write(b"\r\n".join(lines) + b"\r\n\r\n")
+
+    async def finish(self) -> None:
+        """Flush after the app returns; close half-finished streams."""
+        if not self._finished:
+            self.keep_alive = False
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self.keep_alive = False
+
+    @property
+    def disconnected(self) -> bool:
+        """True once the client's transport is gone."""
+        return self._writer.is_closing()

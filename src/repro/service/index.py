@@ -1,0 +1,176 @@
+"""SQLite metadata index over the directory-per-job artifact store.
+
+``GET /jobs`` used to scan the filesystem: one ``listdir`` plus one
+``status.json`` read *per job* per request.  Harmless at ten jobs,
+ruinous at a million — listing became the service's hottest path under
+multi-tenant load.  :class:`JobIndex` keeps the listing columns (state,
+attempts, timestamps, tenant, and the spec's headline knobs) in one
+SQLite table so listing and filtering are a single indexed query that
+never touches a per-job directory.
+
+The index is a **cache, not a second source of truth**: it is rebuilt
+from the store at every service startup (:meth:`rebuild`), and kept
+fresh afterwards through the store's ``on_status`` observer hook — every
+in-process ``status.json`` replace upserts one row.  Worker subprocesses
+never write status (only events/checkpoints/reports), so the in-process
+hook sees every transition.  Deleting ``index.sqlite3`` is always safe.
+
+Thread-safety: one connection guarded by a lock (the service's HTTP
+executor threads, scheduler thread and supervisor threads all write).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+from typing import Dict, List, Optional
+
+#: Filename under the store root (sibling of ``jobs/``).
+INDEX_FILENAME = "index.sqlite3"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id        TEXT PRIMARY KEY,
+    state     TEXT NOT NULL,
+    attempts  INTEGER NOT NULL DEFAULT 0,
+    created   REAL,
+    updated   REAL,
+    tenant    TEXT,
+    procedure TEXT,
+    circuit   TEXT,
+    k         INTEGER,
+    seed      INTEGER
+);
+CREATE INDEX IF NOT EXISTS jobs_state  ON jobs (state);
+CREATE INDEX IF NOT EXISTS jobs_tenant ON jobs (tenant);
+"""
+
+#: Columns served in listing rows, in order.
+LIST_COLUMNS = ("id", "state", "attempts", "created", "updated", "tenant",
+                "procedure", "circuit", "k", "seed")
+
+
+class JobIndex:
+    """The queryable jobs table (one per service, one file per store)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the connection (the file stays; rebuilt next startup)."""
+        with self._lock:
+            self._conn.close()
+
+    # -- building ------------------------------------------------------- #
+
+    def rebuild(self, store) -> int:
+        """Drop every row and re-scan *store*; returns the row count.
+
+        The one full filesystem scan the service performs — at startup,
+        where it doubles as recovery's walk over the store.
+        """
+        with self._lock:
+            self._conn.execute("DELETE FROM jobs")
+            self._conn.commit()
+        count = 0
+        for job_id in store.job_ids():
+            try:
+                status = store.status(job_id)
+                spec = store.load_spec(job_id)
+            except Exception:
+                continue  # a torn or half-created job dir: skip, not fatal
+            self.record(job_id, status, spec=spec)
+            count += 1
+        return count
+
+    def record(self, job_id: str, status: Dict[str, object],
+               spec=None) -> None:
+        """Upsert one job's row from its status record (and, on first
+        sight, its spec's headline columns)."""
+        row = (
+            job_id,
+            status.get("state"),
+            int(status.get("attempts", 0) or 0),
+            status.get("created"),
+            status.get("updated"),
+            status.get("tenant"),
+        )
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state=?, attempts=?, created=?, "
+                "updated=?, tenant=COALESCE(?, tenant) WHERE id=?",
+                row[1:] + (job_id,),
+            )
+            if cur.rowcount == 0:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO jobs "
+                    "(id, state, attempts, created, updated, tenant) "
+                    "VALUES (?, ?, ?, ?, ?, ?)", row,
+                )
+            if spec is not None:
+                self._conn.execute(
+                    "UPDATE jobs SET procedure=?, circuit=?, k=?, seed=? "
+                    "WHERE id=?",
+                    (spec.procedure,
+                     spec.circuit if spec.circuit is not None
+                     else f"<inline:{(spec.netlist or {}).get('name', '?')}>",
+                     spec.k, spec.seed, job_id),
+                )
+            self._conn.commit()
+
+    # -- querying ------------------------------------------------------- #
+
+    def rows(self, state: Optional[str] = None,
+             tenant: Optional[str] = None,
+             limit: Optional[int] = None,
+             offset: int = 0) -> List[Dict[str, object]]:
+        """Listing rows, id-sorted, optionally filtered and paged."""
+        where, params = [], []
+        if state is not None:
+            where.append("state = ?")
+            params.append(state)
+        if tenant is not None:
+            where.append("tenant = ?")
+            params.append(tenant)
+        sql = "SELECT %s FROM jobs" % ", ".join(LIST_COLUMNS)
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        sql += " ORDER BY id"
+        if limit is not None:
+            sql += " LIMIT ? OFFSET ?"
+            params += [int(limit), int(offset)]
+        elif offset:
+            sql += " LIMIT -1 OFFSET ?"
+            params.append(int(offset))
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            rows = cur.fetchall()
+        out = []
+        for values in rows:
+            doc = {k: v for k, v in zip(LIST_COLUMNS, values)
+                   if v is not None}
+            doc.setdefault("attempts", 0)
+            out.append(doc)
+        return out
+
+    def count(self, state: Optional[str] = None) -> int:
+        """Row count, optionally for one state."""
+        sql = "SELECT COUNT(*) FROM jobs"
+        params: List[object] = []
+        if state is not None:
+            sql += " WHERE state = ?"
+            params.append(state)
+        with self._lock:
+            return self._conn.execute(sql, params).fetchone()[0]
+
+
+def default_index_path(store_root: str) -> str:
+    """Where a store's index lives (sibling of its ``jobs/`` dir)."""
+    return os.path.join(store_root, INDEX_FILENAME)

@@ -32,7 +32,7 @@ import json
 import os
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..persist import atomic_write_text as _atomic_write
 from ..persist import fsync_dir as _fsync_dir  # noqa: F401  (re-export)
@@ -64,6 +64,17 @@ class ArtifactStore:
         self._jobs_dir = os.path.join(self.root, "jobs")
         os.makedirs(self._jobs_dir, exist_ok=True)
         self._event_lock = threading.Lock()
+        #: Optional in-process observers.  ``on_status(job_id, record)``
+        #: fires after every status replace (the SQLite job index hooks
+        #: here so listings never rescan the filesystem);
+        #: ``on_event(job_id, seq)`` fires after every in-process event
+        #: append (the async front end's broker hooks here to wake
+        #: long-pollers without polling).  Worker subprocesses write to
+        #: the same files without these hooks — observers that need their
+        #: events must also watch the files.
+        self.on_status: Optional[Callable[[str, Dict[str, object]], None]] \
+            = None
+        self.on_event: Optional[Callable[[str, int], None]] = None
 
     # -- paths ---------------------------------------------------------- #
 
@@ -94,12 +105,14 @@ class ArtifactStore:
 
     # -- job creation / spec -------------------------------------------- #
 
-    def create_job(self, spec: JobSpec) -> tuple:
+    def create_job(self, spec: JobSpec,
+                   tenant: Optional[str] = None) -> tuple:
         """Persist *spec*; returns ``(job_id, created)``.
 
         Content-addressing makes this idempotent: an identical spec maps
         to the existing job (with whatever state and checkpoints it has)
-        and ``created`` is False.
+        and ``created`` is False.  *tenant* (the submitting tenant's
+        name) is recorded in the status record of newly created jobs.
         """
         job_id = spec.job_id
         if self.has_job(job_id):
@@ -107,7 +120,10 @@ class ArtifactStore:
         job_dir = self.job_dir(job_id)
         os.makedirs(os.path.join(job_dir, "checkpoints"), exist_ok=True)
         _atomic_write(self._path(job_id, "spec.json"), spec.to_json())
-        self.set_status(job_id, "queued", attempts=0)
+        if tenant is not None:
+            self.set_status(job_id, "queued", attempts=0, tenant=tenant)
+        else:
+            self.set_status(job_id, "queued", attempts=0)
         return job_id, True
 
     def load_spec(self, job_id: str) -> JobSpec:
@@ -133,9 +149,9 @@ class ArtifactStore:
     def set_status(self, job_id: str, state: str, **fields: object) -> None:
         """Atomically replace the status record.
 
-        Unspecified bookkeeping fields (``attempts``, ``created``) carry
-        over from the previous record; ``error``/``traceback`` do not —
-        a fresh attempt starts clean.
+        Unspecified bookkeeping fields (``attempts``, ``created``,
+        ``tenant``) carry over from the previous record;
+        ``error``/``traceback`` do not — a fresh attempt starts clean.
         """
         if state not in JOB_STATES:
             raise StoreError(f"unknown state {state!r}")
@@ -150,9 +166,13 @@ class ArtifactStore:
             "updated": now,
             "attempts": fields.pop("attempts", prev.get("attempts", 0)),
         }
+        if "tenant" not in fields and prev.get("tenant") is not None:
+            record["tenant"] = prev["tenant"]
         record.update(fields)
         _atomic_write(self._path(job_id, "status.json"),
                       json.dumps(record, indent=1, sort_keys=True))
+        if self.on_status is not None:
+            self.on_status(job_id, record)
 
     # -- events --------------------------------------------------------- #
 
@@ -179,6 +199,8 @@ class ArtifactStore:
                 fh.write((prefix + line + "\n").encode("utf-8"))
                 fh.flush()
                 os.fsync(fh.fileno())
+        if self.on_event is not None:
+            self.on_event(job_id, seq)
         return seq
 
     @staticmethod

@@ -1,0 +1,184 @@
+"""Multi-tenancy: API keys, admission quotas, scheduling priorities.
+
+A **tenant** is one consumer of the service — a team, a sweep driver, a
+CI pipeline — identified by an API key and carrying two policies:
+
+* ``max_active`` — how many of its jobs may be queued-or-running at
+  once.  The quota is what keeps one tenant's thousand-job sweep from
+  starving everyone else's single submit; beyond it the front end
+  answers ``429`` with a ``Retry-After`` hint instead of admitting.
+* ``priority`` — scheduler weight.  The admission queue is a priority
+  queue; among queued jobs the highest tenant priority launches first
+  (FIFO within a priority level).
+
+Configuration is one JSON document (``serve --tenants FILE``)::
+
+    {"tenants": [
+        {"name": "sweeps", "key": "s3cr3t-a", "max_active": 8,
+         "priority": 0},
+        {"name": "interactive", "key": "s3cr3t-b", "priority": 10}
+    ]}
+
+``max_active`` omitted or 0 means unlimited; ``priority`` defaults to 0
+(higher runs sooner).  When no tenants file is configured the service
+runs **open**: every request maps to the anonymous
+:data:`PUBLIC_TENANT` with no quota — exactly the pre-tenancy behaviour,
+so single-user deployments need no keys.  When a tenants file *is*
+configured, submission routes require a valid key (``Authorization:
+Bearer <key>`` or ``X-API-Key: <key>``) and answer ``401`` otherwise;
+read-only routes stay open (bind to localhost or front with TLS for
+secrecy — see docs/OPERATIONS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "AuthError",
+    "BackpressureError",
+    "PUBLIC_TENANT",
+    "Tenant",
+    "TenantRegistry",
+]
+
+
+class AuthError(Exception):
+    """Missing or unknown API key (HTTP 401 material)."""
+
+
+class BackpressureError(Exception):
+    """Admission refused — queue full or tenant over quota (HTTP 429).
+
+    Carries ``retry_after`` (seconds, integer) for the ``Retry-After``
+    header so well-behaved clients back off instead of hammering.
+    """
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One configured consumer of the service."""
+
+    name: str
+    key: Optional[str] = None  # None only for the anonymous tenant
+    max_active: int = 0  # queued+running cap; 0 = unlimited
+    priority: int = 0  # higher launches sooner
+
+    @property
+    def metric_suffix(self) -> str:
+        """The tenant's name as a metric-name-safe suffix."""
+        return re.sub(r"[^A-Za-z0-9_]", "_", self.name)
+
+
+#: The anonymous tenant used when no tenants file is configured: open
+#: access, no quota, neutral priority — the pre-tenancy behaviour.
+PUBLIC_TENANT = Tenant(name="public")
+
+
+class TenantRegistry:
+    """Key -> :class:`Tenant` resolution plus the auth policy switch."""
+
+    def __init__(self, tenants: Optional[List[Tenant]] = None) -> None:
+        self._by_key: Dict[str, Tenant] = {}
+        self._by_name: Dict[str, Tenant] = {}
+        for tenant in tenants or []:
+            if not tenant.name:
+                raise ValueError("tenant name must be non-empty")
+            if tenant.name in self._by_name:
+                raise ValueError(f"duplicate tenant name {tenant.name!r}")
+            if not tenant.key:
+                raise ValueError(
+                    f"tenant {tenant.name!r} has no API key")
+            if tenant.key in self._by_key:
+                raise ValueError(
+                    f"duplicate API key (tenant {tenant.name!r})")
+            self._by_key[tenant.key] = tenant
+            self._by_name[tenant.name] = tenant
+
+    @property
+    def auth_required(self) -> bool:
+        """True when at least one tenant (hence key auth) is configured."""
+        return bool(self._by_key)
+
+    def tenants(self) -> List[Tenant]:
+        """Configured tenants, name-sorted."""
+        return [self._by_name[k] for k in sorted(self._by_name)]
+
+    def resolve(self, api_key: Optional[str]) -> Tenant:
+        """The tenant for *api_key*; raises :class:`AuthError` when auth
+        is on and the key is missing or unknown."""
+        if not self.auth_required:
+            return PUBLIC_TENANT
+        if not api_key:
+            raise AuthError("missing API key (Authorization: Bearer <key> "
+                            "or X-API-Key header)")
+        tenant = self._by_key.get(api_key)
+        if tenant is None:
+            raise AuthError("unknown API key")
+        return tenant
+
+    def get(self, name: Optional[str]) -> Tenant:
+        """The tenant named *name* (falls back to the anonymous tenant
+        for unknown or absent names — used when re-admitting recovered
+        jobs whose tenant has since been removed from the config)."""
+        if name is None:
+            return PUBLIC_TENANT
+        return self._by_name.get(name, PUBLIC_TENANT)
+
+    @classmethod
+    def from_doc(cls, doc: object) -> "TenantRegistry":
+        """Build from a parsed tenants document (see module docstring)."""
+        if not isinstance(doc, dict) or not isinstance(
+                doc.get("tenants"), list):
+            raise ValueError("tenants document must be "
+                             "{'tenants': [...]}")
+        tenants = []
+        for i, row in enumerate(doc["tenants"]):
+            if not isinstance(row, dict):
+                raise ValueError(f"tenant #{i} must be an object")
+            unknown = sorted(set(row) - {"name", "key", "max_active",
+                                         "priority"})
+            if unknown:
+                raise ValueError(
+                    f"tenant #{i}: unknown field(s) {', '.join(unknown)}")
+            name = row.get("name")
+            key = row.get("key")
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"tenant #{i}: 'name' must be a "
+                                 f"non-empty string")
+            if not isinstance(key, str) or not key:
+                raise ValueError(f"tenant {name!r}: 'key' must be a "
+                                 f"non-empty string")
+            max_active = row.get("max_active", 0)
+            priority = row.get("priority", 0)
+            for field, value in (("max_active", max_active),
+                                 ("priority", priority)):
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise ValueError(
+                        f"tenant {name!r}: {field!r} must be an integer")
+            if max_active < 0:
+                raise ValueError(
+                    f"tenant {name!r}: 'max_active' must be >= 0")
+            tenants.append(Tenant(name=name, key=key,
+                                  max_active=max_active,
+                                  priority=priority))
+        return cls(tenants)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load and validate a tenants JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"tenants file {path} is not valid JSON: {exc}"
+                ) from None
+        return cls.from_doc(doc)

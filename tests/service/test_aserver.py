@@ -1,0 +1,104 @@
+"""Protocol robustness of the stdlib ASGI host: malformed requests,
+body/header bounds, and keep-alive framing over raw sockets."""
+
+import json
+import socket
+
+import pytest
+
+from repro.service import ArtifactStore, ServiceServer, SupervisorConfig
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ArtifactStore(str(tmp_path / "service"))
+    config = SupervisorConfig(max_retries=0, poll_interval=0.02)
+    with ServiceServer(store, port=0, config=config, max_workers=1) as srv:
+        yield srv
+
+
+def raw_exchange(server, payload: bytes, timeout: float = 10.0) -> bytes:
+    with socket.create_connection(server.address, timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+    return b"".join(chunks)
+
+
+def test_malformed_request_line_is_400(server):
+    answer = raw_exchange(server, b"NOT-A-REQUEST\r\n\r\n")
+    assert answer.startswith(b"HTTP/1.1 400 ")
+    assert b'"error"' in answer
+
+
+def test_unknown_method_is_400(server):
+    answer = raw_exchange(server, b"BREW /jobs HTTP/1.1\r\n\r\n")
+    assert answer.startswith(b"HTTP/1.1 400 ")
+
+
+def test_chunked_request_body_is_rejected(server):
+    answer = raw_exchange(
+        server,
+        b"POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert answer.startswith(b"HTTP/1.1 400 ")
+
+
+def test_oversized_declared_body_is_413(server):
+    huge = 1024 * 1024 * 1024  # 1 GiB declared, none sent
+    answer = raw_exchange(
+        server,
+        f"POST /jobs HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n"
+        .encode("latin-1"))
+    assert answer.startswith(b"HTTP/1.1 413 ")
+
+
+def test_oversized_header_section_is_431(server):
+    payload = (b"GET /jobs HTTP/1.1\r\nX-Pad: " + b"a" * (80 * 1024)
+               + b"\r\n\r\n")
+    answer = raw_exchange(server, payload)
+    assert answer.startswith(b"HTTP/1.1 431 ")
+
+
+def test_keep_alive_serves_sequential_requests(server):
+    with socket.create_connection(server.address, timeout=10.0) as sock:
+        fh = sock.makefile("rb")
+        for _ in range(2):
+            sock.sendall(b"GET /jobs HTTP/1.1\r\n"
+                         b"Host: x\r\nAccept: application/json\r\n\r\n")
+            status = fh.readline()
+            assert status.startswith(b"HTTP/1.1 200")
+            length = None
+            while True:
+                line = fh.readline().strip()
+                if not line:
+                    break
+                name, _, value = line.partition(b":")
+                if name.lower() == b"content-length":
+                    length = int(value)
+            assert length is not None  # fixed-length => keep-alive legal
+            body = fh.read(length)
+            assert json.loads(body) == {"jobs": []}
+
+
+def test_http10_connection_closes_after_response(server):
+    answer = raw_exchange(
+        server, b"GET /jobs HTTP/1.0\r\nHost: x\r\n\r\n")
+    assert answer.startswith(b"HTTP/1.1 200")
+    assert b"Connection: close" in answer
+
+
+def test_version_endpoint(server):
+    answer = raw_exchange(
+        server,
+        b"GET /version HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+    body = answer.split(b"\r\n\r\n", 1)[1]
+    doc = json.loads(body)
+    assert doc["api_version"] == "1"
+    assert b"X-Repro-Api-Version: 1" in answer

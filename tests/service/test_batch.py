@@ -1,0 +1,118 @@
+"""Atomic batch submission: POST /jobs/batch semantics, whole-batch
+backpressure, and dedup inside a batch."""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import (
+    ArtifactStore,
+    JobSpec,
+    ServiceAPIError,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+
+def c17_spec(**kw):
+    defaults = dict(netlist=json.loads(circuit_to_json(c17())),
+                    k=4, perm_budget=20, max_passes=2)
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def fast_config():
+    return SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                            heartbeat_interval=0.2, backoff_base=0.05,
+                            poll_interval=0.02)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ArtifactStore(str(tmp_path / "service"))
+    with ServiceServer(store, port=0, config=fast_config(),
+                       max_workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestBatchSubmit:
+    def test_batch_returns_rows_in_request_order(self, client):
+        specs = [c17_spec(seed=i) for i in range(3)]
+        rows = client.submit_batch(specs)
+        assert [r["id"] for r in rows] == [s.job_id for s in specs]
+        assert all(r["created"] for r in rows)
+        for row in rows:
+            client.wait(row["id"], timeout=60.0)
+
+    def test_batch_dedups_against_store_and_itself(self, client):
+        first = client.submit(c17_spec(seed=0))
+        client.wait(first["id"], timeout=60.0)
+        rows = client.submit_batch([
+            c17_spec(seed=0),   # already in the store
+            c17_spec(seed=40),  # new
+            c17_spec(seed=40),  # duplicate within the batch
+        ])
+        assert rows[0]["created"] is False
+        assert rows[0]["state"] == "succeeded"  # not re-run
+        assert rows[1]["created"] is True
+        assert rows[2]["created"] is False
+        assert rows[1]["id"] == rows[2]["id"]
+        client.wait(rows[1]["id"], timeout=60.0)
+
+    def test_all_dedup_batch_answers_200_created_false(self, client):
+        spec = c17_spec(seed=0)
+        client.submit(spec)
+        rows = client.submit_batch([spec])  # 200, not 201: nothing new
+        assert rows == [{"id": spec.job_id, "state": rows[0]["state"],
+                         "created": False}]
+
+    def test_invalid_spec_rejects_whole_batch(self, client):
+        with pytest.raises(ServiceAPIError) as exc:
+            client.submit_batch_docs([
+                c17_spec(seed=0).to_doc(),
+                {"procedure": "bogus"},
+            ])
+        assert exc.value.code == 400
+        assert "index 1" in exc.value.message
+        assert client.jobs() == []  # nothing was admitted
+
+    def test_empty_batch_is_400(self, client):
+        with pytest.raises(ServiceAPIError) as exc:
+            client.submit_batch([])
+        assert exc.value.code == 400
+
+
+class TestBatchBackpressure:
+    def test_oversized_batch_rejected_whole(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "svc"))
+        # queue_limit=2 and the service not yet draining fast enough: a
+        # 3-spec batch must be rejected in full, admitting nothing.
+        with ServiceServer(store, port=0, config=fast_config(),
+                           max_workers=1, queue_limit=2) as srv:
+            client = ServiceClient(srv.url, timeout=30.0)
+            with pytest.raises(ServiceAPIError) as exc:
+                client.submit_batch([c17_spec(seed=i)
+                                     for i in range(60, 63)])
+            assert exc.value.code == 429
+            assert exc.value.retry_after is not None
+            # Atomicity: zero of the three jobs was admitted.
+            assert client.jobs() == []
+
+    def test_batch_within_limit_is_admitted(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "svc"))
+        with ServiceServer(store, port=0, config=fast_config(),
+                           max_workers=2, queue_limit=2) as srv:
+            client = ServiceClient(srv.url, timeout=30.0)
+            rows = client.submit_batch([c17_spec(seed=i)
+                                        for i in range(70, 72)])
+            assert all(r["created"] for r in rows)
+            for row in rows:
+                client.wait(row["id"], timeout=60.0)

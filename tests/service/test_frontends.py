@@ -1,0 +1,86 @@
+"""Determinism contract across HTTP front ends: a job's report must be
+bit-identical whether it ran behind the legacy threaded server or the
+asyncio one — the front end only admits and serves, it never computes."""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import (
+    ArtifactStore,
+    JobSpec,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+    ThreadedServiceServer,
+)
+
+#: Report fields that must match exactly (timing fields legitimately
+#: differ run to run; everything the algorithm decides must not).
+REPORT_NUMBER_FIELDS = ("passes", "replacements", "gates_before",
+                        "gates_after", "paths_before", "paths_after",
+                        "literals_before", "literals_after")
+
+
+def c17_spec(**kw):
+    defaults = dict(netlist=json.loads(circuit_to_json(c17())),
+                    k=4, perm_budget=20, max_passes=2)
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def fast_config():
+    return SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                            heartbeat_interval=0.2, backoff_base=0.05,
+                            poll_interval=0.02)
+
+
+def run_job_on(server_cls, tmp_path, name):
+    store = ArtifactStore(str(tmp_path / name))
+    with server_cls(store, port=0, config=fast_config(),
+                    max_workers=2) as srv:
+        client = ServiceClient(srv.url, timeout=30.0)
+        job_id = client.submit(c17_spec())["id"]
+        view = client.wait(job_id, timeout=60.0)
+        assert view["state"] == "succeeded"
+        report = client.report(job_id)
+        events = client.events(job_id)["events"]
+    return report, events
+
+
+@pytest.mark.parametrize("seed", [0])
+def test_reports_bit_identical_across_frontends(tmp_path, seed):
+    threaded, threaded_events = run_job_on(ThreadedServiceServer,
+                                           tmp_path, "threaded")
+    asyncio_, async_events = run_job_on(ServiceServer, tmp_path, "async")
+    for field in REPORT_NUMBER_FIELDS:
+        if field in threaded:
+            assert threaded[field] == asyncio_[field], field
+    # The result netlist — the artifact of record — must be the same
+    # document byte for byte.
+    assert json.dumps(threaded["circuit"], sort_keys=True) \
+        == json.dumps(asyncio_["circuit"], sort_keys=True)
+    # Same event shapes too (timestamps differ; types and order do not).
+    assert [e["type"] for e in threaded_events] \
+        == [e["type"] for e in async_events]
+
+
+def test_both_frontends_share_one_store(tmp_path):
+    """A store written behind one front end is served by the other."""
+    root = str(tmp_path / "shared")
+    store = ArtifactStore(root)
+    with ThreadedServiceServer(store, port=0, config=fast_config(),
+                               max_workers=2) as srv:
+        client = ServiceClient(srv.url, timeout=30.0)
+        job_id = client.submit(c17_spec())["id"]
+        client.wait(job_id, timeout=60.0)
+        threaded_report = client.report(job_id)
+    store2 = ArtifactStore(root)
+    with ServiceServer(store2, port=0, config=fast_config(),
+                       max_workers=2) as srv:
+        client = ServiceClient(srv.url, timeout=30.0)
+        assert client.report(job_id) == threaded_report
+        answer = client.submit(c17_spec())
+        assert answer["created"] is False  # dedup across front ends
