@@ -32,6 +32,15 @@ which is how the committed acceptance entry was measured::
 (The committed baseline carries that run under a ``remote_acceptance``
 key, manually merged in; ``--compare`` only reads ``results``.)
 
+``--sweep`` additionally benchmarks :mod:`repro.sweep` (docs/SWEEP.md):
+one grid — the benchmarked circuits x Procedures 2 and 3 x K in {4, 5} —
+run to a Pareto-front report through a serial fabric and through remote
+fabrics over self-hosted loopback servers with 1 and 2 task workers.
+Rows are checked bit-identical across the legs on the spot (the sweep
+determinism contract), so the ``sweep`` key the report gains is honest
+wall clock over identical work: single-box fan-out overhead vs. what an
+extra worker process buys back.
+
 ``--memo DIR`` additionally benchmarks the persistent identification
 cache (docs/MEMO.md): after the plain run that produces ``wall_s``
 (kept memo-less so the column stays comparable across baselines), each
@@ -133,6 +142,79 @@ def bench_one(name, k, seed, jobs, memo_root=None, fabric=None):
     return entry
 
 
+def bench_sweep(circuits, seed):
+    """The sweep leg: one grid through serial and remote backends."""
+    import tempfile
+
+    from repro.fabric import RemoteFabric
+    from repro.service import ArtifactStore, ServiceServer
+    from repro.sweep import (
+        SWEEP_ROW_NUMBER_FIELDS,
+        SweepRunner,
+        sweep_from_doc,
+    )
+
+    spec = sweep_from_doc({
+        "format": "repro-sweepspec",
+        "circuits": list(circuits),
+        "procedures": ["procedure2", "procedure3"],
+        "ks": [4, 5],
+        "seeds": [seed],
+    })
+    print(f"\nsweep grid: {spec.describe()}", flush=True)
+    entry = {"grid": spec.to_doc(), "sweep_id": spec.sweep_id,
+             "cells": len(spec.cells()), "legs": {}}
+    reference = None
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as work:
+        legs = [("serial", None, None)]
+        legs += [(f"remote_workers{n}", n, None) for n in (1, 2)]
+        for i, (leg_name, task_workers, _) in enumerate(legs):
+            fabric = None
+            server = None
+            if task_workers is not None:
+                server = ServiceServer(
+                    ArtifactStore(os.path.join(work, f"store{i}")),
+                    task_workers=task_workers)
+                server.start()
+                fabric = RemoteFabric([server.url],
+                                      shards=max(task_workers, 1))
+            identification_cache().clear()
+            t0 = time.perf_counter()
+            try:
+                result = SweepRunner(
+                    spec, os.path.join(work, f"leg{i}"),
+                    fabric=fabric).run()
+            finally:
+                if fabric is not None:
+                    fabric.close()
+                if server is not None:
+                    server.stop()
+            wall = time.perf_counter() - t0
+            identification_cache().clear()
+            if reference is None:
+                reference = result
+                n_front = sum(len(ids) for ids in result.front.values())
+                entry["front_cells"] = n_front
+            else:
+                ref_rows = {r["cell_id"]: r for r in reference.rows}
+                for row in result.rows:
+                    drift = [f for f in SWEEP_ROW_NUMBER_FIELDS
+                             if ref_rows[row["cell_id"]][f] != row[f]]
+                    if drift:
+                        raise SystemExit(
+                            f"sweep leg {leg_name} diverged on cell "
+                            f"{row['cell_id']}: {', '.join(drift)}")
+                if result.front != reference.front:
+                    raise SystemExit(
+                        f"sweep leg {leg_name} changed the Pareto front")
+            entry["legs"][leg_name] = {"wall_s": round(wall, 3)}
+            print(f"sweep {leg_name}: {wall:.2f}s "
+                  f"({len(result.rows)} cells"
+                  f"{'' if reference is result else ', rows identical'})",
+                  flush=True)
+    return entry
+
+
 def compare(current, baseline_path):
     with open(baseline_path) as fh:
         base = json.load(fh)
@@ -183,6 +265,10 @@ def main():
                     help="benchmark the persistent identification cache "
                          "under DIR: adds warm_wall_s/warm_speedup/"
                          "memo_hits columns (docs/MEMO.md)")
+    ap.add_argument("--sweep", action="store_true",
+                    help="also benchmark a repro.sweep grid over serial "
+                         "and remote backends (docs/SWEEP.md); adds a "
+                         "'sweep' key to the report")
     ap.add_argument("--quick", action="store_true",
                     help="seconds-scale smoke subset (CI)")
     ap.add_argument("--out", default=None,
@@ -244,6 +330,10 @@ def main():
             fabric.close()
         if server is not None:
             server.stop()
+    if args.sweep:
+        sweep_circuits = [c for c in circuits if c != "syn35932"]
+        report["sweep"] = bench_sweep(sweep_circuits or circuits,
+                                      args.seed)
     report["total_wall_s"] = round(time.perf_counter() - t0, 3)
     print(f"total: {report['total_wall_s']:.1f}s")
 

@@ -1,0 +1,190 @@
+"""Sweep smoke check (the CI gate for ``repro.sweep``).
+
+Runs one real grid — a suite circuit and an inline generated circuit x
+Procedures 2 and 3 x two K values — through three backends and an
+interrupt-then-resume, then checks the whole docs/SWEEP.md contract:
+
+* serial, ``ProcessFabric(2)`` and a ``RemoteFabric`` over a live
+  in-process service server produce bit-identical reports on the
+  deterministic row fields and the same Pareto front;
+* deleting two cell files and the aggregate, then re-running with
+  ``--resume`` semantics, re-executes exactly the deleted cells and
+  reproduces the reference report;
+* each cell's numbers equal a standalone run of the same job spec
+  (cell == job identity);
+* the front equals an independent brute-force dominance scan.
+
+Usage::
+
+    PYTHONPATH=src python scripts/sweep_smoke.py
+
+Prints PASS and exits 0 on success; any divergence is a nonzero exit.
+Budget: a couple of minutes.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.benchcircuits.generator import random_circuit
+from repro.comparison import identification_cache
+from repro.fabric import ProcessFabric
+from repro.fabric.remote import RemoteFabric
+from repro.io import circuit_to_json
+from repro.service import ArtifactStore, ServiceServer
+from repro.service.jobspec import resolve_circuit
+from repro.service.runner import procedure_call
+from repro.resynth.serialize import report_to_doc
+from repro.sweep import (
+    SWEEP_ROW_NUMBER_FIELDS,
+    SweepRunner,
+    cell_row,
+    dominates,
+    sweep_from_doc,
+)
+
+
+def grid_doc():
+    inline = json.loads(circuit_to_json(
+        random_circuit("gen8", 8, 3, 30, seed=5)))
+    return {
+        "format": "repro-sweepspec",
+        "circuits": ["syn1423", inline],
+        "procedures": ["procedure2", "procedure3"],
+        "ks": [4, 5],
+        "seeds": [1],
+        "perm_budget": 60,
+        "max_passes": 3,
+    }
+
+
+def run_leg(spec, root, fabric=None, resume=False, on_cell=None):
+    identification_cache().clear()
+    try:
+        return SweepRunner(spec, root, fabric=fabric).run(
+            resume=resume, on_cell=on_cell)
+    finally:
+        if fabric is not None:
+            fabric.close()
+
+
+def diverged_rows(reference, leg):
+    ref = {row["cell_id"]: row for row in reference.rows}
+    bad = []
+    for row in leg.rows:
+        base = ref[row["cell_id"]]
+        fields = [f for f in SWEEP_ROW_NUMBER_FIELDS
+                  if base[f] != row[f]]
+        if fields:
+            bad.append((row["cell_id"], fields))
+    return bad
+
+
+def brute_force_front(rows):
+    front = set()
+    for row in rows:
+        a = (row["gates_after"], row["paths_after"], row["depth"])
+        others = [(r["gates_after"], r["paths_after"], r["depth"])
+                  for r in rows if r is not row]
+        if not any(dominates(b, a) for b in others):
+            front.add(row["cell_id"])
+    return front
+
+
+def main():
+    t0 = time.perf_counter()
+    spec = sweep_from_doc(grid_doc())
+    cells = spec.cells()
+    print(f"grid: {spec.describe()}", flush=True)
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-smoke-") as work:
+        legs = []
+        leg_t = time.perf_counter()
+        reference = run_leg(spec, os.path.join(work, "serial"))
+        print(f"serial: {len(reference.rows)} cells, "
+              f"{time.perf_counter() - leg_t:.1f}s", flush=True)
+
+        leg_t = time.perf_counter()
+        legs.append(("process jobs=2", run_leg(
+            spec, os.path.join(work, "process"), fabric=ProcessFabric(2))))
+        print(f"process: {time.perf_counter() - leg_t:.1f}s", flush=True)
+
+        leg_t = time.perf_counter()
+        store = ArtifactStore(os.path.join(work, "server-store"))
+        with ServiceServer(store, port=0, task_workers=2) as server:
+            legs.append(("remote shards=2", run_leg(
+                spec, os.path.join(work, "remote"),
+                fabric=RemoteFabric([server.url], shards=2))))
+        print(f"remote: {time.perf_counter() - leg_t:.1f}s", flush=True)
+
+        # Interrupt-then-resume: drop two cells and the aggregate.
+        leg_t = time.perf_counter()
+        resume_root = os.path.join(work, "resume")
+        run_leg(spec, resume_root)
+        victims = sorted({cells[0].cell_id, cells[-1].cell_id})
+        for cell_id in victims:
+            os.unlink(os.path.join(resume_root, "cells",
+                                   f"{cell_id}.json"))
+        os.unlink(os.path.join(resume_root, "report.json"))
+        executed = []
+        legs.append(("resumed", run_leg(
+            spec, resume_root, resume=True,
+            on_cell=lambda cell, doc: executed.append(cell.cell_id))))
+        print(f"resume: re-ran {len(executed)}/{len(cells)} cells, "
+              f"{time.perf_counter() - leg_t:.1f}s", flush=True)
+        if sorted(executed) != victims:
+            failures.append(
+                f"resume re-ran {sorted(executed)}, expected {victims}")
+
+        for name, leg in legs:
+            for cell_id, fields in diverged_rows(reference, leg):
+                failures.append(f"{name}: cell {cell_id} diverged on "
+                                f"{', '.join(fields)}")
+            if leg.front != reference.front:
+                failures.append(f"{name}: front {leg.front} != "
+                                f"serial front {reference.front}")
+
+        # Front referee: independent dominance scan per circuit.
+        for name, front_ids in reference.front.items():
+            group = [r for r in reference.rows if r["circuit"] == name]
+            expected = brute_force_front(group)
+            if set(front_ids) != expected:
+                failures.append(
+                    f"front of {name!r}: {sorted(front_ids)} != "
+                    f"brute force {sorted(expected)}")
+
+        # Cell == job: every cell vs its standalone procedure run.
+        leg_t = time.perf_counter()
+        ref_rows = {row["cell_id"]: row for row in reference.rows}
+        for cell in cells:
+            identification_cache().clear()
+            report = procedure_call(cell.spec)(resolve_circuit(cell.spec))
+            row = cell_row(cell, report_to_doc(report))
+            base = ref_rows[cell.cell_id]
+            fields = [f for f in SWEEP_ROW_NUMBER_FIELDS
+                      if base[f] != row[f]]
+            if fields:
+                failures.append(
+                    f"standalone: cell {cell.cell_id} diverged on "
+                    f"{', '.join(fields)}")
+        identification_cache().clear()
+        print(f"standalone: {len(cells)} cells re-run, "
+              f"{time.perf_counter() - leg_t:.1f}s", flush=True)
+
+    total = time.perf_counter() - t0
+    if failures:
+        print(f"FAIL ({len(failures)} problem(s), {total:.1f}s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    n_front = sum(len(ids) for ids in reference.front.values())
+    print(f"PASS: {len(cells)} cells x 4 legs bit-identical, front "
+          f"{n_front} cell(s) verified, {total:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

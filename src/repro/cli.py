@@ -155,6 +155,62 @@ def _cmd_resynth(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import os
+
+    from .sweep import SweepError, SweepRunner, SweepSpecError, \
+        sweep_from_json
+
+    try:
+        with open(args.grid, "r", encoding="utf-8") as fh:
+            spec = sweep_from_json(fh.read())
+    except OSError as exc:
+        print(f"error: cannot read grid file: {exc}", file=sys.stderr)
+        return 2
+    except SweepSpecError as exc:
+        print(f"error: invalid sweep grid: {exc}", file=sys.stderr)
+        return 2
+    fabric = None
+    if args.fabric == "serial":
+        from .fabric import SerialFabric
+
+        fabric = SerialFabric()
+    elif args.fabric == "process":
+        from .fabric import ProcessFabric
+
+        fabric = ProcessFabric(max(args.jobs, 2))
+    elif args.fabric == "remote":
+        if not args.workers:
+            print("error: --fabric remote needs at least one --workers URL",
+                  file=sys.stderr)
+            return 2
+        from .fabric.remote import RemoteFabric
+
+        fabric = RemoteFabric(args.workers)
+    out = args.out or os.path.join(".repro-sweep", spec.sweep_id)
+    print(spec.describe())
+
+    def on_cell(cell, doc):
+        print(f"  {cell.circuit} {cell.procedure} K={cell.k} "
+              f"seed={cell.seed}: gates {doc['gates_before']}->"
+              f"{doc['gates_after']} paths {doc['paths_before']}->"
+              f"{doc['paths_after']} ({doc['total_seconds']:.2f}s)",
+              flush=True)
+
+    runner = SweepRunner(spec, out, fabric=fabric, memo=args.memo)
+    try:
+        report = runner.run(resume=args.resume, on_cell=on_cell)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if fabric is not None:
+            fabric.close()
+    print(report.render())
+    print(f"wrote {runner.report_path}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .obs import render_trace_summary
 
@@ -349,18 +405,21 @@ def _cmd_serve(args) -> int:
             task_workers=args.task_workers,
         )
     else:
-        tenants = None
         if args.tenants:
             try:
-                tenants = TenantRegistry.from_file(args.tenants)
+                # Validate up front for a clean CLI error; the path is
+                # handed to the server too, which hot-reloads edits
+                # (rejected reloads keep the old registry).
+                TenantRegistry.from_file(args.tenants)
             except (OSError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
         server = ServiceServer(
             store, host=args.host, port=args.port, config=config,
             max_workers=args.workers, verbose=args.verbose,
-            task_workers=args.task_workers, tenants=tenants,
+            task_workers=args.task_workers,
             queue_limit=args.queue_limit,
+            tenants_file=args.tenants or None,
         )
     memo_note = f", memo: {args.memo}" if args.memo else ""
     task_note = (f", task-workers: {args.task_workers}"
@@ -461,6 +520,16 @@ def _cmd_jobs(args) -> int:
 
     client = ServiceClient(args.url, api_key=args.api_key)
     try:
+        if args.summary:
+            doc = client.jobs_summary()
+            print(f"{doc['total']} job(s)")
+            for tenant in sorted(doc["tenants"]):
+                counts = doc["tenants"][tenant]
+                states = ", ".join(
+                    f"{state}={counts[state]}"
+                    for state in sorted(counts) if state != "total")
+                print(f"  {tenant}: {counts['total']} ({states})")
+            return 0
         rows = client.jobs(state=args.state, tenant=args.tenant,
                            limit=args.limit)
     except ServiceAPIError as exc:
@@ -559,6 +628,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "'serve --task-workers N')")
     p.set_defaults(func=_cmd_resynth)
 
+    p = sub.add_parser("sweep",
+                       help="run a parameter-sweep grid and report its "
+                            "Pareto front (docs/SWEEP.md)")
+    p.add_argument("--grid", required=True, metavar="FILE",
+                   help="sweep grid JSON (format repro-sweepspec)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="sweep directory (default "
+                        ".repro-sweep/<sweep_id>)")
+    p.add_argument("--fabric", choices=("serial", "process", "remote"),
+                   default="serial",
+                   help="cell-execution backend (results are identical "
+                        "on every backend; docs/SWEEP.md)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="process-fabric worker count (--fabric process)")
+    p.add_argument("--workers", metavar="URL", action="append", default=[],
+                   help="remote fabric worker URL (repeatable; requires "
+                        "--fabric remote)")
+    p.add_argument("--memo", metavar="DIR", default=None,
+                   help="persistent identification cache handed to every "
+                        "cell (wall clock only; docs/MEMO.md)")
+    p.add_argument("--resume", action="store_true",
+                   help="keep intact stored cell reports and run only "
+                        "the unfinished cells")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("trace",
                        help="summarize a JSONL trace written by "
                             "'resynth --trace' (docs/OBSERVABILITY.md)")
@@ -586,7 +680,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument("--oracle", action="append",
                    choices=("sim", "fault", "resynth", "unit",
                             "incremental", "parallel", "resume", "memo",
-                            "all"),
+                            "sweep", "all"),
                    default=None,
                    help="oracle to run (repeatable; default all)")
     p.add_argument("--seed-base", type=int, default=0)
@@ -692,6 +786,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                    help="at most this many rows")
     p.add_argument("--api-key", default=None,
                    help="tenant API key (sent as a Bearer token)")
+    p.add_argument("--summary", action="store_true",
+                   help="per-tenant x per-state counts instead of rows "
+                        "(GET /jobs/summary)")
     p.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser("result", help="fetch a finished job's report")

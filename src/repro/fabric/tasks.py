@@ -386,3 +386,83 @@ register_task_kind(TaskKind(
     encode_result=_encode_identify_result,
     decode_result=_decode_identify_result,
 ))
+
+
+# --------------------------------------------------------------------- #
+# the whole-cell resynthesis kind
+# --------------------------------------------------------------------- #
+#
+# ``resynth_cell`` ships one *entire* resynthesis run — a sweep cell —
+# as a single task: the payload is a job spec document, the result the
+# finished report document (result netlist embedded).  Where ``extract``
+# and ``identify`` fan one job's candidate evaluation out, this kind
+# fans *jobs themselves* out, which is how ``repro.sweep`` exercises a
+# remote fleet with whole cells.  The run function goes through the
+# same bound-procedure path as the job service's runner, so a cell's
+# report is bit-identical to a standalone run of the same spec.
+#
+# ``memo`` (optional, a directory path on the executing host) names a
+# persistent identification cache; like everywhere else it can change
+# only the wall clock, never the report, so it is excluded from cell
+# identity.
+
+
+def _run_resynth_cell(payload: Dict[str, object]) -> Dict[str, object]:
+    # Imported lazily: the service package imports the fabric, so the
+    # fabric must not import the service package at module scope.
+    from ..resynth.serialize import report_to_doc
+    from ..service.jobspec import resolve_circuit, spec_from_doc
+    from ..service.runner import procedure_call
+
+    spec = spec_from_doc(payload["spec"])
+    circuit = resolve_circuit(spec)
+    report = procedure_call(spec)(circuit, memo=payload.get("memo"))
+    return report_to_doc(report)
+
+
+def _encode_resynth_cell_payload(payload: Dict[str, object]) -> object:
+    doc: Dict[str, object] = {"spec": dict(payload["spec"])}
+    if payload.get("memo") is not None:
+        doc["memo"] = payload["memo"]
+    return doc
+
+
+def _decode_resynth_cell_payload(value: object) -> Dict[str, object]:
+    if not isinstance(value, dict) or "spec" not in value:
+        raise ValueError("resynth_cell payload is not {'spec': {...}}")
+    from ..service.jobspec import spec_from_doc
+
+    # spec_from_doc raises JobSpecError (a ValueError) on any anomaly;
+    # re-encoding canonicalizes defaulted fields.
+    payload: Dict[str, object] = {
+        "spec": spec_from_doc(value["spec"]).to_doc()}
+    memo = value.get("memo")
+    if memo is not None:
+        if not isinstance(memo, str):
+            raise ValueError("resynth_cell memo is not a string path")
+        payload["memo"] = memo
+    return payload
+
+
+def _decode_resynth_cell_result(value: object) -> Dict[str, object]:
+    from ..resynth.serialize import report_from_doc, report_to_doc
+
+    if not isinstance(value, dict):
+        raise ValueError("resynth_cell result is not an object")
+    try:
+        # Full rebuild-and-reencode: the strongest shape check there is,
+        # and it canonicalizes the document in one move.
+        return report_to_doc(report_from_doc(value))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"resynth_cell result is not a valid report document: {exc}"
+        ) from None
+
+
+register_task_kind(TaskKind(
+    name="resynth_cell",
+    run=_run_resynth_cell,
+    decode_payload=_decode_resynth_cell_payload,
+    encode_payload=_encode_resynth_cell_payload,
+    decode_result=_decode_resynth_cell_result,
+))

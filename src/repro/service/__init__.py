@@ -39,6 +39,7 @@ from .jobspec import (
 )
 from .runner import run_job
 from .store import ArtifactStore, JOB_STATES, StoreError, TERMINAL_STATES
+from .sweeps import SweepCoordinator
 from .supervisor import (
     JobOutcome,
     SupervisorConfig,
@@ -73,6 +74,7 @@ __all__ = [
     "ServiceServer",
     "StoreError",
     "SupervisorConfig",
+    "SweepCoordinator",
     "TERMINAL_STATES",
     "Tenant",
     "TenantRegistry",

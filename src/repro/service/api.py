@@ -49,6 +49,8 @@ from __future__ import annotations
 
 import heapq
 import json
+import os
+import sys
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -133,6 +135,7 @@ class ResynthesisService:
         task_workers: int = 0,
         tenants: Optional[TenantRegistry] = None,
         queue_limit: int = 0,
+        tenants_file: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -143,7 +146,11 @@ class ResynthesisService:
         self.store = store
         self.config = config or SupervisorConfig()
         self.metrics = metrics or Registry()
+        if tenants is None and tenants_file is not None:
+            tenants = TenantRegistry.from_file(tenants_file)
         self.tenants = tenants or TenantRegistry()
+        self._tenants_file = tenants_file
+        self._tenants_stamp = self._stat_tenants_file()
         self.queue_limit = queue_limit
         self._max_workers = max_workers
         self._worker_command = worker_command  # None -> the real worker
@@ -171,6 +178,12 @@ class ResynthesisService:
         self._stopping = False
         self._scheduler: Optional[threading.Thread] = None
         self.index = JobIndex(default_index_path(store.root))
+        # The sweep coordinator (lazy import: repro.sweep pulls this
+        # package's jobspec back in) must exist before the status hook
+        # can fire — it observes cell completions through it.
+        from .sweeps import SweepCoordinator
+
+        self.sweeps = SweepCoordinator(self)
         store.on_status = self._on_status
         self.index.rebuild(store)
         self._recover()
@@ -237,8 +250,58 @@ class ResynthesisService:
     # -- status observer ------------------------------------------------- #
 
     def _on_status(self, job_id: str, record: Dict[str, object]) -> None:
-        """Store hook: mirror every status replace into the job index."""
+        """Store hook: mirror every status replace into the job index
+        and let the sweep coordinator observe cell completions."""
         self.index.record(job_id, record)
+        self.sweeps.notify_status(job_id, record)
+
+    # -- tenants hot reload ---------------------------------------------- #
+
+    def _stat_tenants_file(self) -> Optional[Tuple[int, int]]:
+        if self._tenants_file is None:
+            return None
+        try:
+            st = os.stat(self._tenants_file)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def maybe_reload_tenants(self) -> bool:
+        """Reload the tenants file if it changed on disk; True on swap.
+
+        Called from the request path (one ``stat`` when a tenants file
+        is configured, nothing otherwise).  A reload is **rejected** —
+        with a logged warning, never a crash, keeping the old registry
+        in force — when the new file is unreadable/invalid or when it
+        would orphan a tenant that still has queued-or-running jobs
+        (their quota accounting would dangle).  A rejected file is not
+        retried until it changes again, so one bad edit logs once, not
+        once per request.
+        """
+        stamp = self._stat_tenants_file()
+        if stamp is None or stamp == self._tenants_stamp:
+            return False
+        self._tenants_stamp = stamp
+        try:
+            registry = TenantRegistry.from_file(self._tenants_file)
+        except (OSError, ValueError) as exc:
+            print(f"[service] tenants reload rejected: {exc}",
+                  file=sys.stderr)
+            return False
+        with self._lock:
+            active = set(self._job_tenant.values())
+        known = {t.name for t in registry.tenants()} | {PUBLIC_TENANT.name}
+        orphaned = sorted(active - known)
+        if orphaned:
+            print(f"[service] tenants reload rejected: would orphan "
+                  f"active jobs of tenant(s) {', '.join(orphaned)}",
+                  file=sys.stderr)
+            return False
+        self.tenants = registry
+        self.metrics.inc("service_tenant_reloads_total")
+        print(f"[service] tenants reloaded from {self._tenants_file} "
+              f"({len(registry.tenants())} tenant(s))", file=sys.stderr)
+        return True
 
     # -- submission ----------------------------------------------------- #
 
@@ -499,6 +562,15 @@ class ResynthesisService:
         the SQLite index; no per-job directory is touched."""
         return self.index.rows(state=state, tenant=tenant,
                                limit=limit, offset=offset)
+
+    def summary_view(self) -> Dict[str, object]:
+        """``GET /jobs/summary``: per-tenant x per-state counts.
+
+        One grouped SQLite query — the operator's "who is using the
+        service and how is it going" dashboard line, at any job count.
+        """
+        tenants, states, total = self.index.summary()
+        return {"total": total, "tenants": tenants, "states": states}
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -8,11 +8,18 @@ This is the multi-tenant, connection-cheap HTTP face of
     POST /jobs/batch             submit many specs atomically
     GET  /jobs                   listing from the SQLite index
                                  (?state= &tenant= &limit= &offset=)
+    GET  /jobs/summary           per-tenant x per-state counts
     GET  /jobs/<id>              status + spec + progress
     GET  /jobs/<id>/events       event log; ?after=N&wait=S long-polls
     GET  /jobs/<id>/events/stream  Server-Sent Events tail of the log
     GET  /jobs/<id>/report       final report (netlist embedded)
     GET  /jobs/<id>/result       result netlist document only
+    POST /sweeps                 submit a sweep grid (docs/SWEEP.md)
+    GET  /sweeps                 sweep listing
+    GET  /sweeps/<id>            sweep state + per-cell state counts
+    GET  /sweeps/<id>/events     sweep event log (long-poll like jobs')
+    GET  /sweeps/<id>/events/stream  SSE tail of the sweep log
+    GET  /sweeps/<id>/report     aggregate report + Pareto front
     GET  /metrics                JSON or Prometheus (Accept-negotiated)
     GET  /version                API + service version document
     POST /tasks                  fabric task execution (docs/FABRIC.md)
@@ -88,18 +95,25 @@ class _HTTPAnswer(Exception):
 
 
 class EventBroker:
-    """Wakes event watchers when a job's ``events.jsonl`` grows.
+    """Wakes event watchers when a watched ``events.jsonl`` grows.
 
     Two wake sources, one per writer kind: the store's ``on_event``
     hook covers in-process appends (submit/attempt/state records from
     the scheduler and supervisors), and a polling watcher task covers
     worker-subprocess appends (pass/checkpoint/completed records).  The
     watcher only stats jobs that currently have waiters.
+
+    Channels are opaque keys.  Bare job ids resolve to the store's
+    per-job log; *path_for* lets other log owners join the same broker
+    (the sweep coordinator registers ``sweep:<id>`` channels this way).
     """
 
     def __init__(self, store: ArtifactStore,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 path_for=None) -> None:
         self._store = store
+        self._path_for = path_for or (
+            lambda key: store._path(key, "events.jsonl"))
         self.poll_interval = poll_interval
         self._conds: Dict[str, asyncio.Condition] = {}
         self._waiters: Dict[str, int] = {}
@@ -141,8 +155,7 @@ class EventBroker:
         import os
 
         try:
-            return os.path.getsize(
-                self._store._path(job_id, "events.jsonl"))
+            return os.path.getsize(self._path_for(job_id))
         except (OSError, StoreError):
             return 0
 
@@ -194,7 +207,13 @@ class ServiceApp:
         self.service = service
         self.verbose = verbose
         self.sse_keepalive = sse_keepalive
-        self.broker = EventBroker(service.store)
+
+        def path_for(key: str) -> str:
+            if key.startswith("sweep:"):
+                return service.sweeps.events_path(key[len("sweep:"):])
+            return service.store._path(key, "events.jsonl")
+
+        self.broker = EventBroker(service.store, path_for=path_for)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle (called by the hosting server on its loop) ----------- #
@@ -208,11 +227,17 @@ class ServiceApp:
         def on_event(job_id: str, seq: int) -> None:
             loop.call_soon_threadsafe(self.broker.poke, job_id)
 
+        def on_sweep_event(sweep_id: str, seq: int) -> None:
+            loop.call_soon_threadsafe(self.broker.poke,
+                                      "sweep:" + sweep_id)
+
         self.service.store.on_event = on_event
+        self.service.sweeps.on_event = on_sweep_event
 
     async def shutdown(self) -> None:
-        """Detach the observer and stop the broker."""
+        """Detach the observers and stop the broker."""
         self.service.store.on_event = None
+        self.service.sweeps.on_event = None
         await self.broker.stop()
 
     # -- ASGI entry ------------------------------------------------------ #
@@ -272,6 +297,8 @@ class ServiceApp:
             await self._submit(headers, body, send)
         elif method == "POST" and parts == ["jobs", "batch"]:
             await self._submit_batch(headers, body, send)
+        elif method == "POST" and parts == ["sweeps"]:
+            await self._submit_sweep(headers, body, send)
         elif method == "POST" and parts == ["tasks"]:
             await self._run_tasks(body, send)
         elif method == "PUT" and len(parts) == 2 and parts[0] == "memo":
@@ -292,6 +319,10 @@ class ServiceApp:
                 })
             elif parts == ["jobs"]:
                 await self._list_jobs(query, send)
+            elif parts == ["jobs", "summary"]:
+                summary = await asyncio.to_thread(
+                    self.service.summary_view)
+                await self._send_json(send, 200, summary)
             elif len(parts) == 2 and parts[0] == "jobs":
                 view = await asyncio.to_thread(
                     self.service.job_view, parts[1])
@@ -304,6 +335,23 @@ class ServiceApp:
                 await self._events_stream(parts[1], query, send)
             elif len(parts) == 3 and parts[0] == "jobs":
                 await self._job_artifact(parts[1], parts[2], send)
+            elif parts == ["sweeps"]:
+                rows = await asyncio.to_thread(
+                    self.service.sweeps.list_view)
+                await self._send_json(send, 200, {"sweeps": rows})
+            elif len(parts) == 2 and parts[0] == "sweeps":
+                view = await asyncio.to_thread(
+                    self.service.sweeps.sweep_view, parts[1])
+                await self._send_json(send, 200, view)
+            elif (len(parts) == 3 and parts[0] == "sweeps"
+                    and parts[2] == "events"):
+                await self._sweep_events(parts[1], query, send)
+            elif (len(parts) == 4 and parts[0] == "sweeps"
+                    and parts[2:] == ["events", "stream"]):
+                await self._sweep_events_stream(parts[1], query, send)
+            elif (len(parts) == 3 and parts[0] == "sweeps"
+                    and parts[2] == "report"):
+                await self._sweep_report(parts[1], send)
             elif len(parts) == 2 and parts[0] == "memo":
                 await self._get_memo(parts[1], send)
             else:
@@ -315,6 +363,10 @@ class ServiceApp:
     # -- auth ------------------------------------------------------------ #
 
     def _resolve_tenant(self, headers):
+        # One stat per authenticated request: pick up edits to the
+        # tenants file without a restart (rejected reloads keep the old
+        # registry and log a warning — see maybe_reload_tenants).
+        self.service.maybe_reload_tenants()
         key = headers.get("x-api-key")
         if key is None:
             auth = headers.get("authorization", "")
@@ -385,6 +437,27 @@ class ServiceApp:
             raise self._backpressure(exc) from None
         status = 201 if any(r["created"] for r in rows) else 200
         await self._send_json(send, status, {"jobs": rows})
+
+    async def _submit_sweep(self, headers, body, send) -> None:
+        from ..sweep import SweepSpecError, sweep_from_doc
+
+        tenant = self._resolve_tenant(headers)
+        try:
+            spec = sweep_from_doc(self._parse_body_json(body))
+        except (SweepSpecError, ValueError) as exc:
+            raise _HTTPAnswer(
+                400, f"invalid sweep grid: {exc}") from None
+        try:
+            sweep_id, created = await asyncio.to_thread(
+                self.service.sweeps.submit, spec, tenant)
+        except BackpressureError as exc:
+            raise self._backpressure(exc) from None
+        view = await asyncio.to_thread(
+            self.service.sweeps.sweep_view, sweep_id)
+        await self._send_json(send, 201 if created else 200, {
+            "id": sweep_id, "state": view["state"],
+            "cells": view["cells"], "created": created,
+        })
 
     # -- listings and views ---------------------------------------------- #
 
@@ -512,6 +585,82 @@ class ServiceApp:
             if not changed:
                 await emit(": keepalive\n\n")  # also probes the client
 
+    # -- sweeps ----------------------------------------------------------- #
+
+    async def _sweep_report(self, sweep_id: str, send) -> None:
+        sweeps = self.service.sweeps
+        doc = await asyncio.to_thread(sweeps.load_report_doc, sweep_id)
+        if doc is None:
+            view = await asyncio.to_thread(sweeps.sweep_view, sweep_id)
+            raise _HTTPAnswer(
+                404, f"sweep {sweep_id} has no report yet "
+                     f"(state: {view['state']})")
+        await self._send_json(send, 200, doc)
+
+    async def _sweep_state(self, sweep_id: str) -> str:
+        view = await asyncio.to_thread(
+            self.service.sweeps.sweep_view, sweep_id)
+        return view["state"]
+
+    async def _sweep_events(self, sweep_id: str, query, send) -> None:
+        after, wait = self._event_cursor(query)
+        sweeps = self.service.sweeps
+        deadline = time.monotonic() + wait
+        while True:
+            events = await asyncio.to_thread(sweeps.events, sweep_id,
+                                             after)
+            state = await self._sweep_state(sweep_id)
+            remaining = deadline - time.monotonic()
+            if events or state in TERMINAL_STATES or remaining <= 0:
+                break
+            await self.broker.wait("sweep:" + sweep_id,
+                                   min(remaining, 1.0))
+        next_after = events[-1]["seq"] if events else after
+        await self._send_json(send, 200, {
+            "events": events, "next_after": next_after, "state": state,
+        })
+
+    async def _sweep_events_stream(self, sweep_id: str, query,
+                                   send) -> None:
+        after, _ = self._event_cursor(query)
+        sweeps = self.service.sweeps
+        metrics = self.service.metrics
+        if not await asyncio.to_thread(sweeps.has_sweep, sweep_id):
+            raise StoreError(f"unknown sweep {sweep_id!r}")
+        await send({"type": "http.response.start", "status": 200,
+                    "headers": [
+                        (b"Content-Type", b"text/event-stream"),
+                        (b"Cache-Control", b"no-cache"),
+                        (b"X-Repro-Api-Version",
+                         API_VERSION.encode("latin-1")),
+                    ]})
+        metrics.inc("service_event_streams_total")
+
+        async def emit(chunk: str, more: bool = True) -> None:
+            await send({"type": "http.response.body",
+                        "body": chunk.encode("utf-8"), "more_body": more})
+
+        while True:
+            events = await asyncio.to_thread(sweeps.events, sweep_id,
+                                             after)
+            for event in events:
+                after = event["seq"]
+                payload = json.dumps(event, sort_keys=True)
+                await emit(f"id: {event['seq']}\n"
+                           f"event: {event.get('type', 'event')}\n"
+                           f"data: {payload}\n\n")
+                metrics.inc("service_events_streamed_total")
+            state = await self._sweep_state(sweep_id)
+            if state in TERMINAL_STATES:
+                await emit("event: end\n"
+                           f"data: {json.dumps({'state': state})}\n\n",
+                           more=False)
+                return
+            changed = await self.broker.wait("sweep:" + sweep_id,
+                                             self.sse_keepalive)
+            if not changed:
+                await emit(": keepalive\n\n")
+
     # -- fabric tasks and memo ------------------------------------------- #
 
     async def _run_tasks(self, body, send) -> None:
@@ -602,11 +751,12 @@ class ServiceServer:
         tenants: Optional[TenantRegistry] = None,
         queue_limit: int = 0,
         sse_keepalive: float = SSE_KEEPALIVE_SECONDS,
+        tenants_file: Optional[str] = None,
     ) -> None:
         self.service = ResynthesisService(
             store, config=config, max_workers=max_workers,
             task_workers=task_workers, tenants=tenants,
-            queue_limit=queue_limit,
+            queue_limit=queue_limit, tenants_file=tenants_file,
         )
         self.app = ServiceApp(self.service, verbose=verbose,
                               sse_keepalive=sse_keepalive)

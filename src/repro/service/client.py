@@ -255,6 +255,56 @@ class ServiceClient:
         """
         return self._request("POST", "/tasks", body={"tasks": task_docs})
 
+    # -- sweeps ---------------------------------------------------------- #
+
+    def submit_sweep(self, spec_doc: Dict[str, object]
+                     ) -> Dict[str, object]:
+        """``POST /sweeps`` — submit a sweep grid document.
+
+        Returns ``{"id", "state", "cells", "created"}``; honours
+        ``backpressure_retries`` (admission is all-or-nothing, and
+        sweep ids are content hashes, so a re-submit dedups).
+        """
+        return self._submit_retrying("/sweeps", spec_doc)
+
+    def sweeps(self) -> List[Dict[str, object]]:
+        """``GET /sweeps`` — compact sweep listing rows."""
+        return self._request("GET", "/sweeps")["sweeps"]
+
+    def sweep(self, sweep_id: str) -> Dict[str, object]:
+        """``GET /sweeps/<id>`` — state + per-cell state counts."""
+        return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def sweep_report(self, sweep_id: str) -> Dict[str, object]:
+        """``GET /sweeps/<id>/report`` — rows + Pareto front (404
+        until every cell has succeeded)."""
+        return self._request("GET", f"/sweeps/{sweep_id}/report")
+
+    def sweep_events(self, sweep_id: str, after: int = 0,
+                     wait: float = 0.0) -> Dict[str, object]:
+        """``GET /sweeps/<id>/events`` (long-polls when ``wait > 0``)."""
+        return self._request(
+            "GET", f"/sweeps/{sweep_id}/events?after={after}&wait={wait}")
+
+    def sweep_wait(self, sweep_id: str, timeout: float = 600.0,
+                   poll: float = 0.5) -> Dict[str, object]:
+        """Block (long-polling sweep events) until the sweep is
+        terminal; returns the final sweep view."""
+        deadline = time.time() + timeout
+        after = 0
+        while time.time() < deadline:
+            chunk = self.sweep_events(sweep_id, after=after,
+                                      wait=min(poll * 10, 5.0))
+            after = chunk["next_after"]
+            if chunk["state"] in ("succeeded", "failed"):
+                return self.sweep(sweep_id)
+        raise TimeoutError(
+            f"sweep {sweep_id} not terminal within {timeout:g}s")
+
+    def jobs_summary(self) -> Dict[str, object]:
+        """``GET /jobs/summary`` — per-tenant x per-state counts."""
+        return self._request("GET", "/jobs/summary")
+
     def memo_entry(self, class_id: str) -> Dict[str, object]:
         """``GET /memo/<class-id>`` — one raw memo entry document."""
         return self._request("GET", f"/memo/{class_id}")

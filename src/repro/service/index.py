@@ -160,6 +160,31 @@ class JobIndex:
             out.append(doc)
         return out
 
+    def summary(self):
+        """Per-tenant x per-state counts in one grouped query.
+
+        Returns ``(tenants, states, total)`` where *tenants* maps
+        tenant name -> ``{state: count, ..., "total": n}`` (rows with no
+        recorded tenant land under ``"public"``), *states* is the
+        tenant-agnostic ``{state: count}`` roll-up and *total* the row
+        count — the whole ``GET /jobs/summary`` answer from one scan of
+        the index, no per-job directory touched.
+        """
+        sql = ("SELECT COALESCE(tenant, 'public'), state, COUNT(*) "
+               "FROM jobs GROUP BY 1, 2 ORDER BY 1, 2")
+        with self._lock:
+            rows = self._conn.execute(sql).fetchall()
+        tenants: Dict[str, Dict[str, int]] = {}
+        states: Dict[str, int] = {}
+        total = 0
+        for tenant, state, count in rows:
+            bucket = tenants.setdefault(tenant, {})
+            bucket[state] = bucket.get(state, 0) + count
+            bucket["total"] = bucket.get("total", 0) + count
+            states[state] = states.get(state, 0) + count
+            total += count
+        return tenants, states, total
+
     def count(self, state: Optional[str] = None) -> int:
         """Row count, optionally for one state."""
         sql = "SELECT COUNT(*) FROM jobs"

@@ -18,8 +18,14 @@ from .jobspec import JobSpec, resolve_circuit
 from .store import ArtifactStore
 
 
-def _procedure_call(spec: JobSpec):
-    """The procedure callable for *spec*, with spec knobs bound."""
+def procedure_call(spec: JobSpec):
+    """The procedure callable for *spec*, with spec knobs bound.
+
+    Shared by :func:`run_job` and the fabric's ``resynth_cell`` task
+    kind (:mod:`repro.fabric.tasks`), so a sweep cell executed on a
+    remote fleet member runs through exactly the code path a standalone
+    job does — the basis of the cell/job bit-identity contract.
+    """
     common = dict(
         k=spec.k,
         perm_budget=spec.perm_budget,
@@ -93,7 +99,7 @@ def run_job(
         if progress is not None:
             progress()
 
-    proc = _procedure_call(spec)
+    proc = procedure_call(spec)
     report = proc(circuit, on_pass=checkpoint_hook, resume=resume,
                   memo=memo, fabric=fabric)
     store.write_report(job_id, report)

@@ -1,0 +1,330 @@
+"""Service-side sweeps: grids of jobs with one lifecycle and one report.
+
+:class:`SweepCoordinator` is how ``POST /sweeps`` turns a
+:class:`~repro.sweep.SweepSpec` into service jobs.  It deliberately does
+**not** run cells itself (no second execution path): every cell *is* a
+:class:`~repro.service.jobspec.JobSpec` submitted through
+:meth:`ResynthesisService.submit`, so cells ride the existing admission
+queue, tenant quotas, scheduler, supervisors, retries and artifact
+store — and a sweep cell's report is bit-identical to the same spec
+submitted standalone (they are literally the same job directory).
+
+What the coordinator adds on top:
+
+* **Atomic admission** — capacity for every *new* cell is cleared
+  against the queue bound and the tenant's quota up front (the
+  ``submit_batch`` discipline), so a sweep lands whole or is rejected
+  whole with 429.
+* **A sweep lifecycle** — ``<store root>/sweeps/<sweep_id>/`` holds the
+  grid (``sweep.json``, write-once), an append-only ``events.jsonl``
+  (``submitted`` / per-cell terminal ``cell`` records / ``completed``)
+  and, once every cell has succeeded, the aggregate ``report.json``
+  (:func:`~repro.sweep.build_sweep_report` — same document the CLI
+  runner writes, modulo wall clock).  Cell completion is observed
+  through the service's status hook; no polling.
+* **Recovery** — sweeps are rebuilt from their directories at startup;
+  a sweep whose cells all finished while the service was down gets its
+  report built then.
+
+Dedup composes: resubmitting a sweep is a no-op, and a cell whose job
+already exists (from a standalone submit or another sweep) joins it
+instead of re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
+
+from ..persist import atomic_write_text
+from .store import ArtifactStore, StoreError, TERMINAL_STATES
+from .tenants import PUBLIC_TENANT, Tenant
+
+if TYPE_CHECKING:  # runtime import would be circular (sweep -> jobspec)
+    from ..sweep import SweepSpec
+
+__all__ = ["SweepCoordinator"]
+
+
+class SweepCoordinator:
+    """Sweep lifecycle manager over one :class:`ResynthesisService`."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.store: ArtifactStore = service.store
+        self.root = os.path.join(self.store.root, "sweeps")
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+        #: sweep_id -> SweepSpec (every known sweep, recovered included).
+        self._specs: Dict[str, SweepSpec] = {}
+        #: job_id -> sweep ids containing that cell (a job can belong to
+        #: several sweeps — cells are content-addressed jobs).
+        self._cell_sweeps: Dict[str, List[str]] = {}
+        #: Optional observer: ``on_event(sweep_id, seq)`` after every
+        #: event append (the async front end's broker hooks here).
+        self.on_event: Optional[Callable[[str, int], None]] = None
+        self._recover()
+
+    # -- paths ----------------------------------------------------------- #
+
+    def sweep_dir(self, sweep_id: str) -> str:
+        if not sweep_id or "/" in sweep_id or os.sep in sweep_id \
+                or ".." in sweep_id:
+            raise StoreError(f"illegal sweep id {sweep_id!r}")
+        return os.path.join(self.root, sweep_id)
+
+    def _path(self, sweep_id: str, name: str) -> str:
+        return os.path.join(self.sweep_dir(sweep_id), name)
+
+    def events_path(self, sweep_id: str) -> str:
+        """Where the sweep's event log lives (the SSE broker stats it)."""
+        return self._path(sweep_id, "events.jsonl")
+
+    def has_sweep(self, sweep_id: str) -> bool:
+        try:
+            return os.path.exists(self._path(sweep_id, "sweep.json"))
+        except StoreError:
+            return False
+
+    def sweep_ids(self) -> List[str]:
+        """All sweep ids, sorted for stable listings."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            d for d in os.listdir(self.root)
+            if os.path.exists(os.path.join(self.root, d, "sweep.json")))
+
+    # -- recovery -------------------------------------------------------- #
+
+    def _recover(self) -> None:
+        from ..sweep import sweep_from_doc
+
+        for sweep_id in self.sweep_ids():
+            try:
+                with open(self._path(sweep_id, "sweep.json"),
+                          "r", encoding="utf-8") as fh:
+                    spec = sweep_from_doc(json.load(fh))
+            except (OSError, ValueError):
+                continue  # torn or foreign directory: skip, not fatal
+            self._register(spec)
+        # Cells may have finished while the service was down (or under
+        # another service sharing the store): settle every open sweep.
+        for sweep_id in list(self._specs):
+            self._maybe_finish(sweep_id)
+
+    def _register(self, spec: SweepSpec) -> None:
+        with self._lock:
+            self._specs[spec.sweep_id] = spec
+            for cell in spec.cells():
+                sweeps = self._cell_sweeps.setdefault(cell.cell_id, [])
+                if spec.sweep_id not in sweeps:
+                    sweeps.append(spec.sweep_id)
+
+    # -- events ---------------------------------------------------------- #
+
+    def append_event(self, sweep_id: str, etype: str,
+                     **payload: object) -> int:
+        """Append one sweep event; returns its sequence number."""
+        path = self.events_path(sweep_id)
+        with self._lock:
+            seq = ArtifactStore._last_seq(path) + 1
+            event = {"seq": seq, "ts": time.time(), "type": etype}
+            event.update(payload)
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        if self.on_event is not None:
+            self.on_event(sweep_id, seq)
+        return seq
+
+    def events(self, sweep_id: str,
+               after: int = 0) -> List[Dict[str, object]]:
+        """Events with ``seq > after`` (StoreError on unknown sweeps)."""
+        if not self.has_sweep(sweep_id):
+            raise StoreError(f"unknown sweep {sweep_id!r}")
+        out: List[Dict[str, object]] = []
+        try:
+            with open(self.events_path(sweep_id),
+                      "r", encoding="utf-8") as fh:
+                for line in fh:
+                    if not line.strip():
+                        continue
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        continue  # torn line from a crash mid-append
+                    if event["seq"] > after:
+                        out.append(event)
+        except FileNotFoundError:
+            pass
+        return out
+
+    # -- submission ------------------------------------------------------ #
+
+    def submit(self, spec: SweepSpec,
+               tenant: Optional[Tenant] = None) -> Tuple[str, bool]:
+        """Admit every cell of *spec*; returns ``(sweep_id, created)``.
+
+        All-or-nothing: admission capacity for the sweep's *new* cells
+        (cells whose job the store has never seen count once; known
+        jobs count zero times) is checked before anything is written,
+        so :class:`~repro.service.tenants.BackpressureError` means no
+        cell was admitted.  Resubmitting a known sweep re-admits
+        nothing and returns ``created=False``.
+        """
+        tenant = tenant or PUBLIC_TENANT
+        sweep_id = spec.sweep_id
+        if self.has_sweep(sweep_id):
+            return sweep_id, False
+        cells = spec.cells()
+        new_ids = {cell.cell_id for cell in cells
+                   if not self.store.has_job(cell.cell_id)}
+        if new_ids:
+            # May raise BackpressureError — before any state is written.
+            self.service._check_admission(tenant, count=len(new_ids))
+        os.makedirs(self.sweep_dir(sweep_id), exist_ok=True)
+        atomic_write_text(self._path(sweep_id, "sweep.json"),
+                          spec.to_json())
+        self._register(spec)
+        self.service.metrics.inc("service_sweeps_submitted_total")
+        self.service.metrics.inc("service_sweep_cells_total", len(cells))
+        self.append_event(sweep_id, "submitted", cells=len(cells),
+                          new=len(new_ids), grid=spec.describe(),
+                          tenant=tenant.name)
+        for cell in cells:
+            # Admission was cleared for the whole sweep above.
+            self.service.submit(cell.spec, tenant, _precleared=True)
+        # Deduped-terminal cells produce no further status transitions;
+        # a sweep of entirely finished cells must settle right now.
+        self._maybe_finish(sweep_id)
+        return sweep_id, True
+
+    # -- status observation ---------------------------------------------- #
+
+    def notify_status(self, job_id: str,
+                      record: Dict[str, object]) -> None:
+        """Service status hook: react to a cell reaching a terminal
+        state (called for *every* job; non-cells return immediately)."""
+        if record.get("state") not in TERMINAL_STATES:
+            return
+        with self._lock:
+            sweep_ids = list(self._cell_sweeps.get(job_id, ()))
+        for sweep_id in sweep_ids:
+            self.append_event(sweep_id, "cell", job=job_id,
+                              state=record.get("state"),
+                              attempts=record.get("attempts", 0))
+            self._maybe_finish(sweep_id)
+
+    def _cell_states(self, spec: SweepSpec) -> Dict[str, str]:
+        states: Dict[str, str] = {}
+        for cell in spec.cells():
+            try:
+                state = self.store.status(cell.cell_id).get("state")
+            except StoreError:
+                state = "queued"  # submit in flight
+            states[cell.cell_id] = state or "queued"
+        return states
+
+    def _maybe_finish(self, sweep_id: str) -> None:
+        """Build ``report.json`` once, when every cell has succeeded."""
+        from ..sweep import build_sweep_report
+
+        spec = self._specs.get(sweep_id)
+        if spec is None or os.path.exists(self._path(sweep_id,
+                                                     "report.json")):
+            return
+        states = self._cell_states(spec)
+        if any(s not in TERMINAL_STATES for s in states.values()):
+            return
+        failed = sorted(cid for cid, s in states.items() if s == "failed")
+        if failed:
+            self.append_event(sweep_id, "completed", state="failed",
+                              failed_cells=failed)
+            return
+        docs = {cid: self.store.load_report_doc(cid) for cid in states}
+        if any(doc is None for doc in docs.values()):
+            return  # status landed before the report file: retry on the
+            # next notify (the supervisor writes report before status,
+            # so this is recovery-only territory)
+        report = build_sweep_report(spec, docs)
+        atomic_write_text(self._path(sweep_id, "report.json"),
+                          report.to_json())
+        self.service.metrics.inc("service_sweeps_completed_total")
+        n_front = sum(len(ids) for ids in report.front.values())
+        self.append_event(sweep_id, "completed", state="succeeded",
+                          cells=len(report.rows), front=n_front)
+
+    # -- views ------------------------------------------------------------ #
+
+    def load_report_doc(self, sweep_id: str) -> Optional[Dict[str, object]]:
+        """The aggregate report document, or None while cells run."""
+        if not self.has_sweep(sweep_id):
+            raise StoreError(f"unknown sweep {sweep_id!r}")
+        try:
+            with open(self._path(sweep_id, "report.json"),
+                      "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def sweep_state(self, sweep_id: str, states: Dict[str, str]) -> str:
+        """The sweep's derived state from its cells' states.
+
+        ``succeeded`` additionally requires ``report.json`` to exist:
+        cell statuses land a beat before the status hook finishes the
+        aggregate, and the API must never say "succeeded" while
+        ``GET /sweeps/<id>/report`` would still 404 — clients chain
+        exactly that pair.
+        """
+        if all(s in TERMINAL_STATES for s in states.values()):
+            if any(s == "failed" for s in states.values()):
+                return "failed"
+            if os.path.exists(self._path(sweep_id, "report.json")):
+                return "succeeded"
+            return "running"  # cells done, aggregate still being built
+        if any(s == "running" for s in states.values()):
+            return "running"
+        return "queued"
+
+    def sweep_view(self, sweep_id: str) -> Dict[str, object]:
+        """The JSON view of one sweep (StoreError on unknown ids)."""
+        spec = self._specs.get(sweep_id)
+        if spec is None:
+            raise StoreError(f"unknown sweep {sweep_id!r}")
+        states = self._cell_states(spec)
+        counts: Dict[str, int] = {}
+        for state in states.values():
+            counts[state] = counts.get(state, 0) + 1
+        view: Dict[str, object] = {
+            "id": sweep_id,
+            "state": self.sweep_state(sweep_id, states),
+            "cells": len(states),
+            "cell_states": {k: counts[k] for k in sorted(counts)},
+            "spec": spec.to_doc(),
+            "jobs": sorted(states),
+        }
+        report = self.load_report_doc(sweep_id)
+        if report is not None:
+            view["front"] = report["front"]
+        return view
+
+    def list_view(self) -> List[Dict[str, object]]:
+        """Compact rows for ``GET /sweeps``, sweep-id-sorted."""
+        rows = []
+        for sweep_id in self.sweep_ids():
+            spec = self._specs.get(sweep_id)
+            if spec is None:
+                continue
+            states = self._cell_states(spec)
+            rows.append({
+                "id": sweep_id,
+                "state": self.sweep_state(sweep_id, states),
+                "cells": len(states),
+                "done": sum(1 for s in states.values()
+                            if s in TERMINAL_STATES),
+            })
+        return rows

@@ -809,6 +809,231 @@ class MemoOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
+# sweep: backend/resume equivalence of whole sweep grids + front check
+# --------------------------------------------------------------------- #
+
+
+class SweepOracle(Oracle):
+    """Backend, resume and front invariants of :mod:`repro.sweep`.
+
+    Builds a small grid over the fuzz circuit (inline netlist x
+    Procedures 2 and 3 x two K values) and runs it through every
+    :class:`~repro.sweep.SweepRunner` backend — serial (the reference),
+    a process pool, and a :class:`~repro.fabric.RemoteFabric` over a
+    real in-process service server (so each ``resynth_cell`` task
+    crosses the full JSON wire) — plus a **resume** leg: a finished
+    serial sweep with a seed-chosen subset of its cell files deleted,
+    re-run with ``resume=True``, which must re-execute exactly the
+    deleted cells and nothing else.  Every leg's report rows must agree
+    with the reference on :data:`~repro.sweep.SWEEP_ROW_NUMBER_FIELDS`
+    and on the front.
+
+    Independently of leg agreement, the reference front itself is
+    checked against a from-scratch dominance scan written here (not the
+    library's :func:`~repro.sweep.pareto_front`), and one seed-chosen
+    cell is re-run as a *standalone* procedure call to pin the cell ==
+    job bit-identity contract (docs/SWEEP.md).
+    """
+
+    name = "sweep"
+
+    def __init__(
+        self,
+        ks: Tuple[int, ...] = (3, 4),
+        perm_budget: int = 24,
+        max_passes: int = 2,
+        max_inputs: int = 8,
+        remote: bool = True,
+    ) -> None:
+        self._ks = tuple(ks)
+        self._perm_budget = perm_budget
+        self._max_passes = max_passes
+        self._max_inputs = max_inputs
+        self._remote = remote
+        self._server = None
+
+    def _server_url(self) -> str:
+        """One lazily started task server shared by every remote leg."""
+        if self._server is None:
+            from ..service import ArtifactStore, ServiceServer
+
+            root = tempfile.mkdtemp(prefix="repro-fuzz-sweep-")
+            self._server = ServiceServer(ArtifactStore(root),
+                                         task_workers=1)
+            self._server.start()
+        return self._server.url
+
+    @staticmethod
+    def _brute_force_front(rows: List[Dict[str, object]]) -> set:
+        """Independent dominance scan (the referee for the front)."""
+        front = set()
+        for row in rows:
+            a = (row["gates_after"], row["paths_after"], row["depth"])
+            dominated = False
+            for other in rows:
+                if other is row:
+                    continue
+                b = (other["gates_after"], other["paths_after"],
+                     other["depth"])
+                if b[0] <= a[0] and b[1] <= a[1] and b[2] <= a[2] \
+                        and b != a:
+                    dominated = True
+                    break
+            if not dominated:
+                front.add(row["cell_id"])
+        return front
+
+    def _run_leg(self, spec, root: str, fabric=None, resume: bool = False,
+                 on_cell=None):
+        from ..comparison import identification_cache
+        from ..sweep import SweepRunner
+
+        identification_cache().clear()
+        try:
+            return SweepRunner(spec, root, fabric=fabric).run(
+                resume=resume, on_cell=on_cell)
+        finally:
+            if fabric is not None:
+                fabric.close()
+
+    def check_circuit(self, circuit: Circuit, seed: int) -> List[Violation]:
+        import shutil
+
+        from ..comparison import identification_cache
+        from ..fabric import ProcessFabric
+        from ..io.json_io import circuit_to_json
+        from ..service.runner import procedure_call
+        from ..sweep import SWEEP_ROW_NUMBER_FIELDS, SweepSpec, cell_row
+
+        if len(circuit.inputs) > self._max_inputs:
+            return []
+        netlist = json.loads(circuit_to_json(circuit))
+        spec = SweepSpec(
+            circuits=(netlist,),
+            procedures=("procedure2", "procedure3"),
+            ks=self._ks,
+            seeds=(seed,),
+            perm_budget=self._perm_budget,
+            max_passes=self._max_passes,
+            verify_patterns=0,
+        )
+        rng = random.Random((seed << 16) ^ 0x53EE)
+        violations: List[Violation] = []
+        work = tempfile.mkdtemp(prefix="repro-fuzz-sweepdir-")
+        try:
+            reference = self._run_leg(spec, os.path.join(work, "serial"))
+            legs = [("process jobs=2", self._run_leg(
+                spec, os.path.join(work, "process"),
+                fabric=ProcessFabric(2)))]
+            if self._remote:
+                from ..fabric.remote import RemoteFabric
+
+                legs.append(("remote shards=2", self._run_leg(
+                    spec, os.path.join(work, "remote"),
+                    fabric=RemoteFabric([self._server_url()], shards=2,
+                                        heartbeat_timeout=60.0))))
+            # Resume leg: finish serially, delete a cell subset + the
+            # aggregate, re-run with resume=True; only deleted cells may
+            # re-execute.
+            resume_root = os.path.join(work, "resume")
+            self._run_leg(spec, resume_root)
+            cells = spec.cells()
+            victims = sorted(
+                {rng.choice(cells).cell_id for _ in range(2)})
+            for cell_id in victims:
+                os.unlink(os.path.join(resume_root, "cells",
+                                       f"{cell_id}.json"))
+            os.unlink(os.path.join(resume_root, "report.json"))
+            executed: List[str] = []
+            resumed = self._run_leg(
+                spec, resume_root, resume=True,
+                on_cell=lambda cell, doc: executed.append(cell.cell_id))
+            if sorted(executed) != victims:
+                violations.append(Violation(
+                    self.name, seed,
+                    f"resumed sweep re-ran {sorted(executed)} instead of "
+                    f"exactly the deleted cells {victims}",
+                    circuit=circuit,
+                    details={"executed": sorted(executed),
+                             "deleted": victims},
+                ))
+            legs.append(("resumed", resumed))
+            # Leg agreement on the deterministic row fields and front.
+            ref_rows = {row["cell_id"]: row for row in reference.rows}
+            for label, leg in legs:
+                for row in leg.rows:
+                    ref = ref_rows.get(row["cell_id"])
+                    diverged = [
+                        f for f in SWEEP_ROW_NUMBER_FIELDS
+                        if ref is None or ref[f] != row[f]
+                    ]
+                    if diverged:
+                        violations.append(Violation(
+                            self.name, seed,
+                            f"sweep cell {row['cell_id']} diverged "
+                            f"between serial and {label} on: "
+                            f"{', '.join(diverged)}",
+                            circuit=circuit,
+                            details={"leg": label, "cell": row["cell_id"],
+                                     "diverged": diverged,
+                                     "serial": ref, label: row},
+                        ))
+                if leg.front != reference.front:
+                    violations.append(Violation(
+                        self.name, seed,
+                        f"sweep front diverged between serial and "
+                        f"{label}: {reference.front} vs {leg.front}",
+                        circuit=circuit,
+                        details={"leg": label,
+                                 "serial": reference.front,
+                                 label: leg.front},
+                    ))
+            # The reference front vs an independent dominance scan.
+            for name, front_ids in reference.front.items():
+                group = [row for row in reference.rows
+                         if row["circuit"] == name]
+                expected = self._brute_force_front(group)
+                if set(front_ids) != expected:
+                    violations.append(Violation(
+                        self.name, seed,
+                        f"Pareto front of {name!r} disagrees with the "
+                        f"brute-force dominance scan: {sorted(front_ids)}"
+                        f" vs {sorted(expected)}",
+                        circuit=circuit,
+                        details={"circuit": name,
+                                 "front": sorted(front_ids),
+                                 "brute_force": sorted(expected)},
+                    ))
+            # One cell vs a standalone procedure run (cell == job).
+            probe = rng.choice(cells)
+            identification_cache().clear()
+            from ..service.jobspec import resolve_circuit
+
+            standalone = procedure_call(probe.spec)(
+                resolve_circuit(probe.spec))
+            from ..resynth.serialize import report_to_doc
+
+            standalone_row = cell_row(probe, report_to_doc(standalone))
+            ref = ref_rows[probe.cell_id]
+            diverged = [f for f in SWEEP_ROW_NUMBER_FIELDS
+                        if ref[f] != standalone_row[f]]
+            if diverged:
+                violations.append(Violation(
+                    self.name, seed,
+                    f"sweep cell {probe.cell_id} diverged from the "
+                    f"standalone {probe.procedure} run on: "
+                    f"{', '.join(diverged)}",
+                    circuit=circuit,
+                    details={"cell": probe.cell_id, "diverged": diverged,
+                             "sweep": ref, "standalone": standalone_row},
+                ))
+            identification_cache().clear()
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+        return violations
+
+
+# --------------------------------------------------------------------- #
 # unit: comparison-unit construction invariants
 # --------------------------------------------------------------------- #
 
@@ -1134,7 +1359,7 @@ class IncrementalOracle(Oracle):
 
 #: Construction order for ``--oracle all``.
 ORACLE_NAMES = ("sim", "fault", "resynth", "unit", "incremental",
-                "parallel", "resume", "memo")
+                "parallel", "resume", "memo", "sweep")
 
 
 def default_oracles(
@@ -1151,6 +1376,7 @@ def default_oracles(
         "parallel": ParallelOracle,
         "resume": ResumeOracle,
         "memo": MemoOracle,
+        "sweep": SweepOracle,
     }
     wanted = list(names) if names else list(ORACLE_NAMES)
     oracles: List[Oracle] = []

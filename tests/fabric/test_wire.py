@@ -163,3 +163,77 @@ class TestIdentifyCodec:
         kind = task_kind("identify")
         with pytest.raises(ValueError, match="tried-count"):
             kind.decode_result([["6", 2, [], "many"]])
+
+
+class TestResynthCellCodec:
+    """The whole-cell kind: payload is a job spec, result a report."""
+
+    def cell_payload(self, **kw):
+        from repro.io import circuit_to_json
+        from repro.service import JobSpec
+
+        spec = JobSpec(netlist=json.loads(circuit_to_json(c17())),
+                       k=3, seed=1, perm_budget=20, max_passes=1, jobs=1)
+        payload = {"spec": spec.to_doc()}
+        payload.update(kw)
+        return payload
+
+    def test_payload_round_trip(self):
+        kind = task_kind("resynth_cell")
+        payload = self.cell_payload()
+        decoded = kind.decode_payload(wire(kind.encode_payload(payload)))
+        assert decoded == payload
+
+    def test_memo_path_round_trip(self):
+        kind = task_kind("resynth_cell")
+        payload = self.cell_payload(memo="/tmp/memo-cache")
+        decoded = kind.decode_payload(wire(kind.encode_payload(payload)))
+        assert decoded["memo"] == "/tmp/memo-cache"
+
+    def test_decode_canonicalizes_defaulted_spec_fields(self):
+        kind = task_kind("resynth_cell")
+        sparse = {"spec": {"format": "repro-jobspec",
+                           "circuit": "syn1423", "k": 3}}
+        decoded = kind.decode_payload(wire(sparse))
+        from repro.service import spec_from_doc
+
+        assert decoded["spec"] == spec_from_doc(sparse["spec"]).to_doc()
+
+    def test_rejects_missing_spec(self):
+        kind = task_kind("resynth_cell")
+        with pytest.raises(ValueError, match="spec"):
+            kind.decode_payload({"memo": "/tmp/x"})
+
+    def test_rejects_invalid_spec(self):
+        kind = task_kind("resynth_cell")
+        bad = self.cell_payload()
+        bad["spec"]["procedure"] = "procedure9"
+        with pytest.raises(ValueError):
+            kind.decode_payload(bad)
+
+    def test_rejects_non_string_memo(self):
+        kind = task_kind("resynth_cell")
+        with pytest.raises(ValueError, match="memo"):
+            kind.decode_payload(self.cell_payload(memo=7))
+
+    def test_result_round_trip_through_real_run(self):
+        from repro.comparison import identification_cache
+
+        kind = task_kind("resynth_cell")
+        identification_cache().clear()
+        result = kind.run(self.cell_payload())
+        assert kind.decode_result(wire(result)) == result
+        assert result["gates_before"] == 6
+
+    def test_rejects_malformed_result(self):
+        kind = task_kind("resynth_cell")
+        with pytest.raises(ValueError, match="report"):
+            kind.decode_result({"format": "repro-report"})
+        with pytest.raises(ValueError, match="not an object"):
+            kind.decode_result([1, 2])
+
+    def test_full_task_envelope_round_trip(self):
+        task = FabricTask("resynth_cell", self.cell_payload())
+        again = decode_task(wire(encode_task(task)))
+        assert again.kind == task.kind
+        assert again.payload == task.payload

@@ -1,0 +1,175 @@
+"""The sweep HTTP surface: POST /sweeps through report, events, dedup.
+
+A submitted grid rides the normal job machinery (each cell is a job),
+so these tests use real worker subprocesses over tiny inline c17 grids.
+"""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import (
+    ArtifactStore,
+    ServiceAPIError,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+
+def c17_doc():
+    return json.loads(circuit_to_json(c17()))
+
+
+def grid_doc(**kw):
+    doc = {
+        "format": "repro-sweepspec",
+        "circuits": [c17_doc()],
+        "procedures": ["procedure2"],
+        "ks": [3, 4],
+        "seeds": [1],
+        "perm_budget": 20,
+        "max_passes": 1,
+    }
+    doc.update(kw)
+    return doc
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ArtifactStore(str(tmp_path / "service"))
+    config = SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                              heartbeat_interval=0.2, backoff_base=0.05,
+                              poll_interval=0.02)
+    with ServiceServer(store, port=0, config=config, max_workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)
+
+
+class TestSweepLifecycle:
+    def test_submit_run_report(self, client):
+        created = client.submit_sweep(grid_doc())
+        assert created["created"] is True
+        assert created["cells"] == 2
+        sweep_id = created["id"]
+        final = client.sweep_wait(sweep_id, timeout=120.0)
+        assert final["state"] == "succeeded"
+        assert final["cells"] == 2
+        report = client.sweep_report(sweep_id)
+        assert report["sweep_id"] == sweep_id
+        assert len(report["rows"]) == 2
+        assert set(report["front"]) == {"c17"}
+        # Every cell is an ordinary job, fetchable through the job API.
+        for job_id in final["jobs"]:
+            assert client.job(job_id)["state"] == "succeeded"
+
+    def test_resubmit_dedups(self, client):
+        first = client.submit_sweep(grid_doc())
+        client.sweep_wait(first["id"], timeout=120.0)
+        again = client.submit_sweep(grid_doc())
+        assert again["id"] == first["id"]
+        assert again["created"] is False
+
+    def test_listing_includes_the_sweep(self, client):
+        sweep_id = client.submit_sweep(grid_doc())["id"]
+        client.sweep_wait(sweep_id, timeout=120.0)
+        rows = client.sweeps()
+        assert any(row["id"] == sweep_id and row["state"] == "succeeded"
+                   for row in rows)
+
+    def test_events_record_lifecycle(self, client):
+        sweep_id = client.submit_sweep(grid_doc())["id"]
+        client.sweep_wait(sweep_id, timeout=120.0)
+        chunk = client.sweep_events(sweep_id)
+        kinds = [e["type"] for e in chunk["events"]]
+        assert kinds[0] == "submitted"
+        assert kinds.count("cell") == 2
+        assert kinds[-1] == "completed"
+        seqs = [e["seq"] for e in chunk["events"]]
+        assert seqs == sorted(seqs)
+
+    def test_report_404_until_done(self, client):
+        # An id the coordinator has never seen.
+        with pytest.raises(ServiceAPIError) as exc:
+            client.sweep_report("s000000000000")
+        assert exc.value.code == 404
+
+    def test_invalid_grid_400(self, client):
+        with pytest.raises(ServiceAPIError) as exc:
+            client.submit_sweep(grid_doc(ks=[1]))
+        assert exc.value.code == 400
+        with pytest.raises(ServiceAPIError) as exc:
+            client.submit_sweep({"circuits": []})
+        assert exc.value.code == 400
+
+    def test_unknown_sweep_404(self, client):
+        with pytest.raises(ServiceAPIError) as exc:
+            client.sweep("s000000000000")
+        assert exc.value.code == 404
+        with pytest.raises(ServiceAPIError) as exc:
+            client.sweep_events("s000000000000")
+        assert exc.value.code == 404
+
+    def test_report_matches_standalone_jobs(self, client):
+        """Cell == job: each sweep row equals its standalone submit."""
+        from repro.service import JobSpec
+        from repro.sweep import SWEEP_ROW_NUMBER_FIELDS, sweep_from_doc
+
+        sweep_id = client.submit_sweep(grid_doc())["id"]
+        client.sweep_wait(sweep_id, timeout=120.0)
+        report = client.sweep_report(sweep_id)
+        spec = sweep_from_doc(grid_doc())
+        for cell, row in zip(spec.cells(), report["rows"]):
+            # Submitting the identical spec standalone joins the same
+            # job (content address), whose report fed this row.
+            created = client.submit(JobSpec(**{
+                "netlist": c17_doc(), "procedure": cell.procedure,
+                "k": cell.k, "seed": cell.seed, "perm_budget": 20,
+                "max_passes": 1, "jobs": 1}))
+            assert created["id"] == row["cell_id"]
+            doc = client.report(row["cell_id"])
+            assert doc["gates_after"] == row["gates_after"]
+            assert doc["paths_after"] == row["paths_after"]
+            for field in SWEEP_ROW_NUMBER_FIELDS:
+                assert field in row
+
+
+class TestRecovery:
+    def test_coordinator_recovers_finished_sweep(self, tmp_path):
+        store_root = str(tmp_path / "service")
+        config = SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                                  heartbeat_interval=0.2,
+                                  backoff_base=0.05, poll_interval=0.02)
+        with ServiceServer(ArtifactStore(store_root), port=0,
+                           config=config, max_workers=2) as srv:
+            client = ServiceClient(srv.url, timeout=30.0)
+            sweep_id = client.submit_sweep(grid_doc())["id"]
+            client.sweep_wait(sweep_id, timeout=120.0)
+            report = client.sweep_report(sweep_id)
+        # A fresh server over the same store knows the sweep.
+        with ServiceServer(ArtifactStore(store_root), port=0,
+                           config=config, max_workers=2) as srv:
+            client = ServiceClient(srv.url, timeout=30.0)
+            view = client.sweep(sweep_id)
+            assert view["state"] == "succeeded"
+            assert client.sweep_report(sweep_id) == report
+
+
+class TestJobsSummary:
+    def test_counts_by_tenant_and_state(self, client):
+        sweep_id = client.submit_sweep(grid_doc())["id"]
+        client.sweep_wait(sweep_id, timeout=120.0)
+        summary = client.jobs_summary()
+        assert summary["total"] >= 2
+        assert summary["tenants"]["public"]["succeeded"] >= 2
+        assert summary["states"]["succeeded"] >= 2
+
+    def test_empty_store(self, client):
+        summary = client.jobs_summary()
+        assert summary == {"total": 0, "tenants": {}, "states": {}}

@@ -1,0 +1,121 @@
+"""Tenants-file hot reload: pick up edits, reject orphaning/bad files.
+
+The registry swap itself is tested directly on
+:class:`ResynthesisService` (cheap, no sockets); one HTTP test pins the
+end-to-end path — the reload check runs on tenant resolution, so a new
+key starts working on the first request after the file changes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    ArtifactStore,
+    ResynthesisService,
+    ServiceAPIError,
+    ServiceClient,
+    ServiceServer,
+    SupervisorConfig,
+)
+
+
+def write_tenants(path, *rows):
+    doc = {"tenants": [dict(r) for r in rows]}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    # File-stamp changes are (mtime_ns, size); bump mtime explicitly so
+    # sub-resolution filesystems cannot hide a same-size rewrite.
+    st = os.stat(path)
+    os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+
+
+ALICE = {"name": "alice", "key": "key-a"}
+BOB = {"name": "bob", "key": "key-b"}
+CAROL = {"name": "carol", "key": "key-c"}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    path = str(tmp_path / "tenants.json")
+    write_tenants(path, ALICE, BOB)
+    svc = ResynthesisService(ArtifactStore(str(tmp_path / "store")),
+                             tenants_file=path)
+    svc.tenants_path = path  # test convenience
+    return svc
+
+
+class TestReload:
+    def test_unchanged_file_is_a_noop(self, service):
+        assert service.maybe_reload_tenants() is False
+        assert {t.name for t in service.tenants.tenants()} == \
+            {"alice", "bob"}
+
+    def test_edit_swaps_the_registry(self, service):
+        write_tenants(service.tenants_path, ALICE, BOB, CAROL)
+        assert service.maybe_reload_tenants() is True
+        assert service.tenants.resolve("key-c").name == "carol"
+        assert service.metrics.snapshot()["counters"][
+            "service_tenant_reloads_total"] == 1
+
+    def test_invalid_json_keeps_old_registry(self, service):
+        with open(service.tenants_path, "w") as fh:
+            fh.write("{nope")
+        st = os.stat(service.tenants_path)
+        os.utime(service.tenants_path,
+                 ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        assert service.maybe_reload_tenants() is False
+        assert service.tenants.resolve("key-a").name == "alice"
+        # The bad file is not re-parsed until it changes again.
+        assert service.maybe_reload_tenants() is False
+
+    def test_invalid_shape_keeps_old_registry(self, service):
+        write_tenants(service.tenants_path, {"name": "x"})  # no key
+        assert service.maybe_reload_tenants() is False
+        assert service.tenants.resolve("key-b").name == "bob"
+
+    def test_removing_tenant_with_active_jobs_is_rejected(self, service):
+        # An admitted-but-unfinished job pins its tenant.
+        with service._lock:
+            service._job_tenant["j0123"] = "bob"
+        write_tenants(service.tenants_path, ALICE)
+        assert service.maybe_reload_tenants() is False
+        assert service.tenants.resolve("key-b").name == "bob"
+        # Once the job drains, the same edit goes through.
+        with service._lock:
+            service._job_tenant.clear()
+        write_tenants(service.tenants_path, ALICE)
+        assert service.maybe_reload_tenants() is True
+        assert {t.name for t in service.tenants.tenants()} == {"alice"}
+
+    def test_removing_idle_tenant_is_fine(self, service):
+        write_tenants(service.tenants_path, ALICE)
+        assert service.maybe_reload_tenants() is True
+        assert {t.name for t in service.tenants.tenants()} == {"alice"}
+
+    def test_deleted_file_keeps_old_registry(self, service):
+        os.unlink(service.tenants_path)
+        assert service.maybe_reload_tenants() is False
+        assert service.tenants.resolve("key-a").name == "alice"
+
+
+class TestReloadOverHttp:
+    def test_new_key_works_on_next_request(self, tmp_path):
+        path = str(tmp_path / "tenants.json")
+        write_tenants(path, ALICE)
+        store = ArtifactStore(str(tmp_path / "store"))
+        config = SupervisorConfig(max_retries=0, heartbeat_timeout=20.0,
+                                  heartbeat_interval=0.2,
+                                  backoff_base=0.05, poll_interval=0.02)
+        bad_grid = {"circuits": []}  # 400 once past auth
+        with ServiceServer(store, port=0, config=config,
+                           tenants_file=path) as srv:
+            carol = ServiceClient(srv.url, timeout=30.0, api_key="key-c")
+            with pytest.raises(ServiceAPIError) as exc:
+                carol.submit_sweep(bad_grid)
+            assert exc.value.code == 401
+            write_tenants(path, ALICE, CAROL)
+            with pytest.raises(ServiceAPIError) as exc:
+                carol.submit_sweep(bad_grid)
+            assert exc.value.code == 400

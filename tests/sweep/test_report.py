@@ -1,0 +1,130 @@
+"""Pareto dominance, front construction and report round-trips."""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.sweep import (
+    SweepSpec,
+    build_sweep_report,
+    cell_row,
+    dominates,
+    pareto_front,
+    sweep_report_from_doc,
+)
+
+
+class TestDominance:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_better_on_one_equal_elsewhere(self):
+        assert dominates((1, 2, 2), (2, 2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((2, 2, 2), (2, 2, 2))
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates((1, 3, 1), (3, 1, 1))
+        assert not dominates((3, 1, 1), (1, 3, 1))
+
+
+class TestParetoFront:
+    def test_single_point(self):
+        assert pareto_front([(5, 5, 5)]) == [0]
+
+    def test_dominated_point_dropped(self):
+        assert pareto_front([(1, 1, 1), (2, 2, 2)]) == [0]
+
+    def test_tradeoff_points_all_kept_in_order(self):
+        assert pareto_front([(3, 1, 1), (1, 3, 1), (2, 2, 1)]) == [0, 1, 2]
+
+    def test_equal_triples_all_kept(self):
+        # Dropping either would make the front depend on expansion order.
+        assert pareto_front([(2, 2, 2), (2, 2, 2), (3, 3, 3)]) == [0, 1]
+
+    def test_matches_brute_force_scan(self):
+        import random
+
+        rng = random.Random(7)
+        points = [(rng.randint(0, 4), rng.randint(0, 4), rng.randint(0, 4))
+                  for _ in range(40)]
+        expected = [i for i, p in enumerate(points)
+                    if not any(dominates(q, p)
+                               for j, q in enumerate(points) if j != i)]
+        assert pareto_front(points) == expected
+
+
+def tiny_spec():
+    netlist = json.loads(circuit_to_json(c17()))
+    return SweepSpec(circuits=(netlist,), procedures=("procedure2",),
+                     ks=(3, 4), seeds=(1,), perm_budget=20, max_passes=1)
+
+
+def fake_report_doc(gates_after):
+    doc = json.loads(circuit_to_json(c17()))
+    return {
+        "objective": "procedure2",
+        "gates_before": 6, "gates_after": gates_after,
+        "paths_before": 11, "paths_after": 11,
+        "replacements": 0, "passes": 1, "mutations": 0,
+        "total_seconds": 0.5,
+        "circuit": doc,
+    }
+
+
+class TestBuildReport:
+    def test_rows_in_cell_order_with_front(self):
+        spec = tiny_spec()
+        cells = spec.cells()
+        docs = {cells[0].cell_id: fake_report_doc(5),
+                cells[1].cell_id: fake_report_doc(6)}
+        report = build_sweep_report(spec, docs)
+        assert [r["cell_id"] for r in report.rows] == \
+            [c.cell_id for c in cells]
+        # Same netlist, same depth; fewer gates dominates.
+        assert report.front == {"c17": [cells[0].cell_id]}
+        assert [r["cell_id"] for r in report.front_rows()] == \
+            [cells[0].cell_id]
+
+    def test_missing_cell_raises_key_error(self):
+        spec = tiny_spec()
+        cells = spec.cells()
+        with pytest.raises(KeyError):
+            build_sweep_report(spec, {cells[0].cell_id: fake_report_doc(5)})
+
+    def test_row_has_every_comparable_field(self):
+        from repro.sweep import SWEEP_ROW_NUMBER_FIELDS
+
+        spec = tiny_spec()
+        cell = spec.cells()[0]
+        row = cell_row(cell, fake_report_doc(5))
+        for field in SWEEP_ROW_NUMBER_FIELDS:
+            assert field in row
+        assert "wall_s" in row and "wall_s" not in SWEEP_ROW_NUMBER_FIELDS
+
+    def test_doc_round_trip(self):
+        spec = tiny_spec()
+        docs = {c.cell_id: fake_report_doc(5) for c in spec.cells()}
+        report = build_sweep_report(spec, docs)
+        again = sweep_report_from_doc(json.loads(report.to_json()))
+        assert again == report
+
+    def test_from_doc_rejects_foreign_documents(self):
+        with pytest.raises(ValueError):
+            sweep_report_from_doc({"format": "repro-report"})
+        with pytest.raises(ValueError):
+            sweep_report_from_doc("not an object")
+
+    def test_render_stars_front_members(self):
+        spec = tiny_spec()
+        cells = spec.cells()
+        docs = {cells[0].cell_id: fake_report_doc(5),
+                cells[1].cell_id: fake_report_doc(6)}
+        text = build_sweep_report(spec, docs).render()
+        lines = text.splitlines()
+        starred = [ln for ln in lines if ln.startswith("*")]
+        assert len(starred) == 1 and " 3 " in starred[0]
+        assert "1 of 2 cells" in lines[-1]

@@ -1,0 +1,165 @@
+"""The sweep grid model: expansion order, content addresses, validation.
+
+A sweep spec is a content-addressed grid whose cells ARE job specs —
+``cell_id == job_id`` is the dedup contract everything else (service
+joins, standalone-vs-sweep bit identity) rests on, so it is pinned here
+explicitly alongside the canonical expansion order and the shape
+validation the HTTP layer maps to 400s.
+"""
+
+import json
+
+import pytest
+
+from repro.benchcircuits import c17
+from repro.io import circuit_to_json
+from repro.service import JobSpec
+from repro.sweep import (
+    SweepSpec,
+    SweepSpecError,
+    sweep_from_doc,
+    sweep_from_json,
+)
+
+
+def c17_doc():
+    return json.loads(circuit_to_json(c17()))
+
+
+def grid_doc(**kw):
+    doc = {
+        "format": "repro-sweepspec",
+        "circuits": ["syn1423"],
+        "procedures": ["procedure2", "procedure3"],
+        "ks": [4, 5],
+        "seeds": [1, 2],
+        "perm_budget": 50,
+        "max_passes": 3,
+    }
+    doc.update(kw)
+    return doc
+
+
+class TestExpansion:
+    def test_canonical_order_circuits_outermost_seeds_innermost(self):
+        spec = sweep_from_doc(grid_doc())
+        cells = spec.cells()
+        assert len(cells) == 1 * 2 * 2 * 2
+        keys = [(c.circuit, c.procedure, c.k, c.seed) for c in cells]
+        assert keys == [
+            ("syn1423", "procedure2", 4, 1),
+            ("syn1423", "procedure2", 4, 2),
+            ("syn1423", "procedure2", 5, 1),
+            ("syn1423", "procedure2", 5, 2),
+            ("syn1423", "procedure3", 4, 1),
+            ("syn1423", "procedure3", 4, 2),
+            ("syn1423", "procedure3", 5, 1),
+            ("syn1423", "procedure3", 5, 2),
+        ]
+        assert [c.index for c in cells] == list(range(8))
+
+    def test_cell_id_is_the_job_spec_content_address(self):
+        spec = sweep_from_doc(grid_doc(ks=[4], seeds=[1],
+                                       procedures=["procedure2"]))
+        (cell,) = spec.cells()
+        standalone = JobSpec(circuit="syn1423", procedure="procedure2",
+                             k=4, seed=1, perm_budget=50, max_passes=3,
+                             jobs=1)
+        assert cell.cell_id == cell.spec.job_id == standalone.job_id
+
+    def test_cells_are_single_job(self):
+        spec = sweep_from_doc(grid_doc())
+        assert all(cell.spec.jobs == 1 for cell in spec.cells())
+
+    def test_inline_netlist_circuit(self):
+        spec = sweep_from_doc(grid_doc(circuits=[c17_doc()]))
+        cells = spec.cells()
+        assert all(cell.circuit == "c17" for cell in cells)
+        assert cells[0].spec.netlist == c17_doc()
+
+    def test_all_cell_ids_distinct(self):
+        spec = sweep_from_doc(grid_doc(circuits=["syn1423", c17_doc()]))
+        ids = [cell.cell_id for cell in spec.cells()]
+        assert len(set(ids)) == len(ids)
+
+
+class TestContentAddress:
+    def test_sweep_id_stable_across_doc_round_trip(self):
+        spec = sweep_from_doc(grid_doc())
+        again = sweep_from_doc(spec.to_doc())
+        assert again == spec
+        assert again.sweep_id == spec.sweep_id
+        assert spec.sweep_id.startswith("s")
+        assert len(spec.sweep_id) == 13
+
+    def test_defaulted_fields_do_not_change_the_id(self):
+        explicit = grid_doc(verify_patterns=0, gate_weight=10.0)
+        assert (sweep_from_doc(explicit).sweep_id
+                == sweep_from_doc(grid_doc()).sweep_id)
+
+    def test_different_grids_different_ids(self):
+        a = sweep_from_doc(grid_doc())
+        b = sweep_from_doc(grid_doc(ks=[4, 6]))
+        assert a.sweep_id != b.sweep_id
+
+    def test_json_round_trip(self):
+        spec = sweep_from_doc(grid_doc())
+        assert sweep_from_json(spec.to_json()) == spec
+
+
+class TestValidation:
+    def reject(self, doc, fragment):
+        with pytest.raises(SweepSpecError, match=fragment):
+            sweep_from_doc(doc)
+
+    def test_not_an_object(self):
+        self.reject(["syn1423"], "JSON object")
+
+    def test_wrong_format(self):
+        self.reject(grid_doc(format="repro-jobspec"), "format")
+
+    def test_unknown_field(self):
+        self.reject(grid_doc(jobs=4), "unknown grid field")
+
+    def test_empty_circuits(self):
+        self.reject(grid_doc(circuits=[]), "circuits")
+
+    def test_unknown_suite_circuit(self):
+        self.reject(grid_doc(circuits=["c9999"]), "unknown suite circuit")
+
+    def test_inline_circuit_must_be_netlist_doc(self):
+        self.reject(grid_doc(circuits=[{"name": "x"}]), "repro-netlist")
+
+    def test_circuit_neither_name_nor_doc(self):
+        self.reject(grid_doc(circuits=[42]), "circuits\\[0\\]")
+
+    def test_duplicate_axis_entries(self):
+        self.reject(grid_doc(ks=[4, 4]), "duplicates")
+        self.reject(grid_doc(circuits=["syn1423", "syn1423"]), "duplicates")
+
+    def test_unknown_procedure(self):
+        self.reject(grid_doc(procedures=["procedure9"]),
+                    "unknown procedure")
+
+    def test_k_out_of_range(self):
+        self.reject(grid_doc(ks=[1]), "ks")
+        self.reject(grid_doc(ks=[17]), "ks")
+
+    def test_bool_is_not_an_integer(self):
+        self.reject(grid_doc(ks=[True]), "integers")
+        self.reject(grid_doc(perm_budget=True), "integer")
+
+    def test_knob_ranges(self):
+        self.reject(grid_doc(perm_budget=0), "perm_budget")
+        self.reject(grid_doc(max_passes=0), "max_passes")
+        self.reject(grid_doc(gate_weight=-1), "gate_weight")
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SweepSpecError, match="not valid JSON"):
+            sweep_from_json("{nope")
+
+    def test_defaults_fill_in(self):
+        spec = sweep_from_doc({"circuits": ["syn1423"]})
+        assert spec.procedures == ("procedure2", "procedure3")
+        assert spec.ks == (5,)
+        assert spec.seeds == (0,)

@@ -48,7 +48,7 @@ class TestSmokeRun:
         assert report.seeds_run == 6
         assert set(report.checks_run) == {
             "sim", "fault", "resynth", "unit", "incremental", "parallel",
-            "resume", "memo",
+            "resume", "memo", "sweep",
         }
         assert all(n == 6 for n in report.checks_run.values())
 

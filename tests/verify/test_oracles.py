@@ -158,7 +158,7 @@ class TestDefaultOracles:
         names = [o.name for o in default_oracles()]
         assert names == [
             "sim", "fault", "resynth", "unit", "incremental", "parallel",
-            "resume", "memo",
+            "resume", "memo", "sweep",
         ]
 
     def test_subset_and_unknown(self):
